@@ -1,0 +1,70 @@
+//! Criterion bench: the "one-time cost to build" an inverted path
+//! (§4.1.2) — `replicate` over an existing population, per strategy and
+//! for the §4.3.3 collapsed form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fieldrep_catalog::{Propagation, Strategy};
+use fieldrep_core::{Database, DbConfig};
+use fieldrep_model::{FieldType, TypeDef, Value};
+
+fn populated_db() -> Database {
+    let mut db = Database::in_memory(DbConfig::default());
+    db.define_type(TypeDef::new("ORG", vec![("name", FieldType::Str)])).unwrap();
+    db.define_type(TypeDef::new(
+        "DEPT",
+        vec![("name", FieldType::Str), ("org", FieldType::Ref("ORG".into()))],
+    ))
+    .unwrap();
+    db.define_type(TypeDef::new(
+        "EMP",
+        vec![("id", FieldType::Int), ("dept", FieldType::Ref("DEPT".into()))],
+    ))
+    .unwrap();
+    db.create_set("Org", "ORG").unwrap();
+    db.create_set("Dept", "DEPT").unwrap();
+    db.create_set("Emp1", "EMP").unwrap();
+    let orgs: Vec<_> = (0..20)
+        .map(|i| db.insert("Org", vec![Value::Str(format!("o{i}"))]).unwrap())
+        .collect();
+    let depts: Vec<_> = (0..400)
+        .map(|i| {
+            db.insert("Dept", vec![Value::Str(format!("d{i}")), Value::Ref(orgs[i % 20])])
+                .unwrap()
+        })
+        .collect();
+    for i in 0..8000usize {
+        db.insert("Emp1", vec![Value::Int(i as i64), Value::Ref(depts[i % 400])])
+            .unwrap();
+    }
+    db
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replicate_build_8k_sources");
+    group.sample_size(10);
+    for (name, which) in [
+        ("inplace_1level", 0),
+        ("separate_1level", 1),
+        ("inplace_2level", 2),
+        ("collapsed_2level", 3),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &which, |b, &w| {
+            b.iter_with_large_drop(|| {
+                let mut db = populated_db();
+                match w {
+                    0 => db.replicate("Emp1.dept.name", Strategy::InPlace).unwrap(),
+                    1 => db.replicate("Emp1.dept.name", Strategy::Separate).unwrap(),
+                    2 => db.replicate("Emp1.dept.org.name", Strategy::InPlace).unwrap(),
+                    _ => db
+                        .replicate_collapsed("Emp1.dept.org.name", Propagation::Eager)
+                        .unwrap(),
+                };
+                db
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

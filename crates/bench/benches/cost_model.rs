@@ -1,0 +1,39 @@
+//! Criterion bench: the analytical cost model itself (Figures 11–14 are
+//! regenerated thousands of times during sweeps; this keeps that cheap).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fieldrep_costmodel::{
+    figure_11_or_13, selected_values, total_cost, yao, IndexSetting, ModelStrategy, Params,
+};
+
+fn bench_yao(c: &mut Criterion) {
+    c.bench_function("yao_exact_400_picks", |b| {
+        b.iter(|| yao(black_box(200_000.0), black_box(28.0), black_box(400.0)))
+    });
+}
+
+fn bench_total_cost(c: &mut Criterion) {
+    let p = Params::with_sharing(20.0);
+    c.bench_function("total_cost_one_point", |b| {
+        b.iter(|| {
+            total_cost(
+                black_box(&p),
+                ModelStrategy::InPlace,
+                IndexSetting::Unclustered,
+                black_box(0.3),
+            )
+        })
+    });
+}
+
+fn bench_figures(c: &mut Criterion) {
+    c.bench_function("figure_11_full_sweep", |b| {
+        b.iter(|| figure_11_or_13(IndexSetting::Unclustered, black_box(100)))
+    });
+    c.bench_function("figure_14_table", |b| {
+        b.iter(|| selected_values(IndexSetting::Clustered, black_box(20.0)))
+    });
+}
+
+criterion_group!(benches, bench_yao, bench_total_cost, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion bench: wall-clock time of the paper's §6 read and update
+//! queries on the real engine, per replication strategy (scaled-down
+//! workload: |S| = 1000, f = 5; the I/O-level comparison lives in the
+//! `empirical` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fieldrep_bench::{build_workload, measure_read_query, measure_update_query, WorkloadSpec};
+use fieldrep_catalog::Strategy;
+use fieldrep_costmodel::IndexSetting;
+
+fn strategies() -> [(&'static str, Option<Strategy>); 3] {
+    [
+        ("none", None),
+        ("inplace", Some(Strategy::InPlace)),
+        ("separate", Some(Strategy::Separate)),
+    ]
+}
+
+fn bench_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_query");
+    for (name, strat) in strategies() {
+        let spec = WorkloadSpec::paper(5, IndexSetting::Unclustered, strat).scaled(1000);
+        let mut w = build_workload(spec);
+        let mut lo = 0i64;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| {
+                let io = measure_read_query(&mut w, lo % 4000);
+                lo += 37;
+                io
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_query");
+    group.sample_size(20);
+    for (name, strat) in strategies() {
+        let spec = WorkloadSpec::paper(5, IndexSetting::Unclustered, strat).scaled(1000);
+        let mut w = build_workload(spec);
+        let mut lo = 0i64;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| {
+                let io = measure_update_query(&mut w, lo % 900);
+                lo += 13;
+                io
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_clustered_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_query_clustered");
+    for (name, strat) in strategies() {
+        let spec = WorkloadSpec::paper(5, IndexSetting::Clustered, strat).scaled(1000);
+        let mut w = build_workload(spec);
+        let mut lo = 0i64;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| {
+                let io = measure_read_query(&mut w, lo % 4000);
+                lo += 37;
+                io
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_read, bench_update, bench_clustered_read
+}
+criterion_main!(benches);

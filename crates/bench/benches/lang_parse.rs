@@ -1,0 +1,57 @@
+//! Criterion bench: EXTRA-language parsing and end-to-end statement
+//! execution.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fieldrep_core::DbConfig;
+use fieldrep_lang::{parse_script, Interpreter};
+
+const SCRIPT: &str = r#"
+define type ORG ( name: char[], budget: int );
+define type DEPT ( name: char[], budget: int, org: ref ORG );
+define type EMP ( name: char[], age: int, salary: int, dept: ref DEPT );
+create Org: {own ref ORG};
+create Dept: {own ref DEPT};
+create Emp1: {own ref EMP};
+replicate Emp1.dept.name;
+retrieve (Emp1.name, Emp1.salary, Emp1.dept.name) where Emp1.salary > 100000;
+replace (Dept.budget = 42) where Dept.budget between 0 and 10;
+"#;
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("lang_parse_script", |b| {
+        b.iter(|| black_box(parse_script(SCRIPT).unwrap()))
+    });
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let mut it = Interpreter::new(DbConfig::default());
+    it.run_script(
+        r#"
+        define type DEPT ( name: char[] );
+        define type EMP ( name: char[], salary: int, dept: ref DEPT );
+        create Dept: {own ref DEPT};
+        create Emp1: {own ref EMP};
+        insert Dept (name = "D") as $d;
+        "#,
+    )
+    .unwrap();
+    for i in 0..500 {
+        it.execute(&format!(
+            r#"insert Emp1 (name = "e{i}", salary = {}, dept = $d)"#,
+            1000 + i
+        ))
+        .unwrap();
+    }
+    it.execute("replicate Emp1.dept.name").unwrap();
+    c.bench_function("lang_execute_retrieve", |b| {
+        b.iter(|| {
+            black_box(
+                it.execute("retrieve (Emp1.name, Emp1.dept.name) where Emp1.salary > 1400")
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_execute);
+criterion_main!(benches);

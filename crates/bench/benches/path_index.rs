@@ -1,0 +1,68 @@
+//! Criterion bench: §3.3.4 path-index lookups — one B⁺-tree over
+//! replicated values vs. the Gemstone-style multi-component traversal.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fieldrep_catalog::Strategy;
+use fieldrep_core::{Database, DbConfig};
+use fieldrep_model::{FieldType, TypeDef, Value};
+use fieldrep_pathindex::{GemstonePathIndex, ReplicatedPathIndex};
+
+fn build() -> Database {
+    let mut db = Database::in_memory(DbConfig::default());
+    db.define_type(TypeDef::new("ORG", vec![("name", FieldType::Str)]))
+        .unwrap();
+    db.define_type(TypeDef::new(
+        "DEPT",
+        vec![("name", FieldType::Str), ("org", FieldType::Ref("ORG".into()))],
+    ))
+    .unwrap();
+    db.define_type(TypeDef::new(
+        "EMP",
+        vec![("id", FieldType::Int), ("dept", FieldType::Ref("DEPT".into()))],
+    ))
+    .unwrap();
+    db.create_set("Org", "ORG").unwrap();
+    db.create_set("Dept", "DEPT").unwrap();
+    db.create_set("Emp1", "EMP").unwrap();
+    let orgs: Vec<_> = (0..200)
+        .map(|i| db.insert("Org", vec![Value::Str(format!("org{i:04}"))]).unwrap())
+        .collect();
+    let depts: Vec<_> = (0..1000)
+        .map(|i| {
+            db.insert("Dept", vec![Value::Str(format!("d{i}")), Value::Ref(orgs[i % 200])])
+                .unwrap()
+        })
+        .collect();
+    for i in 0..10_000 {
+        db.insert("Emp1", vec![Value::Int(i as i64), Value::Ref(depts[i % 1000])])
+            .unwrap();
+    }
+    db
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let mut db = build();
+    db.replicate("Emp1.dept.org.name", Strategy::InPlace).unwrap();
+    let rep = ReplicatedPathIndex::build(&mut db, "Emp1.dept.org.name").unwrap();
+    let gem = GemstonePathIndex::build(&mut db, "Emp1.dept.org.name").unwrap();
+
+    let mut i = 0usize;
+    c.bench_function("path_lookup_replicated_index", |b| {
+        b.iter(|| {
+            i = (i + 7) % 200;
+            let v = Value::Str(format!("org{i:04}"));
+            black_box(rep.lookup(&mut db, &v).unwrap())
+        })
+    });
+    let mut i = 0usize;
+    c.bench_function("path_lookup_gemstone_index", |b| {
+        b.iter(|| {
+            i = (i + 7) % 200;
+            let v = Value::Str(format!("org{i:04}"));
+            black_box(gem.lookup(&mut db, &v).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_lookups);
+criterion_main!(benches);

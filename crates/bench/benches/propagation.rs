@@ -1,0 +1,85 @@
+//! Criterion bench: cost of propagating one terminal-field update as the
+//! sharing level grows — the mechanism behind Figure 11's in-place
+//! breakdown (each update fans out to `f` source objects) vs. separate
+//! replication's constant one-replica write.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fieldrep_catalog::Strategy;
+use fieldrep_core::{Database, DbConfig};
+use fieldrep_model::{FieldType, TypeDef, Value};
+use fieldrep_storage::Oid;
+
+/// One dept referenced by `fan_in` employees.
+fn build(fan_in: usize, strategy: Strategy, threshold: usize) -> (Database, Oid) {
+    let mut db = Database::in_memory(DbConfig {
+        pool_pages: 4096,
+        inline_link_threshold: threshold,
+    });
+    db.define_type(TypeDef::new(
+        "DEPT",
+        vec![("name", FieldType::Str), ("pad", FieldType::Pad(100))],
+    ))
+    .unwrap();
+    db.define_type(TypeDef::new(
+        "EMP",
+        vec![("id", FieldType::Int), ("dept", FieldType::Ref("DEPT".into())), ("pad", FieldType::Pad(60))],
+    ))
+    .unwrap();
+    db.create_set("Dept", "DEPT").unwrap();
+    db.create_set("Emp1", "EMP").unwrap();
+    let d = db
+        .insert("Dept", vec![Value::Str("d#0".into()), Value::Unit])
+        .unwrap();
+    for i in 0..fan_in {
+        db.insert("Emp1", vec![Value::Int(i as i64), Value::Ref(d), Value::Unit])
+            .unwrap();
+    }
+    db.replicate("Emp1.dept.name", strategy).unwrap();
+    (db, d)
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("terminal_update_propagation");
+    for fan_in in [1usize, 16, 64, 256] {
+        for (name, strat) in [("inplace", Strategy::InPlace), ("separate", Strategy::Separate)] {
+            let (mut db, d) = build(fan_in, strat, 0);
+            let mut tick = 0u64;
+            group.bench_with_input(
+                BenchmarkId::new(name, fan_in),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        tick += 1;
+                        db.update(d, &[("name", Value::Str(format!("d#{}", tick % 8)))])
+                            .unwrap();
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_inline_threshold(c: &mut Criterion) {
+    // §4.3.1 ablation at fan-in 2: inline vs link-object form.
+    let mut group = c.benchmark_group("propagation_inline_ablation");
+    for (name, threshold) in [("link_objects", 0usize), ("inlined", 4)] {
+        let (mut db, d) = build(2, Strategy::InPlace, threshold);
+        let mut tick = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| {
+                tick += 1;
+                db.update(d, &[("name", Value::Str(format!("d#{}", tick % 8)))])
+                    .unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_propagation, bench_inline_threshold
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion bench: storage-manager substrate operations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fieldrep_storage::{HeapFile, StorageManager};
+
+fn bench_heap(c: &mut Criterion) {
+    c.bench_function("heap_insert_100B", |b| {
+        let mut sm = StorageManager::in_memory(4096);
+        let hf = HeapFile::create(&mut sm).unwrap();
+        let payload = [7u8; 100];
+        b.iter(|| black_box(hf.insert(&mut sm, 1, &payload).unwrap()))
+    });
+
+    c.bench_function("heap_point_read_warm", |b| {
+        let mut sm = StorageManager::in_memory(4096);
+        let hf = HeapFile::create(&mut sm).unwrap();
+        let oids: Vec<_> = (0..10_000)
+            .map(|_| hf.insert(&mut sm, 1, &[3u8; 100]).unwrap())
+            .collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % oids.len();
+            black_box(hf.read(&mut sm, oids[i]).unwrap())
+        })
+    });
+
+    c.bench_function("heap_update_same_size", |b| {
+        let mut sm = StorageManager::in_memory(4096);
+        let hf = HeapFile::create(&mut sm).unwrap();
+        let oids: Vec<_> = (0..10_000)
+            .map(|_| hf.insert(&mut sm, 1, &[3u8; 100]).unwrap())
+            .collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 4391) % oids.len();
+            hf.update(&mut sm, oids[i], &[5u8; 100]).unwrap()
+        })
+    });
+
+    c.bench_function("heap_scan_10k_objects", |b| {
+        let mut sm = StorageManager::in_memory(4096);
+        let hf = HeapFile::create(&mut sm).unwrap();
+        for _ in 0..10_000 {
+            hf.insert(&mut sm, 1, &[3u8; 100]).unwrap();
+        }
+        b.iter(|| {
+            let mut scan = hf.scan(&mut sm).unwrap();
+            let mut n = 0u64;
+            while scan.next_record().unwrap().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_buffer_pool(c: &mut Criterion) {
+    c.bench_function("pool_fetch_hit", |b| {
+        let mut sm = StorageManager::in_memory(64);
+        let f = sm.create_file().unwrap();
+        let (pid, h) = sm.pool().new_page(f).unwrap();
+        drop(h);
+        b.iter(|| black_box(sm.pool().fetch(pid).unwrap()))
+    });
+
+    c.bench_function("pool_fetch_miss_evict", |b| {
+        // Pool of 8 frames cycling over 64 pages: every fetch misses.
+        let mut sm = StorageManager::in_memory(8);
+        let f = sm.create_file().unwrap();
+        let mut pids = vec![];
+        for _ in 0..64 {
+            let (pid, h) = sm.pool().new_page(f).unwrap();
+            drop(h);
+            pids.push(pid);
+        }
+        sm.flush_all().unwrap();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 17) % pids.len();
+            black_box(sm.pool().fetch(pids[i]).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_heap, bench_buffer_pool
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Regenerates **Figure 12**: selected `C_read` / `C_update` values for
+//! unclustered access at (f = 1, f_r = .002) and (f = 20, f_r = .002).
+//!
+//! Run: `cargo run --release -p fieldrep-bench --bin fig12`
+
+use fieldrep_costmodel::{selected_values, IndexSetting, ModelStrategy};
+
+fn name(s: ModelStrategy) -> &'static str {
+    match s {
+        ModelStrategy::None => "no replication",
+        ModelStrategy::InPlace => "in-place replication",
+        ModelStrategy::Separate => "separate replication",
+    }
+}
+
+fn main() {
+    println!("=== Figure 12: Selected Values for C_read and C_update (Unclustered) ===\n");
+    println!("{:<22} | f=1,f_r=.002        | f=20,f_r=.002", "");
+    println!("{:<22} | C_read   C_update   | C_read   C_update", "Strategy");
+    println!("{}", "-".repeat(68));
+    let t1 = selected_values(IndexSetting::Unclustered, 1.0);
+    let t20 = selected_values(IndexSetting::Unclustered, 20.0);
+    for (a, b) in t1.iter().zip(&t20) {
+        println!(
+            "{:<22} | {:>6}   {:>8}   | {:>6}   {:>8}",
+            name(a.strategy), a.c_read, a.c_update, b.c_read, b.c_update
+        );
+    }
+    println!("\nPaper's values:        |     43         22   |    691         22");
+    println!("                       |     23         42   |    407        427");
+    println!("                       |     41         42   |    509         42");
+    println!("\n(The in-place f=1 C_update of 42 assumes the §4.3.1 link-object");
+    println!("elimination; the printed equation alone gives ≈52 — see DESIGN.md.)");
+}

@@ -1,0 +1,66 @@
+//! Trace-driven §6 query mixes, executed literally: for each update
+//! probability, draw a random interleaved read/update trace, run it
+//! against the engine, and report the measured average I/O per query
+//! (the empirical `C_total`) for each strategy.
+//!
+//! Run: `cargo run --release -p fieldrep-bench --bin trace_run [--s N] [--f F] [--q N]`
+
+use fieldrep_bench::trace::run_trace;
+use fieldrep_bench::{build_workload, WorkloadSpec};
+use fieldrep_catalog::Strategy;
+use fieldrep_costmodel::{total_cost, IndexSetting, ModelStrategy};
+
+fn main() {
+    let mut s_count = 2000usize;
+    let mut sharing = 10usize;
+    let mut n_queries = 30usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--s" => s_count = args.next().and_then(|v| v.parse().ok()).expect("--s N"),
+            "--f" => sharing = args.next().and_then(|v| v.parse().ok()).expect("--f F"),
+            "--q" => n_queries = args.next().and_then(|v| v.parse().ok()).expect("--q N"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let setting = IndexSetting::Unclustered;
+
+    println!("=== Trace-driven query mixes: f = {sharing}, |S| = {s_count}, {n_queries} queries per point ===\n");
+    println!(
+        "{:>5} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
+        "P_up", "none", "in-pl", "sep", "none*", "in-pl*", "sep*"
+    );
+    println!("{:>5} | {:^29} | {:^29}", "", "measured C_total", "model C_total (*)");
+
+    // Build each workload once; traces mutate repfield cyclically, which
+    // keeps the database valid across points.
+    let mut workloads: Vec<_> = [None, Some(Strategy::InPlace), Some(Strategy::Separate)]
+        .into_iter()
+        .map(|strat| build_workload(WorkloadSpec::paper(sharing, setting, strat).scaled(s_count)))
+        .collect();
+    let params = workloads[0].spec.params();
+
+    for i in 0..=5 {
+        let p = i as f64 / 5.0;
+        print!("{p:>5.1} |");
+        let mut measured = Vec::new();
+        for w in &mut workloads {
+            let r = run_trace(w, p, n_queries, 0xBEEF + i);
+            measured.push(r.c_total());
+        }
+        for m in &measured {
+            print!(" {m:>9.1}");
+        }
+        print!(" |");
+        for strat in [
+            ModelStrategy::None,
+            ModelStrategy::InPlace,
+            ModelStrategy::Separate,
+        ] {
+            print!(" {:>9.1}", total_cost(&params, strat, setting, p));
+        }
+        println!();
+    }
+    println!("\nMeasured values are averages over randomly interleaved traces; model");
+    println!("values are the paper's equations at the same (scaled) parameters.");
+}

@@ -1,0 +1,341 @@
+//! # fieldrep-bench
+//!
+//! The benchmark harness that regenerates the paper's evaluation.
+//!
+//! * The **analytical side** (Figures 11–14) is pure `fieldrep-costmodel`;
+//!   the binaries `fig11`…`fig14` print the same series/rows the paper
+//!   reports.
+//! * The **empirical side** builds the §6 schema (`R` referencing `S`
+//!   through `sref`, `replicate R.sref.repfield`) at the paper's object
+//!   sizes on the real storage engine, runs the paper's read/update
+//!   queries, and measures actual page I/O with a cold buffer pool —
+//!   `cargo run --release -p fieldrep-bench --bin empirical`.
+//!
+//! This library holds the shared workload builder and measurement
+//! helpers; see `src/bin/` for the per-figure drivers and `benches/` for
+//! the Criterion timing benchmarks.
+
+pub mod trace;
+
+use fieldrep_catalog::{IndexKind, PathId, Strategy};
+use fieldrep_core::{Database, DbConfig};
+use fieldrep_costmodel::{IndexSetting, ModelStrategy, Params};
+use fieldrep_model::{FieldType, TypeDef, Value};
+use fieldrep_query::{Assign, Filter, ReadQuery, UpdateQuery};
+use fieldrep_storage::Oid;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Which replication strategy a workload uses (`None` = the baseline).
+pub type StrategyOpt = Option<Strategy>;
+
+/// Specification of a §6 workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// `|S|` (the paper uses 10 000).
+    pub s_count: usize,
+    /// Sharing level `f` (`|R| = f·|S|`).
+    pub sharing: usize,
+    /// Read selectivity `f_r`.
+    pub read_sel: f64,
+    /// Update selectivity `f_s`.
+    pub update_sel: f64,
+    /// Clustered or unclustered indexes (§6.4's two settings).
+    pub setting: IndexSetting,
+    /// Replication strategy (`None` = no replication).
+    pub strategy: StrategyOpt,
+    /// §4.3.1 inline-link threshold (0 ⇒ always materialise link
+    /// objects, which matches the cost model's link file).
+    pub inline_threshold: usize,
+    /// Buffer-pool pages.
+    pub pool_pages: usize,
+    /// RNG seed for the unclustered shuffles.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's defaults at a given sharing level and strategy.
+    pub fn paper(sharing: usize, setting: IndexSetting, strategy: StrategyOpt) -> WorkloadSpec {
+        WorkloadSpec {
+            s_count: 10_000,
+            sharing,
+            read_sel: 0.001,
+            update_sel: 0.001,
+            setting,
+            strategy,
+            inline_threshold: 0,
+            pool_pages: 8192,
+            seed: 0xF1E1D5EED,
+        }
+    }
+
+    /// A scaled-down copy (for Criterion timing benches).
+    pub fn scaled(mut self, s_count: usize) -> WorkloadSpec {
+        self.s_count = s_count;
+        self
+    }
+
+    /// `|R|`.
+    pub fn r_count(&self) -> usize {
+        self.s_count * self.sharing
+    }
+
+    /// The matching analytical parameter set.
+    pub fn params(&self) -> Params {
+        Params {
+            s_count: self.s_count as f64,
+            sharing: self.sharing as f64,
+            read_sel: self.read_sel,
+            update_sel: self.update_sel,
+            ..Params::default()
+        }
+    }
+
+    /// The matching analytical strategy.
+    pub fn model_strategy(&self) -> ModelStrategy {
+        match self.strategy {
+            None => ModelStrategy::None,
+            Some(Strategy::InPlace) => ModelStrategy::InPlace,
+            Some(Strategy::Separate) => ModelStrategy::Separate,
+        }
+    }
+}
+
+/// A built workload: the populated database plus bookkeeping.
+pub struct Workload {
+    /// The database.
+    pub db: Database,
+    /// The spec it was built from.
+    pub spec: WorkloadSpec,
+    /// The replication path, if any.
+    pub path: Option<PathId>,
+    /// S members in physical order.
+    pub s_oids: Vec<Oid>,
+    /// R members in physical order.
+    pub r_oids: Vec<Oid>,
+}
+
+/// Build the §6 schema and population:
+///
+/// ```text
+/// define type STYPE ( repfield: char[], field_s: int, pad )   // s = 200
+/// define type RTYPE ( sref: ref STYPE, field_r: int, pad )    // r = 100
+/// create S; create R; replicate R.sref.repfield
+/// ```
+///
+/// * Unclustered setting: `field_r`/`field_s` are random permutations of
+///   `0..N`, and `sref` assignments are a balanced shuffle (every S
+///   object referenced by exactly `f` R objects, in random positions) —
+///   the paper's "R and S are relatively unclustered".
+/// * Clustered setting: key order equals physical order.
+pub fn build_workload(spec: WorkloadSpec) -> Workload {
+    let mut db = Database::in_memory(DbConfig {
+        pool_pages: spec.pool_pages,
+        inline_link_threshold: spec.inline_threshold,
+    });
+
+    // Pad sizes make encoded payloads exactly r = 100 / s = 200 before
+    // replication:
+    //   STYPE: str(2+18) + int(8) + pad(171) + annotation count(1) = 200
+    //   RTYPE: ref(8) + int(8) + pad(83) + 1 = 100
+    db.define_type(TypeDef::new(
+        "STYPE",
+        vec![
+            ("repfield", FieldType::Str),
+            ("field_s", FieldType::Int),
+            ("pad", FieldType::Pad(171)),
+        ],
+    ))
+    .unwrap();
+    db.define_type(TypeDef::new(
+        "RTYPE",
+        vec![
+            ("sref", FieldType::Ref("STYPE".into())),
+            ("field_r", FieldType::Int),
+            ("pad", FieldType::Pad(83)),
+        ],
+    ))
+    .unwrap();
+    db.create_set("S", "STYPE").unwrap();
+    db.create_set("R", "RTYPE").unwrap();
+
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let n_s = spec.s_count;
+    let n_r = spec.r_count();
+
+    // Key assignments.
+    let mut s_keys: Vec<i64> = (0..n_s as i64).collect();
+    let mut r_keys: Vec<i64> = (0..n_r as i64).collect();
+    if spec.setting == IndexSetting::Unclustered {
+        s_keys.shuffle(&mut rng);
+        r_keys.shuffle(&mut rng);
+    }
+
+    // Balanced random sharing: every S object is referenced exactly f
+    // times, from random R positions.
+    let mut assignment: Vec<usize> = (0..n_r).map(|i| i % n_s).collect();
+    assignment.shuffle(&mut rng);
+
+    let mut s_oids = Vec::with_capacity(n_s);
+    for (i, &key) in s_keys.iter().enumerate() {
+        let rep = format!("rep{i:013}#0"); // 16 chars + "#0" = 18
+        debug_assert_eq!(rep.len(), 18);
+        let oid = db
+            .insert("S", vec![Value::Str(rep), Value::Int(key), Value::Unit])
+            .unwrap();
+        s_oids.push(oid);
+    }
+    let mut r_oids = Vec::with_capacity(n_r);
+    for (i, &key) in r_keys.iter().enumerate() {
+        let oid = db
+            .insert(
+                "R",
+                vec![
+                    Value::Ref(s_oids[assignment[i]]),
+                    Value::Int(key),
+                    Value::Unit,
+                ],
+            )
+            .unwrap();
+        r_oids.push(oid);
+    }
+
+    // Indexes on the selection fields (bulk-built).
+    let kind = match spec.setting {
+        IndexSetting::Unclustered => IndexKind::Unclustered,
+        IndexSetting::Clustered => IndexKind::Clustered,
+    };
+    db.create_index("R.field_r", kind).unwrap();
+    db.create_index("S.field_s", kind).unwrap();
+
+    // Replication.
+    let path = spec
+        .strategy
+        .map(|s| db.replicate("R.sref.repfield", s).unwrap());
+
+    db.flush_all().unwrap();
+    db.reset_io();
+    Workload {
+        db,
+        spec,
+        path,
+        s_oids,
+        r_oids,
+    }
+}
+
+/// Run one §6 read query over keys `[lo, lo + f_r·|R|)` and return the
+/// measured total page I/O (reads + writes, cold pool, output file
+/// generated with `t = 100`).
+pub fn measure_read_query(w: &mut Workload, lo: i64) -> u64 {
+    let count = (w.spec.read_sel * w.spec.r_count() as f64).round() as i64;
+    let q = ReadQuery::on("R")
+        .filter(Filter::Range {
+            path: "field_r".into(),
+            lo: Value::Int(lo),
+            hi: Value::Int(lo + count - 1),
+        })
+        .project(["field_r", "sref.repfield"])
+        .spool(100);
+    w.db.flush_all().unwrap();
+    w.db.reset_io();
+    let res = q.run(&mut w.db).expect("read query");
+    assert_eq!(res.rows.len(), count as usize, "selectivity honoured");
+    w.db.flush_all().unwrap();
+    let io = w.db.io_profile().total_io();
+    if let Some(f) = res.output_file {
+        w.db.sm().drop_file(f).unwrap();
+    }
+    io
+}
+
+/// Run one §6 update query over keys `[lo, lo + f_s·|S|)` — it rewrites
+/// `repfield`, the replicated field — and return the measured total page
+/// I/O (cold pool, dirty pages flushed and counted).
+pub fn measure_update_query(w: &mut Workload, lo: i64) -> u64 {
+    let count = (w.spec.update_sel * w.spec.s_count as f64).round() as i64;
+    let q = UpdateQuery::on("S")
+        .filter(Filter::Range {
+            path: "field_s".into(),
+            lo: Value::Int(lo),
+            hi: Value::Int(lo + count - 1),
+        })
+        .assign("repfield", Assign::CycleStr(8));
+    w.db.flush_all().unwrap();
+    w.db.reset_io();
+    let res = q.run(&mut w.db).expect("update query");
+    assert_eq!(res.updated, count as usize, "selectivity honoured");
+    w.db.flush_all().unwrap();
+    w.db.io_profile().total_io()
+}
+
+/// Average measured I/O of `n` read queries at distinct offsets.
+pub fn avg_read_io(w: &mut Workload, n: usize) -> f64 {
+    let count = (w.spec.read_sel * w.spec.r_count() as f64).round() as i64;
+    let max_lo = (w.spec.r_count() as i64 - count).max(1);
+    (0..n)
+        .map(|i| {
+            let lo = (i as i64 * 7919) % max_lo;
+            measure_read_query(w, lo) as f64
+        })
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Average measured I/O of `n` update queries at distinct offsets.
+pub fn avg_update_io(w: &mut Workload, n: usize) -> f64 {
+    let count = (w.spec.update_sel * w.spec.s_count as f64).round() as i64;
+    let max_lo = (w.spec.s_count as i64 - count).max(1);
+    (0..n)
+        .map(|i| {
+            let lo = (i as i64 * 6389) % max_lo;
+            measure_update_query(w, lo) as f64
+        })
+        .sum::<f64>()
+        / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_object_sizes_match_paper() {
+        let spec = WorkloadSpec::paper(1, IndexSetting::Unclustered, None).scaled(200);
+        let mut w = build_workload(spec);
+        // r = 100 → 33 objects/page → 200 objects on ⌈200/33⌉ = 7 pages.
+        let rfile = w.db.catalog().set(w.db.catalog().set_id("R").unwrap()).file;
+        assert_eq!(w.db.sm().page_count(rfile).unwrap(), 7);
+        // s = 200 → 18 objects/page → ⌈200/18⌉ = 12 pages.
+        let sfile = w.db.catalog().set(w.db.catalog().set_id("S").unwrap()).file;
+        assert_eq!(w.db.sm().page_count(sfile).unwrap(), 12);
+    }
+
+    #[test]
+    fn queries_execute_and_measure() {
+        for strategy in [None, Some(Strategy::InPlace), Some(Strategy::Separate)] {
+            let spec = WorkloadSpec::paper(2, IndexSetting::Unclustered, strategy).scaled(500);
+            let mut w = build_workload(spec);
+            let r = measure_read_query(&mut w, 0);
+            let u = measure_update_query(&mut w, 0);
+            assert!(r > 0 && u > 0, "{strategy:?}: read={r} update={u}");
+        }
+    }
+
+    #[test]
+    fn replication_reduces_read_io() {
+        let mut base =
+            build_workload(WorkloadSpec::paper(4, IndexSetting::Unclustered, None).scaled(1000));
+        let mut inp = build_workload(
+            WorkloadSpec::paper(4, IndexSetting::Unclustered, Some(Strategy::InPlace))
+                .scaled(1000),
+        );
+        let io_base = avg_read_io(&mut base, 3);
+        let io_inp = avg_read_io(&mut inp, 3);
+        assert!(
+            io_inp < io_base,
+            "in-place read I/O {io_inp} should beat baseline {io_base}"
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Order-preserving key encodings.
+//!
+//! The tree compares keys as raw byte strings, so every value that goes
+//! into an index must be encoded such that bytewise lexicographic order
+//! equals value order, and such that no encoded key is a strict prefix of
+//! another (prefix-freedom keeps composite keys — user key followed by an
+//! OID suffix — ordered correctly).
+//!
+//! * Integers: big-endian with the sign bit flipped (fixed width, trivially
+//!   prefix-free against themselves).
+//! * Floats: IEEE total-order trick (sign-dependent bit flip).
+//! * Strings/bytes: `0x00` escaped as `0x00 0xFF`, terminated by
+//!   `0x00 0x00` — prefix-free and order-preserving.
+
+/// Encode a signed 64-bit integer.
+pub fn encode_i64(v: i64) -> [u8; 8] {
+    ((v as u64) ^ (1u64 << 63)).to_be_bytes()
+}
+
+/// Decode a value produced by [`encode_i64`].
+pub fn decode_i64(b: &[u8]) -> i64 {
+    let raw = u64::from_be_bytes(b[..8].try_into().expect("8-byte key"));
+    (raw ^ (1u64 << 63)) as i64
+}
+
+/// Encode an `f64` so that bytewise order equals numeric order (NaNs sort
+/// above +inf; -0.0 and +0.0 compare equal-adjacent).
+pub fn encode_f64(v: f64) -> [u8; 8] {
+    let bits = v.to_bits();
+    let flipped = if bits & (1 << 63) != 0 {
+        !bits
+    } else {
+        bits ^ (1 << 63)
+    };
+    flipped.to_be_bytes()
+}
+
+/// Decode a value produced by [`encode_f64`].
+pub fn decode_f64(b: &[u8]) -> f64 {
+    let raw = u64::from_be_bytes(b[..8].try_into().expect("8-byte key"));
+    let bits = if raw & (1 << 63) != 0 {
+        raw ^ (1 << 63)
+    } else {
+        !raw
+    };
+    f64::from_bits(bits)
+}
+
+/// Encode a byte string (or UTF-8 string) into a prefix-free,
+/// order-preserving form.
+pub fn encode_bytes(v: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() + 2);
+    for &b in v {
+        if b == 0 {
+            out.push(0);
+            out.push(0xFF);
+        } else {
+            out.push(b);
+        }
+    }
+    out.push(0);
+    out.push(0);
+    out
+}
+
+/// Decode a value produced by [`encode_bytes`]. Returns the decoded bytes
+/// and the number of encoded bytes consumed.
+pub fn decode_bytes(b: &[u8]) -> (Vec<u8>, usize) {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < b.len() {
+        if b[i] == 0 {
+            if b[i + 1] == 0 {
+                return (out, i + 2);
+            }
+            debug_assert_eq!(b[i + 1], 0xFF, "bad escape");
+            out.push(0);
+            i += 2;
+        } else {
+            out.push(b[i]);
+            i += 1;
+        }
+    }
+    panic!("unterminated encoded byte string");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i64_order_and_roundtrip() {
+        let vals = [i64::MIN, -100_000, -1, 0, 1, 42, 100_000, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(encode_i64(w[0]) < encode_i64(w[1]), "{} < {}", w[0], w[1]);
+        }
+        for v in vals {
+            assert_eq!(decode_i64(&encode_i64(v)), v);
+        }
+    }
+
+    #[test]
+    fn f64_order_and_roundtrip() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.5,
+            -0.0,
+            0.0,
+            1e-300,
+            2.5,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(
+                encode_f64(w[0]) <= encode_f64(w[1]),
+                "{} <= {}",
+                w[0],
+                w[1]
+            );
+        }
+        for v in vals {
+            let back = decode_f64(&encode_f64(v));
+            assert!(back == v || (back == 0.0 && v == 0.0));
+        }
+    }
+
+    #[test]
+    fn bytes_order_prefix_free() {
+        let a = encode_bytes(b"ab");
+        let b = encode_bytes(b"abc");
+        let c = encode_bytes(b"b");
+        assert!(a < b && b < c);
+        // Prefix-freedom: `a` must not be a prefix of `b`.
+        assert!(!b.starts_with(&a));
+        // Embedded NULs survive.
+        let z = encode_bytes(b"a\0b");
+        let (back, used) = decode_bytes(&z);
+        assert_eq!(back, b"a\0b");
+        assert_eq!(used, z.len());
+        // "a\0b" sorts after "a" and before "ab".
+        let just_a = encode_bytes(b"a");
+        let ab = encode_bytes(b"ab");
+        assert!(just_a < z && z < ab);
+    }
+
+    #[test]
+    fn bytes_roundtrip_with_suffix() {
+        let enc = encode_bytes(b"key");
+        let mut composite = enc.clone();
+        composite.extend_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let (back, used) = decode_bytes(&composite);
+        assert_eq!(back, b"key");
+        assert_eq!(&composite[used..], &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+}

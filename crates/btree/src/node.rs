@@ -1,0 +1,277 @@
+//! On-page B⁺-tree node format.
+//!
+//! Nodes are parsed into an owned [`Node`] structure, mutated, and
+//! serialized back. A node page reuses the common 40-byte page header (the
+//! page kind distinguishes internal from leaf; the header's next-page field
+//! chains leaves left-to-right), followed by:
+//!
+//! ```text
+//! offset 40: entry count (u16)
+//! offset 42: entries, each  [klen u16 | key bytes | payload]
+//! ```
+//!
+//! * Internal payload: a 4-byte child page number. Entry keys are the
+//!   minimum key of the child's subtree ("min-key" routing), so entry `i`
+//!   routes all search keys in `[key_i, key_{i+1})`.
+//! * Leaf payload: an 8-byte [`Oid`].
+//!
+//! All keys in a tree are unique because the index layer appends the OID
+//! to the user key; duplicates of a user key therefore order by OID.
+
+use fieldrep_storage::{Oid, PageKind, PageMut, PageView, PAGE_SIZE};
+
+/// Byte offset of the entry count within a node page.
+const OFF_COUNT: usize = 40;
+/// Byte offset where entries begin.
+const OFF_ENTRIES: usize = 42;
+/// Maximum total bytes of serialized entries per node.
+pub const NODE_CAPACITY: usize = PAGE_SIZE - OFF_ENTRIES;
+
+/// Payload carried by a node entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Payload {
+    /// Child page number (internal nodes).
+    Child(u32),
+    /// Record OID (leaf nodes).
+    Rid(Oid),
+}
+
+impl Payload {
+    fn len(&self) -> usize {
+        match self {
+            Payload::Child(_) => 4,
+            Payload::Rid(_) => 8,
+        }
+    }
+}
+
+/// Serialized size of one entry.
+pub fn entry_size(key: &[u8], payload: &Payload) -> usize {
+    2 + key.len() + payload.len()
+}
+
+/// An owned, parsed B⁺-tree node.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// True for leaves, false for internal nodes.
+    pub is_leaf: bool,
+    /// Sorted entries.
+    pub entries: Vec<(Vec<u8>, Payload)>,
+    /// Next leaf (leaves only).
+    pub next_leaf: Option<u32>,
+}
+
+impl Node {
+    /// A fresh empty node.
+    pub fn new(is_leaf: bool) -> Node {
+        Node {
+            is_leaf,
+            entries: Vec::new(),
+            next_leaf: None,
+        }
+    }
+
+    /// Total serialized size of the entries.
+    pub fn used_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(k, p)| entry_size(k, p))
+            .sum()
+    }
+
+    /// Whether an extra entry of the given size still fits.
+    pub fn fits(&self, extra: usize) -> bool {
+        self.used_bytes() + extra <= NODE_CAPACITY
+    }
+
+    /// Parse a node from a page buffer.
+    pub fn parse(data: &[u8]) -> Node {
+        let view = PageView::new(data);
+        let kind = view.kind().expect("btree page kind");
+        let is_leaf = match kind {
+            PageKind::BTreeLeaf => true,
+            PageKind::BTreeInternal => false,
+            other => panic!("not a btree page: {other:?}"),
+        };
+        let count = u16::from_le_bytes([data[OFF_COUNT], data[OFF_COUNT + 1]]) as usize;
+        let mut entries = Vec::with_capacity(count);
+        let mut off = OFF_ENTRIES;
+        for _ in 0..count {
+            let klen = u16::from_le_bytes([data[off], data[off + 1]]) as usize;
+            off += 2;
+            let key = data[off..off + klen].to_vec();
+            off += klen;
+            let payload = if is_leaf {
+                let oid = Oid::from_bytes(&data[off..off + 8]);
+                off += 8;
+                Payload::Rid(oid)
+            } else {
+                let child =
+                    u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]]);
+                off += 4;
+                Payload::Child(child)
+            };
+            entries.push((key, payload));
+        }
+        Node {
+            is_leaf,
+            entries,
+            next_leaf: view.next_page(),
+        }
+    }
+
+    /// Serialize the node into a page buffer (formats the page).
+    pub fn serialize(&self, data: &mut [u8]) {
+        debug_assert!(self.used_bytes() <= NODE_CAPACITY, "node overflow");
+        let mut pg = PageMut::new(data);
+        pg.init(if self.is_leaf {
+            PageKind::BTreeLeaf
+        } else {
+            PageKind::BTreeInternal
+        });
+        pg.set_next_page(self.next_leaf);
+        data[OFF_COUNT..OFF_COUNT + 2]
+            .copy_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        let mut off = OFF_ENTRIES;
+        for (key, payload) in &self.entries {
+            data[off..off + 2].copy_from_slice(&(key.len() as u16).to_le_bytes());
+            off += 2;
+            data[off..off + key.len()].copy_from_slice(key);
+            off += key.len();
+            match payload {
+                Payload::Rid(oid) => {
+                    data[off..off + 8].copy_from_slice(&oid.to_bytes());
+                    off += 8;
+                }
+                Payload::Child(c) => {
+                    data[off..off + 4].copy_from_slice(&c.to_le_bytes());
+                    off += 4;
+                }
+            }
+        }
+    }
+
+    /// Index of the first entry with key ≥ `key` (binary search).
+    pub fn lower_bound(&self, key: &[u8]) -> usize {
+        self.entries.partition_point(|(k, _)| k.as_slice() < key)
+    }
+
+    /// For internal nodes: the child to descend into for `key` — the last
+    /// entry whose key is ≤ `key`, or the first entry if `key` precedes all
+    /// (min-keys may be stale-low after deletions, which is harmless).
+    pub fn route(&self, key: &[u8]) -> (usize, u32) {
+        debug_assert!(!self.is_leaf);
+        debug_assert!(!self.entries.is_empty());
+        let idx = self
+            .entries
+            .partition_point(|(k, _)| k.as_slice() <= key)
+            .saturating_sub(1);
+        match self.entries[idx].1 {
+            Payload::Child(c) => (idx, c),
+            Payload::Rid(_) => unreachable!("internal node holds child payloads"),
+        }
+    }
+
+    /// Split roughly in half by bytes; returns the new right sibling.
+    /// `self` keeps the left half.
+    pub fn split(&mut self) -> Node {
+        let total = self.used_bytes();
+        let mut acc = 0;
+        let mut cut = self.entries.len();
+        for (i, (k, p)) in self.entries.iter().enumerate() {
+            acc += entry_size(k, p);
+            if acc >= total / 2 {
+                cut = i + 1;
+                break;
+            }
+        }
+        // Keep at least one entry on each side.
+        let cut = cut.clamp(1, self.entries.len() - 1);
+        let right_entries = self.entries.split_off(cut);
+        Node {
+            is_leaf: self.is_leaf,
+            entries: right_entries,
+            next_leaf: self.next_leaf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fieldrep_storage::FileId;
+
+    fn oid(n: u32) -> Oid {
+        Oid::new(FileId(1), n, 0)
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let mut n = Node::new(true);
+        n.entries.push((b"alpha".to_vec(), Payload::Rid(oid(1))));
+        n.entries.push((b"beta".to_vec(), Payload::Rid(oid(2))));
+        n.next_leaf = Some(7);
+        let mut page = vec![0u8; PAGE_SIZE];
+        n.serialize(&mut page);
+        let back = Node::parse(&page);
+        assert!(back.is_leaf);
+        assert_eq!(back.entries, n.entries);
+        assert_eq!(back.next_leaf, Some(7));
+    }
+
+    #[test]
+    fn internal_roundtrip_and_route() {
+        let mut n = Node::new(false);
+        n.entries.push((b"".to_vec(), Payload::Child(10)));
+        n.entries.push((b"m".to_vec(), Payload::Child(20)));
+        n.entries.push((b"t".to_vec(), Payload::Child(30)));
+        let mut page = vec![0u8; PAGE_SIZE];
+        n.serialize(&mut page);
+        let back = Node::parse(&page);
+        assert!(!back.is_leaf);
+        assert_eq!(back.route(b"a").1, 10);
+        assert_eq!(back.route(b"m").1, 20);
+        assert_eq!(back.route(b"n").1, 20);
+        assert_eq!(back.route(b"z").1, 30);
+        // Keys preceding the first entry still route to the first child.
+        let mut n2 = Node::new(false);
+        n2.entries.push((b"g".to_vec(), Payload::Child(5)));
+        assert_eq!(n2.route(b"a").1, 5);
+    }
+
+    #[test]
+    fn split_halves_by_bytes() {
+        let mut n = Node::new(true);
+        for i in 0..100u32 {
+            n.entries
+                .push((format!("key{i:04}").into_bytes(), Payload::Rid(oid(i))));
+        }
+        n.next_leaf = Some(99);
+        let right = n.split();
+        assert!(!n.entries.is_empty() && !right.entries.is_empty());
+        assert_eq!(n.entries.len() + right.entries.len(), 100);
+        assert!(n.entries.last().unwrap().0 < right.entries[0].0);
+        // Left kept ~half the bytes.
+        let l = n.used_bytes() as f64;
+        let r = right.used_bytes() as f64;
+        assert!((l / (l + r) - 0.5).abs() < 0.1);
+        // Right inherits the next pointer.
+        assert_eq!(right.next_leaf, Some(99));
+    }
+
+    #[test]
+    fn capacity_check() {
+        let mut n = Node::new(true);
+        let key = vec![7u8; 30];
+        let e = entry_size(&key, &Payload::Rid(oid(0)));
+        let mut added = 0;
+        while n.fits(e) {
+            n.entries.push((key.clone(), Payload::Rid(oid(added))));
+            added += 1;
+        }
+        assert_eq!(added as usize, NODE_CAPACITY / e);
+        let mut page = vec![0u8; PAGE_SIZE];
+        n.serialize(&mut page); // must not panic
+        assert_eq!(Node::parse(&page).entries.len(), added as usize);
+    }
+}

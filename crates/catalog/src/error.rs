@@ -1,0 +1,91 @@
+//! Catalog-level errors.
+
+use fieldrep_model::ModelError;
+use fieldrep_storage::StorageError;
+use std::fmt;
+
+/// Result alias for catalog operations.
+pub type Result<T> = std::result::Result<T, CatalogError>;
+
+/// Errors from schema definition and resolution.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// Underlying data-model error (bad path syntax, bad value, …).
+    Model(ModelError),
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// A type name was not found.
+    UnknownType(String),
+    /// A set name was not found.
+    UnknownSet(String),
+    /// A field name was not found on a type.
+    UnknownField {
+        /// The type searched.
+        type_name: String,
+        /// The missing field.
+        field: String,
+    },
+    /// A path segment that must be a reference attribute is not one.
+    NotARef {
+        /// The type searched.
+        type_name: String,
+        /// The offending field.
+        field: String,
+    },
+    /// A name is already in use.
+    Duplicate(String),
+    /// Replication was requested on a path with no reference attribute
+    /// (nothing to replicate across).
+    NotAReferencePath(String),
+    /// The 8-bit link-ID space is exhausted (the paper sizes link IDs at
+    /// one byte, §4.2; reuse of freed IDs is supported but 255 live links
+    /// is the cap).
+    LinkIdsExhausted,
+    /// Semantic misuse detected at schema level.
+    Invalid(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::Model(e) => write!(f, "model error: {e}"),
+            CatalogError::Storage(e) => write!(f, "storage error: {e}"),
+            CatalogError::UnknownType(n) => write!(f, "unknown type {n:?}"),
+            CatalogError::UnknownSet(n) => write!(f, "unknown set {n:?}"),
+            CatalogError::UnknownField { type_name, field } => {
+                write!(f, "type {type_name:?} has no field {field:?}")
+            }
+            CatalogError::NotARef { type_name, field } => {
+                write!(f, "field {type_name}.{field} is not a reference attribute")
+            }
+            CatalogError::Duplicate(n) => write!(f, "name {n:?} already defined"),
+            CatalogError::NotAReferencePath(p) => {
+                write!(f, "path {p:?} contains no reference attribute to replicate across")
+            }
+            CatalogError::LinkIdsExhausted => write!(f, "no free link IDs (max 255 live links)"),
+            CatalogError::Invalid(m) => write!(f, "invalid schema operation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CatalogError::Model(e) => Some(e),
+            CatalogError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CatalogError {
+    fn from(e: ModelError) -> Self {
+        CatalogError::Model(e)
+    }
+}
+
+impl From<StorageError> for CatalogError {
+    fn from(e: StorageError) -> Self {
+        CatalogError::Storage(e)
+    }
+}

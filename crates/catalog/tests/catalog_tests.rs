@@ -1,0 +1,348 @@
+//! Catalog behaviour tests, including the paper's §4.1.4 link-sequence
+//! example verified literally.
+
+use fieldrep_catalog::{
+    Catalog, CatalogError, DeclaredReplication, IndexKind, IndexTarget, LinkId, PathId, Strategy,
+};
+use fieldrep_model::{FieldType, PathExpr, TypeDef};
+use fieldrep_storage::StorageManager;
+
+fn employee_catalog(sm: &mut StorageManager) -> Catalog {
+    let mut c = Catalog::new();
+    c.define_type(TypeDef::new(
+        "ORG",
+        vec![("name", FieldType::Str), ("budget", FieldType::Int)],
+    ))
+    .unwrap();
+    c.define_type(TypeDef::new(
+        "DEPT",
+        vec![
+            ("name", FieldType::Str),
+            ("budget", FieldType::Int),
+            ("org", FieldType::Ref("ORG".into())),
+        ],
+    ))
+    .unwrap();
+    c.define_type(TypeDef::new(
+        "EMP",
+        vec![
+            ("name", FieldType::Str),
+            ("age", FieldType::Int),
+            ("salary", FieldType::Int),
+            ("dept", FieldType::Ref("DEPT".into())),
+        ],
+    ))
+    .unwrap();
+    for (set, ty) in [
+        ("Org", "ORG"),
+        ("Dept", "DEPT"),
+        ("Emp1", "EMP"),
+        ("Emp2", "EMP"),
+    ] {
+        let f = sm.create_file().unwrap();
+        c.create_set(set, ty, f).unwrap();
+    }
+    c
+}
+
+#[test]
+fn type_definition_rules() {
+    let mut c = Catalog::new();
+    let bad = TypeDef::new("E", vec![("d", FieldType::Ref("DEPT".into()))]);
+    assert!(matches!(
+        c.define_type(bad),
+        Err(CatalogError::UnknownType(_))
+    ));
+    let node = TypeDef::new("NODE", vec![("next", FieldType::Ref("NODE".into()))]);
+    c.define_type(node).unwrap();
+    let dup = TypeDef::new("NODE", vec![("x", FieldType::Int)]);
+    assert!(matches!(c.define_type(dup), Err(CatalogError::Duplicate(_))));
+}
+
+#[test]
+fn resolve_paths() {
+    let mut sm = StorageManager::in_memory(8);
+    let c = employee_catalog(&mut sm);
+
+    let p = c.resolve_path_str("Emp1.dept.name").unwrap();
+    assert_eq!(p.hops, vec![3]); // EMP.dept is field 3
+    assert_eq!(p.terminal_fields, vec![0]); // DEPT.name
+    assert_eq!(p.node_types.len(), 2);
+    assert!(!p.is_all);
+
+    let p = c.resolve_path_str("Emp1.dept.org.name").unwrap();
+    assert_eq!(p.hops, vec![3, 2]);
+    assert_eq!(p.terminal_fields, vec![0]);
+
+    // Collapse path: terminal is itself a ref field.
+    let p = c.resolve_path_str("Emp1.dept.org").unwrap();
+    assert_eq!(p.hops, vec![3]);
+    assert_eq!(p.terminal_fields, vec![2]); // DEPT.org
+
+    // Full object replication.
+    let p = c.resolve_path_str("Emp1.dept.all").unwrap();
+    assert!(p.is_all);
+    assert_eq!(p.terminal_fields, vec![0, 1, 2]);
+
+    // Plain field (no hops) resolves, for query projections.
+    let p = c.resolve_path_str("Emp1.salary").unwrap();
+    assert!(p.hops.is_empty());
+    assert_eq!(p.terminal_fields, vec![2]);
+
+    assert!(matches!(
+        c.resolve_path_str("Nope.dept.name"),
+        Err(CatalogError::UnknownSet(_))
+    ));
+    assert!(matches!(
+        c.resolve_path_str("Emp1.bogus.name"),
+        Err(CatalogError::UnknownField { .. })
+    ));
+    assert!(matches!(
+        c.resolve_path_str("Emp1.salary.name"),
+        Err(CatalogError::NotARef { .. })
+    ));
+}
+
+#[test]
+fn link_sharing_follows_section_4_1_4() {
+    // The paper's example:
+    //   replicate Emp1.dept.budget    link sequence = (1)
+    //   replicate Emp1.dept.name      link sequence = (1)
+    //   replicate Emp1.dept.org.name  link sequence = (1,2)
+    //   replicate Emp2.dept.org       link sequence = (3)
+    let mut sm = StorageManager::in_memory(8);
+    let mut c = employee_catalog(&mut sm);
+
+    let dec = |c: &mut Catalog, sm: &mut StorageManager, s: &str| {
+        c.declare_replication(&PathExpr::parse(s).unwrap(), Strategy::InPlace, sm)
+            .unwrap()
+    };
+    let p1 = dec(&mut c, &mut sm, "Emp1.dept.budget");
+    let p2 = dec(&mut c, &mut sm, "Emp1.dept.name");
+    let p3 = dec(&mut c, &mut sm, "Emp1.dept.org.name");
+    let p4 = dec(&mut c, &mut sm, "Emp2.dept.org");
+
+    let l = |p: DeclaredReplication| c.path(p.path).links.clone();
+    assert_eq!(l(p1), vec![LinkId(1)]);
+    assert_eq!(l(p2), vec![LinkId(1)]);
+    assert_eq!(l(p3), vec![LinkId(1), LinkId(2)]);
+    assert_eq!(l(p4), vec![LinkId(3)]);
+    assert_eq!(c.link(LinkId(1)).refcount, 3);
+    assert_eq!(c.link(LinkId(1)).level, 0);
+    assert_eq!(c.link(LinkId(2)).level, 1);
+    // Link files are distinct.
+    assert_ne!(c.link(LinkId(1)).file, c.link(LinkId(2)).file);
+}
+
+#[test]
+fn separate_groups_share_replica_objects() {
+    // §5 Figure 7: Emp1.dept.name and Emp1.dept.budget store their
+    // replicated values together in one object per department.
+    let mut sm = StorageManager::in_memory(8);
+    let mut c = employee_catalog(&mut sm);
+    let a = c
+        .declare_replication(
+            &PathExpr::parse("Emp1.dept.name").unwrap(),
+            Strategy::Separate,
+            &mut sm,
+        )
+        .unwrap();
+    assert!(!a.group_extended);
+    let b = c
+        .declare_replication(
+            &PathExpr::parse("Emp1.dept.budget").unwrap(),
+            Strategy::Separate,
+            &mut sm,
+        )
+        .unwrap();
+    assert_eq!(a.group, b.group);
+    assert!(b.group_extended);
+    let g = c.group(a.group.unwrap());
+    assert_eq!(g.fields, vec![0, 1]);
+    assert_eq!(g.paths.len(), 2);
+
+    // 1-level separate paths need no links (§5.2).
+    assert!(c.path(a.path).links.is_empty());
+
+    // Different source set → different group (§5: "replicated values are
+    // not shared between sets").
+    let e2 = c
+        .declare_replication(
+            &PathExpr::parse("Emp2.dept.name").unwrap(),
+            Strategy::Separate,
+            &mut sm,
+        )
+        .unwrap();
+    assert_ne!(e2.group, a.group);
+}
+
+#[test]
+fn separate_two_level_has_one_link() {
+    let mut sm = StorageManager::in_memory(8);
+    let mut c = employee_catalog(&mut sm);
+    let d = c
+        .declare_replication(
+            &PathExpr::parse("Emp1.dept.org.name").unwrap(),
+            Strategy::Separate,
+            &mut sm,
+        )
+        .unwrap();
+    // 2-level path, (n−1) = 1 link: Emp1.dept⁻¹ only.
+    assert_eq!(c.path(d.path).links.len(), 1);
+    assert_eq!(c.link(c.path(d.path).links[0]).level, 0);
+}
+
+#[test]
+fn inplace_and_separate_share_links() {
+    // §5.3: "links can even be shared by the two strategies".
+    let mut sm = StorageManager::in_memory(8);
+    let mut c = employee_catalog(&mut sm);
+    let a = c
+        .declare_replication(
+            &PathExpr::parse("Emp1.dept.name").unwrap(),
+            Strategy::InPlace,
+            &mut sm,
+        )
+        .unwrap();
+    let b = c
+        .declare_replication(
+            &PathExpr::parse("Emp1.dept.org.name").unwrap(),
+            Strategy::Separate,
+            &mut sm,
+        )
+        .unwrap();
+    assert_eq!(c.path(a.path).links[0], c.path(b.path).links[0]);
+}
+
+#[test]
+fn replication_requires_a_ref() {
+    let mut sm = StorageManager::in_memory(8);
+    let mut c = employee_catalog(&mut sm);
+    let r = c.declare_replication(
+        &PathExpr::parse("Emp1.salary").unwrap(),
+        Strategy::InPlace,
+        &mut sm,
+    );
+    assert!(matches!(r, Err(CatalogError::NotAReferencePath(_))));
+}
+
+#[test]
+fn duplicate_replication_rejected() {
+    let mut sm = StorageManager::in_memory(8);
+    let mut c = employee_catalog(&mut sm);
+    let e = PathExpr::parse("Emp1.dept.name").unwrap();
+    c.declare_replication(&e, Strategy::InPlace, &mut sm)
+        .unwrap();
+    assert!(matches!(
+        c.declare_replication(&e, Strategy::InPlace, &mut sm),
+        Err(CatalogError::Duplicate(_))
+    ));
+}
+
+#[test]
+fn propagation_lookups() {
+    let mut sm = StorageManager::in_memory(8);
+    let mut c = employee_catalog(&mut sm);
+    let p_name = c
+        .declare_replication(
+            &PathExpr::parse("Emp1.dept.name").unwrap(),
+            Strategy::InPlace,
+            &mut sm,
+        )
+        .unwrap();
+    let p_orgname = c
+        .declare_replication(
+            &PathExpr::parse("Emp1.dept.org.name").unwrap(),
+            Strategy::InPlace,
+            &mut sm,
+        )
+        .unwrap();
+
+    // Updating DEPT.name (field 0) on an object in link 1 propagates only
+    // Emp1.dept.name.
+    let hits: Vec<PathId> = c
+        .inplace_paths_terminating_at(LinkId(1), 0)
+        .map(|p| p.id)
+        .collect();
+    assert_eq!(hits, vec![p_name.path]);
+
+    // Updating ORG.name (field 0) on an object in link 2 propagates
+    // Emp1.dept.org.name.
+    let hits: Vec<PathId> = c
+        .inplace_paths_terminating_at(LinkId(2), 0)
+        .map(|p| p.id)
+        .collect();
+    assert_eq!(hits, vec![p_orgname.path]);
+
+    // Updating DEPT.org (field 2, a ref) on an object in link 1 is an
+    // intermediate update of Emp1.dept.org.name.
+    let hits: Vec<PathId> = c
+        .paths_with_intermediate(LinkId(1), 2)
+        .map(|p| p.id)
+        .collect();
+    assert_eq!(hits, vec![p_orgname.path]);
+}
+
+#[test]
+fn query_planning_lookups() {
+    let mut sm = StorageManager::in_memory(8);
+    let mut c = employee_catalog(&mut sm);
+    c.declare_replication(
+        &PathExpr::parse("Emp1.dept.org").unwrap(), // collapse path
+        Strategy::InPlace,
+        &mut sm,
+    )
+    .unwrap();
+    c.declare_replication(
+        &PathExpr::parse("Emp1.dept.name").unwrap(),
+        Strategy::InPlace,
+        &mut sm,
+    )
+    .unwrap();
+
+    let emp1 = c.set_id("Emp1").unwrap();
+    // Exact replica: Emp1.dept.name.
+    assert!(c.replica_for(emp1, &[3], 0).is_some());
+    assert!(c.replica_for(emp1, &[3], 1).is_none());
+    // Collapse: Emp1.dept.org.budget can shortcut through Emp1.dept.org.
+    let (p, k) = c.collapse_for(emp1, &[3, 2]).unwrap();
+    assert_eq!(k, 1);
+    assert_eq!(p.terminal_fields, vec![2]);
+    // No collapse for Emp2.
+    let emp2 = c.set_id("Emp2").unwrap();
+    assert!(c.collapse_for(emp2, &[3, 2]).is_none());
+}
+
+#[test]
+fn index_registry() {
+    let mut sm = StorageManager::in_memory(8);
+    let mut c = employee_catalog(&mut sm);
+    let emp1 = c.set_id("Emp1").unwrap();
+    let f = sm.create_file().unwrap();
+    let id = c
+        .declare_index(emp1, IndexTarget::Field(2), IndexKind::Unclustered, f)
+        .unwrap();
+    assert_eq!(c.index(id).set, emp1);
+    assert!(c.index_on_field(emp1, 2).is_some());
+    assert!(c.index_on_field(emp1, 0).is_none());
+    assert_eq!(c.indexes_on(emp1).count(), 1);
+    assert!(c
+        .declare_index(emp1, IndexTarget::Field(99), IndexKind::Unclustered, f)
+        .is_err());
+}
+
+#[test]
+fn all_path_group_fields() {
+    // `.all` replication groups every non-pad field of the terminal type.
+    let mut sm = StorageManager::in_memory(8);
+    let mut c = employee_catalog(&mut sm);
+    let d = c
+        .declare_replication(
+            &PathExpr::parse("Emp1.dept.all").unwrap(),
+            Strategy::Separate,
+            &mut sm,
+        )
+        .unwrap();
+    let g = c.group(d.group.unwrap());
+    assert_eq!(g.fields, vec![0, 1, 2]);
+}

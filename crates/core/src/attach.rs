@@ -1,0 +1,414 @@
+//! Attaching and detaching objects to/from replication paths — the
+//! maintenance operations of §4.1.1/§4.1.2 (in-place) and §5.2 (separate).
+//!
+//! * `insert E` → [`attach_path`] for every replication path of E's set:
+//!   walk the forward chain, ensure link memberships at every maintained
+//!   level, then materialise the replicated values (hidden fields for
+//!   in-place; replica-object reference + refcount for separate).
+//! * `delete E` → [`detach_path`]: remove E from the level-0 link object;
+//!   if that link object empties, the intermediate object leaves the path
+//!   and is removed from the next level's link object, and so on — the
+//!   §4.1.2 ripple. Separate replication additionally releases the
+//!   replica-object refcount.
+//! * `update E.ref` → detach (with the old reference) then attach (with
+//!   the new one), exactly the paper's "the actions under delete E are
+//!   executed … and then the actions under insert E" (§4.1.1).
+
+use crate::collapsed;
+use crate::error::Result;
+use crate::links::{link_add, link_members, link_remove};
+use crate::objects::{read_object, value_key, write_object};
+use crate::replicas::{anchor_acquire, anchor_release, find_replica_ref, read_replica};
+use crate::EngineCtx;
+use fieldrep_btree::BTreeIndex;
+use fieldrep_catalog::{RepPathDef, Strategy};
+use fieldrep_model::{Annotation, Object, Value};
+use fieldrep_storage::Oid;
+
+/// Walk the forward chain of `path` starting from the already-loaded
+/// source object. `chain[0] = Some(source)`; `chain[i+1]` is the object
+/// after hop `i`, or `None` from the first NULL/broken reference onward.
+pub fn walk_chain(
+    ctx: &mut EngineCtx<'_>,
+    path: &RepPathDef,
+    source: Oid,
+    source_obj: &Object,
+) -> Result<Vec<Option<Oid>>> {
+    let mut chain = Vec::with_capacity(path.hops.len() + 1);
+    chain.push(Some(source));
+    let mut cur_obj = None; // None = use source_obj
+    for (i, &hop) in path.hops.iter().enumerate() {
+        let obj_ref = match &cur_obj {
+            None => source_obj,
+            Some(o) => o,
+        };
+        let next = match &obj_ref.values[hop] {
+            Value::Ref(o) if !o.is_null() => Some(*o),
+            _ => None,
+        };
+        match next {
+            Some(oid) => {
+                chain.push(Some(oid));
+                if i + 1 < path.hops.len() {
+                    cur_obj = Some(read_object(ctx.sm, ctx.cat, oid)?);
+                }
+            }
+            None => {
+                // Broken from here on.
+                while chain.len() < path.hops.len() + 1 {
+                    chain.push(None);
+                }
+                break;
+            }
+        }
+    }
+    Ok(chain)
+}
+
+/// Set (or clear, with `None`) the hidden replicated values of `path` on a
+/// source object, maintaining any index built on the path's replicated
+/// values (§3.3.4).
+pub fn set_source_replica_values(
+    ctx: &mut EngineCtx<'_>,
+    path: &RepPathDef,
+    source: Oid,
+    values: Option<Vec<Value>>,
+) -> Result<()> {
+    let mut obj = read_object(ctx.sm, ctx.cat, source)?;
+    let old_first = obj.replica_values(path.id.0).and_then(|v| v.first().cloned());
+    let new_first = values.as_ref().and_then(|v| v.first().cloned());
+
+    let unchanged = match (&values, obj.replica_values(path.id.0)) {
+        (Some(v), Some(cur)) => v.as_slice() == cur,
+        (None, None) => true,
+        _ => false,
+    };
+    if unchanged {
+        return Ok(());
+    }
+
+    match values {
+        Some(v) => obj.set_replica_values(path.id.0, v),
+        None => obj.clear_replica_value(path.id.0),
+    }
+    write_object(ctx.sm, ctx.cat, source, &obj)?;
+
+    // Path-index maintenance.
+    if let Some(idx) = ctx.cat.index_on_path(path.id) {
+        let tree = BTreeIndex::open(idx.file);
+        if let Some(old) = old_first {
+            tree.delete(ctx.sm, &value_key(&old), source)?;
+        }
+        if let Some(new) = new_first {
+            tree.insert(ctx.sm, &value_key(&new), source)?;
+        }
+    }
+    Ok(())
+}
+
+/// Read the terminal values of `path` from a loaded terminal object.
+pub fn terminal_values(path: &RepPathDef, terminal_obj: &Object) -> Vec<Value> {
+    path.terminal_fields
+        .iter()
+        .map(|&i| terminal_obj.values[i].clone())
+        .collect()
+}
+
+/// Attach `source` to `path`: ensure link memberships along the chain and
+/// materialise the replicated values. Idempotent.
+pub fn attach_path(ctx: &mut EngineCtx<'_>, path: &RepPathDef, source: Oid) -> Result<()> {
+    let source_obj = read_object(ctx.sm, ctx.cat, source)?;
+    let chain = walk_chain(ctx, path, source, &source_obj)?;
+    if path.collapsed {
+        return attach_collapsed(ctx, path, source, &chain);
+    }
+    attach_links_from(ctx, path, &chain, 0)?;
+    attach_terminal(ctx, path, source, &chain)
+}
+
+/// Where a collapsed entry for a chain lives: the terminal object when
+/// the chain is complete, otherwise *parked* on the intermediate (so the
+/// routing survives a temporarily broken suffix).
+fn collapsed_holder(chain: &[Option<Oid>]) -> Option<(Oid, Oid)> {
+    let d = chain[1]?;
+    Some((chain[2].unwrap_or(d), d))
+}
+
+/// §4.3.3 attach: add a tagged `(source, via)` entry to the holder's
+/// collapsed store, mark the intermediate, materialise the value.
+fn attach_collapsed(
+    ctx: &mut EngineCtx<'_>,
+    path: &RepPathDef,
+    source: Oid,
+    chain: &[Option<Oid>],
+) -> Result<()> {
+    let link = ctx.cat.link(path.links[0]).clone();
+    if let Some((holder, via)) = collapsed_holder(chain) {
+        let hobj = read_object(ctx.sm, ctx.cat, holder)?;
+        match collapsed::find_store(&hobj, link.id.0) {
+            Some(head) => {
+                collapsed::store_add(ctx.sm, &link, head, (source, via))?;
+            }
+            None => {
+                let head = collapsed::create_store(ctx.sm, &link, &[(source, via)])?;
+                let mut hobj = read_object(ctx.sm, ctx.cat, holder)?;
+                hobj.annotations.push(Annotation::LinkRef {
+                    link: link.id.0,
+                    oid: head,
+                });
+                write_object(ctx.sm, ctx.cat, holder, &hobj)?;
+            }
+        }
+        // Mark the intermediate as being on a collapsed path.
+        let mut dobj = read_object(ctx.sm, ctx.cat, via)?;
+        if !collapsed::has_via_marker(&dobj, link.id.0) {
+            dobj.annotations.push(Annotation::CollapsedVia { link: link.id.0 });
+            write_object(ctx.sm, ctx.cat, via, &dobj)?;
+        }
+    }
+    // Terminal values: only complete chains have them.
+    let values = match chain[2] {
+        Some(t) => {
+            let tobj = read_object(ctx.sm, ctx.cat, t)?;
+            Some(terminal_values(path, &tobj))
+        }
+        None => None,
+    };
+    set_source_replica_values(ctx, path, source, values)
+}
+
+/// Ensure link memberships for levels `from..` along `chain`.
+pub fn attach_links_from(
+    ctx: &mut EngineCtx<'_>,
+    path: &RepPathDef,
+    chain: &[Option<Oid>],
+    from: usize,
+) -> Result<()> {
+    for (i, link_id) in path.links.iter().enumerate().skip(from) {
+        let (member, target) = (chain[i], chain[i + 1]);
+        let (Some(member), Some(target)) = (member, target) else {
+            break;
+        };
+        let link = ctx.cat.link(*link_id).clone();
+        link_add(
+            ctx.sm,
+            ctx.cat,
+            &link,
+            target,
+            member,
+            ctx.cfg.inline_link_threshold,
+        )?;
+    }
+    Ok(())
+}
+
+/// Materialise the terminal of `path` for `source`, given its chain.
+pub fn attach_terminal(
+    ctx: &mut EngineCtx<'_>,
+    path: &RepPathDef,
+    source: Oid,
+    chain: &[Option<Oid>],
+) -> Result<()> {
+    let terminal = *chain.last().expect("chain is non-empty");
+    match path.strategy {
+        Strategy::InPlace => {
+            let values = match terminal {
+                Some(t) => {
+                    let tobj = read_object(ctx.sm, ctx.cat, t)?;
+                    Some(terminal_values(path, &tobj))
+                }
+                None => None,
+            };
+            set_source_replica_values(ctx, path, source, values)
+        }
+        Strategy::Separate => {
+            let group = ctx.cat.group(path.group.expect("separate path has a group")).clone();
+            let src_obj = read_object(ctx.sm, ctx.cat, source)?;
+            let already = find_replica_ref(&src_obj, group.id.0).is_some();
+            match (terminal, already) {
+                (Some(t), false) => {
+                    let roid = anchor_acquire(ctx.sm, ctx.cat, &group, t, 1)?;
+                    let mut src_obj = read_object(ctx.sm, ctx.cat, source)?;
+                    src_obj.annotations.push(Annotation::ReplicaRef {
+                        group: group.id.0,
+                        oid: roid,
+                    });
+                    write_object(ctx.sm, ctx.cat, source, &src_obj)?;
+                    Ok(())
+                }
+                // Already attached (a sibling path of the same group did
+                // it), or chain broken: nothing to do.
+                _ => Ok(()),
+            }
+        }
+    }
+}
+
+/// Detach `source` from `path`, using the references currently stored in
+/// `source_obj` (call *before* changing a reference attribute).
+pub fn detach_path(
+    ctx: &mut EngineCtx<'_>,
+    path: &RepPathDef,
+    source: Oid,
+    source_obj: &Object,
+) -> Result<()> {
+    let chain = walk_chain(ctx, path, source, source_obj)?;
+    if path.collapsed {
+        return detach_collapsed(ctx, path, source, &chain);
+    }
+    detach_links_from(ctx, path, &chain, 0)?;
+
+    match path.strategy {
+        Strategy::InPlace => set_source_replica_values(ctx, path, source, None),
+        Strategy::Separate => {
+            let group = ctx.cat.group(path.group.expect("separate path has a group")).clone();
+            let mut src_obj = read_object(ctx.sm, ctx.cat, source)?;
+            if let Some((i, _roid)) = find_replica_ref(&src_obj, group.id.0) {
+                src_obj.annotations.remove(i);
+                write_object(ctx.sm, ctx.cat, source, &src_obj)?;
+                if let Some(t) = chain.last().copied().flatten() {
+                    anchor_release(ctx.sm, ctx.cat, &group, t, 1)?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Remove link memberships along `chain` starting at level `from`:
+/// unconditional at `from`, rippling upward only while link objects empty
+/// out (§4.1.2).
+pub fn detach_links_from(
+    ctx: &mut EngineCtx<'_>,
+    path: &RepPathDef,
+    chain: &[Option<Oid>],
+    from: usize,
+) -> Result<()> {
+    let mut proceed = true;
+    for (i, link_id) in path.links.iter().enumerate().skip(from) {
+        if !proceed {
+            break;
+        }
+        let (Some(member), Some(target)) = (chain[i], chain[i + 1]) else {
+            break;
+        };
+        let link = ctx.cat.link(*link_id).clone();
+        let out = link_remove(
+            ctx.sm,
+            ctx.cat,
+            &link,
+            target,
+            member,
+            ctx.cfg.inline_link_threshold,
+        )?;
+        // `member` leaves the path only when its own membership record is
+        // gone *and* nothing else keeps it: ripple upward only if the
+        // target's link store is now empty.
+        proceed = out.now_empty;
+    }
+    Ok(())
+}
+
+/// §4.3.3 detach: drop the tagged entry, unmark the intermediate when it
+/// routes nothing any more, clear the hidden value.
+fn detach_collapsed(
+    ctx: &mut EngineCtx<'_>,
+    path: &RepPathDef,
+    source: Oid,
+    chain: &[Option<Oid>],
+) -> Result<()> {
+    let link = ctx.cat.link(path.links[0]).clone();
+    if let Some((holder, via)) = collapsed_holder(chain) {
+        let hobj = read_object(ctx.sm, ctx.cat, holder)?;
+        if let Some(head) = collapsed::find_store(&hobj, link.id.0) {
+            let (removed_via, remaining, same_via) =
+                collapsed::store_remove(ctx.sm, &link, head, source)?;
+            if removed_via.is_some() && remaining == 0 {
+                let mut hobj = read_object(ctx.sm, ctx.cat, holder)?;
+                hobj.annotations.retain(|a| {
+                    !matches!(a, Annotation::LinkRef { link: l, .. } if *l == link.id.0)
+                });
+                write_object(ctx.sm, ctx.cat, holder, &hobj)?;
+            }
+            if removed_via == Some(via) && same_via == 0 {
+                let mut dobj = read_object(ctx.sm, ctx.cat, via)?;
+                dobj.annotations.retain(|a| {
+                    !matches!(a, Annotation::CollapsedVia { link: l } if *l == link.id.0)
+                });
+                write_object(ctx.sm, ctx.cat, via, &dobj)?;
+            }
+        }
+    }
+    set_source_replica_values(ctx, path, source, None)
+}
+
+/// Collect the source objects (level-0 members) that reach `obj` through
+/// the inverted path of `path`. `at_level` is the level of the link whose
+/// link object hangs off `obj` (`obj` is chain node `at_level + 1`).
+/// Results are sorted by OID, i.e. physical order — the order the paper
+/// propagates updates in.
+pub fn collect_sources(
+    ctx: &mut EngineCtx<'_>,
+    path: &RepPathDef,
+    at_level: usize,
+    obj: &Object,
+) -> Result<Vec<Oid>> {
+    if path.collapsed {
+        debug_assert_eq!(at_level, 0, "collapsed paths have one link level");
+        let link = ctx.cat.link(path.links[0]).clone();
+        return Ok(collapsed::members(ctx.sm, obj, &link)?
+            .into_iter()
+            .map(|(src, _)| src)
+            .collect());
+    }
+    let link = ctx.cat.link(path.links[at_level]).clone();
+    let members = link_members(ctx.sm, obj, &link)?;
+    if at_level == 0 {
+        return Ok(members); // already sorted
+    }
+    let mut out = Vec::new();
+    for m in members {
+        let mobj = read_object(ctx.sm, ctx.cat, m)?;
+        out.extend(collect_sources(ctx, path, at_level - 1, &mobj)?);
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+/// Read the current replicated values visible to `source_obj` for `path`
+/// (in-place: the hidden field; separate: via the shared replica object).
+/// `None` if the chain is broken / not materialised.
+pub fn read_path_values(
+    ctx: &mut EngineCtx<'_>,
+    path: &RepPathDef,
+    source_obj: &Object,
+) -> Result<Option<Vec<Value>>> {
+    match path.strategy {
+        Strategy::InPlace => Ok(source_obj.replica_values(path.id.0).map(|v| v.to_vec())),
+        Strategy::Separate => {
+            let group = ctx.cat.group(path.group.expect("separate path has a group")).clone();
+            match find_replica_ref(source_obj, group.id.0) {
+                None => Ok(None),
+                Some((_, roid)) => {
+                    let all = read_replica(ctx.sm, &group, roid)?;
+                    // Project the path's terminal fields out of the group's
+                    // field list.
+                    let vals = path
+                        .terminal_fields
+                        .iter()
+                        .map(|f| {
+                            let pos = group
+                                .fields
+                                .iter()
+                                .position(|g| g == f)
+                                .expect("path fields are a subset of group fields");
+                            all[pos].clone()
+                        })
+                        .collect();
+                    Ok(Some(vals))
+                }
+            }
+        }
+    }
+}

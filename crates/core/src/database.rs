@@ -1,0 +1,1076 @@
+//! The public database facade.
+//!
+//! `Database` ties together the storage manager, the catalog and the
+//! replication engine, and exposes the operations the paper's data model
+//! implies: `define type`, `create <set>`, `replicate <path>`,
+//! `build btree on <path>`, plus object-level DML with full replication
+//! maintenance.
+
+use crate::attach::{attach_path, detach_path, read_path_values, walk_chain};
+use crate::error::{DbError, Result};
+use crate::objects::{read_object, value_key, write_object, REPLICA_TAG};
+use crate::propagate::{is_referenced, propagate_after_update, FieldChange};
+use crate::replicas::{find_anchor, group_values, write_replica};
+use crate::{links, DbConfig, EngineCtx};
+use fieldrep_btree::BTreeIndex;
+use fieldrep_catalog::{
+    Catalog, GroupId, IndexId, IndexKind, IndexTarget, LinkId, PathId, Propagation, RepPathDef,
+    SetId, Strategy,
+};
+use fieldrep_model::{Annotation, FieldType, Object, PathExpr, TypeDef, TypeId, Value};
+use fieldrep_storage::{
+    DiskManager, FileId, HeapFile, IoProfile, Oid, StorageManager,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// An object-oriented database with field replication (Shekita & Carey,
+/// SIGMOD 1989).
+///
+/// ```
+/// use fieldrep_core::{Database, DbConfig};
+/// use fieldrep_catalog::Strategy;
+/// use fieldrep_model::{FieldType, TypeDef, Value};
+///
+/// let mut db = Database::in_memory(DbConfig::default());
+/// db.define_type(TypeDef::new("DEPT", vec![
+///     ("name", FieldType::Str),
+///     ("budget", FieldType::Int),
+/// ])).unwrap();
+/// db.define_type(TypeDef::new("EMP", vec![
+///     ("name", FieldType::Str),
+///     ("salary", FieldType::Int),
+///     ("dept", FieldType::Ref("DEPT".into())),
+/// ])).unwrap();
+/// db.create_set("Dept", "DEPT").unwrap();
+/// db.create_set("Emp1", "EMP").unwrap();
+///
+/// let d = db.insert("Dept", vec![Value::Str("Shoe".into()), Value::Int(100)]).unwrap();
+/// let e = db.insert("Emp1", vec![
+///     Value::Str("Alice".into()), Value::Int(120_000), Value::Ref(d),
+/// ]).unwrap();
+///
+/// // replicate Emp1.dept.name — reads of that path no longer join.
+/// let p = db.replicate("Emp1.dept.name", Strategy::InPlace).unwrap();
+/// assert_eq!(db.path_values(e, p).unwrap(), Some(vec![Value::Str("Shoe".into())]));
+///
+/// // Updates propagate automatically.
+/// db.update(d, &[("name", Value::Str("Shoes & Boots".into()))]).unwrap();
+/// assert_eq!(db.path_values(e, p).unwrap(),
+///            Some(vec![Value::Str("Shoes & Boots".into())]));
+/// ```
+pub struct Database {
+    sm: StorageManager,
+    catalog: Catalog,
+    cfg: DbConfig,
+    file_sets: HashMap<FileId, SetId>,
+    pending: crate::PendingSet,
+    /// The dedicated file holding the serialized catalog (always the
+    /// disk's first file).
+    catalog_file: FileId,
+}
+
+impl Database {
+    /// Create a database over an in-memory disk.
+    pub fn in_memory(cfg: DbConfig) -> Database {
+        Self::with_disk(Box::new(fieldrep_storage::MemDisk::new()), cfg)
+    }
+
+    /// Create a new database over an arbitrary disk backend. The first
+    /// file on the disk is reserved for the serialized catalog (see
+    /// [`Database::save`] / [`Database::open`]).
+    pub fn with_disk(disk: Box<dyn DiskManager>, cfg: DbConfig) -> Database {
+        let mut sm = StorageManager::new(disk, cfg.pool_pages);
+        let catalog_file = sm.create_file().expect("allocate catalog file");
+        Database {
+            sm,
+            catalog: Catalog::new(),
+            cfg,
+            file_sets: HashMap::new(),
+            pending: crate::PendingSet::default(),
+            catalog_file,
+        }
+    }
+
+    /// Persist the catalog (schema, sets, indexes, replication paths,
+    /// links, groups) into the database's catalog file and flush every
+    /// dirty page, so the disk image is self-contained and can be
+    /// reopened with [`Database::open`]. Deferred propagation is synced
+    /// first (the pending queue lives only in memory).
+    pub fn save(&mut self) -> Result<()> {
+        self.sync_all_pending()?;
+        let image = fieldrep_catalog::persist::encode(&self.catalog);
+        let hf = HeapFile::open(self.catalog_file);
+        // Clear the previous image.
+        let mut old = Vec::new();
+        {
+            let mut scan = hf.scan(&mut self.sm)?;
+            while let Some((oid, _, _)) = scan.next_record()? {
+                old.push(oid);
+            }
+        }
+        for oid in old {
+            hf.delete(&mut self.sm, oid)?;
+        }
+        // Write the new image as sequence-numbered chunks.
+        let max = fieldrep_storage::MAX_RECORD_PAYLOAD - 8;
+        for (seq, chunk) in image.chunks(max).enumerate() {
+            let mut payload = Vec::with_capacity(8 + chunk.len());
+            payload.extend_from_slice(&(seq as u32).to_le_bytes());
+            payload.extend_from_slice(&(image.chunks(max).count() as u32).to_le_bytes());
+            payload.extend_from_slice(chunk);
+            hf.insert(&mut self.sm, 0xFFFC, &payload)?;
+        }
+        self.flush_all()
+    }
+
+    /// Reopen a database previously built with [`Database::with_disk`]
+    /// and persisted with [`Database::save`].
+    pub fn open(disk: Box<dyn DiskManager>, cfg: DbConfig) -> Result<Database> {
+        let mut sm = StorageManager::new(disk, cfg.pool_pages);
+        let catalog_file = FileId(0);
+        let hf = HeapFile::open(catalog_file);
+        let mut chunks: Vec<(u32, Vec<u8>)> = Vec::new();
+        {
+            let mut scan = hf.scan(&mut sm)?;
+            while let Some((_, tag, payload)) = scan.next_record()? {
+                if tag != 0xFFFC || payload.len() < 8 {
+                    return Err(DbError::Unsupported(
+                        "corrupt catalog image (bad chunk)".into(),
+                    ));
+                }
+                let seq = u32::from_le_bytes(payload[0..4].try_into().unwrap());
+                chunks.push((seq, payload[8..].to_vec()));
+            }
+        }
+        if chunks.is_empty() {
+            return Err(DbError::Unsupported(
+                "no catalog image on this disk (was the database saved?)".into(),
+            ));
+        }
+        chunks.sort_by_key(|(seq, _)| *seq);
+        let mut image = Vec::new();
+        for (_, c) in chunks {
+            image.extend_from_slice(&c);
+        }
+        let catalog = fieldrep_catalog::persist::decode(&image)?;
+        let file_sets = catalog.sets().iter().map(|s| (s.file, s.id)).collect();
+        Ok(Database {
+            sm,
+            catalog,
+            cfg,
+            file_sets,
+            pending: crate::PendingSet::default(),
+            catalog_file,
+        })
+    }
+
+    /// The catalog (schema, sets, paths, links, groups, indexes).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The storage manager (for I/O statistics and low-level access from
+    /// the query processor).
+    pub fn sm(&mut self) -> &mut StorageManager {
+        &mut self.sm
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &DbConfig {
+        &self.cfg
+    }
+
+    /// Borrow the pieces the engine functions need.
+    pub fn ctx(&mut self) -> EngineCtx<'_> {
+        EngineCtx {
+            sm: &mut self.sm,
+            cat: &self.catalog,
+            cfg: &self.cfg,
+            pending: &mut self.pending,
+        }
+    }
+
+    /// I/O counters since the last reset.
+    pub fn io_profile(&self) -> IoProfile {
+        self.sm.io_profile()
+    }
+
+    /// Reset I/O counters.
+    pub fn reset_io(&mut self) {
+        self.sm.reset_io();
+    }
+
+    /// Flush all dirty pages and leave the buffer pool cold (used between
+    /// measured queries).
+    pub fn flush_all(&mut self) -> Result<()> {
+        Ok(self.sm.flush_all()?)
+    }
+
+    // ------------------------------------------------------------------ DDL
+
+    /// `define type …`.
+    pub fn define_type(&mut self, def: TypeDef) -> Result<TypeId> {
+        Ok(self.catalog.define_type(def)?)
+    }
+
+    /// `create <Name> : {own ref <TYPE>}` — a named set stored as its own
+    /// disk file.
+    pub fn create_set(&mut self, name: &str, type_name: &str) -> Result<SetId> {
+        let file = self.sm.create_file()?;
+        let id = self.catalog.create_set(name, type_name, file)?;
+        self.file_sets.insert(file, id);
+        Ok(id)
+    }
+
+    /// The set an object belongs to (by its OID's file).
+    pub fn set_of(&self, oid: Oid) -> Result<SetId> {
+        self.file_sets
+            .get(&oid.file)
+            .copied()
+            .ok_or(DbError::NotInSet(oid))
+    }
+
+    /// `replicate <path>` with the chosen strategy. If the set already has
+    /// members, the inverted path, hidden fields and replica objects are
+    /// built now — the "one-time cost to build it" the paper mentions
+    /// (§4.1.2). Returns the new path id.
+    pub fn replicate(&mut self, path: &str, strategy: Strategy) -> Result<PathId> {
+        self.replicate_with(path, strategy, Propagation::Eager)
+    }
+
+    /// As [`Database::replicate`], choosing eager or deferred value
+    /// propagation (§8: "updates are not propagated until needed").
+    /// Deferred paths batch their refresh work; queries that read the
+    /// path sync it first (or call [`Database::sync_path`] explicitly).
+    pub fn replicate_with(
+        &mut self,
+        path: &str,
+        strategy: Strategy,
+        propagation: Propagation,
+    ) -> Result<PathId> {
+        self.replicate_full(path, strategy, propagation, false)
+    }
+
+    /// §4.3.3: replicate a 2-level path with a *collapsed* inverted path —
+    /// one tagged link from the terminal objects directly to the sources.
+    /// Terminal updates then propagate through a single link level;
+    /// intermediate re-targets move tagged entries between stores.
+    pub fn replicate_collapsed(&mut self, path: &str, propagation: Propagation) -> Result<PathId> {
+        self.replicate_full(path, Strategy::InPlace, propagation, true)
+    }
+
+    fn replicate_full(
+        &mut self,
+        path: &str,
+        strategy: Strategy,
+        propagation: Propagation,
+        collapsed: bool,
+    ) -> Result<PathId> {
+        let expr = PathExpr::parse(path)?;
+        // Snapshot which links exist already (they are complete and can be
+        // skipped by the builder).
+        let pre_links: BTreeSet<u8> = self.catalog.links().map(|l| l.id.0).collect();
+        let decl = self.catalog.declare_replication_full(
+            &expr,
+            strategy,
+            propagation,
+            collapsed,
+            &mut self.sm,
+        )?;
+        let path_def = self.catalog.path(decl.path).clone();
+        self.build_path(&path_def, &pre_links)?;
+        if decl.group_extended {
+            self.resync_group(decl.group.expect("extended ⇒ group"))?;
+        }
+        Ok(decl.path)
+    }
+
+    /// Bulk-build the physical structures for a freshly declared path.
+    fn build_path(&mut self, path: &RepPathDef, pre_links: &BTreeSet<u8>) -> Result<()> {
+        if path.collapsed {
+            return self.build_collapsed_path(path, pre_links);
+        }
+        // Pass 1: scan the source set, walk every chain.
+        let set = self.catalog.set(path.set).clone();
+        let hf = HeapFile::open(set.file);
+        let mut sources = Vec::new();
+        {
+            let mut scan = hf.scan(&mut self.sm)?;
+            while let Some((oid, _tag, _payload)) = scan.next_record()? {
+                sources.push(oid);
+            }
+        }
+        // memberships[level]: target -> sorted members.
+        let mut memberships: Vec<BTreeMap<Oid, BTreeSet<Oid>>> =
+            vec![BTreeMap::new(); path.links.len()];
+        let mut chains: Vec<(Oid, Vec<Option<Oid>>)> = Vec::with_capacity(sources.len());
+        for &src in &sources {
+            let obj = {
+                let ctx = self.ctx();
+                read_object(ctx.sm, ctx.cat, src)?
+            };
+            let chain = {
+                let mut ctx = self.ctx();
+                walk_chain(&mut ctx, path, src, &obj)?
+            };
+            for lvl in 0..path.links.len() {
+                if let (Some(member), Some(target)) = (chain[lvl], chain[lvl + 1]) {
+                    memberships[lvl]
+                        .entry(target)
+                        .or_default()
+                        .insert(member);
+                }
+            }
+            chains.push((src, chain));
+        }
+
+        // Pass 2: build link structures for links created by this path, in
+        // target physical order (the paper stores link objects "in the
+        // same physical order as the objects … which reference them").
+        for (lvl, link_id) in path.links.iter().enumerate() {
+            if pre_links.contains(&link_id.0) {
+                continue; // shared with an earlier path ⇒ already complete
+            }
+            let link = self.catalog.link(*link_id).clone();
+            for (target, members) in &memberships[lvl] {
+                let members: Vec<Oid> = members.iter().copied().collect();
+                let ctx = self.ctx();
+                let mut tobj = read_object(ctx.sm, ctx.cat, *target)?;
+                if self.cfg.inline_link_threshold > 0
+                    && link.level == 0
+                    && members.len() <= self.cfg.inline_link_threshold
+                {
+                    tobj.annotations.push(Annotation::InlineLink {
+                        link: link.id.0,
+                        oids: members,
+                    });
+                } else {
+                    let head = links::create_link_store(&mut self.sm, &link, &members)?;
+                    let ctx2 = self.ctx();
+                    tobj = read_object(ctx2.sm, ctx2.cat, *target)?;
+                    tobj.annotations.push(Annotation::LinkRef {
+                        link: link.id.0,
+                        oid: head,
+                    });
+                }
+                let ctx3 = self.ctx();
+                write_object(ctx3.sm, ctx3.cat, *target, &tobj)?;
+            }
+        }
+
+        // Pass 3: terminal materialisation.
+        match path.strategy {
+            Strategy::InPlace => {
+                for (src, chain) in &chains {
+                    let values = match chain.last().copied().flatten() {
+                        Some(t) => {
+                            let ctx = self.ctx();
+                            let tobj = read_object(ctx.sm, ctx.cat, t)?;
+                            Some(crate::attach::terminal_values(path, &tobj))
+                        }
+                        None => None,
+                    };
+                    let mut ctx = self.ctx();
+                    crate::attach::set_source_replica_values(&mut ctx, path, *src, values)?;
+                }
+            }
+            Strategy::Separate => {
+                let group = self
+                    .catalog
+                    .group(path.group.expect("separate path has a group"))
+                    .clone();
+                // Was this group freshly created by this path? If it has
+                // other paths, replicas already exist.
+                if group.paths.len() > 1 {
+                    return Ok(());
+                }
+                // Terminal -> sources, in terminal physical order so that
+                // S' is laid out in the same order as S (§5, Figure 7).
+                let mut by_terminal: BTreeMap<Oid, Vec<Oid>> = BTreeMap::new();
+                for (src, chain) in &chains {
+                    if let Some(t) = chain.last().copied().flatten() {
+                        by_terminal.entry(t).or_default().push(*src);
+                    }
+                }
+                let rf = HeapFile::open(group.file);
+                for (t, srcs) in &by_terminal {
+                    let (roid, values) = {
+                        let ctx = self.ctx();
+                        let tobj = read_object(ctx.sm, ctx.cat, *t)?;
+                        (find_anchor(&tobj, group.id.0), group_values(&group, &tobj))
+                    };
+                    debug_assert!(roid.is_none(), "fresh group has no anchors yet");
+                    let roid = rf.insert(&mut self.sm, REPLICA_TAG, &Value::encode_list(&values))?;
+                    {
+                        let ctx = self.ctx();
+                        let mut tobj = read_object(ctx.sm, ctx.cat, *t)?;
+                        tobj.annotations.push(Annotation::ReplicaAnchor {
+                            group: group.id.0,
+                            oid: roid,
+                            refcount: srcs.len() as u32,
+                        });
+                        write_object(ctx.sm, ctx.cat, *t, &tobj)?;
+                    }
+                    for s in srcs {
+                        let ctx = self.ctx();
+                        let mut sobj = read_object(ctx.sm, ctx.cat, *s)?;
+                        sobj.annotations.push(Annotation::ReplicaRef {
+                            group: group.id.0,
+                            oid: roid,
+                        });
+                        write_object(ctx.sm, ctx.cat, *s, &sobj)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Bulk-build a §4.3.3 collapsed path: one tagged store per terminal
+    /// (or per parked intermediate), `CollapsedVia` markers, then values.
+    fn build_collapsed_path(&mut self, path: &RepPathDef, pre_links: &BTreeSet<u8>) -> Result<()> {
+        let set = self.catalog.set(path.set).clone();
+        let hf = HeapFile::open(set.file);
+        let mut sources = Vec::new();
+        {
+            let mut scan = hf.scan(&mut self.sm)?;
+            while let Some((oid, _, _)) = scan.next_record()? {
+                sources.push(oid);
+            }
+        }
+        let link = self.catalog.link(path.links[0]).clone();
+        let link_is_new = !pre_links.contains(&link.id.0);
+
+        let mut chains: Vec<(Oid, Vec<Option<Oid>>)> = Vec::with_capacity(sources.len());
+        let mut holders: BTreeMap<Oid, Vec<(Oid, Oid)>> = BTreeMap::new();
+        let mut vias: BTreeSet<Oid> = BTreeSet::new();
+        for &src in &sources {
+            let obj = {
+                let ctx = self.ctx();
+                read_object(ctx.sm, ctx.cat, src)?
+            };
+            let chain = {
+                let mut ctx = self.ctx();
+                walk_chain(&mut ctx, path, src, &obj)?
+            };
+            if let Some(d) = chain[1] {
+                let holder = chain[2].unwrap_or(d);
+                holders.entry(holder).or_default().push((src, d));
+                vias.insert(d);
+            }
+            chains.push((src, chain));
+        }
+
+        if link_is_new {
+            for (holder, mut entries) in holders {
+                entries.sort_unstable_by_key(|e| e.0);
+                let head = crate::collapsed::create_store(&mut self.sm, &link, &entries)?;
+                let ctx = self.ctx();
+                let mut hobj = read_object(ctx.sm, ctx.cat, holder)?;
+                hobj.annotations.push(Annotation::LinkRef {
+                    link: link.id.0,
+                    oid: head,
+                });
+                write_object(ctx.sm, ctx.cat, holder, &hobj)?;
+            }
+            for via in vias {
+                let ctx = self.ctx();
+                let mut dobj = read_object(ctx.sm, ctx.cat, via)?;
+                if !crate::collapsed::has_via_marker(&dobj, link.id.0) {
+                    dobj.annotations.push(Annotation::CollapsedVia { link: link.id.0 });
+                    write_object(ctx.sm, ctx.cat, via, &dobj)?;
+                }
+            }
+        }
+
+        // Values.
+        for (src, chain) in &chains {
+            let values = match chain[2] {
+                Some(t) => {
+                    let ctx = self.ctx();
+                    let tobj = read_object(ctx.sm, ctx.cat, t)?;
+                    Some(crate::attach::terminal_values(path, &tobj))
+                }
+                None => None,
+            };
+            let mut ctx = self.ctx();
+            crate::attach::set_source_replica_values(&mut ctx, path, *src, values)?;
+        }
+        Ok(())
+    }
+
+    /// Rewrite every replica object of `group` from its terminal object —
+    /// needed when a new path extends the group's field list.
+    fn resync_group(&mut self, group_id: GroupId) -> Result<()> {
+        let group = self.catalog.group(group_id).clone();
+        let term_type = group.terminal_type;
+        let term_sets: Vec<FileId> = self
+            .catalog
+            .sets_of_type(term_type)
+            .map(|s| s.file)
+            .collect();
+        for file in term_sets {
+            let hf = HeapFile::open(file);
+            let mut oids = Vec::new();
+            {
+                let mut scan = hf.scan(&mut self.sm)?;
+                while let Some((oid, _, _)) = scan.next_record()? {
+                    oids.push(oid);
+                }
+            }
+            for oid in oids {
+                let ctx = self.ctx();
+                let obj = read_object(ctx.sm, ctx.cat, oid)?;
+                if let Some((_, roid, _)) = find_anchor(&obj, group.id.0) {
+                    let values = group_values(&group, &obj);
+                    write_replica(self.ctx().sm, &group, roid, &values)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `build btree on <path>` (§3.3.4). A plain `Set.field` path builds a
+    /// base-field index; a path with reference hops must name an existing
+    /// **in-place** replication path, and the index is built over the
+    /// replicated values stored in the source objects.
+    pub fn create_index(&mut self, path: &str, kind: IndexKind) -> Result<IndexId> {
+        let resolved = self.catalog.resolve_path_str(path)?;
+        if resolved.hops.is_empty() {
+            let field = resolved.terminal_fields[0];
+            let set = self.catalog.set(resolved.set).clone();
+            // Build sorted (key, oid) pairs from a scan.
+            let mut entries = Vec::new();
+            let hf = HeapFile::open(set.file);
+            let mut oids = Vec::new();
+            {
+                let mut scan = hf.scan(&mut self.sm)?;
+                while let Some((oid, _, _)) = scan.next_record()? {
+                    oids.push(oid);
+                }
+            }
+            for oid in oids {
+                let ctx = self.ctx();
+                let obj = read_object(ctx.sm, ctx.cat, oid)?;
+                entries.push((value_key(&obj.values[field]), oid));
+            }
+            entries.sort();
+            let tree = BTreeIndex::bulk_load(&mut self.sm, &entries, 1.0)?;
+            Ok(self.catalog.declare_index(
+                resolved.set,
+                IndexTarget::Field(field),
+                kind,
+                tree.file,
+            )?)
+        } else {
+            // Index on replicated values.
+            let field = resolved.terminal_fields[0];
+            let rep = self
+                .catalog
+                .replica_for(resolved.set, &resolved.hops, field)
+                .ok_or_else(|| {
+                    DbError::Unsupported(format!(
+                        "index on {path:?} requires the path to be replicated first"
+                    ))
+                })?;
+            if rep.strategy != Strategy::InPlace {
+                return Err(DbError::Unsupported(
+                    "path indexes are built over in-place replicated values; \
+                     replicate the path with Strategy::InPlace"
+                        .into(),
+                ));
+            }
+            if rep.propagation != Propagation::Eager {
+                return Err(DbError::Unsupported(
+                    "path indexes require eager propagation (a deferred path's \
+                     index would go stale between syncs)"
+                        .into(),
+                ));
+            }
+            let rep_id = rep.id;
+            let pos = rep
+                .terminal_fields
+                .iter()
+                .position(|f| *f == field)
+                .expect("replica_for checked membership");
+            let set = self.catalog.set(resolved.set).clone();
+            let hf = HeapFile::open(set.file);
+            let mut oids = Vec::new();
+            {
+                let mut scan = hf.scan(&mut self.sm)?;
+                while let Some((oid, _, _)) = scan.next_record()? {
+                    oids.push(oid);
+                }
+            }
+            let mut entries = Vec::new();
+            for oid in oids {
+                let ctx = self.ctx();
+                let obj = read_object(ctx.sm, ctx.cat, oid)?;
+                if let Some(vals) = obj.replica_values(rep_id.0) {
+                    entries.push((value_key(&vals[pos]), oid));
+                }
+            }
+            entries.sort();
+            let tree = BTreeIndex::bulk_load(&mut self.sm, &entries, 1.0)?;
+            Ok(self.catalog.declare_index(
+                resolved.set,
+                IndexTarget::ReplicatedPath(rep_id),
+                kind,
+                tree.file,
+            )?)
+        }
+    }
+
+    // ------------------------------------------------------------------ DML
+
+    /// Insert an object into a set. Reference values are type-checked;
+    /// every replication path of the set is attached (§4.1.1 `insert E`).
+    pub fn insert(&mut self, set_name: &str, values: Vec<Value>) -> Result<Oid> {
+        let set = self.catalog.set(self.catalog.set_id(set_name)?).clone();
+        let def = self.catalog.type_def(set.elem_type).clone();
+        let obj = Object::new(set.elem_type, &def, values)?;
+        // Check ref target types.
+        for (v, f) in obj.values.iter().zip(&def.fields) {
+            if let FieldType::Ref(tname) = &f.ftype {
+                let expected = self.catalog.type_id(tname)?;
+                let ctx = self.ctx();
+                crate::objects::check_ref_type(ctx.sm, ctx.cat, v, expected)?;
+            }
+        }
+        let hf = HeapFile::open(set.file);
+        let payload = obj.encode(&def);
+        let oid = hf.insert(&mut self.sm, set.elem_type.0, &payload)?;
+
+        // Base-field index maintenance.
+        let idxs: Vec<(usize, FileId)> = self
+            .catalog
+            .indexes_on(set.id)
+            .filter_map(|i| match i.target {
+                IndexTarget::Field(f) => Some((f, i.file)),
+                _ => None,
+            })
+            .collect();
+        for (f, file) in idxs {
+            BTreeIndex::open(file).insert(&mut self.sm, &value_key(&obj.values[f]), oid)?;
+        }
+
+        // Replication attach.
+        let paths: Vec<RepPathDef> = self.catalog.paths_from(set.id).cloned().collect();
+        for p in &paths {
+            let mut ctx = self.ctx();
+            attach_path(&mut ctx, p, oid)?;
+        }
+        Ok(oid)
+    }
+
+    /// Read the object at `oid` (base values + annotations).
+    pub fn get(&mut self, oid: Oid) -> Result<Object> {
+        let ctx = self.ctx();
+        read_object(ctx.sm, ctx.cat, oid)
+    }
+
+    /// Read one base field by name.
+    pub fn get_field(&mut self, oid: Oid, field: &str) -> Result<Value> {
+        let obj = self.get(oid)?;
+        let def = self.catalog.type_def(obj.type_id);
+        Ok(obj.get(def, field)?.clone())
+    }
+
+    /// The replicated values of `path` as seen from the source object at
+    /// `oid` (`None` if the path chain is broken).
+    pub fn path_values(&mut self, oid: Oid, path: PathId) -> Result<Option<Vec<Value>>> {
+        self.sync_path(path)?;
+        let path = self.catalog.path(path).clone();
+        let obj = self.get(oid)?;
+        let mut ctx = self.ctx();
+        read_path_values(&mut ctx, &path, &obj)
+    }
+
+    /// Dereference a path with plain functional joins (the no-replication
+    /// baseline): reads one object per hop.
+    pub fn deref_path(&mut self, oid: Oid, dotted: &str) -> Result<Option<Vec<Value>>> {
+        let obj = self.get(oid)?;
+        let set = self.set_of(oid)?;
+        let set_name = self.catalog.set(set).name.clone();
+        let resolved = self
+            .catalog
+            .resolve_path_str(&format!("{set_name}.{dotted}"))?;
+        let mut cur = obj;
+        for &hop in &resolved.hops {
+            let next = match &cur.values[hop] {
+                Value::Ref(o) if !o.is_null() => *o,
+                _ => return Ok(None),
+            };
+            cur = self.get(next)?;
+        }
+        Ok(Some(
+            resolved
+                .terminal_fields
+                .iter()
+                .map(|&f| cur.values[f].clone())
+                .collect(),
+        ))
+    }
+
+    /// Update named fields of the object at `oid`, propagating to all
+    /// replicated copies (§4.1.3, §5.2) and maintaining indexes.
+    pub fn update(&mut self, oid: Oid, changes: &[(&str, Value)]) -> Result<()> {
+        let set = self.set_of(oid)?;
+        let set_def = self.catalog.set(set).clone();
+        let def = self.catalog.type_def(set_def.elem_type).clone();
+
+        let old_obj = self.get(oid)?;
+        // Resolve and type-check changes.
+        let mut field_changes: Vec<FieldChange> = Vec::new();
+        for (name, new) in changes {
+            let idx = def
+                .field_index(name)
+                .ok_or_else(|| DbError::Model(fieldrep_model::ModelError::NoSuchField((*name).into())))?;
+            if !new.matches(&def.fields[idx].ftype) {
+                return Err(DbError::Model(fieldrep_model::ModelError::TypeMismatch {
+                    expected: format!("{:?}", def.fields[idx].ftype),
+                    got: new.kind_name().into(),
+                }));
+            }
+            if let FieldType::Ref(tname) = &def.fields[idx].ftype {
+                let expected = self.catalog.type_id(tname)?;
+                let ctx = self.ctx();
+                crate::objects::check_ref_type(ctx.sm, ctx.cat, new, expected)?;
+            }
+            let old = old_obj.values[idx].clone();
+            if old != *new {
+                field_changes.push((idx, old, new.clone()));
+            }
+        }
+        if field_changes.is_empty() {
+            return Ok(());
+        }
+
+        // Phase A: detach this object's own paths whose first hop changes.
+        let changed_refs: BTreeSet<usize> = field_changes
+            .iter()
+            .filter(|(i, _, _)| def.fields[*i].ftype.is_ref())
+            .map(|(i, _, _)| *i)
+            .collect();
+        let own_paths: Vec<RepPathDef> = self
+            .catalog
+            .paths_from(set)
+            .filter(|p| changed_refs.contains(&p.hops[0]))
+            .cloned()
+            .collect();
+        for p in &own_paths {
+            let mut ctx = self.ctx();
+            detach_path(&mut ctx, p, oid, &old_obj)?;
+        }
+
+        // Phase B: apply the changes and write back. Re-read the object:
+        // Phase A may have modified its annotations.
+        let mut obj = self.get(oid)?;
+        for (i, _, new) in &field_changes {
+            obj.values[*i] = new.clone();
+        }
+        {
+            let ctx = self.ctx();
+            write_object(ctx.sm, ctx.cat, oid, &obj)?;
+        }
+
+        // Base-field index maintenance.
+        let idxs: Vec<(usize, FileId)> = self
+            .catalog
+            .indexes_on(set)
+            .filter_map(|i| match i.target {
+                IndexTarget::Field(f) => Some((f, i.file)),
+                _ => None,
+            })
+            .collect();
+        for (f, file) in idxs {
+            if let Some((_, old, new)) = field_changes.iter().find(|(i, _, _)| *i == f) {
+                let tree = BTreeIndex::open(file);
+                tree.delete(&mut self.sm, &value_key(old), oid)?;
+                tree.insert(&mut self.sm, &value_key(new), oid)?;
+            }
+        }
+
+        // Phase C: re-attach own paths with the new references.
+        for p in &own_paths {
+            let mut ctx = self.ctx();
+            attach_path(&mut ctx, p, oid)?;
+        }
+
+        // Phase D: propagate to objects that replicate *from* this object.
+        let obj = self.get(oid)?; // fresh annotations
+        let mut ctx = self.ctx();
+        propagate_after_update(&mut ctx, oid, &obj, &field_changes)?;
+        Ok(())
+    }
+
+    /// Delete the object at `oid` (§4.1.1 `delete E`). Fails with
+    /// [`DbError::StillReferenced`] if other objects still replicate
+    /// through it.
+    pub fn delete(&mut self, oid: Oid) -> Result<()> {
+        let set = self.set_of(oid)?;
+        let obj = self.get(oid)?;
+        if is_referenced(&obj) {
+            return Err(DbError::StillReferenced(oid));
+        }
+        // Detach every replication path of the set.
+        let paths: Vec<RepPathDef> = self.catalog.paths_from(set).cloned().collect();
+        for p in &paths {
+            let mut ctx = self.ctx();
+            detach_path(&mut ctx, p, oid, &obj)?;
+        }
+        // Base-field index removal.
+        let idxs: Vec<(usize, FileId)> = self
+            .catalog
+            .indexes_on(set)
+            .filter_map(|i| match i.target {
+                IndexTarget::Field(f) => Some((f, i.file)),
+                _ => None,
+            })
+            .collect();
+        for (f, file) in idxs {
+            BTreeIndex::open(file).delete(&mut self.sm, &value_key(&obj.values[f]), oid)?;
+        }
+        let hf = HeapFile::open(oid.file);
+        hf.delete(&mut self.sm, oid)?;
+        self.pending.purge_object(oid);
+        Ok(())
+    }
+
+    /// Apply every deferred propagation recorded for `path` (a no-op for
+    /// eager paths or when nothing is pending). Returns the number of
+    /// work items applied.
+    pub fn sync_path(&mut self, path: PathId) -> Result<usize> {
+        let entries = self.pending.take(path);
+        if entries.is_empty() {
+            return Ok(0);
+        }
+        let pdef = self.catalog.path(path).clone();
+        let n = entries.len();
+        for e in entries {
+            match e {
+                crate::PendingEntry::StaleSources { obj, link_level } => {
+                    let (sources, _) = {
+                        let mut ctx = self.ctx();
+                        let o = read_object(ctx.sm, ctx.cat, obj)?;
+                        (crate::attach::collect_sources(&mut ctx, &pdef, link_level, &o)?, ())
+                    };
+                    for s in sources {
+                        let mut ctx = self.ctx();
+                        let sobj = read_object(ctx.sm, ctx.cat, s)?;
+                        let chain = walk_chain(&mut ctx, &pdef, s, &sobj)?;
+                        crate::attach::attach_terminal(&mut ctx, &pdef, s, &chain)?;
+                    }
+                }
+                crate::PendingEntry::StaleReplica { obj } => {
+                    let group = self
+                        .catalog
+                        .group(pdef.group.expect("separate path has a group"))
+                        .clone();
+                    let ctx = self.ctx();
+                    let o = read_object(ctx.sm, ctx.cat, obj)?;
+                    if let Some((_, roid, _)) = find_anchor(&o, group.id.0) {
+                        let values = group_values(&group, &o);
+                        write_replica(ctx.sm, &group, roid, &values)?;
+                    }
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    /// Sync every path with pending deferred work.
+    pub fn sync_all_pending(&mut self) -> Result<usize> {
+        let mut total = 0;
+        for p in self.pending.dirty_paths() {
+            total += self.sync_path(p)?;
+        }
+        Ok(total)
+    }
+
+    /// Number of deferred work items queued for `path`.
+    pub fn pending_count(&self, path: PathId) -> usize {
+        self.pending.count(path)
+    }
+
+    /// Drop a replication path: replicated values are removed from the
+    /// source objects, links whose refcount reaches zero are dismantled
+    /// (their 1-byte IDs become reusable, §4.2), and the replica group is
+    /// torn down when this was its last path. Fails if an index is built
+    /// over the path's replicated values (drop the index first).
+    pub fn drop_replication(&mut self, path: PathId) -> Result<()> {
+        self.pending.purge_path(path);
+        let removed = self.catalog.remove_path(path)?;
+        let pdef = &removed.path;
+        let set = self.catalog.set(pdef.set).clone();
+
+        // Strip source-side state: hidden values / replica refs.
+        let sources = {
+            let hf = HeapFile::open(set.file);
+            let mut oids = Vec::new();
+            let mut scan = hf.scan(&mut self.sm)?;
+            while let Some((oid, _, _)) = scan.next_record()? {
+                oids.push(oid);
+            }
+            oids
+        };
+        let dropped_group = removed.dropped_group.clone();
+        for src in &sources {
+            let ctx = self.ctx();
+            let mut obj = read_object(ctx.sm, ctx.cat, *src)?;
+            let before = obj.annotations.len();
+            match pdef.strategy {
+                Strategy::InPlace => obj.clear_replica_value(pdef.id.0),
+                Strategy::Separate => {
+                    if let Some(g) = &dropped_group {
+                        obj.annotations.retain(|a| {
+                            !matches!(a, Annotation::ReplicaRef { group, .. } if *group == g.id.0)
+                        });
+                    }
+                    // Group still shared by other paths: refs stay.
+                }
+            }
+            if obj.annotations.len() != before
+                || matches!(pdef.strategy, Strategy::InPlace)
+            {
+                write_object(ctx.sm, ctx.cat, *src, &obj)?;
+            }
+        }
+
+        // Dismantle freed links: remove annotations from every object of
+        // the link's target type (for collapsed links also the
+        // intermediates, which may carry markers or parked stores), then
+        // drop the link file.
+        for link in &removed.freed_links {
+            let mut ann_types = vec![link.dst_type];
+            if link.collapsed {
+                // node_types = [source, intermediate, terminal]
+                ann_types.push(removed.path.node_types[1]);
+            }
+            let dst_sets: Vec<FileId> = ann_types
+                .iter()
+                .flat_map(|t| self.catalog.sets_of_type(*t).map(|s| s.file))
+                .collect();
+            for file in dst_sets {
+                let hf = HeapFile::open(file);
+                let mut oids = Vec::new();
+                {
+                    let mut scan = hf.scan(&mut self.sm)?;
+                    while let Some((oid, _, _)) = scan.next_record()? {
+                        oids.push(oid);
+                    }
+                }
+                for oid in oids {
+                    let ctx = self.ctx();
+                    let mut obj = read_object(ctx.sm, ctx.cat, oid)?;
+                    let before = obj.annotations.len();
+                    obj.annotations.retain(|a| {
+                        !matches!(a,
+                            Annotation::LinkRef { link: l, .. }
+                            | Annotation::InlineLink { link: l, .. }
+                            | Annotation::CollapsedVia { link: l }
+                                if *l == link.id.0)
+                    });
+                    if obj.annotations.len() != before {
+                        write_object(ctx.sm, ctx.cat, oid, &obj)?;
+                    }
+                }
+            }
+            self.sm.drop_file(link.file)?;
+        }
+
+        // Tear down a dropped group: anchors off the terminals, then the
+        // S' file (replica objects go with it).
+        if let Some(g) = dropped_group {
+            let term_sets: Vec<FileId> = self
+                .catalog
+                .sets_of_type(g.terminal_type)
+                .map(|s| s.file)
+                .collect();
+            for file in term_sets {
+                let hf = HeapFile::open(file);
+                let mut oids = Vec::new();
+                {
+                    let mut scan = hf.scan(&mut self.sm)?;
+                    while let Some((oid, _, _)) = scan.next_record()? {
+                        oids.push(oid);
+                    }
+                }
+                for oid in oids {
+                    let ctx = self.ctx();
+                    let mut obj = read_object(ctx.sm, ctx.cat, oid)?;
+                    let before = obj.annotations.len();
+                    obj.annotations.retain(|a| {
+                        !matches!(a, Annotation::ReplicaAnchor { group, .. } if *group == g.id.0)
+                    });
+                    if obj.annotations.len() != before {
+                        write_object(ctx.sm, ctx.cat, oid, &obj)?;
+                    }
+                }
+            }
+            self.sm.drop_file(g.file)?;
+        }
+        Ok(())
+    }
+
+    /// Inverse function over an inverted path (§8: "ways in which
+    /// inverted paths can be used … in implementing inverse functions"):
+    /// the objects of `link`'s source side that reference `target` along
+    /// the link — read straight from the link store, without scanning.
+    pub fn inverse(&mut self, link: LinkId, target: Oid) -> Result<Vec<Oid>> {
+        let ldef = self.catalog.link(link).clone();
+        let ctx = self.ctx();
+        let obj = read_object(ctx.sm, ctx.cat, target)?;
+        if ldef.collapsed {
+            return Ok(crate::collapsed::members(ctx.sm, &obj, &ldef)?
+                .into_iter()
+                .map(|(src, _)| src)
+                .collect());
+        }
+        crate::links::link_members(ctx.sm, &obj, &ldef)
+    }
+
+    /// Convenience: inverse of a 1-hop reference path given as
+    /// `"Set.reffield"` (e.g. `"Emp1.dept"`): which members of `Set`
+    /// reference `target` through `reffield`? Requires a replication path
+    /// (either strategy) whose inverted path covers that link.
+    pub fn inverse_of(&mut self, dotted: &str, target: Oid) -> Result<Vec<Oid>> {
+        let resolved = self.catalog.resolve_path_str(dotted)?;
+        // The "terminal field" of a 1-segment path like Emp1.dept is the
+        // ref field itself.
+        let prefix: Vec<usize> = if resolved.hops.is_empty() {
+            resolved.terminal_fields.clone()
+        } else {
+            resolved.hops.clone()
+        };
+        let link = self
+            .catalog
+            .links()
+            .find(|l| l.set == resolved.set && l.prefix == prefix)
+            .map(|l| l.id)
+            .ok_or_else(|| {
+                DbError::Unsupported(format!(
+                    "no inverted path covers {dotted:?}; replicate a path through it first"
+                ))
+            })?;
+        self.inverse(link, target)
+    }
+
+    /// All live member OIDs of a set, in physical order.
+    pub fn scan_set(&mut self, set_name: &str) -> Result<Vec<Oid>> {
+        let set = self.catalog.set(self.catalog.set_id(set_name)?).clone();
+        let hf = HeapFile::open(set.file);
+        let mut out = Vec::new();
+        let mut scan = hf.scan(&mut self.sm)?;
+        while let Some((oid, _, _)) = scan.next_record()? {
+            out.push(oid);
+        }
+        Ok(out)
+    }
+
+    /// Number of members of a set.
+    pub fn set_len(&mut self, set_name: &str) -> Result<u64> {
+        let set = self.catalog.set(self.catalog.set_id(set_name)?).clone();
+        Ok(HeapFile::open(set.file).count(&mut self.sm)?)
+    }
+}

@@ -1,0 +1,78 @@
+//! Typed object access over heap files, plus index-key encoding.
+
+use crate::error::{DbError, Result};
+use fieldrep_btree::keys;
+use fieldrep_catalog::Catalog;
+use fieldrep_model::{Object, TypeId, Value};
+use fieldrep_storage::{HeapFile, Oid, StorageManager};
+
+/// Record type tag used for link objects (never a real `TypeId`).
+pub const LINK_TAG: u16 = 0xFFFF;
+/// Record type tag used for separate-replication replica objects.
+pub const REPLICA_TAG: u16 = 0xFFFE;
+
+/// Read and decode the object at `oid`.
+pub fn read_object(sm: &mut StorageManager, cat: &Catalog, oid: Oid) -> Result<Object> {
+    let hf = HeapFile::open(oid.file);
+    let (tag, payload) = hf.read(sm, oid)?;
+    debug_assert!(tag != LINK_TAG && tag != REPLICA_TAG, "not a data object");
+    let type_id = TypeId(tag);
+    let def = cat.type_def(type_id);
+    Ok(Object::decode(type_id, def, &payload)?)
+}
+
+/// Encode and write back the object at `oid` (same type tag).
+pub fn write_object(
+    sm: &mut StorageManager,
+    cat: &Catalog,
+    oid: Oid,
+    obj: &Object,
+) -> Result<()> {
+    let def = cat.type_def(obj.type_id);
+    let payload = obj.encode(def);
+    let hf = HeapFile::open(oid.file);
+    hf.update(sm, oid, &payload)?;
+    Ok(())
+}
+
+/// Encode an indexable value as an order-preserving key.
+///
+/// `Unit` (padding) and `NULL` refs sort first; refs sort by physical OID.
+pub fn value_key(v: &Value) -> Vec<u8> {
+    match v {
+        Value::Int(x) => keys::encode_i64(*x).to_vec(),
+        Value::Float(x) => keys::encode_f64(*x).to_vec(),
+        Value::Str(s) => keys::encode_bytes(s.as_bytes()),
+        Value::Ref(o) => o.to_bytes().to_vec(),
+        Value::Unit => Vec::new(),
+    }
+}
+
+/// Check that a `Value::Ref` points at an object of the expected type (or
+/// is NULL). Reads the referenced object's record header via a full read —
+/// callers that already walk the chain skip this.
+pub fn check_ref_type(
+    sm: &mut StorageManager,
+    cat: &Catalog,
+    v: &Value,
+    expected: TypeId,
+) -> Result<()> {
+    let oid = v.as_ref_oid().map_err(DbError::from)?;
+    if oid.is_null() {
+        return Ok(());
+    }
+    let hf = HeapFile::open(oid.file);
+    let (tag, _) = hf.read(sm, oid)?;
+    if tag != expected.0 {
+        return Err(DbError::WrongRefType {
+            oid,
+            expected: cat.type_def(expected).name.clone(),
+            got: if tag == LINK_TAG || tag == REPLICA_TAG {
+                "internal object".into()
+            } else {
+                cat.type_def(TypeId(tag)).name.clone()
+            },
+        });
+    }
+    Ok(())
+}

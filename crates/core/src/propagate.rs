@@ -1,0 +1,386 @@
+//! Update propagation (§4.1.3, §5.2).
+//!
+//! After an object's fields change, three kinds of replicated state may
+//! need maintenance, all driven by the `(link-OID, link-ID)` pairs and
+//! anchors stored *in the object itself* — exactly the paper's mechanism
+//! for "determining how and when to propagate an update":
+//!
+//! 1. **In-place terminal propagation**: the object is the terminal of
+//!    one or more in-place paths (its link IDs match the paths' last
+//!    links) and a replicated field changed → traverse the inverted path
+//!    to the source objects and rewrite their hidden values, in physical
+//!    (sorted-OID) order.
+//! 2. **Separate terminal refresh**: the object carries a replica anchor
+//!    and a grouped field changed → rewrite the one shared replica object.
+//! 3. **Intermediate reference update**: a *reference* attribute that is
+//!    hop `i+1` of some path changed (the paper's `D.org` example) →
+//!    unlink the old suffix, link the new one, and re-materialise the
+//!    replicated values (or re-point the replica references) of every
+//!    source object below.
+
+use crate::attach::{
+    attach_links_from, collect_sources, detach_links_from, set_source_replica_values,
+    terminal_values,
+};
+use crate::error::Result;
+use crate::objects::{read_object, write_object};
+use crate::replicas::{anchor_acquire, anchor_release, find_replica_ref, group_values, write_replica};
+use crate::EngineCtx;
+use crate::PendingEntry;
+use fieldrep_catalog::{LinkId, PathId, Propagation, RepPathDef, Strategy};
+use fieldrep_model::{Annotation, Object, Value};
+use fieldrep_storage::Oid;
+
+/// One observed field change: `(field index, old value, new value)`.
+pub type FieldChange = (usize, Value, Value);
+
+/// Run all propagation caused by `changed` fields of the object at `oid`.
+/// `obj` must be the object's *post-update* state.
+pub fn propagate_after_update(
+    ctx: &mut EngineCtx<'_>,
+    oid: Oid,
+    obj: &Object,
+    changed: &[FieldChange],
+) -> Result<()> {
+    // ---- 2. Separate terminal refresh -------------------------------
+    let anchors: Vec<(u16, Oid)> = obj
+        .annotations
+        .iter()
+        .filter_map(|a| match a {
+            Annotation::ReplicaAnchor { group, oid, .. } => Some((*group, *oid)),
+            _ => None,
+        })
+        .collect();
+    for (gid, roid) in anchors {
+        let group = ctx.cat.group(fieldrep_catalog::GroupId(gid)).clone();
+        if changed.iter().any(|(f, _, _)| group.fields.contains(f)) {
+            // A group defers only if every path reading through it does.
+            let deferred = group
+                .paths
+                .iter()
+                .all(|p| ctx.cat.path(*p).propagation == Propagation::Deferred);
+            if deferred {
+                for p in &group.paths {
+                    ctx.pending.add(*p, PendingEntry::StaleReplica { obj: oid });
+                }
+            } else {
+                let values = group_values(&group, obj);
+                write_replica(ctx.sm, &group, roid, &values)?;
+            }
+        }
+    }
+
+    // ---- 1 & 3. Link-borne propagation -------------------------------
+    let link_ids: Vec<u8> = obj
+        .annotations
+        .iter()
+        .filter_map(|a| match a {
+            Annotation::LinkRef { link, .. }
+            | Annotation::InlineLink { link, .. }
+            | Annotation::CollapsedVia { link } => Some(*link),
+            _ => None,
+        })
+        .collect();
+
+    let mut terminal_paths: Vec<PathId> = Vec::new();
+    let mut intermediate: Vec<(PathId, usize, usize)> = Vec::new(); // (path, link level, field)
+    for (f, _, _) in changed {
+        for &l in &link_ids {
+            let link = LinkId(l);
+            for p in ctx.cat.inplace_paths_terminating_at(link, *f) {
+                if !terminal_paths.contains(&p.id) {
+                    terminal_paths.push(p.id);
+                }
+            }
+            for p in ctx.cat.paths_with_intermediate(link, *f) {
+                let lvl = p
+                    .links
+                    .iter()
+                    .position(|x| *x == link)
+                    .expect("paths_with_intermediate matched this link");
+                if !intermediate.contains(&(p.id, lvl, *f)) {
+                    intermediate.push((p.id, lvl, *f));
+                }
+            }
+        }
+    }
+
+    for pid in terminal_paths {
+        let path = ctx.cat.path(pid).clone();
+        if path.propagation == Propagation::Deferred {
+            ctx.pending.add(
+                pid,
+                PendingEntry::StaleSources {
+                    obj: oid,
+                    link_level: path.links.len() - 1,
+                },
+            );
+        } else {
+            propagate_terminal_inplace(ctx, &path, obj)?;
+        }
+    }
+
+    for (pid, lvl, f) in intermediate {
+        let path = ctx.cat.path(pid).clone();
+        let (_, old, new) = changed
+            .iter()
+            .find(|(cf, _, _)| cf == &f)
+            .expect("field listed in changes");
+        let old_ref = match old {
+            Value::Ref(o) if !o.is_null() => Some(*o),
+            _ => None,
+        };
+        let new_ref = match new {
+            Value::Ref(o) if !o.is_null() => Some(*o),
+            _ => None,
+        };
+        handle_intermediate_ref_update(ctx, &path, lvl, oid, obj, old_ref, new_ref)?;
+    }
+    Ok(())
+}
+
+/// In-place propagation from a terminal object down to the source objects
+/// ("the inverted path … is traversed to propagate that update", §4.1).
+pub fn propagate_terminal_inplace(
+    ctx: &mut EngineCtx<'_>,
+    path: &RepPathDef,
+    terminal_obj: &Object,
+) -> Result<()> {
+    debug_assert_eq!(path.strategy, Strategy::InPlace);
+    let last_level = path.links.len() - 1;
+    let sources = collect_sources(ctx, path, last_level, terminal_obj)?;
+    let values = terminal_values(path, terminal_obj);
+    for s in sources {
+        set_source_replica_values(ctx, path, s, Some(values.clone()))?;
+    }
+    Ok(())
+}
+
+/// Build the suffix chain (as a full-length chain vector) starting at
+/// `obj` (node `lvl + 1` of `path`) whose hop `lvl + 1` target is `next`.
+/// Positions `0..=lvl` are `None` (unused by the link helpers for `from =
+/// lvl + 1`).
+fn suffix_chain(
+    ctx: &mut EngineCtx<'_>,
+    path: &RepPathDef,
+    lvl: usize,
+    obj_oid: Oid,
+    next: Option<Oid>,
+) -> Result<Vec<Option<Oid>>> {
+    let n = path.hops.len() + 1;
+    let mut chain = vec![None; n];
+    chain[lvl + 1] = Some(obj_oid);
+    if lvl + 2 >= n {
+        // The changed ref was the terminal hop... cannot happen: node
+        // lvl+1 with hop lvl+1 targets node lvl+2 ≤ n-1.
+        return Ok(chain);
+    }
+    chain[lvl + 2] = next;
+    let mut cur = next;
+    for i in (lvl + 2)..path.hops.len() {
+        let Some(cur_oid) = cur else { break };
+        let cobj = read_object(ctx.sm, ctx.cat, cur_oid)?;
+        cur = match &cobj.values[path.hops[i]] {
+            Value::Ref(o) if !o.is_null() => Some(*o),
+            _ => None,
+        };
+        chain[i + 1] = cur;
+    }
+    Ok(chain)
+}
+
+/// Handle a change of the reference attribute that is hop `lvl + 1` of
+/// `path`, on the intermediate object at `oid` (post-update state `obj`).
+pub fn handle_intermediate_ref_update(
+    ctx: &mut EngineCtx<'_>,
+    path: &RepPathDef,
+    lvl: usize,
+    oid: Oid,
+    obj: &Object,
+    old_ref: Option<Oid>,
+    new_ref: Option<Oid>,
+) -> Result<()> {
+    if old_ref == new_ref {
+        return Ok(());
+    }
+    if path.collapsed {
+        return handle_collapsed_intermediate(ctx, path, oid, old_ref, new_ref);
+    }
+    // Sources below this object (they all reach the terminal through it).
+    let sources = collect_sources(ctx, path, lvl, obj)?;
+
+    // Unlink the old suffix, link the new one. Structure is always
+    // maintained eagerly, even for deferred paths.
+    let old_chain = suffix_chain(ctx, path, lvl, oid, old_ref)?;
+    detach_links_from(ctx, path, &old_chain, lvl + 1)?;
+    let new_chain = suffix_chain(ctx, path, lvl, oid, new_ref)?;
+    attach_links_from(ctx, path, &new_chain, lvl + 1)?;
+
+    match path.strategy {
+        Strategy::InPlace => {
+            if path.propagation == Propagation::Deferred {
+                ctx.pending.add(
+                    path.id,
+                    PendingEntry::StaleSources {
+                        obj: oid,
+                        link_level: lvl,
+                    },
+                );
+                return Ok(());
+            }
+            // Re-materialise values from the new terminal (None if broken).
+            let values = match new_chain.last().copied().flatten() {
+                Some(t) => {
+                    let tobj = read_object(ctx.sm, ctx.cat, t)?;
+                    Some(terminal_values(path, &tobj))
+                }
+                None => None,
+            };
+            for s in sources {
+                set_source_replica_values(ctx, path, s, values.clone())?;
+            }
+        }
+        Strategy::Separate => {
+            let group = ctx
+                .cat
+                .group(path.group.expect("separate path has a group"))
+                .clone();
+            let old_terminal = old_chain.last().copied().flatten();
+            let new_terminal = new_chain.last().copied().flatten();
+
+            // Remove the sources' replica references (counting how many
+            // actually pointed at the old replica).
+            let mut released = 0u32;
+            for s in &sources {
+                let mut sobj = read_object(ctx.sm, ctx.cat, *s)?;
+                if let Some((i, _)) = find_replica_ref(&sobj, group.id.0) {
+                    sobj.annotations.remove(i);
+                    write_object(ctx.sm, ctx.cat, *s, &sobj)?;
+                    released += 1;
+                }
+            }
+            if released > 0 {
+                if let Some(t) = old_terminal {
+                    anchor_release(ctx.sm, ctx.cat, &group, t, released)?;
+                }
+            }
+            // Point them at the new terminal's replica.
+            if let Some(t) = new_terminal {
+                let roid = anchor_acquire(ctx.sm, ctx.cat, &group, t, sources.len() as u32)?;
+                for s in &sources {
+                    let mut sobj = read_object(ctx.sm, ctx.cat, *s)?;
+                    sobj.annotations.push(Annotation::ReplicaRef {
+                        group: group.id.0,
+                        oid: roid,
+                    });
+                    write_object(ctx.sm, ctx.cat, *s, &sobj)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// §4.3.3: the intermediate's reference attribute changed. Move every
+/// entry tagged with this intermediate from the old terminal's collapsed
+/// store to the new one ("the OIDs of E1, E2, and E3 will have to be
+/// moved from O's link object to X's link object"), then refresh the
+/// moved sources' values. A broken new reference parks the entries on the
+/// intermediate itself so the routing survives.
+fn handle_collapsed_intermediate(
+    ctx: &mut EngineCtx<'_>,
+    path: &RepPathDef,
+    via: Oid,
+    old_ref: Option<Oid>,
+    new_ref: Option<Oid>,
+) -> Result<()> {
+    let link = ctx.cat.link(path.links[0]).clone();
+
+    // 1. Extract this intermediate's entries from their current holder
+    //    (the old terminal, or parked on the intermediate).
+    let old_holder = old_ref.unwrap_or(via);
+    let mut moved: Vec<Oid> = Vec::new();
+    {
+        let hobj = read_object(ctx.sm, ctx.cat, old_holder)?;
+        if let Some(head) = crate::collapsed::find_store(&hobj, link.id.0) {
+            let (srcs, remaining) =
+                crate::collapsed::store_remove_tagged(ctx.sm, &link, head, via)?;
+            moved = srcs;
+            if !moved.is_empty() && remaining == 0 {
+                let mut hobj = read_object(ctx.sm, ctx.cat, old_holder)?;
+                hobj.annotations.retain(|a| {
+                    !matches!(a, Annotation::LinkRef { link: l, .. } if *l == link.id.0)
+                });
+                write_object(ctx.sm, ctx.cat, old_holder, &hobj)?;
+            }
+        }
+    }
+    if moved.is_empty() {
+        return Ok(());
+    }
+
+    // 2. Insert them at the new holder (new terminal, or parked).
+    let new_holder = new_ref.unwrap_or(via);
+    {
+        let hobj = read_object(ctx.sm, ctx.cat, new_holder)?;
+        match crate::collapsed::find_store(&hobj, link.id.0) {
+            Some(head) => {
+                for &s in &moved {
+                    crate::collapsed::store_add(ctx.sm, &link, head, (s, via))?;
+                }
+            }
+            None => {
+                let entries: Vec<(Oid, Oid)> = moved.iter().map(|&s| (s, via)).collect();
+                let head = crate::collapsed::create_store(ctx.sm, &link, &entries)?;
+                let mut hobj = read_object(ctx.sm, ctx.cat, new_holder)?;
+                hobj.annotations.push(Annotation::LinkRef {
+                    link: link.id.0,
+                    oid: head,
+                });
+                write_object(ctx.sm, ctx.cat, new_holder, &hobj)?;
+            }
+        }
+    }
+
+    // 3. Refresh the moved sources' values.
+    match new_ref {
+        Some(t) => {
+            if path.propagation == Propagation::Deferred {
+                ctx.pending.add(
+                    path.id,
+                    PendingEntry::StaleSources {
+                        obj: t,
+                        link_level: 0,
+                    },
+                );
+            } else {
+                let tobj = read_object(ctx.sm, ctx.cat, t)?;
+                let values = terminal_values(path, &tobj);
+                for s in moved {
+                    set_source_replica_values(ctx, path, s, Some(values.clone()))?;
+                }
+            }
+        }
+        None => {
+            // Broken chain: values disappear (eagerly — a pending entry
+            // cannot express clearing).
+            for s in moved {
+                set_source_replica_values(ctx, path, s, None)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Guard for deletes: true if other objects still reach this one through
+/// a replication path (the paper assumes such objects are never deleted,
+/// §4.1.1; we enforce it).
+pub fn is_referenced(obj: &Object) -> bool {
+    obj.annotations.iter().any(|a| match a {
+        Annotation::LinkRef { .. } => true,
+        Annotation::InlineLink { oids, .. } => !oids.is_empty(),
+        Annotation::ReplicaAnchor { refcount, .. } => *refcount > 0,
+        Annotation::CollapsedVia { .. } => true,
+        _ => false,
+    })
+}

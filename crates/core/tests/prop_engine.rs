@@ -1,0 +1,278 @@
+//! Property test for the replication engine (DESIGN.md invariants 1–3):
+//! after ANY sequence of inserts, deletes, scalar updates and reference
+//! re-targets, every replicated structure must agree with the forward
+//! references — for in-place and separate strategies simultaneously, over
+//! 1- and 2-level paths with shared prefixes.
+
+mod common;
+
+use common::check_consistency;
+use fieldrep_catalog::{Propagation, Strategy as RepStrategy};
+use fieldrep_core::{Database, DbConfig, DbError};
+use fieldrep_model::{FieldType, TypeDef, Value};
+use fieldrep_storage::Oid;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    InsertEmp(usize, u8),    // dept pick (may be "null"), salary
+    InsertDept(usize, u8),   // org pick, budget
+    DeleteEmp(usize),
+    DeleteDept(usize),
+    RetargetEmp(usize, usize),  // emp pick, dept pick
+    RetargetDept(usize, usize), // dept pick, org pick
+    RenameDept(usize, u8),
+    RenameOrg(usize, u8),
+    BudgetDept(usize, u8),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..100usize, any::<u8>()).prop_map(|(d, s)| Op::InsertEmp(d, s)),
+        1 => (0..100usize, any::<u8>()).prop_map(|(o, b)| Op::InsertDept(o, b)),
+        2 => (0..100usize).prop_map(Op::DeleteEmp),
+        1 => (0..100usize).prop_map(Op::DeleteDept),
+        3 => (0..100usize, 0..100usize).prop_map(|(e, d)| Op::RetargetEmp(e, d)),
+        2 => (0..100usize, 0..100usize).prop_map(|(d, o)| Op::RetargetDept(d, o)),
+        2 => (0..100usize, any::<u8>()).prop_map(|(d, n)| Op::RenameDept(d, n)),
+        2 => (0..100usize, any::<u8>()).prop_map(|(o, n)| Op::RenameOrg(o, n)),
+        2 => (0..100usize, any::<u8>()).prop_map(|(d, b)| Op::BudgetDept(d, b)),
+    ]
+}
+
+fn build_db_full(
+    threshold: usize,
+    propagation: Propagation,
+    collapsed_extra: bool,
+) -> (Database, Vec<Oid>, Vec<Oid>, Vec<Oid>) {
+    let mut db = Database::in_memory(DbConfig {
+        pool_pages: 1024,
+        inline_link_threshold: threshold,
+    });
+    db.define_type(TypeDef::new(
+        "ORG",
+        vec![
+            ("name", FieldType::Str),
+            ("budget", FieldType::Int),
+            ("name2", FieldType::Str),
+        ],
+    ))
+    .unwrap();
+    db.define_type(TypeDef::new(
+        "DEPT",
+        vec![
+            ("name", FieldType::Str),
+            ("budget", FieldType::Int),
+            ("org", FieldType::Ref("ORG".into())),
+        ],
+    ))
+    .unwrap();
+    db.define_type(TypeDef::new(
+        "EMP",
+        vec![
+            ("name", FieldType::Str),
+            ("salary", FieldType::Int),
+            ("dept", FieldType::Ref("DEPT".into())),
+        ],
+    ))
+    .unwrap();
+    db.create_set("Org", "ORG").unwrap();
+    db.create_set("Dept", "DEPT").unwrap();
+    db.create_set("Emp1", "EMP").unwrap();
+
+    let mut orgs = vec![];
+    for i in 0..3 {
+        orgs.push(
+            db.insert(
+                "Org",
+                vec![
+                    Value::Str(format!("o{i}")),
+                    Value::Int(i),
+                    Value::Str(format!("o{i}b")),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+    let mut depts = vec![];
+    for i in 0..4 {
+        depts.push(
+            db.insert(
+                "Dept",
+                vec![
+                    Value::Str(format!("d{i}")),
+                    Value::Int(i),
+                    Value::Ref(orgs[(i as usize) % 3]),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+    // The full §4.1.4 mix: shared prefixes, both strategies, a collapse
+    // path, 1- and 2-level paths.
+    db.replicate_with("Emp1.dept.name", RepStrategy::InPlace, propagation)
+        .unwrap();
+    db.replicate_with("Emp1.dept.org.name", RepStrategy::InPlace, propagation)
+        .unwrap();
+    db.replicate_with("Emp1.dept.org", RepStrategy::InPlace, propagation)
+        .unwrap();
+    db.replicate_with("Emp1.dept.budget", RepStrategy::Separate, propagation)
+        .unwrap();
+    db.replicate_with("Emp1.dept.org.budget", RepStrategy::Separate, propagation)
+        .unwrap();
+    if collapsed_extra {
+        // §4.3.3: a collapsed 2-level path alongside everything else.
+        db.replicate_collapsed("Emp1.dept.org.name2", propagation)
+            .unwrap();
+    }
+    (db, orgs, depts, vec![])
+}
+
+fn run_ops(threshold: usize, ops: Vec<Op>) {
+    run_ops_with(threshold, Propagation::Eager, ops)
+}
+
+fn run_ops_with(threshold: usize, propagation: Propagation, ops: Vec<Op>) {
+    run_ops_full(threshold, propagation, false, ops)
+}
+
+fn run_ops_full(threshold: usize, propagation: Propagation, collapsed: bool, ops: Vec<Op>) {
+    let (mut db, orgs, mut depts, mut emps) = build_db_full(threshold, propagation, collapsed);
+    let mut tick = 0usize;
+
+    for op in ops {
+        match op {
+            Op::InsertEmp(d, s) => {
+                // Index 0 means a NULL dept (broken chain).
+                let dept = if d % (depts.len() + 1) == 0 {
+                    Oid::NULL
+                } else {
+                    depts[(d - 1) % depts.len()]
+                };
+                let e = db
+                    .insert(
+                        "Emp1",
+                        vec![
+                            Value::Str("e".into()),
+                            Value::Int(s as i64),
+                            Value::Ref(dept),
+                        ],
+                    )
+                    .unwrap();
+                emps.push(e);
+            }
+            Op::InsertDept(o, b) => {
+                let d = db
+                    .insert(
+                        "Dept",
+                        vec![
+                            Value::Str("d".into()),
+                            Value::Int(b as i64),
+                            Value::Ref(orgs[o % orgs.len()]),
+                        ],
+                    )
+                    .unwrap();
+                depts.push(d);
+            }
+            Op::DeleteEmp(i) => {
+                if emps.is_empty() {
+                    continue;
+                }
+                let e = emps.remove(i % emps.len());
+                db.delete(e).unwrap();
+            }
+            Op::DeleteDept(i) => {
+                if depts.len() <= 1 {
+                    continue;
+                }
+                let idx = i % depts.len();
+                match db.delete(depts[idx]) {
+                    Ok(()) => {
+                        depts.remove(idx);
+                    }
+                    Err(DbError::StillReferenced(_)) => {} // fine: in use
+                    Err(e) => panic!("unexpected delete error: {e}"),
+                }
+            }
+            Op::RetargetEmp(e, d) => {
+                if emps.is_empty() {
+                    continue;
+                }
+                let emp = emps[e % emps.len()];
+                let dept = if d % (depts.len() + 1) == 0 {
+                    Oid::NULL
+                } else {
+                    depts[(d - 1) % depts.len()]
+                };
+                db.update(emp, &[("dept", Value::Ref(dept))]).unwrap();
+            }
+            Op::RetargetDept(d, o) => {
+                let dept = depts[d % depts.len()];
+                let org = if o % (orgs.len() + 1) == 0 {
+                    Oid::NULL
+                } else {
+                    orgs[(o - 1) % orgs.len()]
+                };
+                db.update(dept, &[("org", Value::Ref(org))]).unwrap();
+            }
+            Op::RenameDept(d, n) => {
+                let dept = depts[d % depts.len()];
+                db.update(dept, &[("name", Value::Str(format!("dn{n}")))])
+                    .unwrap();
+            }
+            Op::RenameOrg(o, n) => {
+                let org = orgs[o % orgs.len()];
+                db.update(
+                    org,
+                    &[
+                        ("name", Value::Str(format!("on{n}"))),
+                        ("name2", Value::Str(format!("on{n}b"))),
+                    ],
+                )
+                .unwrap();
+            }
+            Op::BudgetDept(d, b) => {
+                let dept = depts[d % depts.len()];
+                db.update(dept, &[("budget", Value::Int(b as i64))]).unwrap();
+            }
+        }
+        // Deferred mode: sync sporadically mid-run (every 7th op) so the
+        // lazy machinery interleaves with further mutations.
+        tick += 1;
+        if propagation == Propagation::Deferred && tick.is_multiple_of(7) {
+            db.sync_all_pending().unwrap();
+        }
+    }
+    db.sync_all_pending().unwrap();
+    check_consistency(&mut db);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(28))]
+
+    /// With link objects always materialised (threshold 0).
+    #[test]
+    fn engine_invariants_hold_no_inlining(ops in proptest::collection::vec(op(), 1..60)) {
+        run_ops(0, ops);
+    }
+
+    /// With the §4.3.1 inline optimization active (threshold 2), so that
+    /// links flip between inline and object form under churn.
+    #[test]
+    fn engine_invariants_hold_with_inlining(ops in proptest::collection::vec(op(), 1..60)) {
+        run_ops(2, ops);
+    }
+
+    /// With deferred propagation (§8): after syncing, all invariants hold
+    /// exactly as in eager mode, under interleaved syncs and mutations.
+    #[test]
+    fn engine_invariants_hold_deferred(ops in proptest::collection::vec(op(), 1..60)) {
+        run_ops_with(0, Propagation::Deferred, ops);
+    }
+
+    /// With a §4.3.3 collapsed path alongside the normal mix.
+    #[test]
+    fn engine_invariants_hold_collapsed(ops in proptest::collection::vec(op(), 1..60)) {
+        run_ops_full(0, Propagation::Eager, true, ops);
+    }
+}

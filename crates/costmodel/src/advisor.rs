@@ -1,0 +1,154 @@
+//! Strategy advisor: turn the §6 model into a recommendation.
+//!
+//! The paper closes §3.1 with "the DBA … is knowledgeable enough to
+//! realize that replication should only be specified on reference paths
+//! that are frequently accessed and, at the same time, infrequently
+//! updated". This module mechanises that judgement: given the workload
+//! parameters and an update probability, it picks the cheapest strategy
+//! and reports the expected saving.
+
+use crate::costs::total_cost;
+use crate::params::{IndexSetting, ModelStrategy, Params};
+
+/// A recommendation for one reference path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Recommendation {
+    /// The cheapest strategy at the given update probability.
+    pub strategy: ModelStrategy,
+    /// Expected `C_total` under the recommendation.
+    pub cost: f64,
+    /// Percentage saved versus no replication (positive = saving).
+    pub saving_pct: f64,
+}
+
+/// Recommend the cheapest strategy for the given parameters and update
+/// probability.
+pub fn recommend(p: &Params, setting: IndexSetting, p_update: f64) -> Recommendation {
+    let candidates = [
+        ModelStrategy::None,
+        ModelStrategy::InPlace,
+        ModelStrategy::Separate,
+    ];
+    let base = total_cost(p, ModelStrategy::None, setting, p_update);
+    let (strategy, cost) = candidates
+        .into_iter()
+        .map(|s| (s, total_cost(p, s, setting, p_update)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty candidate list");
+    Recommendation {
+        strategy,
+        cost,
+        saving_pct: 100.0 * (base - cost) / base,
+    }
+}
+
+/// The update probability at which `b` becomes cheaper than `a`, found by
+/// bisection over `[0, 1]` (`None` if one strategy dominates throughout).
+pub fn crossover(
+    p: &Params,
+    setting: IndexSetting,
+    a: ModelStrategy,
+    b: ModelStrategy,
+) -> Option<f64> {
+    let diff = |x: f64| total_cost(p, a, setting, x) - total_cost(p, b, setting, x);
+    let (d0, d1) = (diff(0.0), diff(1.0));
+    if d0.signum() == d1.signum() {
+        return None;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..60 {
+        let mid = (lo + hi) / 2.0;
+        if diff(mid).signum() == d0.signum() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some((lo + hi) / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(f: f64) -> Params {
+        Params {
+            sharing: f,
+            read_sel: 0.002,
+            ..Params::default()
+        }
+    }
+
+    #[test]
+    fn read_heavy_mix_prefers_inplace() {
+        for setting in [IndexSetting::Unclustered, IndexSetting::Clustered] {
+            for f in [1.0, 10.0, 20.0, 50.0] {
+                let r = recommend(&p(f), setting, 0.05);
+                assert_eq!(r.strategy, ModelStrategy::InPlace, "f={f} {setting:?}");
+                assert!(r.saving_pct > 10.0);
+            }
+        }
+    }
+
+    #[test]
+    fn update_heavy_shared_mix_prefers_separate() {
+        for setting in [IndexSetting::Unclustered, IndexSetting::Clustered] {
+            for f in [10.0, 20.0, 50.0] {
+                let r = recommend(&p(f), setting, 0.5);
+                assert_eq!(r.strategy, ModelStrategy::Separate, "f={f} {setting:?}");
+                assert!(r.saving_pct > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pure_update_workload_prefers_no_replication() {
+        let r = recommend(&p(1.0), IndexSetting::Unclustered, 1.0);
+        assert_eq!(r.strategy, ModelStrategy::None);
+        assert_eq!(r.saving_pct, 0.0);
+    }
+
+    #[test]
+    fn crossover_matches_paper_window() {
+        // §6.6: in-place always wins below P_up ≈ 0.15·(something small)
+        // and separate always wins beyond ≈ 0.35 for f > 1 — so every
+        // crossover must fall strictly inside (0, 0.35]; it moves earlier
+        // as f grows (propagation cost scales with f).
+        let mut prev = f64::INFINITY;
+        for f in [10.0, 20.0, 50.0] {
+            let x = crossover(
+                &p(f),
+                IndexSetting::Unclustered,
+                ModelStrategy::InPlace,
+                ModelStrategy::Separate,
+            )
+            .expect("strategies cross");
+            assert!((0.0..=0.35).contains(&x), "crossover at f={f} was {x}");
+            assert!(x < prev, "crossover moves earlier as f grows");
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn crossover_none_when_dominated() {
+        // Against itself there is no crossing.
+        assert!(crossover(
+            &p(10.0),
+            IndexSetting::Unclustered,
+            ModelStrategy::InPlace,
+            ModelStrategy::InPlace
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn recommendation_is_continuous_in_p_update() {
+        // Cost of the recommended strategy is monotone non-decreasing as
+        // updates grow more likely… not in general, but the *saving*
+        // shrinks toward high update probabilities for in-place.
+        let params = p(20.0);
+        let early = recommend(&params, IndexSetting::Clustered, 0.0);
+        let late = recommend(&params, IndexSetting::Clustered, 0.9);
+        assert!(early.saving_pct >= late.saving_pct);
+    }
+}

@@ -1,0 +1,341 @@
+//! The twelve cost equations of §6.5 (unclustered) and §6.7 (clustered).
+//!
+//! Every function returns a [`Cost`] whose named terms correspond to the
+//! paper's `C_read/index`, `C_read/R`, … decomposition, so tables and
+//! ablations can inspect them individually.
+//!
+//! Rounding conventions (pinned down against Figures 12/14, see
+//! DESIGN.md §4): totals are computed in full precision and rounded up
+//! once; in the *clustered* equations, sequential accesses of the form
+//! `sel·P_x` are charged as whole pages `⌈sel·count/O_x⌉` for the data
+//! files R, S, S′ and T (you cannot transfer a fraction of a page), while
+//! the paper's `f_s·P_l` term is kept fractional as printed.
+
+use crate::params::{Derived, IndexSetting, ModelStrategy, Params};
+use crate::yao::yao;
+
+/// A cost broken into named I/O terms.
+#[derive(Clone, Debug)]
+pub struct Cost {
+    /// `(term name, expected page I/Os)`.
+    pub terms: Vec<(&'static str, f64)>,
+}
+
+impl Cost {
+    /// Total expected I/O.
+    pub fn total(&self) -> f64 {
+        self.terms.iter().map(|(_, v)| v).sum()
+    }
+
+    /// Total rounded up to whole pages (the paper's table convention:
+    /// "fractional values were rounded up to the nearest unit").
+    pub fn rounded(&self) -> u64 {
+        self.total().ceil() as u64
+    }
+
+    /// Look up one term.
+    pub fn term(&self, name: &str) -> Option<f64> {
+        self.terms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// `⌈log_m N⌉ + max(⌈sel·N/m − 1⌉, 0)`: descend the B⁺-tree, then walk
+/// the qualifying leaves.
+fn index_read(p: &Params, n: f64, sel: f64) -> f64 {
+    let descend = n.log(p.fanout).ceil().max(1.0);
+    let leaves = (sel * n / p.fanout - 1.0).ceil().max(0.0);
+    descend + leaves
+}
+
+/// Whole pages holding `sel·count` consecutive objects at `per_page`
+/// density (clustered access).
+fn seq_pages(sel: f64, count: f64, per_page: f64) -> f64 {
+    (sel * count / per_page).ceil()
+}
+
+/// C_read for a strategy under an index setting.
+pub fn read_cost(p: &Params, strategy: ModelStrategy, setting: IndexSetting) -> Cost {
+    let d = p.derive(strategy);
+    match setting {
+        IndexSetting::Unclustered => read_unclustered(p, strategy, &d),
+        IndexSetting::Clustered => read_clustered(p, strategy, &d),
+    }
+}
+
+/// C_update for a strategy under an index setting.
+pub fn update_cost(p: &Params, strategy: ModelStrategy, setting: IndexSetting) -> Cost {
+    let d = p.derive(strategy);
+    match setting {
+        IndexSetting::Unclustered => update_unclustered(p, strategy, &d),
+        IndexSetting::Clustered => update_clustered(p, strategy, &d),
+    }
+}
+
+/// `C_total = (1 − P_up)·C_read + P_up·C_update` (§6).
+pub fn total_cost(
+    p: &Params,
+    strategy: ModelStrategy,
+    setting: IndexSetting,
+    p_update: f64,
+) -> f64 {
+    (1.0 - p_update) * read_cost(p, strategy, setting).total()
+        + p_update * update_cost(p, strategy, setting).total()
+}
+
+/// Percentage difference in `C_total` relative to no replication —
+/// the quantity plotted in Figures 11 and 13 (negative = replication
+/// wins).
+pub fn percent_difference(
+    p: &Params,
+    strategy: ModelStrategy,
+    setting: IndexSetting,
+    p_update: f64,
+) -> f64 {
+    let base = total_cost(p, ModelStrategy::None, setting, p_update);
+    let this = total_cost(p, strategy, setting, p_update);
+    100.0 * (this - base) / base
+}
+
+// ------------------------------------------------------------ unclustered
+
+fn read_unclustered(p: &Params, strategy: ModelStrategy, d: &Derived) -> Cost {
+    let r_n = p.r_count();
+    let picked = p.read_sel * r_n;
+    let mut terms = vec![
+        ("index_r", index_read(p, r_n, p.read_sel)),
+        ("read_R", d.p_r * yao(r_n, d.o_r, picked)),
+    ];
+    match strategy {
+        ModelStrategy::None => {
+            terms.push(("read_S", d.p_s * yao(r_n, p.sharing * d.o_s, picked)));
+        }
+        ModelStrategy::InPlace => {} // no join at all
+        ModelStrategy::Separate => {
+            terms.push(("read_S'", d.p_sp * yao(r_n, p.sharing * d.o_sp, picked)));
+        }
+    }
+    terms.push(("generate_T", d.p_t));
+    Cost { terms }
+}
+
+fn update_unclustered(p: &Params, strategy: ModelStrategy, d: &Derived) -> Cost {
+    let s_n = p.s_count;
+    let picked = p.update_sel * s_n;
+    let mut terms = vec![
+        ("index_s", index_read(p, s_n, p.update_sel)),
+        ("update_S", 2.0 * d.p_s * yao(s_n, d.o_s, picked)),
+    ];
+    match strategy {
+        ModelStrategy::None => {}
+        ModelStrategy::InPlace => {
+            if !(p.inline_link_elimination && p.sharing <= 1.0) {
+                terms.push(("read_L", d.p_l * yao(s_n, d.o_l, picked)));
+            }
+            let r_n = p.r_count();
+            // f·f_s·|S| = f_s·|R| objects in R receive the propagation.
+            terms.push((
+                "update_R",
+                2.0 * d.p_r * yao(r_n, d.o_r, p.update_sel * r_n),
+            ));
+        }
+        ModelStrategy::Separate => {
+            terms.push(("update_S'", 2.0 * d.p_sp * yao(s_n, d.o_sp, picked)));
+        }
+    }
+    Cost { terms }
+}
+
+// -------------------------------------------------------------- clustered
+
+fn read_clustered(p: &Params, strategy: ModelStrategy, d: &Derived) -> Cost {
+    let r_n = p.r_count();
+    let picked = p.read_sel * r_n;
+    let mut terms = vec![
+        ("index_r", index_read(p, r_n, p.read_sel)),
+        ("read_R", seq_pages(p.read_sel, r_n, d.o_r)),
+    ];
+    match strategy {
+        ModelStrategy::None => {
+            terms.push(("read_S", d.p_s * yao(r_n, p.sharing * d.o_s, picked)));
+        }
+        ModelStrategy::InPlace => {}
+        ModelStrategy::Separate => {
+            terms.push(("read_S'", d.p_sp * yao(r_n, p.sharing * d.o_sp, picked)));
+        }
+    }
+    terms.push(("generate_T", d.p_t));
+    Cost { terms }
+}
+
+fn update_clustered(p: &Params, strategy: ModelStrategy, d: &Derived) -> Cost {
+    let s_n = p.s_count;
+    let mut terms = vec![
+        ("index_s", index_read(p, s_n, p.update_sel)),
+        ("update_S", 2.0 * seq_pages(p.update_sel, s_n, d.o_s)),
+    ];
+    match strategy {
+        ModelStrategy::None => {}
+        ModelStrategy::InPlace => {
+            if !(p.inline_link_elimination && p.sharing <= 1.0) {
+                terms.push(("read_L", p.update_sel * d.p_l));
+            }
+            let r_n = p.r_count();
+            terms.push((
+                "update_R",
+                2.0 * d.p_r * yao(r_n, d.o_r, p.update_sel * r_n),
+            ));
+        }
+        ModelStrategy::Separate => {
+            terms.push(("update_S'", 2.0 * seq_pages(p.update_sel, s_n, d.o_sp)));
+        }
+    }
+    Cost { terms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(f: f64, fr: f64) -> Params {
+        Params {
+            sharing: f,
+            read_sel: fr,
+            ..Params::default()
+        }
+    }
+
+    /// Figure 12 of the paper (unclustered), reproduced within ±1 I/O.
+    #[test]
+    fn figure_12_values() {
+        let cases: &[(f64, ModelStrategy, u64, u64)] = &[
+            (1.0, ModelStrategy::None, 43, 22),
+            (1.0, ModelStrategy::InPlace, 23, 42),
+            (1.0, ModelStrategy::Separate, 41, 42),
+            (20.0, ModelStrategy::None, 691, 22),
+            (20.0, ModelStrategy::InPlace, 407, 427),
+            (20.0, ModelStrategy::Separate, 509, 42),
+        ];
+        for &(f, strat, want_read, want_update) in cases {
+            let params = p(f, 0.002);
+            let read = read_cost(&params, strat, IndexSetting::Unclustered).rounded();
+            let update = update_cost(&params, strat, IndexSetting::Unclustered).rounded();
+            assert!(
+                read.abs_diff(want_read) <= 1,
+                "read {strat:?} f={f}: got {read}, paper {want_read}"
+            );
+            assert!(
+                update.abs_diff(want_update) <= 1,
+                "update {strat:?} f={f}: got {update}, paper {want_update}"
+            );
+        }
+    }
+
+    /// Figure 14 of the paper (clustered), reproduced within ±1 I/O.
+    #[test]
+    fn figure_14_values() {
+        let cases: &[(f64, ModelStrategy, u64, u64)] = &[
+            (1.0, ModelStrategy::None, 24, 4),
+            (1.0, ModelStrategy::InPlace, 4, 24),
+            (1.0, ModelStrategy::Separate, 23, 6),
+            (20.0, ModelStrategy::None, 316, 4),
+            (20.0, ModelStrategy::InPlace, 32, 400),
+            (20.0, ModelStrategy::Separate, 133, 6),
+        ];
+        for &(f, strat, want_read, want_update) in cases {
+            let params = p(f, 0.002);
+            let read = read_cost(&params, strat, IndexSetting::Clustered).rounded();
+            let update = update_cost(&params, strat, IndexSetting::Clustered).rounded();
+            assert!(
+                read.abs_diff(want_read) <= 1,
+                "read {strat:?} f={f}: got {read}, paper {want_read}"
+            );
+            assert!(
+                update.abs_diff(want_update) <= 1,
+                "update {strat:?} f={f}: got {update}, paper {want_update}"
+            );
+        }
+    }
+
+    /// Without the §4.3.1 elimination, the in-place f = 1 unclustered
+    /// update is ≈ 52 (the printed-equation value; DESIGN.md §4).
+    #[test]
+    fn inplace_f1_update_without_elimination() {
+        let mut params = p(1.0, 0.002);
+        params.inline_link_elimination = false;
+        let update = update_cost(&params, ModelStrategy::InPlace, IndexSetting::Unclustered);
+        assert!(update.term("read_L").is_some());
+        assert!((51.0..=53.0).contains(&(update.rounded() as f64)));
+    }
+
+    /// §6.6's headline claims: in-place beats separate for small update
+    /// probabilities; separate beats in-place beyond ~0.35 (f > 1); both
+    /// beat no replication over wide ranges.
+    #[test]
+    fn crossover_claims() {
+        for f in [10.0, 20.0, 50.0] {
+            let params = p(f, 0.002);
+            for setting in [IndexSetting::Unclustered, IndexSetting::Clustered] {
+                let ip_low = percent_difference(&params, ModelStrategy::InPlace, setting, 0.05);
+                let sep_low = percent_difference(&params, ModelStrategy::Separate, setting, 0.05);
+                assert!(ip_low < sep_low, "in-place wins at low update prob");
+                assert!(ip_low < 0.0, "in-place beats no replication at 0.05");
+
+                let ip_hi = percent_difference(&params, ModelStrategy::InPlace, setting, 0.5);
+                let sep_hi = percent_difference(&params, ModelStrategy::Separate, setting, 0.5);
+                assert!(sep_hi < ip_hi, "separate wins at high update prob (f={f})");
+                assert!(sep_hi < 0.0, "separate still beats no replication at 0.5");
+            }
+        }
+    }
+
+    /// §6.6: "for f = 1, separate replication provides almost no benefit".
+    #[test]
+    fn separate_useless_at_f1() {
+        let params = p(1.0, 0.002);
+        let d = percent_difference(
+            &params,
+            ModelStrategy::Separate,
+            IndexSetting::Unclustered,
+            0.0,
+        );
+        assert!(d.abs() < 6.0, "separate ≈ no replication at f=1: {d}");
+    }
+
+    /// The §6.6 "flip": for separate replication, f_r = .005 is best at
+    /// f = 10 but worst at f = 50.
+    #[test]
+    fn read_selectivity_flip() {
+        let setting = IndexSetting::Unclustered;
+        let at = |f: f64, fr: f64| {
+            percent_difference(&p(f, fr), ModelStrategy::Separate, setting, 0.1)
+        };
+        assert!(at(10.0, 0.005) < at(10.0, 0.001), "at f=10 larger reads help");
+        assert!(at(50.0, 0.001) < at(50.0, 0.005), "at f=50 larger reads hurt");
+    }
+
+    #[test]
+    fn cost_terms_are_positive_and_named() {
+        let params = p(10.0, 0.002);
+        for strat in [
+            ModelStrategy::None,
+            ModelStrategy::InPlace,
+            ModelStrategy::Separate,
+        ] {
+            for setting in [IndexSetting::Unclustered, IndexSetting::Clustered] {
+                for c in [
+                    read_cost(&params, strat, setting),
+                    update_cost(&params, strat, setting),
+                ] {
+                    assert!(!c.terms.is_empty());
+                    for (n, v) in &c.terms {
+                        assert!(*v >= 0.0, "{n} negative");
+                    }
+                    assert!(c.total() > 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Generators for the paper's figures and tables (the per-experiment
+//! index of DESIGN.md).
+
+use crate::costs::{percent_difference, read_cost, update_cost};
+use crate::params::{IndexSetting, ModelStrategy, Params};
+
+/// One plotted point of Figures 11/13.
+#[derive(Clone, Copy, Debug)]
+pub struct CurvePoint {
+    /// Update probability (x axis).
+    pub p_update: f64,
+    /// % difference in `C_total` vs. no replication, in-place strategy.
+    pub inplace_pct: f64,
+    /// % difference, separate strategy.
+    pub separate_pct: f64,
+}
+
+/// One graph of Figure 11 or 13: for a sharing level `f`, three curves
+/// (`f_r ∈ {.001, .002, .005}`) per strategy, sampled over
+/// `p_update ∈ [0, 1]`.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Sharing level.
+    pub f: f64,
+    /// `(f_r, curve)` per read selectivity.
+    pub curves: Vec<(f64, Vec<CurvePoint>)>,
+}
+
+/// The sharing levels of Figures 11/13.
+pub const FIG_SHARING_LEVELS: [f64; 4] = [1.0, 10.0, 20.0, 50.0];
+/// The read selectivities of Figures 11/13.
+pub const FIG_READ_SELS: [f64; 3] = [0.001, 0.002, 0.005];
+
+/// Generate one graph (fixed `f`, three `f_r` curves, `steps + 1` points).
+pub fn figure_graph(setting: IndexSetting, f: f64, steps: usize) -> Graph {
+    let mut curves = Vec::new();
+    for &fr in &FIG_READ_SELS {
+        let params = Params {
+            sharing: f,
+            read_sel: fr,
+            ..Params::default()
+        };
+        let mut pts = Vec::with_capacity(steps + 1);
+        for i in 0..=steps {
+            let p_up = i as f64 / steps as f64;
+            pts.push(CurvePoint {
+                p_update: p_up,
+                inplace_pct: percent_difference(
+                    &params,
+                    ModelStrategy::InPlace,
+                    setting,
+                    p_up,
+                ),
+                separate_pct: percent_difference(
+                    &params,
+                    ModelStrategy::Separate,
+                    setting,
+                    p_up,
+                ),
+            });
+        }
+        curves.push((fr, pts));
+    }
+    Graph { f, curves }
+}
+
+/// Generate all four graphs of Figure 11 (unclustered) or Figure 13
+/// (clustered).
+pub fn figure_11_or_13(setting: IndexSetting, steps: usize) -> Vec<Graph> {
+    FIG_SHARING_LEVELS
+        .iter()
+        .map(|&f| figure_graph(setting, f, steps))
+        .collect()
+}
+
+/// One row of Figures 12/14: `C_read` and `C_update` for a strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableRow {
+    /// Strategy.
+    pub strategy: ModelStrategy,
+    /// Rounded `C_read`.
+    pub c_read: u64,
+    /// Rounded `C_update`.
+    pub c_update: u64,
+}
+
+/// The selected-values table (Figure 12 for unclustered, Figure 14 for
+/// clustered): rows for the three strategies at `(f, f_r = .002)`.
+pub fn selected_values(setting: IndexSetting, f: f64) -> Vec<TableRow> {
+    let params = Params {
+        sharing: f,
+        read_sel: 0.002,
+        ..Params::default()
+    };
+    [
+        ModelStrategy::None,
+        ModelStrategy::InPlace,
+        ModelStrategy::Separate,
+    ]
+    .into_iter()
+    .map(|strategy| TableRow {
+        strategy,
+        c_read: read_cost(&params, strategy, setting).rounded(),
+        c_update: update_cost(&params, strategy, setting).rounded(),
+    })
+    .collect()
+}
+
+/// Render a graph as a compact ASCII table (used by the figure binaries).
+pub fn render_graph(g: &Graph, setting: IndexSetting) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let name = match setting {
+        IndexSetting::Unclustered => "Unclustered",
+        IndexSetting::Clustered => "Clustered",
+    };
+    writeln!(
+        out,
+        "{name} Access, f = {}, |R| = {}",
+        g.f,
+        (g.f * 10_000.0) as u64
+    )
+    .unwrap();
+    write!(out, "{:>6} |", "P_up").unwrap();
+    for (fr, _) in &g.curves {
+        write!(out, " in-pl f_r={fr:<5} sep f_r={fr:<7}").unwrap();
+    }
+    writeln!(out).unwrap();
+    let n = g.curves[0].1.len();
+    for i in 0..n {
+        write!(out, "{:>6.2} |", g.curves[0].1[i].p_update).unwrap();
+        for (_, pts) in &g.curves {
+            write!(
+                out,
+                " {:>+13.1}% {:>+10.1}%  ",
+                pts[i].inplace_pct, pts[i].separate_pct
+            )
+            .unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graphs_start_negative_and_rise() {
+        // At P_up = 0 replication always helps; curves rise with P_up.
+        for setting in [IndexSetting::Unclustered, IndexSetting::Clustered] {
+            for g in figure_11_or_13(setting, 10) {
+                for (_, pts) in &g.curves {
+                    assert!(pts[0].inplace_pct < 0.0, "in-place helps at P_up=0");
+                    // In-place gets monotonically worse as updates dominate.
+                    for w in pts.windows(2) {
+                        assert!(w[1].inplace_pct >= w[0].inplace_pct - 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selected_values_match_figures() {
+        // Spot checks (full checks live in costs::tests).
+        let t = selected_values(IndexSetting::Unclustered, 1.0);
+        assert_eq!(t[0].c_read, 43);
+        assert_eq!(t[1].c_update, 42);
+        let t = selected_values(IndexSetting::Clustered, 20.0);
+        assert_eq!(t[1].c_read, 32);
+        assert_eq!(t[2].c_update, 6);
+    }
+
+    #[test]
+    fn render_is_nonempty() {
+        let g = figure_graph(IndexSetting::Unclustered, 10.0, 4);
+        let s = render_graph(&g, IndexSetting::Unclustered);
+        assert!(s.contains("f = 10"));
+        assert!(s.lines().count() > 5);
+    }
+}

@@ -1,0 +1,27 @@
+//! # fieldrep-costmodel
+//!
+//! The analytical I/O cost model of Shekita & Carey's §6, implemented
+//! exactly: Yao's block-access function, the twelve `C_read`/`C_update`
+//! equations for {no, in-place, separate} replication × {unclustered,
+//! clustered} indexes, the query-mix total
+//! `C_total = (1−P_up)·C_read + P_up·C_update`, and generators for every
+//! figure and table of the evaluation (Figures 11–14).
+//!
+//! This crate is pure math (no I/O, no dependencies); the benchmark
+//! harness compares its predictions against the measured page I/O of the
+//! real engine.
+
+pub mod advisor;
+pub mod costs;
+pub mod figures;
+pub mod params;
+pub mod yao;
+
+pub use advisor::{crossover, recommend, Recommendation};
+pub use costs::{percent_difference, read_cost, total_cost, update_cost, Cost};
+pub use figures::{
+    figure_11_or_13, figure_graph, render_graph, selected_values, CurvePoint, Graph, TableRow,
+    FIG_READ_SELS, FIG_SHARING_LEVELS,
+};
+pub use params::{Derived, IndexSetting, ModelStrategy, Params};
+pub use yao::yao;

@@ -1,0 +1,202 @@
+//! Cost-model parameters (Figure 10 of the paper) and the per-strategy
+//! size adjustments of §6.3.
+
+/// The replication strategy being costed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModelStrategy {
+    /// No replication: read queries join `R` with `S`.
+    None,
+    /// In-place replication (§4).
+    InPlace,
+    /// Separate replication (§5).
+    Separate,
+}
+
+/// Index setting of the analysis (§6.4): both indexes unclustered, or
+/// both clustered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IndexSetting {
+    /// §6.5: more total I/O; replication saves a smaller percentage.
+    Unclustered,
+    /// §6.7: less total I/O; replication saves a larger percentage.
+    Clustered,
+}
+
+/// Core parameters, with Figure 10's defaults.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// `B`: user bytes per disk page.
+    pub page_bytes: f64,
+    /// `h`: storage overhead per object.
+    pub obj_overhead: f64,
+    /// `m`: B⁺-tree fanout.
+    pub fanout: f64,
+    /// `|S|`: objects in S.
+    pub s_count: f64,
+    /// `f`: sharing level (every S object referenced by `f` R objects;
+    /// `|R| = f·|S|`).
+    pub sharing: f64,
+    /// `f_r`: read-query selectivity.
+    pub read_sel: f64,
+    /// `f_s`: update-query selectivity.
+    pub update_sel: f64,
+    /// `sizeof(OID)`.
+    pub oid_bytes: f64,
+    /// `sizeof(link-ID)`.
+    pub link_id_bytes: f64,
+    /// `sizeof(type-tag)`.
+    pub type_tag_bytes: f64,
+    /// `k`: size of the replicated field.
+    pub repl_field_bytes: f64,
+    /// `r`: size of R objects (before strategy adjustment).
+    pub r_bytes: f64,
+    /// `s`: size of S objects.
+    pub s_bytes: f64,
+    /// `t`: size of output objects.
+    pub t_bytes: f64,
+    /// Apply the §4.3.1 optimization in the model: when `f = 1`, every
+    /// link object holds one OID and is eliminated, dropping the
+    /// `C_read/L` term of in-place updates. Figure 12's in-place `f = 1`
+    /// update cost (42) is only reproducible with this on; see DESIGN.md.
+    pub inline_link_elimination: bool,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            page_bytes: 4056.0,
+            obj_overhead: 20.0,
+            fanout: 350.0,
+            s_count: 10_000.0,
+            sharing: 1.0,
+            read_sel: 0.001,
+            update_sel: 0.001,
+            oid_bytes: 8.0,
+            link_id_bytes: 1.0,
+            type_tag_bytes: 2.0,
+            repl_field_bytes: 20.0,
+            r_bytes: 100.0,
+            s_bytes: 200.0,
+            t_bytes: 100.0,
+            inline_link_elimination: true,
+        }
+    }
+}
+
+impl Params {
+    /// Figure 10's defaults with a given sharing level `f`.
+    pub fn with_sharing(f: f64) -> Params {
+        Params {
+            sharing: f,
+            ..Params::default()
+        }
+    }
+
+    /// `|R| = f·|S|`.
+    pub fn r_count(&self) -> f64 {
+        self.sharing * self.s_count
+    }
+
+    /// Derive all file-size quantities for a strategy (§6.3's tacit
+    /// adjustments, pinned down in DESIGN.md §4):
+    /// * in-place: `r → r + k`;
+    /// * separate: `r → r + sizeof(OID)` (the hidden replica reference),
+    ///   `s' = k + sizeof(type-tag)`, `l = 1 + sizeof(type-tag) +
+    ///   f·sizeof(OID)`;
+    /// * `s` is never adjusted (verified against Figure 12).
+    pub fn derive(&self, strategy: ModelStrategy) -> Derived {
+        let r = match strategy {
+            ModelStrategy::None => self.r_bytes,
+            ModelStrategy::InPlace => self.r_bytes + self.repl_field_bytes,
+            ModelStrategy::Separate => self.r_bytes + self.oid_bytes,
+        };
+        let s = self.s_bytes;
+        let s_prime = self.repl_field_bytes + self.type_tag_bytes;
+        let l = 1.0 + self.type_tag_bytes + self.sharing * self.oid_bytes;
+
+        let per_page = |x: f64| (self.page_bytes / (self.obj_overhead + x)).floor();
+        let pages = |count: f64, per: f64| (count / per).ceil();
+
+        let o_r = per_page(r);
+        let o_s = per_page(s);
+        let o_sp = per_page(s_prime);
+        let o_l = per_page(l);
+        let o_t = per_page(self.t_bytes);
+
+        Derived {
+            o_r,
+            o_s,
+            o_sp,
+            o_l,
+            o_t,
+            p_r: pages(self.r_count(), o_r),
+            p_s: pages(self.s_count, o_s),
+            p_sp: pages(self.s_count, o_sp),
+            p_l: pages(self.s_count, o_l),
+            p_t: pages(self.read_sel * self.r_count(), o_t),
+        }
+    }
+}
+
+/// Derived per-file quantities (the `O_x` / `P_x` of Figure 10).
+#[derive(Clone, Copy, Debug)]
+pub struct Derived {
+    /// Objects per page in R.
+    pub o_r: f64,
+    /// Objects per page in S.
+    pub o_s: f64,
+    /// Objects per page in S'.
+    pub o_sp: f64,
+    /// Objects per page in L.
+    pub o_l: f64,
+    /// Objects per page in T.
+    pub o_t: f64,
+    /// Pages in R.
+    pub p_r: f64,
+    /// Pages in S.
+    pub p_s: f64,
+    /// Pages in S'.
+    pub p_sp: f64,
+    /// Pages in L.
+    pub p_l: f64,
+    /// Pages in T (for one read query).
+    pub p_t: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_10_derived_values() {
+        let p = Params::default(); // f = 1
+        let d = p.derive(ModelStrategy::None);
+        assert_eq!(d.o_r, 33.0); // ⌊4056/120⌋
+        assert_eq!(d.o_s, 18.0); // ⌊4056/220⌋
+        assert_eq!(d.p_r, 304.0); // ⌈10000/33⌉
+        assert_eq!(d.p_s, 556.0); // ⌈10000/18⌉
+        assert_eq!(d.o_t, 33.0);
+
+        let d = p.derive(ModelStrategy::InPlace);
+        assert_eq!(d.o_r, 28.0); // r = 120 → ⌊4056/140⌋
+        assert_eq!(d.p_r, 358.0);
+        assert_eq!(d.o_l, 130.0); // l = 11 → ⌊4056/31⌋
+        assert_eq!(d.p_l, 77.0);
+
+        let d = p.derive(ModelStrategy::Separate);
+        assert_eq!(d.o_r, 31.0); // r = 108 → ⌊4056/128⌋
+        assert_eq!(d.p_r, 323.0);
+        assert_eq!(d.o_sp, 96.0); // s' = 22 → ⌊4056/42⌋
+        assert_eq!(d.p_sp, 105.0);
+    }
+
+    #[test]
+    fn sharing_scales_r() {
+        let p = Params::with_sharing(20.0);
+        assert_eq!(p.r_count(), 200_000.0);
+        let d = p.derive(ModelStrategy::InPlace);
+        assert_eq!(d.p_r, (200_000.0f64 / 28.0).ceil());
+        // l grows with f: 1 + 2 + 20·8 = 163 → ⌊4056/183⌋ = 22.
+        assert_eq!(d.o_l, 22.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Yao's block-access estimate \[Yao77\], used throughout §6.
+//!
+//! `y(a, b, c)` is the probability that a given page is touched when `c`
+//! objects are chosen at random from `a` objects of which `b` live on
+//! that page:
+//!
+//! ```text
+//! y(a, b, c) = 1 − C(a−b, c) / C(a, c)
+//! ```
+//!
+//! The expected number of pages read from a `P`-page file is then
+//! `P · y(a, b, c)`.
+
+/// Exact Yao function, computed as a telescoping product for numerical
+/// stability (no factorials).
+///
+/// Edge cases: `c = 0` → 0; `c > a − b` (every subset must hit the page)
+/// → 1; `b = 0` → 0.
+pub fn yao(a: f64, b: f64, c: f64) -> f64 {
+    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0, "yao: negative argument");
+    if c == 0.0 || b == 0.0 || a == 0.0 {
+        return 0.0;
+    }
+    let b = b.min(a);
+    if c > a - b {
+        return 1.0;
+    }
+    // C(a-b, c)/C(a, c) = Π_{i=0}^{c-1} (a - b - i) / (a - i)
+    let mut prod = 1.0f64;
+    let n = c as u64;
+    for i in 0..n {
+        let i = i as f64;
+        prod *= (a - b - i) / (a - i);
+    }
+    (1.0 - prod).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::yao;
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(yao(1000.0, 10.0, 0.0), 0.0);
+        assert_eq!(yao(1000.0, 0.0, 10.0), 0.0);
+        assert_eq!(yao(1000.0, 10.0, 991.0), 1.0);
+        assert_eq!(yao(10.0, 10.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn single_pick() {
+        // One object picked from a: hit probability is b/a.
+        let y = yao(1000.0, 25.0, 1.0);
+        assert!((y - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_and_monotonicity() {
+        let a = 10_000.0;
+        let b = 33.0;
+        let mut prev = 0.0;
+        for c in 1..200 {
+            let y = yao(a, b, c as f64);
+            assert!((0.0..=1.0).contains(&y));
+            assert!(y >= prev, "monotone in c");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn matches_binomial_approximation_for_small_selectivity() {
+        // For c ≪ a, y ≈ 1 − (1 − b/a)^c.
+        let (a, b, c) = (200_000.0, 28.0, 400.0);
+        let approx = 1.0 - (1.0f64 - b / a).powf(c);
+        let exact = yao(a, b, c);
+        assert!((exact - approx).abs() < 1e-3, "{exact} vs {approx}");
+    }
+}

@@ -1,0 +1,497 @@
+//! Interpreter: executes parsed statements against a [`Database`].
+
+use crate::ast::{CmpOp, Expr, FieldDecl, Predicate, Stmt};
+use crate::parser::{parse_script, parse_stmt};
+use crate::LangError;
+use fieldrep_catalog::{IndexKind, Propagation, Strategy};
+use fieldrep_core::{Database, DbConfig};
+use fieldrep_model::{FieldType, TypeDef, Value};
+use fieldrep_query::{Assign, Filter, ReadQuery, UpdateQuery};
+use fieldrep_storage::Oid;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The result of executing one statement.
+#[derive(Debug)]
+pub enum Output {
+    /// Statement had no result (DDL).
+    None,
+    /// `insert` — the new object's OID.
+    Inserted(Oid),
+    /// `retrieve` — column headers and rows.
+    Rows {
+        /// Column headers (the projection paths).
+        columns: Vec<String>,
+        /// Result rows (`None` = broken reference path).
+        rows: Vec<Vec<Option<Value>>>,
+    },
+    /// `replace` — number of objects updated.
+    Updated(usize),
+    /// `delete` — number of objects deleted.
+    Deleted(usize),
+    /// `sync` — number of deferred work items applied.
+    Synced(usize),
+    /// `show …` — formatted text.
+    Text(String),
+}
+
+impl fmt::Display for Output {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Output::None => write!(f, "ok"),
+            Output::Inserted(oid) => write!(f, "inserted {oid}"),
+            Output::Updated(n) => write!(f, "{n} object(s) updated"),
+            Output::Deleted(n) => write!(f, "{n} object(s) deleted"),
+            Output::Synced(n) => write!(f, "{n} deferred propagation(s) applied"),
+            Output::Text(s) => write!(f, "{s}"),
+            Output::Rows { columns, rows } => {
+                writeln!(f, "{}", columns.join(" | "))?;
+                for row in rows {
+                    let cells: Vec<String> = row
+                        .iter()
+                        .map(|v| match v {
+                            Some(v) => format!("{v}"),
+                            None => "NULL".into(),
+                        })
+                        .collect();
+                    writeln!(f, "{}", cells.join(" | "))?;
+                }
+                write!(f, "({} row(s))", rows.len())
+            }
+        }
+    }
+}
+
+/// An interpreter session: a database plus `$variable` bindings.
+pub struct Interpreter {
+    /// The underlying database (accessible for mixing API and language
+    /// use).
+    pub db: Database,
+    vars: HashMap<String, Oid>,
+}
+
+impl Interpreter {
+    /// Fresh in-memory database session.
+    pub fn new(cfg: DbConfig) -> Interpreter {
+        Interpreter {
+            db: Database::in_memory(cfg),
+            vars: HashMap::new(),
+        }
+    }
+
+    /// Wrap an existing database.
+    pub fn with_db(db: Database) -> Interpreter {
+        Interpreter {
+            db,
+            vars: HashMap::new(),
+        }
+    }
+
+    /// Look up a `$variable` bound by `insert … as $var`.
+    pub fn var(&self, name: &str) -> Option<Oid> {
+        self.vars.get(name).copied()
+    }
+
+    /// Bind a `$variable` programmatically.
+    pub fn bind(&mut self, name: impl Into<String>, oid: Oid) {
+        self.vars.insert(name.into(), oid);
+    }
+
+    /// Parse and execute a single statement.
+    pub fn execute(&mut self, src: &str) -> Result<Output, LangError> {
+        let stmt = parse_stmt(src)?;
+        self.execute_stmt(&stmt)
+    }
+
+    /// Parse and execute a `;`-separated script, returning each
+    /// statement's output.
+    pub fn run_script(&mut self, src: &str) -> Result<Vec<Output>, LangError> {
+        let stmts = parse_script(src)?;
+        stmts.iter().map(|s| self.execute_stmt(s)).collect()
+    }
+
+    fn value_of(&self, e: &Expr) -> Result<Value, LangError> {
+        Ok(match e {
+            Expr::Int(v) => Value::Int(*v),
+            Expr::Float(v) => Value::Float(*v),
+            Expr::Str(s) => Value::Str(s.clone()),
+            Expr::Null => Value::Ref(Oid::NULL),
+            Expr::Var(name) => Value::Ref(*self.vars.get(name).ok_or_else(|| {
+                LangError::Exec(format!("unbound variable ${name}"))
+            })?),
+        })
+    }
+
+    fn filter_of(&self, pred: &Predicate) -> Result<(String, Filter), LangError> {
+        let (path, filter) = match pred {
+            Predicate::Between { path, lo, hi } => {
+                let (set, rel) = split_set(path)?;
+                (
+                    set,
+                    Filter::Range {
+                        path: rel,
+                        lo: self.value_of(lo)?,
+                        hi: self.value_of(hi)?,
+                    },
+                )
+            }
+            Predicate::Cmp { path, op, value } => {
+                let (set, rel) = split_set(path)?;
+                let v = self.value_of(value)?;
+                let f = match (op, &v) {
+                    (CmpOp::Eq, _) => Filter::Eq { path: rel, value: v },
+                    (CmpOp::Gt, Value::Int(x)) => Filter::Range {
+                        path: rel,
+                        lo: Value::Int(x + 1),
+                        hi: Value::Int(i64::MAX),
+                    },
+                    (CmpOp::Ge, Value::Int(x)) => Filter::Range {
+                        path: rel,
+                        lo: Value::Int(*x),
+                        hi: Value::Int(i64::MAX),
+                    },
+                    (CmpOp::Lt, Value::Int(x)) => Filter::Range {
+                        path: rel,
+                        lo: Value::Int(i64::MIN),
+                        hi: Value::Int(x - 1),
+                    },
+                    (CmpOp::Le, Value::Int(x)) => Filter::Range {
+                        path: rel,
+                        lo: Value::Int(i64::MIN),
+                        hi: Value::Int(*x),
+                    },
+                    (op, v) => {
+                        return Err(LangError::Exec(format!(
+                            "operator {op:?} is only supported on integer fields (got {v})"
+                        )))
+                    }
+                };
+                (set, f)
+            }
+        };
+        Ok((path, filter))
+    }
+
+    /// Execute one parsed statement.
+    pub fn execute_stmt(&mut self, stmt: &Stmt) -> Result<Output, LangError> {
+        match stmt {
+            Stmt::DefineType { name, fields } => {
+                let fields: Vec<(String, FieldType)> = fields
+                    .iter()
+                    .map(|f| match f {
+                        FieldDecl::Int(n) => (n.clone(), FieldType::Int),
+                        FieldDecl::Float(n) => (n.clone(), FieldType::Float),
+                        FieldDecl::Str(n) => (n.clone(), FieldType::Str),
+                        FieldDecl::Ref(n, t) => (n.clone(), FieldType::Ref(t.clone())),
+                        FieldDecl::Pad(n, sz) => (n.clone(), FieldType::Pad(*sz)),
+                    })
+                    .collect();
+                self.db.define_type(TypeDef::new(name.clone(), fields))?;
+                Ok(Output::None)
+            }
+            Stmt::CreateSet { name, type_name } => {
+                self.db.create_set(name, type_name)?;
+                Ok(Output::None)
+            }
+            Stmt::Replicate {
+                path,
+                separate,
+                deferred,
+                collapsed,
+            } => {
+                let strategy = if *separate {
+                    Strategy::Separate
+                } else {
+                    Strategy::InPlace
+                };
+                let propagation = if *deferred {
+                    Propagation::Deferred
+                } else {
+                    Propagation::Eager
+                };
+                if *collapsed {
+                    if *separate {
+                        return Err(LangError::Exec(
+                            "collapsed inverted paths require the in-place strategy".into(),
+                        ));
+                    }
+                    self.db.replicate_collapsed(&path.join("."), propagation)?;
+                } else {
+                    self.db
+                        .replicate_with(&path.join("."), strategy, propagation)?;
+                }
+                Ok(Output::None)
+            }
+            Stmt::DropReplicate { path } => {
+                let dotted = path.join(".");
+                let pid = self
+                    .db
+                    .catalog()
+                    .paths()
+                    .find(|p| p.expr.to_string() == dotted)
+                    .map(|p| p.id)
+                    .ok_or_else(|| {
+                        LangError::Exec(format!("no replication path {dotted:?}"))
+                    })?;
+                self.db.drop_replication(pid)?;
+                Ok(Output::None)
+            }
+            Stmt::BuildIndex { path, clustered } => {
+                let kind = if *clustered {
+                    IndexKind::Clustered
+                } else {
+                    IndexKind::Unclustered
+                };
+                self.db.create_index(&path.join("."), kind)?;
+                Ok(Output::None)
+            }
+            Stmt::Insert { set, fields, bind } => {
+                let set_id = self.db.catalog().set_id(set)?;
+                let def = self
+                    .db
+                    .catalog()
+                    .type_def(self.db.catalog().set(set_id).elem_type)
+                    .clone();
+                let mut values = Vec::with_capacity(def.fields.len());
+                for fd in &def.fields {
+                    let provided = fields.iter().find(|(n, _)| *n == fd.name);
+                    let v = match provided {
+                        Some((_, e)) => self.value_of(e)?,
+                        None => match &fd.ftype {
+                            FieldType::Int => Value::Int(0),
+                            FieldType::Float => Value::Float(0.0),
+                            FieldType::Str => Value::Str(String::new()),
+                            FieldType::Ref(_) => Value::Ref(Oid::NULL),
+                            FieldType::Pad(_) => Value::Unit,
+                        },
+                    };
+                    values.push(v);
+                }
+                // Reject unknown field names.
+                for (n, _) in fields {
+                    if def.field_index(n).is_none() {
+                        return Err(LangError::Exec(format!(
+                            "type {} has no field {n:?}",
+                            def.name
+                        )));
+                    }
+                }
+                let oid = self.db.insert(set, values)?;
+                if let Some(b) = bind {
+                    self.vars.insert(b.clone(), oid);
+                }
+                Ok(Output::Inserted(oid))
+            }
+            Stmt::Retrieve {
+                projections,
+                predicate,
+            } => {
+                let (set, first_rel) = split_set(&projections[0])?;
+                let mut q = ReadQuery::on(set.clone()).project([first_rel]);
+                for p in &projections[1..] {
+                    let (s, rel) = split_set(p)?;
+                    if s != set {
+                        return Err(LangError::Exec(format!(
+                            "all projections must start from the same set ({set} vs {s})"
+                        )));
+                    }
+                    q = q.project([rel]);
+                }
+                if let Some(pred) = predicate {
+                    let (pset, filter) = self.filter_of(pred)?;
+                    if pset != set {
+                        return Err(LangError::Exec(format!(
+                            "predicate set {pset} differs from projection set {set}"
+                        )));
+                    }
+                    q = q.filter(filter);
+                }
+                let res = q.run(&mut self.db)?;
+                Ok(Output::Rows {
+                    columns: projections.iter().map(|p| p.join(".")).collect(),
+                    rows: res.rows,
+                })
+            }
+            Stmt::Replace {
+                assignments,
+                predicate,
+            } => {
+                let (set, first_field) = {
+                    let (s, rel) = split_set(&assignments[0].0)?;
+                    if rel.contains('.') {
+                        return Err(LangError::Exec(
+                            "replace assigns base fields only (Set.field = value)".into(),
+                        ));
+                    }
+                    (s, rel)
+                };
+                let mut q = UpdateQuery::on(set.clone())
+                    .assign(first_field, Assign::Set(self.value_of(&assignments[0].1)?));
+                for (path, e) in &assignments[1..] {
+                    let (s, rel) = split_set(path)?;
+                    if s != set {
+                        return Err(LangError::Exec(
+                            "all assignments must target the same set".into(),
+                        ));
+                    }
+                    q = q.assign(rel, Assign::Set(self.value_of(e)?));
+                }
+                if let Some(pred) = predicate {
+                    let (pset, filter) = self.filter_of(pred)?;
+                    if pset != set {
+                        return Err(LangError::Exec(format!(
+                            "predicate set {pset} differs from assignment set {set}"
+                        )));
+                    }
+                    q = q.filter(filter);
+                }
+                let res = q.run(&mut self.db)?;
+                Ok(Output::Updated(res.updated))
+            }
+            Stmt::Delete { set, predicate } => {
+                // Evaluate the predicate per object (index use is a
+                // possible refinement; deletes are rare in the paper's
+                // workloads).
+                let oids = self.db.scan_set(set)?;
+                let mut victims = Vec::new();
+                match predicate {
+                    None => victims = oids,
+                    Some(pred) => {
+                        let (pset, filter) = self.filter_of(pred)?;
+                        if &pset != set {
+                            return Err(LangError::Exec(format!(
+                                "predicate set {pset} differs from target set {set}"
+                            )));
+                        }
+                        for oid in oids {
+                            let vals = self.db.deref_path(oid, filter.path())?;
+                            if let Some(v) = vals.and_then(|v| v.into_iter().next()) {
+                                if filter.matches(&v) {
+                                    victims.push(oid);
+                                }
+                            }
+                        }
+                    }
+                }
+                let n = victims.len();
+                for oid in victims {
+                    self.db.delete(oid)?;
+                }
+                Ok(Output::Deleted(n))
+            }
+            Stmt::Advise { path, p_update } => {
+                let dotted = path.join(".");
+                let (stats, rec) = self.db.advise_path(
+                    &dotted,
+                    fieldrep_costmodel::IndexSetting::Unclustered,
+                    0.001,
+                    0.001,
+                    *p_update,
+                )?;
+                Ok(Output::Text(format!(
+                    "{dotted}: |R| = {}, referenced terminals = {}, f = {:.1}, \
+                     r = {:.0}B, s = {:.0}B, k = {:.0}B\n\
+                     at P_update = {p_update}: use {:?} (saves {:.1}% vs no replication)",
+                    stats.source_count,
+                    stats.terminal_count,
+                    stats.sharing,
+                    stats.source_bytes,
+                    stats.terminal_bytes,
+                    stats.replicated_bytes,
+                    rec.strategy,
+                    rec.saving_pct,
+                )))
+            }
+            Stmt::Sync => Ok(Output::Synced(self.db.sync_all_pending()?)),
+            Stmt::Show { what } => self.show(what),
+        }
+    }
+
+    fn show(&mut self, what: &str) -> Result<Output, LangError> {
+        use std::fmt::Write;
+        let mut out = String::new();
+        match what {
+            "catalog" => {
+                writeln!(out, "sets:").unwrap();
+                for s in self.db.catalog().sets() {
+                    let ty = self.db.catalog().type_def(s.elem_type).name.clone();
+                    writeln!(out, "  {}: {{own ref {}}}", s.name, ty).unwrap();
+                }
+                writeln!(out, "replication paths:").unwrap();
+                let lines: Vec<String> = self
+                    .db
+                    .catalog()
+                    .paths()
+                    .map(|p| {
+                        let seq: Vec<String> =
+                            p.links.iter().map(|l| l.0.to_string()).collect();
+                        format!(
+                            "  replicate {:<28} {:?}/{:?}  link sequence = ({})",
+                            p.expr.to_string(),
+                            p.strategy,
+                            p.propagation,
+                            seq.join(",")
+                        )
+                    })
+                    .collect();
+                for l in lines {
+                    writeln!(out, "{l}").unwrap();
+                }
+                writeln!(out, "indexes:").unwrap();
+                let idx: Vec<String> = self
+                    .db
+                    .catalog()
+                    .sets()
+                    .iter()
+                    .flat_map(|s| {
+                        self.db
+                            .catalog()
+                            .indexes_on(s.id)
+                            .map(|i| format!("  {:?} on {} ({:?})", i.kind, s.name, i.target))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                for l in idx {
+                    writeln!(out, "{l}").unwrap();
+                }
+            }
+            "pending" => {
+                let lines: Vec<String> = self
+                    .db
+                    .catalog()
+                    .paths()
+                    .map(|p| (p.id, p.expr.to_string()))
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|(id, expr)| {
+                        format!("  {expr}: {} pending", self.db.pending_count(id))
+                    })
+                    .collect();
+                writeln!(out, "deferred propagation queues:").unwrap();
+                for l in lines {
+                    writeln!(out, "{l}").unwrap();
+                }
+            }
+            "io" => {
+                writeln!(out, "{}", self.db.io_profile()).unwrap();
+            }
+            other => {
+                return Err(LangError::Exec(format!(
+                    "unknown `show` target {other:?} (catalog | pending | io)"
+                )))
+            }
+        }
+        Ok(Output::Text(out.trim_end().to_string()))
+    }
+}
+
+/// Split `[set, rest…]` into `(set, "rest.joined")`.
+fn split_set(path: &[String]) -> Result<(String, String), LangError> {
+    if path.len() < 2 {
+        return Err(LangError::Exec(format!(
+            "path {:?} must be set-qualified (Set.field…)",
+            path.join(".")
+        )));
+    }
+    Ok((path[0].clone(), path[1..].join(".")))
+}

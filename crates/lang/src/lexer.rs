@@ -1,0 +1,273 @@
+//! Tokenizer for the EXTRA-style statement language.
+
+use crate::LangError;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Token {
+    /// Identifier or keyword (`define`, `Emp1`, `salary`…). Keywords are
+    /// recognised case-insensitively by the parser.
+    Ident(String),
+    /// `$name` — an interpreter variable holding an object reference.
+    Var(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Double-quoted string literal (supports `\"` and `\\`).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `!=`
+    Ne,
+    /// `;`
+    Semi,
+}
+
+/// Tokenize one statement (or script). `--` starts a line comment.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let mut out = Vec::new();
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if b.get(i + 1) == Some(&'-') => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            ':' => {
+                out.push(Token::Colon);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if b.get(i + 1) == Some(&'=') => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '<' => {
+                if b.get(i + 1) == Some(&'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if b.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(LangError::Lex("empty variable name after '$'".into()));
+                }
+                out.push(Token::Var(b[start..j].iter().collect()));
+                i = j;
+            }
+            '"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match b.get(j) {
+                        None => return Err(LangError::Lex("unterminated string".into())),
+                        Some('"') => {
+                            j += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            match b.get(j + 1) {
+                                Some('"') => s.push('"'),
+                                Some('\\') => s.push('\\'),
+                                Some('n') => s.push('\n'),
+                                other => {
+                                    return Err(LangError::Lex(format!(
+                                        "bad escape: \\{other:?}"
+                                    )))
+                                }
+                            }
+                            j += 2;
+                        }
+                        Some(c) => {
+                            s.push(*c);
+                            j += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+                i = j;
+            }
+            c if c.is_ascii_digit() || (c == '-' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+                let start = i;
+                let mut j = i + 1;
+                let mut is_float = false;
+                while j < b.len() {
+                    match b[j] {
+                        d if d.is_ascii_digit() => j += 1,
+                        '.' if !is_float && b.get(j + 1).is_some_and(|d| d.is_ascii_digit()) => {
+                            is_float = true;
+                            j += 1;
+                        }
+                        '_' => j += 1,
+                        _ => break,
+                    }
+                }
+                let text: String = b[start..j].iter().filter(|c| **c != '_').collect();
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|e| {
+                        LangError::Lex(format!("bad float {text:?}: {e}"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|e| {
+                        LangError::Lex(format!("bad int {text:?}: {e}"))
+                    })?));
+                }
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.push(Token::Ident(b[start..j].iter().collect()));
+                i = j;
+            }
+            other => return Err(LangError::Lex(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_statement() {
+        let toks = lex(r#"retrieve (Emp1.name) where Emp1.salary > 100_000 -- comment"#).unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("retrieve".into()),
+                Token::LParen,
+                Token::Ident("Emp1".into()),
+                Token::Dot,
+                Token::Ident("name".into()),
+                Token::RParen,
+                Token::Ident("where".into()),
+                Token::Ident("Emp1".into()),
+                Token::Dot,
+                Token::Ident("salary".into()),
+                Token::Gt,
+                Token::Int(100_000),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_strings_and_vars() {
+        let toks = lex(r#"insert Dept (name = "Sho\"e", org = $acme)"#).unwrap();
+        assert!(toks.contains(&Token::Str("Sho\"e".into())));
+        assert!(toks.contains(&Token::Var("acme".into())));
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(lex("-5").unwrap(), vec![Token::Int(-5)]);
+        assert_eq!(lex("2.5").unwrap(), vec![Token::Float(2.5)]);
+        assert_eq!(lex("1_000").unwrap(), vec![Token::Int(1000)]);
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(
+            lex("<= >= != < > =").unwrap(),
+            vec![Token::Le, Token::Ge, Token::Ne, Token::Lt, Token::Gt, Token::Eq]
+        );
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("$").is_err());
+        assert!(lex("#").is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! # fieldrep-lang
+//!
+//! A textual front-end in the EXTRA style the paper uses for every
+//! example (§2–§3): the schema of Figure 1, the `replicate` statements,
+//! `build btree on`, and the `retrieve`/`replace` query forms all parse
+//! and execute verbatim (modulo whitespace):
+//!
+//! ```
+//! use fieldrep_lang::Interpreter;
+//! use fieldrep_core::DbConfig;
+//!
+//! let mut it = Interpreter::new(DbConfig::default());
+//! it.run_script(r#"
+//!     define type DEPT ( name: char[], budget: int );
+//!     define type EMP  ( name: char[], salary: int, dept: ref DEPT );
+//!     create Dept: {own ref DEPT};
+//!     create Emp1: {own ref EMP};
+//!     insert Dept (name = "Shoe", budget = 100000) as $shoe;
+//!     insert Emp1 (name = "Alice", salary = 120000, dept = $shoe);
+//!     replicate Emp1.dept.name;
+//! "#).unwrap();
+//!
+//! let out = it.execute(
+//!     "retrieve (Emp1.name, Emp1.salary, Emp1.dept.name) \
+//!      where Emp1.salary > 100000").unwrap();
+//! println!("{out}");
+//! ```
+//!
+//! Extensions beyond the paper's printed syntax (documented in DESIGN.md):
+//! `using separate` / `deferred` / `collapsed` on `replicate`,
+//! `drop replicate`, `insert … as $var` object handles, `delete from`,
+//! `advise <path> at <p>` (live statistics + §6 model recommendation),
+//! `sync`, and `show catalog|pending|io` (which prints the link sequences
+//! of §4.1.3).
+
+pub mod ast;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{CmpOp, Expr, FieldDecl, Predicate, Stmt};
+pub use interp::{Interpreter, Output};
+pub use parser::{parse_script, parse_stmt};
+
+use std::fmt;
+
+/// Errors from the language layer.
+#[derive(Debug)]
+pub enum LangError {
+    /// Tokenizer failure.
+    Lex(String),
+    /// Parser failure.
+    Parse(String),
+    /// Execution failure raised by the interpreter itself.
+    Exec(String),
+    /// Failure from the underlying engine.
+    Db(fieldrep_core::DbError),
+    /// Failure from the query layer.
+    Query(fieldrep_query::QueryError),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex(m) => write!(f, "lex error: {m}"),
+            LangError::Parse(m) => write!(f, "parse error: {m}"),
+            LangError::Exec(m) => write!(f, "error: {m}"),
+            LangError::Db(e) => write!(f, "engine error: {e}"),
+            LangError::Query(e) => write!(f, "query error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LangError::Db(e) => Some(e),
+            LangError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fieldrep_core::DbError> for LangError {
+    fn from(e: fieldrep_core::DbError) -> Self {
+        LangError::Db(e)
+    }
+}
+
+impl From<fieldrep_query::QueryError> for LangError {
+    fn from(e: fieldrep_query::QueryError) -> Self {
+        LangError::Query(e)
+    }
+}
+
+impl From<fieldrep_catalog::CatalogError> for LangError {
+    fn from(e: fieldrep_catalog::CatalogError) -> Self {
+        LangError::Db(fieldrep_core::DbError::Catalog(e))
+    }
+}

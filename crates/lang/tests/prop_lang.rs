@@ -1,0 +1,100 @@
+//! Parser robustness properties: arbitrary input must never panic, and
+//! generated well-formed statements must parse to the expected shapes.
+
+use fieldrep_lang::{parse_script, parse_stmt, Stmt};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup: the parser returns Ok or Err, never panics.
+    #[test]
+    fn parser_never_panics(src in ".{0,200}") {
+        let _ = parse_script(&src);
+    }
+
+    /// Arbitrary token-ish soup from the language's own alphabet.
+    #[test]
+    fn parser_never_panics_on_tokeny_input(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("define".to_string()),
+                Just("type".to_string()),
+                Just("retrieve".to_string()),
+                Just("replicate".to_string()),
+                Just("where".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(",".to_string()),
+                Just(".".to_string()),
+                Just(";".to_string()),
+                Just("=".to_string()),
+                Just("$x".to_string()),
+                Just("\"s\"".to_string()),
+                Just("42".to_string()),
+                "[a-z]{1,6}",
+            ],
+            0..30,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = parse_script(&src);
+    }
+
+    /// Generated `retrieve` statements parse back to their structure.
+    #[test]
+    fn generated_retrieves_roundtrip(
+        set in "[A-Z][a-z]{1,6}",
+        fields in proptest::collection::vec("[a-z]{1,8}", 1..5),
+        sel in proptest::option::of(("[a-z]{1,8}", -1000..1000i64)),
+    ) {
+        let projs: Vec<String> = fields.iter().map(|f| format!("{set}.{f}")).collect();
+        let mut stmt = format!("retrieve ({})", projs.join(", "));
+        if let Some((f, v)) = &sel {
+            stmt.push_str(&format!(" where {set}.{f} > {v}"));
+        }
+        let parsed = parse_stmt(&stmt).unwrap();
+        match parsed {
+            Stmt::Retrieve { projections, predicate } => {
+                prop_assert_eq!(projections.len(), fields.len());
+                prop_assert_eq!(predicate.is_some(), sel.is_some());
+                for (p, f) in projections.iter().zip(&fields) {
+                    prop_assert_eq!(&p[0], &set);
+                    prop_assert_eq!(&p[1], f);
+                }
+            }
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    /// Generated schema scripts parse to the right number of statements.
+    #[test]
+    fn generated_schema_scripts_parse(
+        types in proptest::collection::vec(("[A-Z]{2,6}", 1..5usize), 1..4),
+    ) {
+        let mut script = String::new();
+        for (name, nfields) in &types {
+            let fields: Vec<String> =
+                (0..*nfields).map(|i| format!("f{i}: int")).collect();
+            script.push_str(&format!("define type {name} ( {} );\n", fields.join(", ")));
+        }
+        let stmts = parse_script(&script).unwrap();
+        prop_assert_eq!(stmts.len(), types.len());
+    }
+
+    /// String literals with escapes survive the lexer.
+    #[test]
+    fn string_literals_roundtrip(s in "[a-zA-Z0-9 _.,!?-]{0,40}") {
+        let stmt = format!(r#"insert X (name = "{s}")"#);
+        match parse_stmt(&stmt).unwrap() {
+            Stmt::Insert { fields, .. } => {
+                prop_assert_eq!(fields.len(), 1);
+                match &fields[0].1 {
+                    fieldrep_lang::Expr::Str(got) => prop_assert_eq!(got, &s),
+                    other => prop_assert!(false, "expected string, got {other:?}"),
+                }
+            }
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+}

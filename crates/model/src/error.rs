@@ -1,0 +1,39 @@
+//! Errors raised by the data-model layer.
+
+use std::fmt;
+
+/// Errors from value/object encoding, decoding, and path parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A buffer ended before a complete value/object could be decoded.
+    Truncated,
+    /// Malformed bytes (bad tag, non-UTF-8 string, …).
+    BadEncoding(String),
+    /// A value does not match the field type it was assigned to.
+    TypeMismatch {
+        /// Expected kind.
+        expected: String,
+        /// Actual kind.
+        got: String,
+    },
+    /// An unknown field name was referenced.
+    NoSuchField(String),
+    /// A reference path failed to parse.
+    BadPath(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Truncated => write!(f, "truncated encoding"),
+            ModelError::BadEncoding(m) => write!(f, "bad encoding: {m}"),
+            ModelError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            ModelError::NoSuchField(n) => write!(f, "no such field: {n}"),
+            ModelError::BadPath(p) => write!(f, "bad reference path: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,542 @@
+//! Object representation and on-disk encoding.
+//!
+//! An [`Object`] is the in-memory form of one stored object: its base
+//! field values (laid out by its [`TypeDef`]) plus *annotations* — the
+//! hidden, engine-managed extras that field replication attaches to
+//! objects:
+//!
+//! * [`Annotation::ReplicaValue`] — an in-place hidden field holding a
+//!   replicated value ("objects in Emp1 can be thought of as having a
+//!   'hidden' field in which a replicated value for dept.name is stored",
+//!   §3.1). The paper handles the structural change through subtyping
+//!   (§4); our encoding appends a trailer section, which is the same idea
+//!   at the byte level.
+//! * [`Annotation::LinkRef`] / [`Annotation::InlineLink`] — the
+//!   `(link-OID, link-ID)` pairs stored in each object that lies on a
+//!   replication path (§4.1.3). `InlineLink` is the §4.3.1 optimization:
+//!   when a link object would hold only a few OIDs it is eliminated and
+//!   the OIDs are stored directly in the referencing object.
+//! * [`Annotation::ReplicaRef`] — separate replication's hidden reference
+//!   from a source object to its shared replica object in `S'` (§5).
+//! * [`Annotation::ReplicaAnchor`] — separate replication's bookkeeping on
+//!   the *target* object: the OID of its replica object plus a reference
+//!   count ("O1 contains R1's OID, a reference count for R1, and a tag…",
+//!   §5.2).
+//!
+//! On-disk layout of an object payload:
+//!
+//! ```text
+//! [base fields, schema order] [annotation count u8] [annotations…]
+//! ```
+
+use crate::error::ModelError;
+use crate::types::{FieldType, TypeDef, TypeId};
+use crate::value::Value;
+use fieldrep_storage::Oid;
+
+/// Hidden, engine-managed data carried by an object (see module docs).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Annotation {
+    /// In-place replication: hidden replicated values for path `path`
+    /// (one value per replicated terminal field, in catalog field order —
+    /// a plain field path has one, an `.all` path has several).
+    ReplicaValue {
+        /// Replication-path id (catalog-assigned).
+        path: u16,
+        /// The replicated values.
+        values: Vec<Value>,
+    },
+    /// This object lies on link `link` of some replication path(s); its
+    /// link object is at `oid`.
+    LinkRef {
+        /// Link id (catalog-assigned, shared across paths with a common
+        /// prefix, §4.1.4).
+        link: u8,
+        /// OID of the link object.
+        oid: Oid,
+    },
+    /// §4.3.1 optimization: the link object was eliminated and its OIDs
+    /// are stored inline.
+    InlineLink {
+        /// Link id.
+        link: u8,
+        /// Referencing objects' OIDs, kept sorted.
+        oids: Vec<Oid>,
+    },
+    /// Separate replication: this source object reads the values for path
+    /// group `group` from the shared replica object at `oid`.
+    ReplicaRef {
+        /// Path-group id (one `S'` file per source set and target set pair).
+        group: u16,
+        /// OID of the shared replica object in `S'`.
+        oid: Oid,
+    },
+    /// Separate replication: this *target* object's values are replicated
+    /// into the replica object at `oid`, currently shared by `refcount`
+    /// source objects.
+    ReplicaAnchor {
+        /// Path-group id.
+        group: u16,
+        /// OID of the replica object in `S'`.
+        oid: Oid,
+        /// Number of source objects sharing it.
+        refcount: u32,
+    },
+    /// §4.3.3 collapsed inverted paths: this object is an *intermediate*
+    /// of a collapsed path. Its own link object no longer exists (that is
+    /// the point of collapsing); the marker lets the engine detect that
+    /// updates to this object's reference attribute must move tagged
+    /// entries between the terminal objects' collapsed link stores.
+    CollapsedVia {
+        /// The collapsed link's id.
+        link: u8,
+    },
+}
+
+impl Annotation {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Annotation::ReplicaValue { path, values } => {
+                out.push(1);
+                out.extend_from_slice(&path.to_le_bytes());
+                out.extend_from_slice(&Value::encode_list(values));
+            }
+            Annotation::LinkRef { link, oid } => {
+                out.push(2);
+                out.push(*link);
+                out.extend_from_slice(&oid.to_bytes());
+            }
+            Annotation::InlineLink { link, oids } => {
+                out.push(3);
+                out.push(*link);
+                assert!(oids.len() <= u16::MAX as usize);
+                out.extend_from_slice(&(oids.len() as u16).to_le_bytes());
+                for o in oids {
+                    out.extend_from_slice(&o.to_bytes());
+                }
+            }
+            Annotation::ReplicaRef { group, oid } => {
+                out.push(4);
+                out.extend_from_slice(&group.to_le_bytes());
+                out.extend_from_slice(&oid.to_bytes());
+            }
+            Annotation::ReplicaAnchor {
+                group,
+                oid,
+                refcount,
+            } => {
+                out.push(5);
+                out.extend_from_slice(&group.to_le_bytes());
+                out.extend_from_slice(&oid.to_bytes());
+                out.extend_from_slice(&refcount.to_le_bytes());
+            }
+            Annotation::CollapsedVia { link } => {
+                out.push(6);
+                out.push(*link);
+            }
+        }
+    }
+
+    fn decode(b: &[u8]) -> Result<(Annotation, usize), ModelError> {
+        let tag = *b.first().ok_or(ModelError::Truncated)?;
+        match tag {
+            1 => {
+                let path =
+                    u16::from_le_bytes(b.get(1..3).ok_or(ModelError::Truncated)?.try_into().unwrap());
+                let body = b.get(3..).ok_or(ModelError::Truncated)?;
+                let values = Value::decode_list(body)?;
+                let used: usize = 1 + values.iter().map(|v| v.encode().len()).sum::<usize>();
+                Ok((Annotation::ReplicaValue { path, values }, 3 + used))
+            }
+            2 => {
+                let link = *b.get(1).ok_or(ModelError::Truncated)?;
+                let oid = Oid::from_bytes(b.get(2..10).ok_or(ModelError::Truncated)?);
+                Ok((Annotation::LinkRef { link, oid }, 10))
+            }
+            3 => {
+                let link = *b.get(1).ok_or(ModelError::Truncated)?;
+                let n = u16::from_le_bytes(
+                    b.get(2..4).ok_or(ModelError::Truncated)?.try_into().unwrap(),
+                ) as usize;
+                let mut oids = Vec::with_capacity(n);
+                let mut off = 4;
+                for _ in 0..n {
+                    oids.push(Oid::from_bytes(
+                        b.get(off..off + 8).ok_or(ModelError::Truncated)?,
+                    ));
+                    off += 8;
+                }
+                Ok((Annotation::InlineLink { link, oids }, off))
+            }
+            4 => {
+                let group =
+                    u16::from_le_bytes(b.get(1..3).ok_or(ModelError::Truncated)?.try_into().unwrap());
+                let oid = Oid::from_bytes(b.get(3..11).ok_or(ModelError::Truncated)?);
+                Ok((Annotation::ReplicaRef { group, oid }, 11))
+            }
+            5 => {
+                let group =
+                    u16::from_le_bytes(b.get(1..3).ok_or(ModelError::Truncated)?.try_into().unwrap());
+                let oid = Oid::from_bytes(b.get(3..11).ok_or(ModelError::Truncated)?);
+                let refcount = u32::from_le_bytes(
+                    b.get(11..15).ok_or(ModelError::Truncated)?.try_into().unwrap(),
+                );
+                Ok((
+                    Annotation::ReplicaAnchor {
+                        group,
+                        oid,
+                        refcount,
+                    },
+                    15,
+                ))
+            }
+            6 => {
+                let link = *b.get(1).ok_or(ModelError::Truncated)?;
+                Ok((Annotation::CollapsedVia { link }, 2))
+            }
+            other => Err(ModelError::BadEncoding(format!("bad annotation tag {other}"))),
+        }
+    }
+}
+
+/// An object: typed base values plus hidden annotations.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Object {
+    /// The object's type (its record-header type tag).
+    pub type_id: TypeId,
+    /// Base field values, in schema order.
+    pub values: Vec<Value>,
+    /// Hidden engine-managed annotations.
+    pub annotations: Vec<Annotation>,
+}
+
+impl Object {
+    /// Construct an object, type-checking each value against `def`.
+    pub fn new(type_id: TypeId, def: &TypeDef, values: Vec<Value>) -> Result<Object, ModelError> {
+        if values.len() != def.fields.len() {
+            return Err(ModelError::BadEncoding(format!(
+                "type {} has {} fields, got {} values",
+                def.name,
+                def.fields.len(),
+                values.len()
+            )));
+        }
+        for (v, f) in values.iter().zip(&def.fields) {
+            if !v.matches(&f.ftype) {
+                return Err(ModelError::TypeMismatch {
+                    expected: format!("{:?} for field {}", f.ftype, f.name),
+                    got: v.kind_name().into(),
+                });
+            }
+        }
+        Ok(Object {
+            type_id,
+            values,
+            annotations: Vec::new(),
+        })
+    }
+
+    /// Get a base field value by name.
+    pub fn get<'a>(&'a self, def: &TypeDef, name: &str) -> Result<&'a Value, ModelError> {
+        let idx = def
+            .field_index(name)
+            .ok_or_else(|| ModelError::NoSuchField(name.into()))?;
+        Ok(&self.values[idx])
+    }
+
+    /// Set a base field value by name (type-checked).
+    pub fn set(&mut self, def: &TypeDef, name: &str, value: Value) -> Result<(), ModelError> {
+        let idx = def
+            .field_index(name)
+            .ok_or_else(|| ModelError::NoSuchField(name.into()))?;
+        if !value.matches(&def.fields[idx].ftype) {
+            return Err(ModelError::TypeMismatch {
+                expected: format!("{:?}", def.fields[idx].ftype),
+                got: value.kind_name().into(),
+            });
+        }
+        self.values[idx] = value;
+        Ok(())
+    }
+
+    /// The hidden replicated values for replication path `path`, if any.
+    pub fn replica_values(&self, path: u16) -> Option<&[Value]> {
+        self.annotations.iter().find_map(|a| match a {
+            Annotation::ReplicaValue { path: p, values } if *p == path => {
+                Some(values.as_slice())
+            }
+            _ => None,
+        })
+    }
+
+    /// Set (insert or overwrite) the hidden replicated values for `path`.
+    pub fn set_replica_values(&mut self, path: u16, values: Vec<Value>) {
+        for a in &mut self.annotations {
+            if let Annotation::ReplicaValue { path: p, values: v } = a {
+                if *p == path {
+                    *v = values;
+                    return;
+                }
+            }
+        }
+        self.annotations
+            .push(Annotation::ReplicaValue { path, values });
+    }
+
+    /// Remove the hidden replicated value for `path` (if present).
+    pub fn clear_replica_value(&mut self, path: u16) {
+        self.annotations
+            .retain(|a| !matches!(a, Annotation::ReplicaValue { path: p, .. } if *p == path));
+    }
+
+    /// Encode to the on-disk payload format.
+    pub fn encode(&self, def: &TypeDef) -> Vec<u8> {
+        let mut out = Vec::with_capacity(def.min_encoded_size() + 16);
+        for (v, f) in self.values.iter().zip(&def.fields) {
+            match (v, &f.ftype) {
+                (Value::Int(x), FieldType::Int) => out.extend_from_slice(&x.to_le_bytes()),
+                (Value::Float(x), FieldType::Float) => out.extend_from_slice(&x.to_le_bytes()),
+                (Value::Str(s), FieldType::Str) => {
+                    let b = s.as_bytes();
+                    assert!(b.len() <= u16::MAX as usize);
+                    out.extend_from_slice(&(b.len() as u16).to_le_bytes());
+                    out.extend_from_slice(b);
+                }
+                (Value::Ref(o), FieldType::Ref(_)) => out.extend_from_slice(&o.to_bytes()),
+                (Value::Unit, FieldType::Pad(n)) => out.extend(std::iter::repeat_n(0u8, *n as usize)),
+                (v, t) => panic!("value {v:?} does not match field type {t:?}"),
+            }
+        }
+        assert!(self.annotations.len() <= u8::MAX as usize);
+        out.push(self.annotations.len() as u8);
+        for a in &self.annotations {
+            a.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// Decode an object payload (inverse of [`Object::encode`]).
+    pub fn decode(type_id: TypeId, def: &TypeDef, b: &[u8]) -> Result<Object, ModelError> {
+        let mut off = 0;
+        let mut values = Vec::with_capacity(def.fields.len());
+        for f in &def.fields {
+            match &f.ftype {
+                FieldType::Int => {
+                    let v = i64::from_le_bytes(
+                        b.get(off..off + 8).ok_or(ModelError::Truncated)?.try_into().unwrap(),
+                    );
+                    off += 8;
+                    values.push(Value::Int(v));
+                }
+                FieldType::Float => {
+                    let v = f64::from_le_bytes(
+                        b.get(off..off + 8).ok_or(ModelError::Truncated)?.try_into().unwrap(),
+                    );
+                    off += 8;
+                    values.push(Value::Float(v));
+                }
+                FieldType::Str => {
+                    let len = u16::from_le_bytes(
+                        b.get(off..off + 2).ok_or(ModelError::Truncated)?.try_into().unwrap(),
+                    ) as usize;
+                    off += 2;
+                    let bytes = b.get(off..off + len).ok_or(ModelError::Truncated)?;
+                    off += len;
+                    values.push(Value::Str(
+                        std::str::from_utf8(bytes)
+                            .map_err(|_| ModelError::BadEncoding("non-UTF-8 string".into()))?
+                            .to_string(),
+                    ));
+                }
+                FieldType::Ref(_) => {
+                    let o = Oid::from_bytes(b.get(off..off + 8).ok_or(ModelError::Truncated)?);
+                    off += 8;
+                    values.push(Value::Ref(o));
+                }
+                FieldType::Pad(n) => {
+                    off += *n as usize;
+                    if off > b.len() {
+                        return Err(ModelError::Truncated);
+                    }
+                    values.push(Value::Unit);
+                }
+            }
+        }
+        let n_ann = *b.get(off).ok_or(ModelError::Truncated)? as usize;
+        off += 1;
+        let mut annotations = Vec::with_capacity(n_ann);
+        for _ in 0..n_ann {
+            let (a, used) = Annotation::decode(&b[off..])?;
+            off += used;
+            annotations.push(a);
+        }
+        Ok(Object {
+            type_id,
+            values,
+            annotations,
+        })
+    }
+
+    /// Size of the encoded payload.
+    pub fn encoded_len(&self, def: &TypeDef) -> usize {
+        self.encode(def).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fieldrep_storage::FileId;
+
+    fn emp_type() -> TypeDef {
+        TypeDef::new(
+            "EMP",
+            vec![
+                ("name", FieldType::Str),
+                ("age", FieldType::Int),
+                ("salary", FieldType::Int),
+                ("dept", FieldType::Ref("DEPT".into())),
+                ("pad", FieldType::Pad(10)),
+            ],
+        )
+    }
+
+    fn sample() -> (TypeDef, Object) {
+        let def = emp_type();
+        let obj = Object::new(
+            TypeId(3),
+            &def,
+            vec![
+                Value::Str("Alice".into()),
+                Value::Int(34),
+                Value::Int(120_000),
+                Value::Ref(Oid::new(FileId(1), 2, 3)),
+                Value::Unit,
+            ],
+        )
+        .unwrap();
+        (def, obj)
+    }
+
+    #[test]
+    fn roundtrip_base() {
+        let (def, obj) = sample();
+        let enc = obj.encode(&def);
+        let back = Object::decode(TypeId(3), &def, &enc).unwrap();
+        assert_eq!(back, obj);
+        // Encoded size: 2+5 (str) + 8 + 8 + 8 + 10 (pad) + 1 (ann count).
+        assert_eq!(enc.len(), 7 + 8 + 8 + 8 + 10 + 1);
+    }
+
+    #[test]
+    fn roundtrip_with_annotations() {
+        let (def, mut obj) = sample();
+        obj.set_replica_values(4, vec![Value::Str("Sales".into()), Value::Int(7)]);
+        obj.annotations.push(Annotation::LinkRef {
+            link: 1,
+            oid: Oid::new(FileId(5), 6, 7),
+        });
+        obj.annotations.push(Annotation::InlineLink {
+            link: 2,
+            oids: vec![Oid::new(FileId(1), 1, 1), Oid::new(FileId(1), 2, 2)],
+        });
+        obj.annotations.push(Annotation::ReplicaRef {
+            group: 9,
+            oid: Oid::new(FileId(8), 0, 0),
+        });
+        obj.annotations.push(Annotation::ReplicaAnchor {
+            group: 9,
+            oid: Oid::new(FileId(8), 0, 1),
+            refcount: 17,
+        });
+        obj.annotations.push(Annotation::CollapsedVia { link: 5 });
+        let enc = obj.encode(&def);
+        let back = Object::decode(TypeId(3), &def, &enc).unwrap();
+        assert_eq!(back, obj);
+        assert_eq!(
+            back.replica_values(4).unwrap(),
+            &[Value::Str("Sales".into()), Value::Int(7)]
+        );
+        assert_eq!(back.replica_values(5), None);
+    }
+
+    #[test]
+    fn replica_value_set_overwrite_clear() {
+        let (_, mut obj) = sample();
+        obj.set_replica_values(1, vec![Value::Int(10)]);
+        obj.set_replica_values(1, vec![Value::Int(20)]);
+        assert_eq!(obj.replica_values(1).unwrap(), &[Value::Int(20)]);
+        assert_eq!(
+            obj.annotations
+                .iter()
+                .filter(|a| matches!(a, Annotation::ReplicaValue { .. }))
+                .count(),
+            1
+        );
+        obj.clear_replica_value(1);
+        assert_eq!(obj.replica_values(1), None);
+    }
+
+    #[test]
+    fn new_type_checks() {
+        let def = emp_type();
+        // Wrong arity.
+        assert!(Object::new(TypeId(3), &def, vec![Value::Int(1)]).is_err());
+        // Wrong type.
+        let r = Object::new(
+            TypeId(3),
+            &def,
+            vec![
+                Value::Int(1), // should be Str
+                Value::Int(2),
+                Value::Int(3),
+                Value::Ref(Oid::NULL),
+                Value::Unit,
+            ],
+        );
+        assert!(matches!(r, Err(ModelError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn get_set() {
+        let (def, mut obj) = sample();
+        assert_eq!(obj.get(&def, "salary").unwrap(), &Value::Int(120_000));
+        obj.set(&def, "salary", Value::Int(1)).unwrap();
+        assert_eq!(obj.get(&def, "salary").unwrap(), &Value::Int(1));
+        assert!(obj.set(&def, "salary", Value::Str("no".into())).is_err());
+        assert!(obj.get(&def, "bogus").is_err());
+        assert!(matches!(
+            obj.get(&def, "bogus"),
+            Err(ModelError::NoSuchField(_))
+        ));
+    }
+
+    #[test]
+    fn decode_truncated() {
+        let (def, obj) = sample();
+        let enc = obj.encode(&def);
+        for cut in [0, 5, 10, enc.len() - 1] {
+            assert!(Object::decode(TypeId(3), &def, &enc[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn pad_sizes_objects_to_target() {
+        // The benchmark harness relies on Pad to hit the paper's r = 100.
+        let def = TypeDef::new(
+            "RTYPE",
+            vec![
+                ("sref", FieldType::Ref("STYPE".into())),
+                ("field_r", FieldType::Int),
+                ("pad", FieldType::Pad(83)),
+            ],
+        );
+        let obj = Object::new(
+            TypeId(1),
+            &def,
+            vec![Value::Ref(Oid::NULL), Value::Int(0), Value::Unit],
+        )
+        .unwrap();
+        assert_eq!(obj.encoded_len(&def), 100);
+    }
+}

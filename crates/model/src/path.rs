@@ -1,0 +1,104 @@
+//! Reference-path expressions.
+//!
+//! A path like `Emp1.dept.org.name` names a set (`Emp1`), a chain of
+//! reference attributes (`dept`, `org`), and a terminal. This module does
+//! the purely syntactic part — splitting and validating; the catalog
+//! resolves segments against type definitions and decides whether the
+//! terminal is a scalar field, `all` (full object replication, §3.3.1), or
+//! a reference attribute (a collapse path, §3.3.3).
+
+use crate::error::ModelError;
+
+/// A syntactically parsed reference path: `set.seg1.seg2.…`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PathExpr {
+    /// The named set the path starts from.
+    pub set: String,
+    /// The remaining dotted segments, in order. The last segment may be a
+    /// field name, a reference attribute, or the keyword `all`.
+    pub segments: Vec<String>,
+}
+
+fn valid_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().unwrap().is_ascii_alphabetic()
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl PathExpr {
+    /// Parse a dotted path. At least one segment after the set is required.
+    pub fn parse(s: &str) -> Result<PathExpr, ModelError> {
+        let parts: Vec<&str> = s.split('.').collect();
+        if parts.len() < 2 {
+            return Err(ModelError::BadPath(format!(
+                "{s:?}: need at least set.segment"
+            )));
+        }
+        for p in &parts {
+            if !valid_ident(p) {
+                return Err(ModelError::BadPath(format!("{s:?}: bad segment {p:?}")));
+            }
+        }
+        Ok(PathExpr {
+            set: parts[0].to_string(),
+            segments: parts[1..].iter().map(|p| p.to_string()).collect(),
+        })
+    }
+
+    /// True if the terminal segment is the keyword `all` (full object
+    /// replication).
+    pub fn is_all(&self) -> bool {
+        self.segments.last().map(String::as_str) == Some("all")
+    }
+
+    /// Render back to dotted syntax.
+    pub fn dotted(&self) -> String {
+        let mut s = self.set.clone();
+        for seg in &self.segments {
+            s.push('.');
+            s.push_str(seg);
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.dotted())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let p = PathExpr::parse("Emp1.dept.name").unwrap();
+        assert_eq!(p.set, "Emp1");
+        assert_eq!(p.segments, vec!["dept", "name"]);
+        assert!(!p.is_all());
+        assert_eq!(p.to_string(), "Emp1.dept.name");
+    }
+
+    #[test]
+    fn parse_all() {
+        let p = PathExpr::parse("Emp1.dept.all").unwrap();
+        assert!(p.is_all());
+    }
+
+    #[test]
+    fn parse_deep() {
+        let p = PathExpr::parse("Emp1.dept.org.name").unwrap();
+        assert_eq!(p.segments.len(), 3);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(PathExpr::parse("Emp1").is_err());
+        assert!(PathExpr::parse("Emp1..name").is_err());
+        assert!(PathExpr::parse("Emp1.9dept").is_err());
+        assert!(PathExpr::parse("").is_err());
+        assert!(PathExpr::parse("Emp1.dept name").is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Type definitions — the `define type` part of the EXTRA schema language
+//! (§2.1, Figure 1 of the paper).
+
+use std::fmt;
+
+/// Identifier assigned to a type by the catalog; doubles as the 2-byte
+/// type tag stored in every object's record header (§2.2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TypeId(pub u16);
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// The type of a single field.
+#[derive(Clone, PartialEq, Debug)]
+pub enum FieldType {
+    /// 64-bit signed integer (`int`).
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Variable-length string (`char[]`).
+    Str,
+    /// Reference attribute (`ref T`): holds the OID of an object of the
+    /// named type. This is the construct field replication is built on.
+    Ref(String),
+    /// Fixed-width opaque padding. Used by the benchmark harness to size
+    /// objects to the paper's `r`/`s`/`t` byte counts ("various fields…"
+    /// in the §6 schema).
+    Pad(u16),
+}
+
+impl FieldType {
+    /// True for `Ref(_)`.
+    pub fn is_ref(&self) -> bool {
+        matches!(self, FieldType::Ref(_))
+    }
+
+    /// Encoded size of a value of this type, if fixed.
+    pub fn fixed_size(&self) -> Option<usize> {
+        match self {
+            FieldType::Int | FieldType::Float | FieldType::Ref(_) => Some(8),
+            FieldType::Pad(n) => Some(*n as usize),
+            FieldType::Str => None,
+        }
+    }
+}
+
+/// One named field in a type definition.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FieldDef {
+    /// Field name, unique within the type.
+    pub name: String,
+    /// Field type.
+    pub ftype: FieldType,
+}
+
+/// A type definition: an ordered list of named fields.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TypeDef {
+    /// Type name, e.g. `"EMP"`.
+    pub name: String,
+    /// Ordered fields.
+    pub fields: Vec<FieldDef>,
+}
+
+impl TypeDef {
+    /// Build a type definition from `(name, type)` pairs.
+    ///
+    /// # Panics
+    /// Panics on duplicate field names (a schema authoring error).
+    pub fn new(name: impl Into<String>, fields: Vec<(impl Into<String>, FieldType)>) -> TypeDef {
+        let fields: Vec<FieldDef> = fields
+            .into_iter()
+            .map(|(n, t)| FieldDef {
+                name: n.into(),
+                ftype: t,
+            })
+            .collect();
+        for (i, f) in fields.iter().enumerate() {
+            assert!(
+                !fields[..i].iter().any(|g| g.name == f.name),
+                "duplicate field name {:?}",
+                f.name
+            );
+        }
+        TypeDef {
+            name: name.into(),
+            fields,
+        }
+    }
+
+    /// Index of the field called `name`.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// The field called `name`.
+    pub fn field(&self, name: &str) -> Option<&FieldDef> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Minimum encoded size of the base (non-annotation) part of an object
+    /// of this type, counting strings as empty.
+    pub fn min_encoded_size(&self) -> usize {
+        self.fields
+            .iter()
+            .map(|f| f.ftype.fixed_size().unwrap_or(2))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_lookup() {
+        let t = TypeDef::new(
+            "EMP",
+            vec![
+                ("name", FieldType::Str),
+                ("age", FieldType::Int),
+                ("salary", FieldType::Int),
+                ("dept", FieldType::Ref("DEPT".into())),
+            ],
+        );
+        assert_eq!(t.field_index("salary"), Some(2));
+        assert_eq!(t.field_index("nope"), None);
+        assert!(t.field("dept").unwrap().ftype.is_ref());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field")]
+    fn duplicate_fields_rejected() {
+        TypeDef::new("X", vec![("a", FieldType::Int), ("a", FieldType::Int)]);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(FieldType::Int.fixed_size(), Some(8));
+        assert_eq!(FieldType::Pad(72).fixed_size(), Some(72));
+        assert_eq!(FieldType::Str.fixed_size(), None);
+        let t = TypeDef::new(
+            "S",
+            vec![("a", FieldType::Int), ("pad", FieldType::Pad(20)), ("s", FieldType::Str)],
+        );
+        assert_eq!(t.min_encoded_size(), 8 + 20 + 2);
+    }
+}

@@ -1,0 +1,387 @@
+//! Query execution.
+//!
+//! Functional joins are performed the way the paper's cost model assumes
+//! (§6.2): all target OIDs of a join step are collected, de-duplicated and
+//! sorted into physical order, and each needed page is then fetched once.
+//! With a cold buffer pool this makes measured page I/O directly
+//! comparable to the analytical `C_read` / `C_update`.
+
+use crate::error::{QueryError, Result};
+use crate::plan::{plan_access, plan_projection, AccessPlan, Plan, ProjPlan};
+use crate::{Assign, Filter, ReadQuery, UpdateQuery};
+use fieldrep_btree::BTreeIndex;
+use fieldrep_core::{read_object, value_key, Database};
+use fieldrep_model::{Annotation, Object, Value};
+use fieldrep_storage::{HeapFile, Oid};
+use std::collections::HashMap;
+
+/// One result row: one entry per projected column (`None` when a path was
+/// broken by a NULL reference).
+pub type Row = Vec<Option<Value>>;
+
+/// The outcome of a read query.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// Result rows, in access-path order.
+    pub rows: Vec<Row>,
+    /// The plan that produced them.
+    pub plan: Plan,
+    /// The output file T, if the query was run with spooling; the caller
+    /// drops it when done.
+    pub output_file: Option<fieldrep_storage::FileId>,
+}
+
+/// The outcome of an update query.
+#[derive(Debug)]
+pub struct UpdateResult {
+    /// Number of objects updated.
+    pub updated: usize,
+    /// The plan used to locate them.
+    pub plan: Plan,
+}
+
+/// Fetch many objects with each page read once: sort unique OIDs into
+/// physical order, then read through the buffer pool.
+fn fetch_batch(db: &mut Database, oids: &[Oid]) -> Result<HashMap<Oid, Object>> {
+    let mut uniq: Vec<Oid> = oids.to_vec();
+    uniq.sort_unstable();
+    uniq.dedup();
+    let mut map = HashMap::with_capacity(uniq.len());
+    for oid in uniq {
+        let ctx = db.ctx();
+        let obj = read_object(ctx.sm, ctx.cat, oid)?;
+        map.insert(oid, obj);
+    }
+    Ok(map)
+}
+
+/// Evaluate the access path: the OIDs (in retrieval order) of the
+/// qualifying set members.
+fn run_access(db: &mut Database, plan: &Plan, filter: Option<&Filter>) -> Result<Vec<Oid>> {
+    let set = db.catalog().set(plan.set).clone();
+    match &plan.access {
+        AccessPlan::IndexRange { index, .. } | AccessPlan::PathIndexRange { index, .. } => {
+            let f = filter.expect("index access requires a filter");
+            let (lo, hi) = f.bounds();
+            let tree = BTreeIndex::open(*index);
+            let hits = tree.range(db.sm(), &value_key(&lo), &value_key(&hi))?;
+            Ok(hits.into_iter().map(|(_, oid)| oid).collect())
+        }
+        AccessPlan::FullScan => {
+            let hf = HeapFile::open(set.file);
+            let mut oids = Vec::new();
+            {
+                let mut scan = hf.scan(db.sm())?;
+                while let Some((oid, _, _)) = scan.next_record()? {
+                    oids.push(oid);
+                }
+            }
+            match filter {
+                None => Ok(oids),
+                Some(f) => {
+                    // Evaluate the filter per object (base field or path
+                    // dereference — the no-index fallback).
+                    let mut keep = Vec::new();
+                    for oid in oids {
+                        let v = eval_filter_value(db, plan.set, f, oid)?;
+                        if let Some(v) = v {
+                            if f.matches(&v) {
+                                keep.push(oid);
+                            }
+                        }
+                    }
+                    Ok(keep)
+                }
+            }
+        }
+    }
+}
+
+fn eval_filter_value(
+    db: &mut Database,
+    set: fieldrep_catalog::SetId,
+    f: &Filter,
+    oid: Oid,
+) -> Result<Option<Value>> {
+    // Reuse the projection machinery for a single object.
+    let proj = plan_projection(db.catalog(), set, f.path())?;
+    let mut rows = project(db, &[oid], std::slice::from_ref(&proj))?;
+    Ok(rows.pop().and_then(|mut r| r.pop()).flatten())
+}
+
+/// Compute the projected columns for `oids`, one row per OID.
+fn project(db: &mut Database, oids: &[Oid], projections: &[ProjPlan]) -> Result<Vec<Row>> {
+    // Deferred-propagation paths must be synced before their replicated
+    // values are read (§8 / `Propagation::Deferred`).
+    for proj in projections {
+        match proj {
+            ProjPlan::InPlaceReplica { path, .. } | ProjPlan::CollapseThenJoin { path, .. } => {
+                db.sync_path(*path)?;
+            }
+            ProjPlan::SeparateReplica { group, .. } => {
+                let paths: Vec<_> = db.catalog().group(*group).paths.clone();
+                for p in paths {
+                    db.sync_path(p)?;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Fetch the source objects once (optimally).
+    let src = fetch_batch(db, oids)?;
+    let width: usize = projections.iter().map(|p| p.width()).sum();
+    let mut rows: Vec<Row> = oids
+        .iter()
+        .map(|_| Vec::with_capacity(width))
+        .collect();
+
+    for proj in projections {
+        match proj {
+            ProjPlan::BaseField { field } => {
+                for (row, oid) in rows.iter_mut().zip(oids) {
+                    row.push(Some(src[oid].values[*field].clone()));
+                }
+            }
+            ProjPlan::InPlaceReplica { path, positions } => {
+                for (row, oid) in rows.iter_mut().zip(oids) {
+                    let vals = src[oid].replica_values(path.0);
+                    for &pos in positions {
+                        row.push(vals.map(|v| v[pos].clone()));
+                    }
+                }
+            }
+            ProjPlan::SeparateReplica { group, positions } => {
+                let gdef = db.catalog().group(*group).clone();
+                // Gather replica OIDs per row, then join optimally.
+                let refs: Vec<Option<Oid>> = oids
+                    .iter()
+                    .map(|oid| {
+                        src[oid].annotations.iter().find_map(|a| match a {
+                            Annotation::ReplicaRef { group: g, oid }
+                                if *g == gdef.id.0 =>
+                            {
+                                Some(*oid)
+                            }
+                            _ => None,
+                        })
+                    })
+                    .collect();
+                let mut targets: Vec<Oid> = refs.iter().flatten().copied().collect();
+                targets.sort_unstable();
+                targets.dedup();
+                let hf = HeapFile::open(gdef.file);
+                let mut replica_vals: HashMap<Oid, Vec<Value>> = HashMap::new();
+                for t in targets {
+                    let (_, payload) = hf.read(db.sm(), t)?;
+                    replica_vals.insert(t, Value::decode_list(&payload).map_err(
+                        |e| QueryError::BadQuery(format!("bad replica object: {e}")),
+                    )?);
+                }
+                for (row, r) in rows.iter_mut().zip(&refs) {
+                    for &pos in positions {
+                        row.push(r.and_then(|t| replica_vals.get(&t).map(|v| v[pos].clone())));
+                    }
+                }
+            }
+            ProjPlan::CollapseThenJoin {
+                path,
+                remaining_hops,
+                terminal_fields,
+            } => {
+                // Jump through the replicated reference…
+                let pdef = db.catalog().path(*path).clone();
+                let mut current: Vec<Option<Oid>> = Vec::with_capacity(oids.len());
+                for oid in oids {
+                    let obj = &src[oid];
+                    let ctx_vals = {
+                        let mut ctx = db.ctx();
+                        fieldrep_core::attach::read_path_values(&mut ctx, &pdef, obj)
+                            .map_err(QueryError::from)?
+                    };
+                    let target = ctx_vals.and_then(|v| match v.first() {
+                        Some(Value::Ref(o)) if !o.is_null() => Some(*o),
+                        _ => None,
+                    });
+                    current.push(target);
+                }
+                let cols = join_chain(db, current, remaining_hops, terminal_fields)?;
+                for (row, c) in rows.iter_mut().zip(cols) {
+                    row.extend(c);
+                }
+            }
+            ProjPlan::FunctionalJoin {
+                hops,
+                terminal_fields,
+            } => {
+                let current: Vec<Option<Oid>> = oids
+                    .iter()
+                    .map(|oid| match &src[oid].values[hops[0]] {
+                        Value::Ref(o) if !o.is_null() => Some(*o),
+                        _ => None,
+                    })
+                    .collect();
+                let cols = join_chain(db, current, &hops[1..], terminal_fields)?;
+                for (row, c) in rows.iter_mut().zip(cols) {
+                    row.extend(c);
+                }
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Perform the remaining functional joins: `current` holds, per row, the
+/// OID reached so far; `hops` are the ref fields still to follow; the
+/// terminal fields are projected from the final objects. Each join level
+/// is batched (page-optimal).
+fn join_chain(
+    db: &mut Database,
+    mut current: Vec<Option<Oid>>,
+    hops: &[usize],
+    terminal_fields: &[usize],
+) -> Result<Vec<Vec<Option<Value>>>> {
+    for &hop in hops {
+        let batch: Vec<Oid> = current.iter().flatten().copied().collect();
+        let objs = fetch_batch(db, &batch)?;
+        current = current
+            .into_iter()
+            .map(|c| {
+                c.and_then(|oid| match &objs[&oid].values[hop] {
+                    Value::Ref(o) if !o.is_null() => Some(*o),
+                    _ => None,
+                })
+            })
+            .collect();
+    }
+    let batch: Vec<Oid> = current.iter().flatten().copied().collect();
+    let objs = fetch_batch(db, &batch)?;
+    Ok(current
+        .into_iter()
+        .map(|c| match c {
+            Some(oid) => terminal_fields
+                .iter()
+                .map(|&f| Some(objs[&oid].values[f].clone()))
+                .collect(),
+            None => terminal_fields.iter().map(|_| None).collect(),
+        })
+        .collect())
+}
+
+impl ReadQuery {
+    /// Plan this query against the catalog without running it.
+    pub fn plan(&self, db: &Database) -> Result<Plan> {
+        let set = db.catalog().set_id(&self.set)?;
+        let access = plan_access(db.catalog(), set, self.filter.as_ref().map(|f| f.path()))?;
+        let projections = self
+            .projections
+            .iter()
+            .map(|p| plan_projection(db.catalog(), set, p))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Plan {
+            set,
+            access,
+            projections,
+        })
+    }
+
+    /// Execute the query.
+    pub fn run(&self, db: &mut Database) -> Result<QueryResult> {
+        let plan = self.plan(db)?;
+        let oids = run_access(db, &plan, self.filter.as_ref())?;
+        let rows = project(db, &oids, &plan.projections)?;
+
+        // Generate the output file T if requested (§6.5.1 charges P_t for
+        // it). Rows are padded to `output_row_bytes` to model `t`.
+        let output_file = if self.spool_output {
+            let hf = HeapFile::create(db.sm())?;
+            for row in &rows {
+                let vals: Vec<Value> = row
+                    .iter()
+                    .map(|v| v.clone().unwrap_or(Value::Unit))
+                    .collect();
+                let mut payload = Value::encode_list(&vals);
+                if let Some(target) = self.output_row_bytes {
+                    if payload.len() < target {
+                        payload.resize(target, 0);
+                    }
+                }
+                hf.insert(db.sm(), 0xFFFD, &payload)?;
+            }
+            Some(hf.file)
+        } else {
+            None
+        };
+
+        Ok(QueryResult {
+            rows,
+            plan,
+            output_file,
+        })
+    }
+}
+
+impl UpdateQuery {
+    /// Plan this query.
+    pub fn plan(&self, db: &Database) -> Result<Plan> {
+        let set = db.catalog().set_id(&self.set)?;
+        let access = plan_access(db.catalog(), set, self.filter.as_ref().map(|f| f.path()))?;
+        Ok(Plan {
+            set,
+            access,
+            projections: Vec::new(),
+        })
+    }
+
+    /// Execute the query: locate qualifying objects and apply the
+    /// assignments through the engine (which propagates to all replicas).
+    pub fn run(&self, db: &mut Database) -> Result<UpdateResult> {
+        let plan = self.plan(db)?;
+        let mut oids = run_access(db, &plan, self.filter.as_ref())?;
+        // Visit in physical order (the paper propagates and updates in
+        // clustered order).
+        oids.sort_unstable();
+        oids.dedup();
+
+        let set = db.catalog().set(plan.set).clone();
+        let def = db.catalog().type_def(set.elem_type).clone();
+        for oid in &oids {
+            let obj = db.get(*oid)?;
+            let mut changes: Vec<(&str, Value)> = Vec::new();
+            for (field, assign) in &self.assignments {
+                let idx = def
+                    .field_index(field)
+                    .ok_or_else(|| QueryError::BadQuery(format!("no field {field}")))?;
+                let new = match assign {
+                    Assign::Set(v) => v.clone(),
+                    Assign::Increment(d) => match &obj.values[idx] {
+                        Value::Int(x) => Value::Int(x + d),
+                        other => {
+                            return Err(QueryError::BadQuery(format!(
+                                "Increment on non-int field {field} ({other:?})"
+                            )))
+                        }
+                    },
+                    Assign::CycleStr(suffixes) => match &obj.values[idx] {
+                        Value::Str(s) => {
+                            let base = s.split('#').next().unwrap_or("").to_string();
+                            let n: usize = s.split('#').nth(1).and_then(|x| x.parse().ok()).unwrap_or(0);
+                            let next = (n + 1) % (*suffixes).max(1);
+                            Value::Str(format!("{base}#{next}"))
+                        }
+                        other => {
+                            return Err(QueryError::BadQuery(format!(
+                                "CycleStr on non-string field {field} ({other:?})"
+                            )))
+                        }
+                    },
+                };
+                changes.push((field.as_str(), new));
+            }
+            db.update(*oid, &changes)?;
+        }
+        Ok(UpdateResult {
+            updated: oids.len(),
+            plan,
+        })
+    }
+}

@@ -1,0 +1,256 @@
+//! Query planning: choosing access paths and projection strategies.
+//!
+//! The planner implements the paper's §3.1 claim that "query processing
+//! … will know about field replication and exploit it whenever possible
+//! to avoid functional joins": each projection path is answered by, in
+//! order of preference,
+//!
+//! 1. an exact replicated path (in-place preferred — zero extra I/O —
+//!    then separate, which joins against the small clustered `S'`),
+//! 2. the longest *collapse* path (§3.3.3), which shortcuts the prefix
+//!    and leaves fewer functional joins,
+//! 3. plain functional joins (the no-replication baseline).
+
+use crate::error::{QueryError, Result};
+use fieldrep_catalog::{Catalog, GroupId, IndexDef, IndexKind, PathId, SetId, Strategy};
+use fieldrep_model::PathExpr;
+use std::fmt;
+
+/// How one projection path will be evaluated.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProjPlan {
+    /// A base field of the queried set.
+    BaseField {
+        /// Field index.
+        field: usize,
+    },
+    /// Read the hidden in-place replicated values of `path`.
+    InPlaceReplica {
+        /// The replication path.
+        path: PathId,
+        /// Positions within the path's value list, one per projected
+        /// terminal field.
+        positions: Vec<usize>,
+    },
+    /// Join to the group's `S'` file through the hidden replica refs.
+    SeparateReplica {
+        /// The replica group.
+        group: GroupId,
+        /// Positions within the group's field list.
+        positions: Vec<usize>,
+    },
+    /// Jump through a collapse path's replicated reference, then perform
+    /// the remaining functional joins.
+    CollapseThenJoin {
+        /// The collapse path whose replicated value is a reference.
+        path: PathId,
+        /// Remaining ref-field hops after the jump.
+        remaining_hops: Vec<usize>,
+        /// Terminal field indexes to project.
+        terminal_fields: Vec<usize>,
+    },
+    /// Plain functional joins along every hop.
+    FunctionalJoin {
+        /// Ref-field hops.
+        hops: Vec<usize>,
+        /// Terminal field indexes to project.
+        terminal_fields: Vec<usize>,
+    },
+}
+
+impl ProjPlan {
+    /// Number of result columns this projection contributes.
+    pub fn width(&self) -> usize {
+        match self {
+            ProjPlan::BaseField { .. } => 1,
+            ProjPlan::InPlaceReplica { positions, .. } => positions.len(),
+            ProjPlan::SeparateReplica { positions, .. } => positions.len(),
+            ProjPlan::CollapseThenJoin { terminal_fields, .. } => terminal_fields.len(),
+            ProjPlan::FunctionalJoin { terminal_fields, .. } => terminal_fields.len(),
+        }
+    }
+}
+
+/// How the set's members will be located.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AccessPlan {
+    /// Scan every page of the set file.
+    FullScan,
+    /// Range scan of a B⁺-tree on a base field.
+    IndexRange {
+        /// The index used.
+        index: fieldrep_storage::FileId,
+        /// Clustered or unclustered (affects I/O shape, not results).
+        kind: IndexKind,
+        /// Filtered base field.
+        field: usize,
+    },
+    /// Range scan of a B⁺-tree built on replicated path values (§3.3.4).
+    PathIndexRange {
+        /// The index used.
+        index: fieldrep_storage::FileId,
+        /// The replication path whose values are indexed.
+        path: PathId,
+    },
+}
+
+/// A complete plan for a read or update query.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// The queried set.
+    pub set: SetId,
+    /// Access path.
+    pub access: AccessPlan,
+    /// One entry per projection (empty for update queries).
+    pub projections: Vec<ProjPlan>,
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.access {
+            AccessPlan::FullScan => writeln!(f, "access: full scan")?,
+            AccessPlan::IndexRange { kind, field, .. } => {
+                writeln!(f, "access: {kind:?} index range on field #{field}")?
+            }
+            AccessPlan::PathIndexRange { path, .. } => {
+                writeln!(f, "access: path-index range on replicated path {path}")?
+            }
+        }
+        for (i, p) in self.projections.iter().enumerate() {
+            match p {
+                ProjPlan::BaseField { field } => writeln!(f, "proj[{i}]: base field #{field}")?,
+                ProjPlan::InPlaceReplica { path, .. } => {
+                    writeln!(f, "proj[{i}]: in-place replica of {path} (no join)")?
+                }
+                ProjPlan::SeparateReplica { group, .. } => {
+                    writeln!(f, "proj[{i}]: separate replica via S' of group #{}", group.0)?
+                }
+                ProjPlan::CollapseThenJoin {
+                    path,
+                    remaining_hops,
+                    ..
+                } => writeln!(
+                    f,
+                    "proj[{i}]: collapse via {path}, then {} functional join(s)",
+                    remaining_hops.len()
+                )?,
+                ProjPlan::FunctionalJoin { hops, .. } => {
+                    writeln!(f, "proj[{i}]: {} functional join(s)", hops.len())?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Plan a single projection path (dotted, relative to the set).
+pub fn plan_projection(cat: &Catalog, set: SetId, dotted: &str) -> Result<ProjPlan> {
+    let set_name = &cat.set(set).name;
+    let expr = PathExpr::parse(&format!("{set_name}.{dotted}"))
+        .map_err(|e| QueryError::BadQuery(e.to_string()))?;
+    let resolved = cat.resolve_path(&expr)?;
+
+    if resolved.hops.is_empty() {
+        return Ok(ProjPlan::BaseField {
+            field: resolved.terminal_fields[0],
+        });
+    }
+
+    // 1. Exact replicas covering every projected terminal field.
+    let exact: Vec<_> = cat
+        .paths_from(set)
+        .filter(|p| {
+            p.hops == resolved.hops
+                && resolved
+                    .terminal_fields
+                    .iter()
+                    .all(|f| p.terminal_fields.contains(f))
+        })
+        .collect();
+    if let Some(p) = exact
+        .iter()
+        .find(|p| p.strategy == Strategy::InPlace)
+        .or_else(|| exact.first())
+    {
+        match p.strategy {
+            Strategy::InPlace => {
+                let positions = resolved
+                    .terminal_fields
+                    .iter()
+                    .map(|f| p.terminal_fields.iter().position(|g| g == f).unwrap())
+                    .collect();
+                return Ok(ProjPlan::InPlaceReplica {
+                    path: p.id,
+                    positions,
+                });
+            }
+            Strategy::Separate => {
+                let group = cat.group(p.group.expect("separate path has group"));
+                let positions = resolved
+                    .terminal_fields
+                    .iter()
+                    .map(|f| group.fields.iter().position(|g| g == f).unwrap())
+                    .collect();
+                return Ok(ProjPlan::SeparateReplica {
+                    group: group.id,
+                    positions,
+                });
+            }
+        }
+    }
+
+    // 2. Longest collapse prefix.
+    if let Some((p, k)) = cat.collapse_for(set, &resolved.hops) {
+        return Ok(ProjPlan::CollapseThenJoin {
+            path: p.id,
+            remaining_hops: resolved.hops[k + 1..].to_vec(),
+            terminal_fields: resolved.terminal_fields,
+        });
+    }
+
+    // 3. Baseline.
+    Ok(ProjPlan::FunctionalJoin {
+        hops: resolved.hops,
+        terminal_fields: resolved.terminal_fields,
+    })
+}
+
+/// Plan the access path for a filter on `dotted` (a base field or a
+/// replicated path with an index).
+pub fn plan_access(cat: &Catalog, set: SetId, filter_path: Option<&str>) -> Result<AccessPlan> {
+    let Some(dotted) = filter_path else {
+        return Ok(AccessPlan::FullScan);
+    };
+    let set_name = &cat.set(set).name;
+    let expr = PathExpr::parse(&format!("{set_name}.{dotted}"))
+        .map_err(|e| QueryError::BadQuery(e.to_string()))?;
+    let resolved = cat.resolve_path(&expr)?;
+
+    if resolved.hops.is_empty() {
+        let field = resolved.terminal_fields[0];
+        if let Some(IndexDef {
+            file, kind, ..
+        }) = cat.index_on_field(set, field)
+        {
+            return Ok(AccessPlan::IndexRange {
+                index: *file,
+                kind: *kind,
+                field,
+            });
+        }
+        return Ok(AccessPlan::FullScan);
+    }
+
+    // Path filter: use a path index if one exists over an in-place
+    // replicated path (§3.3.4); otherwise a full scan evaluates the path
+    // per object.
+    if let Some(p) = cat.replica_for(set, &resolved.hops, resolved.terminal_fields[0]) {
+        if let Some(idx) = cat.index_on_path(p.id) {
+            return Ok(AccessPlan::PathIndexRange {
+                index: idx.file,
+                path: p.id,
+            });
+        }
+    }
+    Ok(AccessPlan::FullScan)
+}

@@ -1,0 +1,380 @@
+//! Disk managers: the physical page store.
+//!
+//! Two backends are provided. [`MemDisk`] keeps pages in memory and is used
+//! by tests and by the I/O-counting simulation benchmarks (the paper's
+//! evaluation is in units of page I/O, not seconds, so a counted in-memory
+//! disk reproduces it faithfully). [`FileDisk`] stores each file as a real
+//! file on the local filesystem for durability-flavoured runs.
+
+use crate::error::{Result, StorageError};
+use crate::oid::{FileId, PageId};
+use crate::page::PAGE_SIZE;
+use crate::stats::IoStats;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+/// Abstraction over the physical page store.
+///
+/// All methods address whole 4 KiB pages; the buffer pool above never does
+/// partial transfers. Implementations count reads/writes/allocations in an
+/// [`IoStats`] that the benchmark harness samples.
+pub trait DiskManager: Send {
+    /// Create a new empty file and return its id.
+    fn create_file(&mut self) -> Result<FileId>;
+    /// Remove a file and release its pages.
+    fn drop_file(&mut self, file: FileId) -> Result<()>;
+    /// Append one zeroed page to `file`, returning its id.
+    ///
+    /// Allocation is not counted as a read or a write; the buffer pool
+    /// materialises new pages directly in memory and writes them back on
+    /// eviction/flush (which *is* counted).
+    fn allocate_page(&mut self, file: FileId) -> Result<PageId>;
+    /// Number of allocated pages in `file`.
+    fn page_count(&self, file: FileId) -> Result<u32>;
+    /// Read page `pid` into `buf`.
+    fn read_page(&mut self, pid: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()>;
+    /// Write `buf` to page `pid`.
+    fn write_page(&mut self, pid: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()>;
+    /// Physical I/O counters since the last reset.
+    fn stats(&self) -> IoStats;
+    /// Reset the physical I/O counters.
+    fn reset_stats(&mut self);
+}
+
+/// In-memory disk manager. Pages live in `Vec`s; every access is still
+/// counted so simulations report exact page-I/O numbers.
+pub struct MemDisk {
+    files: BTreeMap<FileId, Vec<Box<[u8; PAGE_SIZE]>>>,
+    next_file: u16,
+    stats: IoStats,
+}
+
+impl MemDisk {
+    /// Create an empty in-memory disk.
+    pub fn new() -> Self {
+        MemDisk {
+            files: BTreeMap::new(),
+            next_file: 0,
+            stats: IoStats::default(),
+        }
+    }
+}
+
+impl Default for MemDisk {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DiskManager for MemDisk {
+    fn create_file(&mut self) -> Result<FileId> {
+        let id = FileId(self.next_file);
+        self.next_file = self
+            .next_file
+            .checked_add(1)
+            .expect("file id space exhausted");
+        self.files.insert(id, Vec::new());
+        Ok(id)
+    }
+
+    fn drop_file(&mut self, file: FileId) -> Result<()> {
+        self.files
+            .remove(&file)
+            .map(|_| ())
+            .ok_or(StorageError::FileNotFound(file))
+    }
+
+    fn allocate_page(&mut self, file: FileId) -> Result<PageId> {
+        let pages = self
+            .files
+            .get_mut(&file)
+            .ok_or(StorageError::FileNotFound(file))?;
+        let page_no = u32::try_from(pages.len()).expect("file larger than 2^32 pages");
+        pages.push(Box::new([0u8; PAGE_SIZE]));
+        self.stats.allocations += 1;
+        Ok(PageId::new(file, page_no))
+    }
+
+    fn page_count(&self, file: FileId) -> Result<u32> {
+        self.files
+            .get(&file)
+            .map(|p| p.len() as u32)
+            .ok_or(StorageError::FileNotFound(file))
+    }
+
+    fn read_page(&mut self, pid: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        let pages = self
+            .files
+            .get(&pid.file)
+            .ok_or(StorageError::FileNotFound(pid.file))?;
+        let page = pages
+            .get(pid.page as usize)
+            .ok_or(StorageError::PageOutOfBounds(pid))?;
+        buf.copy_from_slice(&page[..]);
+        self.stats.reads += 1;
+        Ok(())
+    }
+
+    fn write_page(&mut self, pid: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+        let pages = self
+            .files
+            .get_mut(&pid.file)
+            .ok_or(StorageError::FileNotFound(pid.file))?;
+        let page = pages
+            .get_mut(pid.page as usize)
+            .ok_or(StorageError::PageOutOfBounds(pid))?;
+        page.copy_from_slice(buf);
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+/// File-backed disk manager: each database file is one file named
+/// `f<NNN>.pages` inside a directory.
+pub struct FileDisk {
+    dir: PathBuf,
+    files: BTreeMap<FileId, OpenFile>,
+    next_file: u16,
+    stats: IoStats,
+}
+
+struct OpenFile {
+    handle: File,
+    pages: u32,
+}
+
+impl FileDisk {
+    /// Open (or create) a disk rooted at `dir`. Existing `f*.pages` files in
+    /// the directory are reopened with their page counts derived from file
+    /// length.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut files = BTreeMap::new();
+        let mut next_file: u16 = 0;
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(num) = name
+                .strip_prefix('f')
+                .and_then(|rest| rest.strip_suffix(".pages"))
+            {
+                if let Ok(id) = num.parse::<u16>() {
+                    let handle = OpenOptions::new()
+                        .read(true)
+                        .write(true)
+                        .open(entry.path())?;
+                    let len = handle.metadata()?.len();
+                    let pages = (len / PAGE_SIZE as u64) as u32;
+                    files.insert(FileId(id), OpenFile { handle, pages });
+                    next_file = next_file.max(id.saturating_add(1));
+                }
+            }
+        }
+        Ok(FileDisk {
+            dir,
+            files,
+            next_file,
+            stats: IoStats::default(),
+        })
+    }
+
+    fn path_for(&self, file: FileId) -> PathBuf {
+        self.dir.join(format!("f{}.pages", file.0))
+    }
+}
+
+impl DiskManager for FileDisk {
+    fn create_file(&mut self) -> Result<FileId> {
+        let id = FileId(self.next_file);
+        self.next_file = self
+            .next_file
+            .checked_add(1)
+            .expect("file id space exhausted");
+        let handle = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(self.path_for(id))?;
+        self.files.insert(id, OpenFile { handle, pages: 0 });
+        Ok(id)
+    }
+
+    fn drop_file(&mut self, file: FileId) -> Result<()> {
+        self.files
+            .remove(&file)
+            .ok_or(StorageError::FileNotFound(file))?;
+        std::fs::remove_file(self.path_for(file))?;
+        Ok(())
+    }
+
+    fn allocate_page(&mut self, file: FileId) -> Result<PageId> {
+        let of = self
+            .files
+            .get_mut(&file)
+            .ok_or(StorageError::FileNotFound(file))?;
+        let page_no = of.pages;
+        of.pages += 1;
+        of.handle
+            .set_len(u64::from(of.pages) * PAGE_SIZE as u64)?;
+        self.stats.allocations += 1;
+        Ok(PageId::new(file, page_no))
+    }
+
+    fn page_count(&self, file: FileId) -> Result<u32> {
+        self.files
+            .get(&file)
+            .map(|f| f.pages)
+            .ok_or(StorageError::FileNotFound(file))
+    }
+
+    fn read_page(&mut self, pid: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        let of = self
+            .files
+            .get_mut(&pid.file)
+            .ok_or(StorageError::FileNotFound(pid.file))?;
+        if pid.page >= of.pages {
+            return Err(StorageError::PageOutOfBounds(pid));
+        }
+        of.handle
+            .seek(SeekFrom::Start(u64::from(pid.page) * PAGE_SIZE as u64))?;
+        of.handle.read_exact(&mut buf[..])?;
+        self.stats.reads += 1;
+        Ok(())
+    }
+
+    fn write_page(&mut self, pid: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+        let of = self
+            .files
+            .get_mut(&pid.file)
+            .ok_or(StorageError::FileNotFound(pid.file))?;
+        if pid.page >= of.pages {
+            return Err(StorageError::PageOutOfBounds(pid));
+        }
+        of.handle
+            .seek(SeekFrom::Start(u64::from(pid.page) * PAGE_SIZE as u64))?;
+        of.handle.write_all(&buf[..])?;
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(disk: &mut dyn DiskManager) {
+        let f = disk.create_file().unwrap();
+        assert_eq!(disk.page_count(f).unwrap(), 0);
+        let p0 = disk.allocate_page(f).unwrap();
+        let p1 = disk.allocate_page(f).unwrap();
+        assert_eq!(p0.page, 0);
+        assert_eq!(p1.page, 1);
+        assert_eq!(disk.page_count(f).unwrap(), 2);
+
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[0] = 0xAB;
+        buf[PAGE_SIZE - 1] = 0xCD;
+        disk.write_page(p1, &buf).unwrap();
+
+        let mut back = [0u8; PAGE_SIZE];
+        disk.read_page(p1, &mut back).unwrap();
+        assert_eq!(back[0], 0xAB);
+        assert_eq!(back[PAGE_SIZE - 1], 0xCD);
+
+        disk.read_page(p0, &mut back).unwrap();
+        assert!(back.iter().all(|&b| b == 0), "fresh pages are zeroed");
+
+        let bad = PageId::new(f, 99);
+        assert!(matches!(
+            disk.read_page(bad, &mut back),
+            Err(StorageError::PageOutOfBounds(_))
+        ));
+
+        let s = disk.stats();
+        assert_eq!(s.reads, 2); // the out-of-bounds read fails before counting
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.allocations, 2);
+
+        disk.drop_file(f).unwrap();
+        assert!(matches!(
+            disk.page_count(f),
+            Err(StorageError::FileNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn mem_disk_basics() {
+        let mut d = MemDisk::new();
+        exercise(&mut d);
+    }
+
+    #[test]
+    fn file_disk_basics() {
+        let dir = std::env::temp_dir().join(format!("fieldrep-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut d = FileDisk::open(&dir).unwrap();
+            exercise(&mut d);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_disk_reopen_preserves_pages() {
+        let dir = std::env::temp_dir().join(format!("fieldrep-disk-re-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (f, pid) = {
+            let mut d = FileDisk::open(&dir).unwrap();
+            let f = d.create_file().unwrap();
+            let pid = d.allocate_page(f).unwrap();
+            let mut buf = [0u8; PAGE_SIZE];
+            buf[7] = 77;
+            d.write_page(pid, &buf).unwrap();
+            (f, pid)
+        };
+        {
+            let mut d = FileDisk::open(&dir).unwrap();
+            assert_eq!(d.page_count(f).unwrap(), 1);
+            let mut buf = [0u8; PAGE_SIZE];
+            d.read_page(pid, &mut buf).unwrap();
+            assert_eq!(buf[7], 77);
+            // New files must not collide with reopened ids.
+            let g = d.create_file().unwrap();
+            assert_ne!(g, f);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut d = MemDisk::new();
+        let f = d.create_file().unwrap();
+        let p = d.allocate_page(f).unwrap();
+        let buf = [0u8; PAGE_SIZE];
+        d.write_page(p, &buf).unwrap();
+        assert_ne!(d.stats(), IoStats::default());
+        d.reset_stats();
+        assert_eq!(d.stats(), IoStats::default());
+    }
+}

@@ -1,0 +1,150 @@
+//! # fieldrep-storage
+//!
+//! A page-based storage manager modelled on the EXODUS storage manager
+//! \[Care86\], which is the substrate assumed by Shekita & Carey's *field
+//! replication* paper (SIGMOD 1989).
+//!
+//! The crate provides:
+//!
+//! * fixed 4 KiB [`page`]s with a slotted layout whose constants reproduce
+//!   the paper's cost-model parameters exactly: `B = 4056` bytes of user
+//!   data per page and `h = 20` bytes of per-object overhead (a 4-byte slot
+//!   plus a 16-byte record header);
+//! * physical 8-byte [`Oid`]s (`file`, `page`, `slot`) — the paper assumes
+//!   "object identifiers (OIDs) are used to implement reference attributes"
+//!   and that OIDs are *physically based, as they are in EXODUS* (§4.1);
+//! * a [`DiskManager`] abstraction with in-memory and real-file backends,
+//!   both of which count page reads and writes — the paper's evaluation
+//!   metric is page I/O, so accounting is built into the lowest layer;
+//! * a [`BufferPool`] with clock eviction and pin/unpin page handles;
+//! * [`HeapFile`] record management (insert / read / update / delete /
+//!   physical-order scan) with RID forwarding so that OIDs remain stable
+//!   when records grow — which happens routinely under *in-place
+//!   replication*, where hidden replica fields are appended to objects.
+//!
+//! Everything above this crate (B⁺-trees, the replication engine, query
+//! processing) does its I/O through [`StorageManager`], so a single pair of
+//! counters ([`IoStats`]) observes every page touched by an experiment.
+
+pub mod buffer;
+pub mod disk;
+pub mod error;
+pub mod heap;
+pub mod oid;
+pub mod page;
+pub mod stats;
+
+pub use buffer::{BufferPool, PageHandle};
+pub use disk::{DiskManager, FileDisk, MemDisk};
+pub use error::{Result, StorageError};
+pub use heap::{HeapFile, HeapScan};
+pub use oid::{FileId, Oid, PageId};
+pub use page::{
+    PageKind, PageMut, PageView, RecordFlags, RecordHeader, MAX_RECORD_PAYLOAD, MIN_RECORD_PAYLOAD, OBJECT_OVERHEAD,
+    PAGE_HEADER_SIZE, PAGE_SIZE, RECORD_HEADER_SIZE, SLOT_SIZE, USER_BYTES_PER_PAGE,
+};
+pub use stats::{IoProfile, IoStats};
+
+use std::collections::HashMap;
+
+/// The storage manager: a buffer pool plus per-file free-space tracking and
+/// the heap-file record interface used by every higher layer.
+///
+/// All object and index I/O in the system flows through one
+/// `StorageManager`, which is what makes the benchmark harness able to
+/// report exact page-I/O counts per query (the paper's cost metric).
+pub struct StorageManager {
+    pool: BufferPool,
+    /// Per-file insert placement state (append page + recycled pages).
+    /// This is an in-memory structure (the engine is not crash-recoverable,
+    /// which matches the paper's scope).
+    free_space: HashMap<FileId, heap::FileSpace>,
+}
+
+impl StorageManager {
+    /// Create a storage manager over the given disk backend with a buffer
+    /// pool of `pool_pages` frames.
+    pub fn new(disk: Box<dyn DiskManager>, pool_pages: usize) -> Self {
+        StorageManager {
+            pool: BufferPool::new(disk, pool_pages),
+            free_space: HashMap::new(),
+        }
+    }
+
+    /// Convenience constructor: an in-memory disk, suitable for tests and
+    /// for the simulation benchmarks (I/O is still counted).
+    pub fn in_memory(pool_pages: usize) -> Self {
+        Self::new(Box::new(MemDisk::new()), pool_pages)
+    }
+
+    /// Access the underlying buffer pool.
+    pub fn pool(&mut self) -> &mut BufferPool {
+        &mut self.pool
+    }
+
+    /// Create a new, empty file and return its id.
+    pub fn create_file(&mut self) -> Result<FileId> {
+        let f = self.pool.create_file()?;
+        self.free_space.insert(f, heap::FileSpace::default());
+        Ok(f)
+    }
+
+    /// Drop a file and all its pages.
+    pub fn drop_file(&mut self, file: FileId) -> Result<()> {
+        self.free_space.remove(&file);
+        self.pool.drop_file(file)
+    }
+
+    /// Number of allocated pages in `file`.
+    pub fn page_count(&self, file: FileId) -> Result<u32> {
+        self.pool.page_count(file)
+    }
+
+    /// Combined I/O statistics (disk + buffer pool) since the last reset.
+    pub fn io_profile(&self) -> IoProfile {
+        self.pool.io_profile()
+    }
+
+    /// Reset all I/O counters. Used by the benchmark harness between
+    /// queries.
+    pub fn reset_io(&mut self) {
+        self.pool.reset_io();
+    }
+
+    /// Write back every dirty page and empty the buffer pool, so that the
+    /// next query starts cold. The paper's cost model charges one read for
+    /// every page a query needs; a cold pool makes measured I/O comparable.
+    pub fn flush_all(&mut self) -> Result<()> {
+        self.pool.flush_all()
+    }
+
+    pub(crate) fn free_space_map(&mut self, file: FileId) -> &mut heap::FileSpace {
+        self.free_space.entry(file).or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_paper() {
+        // Figure 10 of the paper: B = 4056, h = 20.
+        assert_eq!(USER_BYTES_PER_PAGE, 4056);
+        assert_eq!(OBJECT_OVERHEAD, 20);
+        assert_eq!(PAGE_SIZE, 4096);
+        assert_eq!(std::mem::size_of::<Oid>(), 8);
+    }
+
+    #[test]
+    fn create_and_drop_files() {
+        let mut sm = StorageManager::in_memory(16);
+        let a = sm.create_file().unwrap();
+        let b = sm.create_file().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(sm.page_count(a).unwrap(), 0);
+        sm.drop_file(a).unwrap();
+        assert!(sm.page_count(a).is_err());
+        assert_eq!(sm.page_count(b).unwrap(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Physical object identifiers.
+//!
+//! The paper (§2.2, Figure 10) assumes 8-byte, *physically based* OIDs as in
+//! EXODUS: an OID names the disk location of an object. We encode
+//! `(file: u16, page: u32, slot: u16)` in exactly 8 bytes. Because OIDs are
+//! physical, "keeping OIDs in sorted order … allows us to propagate updates
+//! in clustered order" (§4.1) — sorting OIDs sorts by page.
+
+use std::fmt;
+
+/// Identifier of a disk file (one named set, index, or link file).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FileId(pub u16);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+/// Identifier of one 4 KiB page within a file.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PageId {
+    /// The containing file.
+    pub file: FileId,
+    /// Zero-based page number within the file.
+    pub page: u32,
+}
+
+impl PageId {
+    /// Construct a page id.
+    pub fn new(file: FileId, page: u32) -> Self {
+        PageId { file, page }
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:P{}", self.file, self.page)
+    }
+}
+
+/// An 8-byte physical object identifier: file, page, and slot.
+///
+/// `Ord` sorts by (file, page, slot), i.e. by physical location; the
+/// replication engine relies on this to visit link objects and propagate
+/// updates in clustered order (§4.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Oid {
+    /// The containing file.
+    pub file: FileId,
+    /// Page number within the file.
+    pub page: u32,
+    /// Slot number within the page.
+    pub slot: u16,
+}
+
+/// Number of bytes in a serialized OID (Figure 10: `sizeof(OID) = 8`).
+pub const OID_BYTES: usize = 8;
+
+impl Oid {
+    /// The distinguished null OID (used for unset reference attributes).
+    /// File `u16::MAX` is never allocated by any disk manager.
+    pub const NULL: Oid = Oid {
+        file: FileId(u16::MAX),
+        page: u32::MAX,
+        slot: u16::MAX,
+    };
+
+    /// Construct an OID.
+    pub fn new(file: FileId, page: u32, slot: u16) -> Self {
+        Oid { file, page, slot }
+    }
+
+    /// True if this is [`Oid::NULL`].
+    pub fn is_null(&self) -> bool {
+        *self == Oid::NULL
+    }
+
+    /// The page this OID lives on.
+    pub fn page_id(&self) -> PageId {
+        PageId {
+            file: self.file,
+            page: self.page,
+        }
+    }
+
+    /// Serialize to the fixed 8-byte on-disk form (big-endian, so that a
+    /// bytewise sort equals physical order).
+    pub fn to_bytes(self) -> [u8; OID_BYTES] {
+        let mut b = [0u8; OID_BYTES];
+        b[0..2].copy_from_slice(&self.file.0.to_be_bytes());
+        b[2..6].copy_from_slice(&self.page.to_be_bytes());
+        b[6..8].copy_from_slice(&self.slot.to_be_bytes());
+        b
+    }
+
+    /// Deserialize from the 8-byte on-disk form.
+    pub fn from_bytes(b: &[u8]) -> Self {
+        debug_assert!(b.len() >= OID_BYTES);
+        Oid {
+            file: FileId(u16::from_be_bytes([b[0], b[1]])),
+            page: u32::from_be_bytes([b[2], b[3], b[4], b[5]]),
+            slot: u16::from_be_bytes([b[6], b[7]]),
+        }
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "NULL-OID")
+        } else {
+            write!(f, "{}:P{}:S{}", self.file, self.page, self.slot)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oid_roundtrip() {
+        let o = Oid::new(FileId(7), 123_456, 42);
+        assert_eq!(Oid::from_bytes(&o.to_bytes()), o);
+        assert_eq!(Oid::from_bytes(&Oid::NULL.to_bytes()), Oid::NULL);
+    }
+
+    #[test]
+    fn oid_byte_order_matches_physical_order() {
+        // Sorting serialized OIDs bytewise must equal sorting Oids.
+        let a = Oid::new(FileId(1), 2, 300);
+        let b = Oid::new(FileId(1), 3, 0);
+        let c = Oid::new(FileId(2), 0, 0);
+        assert!(a < b && b < c);
+        assert!(a.to_bytes() < b.to_bytes());
+        assert!(b.to_bytes() < c.to_bytes());
+    }
+
+    #[test]
+    fn null_oid() {
+        assert!(Oid::NULL.is_null());
+        assert!(!Oid::new(FileId(0), 0, 0).is_null());
+    }
+}

@@ -1,0 +1,701 @@
+//! Slotted-page layout.
+//!
+//! Every page is 4096 bytes:
+//!
+//! ```text
+//! +--------------------+----------------------+........+------------------+
+//! | page header (40 B) | slot array (4 B/slot)|  free  | records (grow up)|
+//! +--------------------+----------------------+........+------------------+
+//! 0                   40                free_start   free_end          4096
+//! ```
+//!
+//! * 40 bytes of page header leave **B = 4056** bytes for user data, the
+//!   value the paper takes from the EXODUS storage manager (Figure 10).
+//! * Each record costs a 4-byte slot plus a 16-byte record header, i.e.
+//!   **h = 20** bytes of per-object overhead — again the paper's value. A
+//!   page therefore holds `⌊B / (h + r)⌋` objects of `r` payload bytes,
+//!   exactly the `O_r` of the cost model.
+//! * Slot numbers are never reused for *different* objects while a page is
+//!   live and the slot array never shrinks, so physical OIDs stay stable.
+//! * Records that must move (they outgrew their page) leave a
+//!   [`RecordFlags::Forward`] stub holding the target OID; the target
+//!   record is marked [`RecordFlags::Moved`] so scans do not report it
+//!   twice.
+
+use crate::error::{Result, StorageError};
+use crate::oid::Oid;
+
+/// Total page size in bytes.
+pub const PAGE_SIZE: usize = 4096;
+/// Bytes reserved for the page header.
+pub const PAGE_HEADER_SIZE: usize = 40;
+/// Bytes available to user data per page — the paper's `B`.
+pub const USER_BYTES_PER_PAGE: usize = PAGE_SIZE - PAGE_HEADER_SIZE; // 4056
+/// Bytes per slot-array entry.
+pub const SLOT_SIZE: usize = 4;
+/// Bytes per record header stored in front of each record payload.
+pub const RECORD_HEADER_SIZE: usize = 16;
+/// Per-object storage overhead — the paper's `h` (slot + record header).
+pub const OBJECT_OVERHEAD: usize = SLOT_SIZE + RECORD_HEADER_SIZE; // 20
+/// Largest payload a single page can store.
+pub const MAX_RECORD_PAYLOAD: usize = USER_BYTES_PER_PAGE - OBJECT_OVERHEAD;
+/// Smallest payload allocation. Every record reserves at least 8 payload
+/// bytes so that it can always be replaced *in place* by a forwarding stub
+/// (whose payload is one 8-byte OID) when it outgrows its page.
+pub const MIN_RECORD_PAYLOAD: usize = 8;
+
+const MAGIC: u16 = 0xF1DB;
+
+// Header field offsets.
+const OFF_MAGIC: usize = 0;
+const OFF_KIND: usize = 2;
+const OFF_VERSION: usize = 3;
+const OFF_SLOT_COUNT: usize = 4;
+const OFF_FREE_END: usize = 6;
+const OFF_FRAG: usize = 8;
+const OFF_LIVE: usize = 10;
+const OFF_NEXT_PAGE: usize = 12;
+// 16..40 reserved (would hold LSN / lock info in a recoverable system).
+
+/// What a page is used for. Stored in the header so that corruption and
+/// cross-use bugs are caught early.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum PageKind {
+    /// Unformatted page.
+    Free = 0,
+    /// Heap-file data page holding object records.
+    Heap = 1,
+    /// B⁺-tree interior node.
+    BTreeInternal = 2,
+    /// B⁺-tree leaf node.
+    BTreeLeaf = 3,
+    /// Index/file metadata page.
+    Meta = 4,
+}
+
+impl PageKind {
+    fn from_u8(v: u8) -> Option<PageKind> {
+        Some(match v {
+            0 => PageKind::Free,
+            1 => PageKind::Heap,
+            2 => PageKind::BTreeInternal,
+            3 => PageKind::BTreeLeaf,
+            4 => PageKind::Meta,
+            _ => return None,
+        })
+    }
+}
+
+/// Per-record flags kept in the record header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum RecordFlags {
+    /// An ordinary record.
+    Normal = 0,
+    /// A forwarding stub: the payload is the 8-byte OID of the record's new
+    /// home. Reads through the original OID follow the stub.
+    Forward = 1,
+    /// A record that was moved here by forwarding. Physical scans skip it
+    /// (it is reported through its original OID instead).
+    Moved = 2,
+}
+
+impl RecordFlags {
+    fn from_u8(v: u8) -> Option<RecordFlags> {
+        Some(match v {
+            0 => RecordFlags::Normal,
+            1 => RecordFlags::Forward,
+            2 => RecordFlags::Moved,
+            _ => return None,
+        })
+    }
+}
+
+/// The 16-byte header stored in front of every record payload.
+///
+/// Only four bytes are semantically live; the remaining twelve are reserved
+/// (a recoverable system would keep an LSN and lock metadata there) and
+/// exist so the per-object overhead equals the paper's `h = 20`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RecordHeader {
+    /// Type tag identifying the object's type (§2.2: "every object contains
+    /// a type-tag"). Figure 10 sizes it at 2 bytes.
+    pub type_tag: u16,
+    /// Record state.
+    pub flags: RecordFlags,
+}
+
+impl RecordHeader {
+    fn write(self, buf: &mut [u8], payload_len: u16) {
+        buf[..RECORD_HEADER_SIZE].fill(0);
+        buf[0..2].copy_from_slice(&self.type_tag.to_le_bytes());
+        buf[2] = self.flags as u8;
+        buf[4..6].copy_from_slice(&payload_len.to_le_bytes());
+    }
+
+    fn read(buf: &[u8]) -> Result<(RecordHeader, u16)> {
+        let type_tag = u16::from_le_bytes([buf[0], buf[1]]);
+        let flags = RecordFlags::from_u8(buf[2])
+            .ok_or_else(|| StorageError::Corrupt(format!("bad record flags {}", buf[2])))?;
+        let payload_len = u16::from_le_bytes([buf[4], buf[5]]);
+        Ok((RecordHeader { type_tag, flags }, payload_len))
+    }
+}
+
+/// Bytes a record with `payload_len` payload actually occupies on the page
+/// (header plus the minimum-allocation rule).
+fn alloc_len(payload_len: usize) -> usize {
+    RECORD_HEADER_SIZE + payload_len.max(MIN_RECORD_PAYLOAD)
+}
+
+fn get_u16(data: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([data[off], data[off + 1]])
+}
+
+fn put_u16(data: &mut [u8], off: usize, v: u16) {
+    data[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(data: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]])
+}
+
+fn put_u32(data: &mut [u8], off: usize, v: u32) {
+    data[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Read-only view of a slotted page.
+#[derive(Clone, Copy)]
+pub struct PageView<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> PageView<'a> {
+    /// Wrap a raw page buffer. The buffer must be `PAGE_SIZE` bytes.
+    pub fn new(data: &'a [u8]) -> Self {
+        debug_assert_eq!(data.len(), PAGE_SIZE);
+        PageView { data }
+    }
+
+    /// True if the page has been formatted (magic number present).
+    pub fn is_formatted(&self) -> bool {
+        get_u16(self.data, OFF_MAGIC) == MAGIC
+    }
+
+    /// The page's kind.
+    pub fn kind(&self) -> Result<PageKind> {
+        PageKind::from_u8(self.data[OFF_KIND])
+            .ok_or_else(|| StorageError::Corrupt(format!("bad page kind {}", self.data[OFF_KIND])))
+    }
+
+    /// Number of slot-array entries (live + free).
+    pub fn slot_count(&self) -> u16 {
+        get_u16(self.data, OFF_SLOT_COUNT)
+    }
+
+    /// Number of live records on the page.
+    pub fn live_records(&self) -> u16 {
+        get_u16(self.data, OFF_LIVE)
+    }
+
+    /// Next-page pointer used for file chaining by some page owners
+    /// (`u32::MAX` = none).
+    pub fn next_page(&self) -> Option<u32> {
+        let v = get_u32(self.data, OFF_NEXT_PAGE);
+        (v != u32::MAX).then_some(v)
+    }
+
+    fn slot(&self, idx: u16) -> (u16, u16) {
+        let off = PAGE_HEADER_SIZE + SLOT_SIZE * idx as usize;
+        (get_u16(self.data, off), get_u16(self.data, off + 2))
+    }
+
+    fn free_end(&self) -> u16 {
+        get_u16(self.data, OFF_FREE_END)
+    }
+
+    fn frag_bytes(&self) -> u16 {
+        get_u16(self.data, OFF_FRAG)
+    }
+
+    /// End of the slot array == start of the free hole.
+    fn free_start(&self) -> usize {
+        PAGE_HEADER_SIZE + SLOT_SIZE * self.slot_count() as usize
+    }
+
+    /// Contiguous free bytes (between the slot array and the record area).
+    pub fn contiguous_free(&self) -> usize {
+        self.free_end() as usize - self.free_start()
+    }
+
+    /// Total reclaimable free bytes, counting fragmentation that a
+    /// compaction would recover. Does not include the cost of a new slot.
+    pub fn total_free(&self) -> usize {
+        self.contiguous_free() + self.frag_bytes() as usize
+    }
+
+    /// Whether a record with `payload_len` bytes can be placed on this page
+    /// (possibly after compaction), accounting for slot reuse.
+    pub fn can_fit(&self, payload_len: usize) -> bool {
+        let record = alloc_len(payload_len);
+        let slot_cost = if self.has_free_slot() { 0 } else { SLOT_SIZE };
+        self.total_free() >= record + slot_cost
+    }
+
+    fn has_free_slot(&self) -> bool {
+        (0..self.slot_count()).any(|i| {
+            let (off, len) = self.slot(i);
+            off == 0 && len == 0
+        })
+    }
+
+    /// Fetch the record in `slot`, returning its header and payload, or
+    /// `None` if the slot is empty/deleted or out of range.
+    pub fn record(&self, slot: u16) -> Option<(RecordHeader, &'a [u8])> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot(slot);
+        if off == 0 && len == 0 {
+            return None;
+        }
+        let off = off as usize;
+        let len = len as usize;
+        let (hdr, payload_len) = RecordHeader::read(&self.data[off..off + RECORD_HEADER_SIZE]).ok()?;
+        debug_assert!(RECORD_HEADER_SIZE + payload_len as usize <= len);
+        let start = off + RECORD_HEADER_SIZE;
+        Some((hdr, &self.data[start..start + payload_len as usize]))
+    }
+
+    /// Iterate over the live records on the page in slot order, yielding
+    /// `(slot, header, payload)`.
+    pub fn records(&self) -> impl Iterator<Item = (u16, RecordHeader, &'a [u8])> + '_ {
+        let n = self.slot_count();
+        let view = *self;
+        (0..n).filter_map(move |s| view.record(s).map(|(h, p)| (s, h, p)))
+    }
+}
+
+/// Mutable access to a slotted page.
+pub struct PageMut<'a> {
+    data: &'a mut [u8],
+}
+
+impl<'a> PageMut<'a> {
+    /// Wrap a raw page buffer for mutation. The buffer must be `PAGE_SIZE`
+    /// bytes.
+    pub fn new(data: &'a mut [u8]) -> Self {
+        debug_assert_eq!(data.len(), PAGE_SIZE);
+        PageMut { data }
+    }
+
+    /// Read-only view of the same page.
+    pub fn view(&self) -> PageView<'_> {
+        PageView::new(self.data)
+    }
+
+    /// Format the page: write the header and mark the whole record area
+    /// free.
+    pub fn init(&mut self, kind: PageKind) {
+        self.data.fill(0);
+        put_u16(self.data, OFF_MAGIC, MAGIC);
+        self.data[OFF_KIND] = kind as u8;
+        self.data[OFF_VERSION] = 1;
+        put_u16(self.data, OFF_SLOT_COUNT, 0);
+        put_u16(self.data, OFF_FREE_END, PAGE_SIZE as u16);
+        put_u16(self.data, OFF_FRAG, 0);
+        put_u16(self.data, OFF_LIVE, 0);
+        put_u32(self.data, OFF_NEXT_PAGE, u32::MAX);
+    }
+
+    /// Set the next-page pointer (`None` clears it).
+    pub fn set_next_page(&mut self, next: Option<u32>) {
+        put_u32(self.data, OFF_NEXT_PAGE, next.unwrap_or(u32::MAX));
+    }
+
+    fn set_slot(&mut self, idx: u16, off: u16, len: u16) {
+        let o = PAGE_HEADER_SIZE + SLOT_SIZE * idx as usize;
+        put_u16(self.data, o, off);
+        put_u16(self.data, o + 2, len);
+    }
+
+    /// Insert a record, returning its slot number.
+    ///
+    /// Fails with [`StorageError::RecordTooLarge`] if the payload can never
+    /// fit a page, and returns `Ok(None)` if this particular page lacks
+    /// space (the caller then tries another page).
+    pub fn insert(
+        &mut self,
+        header: RecordHeader,
+        payload: &[u8],
+    ) -> Result<Option<u16>> {
+        if payload.len() > MAX_RECORD_PAYLOAD {
+            return Err(StorageError::RecordTooLarge {
+                size: payload.len(),
+                max: MAX_RECORD_PAYLOAD,
+            });
+        }
+        let v = self.view();
+        if !v.can_fit(payload.len()) {
+            return Ok(None);
+        }
+        let record_len = alloc_len(payload.len());
+
+        // Pick a slot: reuse a free one or append.
+        let slot = {
+            let v = self.view();
+            (0..v.slot_count()).find(|&i| {
+                let (off, len) = v.slot(i);
+                off == 0 && len == 0
+            })
+        };
+        let (slot, new_slot) = match slot {
+            Some(s) => (s, false),
+            None => (self.view().slot_count(), true),
+        };
+
+        // Ensure contiguous room (compact if fragmentation holds the space).
+        let needed = record_len + if new_slot { SLOT_SIZE } else { 0 };
+        if self.view().contiguous_free() < needed {
+            self.compact();
+        }
+        debug_assert!(self.view().contiguous_free() >= needed);
+
+        if new_slot {
+            let n = self.view().slot_count();
+            put_u16(self.data, OFF_SLOT_COUNT, n + 1);
+            self.set_slot(slot, 0, 0);
+        }
+
+        let free_end = self.view().free_end() as usize;
+        let off = free_end - record_len;
+        header.write(&mut self.data[off..off + RECORD_HEADER_SIZE], payload.len() as u16);
+        let start = off + RECORD_HEADER_SIZE;
+        self.data[start..start + payload.len()].copy_from_slice(payload);
+        put_u16(self.data, OFF_FREE_END, off as u16);
+        self.set_slot(slot, off as u16, record_len as u16);
+        let live = self.view().live_records();
+        put_u16(self.data, OFF_LIVE, live + 1);
+        Ok(Some(slot))
+    }
+
+    /// Delete the record in `slot`. The slot entry becomes free (reusable),
+    /// the record bytes become fragmentation.
+    pub fn delete(&mut self, slot: u16) -> Result<()> {
+        let v = self.view();
+        if slot >= v.slot_count() {
+            return Err(StorageError::Corrupt(format!("delete of bad slot {slot}")));
+        }
+        let (off, len) = v.slot(slot);
+        if off == 0 && len == 0 {
+            return Err(StorageError::Corrupt(format!(
+                "delete of already-free slot {slot}"
+            )));
+        }
+        let frag = v.frag_bytes() + len;
+        put_u16(self.data, OFF_FRAG, frag);
+        self.set_slot(slot, 0, 0);
+        let live = self.view().live_records();
+        put_u16(self.data, OFF_LIVE, live - 1);
+        Ok(())
+    }
+
+    /// Replace the record in `slot` with a new header/payload.
+    ///
+    /// Returns `Ok(true)` on success; `Ok(false)` if the new payload does
+    /// not fit on this page even after compaction (the caller must forward
+    /// the record elsewhere).
+    pub fn update(
+        &mut self,
+        slot: u16,
+        header: RecordHeader,
+        payload: &[u8],
+    ) -> Result<bool> {
+        if payload.len() > MAX_RECORD_PAYLOAD {
+            return Err(StorageError::RecordTooLarge {
+                size: payload.len(),
+                max: MAX_RECORD_PAYLOAD,
+            });
+        }
+        let v = self.view();
+        if slot >= v.slot_count() {
+            return Err(StorageError::Corrupt(format!("update of bad slot {slot}")));
+        }
+        let (off, len) = v.slot(slot);
+        if off == 0 && len == 0 {
+            return Err(StorageError::Corrupt(format!(
+                "update of free slot {slot}"
+            )));
+        }
+        let new_len = alloc_len(payload.len());
+        if new_len <= len as usize {
+            // Shrink or same size: rewrite in place, tail becomes frag.
+            let off = off as usize;
+            header.write(&mut self.data[off..off + RECORD_HEADER_SIZE], payload.len() as u16);
+            let start = off + RECORD_HEADER_SIZE;
+            self.data[start..start + payload.len()].copy_from_slice(payload);
+            if new_len < len as usize {
+                let frag = self.view().frag_bytes() + (len as usize - new_len) as u16;
+                put_u16(self.data, OFF_FRAG, frag);
+                self.set_slot(slot, off as u16, new_len as u16);
+            }
+            return Ok(true);
+        }
+        // Growing: free old space, then place anew if possible.
+        let grow = new_len - len as usize;
+        if self.view().total_free() < grow {
+            return Ok(false);
+        }
+        // Tombstone old location into fragmentation.
+        let frag = self.view().frag_bytes() + len;
+        put_u16(self.data, OFF_FRAG, frag);
+        self.set_slot(slot, 0, 0);
+        if self.view().contiguous_free() < new_len {
+            self.compact();
+        }
+        let free_end = self.view().free_end() as usize;
+        let off = free_end - new_len;
+        header.write(&mut self.data[off..off + RECORD_HEADER_SIZE], payload.len() as u16);
+        let start = off + RECORD_HEADER_SIZE;
+        self.data[start..start + payload.len()].copy_from_slice(payload);
+        put_u16(self.data, OFF_FREE_END, off as u16);
+        self.set_slot(slot, off as u16, new_len as u16);
+        Ok(true)
+    }
+
+    /// Rewrite only the flags byte of a record header (used to mark stubs
+    /// and moved records without copying payloads).
+    pub fn set_record_flags(&mut self, slot: u16, flags: RecordFlags) -> Result<()> {
+        let v = self.view();
+        let (off, len) = v.slot(slot);
+        if slot >= v.slot_count() || (off == 0 && len == 0) {
+            return Err(StorageError::Corrupt(format!("flag set on bad slot {slot}")));
+        }
+        self.data[off as usize + 2] = flags as u8;
+        Ok(())
+    }
+
+    /// Slide all live records to the end of the page, eliminating
+    /// fragmentation. Slot numbers (and therefore OIDs) are unchanged.
+    pub fn compact(&mut self) {
+        let n = self.view().slot_count();
+        // Collect live (slot, off, len), sort by offset descending, repack
+        // from the page end.
+        let mut live: Vec<(u16, u16, u16)> = (0..n)
+            .filter_map(|s| {
+                let (off, len) = self.view().slot(s);
+                (!(off == 0 && len == 0)).then_some((s, off, len))
+            })
+            .collect();
+        live.sort_by_key(|e| std::cmp::Reverse(e.1));
+        let mut dest = PAGE_SIZE;
+        for (slot, off, len) in live {
+            let off = off as usize;
+            let len = len as usize;
+            dest -= len;
+            self.data.copy_within(off..off + len, dest);
+            self.set_slot(slot, dest as u16, len as u16);
+        }
+        put_u16(self.data, OFF_FREE_END, dest as u16);
+        put_u16(self.data, OFF_FRAG, 0);
+    }
+
+    /// Insert a forwarding stub in `slot` pointing at `target`.
+    pub fn write_forward_stub(&mut self, slot: u16, type_tag: u16, target: Oid) -> Result<()> {
+        let hdr = RecordHeader {
+            type_tag,
+            flags: RecordFlags::Forward,
+        };
+        let ok = self.update(slot, hdr, &target.to_bytes())?;
+        if !ok {
+            // A stub payload is 8 bytes; any record we are replacing is at
+            // least RECORD_HEADER_SIZE long, so this cannot happen.
+            return Err(StorageError::Corrupt(
+                "forward stub did not fit in place of existing record".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oid::FileId;
+
+    fn fresh() -> Vec<u8> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        PageMut::new(&mut buf).init(PageKind::Heap);
+        buf
+    }
+
+    fn hdr(tag: u16) -> RecordHeader {
+        RecordHeader {
+            type_tag: tag,
+            flags: RecordFlags::Normal,
+        }
+    }
+
+    #[test]
+    fn objects_per_page_matches_cost_model() {
+        // The paper: O_r = floor(B / (h + r)). For r = 100: 4056/120 = 33.
+        let mut buf = fresh();
+        let mut pg = PageMut::new(&mut buf);
+        let payload = [7u8; 100];
+        let mut n = 0;
+        while pg.insert(hdr(1), &payload).unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 33);
+    }
+
+    #[test]
+    fn insert_read_roundtrip() {
+        let mut buf = fresh();
+        let mut pg = PageMut::new(&mut buf);
+        let s0 = pg.insert(hdr(5), b"hello").unwrap().unwrap();
+        let s1 = pg.insert(hdr(6), b"world!").unwrap().unwrap();
+        let v = pg.view();
+        let (h0, p0) = v.record(s0).unwrap();
+        assert_eq!(h0.type_tag, 5);
+        assert_eq!(p0, b"hello");
+        let (h1, p1) = v.record(s1).unwrap();
+        assert_eq!(h1.type_tag, 6);
+        assert_eq!(p1, b"world!");
+        assert_eq!(v.live_records(), 2);
+    }
+
+    #[test]
+    fn delete_frees_slot_and_space() {
+        let mut buf = fresh();
+        let mut pg = PageMut::new(&mut buf);
+        let s0 = pg.insert(hdr(1), &[0u8; 50]).unwrap().unwrap();
+        let free_before = pg.view().total_free();
+        pg.delete(s0).unwrap();
+        assert!(pg.view().record(s0).is_none());
+        assert_eq!(pg.view().total_free(), free_before + 50 + RECORD_HEADER_SIZE);
+        // Slot is reused by the next insert.
+        let s1 = pg.insert(hdr(2), &[1u8; 10]).unwrap().unwrap();
+        assert_eq!(s1, s0);
+        // Double delete is an error.
+        let s2 = pg.insert(hdr(3), &[2u8; 10]).unwrap().unwrap();
+        pg.delete(s2).unwrap();
+        assert!(pg.delete(s2).is_err());
+    }
+
+    #[test]
+    fn update_in_place_and_grow() {
+        let mut buf = fresh();
+        let mut pg = PageMut::new(&mut buf);
+        let s = pg.insert(hdr(1), &[1u8; 40]).unwrap().unwrap();
+        // Same size.
+        assert!(pg.update(s, hdr(1), &[2u8; 40]).unwrap());
+        assert_eq!(pg.view().record(s).unwrap().1, &[2u8; 40][..]);
+        // Shrink.
+        assert!(pg.update(s, hdr(1), &[3u8; 10]).unwrap());
+        assert_eq!(pg.view().record(s).unwrap().1, &[3u8; 10][..]);
+        // Grow within page.
+        assert!(pg.update(s, hdr(1), &[4u8; 200]).unwrap());
+        assert_eq!(pg.view().record(s).unwrap().1, &[4u8; 200][..]);
+    }
+
+    #[test]
+    fn update_grow_fails_when_page_full() {
+        let mut buf = fresh();
+        let mut pg = PageMut::new(&mut buf);
+        // Fill the page with 100-byte records.
+        let mut slots = vec![];
+        while let Some(s) = pg.insert(hdr(1), &[9u8; 100]).unwrap() {
+            slots.push(s);
+        }
+        // Growing one to 300 bytes cannot fit.
+        assert!(!pg.update(slots[0], hdr(1), &[1u8; 300]).unwrap());
+        // Record is untouched.
+        assert_eq!(pg.view().record(slots[0]).unwrap().1, &[9u8; 100][..]);
+    }
+
+    #[test]
+    fn compaction_recovers_fragmentation() {
+        let mut buf = fresh();
+        let mut pg = PageMut::new(&mut buf);
+        let mut slots = vec![];
+        while let Some(s) = pg.insert(hdr(1), &[8u8; 100]).unwrap() {
+            slots.push(s);
+        }
+        // Delete every other record: plenty of total space, all fragmented.
+        for s in slots.iter().step_by(2) {
+            pg.delete(*s).unwrap();
+        }
+        assert!(pg.view().can_fit(500));
+        let s = pg.insert(hdr(2), &[5u8; 500]).unwrap();
+        assert!(s.is_some(), "insert after implicit compaction");
+        // Survivors unharmed.
+        for s in slots.iter().skip(1).step_by(2) {
+            assert_eq!(pg.view().record(*s).unwrap().1, &[8u8; 100][..]);
+        }
+    }
+
+    #[test]
+    fn record_too_large_is_an_error() {
+        let mut buf = fresh();
+        let mut pg = PageMut::new(&mut buf);
+        let big = vec![0u8; MAX_RECORD_PAYLOAD + 1];
+        assert!(matches!(
+            pg.insert(hdr(1), &big),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+        let s = pg.insert(hdr(1), &[0u8; 4]).unwrap().unwrap();
+        assert!(matches!(
+            pg.update(s, hdr(1), &big),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn max_payload_record_fits_alone() {
+        let mut buf = fresh();
+        let mut pg = PageMut::new(&mut buf);
+        let big = vec![3u8; MAX_RECORD_PAYLOAD];
+        let s = pg.insert(hdr(1), &big).unwrap().unwrap();
+        assert_eq!(pg.view().record(s).unwrap().1, &big[..]);
+        assert!(pg.insert(hdr(1), &[0u8; 1]).unwrap().is_none());
+    }
+
+    #[test]
+    fn forward_stub_roundtrip() {
+        let mut buf = fresh();
+        let mut pg = PageMut::new(&mut buf);
+        let s = pg.insert(hdr(9), &[1u8; 64]).unwrap().unwrap();
+        let target = Oid::new(FileId(3), 17, 4);
+        pg.write_forward_stub(s, 9, target).unwrap();
+        let (h, p) = pg.view().record(s).unwrap();
+        assert_eq!(h.flags, RecordFlags::Forward);
+        assert_eq!(Oid::from_bytes(p), target);
+    }
+
+    #[test]
+    fn records_iterator_skips_deleted() {
+        let mut buf = fresh();
+        let mut pg = PageMut::new(&mut buf);
+        let a = pg.insert(hdr(1), b"a").unwrap().unwrap();
+        let _b = pg.insert(hdr(1), b"b").unwrap().unwrap();
+        let c = pg.insert(hdr(1), b"c").unwrap().unwrap();
+        pg.delete(a).unwrap();
+        pg.delete(c).unwrap();
+        let v = pg.view();
+        let all: Vec<_> = v.records().map(|(s, _, p)| (s, p.to_vec())).collect();
+        assert_eq!(all, vec![(1u16, b"b".to_vec())]);
+    }
+
+    #[test]
+    fn next_page_pointer() {
+        let mut buf = fresh();
+        let mut pg = PageMut::new(&mut buf);
+        assert_eq!(pg.view().next_page(), None);
+        pg.set_next_page(Some(42));
+        assert_eq!(pg.view().next_page(), Some(42));
+        pg.set_next_page(None);
+        assert_eq!(pg.view().next_page(), None);
+    }
+}

@@ -1,0 +1,82 @@
+//! I/O accounting.
+//!
+//! The paper's entire evaluation (§6) is expressed in page I/Os, so the
+//! storage layer counts them at two levels: physical transfers at the disk
+//! manager, and logical page requests (hits vs. misses) at the buffer pool.
+
+use std::fmt;
+
+/// Physical disk-level counters.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct IoStats {
+    /// Pages read from the disk backend.
+    pub reads: u64,
+    /// Pages written to the disk backend.
+    pub writes: u64,
+    /// Pages allocated (extended) on the disk backend.
+    pub allocations: u64,
+}
+
+impl IoStats {
+    /// Total physical page transfers (reads + writes).
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&mut self) {
+        *self = IoStats::default();
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} allocs={}",
+            self.reads, self.writes, self.allocations
+        )
+    }
+}
+
+/// Combined view: physical disk traffic plus buffer-pool behaviour.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct IoProfile {
+    /// Physical transfers performed by the disk manager.
+    pub disk: IoStats,
+    /// Buffer-pool page requests that were already resident.
+    pub pool_hits: u64,
+    /// Buffer-pool page requests that required a disk read.
+    pub pool_misses: u64,
+    /// Dirty pages written back during eviction or flush.
+    pub evictions: u64,
+}
+
+impl IoProfile {
+    /// The paper charges a query one I/O per distinct page it needs.
+    /// With a cold pool, `pool_misses` is exactly that number for reads.
+    pub fn pages_read(&self) -> u64 {
+        self.disk.reads
+    }
+
+    /// Pages physically written (update queries write dirty pages back).
+    pub fn pages_written(&self) -> u64 {
+        self.disk.writes
+    }
+
+    /// `reads + writes`: the quantity the paper's `C_read` / `C_update`
+    /// equations estimate.
+    pub fn total_io(&self) -> u64 {
+        self.disk.total()
+    }
+}
+
+impl fmt::Display for IoProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits={} misses={} evictions={}",
+            self.disk, self.pool_hits, self.pool_misses, self.evictions
+        )
+    }
+}

@@ -1,0 +1,125 @@
+//! An interactive EXTRA-style shell over the field-replication engine.
+//!
+//! ```text
+//! cargo run --release --example extra_repl            # interactive
+//! cargo run --release --example extra_repl -- --demo  # scripted demo
+//! echo 'show catalog' | cargo run --example extra_repl
+//! ```
+//!
+//! Statements end with `;` (or a lone newline in interactive mode).
+//! Supported: `define type`, `create`, `replicate … [using separate]
+//! [deferred]`, `drop replicate`, `build [clustered] btree on`,
+//! `insert … as $var`, `retrieve (…) where …`, `replace (…) where …`,
+//! `delete from … where …`, `sync`, `show catalog|pending|io`.
+
+use field_replication::lang::Interpreter;
+use field_replication::DbConfig;
+use std::io::{BufRead, Write};
+
+const DEMO: &str = r#"
+define type ORG ( name: char[], budget: int );
+define type DEPT ( name: char[], budget: int, org: ref ORG );
+define type EMP ( name: char[], age: int, salary: int, dept: ref DEPT );
+create Org: {own ref ORG};
+create Dept: {own ref DEPT};
+create Emp1: {own ref EMP};
+create Emp2: {own ref EMP};
+
+insert Org (name = "Acme", budget = 5000000) as $acme;
+insert Dept (name = "Shoe", budget = 100000, org = $acme) as $shoe;
+insert Dept (name = "Toy", budget = 200000, org = $acme) as $toy;
+insert Emp1 (name = "Alice", age = 34, salary = 120000, dept = $shoe);
+insert Emp1 (name = "Bob", age = 29, salary = 90000, dept = $toy);
+insert Emp1 (name = "Cara", age = 41, salary = 150000, dept = $toy);
+
+replicate Emp1.dept.name;
+replicate Emp1.dept.org.name;
+show catalog;
+
+retrieve (Emp1.name, Emp1.salary, Emp1.dept.name) where Emp1.salary > 100000;
+replace (Dept.name = "Footwear") where Dept.name = "Shoe";
+retrieve (Emp1.name, Emp1.dept.name) where Emp1.salary > 100000;
+"#;
+
+fn main() {
+    let mut it = Interpreter::new(DbConfig::default());
+    let demo = std::env::args().any(|a| a == "--demo");
+
+    if demo {
+        println!("-- running built-in demo script --\n");
+        for stmt in split_statements(DEMO) {
+            println!("extra> {}", stmt.trim());
+            match it.execute(&stmt) {
+                Ok(out) => println!("{out}\n"),
+                Err(e) => println!("{e}\n"),
+            }
+        }
+        return;
+    }
+
+    eprintln!("EXTRA-style shell — end statements with ';', Ctrl-D to quit.");
+    let stdin = std::io::stdin();
+    let mut buf = String::new();
+    loop {
+        if buf.is_empty() {
+            eprint!("extra> ");
+        } else {
+            eprint!("   ..> ");
+        }
+        std::io::stderr().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        buf.push_str(&line);
+        if !buf.trim_end().ends_with(';') && !line.trim().is_empty() {
+            continue; // keep accumulating until ';'
+        }
+        let stmt = buf.trim();
+        if !stmt.is_empty() {
+            match it.execute(stmt.trim_end_matches(';')) {
+                Ok(out) => println!("{out}"),
+                Err(e) => println!("{e}"),
+            }
+        }
+        buf.clear();
+    }
+}
+
+/// Split a script on ';' while respecting string literals.
+fn split_statements(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut chars = src.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '\\' if in_str => {
+                cur.push(c);
+                if let Some(n) = chars.next() {
+                    cur.push(n);
+                }
+            }
+            ';' if !in_str => {
+                if !cur.trim().is_empty() {
+                    out.push(cur.trim().to_string());
+                }
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}

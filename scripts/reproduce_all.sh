@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure and experiment output into results/.
+# Usage: scripts/reproduce_all.sh [--full]   (--full adds f = 50 runs)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+FULL="${1:-}"
+
+echo "== analytical figures =="
+cargo run --release -q -p fieldrep-bench --bin fig11 > results/fig11.txt
+cargo run --release -q -p fieldrep-bench --bin fig12 > results/fig12.txt
+cargo run --release -q -p fieldrep-bench --bin fig13 > results/fig13.txt
+cargo run --release -q -p fieldrep-bench --bin fig14 > results/fig14.txt
+
+echo "== empirical validation =="
+if [ "$FULL" = "--full" ]; then
+  cargo run --release -q -p fieldrep-bench --bin empirical -- --full > results/empirical.txt
+else
+  cargo run --release -q -p fieldrep-bench --bin empirical > results/empirical.txt
+fi
+
+echo "== measured curves and traces =="
+cargo run --release -q -p fieldrep-bench --bin empirical_curves -- --s 2000 > results/empirical_curves.txt
+cargo run --release -q -p fieldrep-bench --bin trace_run > results/trace_run.txt
+
+echo "== ablations =="
+cargo run --release -q -p fieldrep-bench --bin ablations > results/ablations.txt
+cargo run --release -q -p fieldrep-bench --bin pathindex_ablation > results/pathindex_ablation.txt
+
+echo "done — see results/"

@@ -1,0 +1,73 @@
+//! # field-replication
+//!
+//! A full implementation of **“Performance Enhancement Through
+//! Replication in an Object-Oriented DBMS”** (Shekita & Carey, SIGMOD
+//! 1989): *field replication* — selectively replicating data fields
+//! reachable through reference attributes so that queries avoid
+//! functional joins — with both of the paper's storage strategies
+//! (in-place and separate), inverted-path maintenance, a replica-aware
+//! query processor, the paper's analytical cost model, and an
+//! I/O-measured storage engine to validate it.
+//!
+//! This crate is a facade: it re-exports the public API of the workspace
+//! crates. Start with [`Database`].
+//!
+//! ```
+//! use field_replication::{Database, DbConfig, Strategy, TypeDef, FieldType, Value};
+//! use field_replication::query::{ReadQuery, Filter};
+//!
+//! let mut db = Database::in_memory(DbConfig::default());
+//! db.define_type(TypeDef::new("DEPT", vec![
+//!     ("name", FieldType::Str),
+//! ])).unwrap();
+//! db.define_type(TypeDef::new("EMP", vec![
+//!     ("name", FieldType::Str),
+//!     ("salary", FieldType::Int),
+//!     ("dept", FieldType::Ref("DEPT".into())),
+//! ])).unwrap();
+//! db.create_set("Dept", "DEPT").unwrap();
+//! db.create_set("Emp1", "EMP").unwrap();
+//!
+//! let d = db.insert("Dept", vec![Value::Str("Shoe".into())]).unwrap();
+//! db.insert("Emp1", vec![
+//!     Value::Str("Alice".into()), Value::Int(120_000), Value::Ref(d),
+//! ]).unwrap();
+//!
+//! // replicate Emp1.dept.name (§3.1) — the functional join disappears.
+//! db.replicate("Emp1.dept.name", Strategy::InPlace).unwrap();
+//!
+//! let res = ReadQuery::on("Emp1")
+//!     .filter(Filter::Range {
+//!         path: "salary".into(),
+//!         lo: Value::Int(100_000),
+//!         hi: Value::Int(i64::MAX),
+//!     })
+//!     .project(["name", "salary", "dept.name"])
+//!     .run(&mut db).unwrap();
+//! assert_eq!(res.rows[0][2], Some(Value::Str("Shoe".into())));
+//! ```
+
+/// The storage substrate (pages, buffer pool, heap files, I/O counters).
+pub use fieldrep_storage as storage;
+/// B⁺-tree indexes and key encodings.
+pub use fieldrep_btree as btree;
+/// The EXTRA-subset data model (types, values, objects, paths).
+pub use fieldrep_model as model;
+/// The schema catalog (sets, links, replication paths, replica groups).
+pub use fieldrep_catalog as catalog;
+/// The replication engine and [`Database`] facade.
+pub use fieldrep_core as core;
+/// Read/update query processing.
+pub use fieldrep_query as query;
+/// The paper's §6 analytical cost model.
+pub use fieldrep_costmodel as costmodel;
+/// Path indexes: replicated-value vs Gemstone-style (§3.3.4 / §7.2).
+pub use fieldrep_pathindex as pathindex;
+/// EXTRA-style statement language (`define type`, `create`, `replicate`,
+/// `retrieve`, `replace`, …) — the syntax the paper's examples use.
+pub use fieldrep_lang as lang;
+
+pub use fieldrep_catalog::{IndexKind, PathId, SetId, Strategy};
+pub use fieldrep_core::{Database, DbConfig, DbError};
+pub use fieldrep_model::{FieldType, Object, PathExpr, TypeDef, Value};
+pub use fieldrep_storage::{IoProfile, Oid};
