@@ -49,7 +49,10 @@ fn bench_lookup_and_range(c: &mut Criterion) {
     c.bench_function("btree_range_100_of_100k", |b| {
         b.iter(|| {
             i = (i + 4391) % 99_000;
-            black_box(idx.range(&mut sm, &encode_i64(i), &encode_i64(i + 99)).unwrap())
+            black_box(
+                idx.range(&mut sm, &encode_i64(i), &encode_i64(i + 99))
+                    .unwrap(),
+            )
         })
     });
 }

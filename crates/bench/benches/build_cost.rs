@@ -9,15 +9,22 @@ use fieldrep_model::{FieldType, TypeDef, Value};
 
 fn populated_db() -> Database {
     let mut db = Database::in_memory(DbConfig::default());
-    db.define_type(TypeDef::new("ORG", vec![("name", FieldType::Str)])).unwrap();
+    db.define_type(TypeDef::new("ORG", vec![("name", FieldType::Str)]))
+        .unwrap();
     db.define_type(TypeDef::new(
         "DEPT",
-        vec![("name", FieldType::Str), ("org", FieldType::Ref("ORG".into()))],
+        vec![
+            ("name", FieldType::Str),
+            ("org", FieldType::Ref("ORG".into())),
+        ],
     ))
     .unwrap();
     db.define_type(TypeDef::new(
         "EMP",
-        vec![("id", FieldType::Int), ("dept", FieldType::Ref("DEPT".into()))],
+        vec![
+            ("id", FieldType::Int),
+            ("dept", FieldType::Ref("DEPT".into())),
+        ],
     ))
     .unwrap();
     db.create_set("Org", "ORG").unwrap();
@@ -28,13 +35,19 @@ fn populated_db() -> Database {
         .collect();
     let depts: Vec<_> = (0..400)
         .map(|i| {
-            db.insert("Dept", vec![Value::Str(format!("d{i}")), Value::Ref(orgs[i % 20])])
-                .unwrap()
+            db.insert(
+                "Dept",
+                vec![Value::Str(format!("d{i}")), Value::Ref(orgs[i % 20])],
+            )
+            .unwrap()
         })
         .collect();
     for i in 0..8000usize {
-        db.insert("Emp1", vec![Value::Int(i as i64), Value::Ref(depts[i % 400])])
-            .unwrap();
+        db.insert(
+            "Emp1",
+            vec![Value::Int(i as i64), Value::Ref(depts[i % 400])],
+        )
+        .unwrap();
     }
     db
 }
@@ -54,7 +67,9 @@ fn bench_build(c: &mut Criterion) {
                 match w {
                     0 => db.replicate("Emp1.dept.name", Strategy::InPlace).unwrap(),
                     1 => db.replicate("Emp1.dept.name", Strategy::Separate).unwrap(),
-                    2 => db.replicate("Emp1.dept.org.name", Strategy::InPlace).unwrap(),
+                    2 => db
+                        .replicate("Emp1.dept.org.name", Strategy::InPlace)
+                        .unwrap(),
                     _ => db
                         .replicate_collapsed("Emp1.dept.org.name", Propagation::Eager)
                         .unwrap(),

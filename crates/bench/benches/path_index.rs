@@ -13,36 +13,52 @@ fn build() -> Database {
         .unwrap();
     db.define_type(TypeDef::new(
         "DEPT",
-        vec![("name", FieldType::Str), ("org", FieldType::Ref("ORG".into()))],
+        vec![
+            ("name", FieldType::Str),
+            ("org", FieldType::Ref("ORG".into())),
+        ],
     ))
     .unwrap();
     db.define_type(TypeDef::new(
         "EMP",
-        vec![("id", FieldType::Int), ("dept", FieldType::Ref("DEPT".into()))],
+        vec![
+            ("id", FieldType::Int),
+            ("dept", FieldType::Ref("DEPT".into())),
+        ],
     ))
     .unwrap();
     db.create_set("Org", "ORG").unwrap();
     db.create_set("Dept", "DEPT").unwrap();
     db.create_set("Emp1", "EMP").unwrap();
     let orgs: Vec<_> = (0..200)
-        .map(|i| db.insert("Org", vec![Value::Str(format!("org{i:04}"))]).unwrap())
-        .collect();
-    let depts: Vec<_> = (0..1000)
         .map(|i| {
-            db.insert("Dept", vec![Value::Str(format!("d{i}")), Value::Ref(orgs[i % 200])])
+            db.insert("Org", vec![Value::Str(format!("org{i:04}"))])
                 .unwrap()
         })
         .collect();
+    let depts: Vec<_> = (0..1000)
+        .map(|i| {
+            db.insert(
+                "Dept",
+                vec![Value::Str(format!("d{i}")), Value::Ref(orgs[i % 200])],
+            )
+            .unwrap()
+        })
+        .collect();
     for i in 0..10_000 {
-        db.insert("Emp1", vec![Value::Int(i as i64), Value::Ref(depts[i % 1000])])
-            .unwrap();
+        db.insert(
+            "Emp1",
+            vec![Value::Int(i as i64), Value::Ref(depts[i % 1000])],
+        )
+        .unwrap();
     }
     db
 }
 
 fn bench_lookups(c: &mut Criterion) {
     let mut db = build();
-    db.replicate("Emp1.dept.org.name", Strategy::InPlace).unwrap();
+    db.replicate("Emp1.dept.org.name", Strategy::InPlace)
+        .unwrap();
     let rep = ReplicatedPathIndex::build(&mut db, "Emp1.dept.org.name").unwrap();
     let gem = GemstonePathIndex::build(&mut db, "Emp1.dept.org.name").unwrap();
 

@@ -22,7 +22,11 @@ fn build(fan_in: usize, strategy: Strategy, threshold: usize) -> (Database, Oid)
     .unwrap();
     db.define_type(TypeDef::new(
         "EMP",
-        vec![("id", FieldType::Int), ("dept", FieldType::Ref("DEPT".into())), ("pad", FieldType::Pad(60))],
+        vec![
+            ("id", FieldType::Int),
+            ("dept", FieldType::Ref("DEPT".into())),
+            ("pad", FieldType::Pad(60)),
+        ],
     ))
     .unwrap();
     db.create_set("Dept", "DEPT").unwrap();
@@ -31,8 +35,11 @@ fn build(fan_in: usize, strategy: Strategy, threshold: usize) -> (Database, Oid)
         .insert("Dept", vec![Value::Str("d#0".into()), Value::Unit])
         .unwrap();
     for i in 0..fan_in {
-        db.insert("Emp1", vec![Value::Int(i as i64), Value::Ref(d), Value::Unit])
-            .unwrap();
+        db.insert(
+            "Emp1",
+            vec![Value::Int(i as i64), Value::Ref(d), Value::Unit],
+        )
+        .unwrap();
     }
     db.replicate("Emp1.dept.name", strategy).unwrap();
     (db, d)
@@ -41,20 +48,19 @@ fn build(fan_in: usize, strategy: Strategy, threshold: usize) -> (Database, Oid)
 fn bench_propagation(c: &mut Criterion) {
     let mut group = c.benchmark_group("terminal_update_propagation");
     for fan_in in [1usize, 16, 64, 256] {
-        for (name, strat) in [("inplace", Strategy::InPlace), ("separate", Strategy::Separate)] {
+        for (name, strat) in [
+            ("inplace", Strategy::InPlace),
+            ("separate", Strategy::Separate),
+        ] {
             let (mut db, d) = build(fan_in, strat, 0);
             let mut tick = 0u64;
-            group.bench_with_input(
-                BenchmarkId::new(name, fan_in),
-                &(),
-                |b, _| {
-                    b.iter(|| {
-                        tick += 1;
-                        db.update(d, &[("name", Value::Str(format!("d#{}", tick % 8)))])
-                            .unwrap();
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, fan_in), &(), |b, _| {
+                b.iter(|| {
+                    tick += 1;
+                    db.update(d, &[("name", Value::Str(format!("d#{}", tick % 8)))])
+                        .unwrap();
+                })
+            });
         }
     }
     group.finish();

@@ -24,17 +24,29 @@ fn build_two_level(
     });
     db.define_type(TypeDef::new(
         "ORG",
-        vec![("name", FieldType::Str), ("budget", FieldType::Int), ("pad", FieldType::Pad(80))],
+        vec![
+            ("name", FieldType::Str),
+            ("budget", FieldType::Int),
+            ("pad", FieldType::Pad(80)),
+        ],
     ))
     .unwrap();
     db.define_type(TypeDef::new(
         "DEPT",
-        vec![("name", FieldType::Str), ("org", FieldType::Ref("ORG".into())), ("pad", FieldType::Pad(100))],
+        vec![
+            ("name", FieldType::Str),
+            ("org", FieldType::Ref("ORG".into())),
+            ("pad", FieldType::Pad(100)),
+        ],
     ))
     .unwrap();
     db.define_type(TypeDef::new(
         "EMP",
-        vec![("id", FieldType::Int), ("dept", FieldType::Ref("DEPT".into())), ("pad", FieldType::Pad(75))],
+        vec![
+            ("id", FieldType::Int),
+            ("dept", FieldType::Ref("DEPT".into())),
+            ("pad", FieldType::Pad(75)),
+        ],
     ))
     .unwrap();
     db.create_set("Org", "ORG").unwrap();
@@ -42,15 +54,26 @@ fn build_two_level(
     db.create_set("Emp1", "EMP").unwrap();
     let orgs: Vec<_> = (0..20)
         .map(|i| {
-            db.insert("Org", vec![Value::Str(format!("org{i:04}#0")), Value::Int(i), Value::Unit])
-                .unwrap()
+            db.insert(
+                "Org",
+                vec![
+                    Value::Str(format!("org{i:04}#0")),
+                    Value::Int(i),
+                    Value::Unit,
+                ],
+            )
+            .unwrap()
         })
         .collect();
     let depts: Vec<_> = (0..200)
         .map(|i| {
             db.insert(
                 "Dept",
-                vec![Value::Str(format!("dept{i}")), Value::Ref(orgs[i % 20]), Value::Unit],
+                vec![
+                    Value::Str(format!("dept{i}")),
+                    Value::Ref(orgs[i % 20]),
+                    Value::Unit,
+                ],
             )
             .unwrap()
         })
@@ -58,12 +81,18 @@ fn build_two_level(
     for i in 0..n_emp {
         db.insert(
             "Emp1",
-            vec![Value::Int(i as i64), Value::Ref(depts[i % 200]), Value::Unit],
+            vec![
+                Value::Int(i as i64),
+                Value::Ref(depts[i % 200]),
+                Value::Unit,
+            ],
         )
         .unwrap();
     }
-    db.create_index("Emp1.id", fieldrep_catalog::IndexKind::Unclustered).unwrap();
-    db.create_index("Org.budget", fieldrep_catalog::IndexKind::Unclustered).unwrap();
+    db.create_index("Emp1.id", fieldrep_catalog::IndexKind::Unclustered)
+        .unwrap();
+    db.create_index("Org.budget", fieldrep_catalog::IndexKind::Unclustered)
+        .unwrap();
     if let Some((path, s)) = strategy {
         db.replicate(path, s).unwrap();
     }
@@ -73,7 +102,7 @@ fn build_two_level(
 
 fn measure<F: FnOnce(&mut Database)>(db: &mut Database, f: F) -> u64 {
     db.flush_all().unwrap();
-    db.reset_io();
+    db.reset_profile();
     f(db);
     db.flush_all().unwrap();
     db.io_profile().total_io()
@@ -84,7 +113,10 @@ fn main() {
     println!("1-level path Emp1.dept.name at fan-in 2 (each dept referenced by two");
     println!("employees — the regime §4.3.1 targets); the update query renames 40");
     println!("depts, so propagation must traverse 40 link stores.\n");
-    println!("{:>10} | {:>14} | {:>15}", "threshold", "update I/O", "link-file pages");
+    println!(
+        "{:>10} | {:>14} | {:>15}",
+        "threshold", "update I/O", "link-file pages"
+    );
     for threshold in [0usize, 1, 2, 4] {
         let mut db = build_two_level(
             Some(("Emp1.dept.name", Strategy::InPlace)),
@@ -125,8 +157,14 @@ fn main() {
     println!("Read query: 60 employees by id range, projecting dept.org.name.\n");
     let variants: [(&str, Option<(&str, Strategy)>); 3] = [
         ("functional joins (baseline)", None),
-        ("collapse path Emp1.dept.org", Some(("Emp1.dept.org", Strategy::InPlace))),
-        ("full replica of dept.org.name", Some(("Emp1.dept.org.name", Strategy::InPlace))),
+        (
+            "collapse path Emp1.dept.org",
+            Some(("Emp1.dept.org", Strategy::InPlace)),
+        ),
+        (
+            "full replica of dept.org.name",
+            Some(("Emp1.dept.org.name", Strategy::InPlace)),
+        ),
     ];
     println!("{:<32} | {:>10}", "projection strategy", "read I/O");
     for (label, strat) in variants {
@@ -153,12 +191,21 @@ fn main() {
     println!("One dept with 2000 employees; 5 separate rename queries (cold pool");
     println!("each, as in the §6 model). Eager pays the fan-out 5 times; deferred");
     println!("pays it once, at sync.\n");
-    println!("{:<10} | {:>12} | {:>12} | {:>12}", "mode", "5 updates", "sync", "total");
-    for (label, propagation) in [("eager", Propagation::Eager), ("deferred", Propagation::Deferred)] {
+    println!(
+        "{:<10} | {:>12} | {:>12} | {:>12}",
+        "mode", "5 updates", "sync", "total"
+    );
+    for (label, propagation) in [
+        ("eager", Propagation::Eager),
+        ("deferred", Propagation::Deferred),
+    ] {
         let mut db = Database::in_memory(DbConfig::default());
         db.define_type(fieldrep_model::TypeDef::new(
             "DEPT",
-            vec![("name", fieldrep_model::FieldType::Str), ("pad", fieldrep_model::FieldType::Pad(100))],
+            vec![
+                ("name", fieldrep_model::FieldType::Str),
+                ("pad", fieldrep_model::FieldType::Pad(100)),
+            ],
         ))
         .unwrap();
         db.define_type(fieldrep_model::TypeDef::new(
@@ -187,7 +234,8 @@ fn main() {
         let mut updates = 0u64;
         for i in 1..=5 {
             updates += measure(&mut db, |db| {
-                db.update(d, &[("name", Value::Str(format!("d#{i}")))]).unwrap();
+                db.update(d, &[("name", Value::Str(format!("d#{i}")))])
+                    .unwrap();
             });
         }
         let sync = measure(&mut db, |db| {
@@ -195,7 +243,10 @@ fn main() {
         });
         println!(
             "{:<10} | {:>12} | {:>12} | {:>12}",
-            label, updates, sync, updates + sync
+            label,
+            updates,
+            sync,
+            updates + sync
         );
     }
     println!("\nDeferred batching collapses repeated updates into one propagation:");
@@ -215,10 +266,16 @@ fn main() {
         // Re-populate: one org with 40 depts, 25 employees each; a spare
         // org to move a dept to.
         let o = db
-            .insert("Org", vec![Value::Str("big#0".into()), Value::Int(100), Value::Unit])
+            .insert(
+                "Org",
+                vec![Value::Str("big#0".into()), Value::Int(100), Value::Unit],
+            )
             .unwrap();
         let spare = db
-            .insert("Org", vec![Value::Str("spare".into()), Value::Int(101), Value::Unit])
+            .insert(
+                "Org",
+                vec![Value::Str("spare".into()), Value::Int(101), Value::Unit],
+            )
             .unwrap();
         let depts: Vec<_> = (0..40)
             .map(|i| {
@@ -232,7 +289,11 @@ fn main() {
         for i in 0..1000usize {
             db.insert(
                 "Emp1",
-                vec![Value::Int(10_000 + i as i64), Value::Ref(depts[i % 40]), Value::Unit],
+                vec![
+                    Value::Int(10_000 + i as i64),
+                    Value::Ref(depts[i % 40]),
+                    Value::Unit,
+                ],
             )
             .unwrap();
         }
@@ -240,17 +301,23 @@ fn main() {
             db.replicate_collapsed("Emp1.dept.org.name", Propagation::Eager)
                 .unwrap();
         } else {
-            db.replicate("Emp1.dept.org.name", Strategy::InPlace).unwrap();
+            db.replicate("Emp1.dept.org.name", Strategy::InPlace)
+                .unwrap();
         }
         let terminal_io = measure(&mut db, |db| {
-            db.update(o, &[("name", Value::Str("big#1".into()))]).unwrap();
+            db.update(o, &[("name", Value::Str("big#1".into()))])
+                .unwrap();
         });
         let move_io = measure(&mut db, |db| {
             db.update(depts[0], &[("org", Value::Ref(spare))]).unwrap();
         });
         println!(
             "{:<12} | {:>16} | {:>20}",
-            if collapsed { "collapsed" } else { "uncollapsed" },
+            if collapsed {
+                "collapsed"
+            } else {
+                "uncollapsed"
+            },
             terminal_io,
             move_io
         );

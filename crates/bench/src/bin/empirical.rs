@@ -23,8 +23,7 @@ fn main() {
         println!("--- {setting:?} indexes ---");
         println!(
             "{:>3} {:<10} | {:>10} {:>10} {:>7} | {:>10} {:>10} {:>7}",
-            "f", "strategy", "read meas", "read model", "ratio",
-            "upd meas", "upd model", "ratio"
+            "f", "strategy", "read meas", "read model", "ratio", "upd meas", "upd model", "ratio"
         );
         for &f in sharings {
             for strategy in [None, Some(Strategy::InPlace), Some(Strategy::Separate)] {

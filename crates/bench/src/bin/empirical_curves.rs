@@ -42,8 +42,7 @@ fn main() {
                 meas.push((avg_read_io(&mut w, queries), avg_update_io(&mut w, queries)));
             }
             let params = model_params.unwrap();
-            let total =
-                |m: &(f64, f64), p: f64| (1.0 - p) * m.0 + p * m.1;
+            let total = |m: &(f64, f64), p: f64| (1.0 - p) * m.0 + p * m.1;
 
             println!(
                 "{:>5} | {:>10} {:>10} | {:>10} {:>10}",
@@ -54,12 +53,8 @@ fn main() {
                 let base = total(&meas[0], p);
                 let m_ip = 100.0 * (total(&meas[1], p) - base) / base;
                 let m_sep = 100.0 * (total(&meas[2], p) - base) / base;
-                let a_base = total_cost(
-                    &params,
-                    fieldrep_costmodel::ModelStrategy::None,
-                    setting,
-                    p,
-                );
+                let a_base =
+                    total_cost(&params, fieldrep_costmodel::ModelStrategy::None, setting, p);
                 let a_ip = 100.0
                     * (total_cost(
                         &params,
@@ -76,9 +71,7 @@ fn main() {
                         p,
                     ) - a_base)
                     / a_base;
-                println!(
-                    "{p:>5.1} | {m_ip:>+10.1} {a_ip:>+10.1} | {m_sep:>+10.1} {a_sep:>+10.1}"
-                );
+                println!("{p:>5.1} | {m_ip:>+10.1} {a_ip:>+10.1} | {m_sep:>+10.1} {a_sep:>+10.1}");
             }
             println!();
         }

@@ -16,14 +16,21 @@ fn name(s: ModelStrategy) -> &'static str {
 fn main() {
     println!("=== Figure 14: Selected Values for C_read and C_update (Clustered) ===\n");
     println!("{:<22} | f=1,f_r=.002        | f=20,f_r=.002", "");
-    println!("{:<22} | C_read   C_update   | C_read   C_update", "Strategy");
+    println!(
+        "{:<22} | C_read   C_update   | C_read   C_update",
+        "Strategy"
+    );
     println!("{}", "-".repeat(68));
     let t1 = selected_values(IndexSetting::Clustered, 1.0);
     let t20 = selected_values(IndexSetting::Clustered, 20.0);
     for (a, b) in t1.iter().zip(&t20) {
         println!(
             "{:<22} | {:>6}   {:>8}   | {:>6}   {:>8}",
-            name(a.strategy), a.c_read, a.c_update, b.c_read, b.c_update
+            name(a.strategy),
+            a.c_read,
+            a.c_update,
+            b.c_read,
+            b.c_update
         );
     }
     println!("\nPaper's values:        |     24          4   |    316          4");

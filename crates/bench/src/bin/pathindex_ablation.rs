@@ -19,25 +19,40 @@ fn build(n_orgs: usize, depts_per_org: usize, emps_per_dept: usize) -> Database 
     .unwrap();
     db.define_type(TypeDef::new(
         "DEPT",
-        vec![("name", FieldType::Str), ("org", FieldType::Ref("ORG".into())), ("pad", FieldType::Pad(100))],
+        vec![
+            ("name", FieldType::Str),
+            ("org", FieldType::Ref("ORG".into())),
+            ("pad", FieldType::Pad(100)),
+        ],
     ))
     .unwrap();
     db.define_type(TypeDef::new(
         "EMP",
-        vec![("id", FieldType::Int), ("dept", FieldType::Ref("DEPT".into())), ("pad", FieldType::Pad(75))],
+        vec![
+            ("id", FieldType::Int),
+            ("dept", FieldType::Ref("DEPT".into())),
+            ("pad", FieldType::Pad(75)),
+        ],
     ))
     .unwrap();
     db.create_set("Org", "ORG").unwrap();
     db.create_set("Dept", "DEPT").unwrap();
     db.create_set("Emp1", "EMP").unwrap();
     let orgs: Vec<_> = (0..n_orgs)
-        .map(|i| db.insert("Org", vec![Value::Str(format!("org{i:05}")), Value::Unit]).unwrap())
+        .map(|i| {
+            db.insert("Org", vec![Value::Str(format!("org{i:05}")), Value::Unit])
+                .unwrap()
+        })
         .collect();
     let depts: Vec<_> = (0..n_orgs * depts_per_org)
         .map(|i| {
             db.insert(
                 "Dept",
-                vec![Value::Str(format!("dept{i}")), Value::Ref(orgs[i / depts_per_org]), Value::Unit],
+                vec![
+                    Value::Str(format!("dept{i}")),
+                    Value::Ref(orgs[i / depts_per_org]),
+                    Value::Unit,
+                ],
             )
             .unwrap()
         })
@@ -45,7 +60,11 @@ fn build(n_orgs: usize, depts_per_org: usize, emps_per_dept: usize) -> Database 
     for i in 0..depts.len() * emps_per_dept {
         db.insert(
             "Emp1",
-            vec![Value::Int(i as i64), Value::Ref(depts[i % depts.len()]), Value::Unit],
+            vec![
+                Value::Int(i as i64),
+                Value::Ref(depts[i % depts.len()]),
+                Value::Unit,
+            ],
         )
         .unwrap();
     }
@@ -60,7 +79,8 @@ fn main() {
     );
     for (n_orgs, depts_per_org, emps_per_dept) in [(50, 4, 10), (200, 5, 10), (500, 4, 15)] {
         let mut db = build(n_orgs, depts_per_org, emps_per_dept);
-        db.replicate("Emp1.dept.org.name", Strategy::InPlace).unwrap();
+        db.replicate("Emp1.dept.org.name", Strategy::InPlace)
+            .unwrap();
         let rep = ReplicatedPathIndex::build(&mut db, "Emp1.dept.org.name").unwrap();
         let gem = GemstonePathIndex::build(&mut db, "Emp1.dept.org.name").unwrap();
         let n_emps = n_orgs * depts_per_org * emps_per_dept;
@@ -70,7 +90,7 @@ fn main() {
             .collect();
 
         db.flush_all().unwrap();
-        db.reset_io();
+        db.reset_profile();
         for v in &probes {
             let hits = rep.lookup(&mut db, v).unwrap();
             assert_eq!(hits.len(), depts_per_org * emps_per_dept);
@@ -78,7 +98,7 @@ fn main() {
         let io_rep = db.io_profile().pages_read();
 
         db.flush_all().unwrap();
-        db.reset_io();
+        db.reset_profile();
         for v in &probes {
             let hits = gem.lookup(&mut db, v).unwrap();
             assert_eq!(hits.len(), depts_per_org * emps_per_dept);
@@ -87,7 +107,10 @@ fn main() {
 
         println!(
             "{:>8} {:>8} | {:>16} {:>18} {:>8.2}",
-            n_orgs, n_emps, io_rep, io_gem,
+            n_orgs,
+            n_emps,
+            io_rep,
+            io_gem,
             io_gem as f64 / io_rep as f64
         );
     }

@@ -4,24 +4,99 @@
 //! (the empirical `C_total`) for each strategy.
 //!
 //! Run: `cargo run --release -p fieldrep-bench --bin trace_run [--s N] [--f F] [--q N]`
+//!
+//! With `--profile`, instead of the P_up sweep, one read and one update
+//! query run per strategy with span tracing on, and the per-operator
+//! I/O profiles (EXPLAIN-ANALYZE style), span trees, and the global
+//! metrics registry are printed; each profile's per-operator counters
+//! are checked to sum exactly to the raw buffer-pool totals for the
+//! run.  `--jsonl <path>` additionally writes every span, profile, and
+//! registry entry as one JSON object per line (and implies --profile).
 
 use fieldrep_bench::trace::run_trace;
-use fieldrep_bench::{build_workload, WorkloadSpec};
+use fieldrep_bench::{
+    build_workload, io_counts_of, profile_read_query, profile_update_query, ProfiledRun,
+    WorkloadSpec,
+};
 use fieldrep_catalog::Strategy;
 use fieldrep_costmodel::{total_cost, IndexSetting, ModelStrategy};
+use fieldrep_obs::{export, registry};
+use std::io::Write;
+
+fn strategy_name(s: Option<Strategy>) -> &'static str {
+    match s {
+        None => "none",
+        Some(Strategy::InPlace) => "in-place",
+        Some(Strategy::Separate) => "separate",
+    }
+}
+
+/// Print one profiled query (profile table + span tree) and verify the
+/// telescoping invariant against the raw pool counters. Returns the
+/// JSONL lines for the run.
+fn report_run(name: &str, run: &ProfiledRun) -> Vec<String> {
+    let label = format!("{name}/{}", run.label);
+    println!("{}", export::profile_text(&label, &run.profile));
+    for s in &run.spans {
+        print!("{}", export::span_text(s));
+    }
+    let raw = io_counts_of(&run.raw);
+    let sum = run.profile.ops_io_sum();
+    assert_eq!(
+        sum, raw,
+        "{label}: per-operator I/O must sum to the raw pool totals"
+    );
+    println!(
+        "  invariant ok: sum(per-operator I/O) == raw pool totals ({})\n",
+        export::io_text(&raw)
+    );
+    let mut lines = vec![export::profile_jsonl(&label, &run.profile)];
+    lines.extend(run.spans.iter().map(export::span_jsonl));
+    lines
+}
+
+fn run_profiled(s_count: usize, sharing: usize, jsonl: Option<&str>) {
+    let setting = IndexSetting::Unclustered;
+    println!("=== Profiled §6 queries: f = {sharing}, |S| = {s_count} ===\n");
+    let mut lines = Vec::new();
+    for strat in [None, Some(Strategy::InPlace), Some(Strategy::Separate)] {
+        let name = strategy_name(strat);
+        let mut w = build_workload(WorkloadSpec::paper(sharing, setting, strat).scaled(s_count));
+        lines.extend(report_run(name, &profile_read_query(&mut w, 0)));
+        lines.extend(report_run(name, &profile_update_query(&mut w, 0)));
+    }
+    let snap = registry().snapshot();
+    println!("{}", export::snapshot_text(&snap));
+    if let Some(path) = jsonl {
+        lines.extend(export::snapshot_jsonl(&snap));
+        let mut f = std::fs::File::create(path).expect("create --jsonl file");
+        for l in &lines {
+            writeln!(f, "{l}").expect("write --jsonl line");
+        }
+        println!("wrote {} JSON lines to {path}", lines.len());
+    }
+}
 
 fn main() {
     let mut s_count = 2000usize;
     let mut sharing = 10usize;
     let mut n_queries = 30usize;
+    let mut profile = false;
+    let mut jsonl: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--s" => s_count = args.next().and_then(|v| v.parse().ok()).expect("--s N"),
             "--f" => sharing = args.next().and_then(|v| v.parse().ok()).expect("--f F"),
             "--q" => n_queries = args.next().and_then(|v| v.parse().ok()).expect("--q N"),
+            "--profile" => profile = true,
+            "--jsonl" => jsonl = Some(args.next().expect("--jsonl <path>")),
             other => panic!("unknown flag {other}"),
         }
+    }
+    if profile || jsonl.is_some() {
+        run_profiled(s_count, sharing, jsonl.as_deref());
+        return;
     }
     let setting = IndexSetting::Unclustered;
 
@@ -30,7 +105,10 @@ fn main() {
         "{:>5} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
         "P_up", "none", "in-pl", "sep", "none*", "in-pl*", "sep*"
     );
-    println!("{:>5} | {:^29} | {:^29}", "", "measured C_total", "model C_total (*)");
+    println!(
+        "{:>5} | {:^29} | {:^29}",
+        "", "measured C_total", "model C_total (*)"
+    );
 
     // Build each workload once; traces mutate repfield cyclically, which
     // keeps the database valid across points.

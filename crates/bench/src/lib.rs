@@ -21,8 +21,9 @@ use fieldrep_catalog::{IndexKind, PathId, Strategy};
 use fieldrep_core::{Database, DbConfig};
 use fieldrep_costmodel::{IndexSetting, ModelStrategy, Params};
 use fieldrep_model::{FieldType, TypeDef, Value};
+use fieldrep_obs::{IoCounts, Profile, SpanNode};
 use fieldrep_query::{Assign, Filter, ReadQuery, UpdateQuery};
-use fieldrep_storage::Oid;
+use fieldrep_storage::{IoProfile, Oid};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -215,7 +216,7 @@ pub fn build_workload(spec: WorkloadSpec) -> Workload {
         .map(|s| db.replicate("R.sref.repfield", s).unwrap());
 
     db.flush_all().unwrap();
-    db.reset_io();
+    db.reset_profile();
     Workload {
         db,
         spec,
@@ -239,7 +240,7 @@ pub fn measure_read_query(w: &mut Workload, lo: i64) -> u64 {
         .project(["field_r", "sref.repfield"])
         .spool(100);
     w.db.flush_all().unwrap();
-    w.db.reset_io();
+    w.db.reset_profile();
     let res = q.run(&mut w.db).expect("read query");
     assert_eq!(res.rows.len(), count as usize, "selectivity honoured");
     w.db.flush_all().unwrap();
@@ -263,11 +264,105 @@ pub fn measure_update_query(w: &mut Workload, lo: i64) -> u64 {
         })
         .assign("repfield", Assign::CycleStr(8));
     w.db.flush_all().unwrap();
-    w.db.reset_io();
+    w.db.reset_profile();
     let res = q.run(&mut w.db).expect("update query");
     assert_eq!(res.updated, count as usize, "selectivity honoured");
     w.db.flush_all().unwrap();
     w.db.io_profile().total_io()
+}
+
+/// Convert the storage layer's raw counters into the observability
+/// layer's [`IoCounts`] so the two can be compared field by field.
+pub fn io_counts_of(p: &IoProfile) -> IoCounts {
+    IoCounts {
+        disk_reads: p.disk.reads,
+        disk_writes: p.disk.writes,
+        disk_allocs: p.disk.allocations,
+        pool_hits: p.pool_hits,
+        pool_misses: p.pool_misses,
+        evictions: p.evictions,
+    }
+}
+
+/// One query executed with tracing enabled on a cold pool: the
+/// per-operator [`Profile`], the raw storage counters over the same
+/// window, and the span tree.
+pub struct ProfiledRun {
+    /// Short label (query kind + key range).
+    pub label: String,
+    /// Result rows (reads) or objects updated (updates).
+    pub rows: usize,
+    /// Per-operator I/O attribution produced by the executor.
+    pub profile: Profile,
+    /// Raw buffer-pool counters captured immediately after the query,
+    /// before any trailing flush — so they cover exactly the profile's
+    /// window and `profile.total_io` must equal `io_counts_of(&raw)`.
+    pub raw: IoProfile,
+    /// Root spans recorded while the query ran.
+    pub spans: Vec<SpanNode>,
+}
+
+/// Run one §6 read query with tracing on and return its full profile.
+///
+/// The pool counters are reset *immediately* before `run` on the same
+/// thread, so the raw [`IoProfile`] and the executor's [`Profile`]
+/// observe the identical I/O window.
+pub fn profile_read_query(w: &mut Workload, lo: i64) -> ProfiledRun {
+    let count = (w.spec.read_sel * w.spec.r_count() as f64).round() as i64;
+    let q = ReadQuery::on("R")
+        .filter(Filter::Range {
+            path: "field_r".into(),
+            lo: Value::Int(lo),
+            hi: Value::Int(lo + count - 1),
+        })
+        .project(["field_r", "sref.repfield"])
+        .spool(100);
+    w.db.flush_all().unwrap();
+    w.db.reset_profile();
+    fieldrep_obs::set_tracing(true);
+    fieldrep_obs::take_finished();
+    let res = q.run(&mut w.db).expect("read query");
+    let spans = fieldrep_obs::take_finished();
+    fieldrep_obs::set_tracing(false);
+    let raw = w.db.io_profile();
+    let rows = res.rows.len();
+    if let Some(f) = res.output_file {
+        w.db.sm().drop_file(f).unwrap();
+    }
+    ProfiledRun {
+        label: format!("read R[{lo}..{}]", lo + count - 1),
+        rows,
+        profile: res.profile,
+        raw,
+        spans,
+    }
+}
+
+/// Run one §6 update query with tracing on and return its full profile.
+pub fn profile_update_query(w: &mut Workload, lo: i64) -> ProfiledRun {
+    let count = (w.spec.update_sel * w.spec.s_count as f64).round() as i64;
+    let q = UpdateQuery::on("S")
+        .filter(Filter::Range {
+            path: "field_s".into(),
+            lo: Value::Int(lo),
+            hi: Value::Int(lo + count - 1),
+        })
+        .assign("repfield", Assign::CycleStr(8));
+    w.db.flush_all().unwrap();
+    w.db.reset_profile();
+    fieldrep_obs::set_tracing(true);
+    fieldrep_obs::take_finished();
+    let res = q.run(&mut w.db).expect("update query");
+    let spans = fieldrep_obs::take_finished();
+    fieldrep_obs::set_tracing(false);
+    let raw = w.db.io_profile();
+    ProfiledRun {
+        label: format!("update S[{lo}..{}]", lo + count - 1),
+        rows: res.updated,
+        profile: res.profile,
+        raw,
+        spans,
+    }
 }
 
 /// Average measured I/O of `n` read queries at distinct offsets.
@@ -328,8 +423,7 @@ mod tests {
         let mut base =
             build_workload(WorkloadSpec::paper(4, IndexSetting::Unclustered, None).scaled(1000));
         let mut inp = build_workload(
-            WorkloadSpec::paper(4, IndexSetting::Unclustered, Some(Strategy::InPlace))
-                .scaled(1000),
+            WorkloadSpec::paper(4, IndexSetting::Unclustered, Some(Strategy::InPlace)).scaled(1000),
         );
         let io_base = avg_read_io(&mut base, 3);
         let io_inp = avg_read_io(&mut inp, 3);

@@ -1,0 +1,109 @@
+//! End-to-end invariant: the per-operator I/O attribution produced by
+//! the executor's [`Profile`] must sum *exactly* to the raw buffer-pool
+//! counters over the same window, for read and update queries alike,
+//! under every replication strategy.
+//!
+//! This is the property that makes `trace_run --profile` trustworthy:
+//! no page read or write escapes attribution, and none is counted
+//! twice.
+
+use fieldrep_bench::{
+    build_workload, io_counts_of, profile_read_query, profile_update_query, ProfiledRun,
+    WorkloadSpec,
+};
+use fieldrep_catalog::Strategy;
+use fieldrep_costmodel::IndexSetting;
+
+const STRATEGIES: [Option<Strategy>; 3] = [None, Some(Strategy::InPlace), Some(Strategy::Separate)];
+
+fn check_invariant(run: &ProfiledRun) {
+    let raw = io_counts_of(&run.raw);
+    assert_eq!(
+        run.profile.ops_io_sum(),
+        raw,
+        "{}: sum of per-operator I/O != raw pool counters",
+        run.label
+    );
+    assert_eq!(
+        run.profile.total_io, raw,
+        "{}: profile total != raw pool counters",
+        run.label
+    );
+    assert!(
+        !raw.is_zero(),
+        "{}: a cold-pool query must do some I/O",
+        run.label
+    );
+}
+
+#[test]
+fn read_query_operator_io_sums_to_raw_totals() {
+    for strat in STRATEGIES {
+        let mut w =
+            build_workload(WorkloadSpec::paper(10, IndexSetting::Unclustered, strat).scaled(500));
+        let run = profile_read_query(&mut w, 3);
+        assert!(run.rows > 0, "read returned rows");
+        check_invariant(&run);
+        // The profile must attribute I/O to real operators, not just
+        // lump everything into the residual.
+        assert!(
+            run.profile
+                .ops
+                .iter()
+                .any(|op| { op.name.starts_with("access:") && !op.io.is_zero() }),
+            "access operator should carry I/O"
+        );
+    }
+}
+
+#[test]
+fn update_query_operator_io_sums_to_raw_totals() {
+    for strat in STRATEGIES {
+        let mut w =
+            build_workload(WorkloadSpec::paper(10, IndexSetting::Unclustered, strat).scaled(500));
+        let run = profile_update_query(&mut w, 3);
+        assert!(run.rows > 0, "update touched objects");
+        check_invariant(&run);
+        if strat.is_some() {
+            // Replication maintenance is carved out of "apply" into its
+            // own operator; it must be present and must carry the
+            // propagation fan-out I/O.
+            let prop = run
+                .profile
+                .ops
+                .iter()
+                .find(|op| op.name == "core.propagate")
+                .expect("update profile has a core.propagate operator");
+            assert!(!prop.io.is_zero(), "propagation performs I/O");
+        }
+    }
+}
+
+#[test]
+fn profiled_runs_capture_span_trees() {
+    let mut w = build_workload(
+        WorkloadSpec::paper(10, IndexSetting::Unclustered, Some(Strategy::InPlace)).scaled(500),
+    );
+    let read = profile_read_query(&mut w, 0);
+    let root = read
+        .spans
+        .iter()
+        .find(|s| s.name == "query.read")
+        .expect("read run records a query.read root span");
+    assert!(
+        root.find("btree.range").is_some(),
+        "access nests btree span"
+    );
+    assert_eq!(root.io, io_counts_of(&read.raw), "root span sees all I/O");
+
+    let update = profile_update_query(&mut w, 0);
+    let root = update
+        .spans
+        .iter()
+        .find(|s| s.name == "query.update")
+        .expect("update run records a query.update root span");
+    assert!(
+        root.find("core.propagate").is_some(),
+        "update span tree includes propagation"
+    );
+}

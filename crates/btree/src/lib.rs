@@ -29,10 +29,18 @@
 pub mod keys;
 pub mod node;
 
+use fieldrep_obs::{metrics, Span};
 use fieldrep_storage::{
     FileId, Oid, PageId, PageKind, PageMut, Result, StorageError, StorageManager,
 };
 use node::{entry_size, Node, Payload, NODE_CAPACITY};
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide count of B⁺-tree node splits (`btree.splits`).
+fn split_counter() -> &'static Arc<metrics::Counter> {
+    static SPLITS: OnceLock<Arc<metrics::Counter>> = OnceLock::new();
+    SPLITS.get_or_init(|| metrics::registry().counter("btree.splits"))
+}
 
 /// Offsets within the meta page (page 0 of the index file).
 const OFF_ROOT: usize = 40;
@@ -134,6 +142,7 @@ impl BTreeIndex {
     /// surfaced as `Corrupt`, because the replication engine relies on
     /// exact-once index maintenance).
     pub fn insert(&self, sm: &mut StorageManager, key: &[u8], oid: Oid) -> Result<()> {
+        let _span = Span::enter("btree.insert");
         let comp = composite(key, oid);
         let (root, height, count) = self.meta(sm)?;
         if let Some((sep, right_page)) = self.insert_rec(sm, root, &comp, oid)? {
@@ -181,8 +190,7 @@ impl BTreeIndex {
                     self.file
                 )));
             }
-            node.entries
-                .insert(idx, (comp.to_vec(), Payload::Rid(oid)));
+            node.entries.insert(idx, (comp.to_vec(), Payload::Rid(oid)));
         } else {
             let (slot, child) = node.route(comp);
             if let Some((sep, right)) = self.insert_rec(sm, child, comp, oid)? {
@@ -197,6 +205,7 @@ impl BTreeIndex {
             return Ok(None);
         }
         // Split.
+        split_counter().inc();
         let mut right = node.split();
         let sep = right.entries[0].0.clone();
         let right_page = self.alloc_node(sm, &right)?;
@@ -238,6 +247,7 @@ impl BTreeIndex {
 
     /// All OIDs stored under exactly `key`, in OID order.
     pub fn lookup(&self, sm: &mut StorageManager, key: &[u8]) -> Result<Vec<Oid>> {
+        let _span = Span::enter("btree.lookup");
         Ok(self
             .range(sm, key, key)?
             .into_iter()
@@ -248,6 +258,7 @@ impl BTreeIndex {
     /// All `(key, oid)` entries with `lo ≤ key ≤ hi` (user keys, both
     /// inclusive), in key order.
     pub fn range(&self, sm: &mut StorageManager, lo: &[u8], hi: &[u8]) -> Result<Vec<Entry>> {
+        let span = Span::enter("btree.range");
         let lo_comp = composite(lo, Oid::new(FileId(0), 0, 0));
         let mut hi_comp = hi.to_vec();
         hi_comp.extend_from_slice(&[0xFF; 8]);
@@ -267,6 +278,7 @@ impl BTreeIndex {
                     continue;
                 }
                 if k.as_slice() > hi_comp.as_slice() {
+                    span.note("entries", out.len());
                     return Ok(out);
                 }
                 let (user, oid_from_key) = split_composite(k);
@@ -280,7 +292,10 @@ impl BTreeIndex {
             }
             match leaf.next_leaf {
                 Some(next) => page = next,
-                None => return Ok(out),
+                None => {
+                    span.note("entries", out.len());
+                    return Ok(out);
+                }
             }
         }
     }
@@ -296,6 +311,8 @@ impl BTreeIndex {
     /// harness uses 1.0 for static files (the paper's sets never grow
     /// during an experiment).
     pub fn bulk_load(sm: &mut StorageManager, entries: &[Entry], fill: f64) -> Result<BTreeIndex> {
+        let span = Span::enter("btree.bulk_load");
+        span.note("entries", entries.len());
         assert!(fill > 0.0 && fill <= 1.0, "bad fill factor");
         debug_assert!(
             entries

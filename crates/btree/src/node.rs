@@ -73,10 +73,7 @@ impl Node {
 
     /// Total serialized size of the entries.
     pub fn used_bytes(&self) -> usize {
-        self.entries
-            .iter()
-            .map(|(k, p)| entry_size(k, p))
-            .sum()
+        self.entries.iter().map(|(k, p)| entry_size(k, p)).sum()
     }
 
     /// Whether an extra entry of the given size still fits.
@@ -130,8 +127,7 @@ impl Node {
             PageKind::BTreeInternal
         });
         pg.set_next_page(self.next_leaf);
-        data[OFF_COUNT..OFF_COUNT + 2]
-            .copy_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        data[OFF_COUNT..OFF_COUNT + 2].copy_from_slice(&(self.entries.len() as u16).to_le_bytes());
         let mut off = OFF_ENTRIES;
         for (key, payload) in &self.entries {
             data[off..off + 2].copy_from_slice(&(key.len() as u16).to_le_bytes());

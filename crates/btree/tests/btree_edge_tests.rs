@@ -47,7 +47,9 @@ fn range_scan_across_emptied_leaves() {
     let idx = BTreeIndex::bulk_load(&mut sm, &entries, 1.0).unwrap();
     // Empty out a band of keys in the middle (several whole leaves).
     for i in 1000..3000i64 {
-        assert!(idx.delete(&mut sm, &keys::encode_i64(i), oid(i as u32)).unwrap());
+        assert!(idx
+            .delete(&mut sm, &keys::encode_i64(i), oid(i as u32))
+            .unwrap());
     }
     // A range spanning the hole sees exactly the survivors.
     let hits = idx
@@ -72,8 +74,14 @@ fn many_duplicates_span_leaves() {
     assert_eq!(hits.len(), 2000);
     assert!(hits.windows(2).all(|w| w[0] < w[1]));
     // Neighbouring keys are unaffected.
-    assert!(idx.lookup(&mut sm, &keys::encode_i64(41)).unwrap().is_empty());
-    assert!(idx.lookup(&mut sm, &keys::encode_i64(43)).unwrap().is_empty());
+    assert!(idx
+        .lookup(&mut sm, &keys::encode_i64(41))
+        .unwrap()
+        .is_empty());
+    assert!(idx
+        .lookup(&mut sm, &keys::encode_i64(43))
+        .unwrap()
+        .is_empty());
     // Delete a specific (key, oid) out of the middle.
     assert!(idx.delete(&mut sm, &key, oid(1000)).unwrap());
     assert_eq!(idx.lookup(&mut sm, &key).unwrap().len(), 1999);
@@ -97,7 +105,11 @@ fn empty_range_and_reversed_bounds() {
         .unwrap()
         .is_empty());
     assert!(idx
-        .range(&mut sm, &keys::encode_i64(10_000), &keys::encode_i64(20_000))
+        .range(
+            &mut sm,
+            &keys::encode_i64(10_000),
+            &keys::encode_i64(20_000)
+        )
         .unwrap()
         .is_empty());
     // Inverted bounds: empty, not an error.
@@ -126,7 +138,11 @@ fn mixed_string_lengths() {
     assert_eq!(decoded, want);
     // Prefix range: all keys starting at or after "a" and at most "b".
     let hits = idx
-        .range(&mut sm, &keys::encode_bytes(b"a"), &keys::encode_bytes(b"b"))
+        .range(
+            &mut sm,
+            &keys::encode_bytes(b"a"),
+            &keys::encode_bytes(b"b"),
+        )
         .unwrap();
     assert_eq!(hits.len(), 4); // "a", "ab", "abc", "b"
 }
@@ -156,8 +172,12 @@ fn bulk_load_partial_fill_leaves_insert_room() {
     let pages_before = idx.pages(&mut sm).unwrap();
     // Odd keys squeeze between the evens; with 30% slack, few splits.
     for i in 0..2000i64 {
-        idx.insert(&mut sm, &keys::encode_i64(i * 2 + 1), oid(100_000 + i as u32))
-            .unwrap();
+        idx.insert(
+            &mut sm,
+            &keys::encode_i64(i * 2 + 1),
+            oid(100_000 + i as u32),
+        )
+        .unwrap();
     }
     let all = idx.scan_all(&mut sm).unwrap();
     assert_eq!(all.len(), 12_000);
@@ -178,8 +198,12 @@ fn full_fill_bulk_load_splits_on_insert() {
     let idx = BTreeIndex::bulk_load(&mut sm, &entries, 1.0).unwrap();
     // Inserting into packed leaves must split, not corrupt.
     for i in 0..500i64 {
-        idx.insert(&mut sm, &keys::encode_i64(i * 20 + 1), oid(50_000 + i as u32))
-            .unwrap();
+        idx.insert(
+            &mut sm,
+            &keys::encode_i64(i * 20 + 1),
+            oid(50_000 + i as u32),
+        )
+        .unwrap();
     }
     let all = idx.scan_all(&mut sm).unwrap();
     assert_eq!(all.len(), 5500);

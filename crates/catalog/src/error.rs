@@ -60,7 +60,10 @@ impl fmt::Display for CatalogError {
             }
             CatalogError::Duplicate(n) => write!(f, "name {n:?} already defined"),
             CatalogError::NotAReferencePath(p) => {
-                write!(f, "path {p:?} contains no reference attribute to replicate across")
+                write!(
+                    f,
+                    "path {p:?} contains no reference attribute to replicate across"
+                )
             }
             CatalogError::LinkIdsExhausted => write!(f, "no free link IDs (max 255 live links)"),
             CatalogError::Invalid(m) => write!(f, "invalid schema operation: {m}"),

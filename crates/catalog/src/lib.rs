@@ -74,7 +74,7 @@ pub struct Catalog {
     sets: Vec<SetDef>,
     set_names: HashMap<String, SetId>,
     indexes: Vec<IndexDef>,
-    links: Vec<Option<LinkDef>>, // indexed by LinkId-1; None = freed
+    links: Vec<Option<LinkDef>>,    // indexed by LinkId-1; None = freed
     paths: Vec<Option<RepPathDef>>, // indexed by PathId; None = dropped
     groups: Vec<Option<GroupDef>>,  // indexed by GroupId; None = dropped
 }
@@ -652,7 +652,10 @@ impl Catalog {
     /// Groups whose terminal type is `t` — candidates when a data field of
     /// an object of type `t` is updated under separate replication.
     pub fn groups_with_terminal(&self, t: TypeId) -> impl Iterator<Item = &GroupDef> + '_ {
-        self.groups.iter().flatten().filter(move |g| g.terminal_type == t)
+        self.groups
+            .iter()
+            .flatten()
+            .filter(move |g| g.terminal_type == t)
     }
 
     /// Find a replication path that answers `(set, hops, field)` without a

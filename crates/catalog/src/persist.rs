@@ -257,9 +257,7 @@ pub fn decode(bytes: &[u8]) -> Result<Catalog> {
                 2 => FieldType::Str,
                 3 => FieldType::Ref(r.str()?),
                 4 => FieldType::Pad(r.u16()?),
-                other => {
-                    return Err(CatalogError::Invalid(format!("bad field-type tag {other}")))
-                }
+                other => return Err(CatalogError::Invalid(format!("bad field-type tag {other}"))),
             };
             fields.push((fname, ftype));
         }
@@ -374,7 +372,11 @@ pub fn decode(bytes: &[u8]) -> Result<Catalog> {
         for _ in 0..n_links {
             links.push(LinkId(r.u8()?));
         }
-        let group = if r.flag()? { Some(GroupId(r.u16()?)) } else { None };
+        let group = if r.flag()? {
+            Some(GroupId(r.u16()?))
+        } else {
+            None
+        };
         cat.paths.push(Some(RepPathDef {
             id: PathId(slot as u16),
             expr,

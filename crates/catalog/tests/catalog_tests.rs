@@ -56,7 +56,10 @@ fn type_definition_rules() {
     let node = TypeDef::new("NODE", vec![("next", FieldType::Ref("NODE".into()))]);
     c.define_type(node).unwrap();
     let dup = TypeDef::new("NODE", vec![("x", FieldType::Int)]);
-    assert!(matches!(c.define_type(dup), Err(CatalogError::Duplicate(_))));
+    assert!(matches!(
+        c.define_type(dup),
+        Err(CatalogError::Duplicate(_))
+    ));
 }
 
 #[test]

@@ -75,7 +75,9 @@ pub fn set_source_replica_values(
     values: Option<Vec<Value>>,
 ) -> Result<()> {
     let mut obj = read_object(ctx.sm, ctx.cat, source)?;
-    let old_first = obj.replica_values(path.id.0).and_then(|v| v.first().cloned());
+    let old_first = obj
+        .replica_values(path.id.0)
+        .and_then(|v| v.first().cloned());
     let new_first = values.as_ref().and_then(|v| v.first().cloned());
 
     let unchanged = match (&values, obj.replica_values(path.id.0)) {
@@ -162,7 +164,8 @@ fn attach_collapsed(
         // Mark the intermediate as being on a collapsed path.
         let mut dobj = read_object(ctx.sm, ctx.cat, via)?;
         if !collapsed::has_via_marker(&dobj, link.id.0) {
-            dobj.annotations.push(Annotation::CollapsedVia { link: link.id.0 });
+            dobj.annotations
+                .push(Annotation::CollapsedVia { link: link.id.0 });
             write_object(ctx.sm, ctx.cat, via, &dobj)?;
         }
     }
@@ -222,7 +225,10 @@ pub fn attach_terminal(
             set_source_replica_values(ctx, path, source, values)
         }
         Strategy::Separate => {
-            let group = ctx.cat.group(path.group.expect("separate path has a group")).clone();
+            let group = ctx
+                .cat
+                .group(path.group.expect("separate path has a group"))
+                .clone();
             let src_obj = read_object(ctx.sm, ctx.cat, source)?;
             let already = find_replica_ref(&src_obj, group.id.0).is_some();
             match (terminal, already) {
@@ -261,7 +267,10 @@ pub fn detach_path(
     match path.strategy {
         Strategy::InPlace => set_source_replica_values(ctx, path, source, None),
         Strategy::Separate => {
-            let group = ctx.cat.group(path.group.expect("separate path has a group")).clone();
+            let group = ctx
+                .cat
+                .group(path.group.expect("separate path has a group"))
+                .clone();
             let mut src_obj = read_object(ctx.sm, ctx.cat, source)?;
             if let Some((i, _roid)) = find_replica_ref(&src_obj, group.id.0) {
                 src_obj.annotations.remove(i);
@@ -325,16 +334,16 @@ fn detach_collapsed(
                 collapsed::store_remove(ctx.sm, &link, head, source)?;
             if removed_via.is_some() && remaining == 0 {
                 let mut hobj = read_object(ctx.sm, ctx.cat, holder)?;
-                hobj.annotations.retain(|a| {
-                    !matches!(a, Annotation::LinkRef { link: l, .. } if *l == link.id.0)
-                });
+                hobj.annotations.retain(
+                    |a| !matches!(a, Annotation::LinkRef { link: l, .. } if *l == link.id.0),
+                );
                 write_object(ctx.sm, ctx.cat, holder, &hobj)?;
             }
             if removed_via == Some(via) && same_via == 0 {
                 let mut dobj = read_object(ctx.sm, ctx.cat, via)?;
-                dobj.annotations.retain(|a| {
-                    !matches!(a, Annotation::CollapsedVia { link: l } if *l == link.id.0)
-                });
+                dobj.annotations.retain(
+                    |a| !matches!(a, Annotation::CollapsedVia { link: l } if *l == link.id.0),
+                );
                 write_object(ctx.sm, ctx.cat, via, &dobj)?;
             }
         }
@@ -387,7 +396,10 @@ pub fn read_path_values(
     match path.strategy {
         Strategy::InPlace => Ok(source_obj.replica_values(path.id.0).map(|v| v.to_vec())),
         Strategy::Separate => {
-            let group = ctx.cat.group(path.group.expect("separate path has a group")).clone();
+            let group = ctx
+                .cat
+                .group(path.group.expect("separate path has a group"))
+                .clone();
             match find_replica_ref(source_obj, group.id.0) {
                 None => Ok(None),
                 Some((_, roid)) => {

@@ -245,12 +245,7 @@ pub fn store_remove_tagged(
 }
 
 /// Number of entries tagged `via`.
-pub fn count_tagged(
-    sm: &mut StorageManager,
-    link: &LinkDef,
-    head: Oid,
-    via: Oid,
-) -> Result<usize> {
+pub fn count_tagged(sm: &mut StorageManager, link: &LinkDef, head: Oid, via: Oid) -> Result<usize> {
     Ok(read_store(sm, link, head)?
         .iter()
         .filter(|(_, v)| *v == via)

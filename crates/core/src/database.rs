@@ -18,9 +18,7 @@ use fieldrep_catalog::{
     SetId, Strategy,
 };
 use fieldrep_model::{Annotation, FieldType, Object, PathExpr, TypeDef, TypeId, Value};
-use fieldrep_storage::{
-    DiskManager, FileId, HeapFile, IoProfile, Oid, StorageManager,
-};
+use fieldrep_storage::{DiskManager, FileId, HeapFile, IoProfile, Oid, StorageManager};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// An object-oriented database with field replication (Shekita & Carey,
@@ -195,9 +193,17 @@ impl Database {
         self.sm.io_profile()
     }
 
-    /// Reset I/O counters.
+    /// Reset the whole I/O profile (disk and pool counters together); see
+    /// [`fieldrep_storage::BufferPool::reset_profile`]. This is the reset
+    /// the benchmark harness uses for cold-pool accounting.
+    pub fn reset_profile(&mut self) {
+        self.sm.reset_profile();
+    }
+
+    /// Reset I/O counters. Alias of [`Database::reset_profile`], kept for
+    /// existing call sites.
     pub fn reset_io(&mut self) {
-        self.sm.reset_io();
+        self.reset_profile();
     }
 
     /// Flush all dirty pages and leave the buffer pool cold (used between
@@ -315,10 +321,7 @@ impl Database {
             };
             for lvl in 0..path.links.len() {
                 if let (Some(member), Some(target)) = (chain[lvl], chain[lvl + 1]) {
-                    memberships[lvl]
-                        .entry(target)
-                        .or_default()
-                        .insert(member);
+                    memberships[lvl].entry(target).or_default().insert(member);
                 }
             }
             chains.push((src, chain));
@@ -400,7 +403,8 @@ impl Database {
                         (find_anchor(&tobj, group.id.0), group_values(&group, &tobj))
                     };
                     debug_assert!(roid.is_none(), "fresh group has no anchors yet");
-                    let roid = rf.insert(&mut self.sm, REPLICA_TAG, &Value::encode_list(&values))?;
+                    let roid =
+                        rf.insert(&mut self.sm, REPLICA_TAG, &Value::encode_list(&values))?;
                     {
                         let ctx = self.ctx();
                         let mut tobj = read_object(ctx.sm, ctx.cat, *t)?;
@@ -477,7 +481,8 @@ impl Database {
                 let ctx = self.ctx();
                 let mut dobj = read_object(ctx.sm, ctx.cat, via)?;
                 if !crate::collapsed::has_via_marker(&dobj, link.id.0) {
-                    dobj.annotations.push(Annotation::CollapsedVia { link: link.id.0 });
+                    dobj.annotations
+                        .push(Annotation::CollapsedVia { link: link.id.0 });
                     write_object(ctx.sm, ctx.cat, via, &dobj)?;
                 }
             }
@@ -723,9 +728,9 @@ impl Database {
         // Resolve and type-check changes.
         let mut field_changes: Vec<FieldChange> = Vec::new();
         for (name, new) in changes {
-            let idx = def
-                .field_index(name)
-                .ok_or_else(|| DbError::Model(fieldrep_model::ModelError::NoSuchField((*name).into())))?;
+            let idx = def.field_index(name).ok_or_else(|| {
+                DbError::Model(fieldrep_model::ModelError::NoSuchField((*name).into()))
+            })?;
             if !new.matches(&def.fields[idx].ftype) {
                 return Err(DbError::Model(fieldrep_model::ModelError::TypeMismatch {
                     expected: format!("{:?}", def.fields[idx].ftype),
@@ -853,7 +858,10 @@ impl Database {
                     let (sources, _) = {
                         let mut ctx = self.ctx();
                         let o = read_object(ctx.sm, ctx.cat, obj)?;
-                        (crate::attach::collect_sources(&mut ctx, &pdef, link_level, &o)?, ())
+                        (
+                            crate::attach::collect_sources(&mut ctx, &pdef, link_level, &o)?,
+                            (),
+                        )
                     };
                     for s in sources {
                         let mut ctx = self.ctx();
@@ -930,9 +938,7 @@ impl Database {
                     // Group still shared by other paths: refs stay.
                 }
             }
-            if obj.annotations.len() != before
-                || matches!(pdef.strategy, Strategy::InPlace)
-            {
+            if obj.annotations.len() != before || matches!(pdef.strategy, Strategy::InPlace) {
                 write_object(ctx.sm, ctx.cat, *src, &obj)?;
             }
         }

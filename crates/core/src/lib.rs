@@ -29,8 +29,8 @@ pub mod stats;
 
 pub use database::Database;
 pub use error::{DbError, Result};
-pub use stats::PathStats;
 pub use objects::{read_object, value_key, write_object, LINK_TAG, REPLICA_TAG};
+pub use stats::PathStats;
 
 use fieldrep_catalog::{Catalog, PathId};
 use fieldrep_storage::{Oid, StorageManager};

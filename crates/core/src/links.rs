@@ -60,7 +60,9 @@ pub fn decode_chunk(b: &[u8]) -> (u8, Option<Oid>, Vec<Oid>) {
     let next = (!next.is_null()).then_some(next);
     let mut members = Vec::with_capacity(n);
     for i in 0..n {
-        members.push(Oid::from_bytes(&b[CHUNK_HEADER + i * 8..CHUNK_HEADER + 8 + i * 8]));
+        members.push(Oid::from_bytes(
+            &b[CHUNK_HEADER + i * 8..CHUNK_HEADER + 8 + i * 8],
+        ));
     }
     (level, next, members)
 }
@@ -68,11 +70,7 @@ pub fn decode_chunk(b: &[u8]) -> (u8, Option<Oid>, Vec<Oid>) {
 /// Create a (possibly multi-chunk) link store holding `members` (sorted);
 /// returns the head chunk's OID. Chunks are written tail-first so each
 /// can point at its successor.
-pub fn create_link_store(
-    sm: &mut StorageManager,
-    link: &LinkDef,
-    members: &[Oid],
-) -> Result<Oid> {
+pub fn create_link_store(sm: &mut StorageManager, link: &LinkDef, members: &[Oid]) -> Result<Oid> {
     let hf = HeapFile::open(link.file);
     let chunks: Vec<&[Oid]> = members.chunks(MAX_CHUNK_MEMBERS).collect();
     let mut next: Option<Oid> = None;
@@ -90,11 +88,7 @@ pub fn create_link_store(
 }
 
 /// Read every member of the link store headed at `head`, in sorted order.
-pub fn read_link_store(
-    sm: &mut StorageManager,
-    link: &LinkDef,
-    head: Oid,
-) -> Result<Vec<Oid>> {
+pub fn read_link_store(sm: &mut StorageManager, link: &LinkDef, head: Oid) -> Result<Vec<Oid>> {
     let hf = HeapFile::open(link.file);
     let mut out = Vec::new();
     let mut cur = Some(head);
@@ -223,12 +217,7 @@ pub fn link_add_obj(
 /// Insert `member` into the chunk chain headed at `head`. Returns `true`
 /// if it was not already present. Splits full chunks; the head OID never
 /// changes.
-fn chain_insert(
-    sm: &mut StorageManager,
-    link: &LinkDef,
-    head: Oid,
-    member: Oid,
-) -> Result<bool> {
+fn chain_insert(sm: &mut StorageManager, link: &LinkDef, head: Oid, member: Oid) -> Result<bool> {
     let hf = HeapFile::open(link.file);
     let mut cur = head;
     loop {

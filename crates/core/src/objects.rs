@@ -22,12 +22,7 @@ pub fn read_object(sm: &mut StorageManager, cat: &Catalog, oid: Oid) -> Result<O
 }
 
 /// Encode and write back the object at `oid` (same type tag).
-pub fn write_object(
-    sm: &mut StorageManager,
-    cat: &Catalog,
-    oid: Oid,
-    obj: &Object,
-) -> Result<()> {
+pub fn write_object(sm: &mut StorageManager, cat: &Catalog, oid: Oid, obj: &Object) -> Result<()> {
     let def = cat.type_def(obj.type_id);
     let payload = obj.encode(def);
     let hf = HeapFile::open(oid.file);

@@ -24,19 +24,71 @@ use crate::attach::{
 };
 use crate::error::Result;
 use crate::objects::{read_object, write_object};
-use crate::replicas::{anchor_acquire, anchor_release, find_replica_ref, group_values, write_replica};
+use crate::replicas::{
+    anchor_acquire, anchor_release, find_replica_ref, group_values, write_replica,
+};
 use crate::EngineCtx;
 use crate::PendingEntry;
 use fieldrep_catalog::{LinkId, PathId, Propagation, RepPathDef, Strategy};
 use fieldrep_model::{Annotation, Object, Value};
+use fieldrep_obs::{io as obs_io, metrics, Span};
 use fieldrep_storage::Oid;
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide propagation instruments (see the registry names below).
+struct PropMetrics {
+    /// `core.propagate.inplace`: in-place terminal propagations run.
+    inplace: Arc<metrics::Counter>,
+    /// `core.propagate.separate`: separate-replica refreshes run.
+    separate: Arc<metrics::Counter>,
+    /// `core.propagate.deferred`: propagations parked on the pending list.
+    deferred: Arc<metrics::Counter>,
+    /// `core.propagate.fanout`: source objects rewritten per in-place
+    /// propagation (the paper's fan-out `f`).
+    fanout: Arc<metrics::Histogram>,
+}
+
+fn prop_metrics() -> &'static PropMetrics {
+    static METRICS: OnceLock<PropMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = metrics::registry();
+        PropMetrics {
+            inplace: r.counter("core.propagate.inplace"),
+            separate: r.counter("core.propagate.separate"),
+            deferred: r.counter("core.propagate.deferred"),
+            fanout: r.histogram(
+                "core.propagate.fanout",
+                &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024],
+            ),
+        }
+    })
+}
 
 /// One observed field change: `(field index, old value, new value)`.
 pub type FieldChange = (usize, Value, Value);
 
 /// Run all propagation caused by `changed` fields of the object at `oid`.
 /// `obj` must be the object's *post-update* state.
+///
+/// Opens a `core.propagate` span and accumulates its page-I/O delta under
+/// the `"core.propagate"` component
+/// ([`io::component_take`](fieldrep_obs::io::component_take)), so the
+/// query layer can attribute propagation I/O separately from the carrying
+/// update.
 pub fn propagate_after_update(
+    ctx: &mut EngineCtx<'_>,
+    oid: Oid,
+    obj: &Object,
+    changed: &[FieldChange],
+) -> Result<()> {
+    let _span = Span::enter("core.propagate");
+    let io_before = obs_io::snapshot();
+    let result = propagate_after_update_inner(ctx, oid, obj, changed);
+    obs_io::component_add("core.propagate", obs_io::snapshot() - io_before);
+    result
+}
+
+fn propagate_after_update_inner(
     ctx: &mut EngineCtx<'_>,
     oid: Oid,
     obj: &Object,
@@ -60,10 +112,14 @@ pub fn propagate_after_update(
                 .iter()
                 .all(|p| ctx.cat.path(*p).propagation == Propagation::Deferred);
             if deferred {
+                prop_metrics().deferred.inc();
                 for p in &group.paths {
                     ctx.pending.add(*p, PendingEntry::StaleReplica { obj: oid });
                 }
             } else {
+                let span = Span::enter("core.propagate.separate");
+                span.note("group", gid);
+                prop_metrics().separate.inc();
                 let values = group_values(&group, obj);
                 write_replica(ctx.sm, &group, roid, &values)?;
             }
@@ -108,6 +164,7 @@ pub fn propagate_after_update(
     for pid in terminal_paths {
         let path = ctx.cat.path(pid).clone();
         if path.propagation == Propagation::Deferred {
+            prop_metrics().deferred.inc();
             ctx.pending.add(
                 pid,
                 PendingEntry::StaleSources {
@@ -147,8 +204,12 @@ pub fn propagate_terminal_inplace(
     terminal_obj: &Object,
 ) -> Result<()> {
     debug_assert_eq!(path.strategy, Strategy::InPlace);
+    let span = Span::enter("core.propagate.inplace");
     let last_level = path.links.len() - 1;
     let sources = collect_sources(ctx, path, last_level, terminal_obj)?;
+    span.note("fanout", sources.len());
+    prop_metrics().inplace.inc();
+    prop_metrics().fanout.record(sources.len() as u64);
     let values = terminal_values(path, terminal_obj);
     for s in sources {
         set_source_replica_values(ctx, path, s, Some(values.clone()))?;
@@ -203,6 +264,8 @@ pub fn handle_intermediate_ref_update(
     if old_ref == new_ref {
         return Ok(());
     }
+    let span = Span::enter("core.propagate.intermediate");
+    span.note("level", lvl);
     if path.collapsed {
         return handle_collapsed_intermediate(ctx, path, oid, old_ref, new_ref);
     }
@@ -308,9 +371,9 @@ fn handle_collapsed_intermediate(
             moved = srcs;
             if !moved.is_empty() && remaining == 0 {
                 let mut hobj = read_object(ctx.sm, ctx.cat, old_holder)?;
-                hobj.annotations.retain(|a| {
-                    !matches!(a, Annotation::LinkRef { link: l, .. } if *l == link.id.0)
-                });
+                hobj.annotations.retain(
+                    |a| !matches!(a, Annotation::LinkRef { link: l, .. } if *l == link.id.0),
+                );
                 write_object(ctx.sm, ctx.cat, old_holder, &hobj)?;
             }
         }

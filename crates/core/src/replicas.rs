@@ -44,22 +44,28 @@ pub fn write_replica(
 
 /// Find the anchor annotation for `group` on a terminal object.
 pub fn find_anchor(obj: &Object, group: u16) -> Option<(usize, Oid, u32)> {
-    obj.annotations.iter().enumerate().find_map(|(i, a)| match a {
-        Annotation::ReplicaAnchor {
-            group: g,
-            oid,
-            refcount,
-        } if *g == group => Some((i, *oid, *refcount)),
-        _ => None,
-    })
+    obj.annotations
+        .iter()
+        .enumerate()
+        .find_map(|(i, a)| match a {
+            Annotation::ReplicaAnchor {
+                group: g,
+                oid,
+                refcount,
+            } if *g == group => Some((i, *oid, *refcount)),
+            _ => None,
+        })
 }
 
 /// Find the replica-ref annotation for `group` on a source object.
 pub fn find_replica_ref(obj: &Object, group: u16) -> Option<(usize, Oid)> {
-    obj.annotations.iter().enumerate().find_map(|(i, a)| match a {
-        Annotation::ReplicaRef { group: g, oid } if *g == group => Some((i, *oid)),
-        _ => None,
-    })
+    obj.annotations
+        .iter()
+        .enumerate()
+        .find_map(|(i, a)| match a {
+            Annotation::ReplicaRef { group: g, oid } if *g == group => Some((i, *oid)),
+            _ => None,
+        })
 }
 
 /// Ensure a replica object exists for terminal object `target` and add

@@ -22,12 +22,18 @@ fn employee_db() -> Database {
     .unwrap();
     db.define_type(TypeDef::new(
         "DEPT",
-        vec![("name", FieldType::Str), ("org", FieldType::Ref("ORG".into()))],
+        vec![
+            ("name", FieldType::Str),
+            ("org", FieldType::Ref("ORG".into())),
+        ],
     ))
     .unwrap();
     db.define_type(TypeDef::new(
         "EMP",
-        vec![("name", FieldType::Str), ("dept", FieldType::Ref("DEPT".into()))],
+        vec![
+            ("name", FieldType::Str),
+            ("dept", FieldType::Ref("DEPT".into())),
+        ],
     ))
     .unwrap();
     db.create_set("Org", "ORG").unwrap();
@@ -51,14 +57,20 @@ fn populate(db: &mut Database) -> World {
         .collect();
     let depts: Vec<Oid> = (0..4)
         .map(|i| {
-            db.insert("Dept", vec![sval(&format!("dept{i}")), Value::Ref(orgs[i % 2])])
-                .unwrap()
+            db.insert(
+                "Dept",
+                vec![sval(&format!("dept{i}")), Value::Ref(orgs[i % 2])],
+            )
+            .unwrap()
         })
         .collect();
     let emps: Vec<Oid> = (0..12)
         .map(|i| {
-            db.insert("Emp1", vec![sval(&format!("e{i}")), Value::Ref(depts[i % 4])])
-                .unwrap()
+            db.insert(
+                "Emp1",
+                vec![sval(&format!("e{i}")), Value::Ref(depts[i % 4])],
+            )
+            .unwrap()
         })
         .collect();
     World { orgs, depts, emps }
@@ -72,8 +84,14 @@ fn collapsed_basic_read_and_terminal_update() {
         .replicate_collapsed("Emp1.dept.org.name", Propagation::Eager)
         .unwrap();
     check_consistency(&mut db);
-    assert_eq!(db.path_values(w.emps[0], p).unwrap(), Some(vec![sval("org0")]));
-    assert_eq!(db.path_values(w.emps[1], p).unwrap(), Some(vec![sval("org1")]));
+    assert_eq!(
+        db.path_values(w.emps[0], p).unwrap(),
+        Some(vec![sval("org0")])
+    );
+    assert_eq!(
+        db.path_values(w.emps[1], p).unwrap(),
+        Some(vec![sval("org1")])
+    );
 
     // Terminal update: one link level to the sources.
     db.update(w.orgs[0], &[("name", sval("OrgZero"))]).unwrap();
@@ -81,7 +99,10 @@ fn collapsed_basic_read_and_terminal_update() {
     for &e in [&w.emps[0], &w.emps[2], &w.emps[4]] {
         assert_eq!(db.path_values(e, p).unwrap(), Some(vec![sval("OrgZero")]));
     }
-    assert_eq!(db.path_values(w.emps[1], p).unwrap(), Some(vec![sval("org1")]));
+    assert_eq!(
+        db.path_values(w.emps[1], p).unwrap(),
+        Some(vec![sval("org1")])
+    );
 }
 
 #[test]
@@ -95,13 +116,17 @@ fn collapsed_figure_6_intermediate_move() {
         .replicate_collapsed("Emp1.dept.org.name", Propagation::Eager)
         .unwrap();
     // dept0 (employees 0, 4, 8) moves from org0 to org1.
-    db.update(w.depts[0], &[("org", Value::Ref(w.orgs[1]))]).unwrap();
+    db.update(w.depts[0], &[("org", Value::Ref(w.orgs[1]))])
+        .unwrap();
     check_consistency(&mut db);
     for &e in [&w.emps[0], &w.emps[4], &w.emps[8]] {
         assert_eq!(db.path_values(e, p).unwrap(), Some(vec![sval("org1")]));
     }
     // Other employees untouched.
-    assert_eq!(db.path_values(w.emps[2], p).unwrap(), Some(vec![sval("org0")]));
+    assert_eq!(
+        db.path_values(w.emps[2], p).unwrap(),
+        Some(vec![sval("org0")])
+    );
 }
 
 #[test]
@@ -113,16 +138,24 @@ fn collapsed_single_link_level_io_advantage() {
         let o = db.insert("Org", vec![sval("o#0"), Value::Int(0)]).unwrap();
         // 40 depts × 25 employees under one org.
         let depts: Vec<Oid> = (0..40)
-            .map(|i| db.insert("Dept", vec![sval(&format!("d{i}")), Value::Ref(o)]).unwrap())
+            .map(|i| {
+                db.insert("Dept", vec![sval(&format!("d{i}")), Value::Ref(o)])
+                    .unwrap()
+            })
             .collect();
         for i in 0..1000usize {
-            db.insert("Emp1", vec![sval(&format!("e{i}")), Value::Ref(depts[i % 40])])
-                .unwrap();
+            db.insert(
+                "Emp1",
+                vec![sval(&format!("e{i}")), Value::Ref(depts[i % 40])],
+            )
+            .unwrap();
         }
         if collapsed {
-            db.replicate_collapsed("Emp1.dept.org.name", Propagation::Eager).unwrap();
+            db.replicate_collapsed("Emp1.dept.org.name", Propagation::Eager)
+                .unwrap();
         } else {
-            db.replicate("Emp1.dept.org.name", Strategy::InPlace).unwrap();
+            db.replicate("Emp1.dept.org.name", Strategy::InPlace)
+                .unwrap();
         }
         (db, o)
     };
@@ -151,9 +184,13 @@ fn collapsed_source_retarget_and_delete() {
         .replicate_collapsed("Emp1.dept.org.name", Propagation::Eager)
         .unwrap();
     // Retarget an employee to another dept (different org).
-    db.update(w.emps[0], &[("dept", Value::Ref(w.depts[1]))]).unwrap();
+    db.update(w.emps[0], &[("dept", Value::Ref(w.depts[1]))])
+        .unwrap();
     check_consistency(&mut db);
-    assert_eq!(db.path_values(w.emps[0], p).unwrap(), Some(vec![sval("org1")]));
+    assert_eq!(
+        db.path_values(w.emps[0], p).unwrap(),
+        Some(vec![sval("org1")])
+    );
     // Delete employees of dept3 until its marker disappears.
     db.delete(w.emps[3]).unwrap();
     db.delete(w.emps[7]).unwrap();
@@ -178,11 +215,13 @@ fn collapsed_broken_chain_parks_entries() {
         .unwrap();
     // Break dept0's org: employees 0,4,8 lose their values, but the
     // routing is parked on dept0.
-    db.update(w.depts[0], &[("org", Value::Ref(Oid::NULL))]).unwrap();
+    db.update(w.depts[0], &[("org", Value::Ref(Oid::NULL))])
+        .unwrap();
     check_consistency(&mut db);
     assert_eq!(db.path_values(w.emps[0], p).unwrap(), None);
     // Re-point dept0 at org1: the parked entries move and values return.
-    db.update(w.depts[0], &[("org", Value::Ref(w.orgs[1]))]).unwrap();
+    db.update(w.depts[0], &[("org", Value::Ref(w.orgs[1]))])
+        .unwrap();
     check_consistency(&mut db);
     for &e in [&w.emps[0], &w.emps[4], &w.emps[8]] {
         assert_eq!(db.path_values(e, p).unwrap(), Some(vec![sval("org1")]));
@@ -212,14 +251,21 @@ fn collapsed_deferred_propagation() {
         .unwrap();
     db.update(w.orgs[0], &[("name", sval("Lazy"))]).unwrap();
     assert_eq!(db.pending_count(p), 1);
-    assert_eq!(db.path_values(w.emps[0], p).unwrap(), Some(vec![sval("Lazy")]));
+    assert_eq!(
+        db.path_values(w.emps[0], p).unwrap(),
+        Some(vec![sval("Lazy")])
+    );
     assert_eq!(db.pending_count(p), 0);
     // Intermediate move with deferred values.
-    db.update(w.depts[0], &[("org", Value::Ref(w.orgs[1]))]).unwrap();
+    db.update(w.depts[0], &[("org", Value::Ref(w.orgs[1]))])
+        .unwrap();
     assert!(db.pending_count(p) >= 1);
     db.sync_all_pending().unwrap();
     check_consistency(&mut db);
-    assert_eq!(db.path_values(w.emps[0], p).unwrap(), Some(vec![sval("org1")]));
+    assert_eq!(
+        db.path_values(w.emps[0], p).unwrap(),
+        Some(vec![sval("org1")])
+    );
 }
 
 #[test]
@@ -244,8 +290,14 @@ fn collapsed_delete_guards() {
     db.replicate_collapsed("Emp1.dept.org.name", Propagation::Eager)
         .unwrap();
     // Terminal holds a store → guarded. Intermediate routes → guarded.
-    assert!(matches!(db.delete(w.orgs[0]), Err(DbError::StillReferenced(_))));
-    assert!(matches!(db.delete(w.depts[0]), Err(DbError::StillReferenced(_))));
+    assert!(matches!(
+        db.delete(w.orgs[0]),
+        Err(DbError::StillReferenced(_))
+    ));
+    assert!(matches!(
+        db.delete(w.depts[0]),
+        Err(DbError::StillReferenced(_))
+    ));
 }
 
 #[test]
@@ -278,7 +330,8 @@ fn collapsed_validation_rules() {
         .replicate_collapsed("Emp1.dept.name", Propagation::Eager)
         .is_err());
     // Normal and collapsed paths over the same hops do not share links.
-    db.replicate("Emp1.dept.org.name", Strategy::InPlace).unwrap();
+    db.replicate("Emp1.dept.org.name", Strategy::InPlace)
+        .unwrap();
     db.replicate_collapsed("Emp1.dept.org.budget", Propagation::Eager)
         .unwrap();
     check_consistency(&mut db);
@@ -296,13 +349,17 @@ fn collapsed_and_uncollapsed_agree() {
         let mut db = employee_db();
         let w = populate(&mut db);
         let p = if collapsed {
-            db.replicate_collapsed("Emp1.dept.org.name", Propagation::Eager).unwrap()
+            db.replicate_collapsed("Emp1.dept.org.name", Propagation::Eager)
+                .unwrap()
         } else {
-            db.replicate("Emp1.dept.org.name", Strategy::InPlace).unwrap()
+            db.replicate("Emp1.dept.org.name", Strategy::InPlace)
+                .unwrap()
         };
         db.update(w.orgs[1], &[("name", sval("X"))]).unwrap();
-        db.update(w.depts[2], &[("org", Value::Ref(w.orgs[1]))]).unwrap();
-        db.update(w.emps[5], &[("dept", Value::Ref(w.depts[2]))]).unwrap();
+        db.update(w.depts[2], &[("org", Value::Ref(w.orgs[1]))])
+            .unwrap();
+        db.update(w.emps[5], &[("dept", Value::Ref(w.depts[2]))])
+            .unwrap();
         db.delete(w.emps[6]).unwrap();
         check_consistency(&mut db);
         w.emps

@@ -71,7 +71,12 @@ fn check_collapsed_link(
     }
     let holder_sets: Vec<String> = holder_types
         .iter()
-        .flat_map(|t| db.catalog().sets_of_type(*t).map(|s| s.name.clone()).collect::<Vec<_>>())
+        .flat_map(|t| {
+            db.catalog()
+                .sets_of_type(*t)
+                .map(|s| s.name.clone())
+                .collect::<Vec<_>>()
+        })
         .collect();
     let mut chunks_seen = 0u64;
     for hs in &holder_sets {
@@ -151,8 +156,7 @@ pub fn check_consistency(db: &mut Database) {
             assert_eq!(
                 actual, expected,
                 "replica mismatch for {oid} along {} ({:?})",
-                p.expr.to_string(),
-                p.strategy
+                p.expr, p.strategy
             );
         }
     }
@@ -225,8 +229,7 @@ pub fn check_consistency(db: &mut Database) {
                             link_objects_seen += 1;
                             let (tag, payload) = hf.read(db.sm(), c).unwrap();
                             assert_eq!(tag, LINK_TAG);
-                            let (_, next, chunk) =
-                                fieldrep_core::links::decode_chunk(&payload);
+                            let (_, next, chunk) = fieldrep_core::links::decode_chunk(&payload);
                             assert!(
                                 chunk.len() <= fieldrep_core::links::MAX_CHUNK_MEMBERS,
                                 "chunk within capacity on {t}"

@@ -87,7 +87,14 @@ fn populate(db: &mut Database) -> World {
     let mut emps1 = Vec::new();
     for i in 0..9 {
         let d = [d0, d1, d2][i % 3];
-        emps1.push(emp(db, "Emp1", &format!("e{i}"), 20 + i as i64, 50_000 + 1000 * i as i64, d));
+        emps1.push(emp(
+            db,
+            "Emp1",
+            &format!("e{i}"),
+            20 + i as i64,
+            50_000 + 1000 * i as i64,
+            d,
+        ));
     }
     let mut emps2 = Vec::new();
     for i in 0..4 {
@@ -134,14 +141,18 @@ fn inplace_update_propagates_to_all_referencing() {
     let mut db = employee_db(DbConfig::default());
     let w = populate(&mut db);
     let p = db.replicate("Emp1.dept.name", Strategy::InPlace).unwrap();
-    db.update(w.depts[0], &[("name", sval("Footwear"))]).unwrap();
+    db.update(w.depts[0], &[("name", sval("Footwear"))])
+        .unwrap();
     check_consistency(&mut db);
     // Employees 0, 3, 6 reference dept 0.
     for &e in [&w.emps1[0], &w.emps1[3], &w.emps1[6]] {
         assert_eq!(db.path_values(e, p).unwrap(), Some(vec![sval("Footwear")]));
     }
     // Others untouched.
-    assert_eq!(db.path_values(w.emps1[1], p).unwrap(), Some(vec![sval("Toy")]));
+    assert_eq!(
+        db.path_values(w.emps1[1], p).unwrap(),
+        Some(vec![sval("Toy")])
+    );
 }
 
 #[test]
@@ -162,11 +173,17 @@ fn inplace_source_ref_update_retargets() {
     let p = db.replicate("Emp1.dept.name", Strategy::InPlace).unwrap();
     db.update(w.emps1[0], &[("dept", Value::Ref(w.depts[2]))])
         .unwrap();
-    assert_eq!(db.path_values(w.emps1[0], p).unwrap(), Some(vec![sval("Tool")]));
+    assert_eq!(
+        db.path_values(w.emps1[0], p).unwrap(),
+        Some(vec![sval("Tool")])
+    );
     check_consistency(&mut db);
     // Updating the old dept's name no longer touches e0.
     db.update(w.depts[0], &[("name", sval("X"))]).unwrap();
-    assert_eq!(db.path_values(w.emps1[0], p).unwrap(), Some(vec![sval("Tool")]));
+    assert_eq!(
+        db.path_values(w.emps1[0], p).unwrap(),
+        Some(vec![sval("Tool")])
+    );
     check_consistency(&mut db);
 }
 
@@ -199,13 +216,23 @@ fn inplace_2level_and_intermediate_update() {
         .replicate("Emp1.dept.org.name", Strategy::InPlace)
         .unwrap();
     check_consistency(&mut db);
-    assert_eq!(db.path_values(w.emps1[0], p).unwrap(), Some(vec![sval("Acme")]));
-    assert_eq!(db.path_values(w.emps1[2], p).unwrap(), Some(vec![sval("Globex")]));
+    assert_eq!(
+        db.path_values(w.emps1[0], p).unwrap(),
+        Some(vec![sval("Acme")])
+    );
+    assert_eq!(
+        db.path_values(w.emps1[2], p).unwrap(),
+        Some(vec![sval("Globex")])
+    );
 
     // Terminal update: O.name propagates through two levels.
-    db.update(w.orgs[0], &[("name", sval("Acme Corp"))]).unwrap();
+    db.update(w.orgs[0], &[("name", sval("Acme Corp"))])
+        .unwrap();
     check_consistency(&mut db);
-    assert_eq!(db.path_values(w.emps1[0], p).unwrap(), Some(vec![sval("Acme Corp")]));
+    assert_eq!(
+        db.path_values(w.emps1[0], p).unwrap(),
+        Some(vec![sval("Acme Corp")])
+    );
 
     // Intermediate update: D.org moves dept 0 (and employees 0,3,6) to
     // Globex — "X.name will have to replace O.name in all of the objects
@@ -256,16 +283,37 @@ fn multiple_paths_share_links_and_propagate_independently() {
     let n_links = d0
         .annotations
         .iter()
-        .filter(|a| matches!(a, Annotation::LinkRef { .. } | Annotation::InlineLink { .. }))
+        .filter(|a| {
+            matches!(
+                a,
+                Annotation::LinkRef { .. } | Annotation::InlineLink { .. }
+            )
+        })
         .count();
-    assert_eq!(n_links, 1, "shared prefix ⇒ one link store on D: {:?}", d0.annotations);
+    assert_eq!(
+        n_links, 1,
+        "shared prefix ⇒ one link store on D: {:?}",
+        d0.annotations
+    );
 
-    db.update(w.depts[0], &[("budget", Value::Int(77)), ("name", sval("Both"))])
-        .unwrap();
+    db.update(
+        w.depts[0],
+        &[("budget", Value::Int(77)), ("name", sval("Both"))],
+    )
+    .unwrap();
     check_consistency(&mut db);
-    assert_eq!(db.path_values(w.emps1[0], p_budget).unwrap(), Some(vec![Value::Int(77)]));
-    assert_eq!(db.path_values(w.emps1[0], p_name).unwrap(), Some(vec![sval("Both")]));
-    assert_eq!(db.path_values(w.emps1[0], p_orgname).unwrap(), Some(vec![sval("Acme")]));
+    assert_eq!(
+        db.path_values(w.emps1[0], p_budget).unwrap(),
+        Some(vec![Value::Int(77)])
+    );
+    assert_eq!(
+        db.path_values(w.emps1[0], p_name).unwrap(),
+        Some(vec![sval("Both")])
+    );
+    assert_eq!(
+        db.path_values(w.emps1[0], p_orgname).unwrap(),
+        Some(vec![sval("Acme")])
+    );
 }
 
 #[test]
@@ -299,7 +347,11 @@ fn full_object_replication_all() {
     check_consistency(&mut db);
     assert_eq!(
         db.path_values(w.emps1[0], p).unwrap(),
-        Some(vec![sval("Shoe"), Value::Int(10_000), Value::Ref(w.orgs[0])])
+        Some(vec![
+            sval("Shoe"),
+            Value::Int(10_000),
+            Value::Ref(w.orgs[0])
+        ])
     );
     db.update(w.depts[0], &[("budget", Value::Int(1))]).unwrap();
     check_consistency(&mut db);
@@ -319,9 +371,12 @@ fn delete_referenced_object_is_rejected() {
         Err(DbError::StillReferenced(_))
     ));
     // After all referencing employees leave, deletion succeeds.
-    db.update(w.emps1[0], &[("dept", Value::Ref(w.depts[1]))]).unwrap();
-    db.update(w.emps1[3], &[("dept", Value::Ref(w.depts[1]))]).unwrap();
-    db.update(w.emps1[6], &[("dept", Value::Ref(w.depts[1]))]).unwrap();
+    db.update(w.emps1[0], &[("dept", Value::Ref(w.depts[1]))])
+        .unwrap();
+    db.update(w.emps1[3], &[("dept", Value::Ref(w.depts[1]))])
+        .unwrap();
+    db.update(w.emps1[6], &[("dept", Value::Ref(w.depts[1]))])
+        .unwrap();
     db.delete(w.depts[0]).unwrap();
     check_consistency(&mut db);
 }
@@ -344,7 +399,9 @@ fn inline_link_threshold_grows_and_shrinks() {
     check_consistency(&mut db);
     let a = db.get(d_a).unwrap();
     assert!(
-        a.annotations.iter().any(|x| matches!(x, Annotation::InlineLink { oids, .. } if oids.len() == 2)),
+        a.annotations
+            .iter()
+            .any(|x| matches!(x, Annotation::InlineLink { oids, .. } if oids.len() == 2)),
         "two members stay inline: {:?}",
         a.annotations
     );
@@ -352,7 +409,9 @@ fn inline_link_threshold_grows_and_shrinks() {
     check_consistency(&mut db);
     let a = db.get(d_a).unwrap();
     assert!(
-        a.annotations.iter().any(|x| matches!(x, Annotation::LinkRef { .. })),
+        a.annotations
+            .iter()
+            .any(|x| matches!(x, Annotation::LinkRef { .. })),
         "three members spill to a link object: {:?}",
         a.annotations
     );
@@ -361,7 +420,9 @@ fn inline_link_threshold_grows_and_shrinks() {
     check_consistency(&mut db);
     let a = db.get(d_a).unwrap();
     assert!(
-        a.annotations.iter().any(|x| matches!(x, Annotation::InlineLink { oids, .. } if oids.len() == 2)),
+        a.annotations
+            .iter()
+            .any(|x| matches!(x, Annotation::InlineLink { oids, .. } if oids.len() == 2)),
         "shrinks back to inline: {:?}",
         a.annotations
     );
@@ -392,7 +453,10 @@ fn separate_1level_read_and_update() {
     let w = populate(&mut db);
     let p = db.replicate("Emp1.dept.name", Strategy::Separate).unwrap();
     check_consistency(&mut db);
-    assert_eq!(db.path_values(w.emps1[0], p).unwrap(), Some(vec![sval("Shoe")]));
+    assert_eq!(
+        db.path_values(w.emps1[0], p).unwrap(),
+        Some(vec![sval("Shoe")])
+    );
     // A department update touches exactly one replica object, and all
     // sharers observe it.
     db.update(w.depts[0], &[("name", sval("Sneaker"))]).unwrap();
@@ -413,7 +477,10 @@ fn separate_group_shares_one_replica_object() {
         .replicate("Emp1.dept.budget", Strategy::Separate)
         .unwrap();
     check_consistency(&mut db);
-    assert_eq!(db.path_values(w.emps1[0], p_name).unwrap(), Some(vec![sval("Shoe")]));
+    assert_eq!(
+        db.path_values(w.emps1[0], p_name).unwrap(),
+        Some(vec![sval("Shoe")])
+    );
     assert_eq!(
         db.path_values(w.emps1[0], p_budget).unwrap(),
         Some(vec![Value::Int(10_000)])
@@ -434,7 +501,10 @@ fn separate_source_ref_update_repoints() {
     db.update(w.emps1[0], &[("dept", Value::Ref(w.depts[2]))])
         .unwrap();
     check_consistency(&mut db);
-    assert_eq!(db.path_values(w.emps1[0], p).unwrap(), Some(vec![sval("Tool")]));
+    assert_eq!(
+        db.path_values(w.emps1[0], p).unwrap(),
+        Some(vec![sval("Tool")])
+    );
 }
 
 #[test]
@@ -468,7 +538,10 @@ fn separate_2level_intermediate_update_repoints_sources() {
         .replicate("Emp1.dept.org.name", Strategy::Separate)
         .unwrap();
     check_consistency(&mut db);
-    assert_eq!(db.path_values(w.emps1[0], p).unwrap(), Some(vec![sval("Acme")]));
+    assert_eq!(
+        db.path_values(w.emps1[0], p).unwrap(),
+        Some(vec![sval("Acme")])
+    );
 
     db.update(w.depts[0], &[("org", Value::Ref(w.orgs[1]))])
         .unwrap();
@@ -478,9 +551,13 @@ fn separate_2level_intermediate_update_repoints_sources() {
     }
     // Terminal data update still costs one replica write and is seen by
     // everyone.
-    db.update(w.orgs[1], &[("name", sval("Globex LLC"))]).unwrap();
+    db.update(w.orgs[1], &[("name", sval("Globex LLC"))])
+        .unwrap();
     check_consistency(&mut db);
-    assert_eq!(db.path_values(w.emps1[0], p).unwrap(), Some(vec![sval("Globex LLC")]));
+    assert_eq!(
+        db.path_values(w.emps1[0], p).unwrap(),
+        Some(vec![sval("Globex LLC")])
+    );
 }
 
 #[test]
@@ -490,7 +567,8 @@ fn separate_group_extension_resyncs_replicas() {
     let p_name = db.replicate("Emp1.dept.name", Strategy::Separate).unwrap();
     // Update before extension so replica objects must be re-materialised
     // with both fields.
-    db.update(w.depts[0], &[("budget", Value::Int(42))]).unwrap();
+    db.update(w.depts[0], &[("budget", Value::Int(42))])
+        .unwrap();
     let p_budget = db
         .replicate("Emp1.dept.budget", Strategy::Separate)
         .unwrap();
@@ -499,7 +577,10 @@ fn separate_group_extension_resyncs_replicas() {
         db.path_values(w.emps1[0], p_budget).unwrap(),
         Some(vec![Value::Int(42)])
     );
-    assert_eq!(db.path_values(w.emps1[0], p_name).unwrap(), Some(vec![sval("Shoe")]));
+    assert_eq!(
+        db.path_values(w.emps1[0], p_name).unwrap(),
+        Some(vec![sval("Shoe")])
+    );
 }
 
 // ------------------------------------------------------------ mixed & misc
@@ -514,11 +595,20 @@ fn both_strategies_coexist_and_share_links() {
         .replicate("Emp1.dept.org.name", Strategy::Separate)
         .unwrap();
     check_consistency(&mut db);
-    db.update(w.depts[0], &[("name", sval("N")), ("org", Value::Ref(w.orgs[1]))])
-        .unwrap();
+    db.update(
+        w.depts[0],
+        &[("name", sval("N")), ("org", Value::Ref(w.orgs[1]))],
+    )
+    .unwrap();
     check_consistency(&mut db);
-    assert_eq!(db.path_values(w.emps1[0], p_ip).unwrap(), Some(vec![sval("N")]));
-    assert_eq!(db.path_values(w.emps1[0], p_sep).unwrap(), Some(vec![sval("Globex")]));
+    assert_eq!(
+        db.path_values(w.emps1[0], p_ip).unwrap(),
+        Some(vec![sval("N")])
+    );
+    assert_eq!(
+        db.path_values(w.emps1[0], p_sep).unwrap(),
+        Some(vec![sval("Globex")])
+    );
 }
 
 #[test]
@@ -529,7 +619,10 @@ fn instance_level_replication_leaves_other_sets_alone() {
     db.replicate("Emp1.dept.name", Strategy::InPlace).unwrap();
     check_consistency(&mut db);
     let f0 = db.get(w.emps2[0]).unwrap();
-    assert!(f0.annotations.is_empty(), "Emp2 members carry no replication state");
+    assert!(
+        f0.annotations.is_empty(),
+        "Emp2 members carry no replication state"
+    );
 }
 
 #[test]
@@ -545,7 +638,12 @@ fn null_and_broken_chains() {
     let e = db
         .insert(
             "Emp1",
-            vec![sval("lost"), Value::Int(1), Value::Int(1), Value::Ref(Oid::NULL)],
+            vec![
+                sval("lost"),
+                Value::Int(1),
+                Value::Int(1),
+                Value::Ref(Oid::NULL),
+            ],
         )
         .unwrap();
     check_consistency(&mut db);
@@ -582,7 +680,8 @@ fn path_index_follows_replica_updates() {
     assert_eq!(hits.len(), 6);
 
     // Rename the org: index keys move.
-    db.update(w.orgs[0], &[("name", sval("Acme Corp"))]).unwrap();
+    db.update(w.orgs[0], &[("name", sval("Acme Corp"))])
+        .unwrap();
     check_consistency(&mut db);
     let tree = fieldrep_btree::BTreeIndex::open(file);
     assert!(tree.lookup(db.sm(), &key).unwrap().is_empty());
@@ -602,12 +701,15 @@ fn path_index_follows_replica_updates() {
 fn base_field_index_maintenance() {
     let mut db = employee_db(DbConfig::default());
     let w = populate(&mut db);
-    let idx = db.create_index("Emp1.salary", IndexKind::Unclustered).unwrap();
+    let idx = db
+        .create_index("Emp1.salary", IndexKind::Unclustered)
+        .unwrap();
     let file = db.catalog().index(idx).file;
     let tree = fieldrep_btree::BTreeIndex::open(file);
     assert_eq!(tree.entry_count(db.sm()).unwrap(), 9);
 
-    db.update(w.emps1[0], &[("salary", Value::Int(999_999))]).unwrap();
+    db.update(w.emps1[0], &[("salary", Value::Int(999_999))])
+        .unwrap();
     let key = fieldrep_core::value_key(&Value::Int(999_999));
     assert_eq!(tree.lookup(db.sm(), &key).unwrap(), vec![w.emps1[0]]);
 
@@ -627,7 +729,9 @@ fn replicate_before_and_after_population_agree() {
     // after inserts (bulk build) must produce identical logical state.
     let cfg = DbConfig::default();
     let mut before = employee_db(cfg.clone());
-    before.replicate("Emp1.dept.name", Strategy::InPlace).unwrap();
+    before
+        .replicate("Emp1.dept.name", Strategy::InPlace)
+        .unwrap();
     before
         .replicate("Emp1.dept.org.name", Strategy::Separate)
         .unwrap();
@@ -636,7 +740,9 @@ fn replicate_before_and_after_population_agree() {
 
     let mut after = employee_db(cfg);
     let wa = populate(&mut after);
-    let p1 = after.replicate("Emp1.dept.name", Strategy::InPlace).unwrap();
+    let p1 = after
+        .replicate("Emp1.dept.name", Strategy::InPlace)
+        .unwrap();
     let p2 = after
         .replicate("Emp1.dept.org.name", Strategy::Separate)
         .unwrap();
@@ -669,12 +775,18 @@ fn three_level_path() {
     .unwrap();
     db.define_type(TypeDef::new(
         "DEPT",
-        vec![("name", FieldType::Str), ("org", FieldType::Ref("ORG".into()))],
+        vec![
+            ("name", FieldType::Str),
+            ("org", FieldType::Ref("ORG".into())),
+        ],
     ))
     .unwrap();
     db.define_type(TypeDef::new(
         "EMP",
-        vec![("name", FieldType::Str), ("dept", FieldType::Ref("DEPT".into()))],
+        vec![
+            ("name", FieldType::Str),
+            ("dept", FieldType::Ref("DEPT".into())),
+        ],
     ))
     .unwrap();
     db.create_set("Org", "ORG").unwrap();
@@ -684,7 +796,9 @@ fn three_level_path() {
     let root = db
         .insert("Org", vec![sval("Root"), Value::Ref(Oid::NULL)])
         .unwrap();
-    let sub = db.insert("Org", vec![sval("Sub"), Value::Ref(root)]).unwrap();
+    let sub = db
+        .insert("Org", vec![sval("Sub"), Value::Ref(root)])
+        .unwrap();
     let d = db.insert("Dept", vec![sval("D"), Value::Ref(sub)]).unwrap();
     let e = db.insert("Emp1", vec![sval("E"), Value::Ref(d)]).unwrap();
 

@@ -62,7 +62,11 @@ fn populate(db: &mut Database) -> World {
         .map(|i| {
             db.insert(
                 "Dept",
-                vec![sval(&format!("dept{i}")), Value::Int(10 * i), Value::Ref(orgs[(i % 2) as usize])],
+                vec![
+                    sval(&format!("dept{i}")),
+                    Value::Int(10 * i),
+                    Value::Ref(orgs[(i % 2) as usize]),
+                ],
             )
             .unwrap()
         })
@@ -71,7 +75,11 @@ fn populate(db: &mut Database) -> World {
         .map(|i| {
             db.insert(
                 "Emp1",
-                vec![sval(&format!("emp{i}")), Value::Int(100 * i), Value::Ref(depts[(i % 4) as usize])],
+                vec![
+                    sval(&format!("emp{i}")),
+                    Value::Int(100 * i),
+                    Value::Ref(depts[(i % 4) as usize]),
+                ],
             )
             .unwrap()
         })
@@ -89,7 +97,10 @@ fn deferred_inplace_defers_then_syncs() {
         .replicate_with("Emp1.dept.name", Strategy::InPlace, Propagation::Deferred)
         .unwrap();
     // Initial build is eager: values are present.
-    assert_eq!(db.path_values(w.emps[0], p).unwrap(), Some(vec![sval("dept0")]));
+    assert_eq!(
+        db.path_values(w.emps[0], p).unwrap(),
+        Some(vec![sval("dept0")])
+    );
 
     // Update: NOT propagated yet; the raw hidden field still holds the
     // old value, and one work item is pending.
@@ -99,7 +110,10 @@ fn deferred_inplace_defers_then_syncs() {
     assert_eq!(raw.replica_values(p.0).unwrap(), &[sval("dept0")]);
 
     // Reading through the API syncs first.
-    assert_eq!(db.path_values(w.emps[0], p).unwrap(), Some(vec![sval("renamed")]));
+    assert_eq!(
+        db.path_values(w.emps[0], p).unwrap(),
+        Some(vec![sval("renamed")])
+    );
     assert_eq!(db.pending_count(p), 0);
     check_consistency(&mut db);
 }
@@ -113,7 +127,8 @@ fn deferred_updates_batch() {
         .unwrap();
     // Five updates to the same department collapse to one pending item.
     for i in 0..5 {
-        db.update(w.depts[0], &[("name", sval(&format!("v{i}")))]).unwrap();
+        db.update(w.depts[0], &[("name", sval(&format!("v{i}")))])
+            .unwrap();
     }
     assert_eq!(db.pending_count(p), 1);
     // Two more to another department: two items total.
@@ -121,7 +136,10 @@ fn deferred_updates_batch() {
     db.update(w.depts[1], &[("name", sval("y"))]).unwrap();
     assert_eq!(db.pending_count(p), 2);
     assert_eq!(db.sync_path(p).unwrap(), 2);
-    assert_eq!(db.path_values(w.emps[0], p).unwrap(), Some(vec![sval("v4")]));
+    assert_eq!(
+        db.path_values(w.emps[0], p).unwrap(),
+        Some(vec![sval("v4")])
+    );
     assert_eq!(db.path_values(w.emps[1], p).unwrap(), Some(vec![sval("y")]));
     check_consistency(&mut db);
 }
@@ -131,12 +149,20 @@ fn deferred_separate_replica_refresh() {
     let mut db = employee_db();
     let w = populate(&mut db);
     let p = db
-        .replicate_with("Emp1.dept.budget", Strategy::Separate, Propagation::Deferred)
+        .replicate_with(
+            "Emp1.dept.budget",
+            Strategy::Separate,
+            Propagation::Deferred,
+        )
         .unwrap();
-    db.update(w.depts[0], &[("budget", Value::Int(777))]).unwrap();
+    db.update(w.depts[0], &[("budget", Value::Int(777))])
+        .unwrap();
     assert_eq!(db.pending_count(p), 1);
     // path_values syncs.
-    assert_eq!(db.path_values(w.emps[0], p).unwrap(), Some(vec![Value::Int(777)]));
+    assert_eq!(
+        db.path_values(w.emps[0], p).unwrap(),
+        Some(vec![Value::Int(777)])
+    );
     assert_eq!(db.pending_count(p), 0);
     check_consistency(&mut db);
 }
@@ -146,18 +172,29 @@ fn deferred_2level_intermediate_update() {
     let mut db = employee_db();
     let w = populate(&mut db);
     let p = db
-        .replicate_with("Emp1.dept.org.name", Strategy::InPlace, Propagation::Deferred)
+        .replicate_with(
+            "Emp1.dept.org.name",
+            Strategy::InPlace,
+            Propagation::Deferred,
+        )
         .unwrap();
     // Intermediate re-target: link structure moves eagerly, values lazily.
-    db.update(w.depts[0], &[("org", Value::Ref(w.orgs[1]))]).unwrap();
+    db.update(w.depts[0], &[("org", Value::Ref(w.orgs[1]))])
+        .unwrap();
     assert!(db.pending_count(p) >= 1);
-    assert_eq!(db.path_values(w.emps[0], p).unwrap(), Some(vec![sval("org1")]));
+    assert_eq!(
+        db.path_values(w.emps[0], p).unwrap(),
+        Some(vec![sval("org1")])
+    );
     check_consistency(&mut db);
 
     // Terminal rename also defers.
     db.update(w.orgs[1], &[("name", sval("OrgOne"))]).unwrap();
     assert_eq!(db.pending_count(p), 1);
-    assert_eq!(db.path_values(w.emps[0], p).unwrap(), Some(vec![sval("OrgOne")]));
+    assert_eq!(
+        db.path_values(w.emps[0], p).unwrap(),
+        Some(vec![sval("OrgOne")])
+    );
     check_consistency(&mut db);
 }
 
@@ -171,7 +208,10 @@ fn deferred_query_execution_syncs_automatically() {
         .unwrap();
     db.update(w.depts[2], &[("name", sval("fresh"))]).unwrap();
     assert_eq!(db.pending_count(p), 1);
-    let res = ReadQuery::on("Emp1").project(["dept.name"]).run(&mut db).unwrap();
+    let res = ReadQuery::on("Emp1")
+        .project(["dept.name"])
+        .run(&mut db)
+        .unwrap();
     assert_eq!(db.pending_count(p), 0, "query synced the path");
     assert_eq!(res.rows[2][0], Some(sval("fresh")));
 }
@@ -188,8 +228,11 @@ fn deferred_update_is_cheap_sync_pays_later() {
             .insert("Dept", vec![sval("d#0"), Value::Int(0), Value::Ref(o)])
             .unwrap();
         for i in 0..500 {
-            db.insert("Emp1", vec![sval(&format!("e{i}")), Value::Int(i), Value::Ref(d)])
-                .unwrap();
+            db.insert(
+                "Emp1",
+                vec![sval(&format!("e{i}")), Value::Int(i), Value::Ref(d)],
+            )
+            .unwrap();
         }
     }
     eager
@@ -270,9 +313,12 @@ fn inverse_function_via_inverted_path() {
     want.sort_unstable();
     assert_eq!(hits, want);
     // An unreferenced dept answers empty after everyone moves away.
-    db.update(w.emps[0], &[("dept", Value::Ref(w.depts[1]))]).unwrap();
-    db.update(w.emps[4], &[("dept", Value::Ref(w.depts[1]))]).unwrap();
-    db.update(w.emps[8], &[("dept", Value::Ref(w.depts[1]))]).unwrap();
+    db.update(w.emps[0], &[("dept", Value::Ref(w.depts[1]))])
+        .unwrap();
+    db.update(w.emps[4], &[("dept", Value::Ref(w.depts[1]))])
+        .unwrap();
+    db.update(w.emps[8], &[("dept", Value::Ref(w.depts[1]))])
+        .unwrap();
     assert!(db.inverse_of("Emp1.dept", w.depts[0]).unwrap().is_empty());
 }
 
@@ -280,7 +326,8 @@ fn inverse_function_via_inverted_path() {
 fn inverse_on_second_level_link() {
     let mut db = employee_db();
     let w = populate(&mut db);
-    db.replicate("Emp1.dept.org.name", Strategy::InPlace).unwrap();
+    db.replicate("Emp1.dept.org.name", Strategy::InPlace)
+        .unwrap();
     // Link 2 inverts dept.org: which depts (on the path) reference org0?
     let mut hits = db.inverse(LinkId(2), w.orgs[0]).unwrap();
     hits.sort_unstable();
@@ -347,7 +394,9 @@ fn drop_separate_group_tears_down_replicas() {
     let mut db = employee_db();
     let w = populate(&mut db);
     let p1 = db.replicate("Emp1.dept.name", Strategy::Separate).unwrap();
-    let p2 = db.replicate("Emp1.dept.budget", Strategy::Separate).unwrap();
+    let p2 = db
+        .replicate("Emp1.dept.budget", Strategy::Separate)
+        .unwrap();
     // Dropping one path keeps the shared group alive.
     db.drop_replication(p1).unwrap();
     assert_eq!(db.catalog().groups().count(), 1);
@@ -386,7 +435,8 @@ fn drop_with_path_index_refused_until_index_dropped() {
     let mut db = employee_db();
     populate(&mut db);
     let p = db.replicate("Emp1.dept.name", Strategy::InPlace).unwrap();
-    db.create_index("Emp1.dept.name", IndexKind::Unclustered).unwrap();
+    db.create_index("Emp1.dept.name", IndexKind::Unclustered)
+        .unwrap();
     assert!(db.drop_replication(p).is_err());
     // The path is still live and functional after the refused drop.
     assert_eq!(db.catalog().paths().count(), 1);

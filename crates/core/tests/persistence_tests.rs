@@ -51,7 +51,10 @@ fn catalog_image_roundtrip() {
     .unwrap();
     cat.define_type(TypeDef::new(
         "DEPT",
-        vec![("name", FieldType::Str), ("org", FieldType::Ref("ORG".into()))],
+        vec![
+            ("name", FieldType::Str),
+            ("org", FieldType::Ref("ORG".into())),
+        ],
     ))
     .unwrap();
     let f1 = sm.create_file().unwrap();
@@ -94,7 +97,8 @@ fn file_backed_save_and_reopen_full_stack() {
     let dir = std::env::temp_dir().join(format!("fieldrep-persist-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let (d, e0) = {
-        let mut db = Database::with_disk(Box::new(FileDisk::open(&dir).unwrap()), DbConfig::default());
+        let mut db =
+            Database::with_disk(Box::new(FileDisk::open(&dir).unwrap()), DbConfig::default());
         schema(&mut db);
         let o = db
             .insert("Org", vec![Value::Str("Acme".into()), Value::Int(1)])
@@ -119,19 +123,18 @@ fn file_backed_save_and_reopen_full_stack() {
                 .unwrap();
             e0.get_or_insert(e);
         }
-        db.create_index("Emp1.salary", IndexKind::Unclustered).unwrap();
+        db.create_index("Emp1.salary", IndexKind::Unclustered)
+            .unwrap();
         db.replicate("Emp1.dept.name", Strategy::InPlace).unwrap();
-        db.replicate("Emp1.dept.org.name", Strategy::Separate).unwrap();
+        db.replicate("Emp1.dept.org.name", Strategy::Separate)
+            .unwrap();
         db.save().unwrap();
         (d, e0.unwrap())
     };
 
     // Reopen from the same directory: everything intact and operational.
-    let mut db = Database::open(
-        Box::new(FileDisk::open(&dir).unwrap()),
-        DbConfig::default(),
-    )
-    .unwrap();
+    let mut db =
+        Database::open(Box::new(FileDisk::open(&dir).unwrap()), DbConfig::default()).unwrap();
     assert_eq!(db.set_len("Emp1").unwrap(), 200);
     check_consistency(&mut db);
 
@@ -150,7 +153,8 @@ fn file_backed_save_and_reopen_full_stack() {
     assert_eq!(res.rows[0][2], Some(Value::Str("Acme".into())));
 
     // Mutations keep propagating after reopen.
-    db.update(d, &[("name", Value::Str("Footwear".into()))]).unwrap();
+    db.update(d, &[("name", Value::Str("Footwear".into()))])
+        .unwrap();
     check_consistency(&mut db);
     let p = db.catalog().paths().next().unwrap().id;
     assert_eq!(
@@ -173,11 +177,8 @@ fn file_backed_save_and_reopen_full_stack() {
     // Save again and reopen once more.
     db.save().unwrap();
     drop(db);
-    let mut db = Database::open(
-        Box::new(FileDisk::open(&dir).unwrap()),
-        DbConfig::default(),
-    )
-    .unwrap();
+    let mut db =
+        Database::open(Box::new(FileDisk::open(&dir).unwrap()), DbConfig::default()).unwrap();
     assert_eq!(db.set_len("Emp1").unwrap(), 201);
     check_consistency(&mut db);
 
@@ -202,7 +203,10 @@ fn save_syncs_deferred_work() {
             .insert("Org", vec![Value::Str("O".into()), Value::Int(0)])
             .unwrap();
         let d = db
-            .insert("Dept", vec![Value::Str("D".into()), Value::Int(0), Value::Ref(o)])
+            .insert(
+                "Dept",
+                vec![Value::Str("D".into()), Value::Int(0), Value::Ref(o)],
+            )
             .unwrap();
         db.insert(
             "Emp1",
@@ -216,11 +220,8 @@ fn save_syncs_deferred_work() {
         assert_eq!(db.pending_count(p), 1);
         db.save().unwrap(); // must flush the deferred queue
     }
-    let mut db = Database::open(
-        Box::new(FileDisk::open(&dir).unwrap()),
-        DbConfig::default(),
-    )
-    .unwrap();
+    let mut db =
+        Database::open(Box::new(FileDisk::open(&dir).unwrap()), DbConfig::default()).unwrap();
     let e = db.scan_set("Emp1").unwrap()[0];
     let p = db.catalog().paths().next().unwrap().id;
     assert_eq!(
@@ -239,10 +240,17 @@ fn large_catalog_image_chunks() {
     // Many wide types with long names.
     for t in 0..60 {
         let fields: Vec<(String, FieldType)> = (0..40)
-            .map(|i| (format!("field_with_a_rather_long_name_{t}_{i}"), FieldType::Int))
+            .map(|i| {
+                (
+                    format!("field_with_a_rather_long_name_{t}_{i}"),
+                    FieldType::Int,
+                )
+            })
             .collect();
-        db.define_type(TypeDef::new(format!("TYPE_{t:04}"), fields)).unwrap();
-        db.create_set(&format!("Set_{t:04}"), &format!("TYPE_{t:04}")).unwrap();
+        db.define_type(TypeDef::new(format!("TYPE_{t:04}"), fields))
+            .unwrap();
+        db.create_set(&format!("Set_{t:04}"), &format!("TYPE_{t:04}"))
+            .unwrap();
     }
     let image = persist::encode(db.catalog());
     assert!(

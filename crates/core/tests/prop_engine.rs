@@ -15,8 +15,8 @@ use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Op {
-    InsertEmp(usize, u8),    // dept pick (may be "null"), salary
-    InsertDept(usize, u8),   // org pick, budget
+    InsertEmp(usize, u8),  // dept pick (may be "null"), salary
+    InsertDept(usize, u8), // org pick, budget
     DeleteEmp(usize),
     DeleteDept(usize),
     RetargetEmp(usize, usize),  // emp pick, dept pick
@@ -233,7 +233,8 @@ fn run_ops_full(threshold: usize, propagation: Propagation, collapsed: bool, ops
             }
             Op::BudgetDept(d, b) => {
                 let dept = depts[d % depts.len()];
-                db.update(dept, &[("budget", Value::Int(b as i64))]).unwrap();
+                db.update(dept, &[("budget", Value::Int(b as i64))])
+                    .unwrap();
             }
         }
         // Deferred mode: sync sporadically mid-run (every 7th op) so the

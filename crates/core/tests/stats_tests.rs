@@ -26,17 +26,18 @@ fn build(f: usize, n_depts: usize) -> Database {
     db.create_set("Emp1", "EMP").unwrap();
     let depts: Vec<Oid> = (0..n_depts)
         .map(|i| {
-            db.insert(
-                "Dept",
-                vec![Value::Str(format!("d{i:016}")), Value::Unit],
-            )
-            .unwrap()
+            db.insert("Dept", vec![Value::Str(format!("d{i:016}")), Value::Unit])
+                .unwrap()
         })
         .collect();
     for i in 0..(f * n_depts) {
         db.insert(
             "Emp1",
-            vec![Value::Int(i as i64), Value::Ref(depts[i % n_depts]), Value::Unit],
+            vec![
+                Value::Int(i as i64),
+                Value::Ref(depts[i % n_depts]),
+                Value::Unit,
+            ],
         )
         .unwrap();
     }
@@ -54,9 +55,17 @@ fn analyze_measures_sharing_and_sizes() {
     // EMP base = 8 (int) + 8 (ref) + 75 (pad) + 1 = 92 bytes.
     assert!((s.source_bytes - 92.0).abs() < 1e-9, "{}", s.source_bytes);
     // DEPT base = 2+17 (str "d" + 16 digits) + 150 + 1 = 170.
-    assert!((s.terminal_bytes - 170.0).abs() < 1e-9, "{}", s.terminal_bytes);
+    assert!(
+        (s.terminal_bytes - 170.0).abs() < 1e-9,
+        "{}",
+        s.terminal_bytes
+    );
     // Replicated value: encode_list of one 17-char string = 1+1+2+17 = 21.
-    assert!((s.replicated_bytes - 21.0).abs() < 1e-9, "{}", s.replicated_bytes);
+    assert!(
+        (s.replicated_bytes - 21.0).abs() < 1e-9,
+        "{}",
+        s.replicated_bytes
+    );
 }
 
 #[test]
@@ -64,11 +73,8 @@ fn analyze_counts_only_referenced_terminals() {
     let mut db = build(4, 10);
     // Add 5 unreferenced departments: must not change the stats.
     for i in 0..5 {
-        db.insert(
-            "Dept",
-            vec![Value::Str(format!("unused{i}")), Value::Unit],
-        )
-        .unwrap();
+        db.insert("Dept", vec![Value::Str(format!("unused{i}")), Value::Unit])
+            .unwrap();
     }
     let s = db.analyze_path("Emp1.dept.name").unwrap();
     assert_eq!(s.terminal_count, 10);
@@ -105,7 +111,13 @@ fn advise_matches_paper_judgement() {
     let mut db = build(10, 50);
     // Read-heavy: in-place.
     let (_, rec) = db
-        .advise_path("Emp1.dept.name", IndexSetting::Unclustered, 0.01, 0.01, 0.02)
+        .advise_path(
+            "Emp1.dept.name",
+            IndexSetting::Unclustered,
+            0.01,
+            0.01,
+            0.02,
+        )
         .unwrap();
     assert_eq!(rec.strategy, ModelStrategy::InPlace);
     // Update-heavy with sharing: never in-place (fan-out propagation
@@ -120,7 +132,8 @@ fn advise_matches_paper_judgement() {
 #[test]
 fn analyze_two_level_path() {
     let mut db = Database::in_memory(DbConfig::default());
-    db.define_type(TypeDef::new("ORG", vec![("name", FieldType::Str)])).unwrap();
+    db.define_type(TypeDef::new("ORG", vec![("name", FieldType::Str)]))
+        .unwrap();
     db.define_type(TypeDef::new(
         "DEPT",
         vec![("org", FieldType::Ref("ORG".into()))],

@@ -35,10 +35,7 @@ impl Cost {
 
     /// Look up one term.
     pub fn term(&self, name: &str) -> Option<f64> {
-        self.terms
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, v)| *v)
+        self.terms.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
     }
 }
 
@@ -309,11 +306,16 @@ mod tests {
     #[test]
     fn read_selectivity_flip() {
         let setting = IndexSetting::Unclustered;
-        let at = |f: f64, fr: f64| {
-            percent_difference(&p(f, fr), ModelStrategy::Separate, setting, 0.1)
-        };
-        assert!(at(10.0, 0.005) < at(10.0, 0.001), "at f=10 larger reads help");
-        assert!(at(50.0, 0.001) < at(50.0, 0.005), "at f=50 larger reads hurt");
+        let at =
+            |f: f64, fr: f64| percent_difference(&p(f, fr), ModelStrategy::Separate, setting, 0.1);
+        assert!(
+            at(10.0, 0.005) < at(10.0, 0.001),
+            "at f=10 larger reads help"
+        );
+        assert!(
+            at(50.0, 0.001) < at(50.0, 0.005),
+            "at f=50 larger reads hurt"
+        );
     }
 
     #[test]

@@ -45,18 +45,8 @@ pub fn figure_graph(setting: IndexSetting, f: f64, steps: usize) -> Graph {
             let p_up = i as f64 / steps as f64;
             pts.push(CurvePoint {
                 p_update: p_up,
-                inplace_pct: percent_difference(
-                    &params,
-                    ModelStrategy::InPlace,
-                    setting,
-                    p_up,
-                ),
-                separate_pct: percent_difference(
-                    &params,
-                    ModelStrategy::Separate,
-                    setting,
-                    p_up,
-                ),
+                inplace_pct: percent_difference(&params, ModelStrategy::InPlace, setting, p_up),
+                separate_pct: percent_difference(&params, ModelStrategy::Separate, setting, p_up),
             });
         }
         curves.push((fr, pts));

@@ -116,9 +116,12 @@ impl Interpreter {
             Expr::Float(v) => Value::Float(*v),
             Expr::Str(s) => Value::Str(s.clone()),
             Expr::Null => Value::Ref(Oid::NULL),
-            Expr::Var(name) => Value::Ref(*self.vars.get(name).ok_or_else(|| {
-                LangError::Exec(format!("unbound variable ${name}"))
-            })?),
+            Expr::Var(name) => Value::Ref(
+                *self
+                    .vars
+                    .get(name)
+                    .ok_or_else(|| LangError::Exec(format!("unbound variable ${name}")))?,
+            ),
         })
     }
 
@@ -139,7 +142,10 @@ impl Interpreter {
                 let (set, rel) = split_set(path)?;
                 let v = self.value_of(value)?;
                 let f = match (op, &v) {
-                    (CmpOp::Eq, _) => Filter::Eq { path: rel, value: v },
+                    (CmpOp::Eq, _) => Filter::Eq {
+                        path: rel,
+                        value: v,
+                    },
                     (CmpOp::Gt, Value::Int(x)) => Filter::Range {
                         path: rel,
                         lo: Value::Int(x + 1),
@@ -230,9 +236,7 @@ impl Interpreter {
                     .paths()
                     .find(|p| p.expr.to_string() == dotted)
                     .map(|p| p.id)
-                    .ok_or_else(|| {
-                        LangError::Exec(format!("no replication path {dotted:?}"))
-                    })?;
+                    .ok_or_else(|| LangError::Exec(format!("no replication path {dotted:?}")))?;
                 self.db.drop_replication(pid)?;
                 Ok(Output::None)
             }
@@ -423,8 +427,7 @@ impl Interpreter {
                     .catalog()
                     .paths()
                     .map(|p| {
-                        let seq: Vec<String> =
-                            p.links.iter().map(|l| l.0.to_string()).collect();
+                        let seq: Vec<String> = p.links.iter().map(|l| l.0.to_string()).collect();
                         format!(
                             "  replicate {:<28} {:?}/{:?}  link sequence = ({})",
                             p.expr.to_string(),
@@ -463,9 +466,7 @@ impl Interpreter {
                     .map(|p| (p.id, p.expr.to_string()))
                     .collect::<Vec<_>>()
                     .into_iter()
-                    .map(|(id, expr)| {
-                        format!("  {expr}: {} pending", self.db.pending_count(id))
-                    })
+                    .map(|(id, expr)| format!("  {expr}: {} pending", self.db.pending_count(id)))
                     .collect();
                 writeln!(out, "deferred propagation queues:").unwrap();
                 for l in lines {

@@ -158,9 +158,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                                 Some('\\') => s.push('\\'),
                                 Some('n') => s.push('\n'),
                                 other => {
-                                    return Err(LangError::Lex(format!(
-                                        "bad escape: \\{other:?}"
-                                    )))
+                                    return Err(LangError::Lex(format!("bad escape: \\{other:?}")))
                                 }
                             }
                             j += 2;
@@ -174,7 +172,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                 out.push(Token::Str(s));
                 i = j;
             }
-            c if c.is_ascii_digit() || (c == '-' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+            c if c.is_ascii_digit()
+                || (c == '-' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
                 let start = i;
                 let mut j = i + 1;
                 let mut is_float = false;
@@ -195,9 +195,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                         LangError::Lex(format!("bad float {text:?}: {e}"))
                     })?));
                 } else {
-                    out.push(Token::Int(text.parse().map_err(|e| {
-                        LangError::Lex(format!("bad int {text:?}: {e}"))
-                    })?));
+                    out.push(Token::Int(
+                        text.parse()
+                            .map_err(|e| LangError::Lex(format!("bad int {text:?}: {e}")))?,
+                    ));
                 }
                 i = j;
             }
@@ -260,7 +261,14 @@ mod tests {
     fn lex_operators() {
         assert_eq!(
             lex("<= >= != < > =").unwrap(),
-            vec![Token::Le, Token::Ge, Token::Ne, Token::Lt, Token::Gt, Token::Eq]
+            vec![
+                Token::Le,
+                Token::Ge,
+                Token::Ne,
+                Token::Lt,
+                Token::Gt,
+                Token::Eq
+            ]
         );
     }
 

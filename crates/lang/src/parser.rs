@@ -25,7 +25,9 @@ pub fn parse_stmt(src: &str) -> Result<Stmt, LangError> {
     match stmts.len() {
         1 => Ok(stmts.pop().unwrap()),
         0 => Err(LangError::Parse("empty statement".into())),
-        n => Err(LangError::Parse(format!("expected one statement, found {n}"))),
+        n => Err(LangError::Parse(format!(
+            "expected one statement, found {n}"
+        ))),
     }
 }
 
@@ -74,7 +76,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String, LangError> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(LangError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(LangError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -103,7 +107,11 @@ impl Parser {
     fn statement(&mut self) -> Result<Stmt, LangError> {
         let kw = match self.peek() {
             Some(Token::Ident(s)) => s.to_ascii_lowercase(),
-            other => return Err(LangError::Parse(format!("expected statement, found {other:?}"))),
+            other => {
+                return Err(LangError::Parse(format!(
+                    "expected statement, found {other:?}"
+                )))
+            }
         };
         match kw.as_str() {
             "define" => self.define_type(),
@@ -182,9 +190,7 @@ impl Parser {
                     self.expect(Token::RBracket)?;
                     FieldDecl::Pad(fname, n)
                 }
-                other => {
-                    return Err(LangError::Parse(format!("unknown field type {other:?}")))
-                }
+                other => return Err(LangError::Parse(format!("unknown field type {other:?}"))),
             };
             fields.push(decl);
             if !self.eat(&Token::Comma) {
@@ -416,7 +422,14 @@ mod tests {
             if name == "ORG" && fields.len() == 2));
         assert!(matches!(&stmts[4], Stmt::CreateSet { name, type_name }
             if name == "Dept" && type_name == "DEPT"));
-        assert!(matches!(&stmts[7], Stmt::Replicate { separate: false, deferred: false, .. }));
+        assert!(matches!(
+            &stmts[7],
+            Stmt::Replicate {
+                separate: false,
+                deferred: false,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -445,15 +458,27 @@ mod tests {
     fn parse_replicate_variants() {
         assert!(matches!(
             parse_stmt("replicate Emp1.dept.org.name using separate").unwrap(),
-            Stmt::Replicate { separate: true, deferred: false, collapsed: false, .. }
+            Stmt::Replicate {
+                separate: true,
+                deferred: false,
+                collapsed: false,
+                ..
+            }
         ));
         assert!(matches!(
             parse_stmt("replicate Emp1.dept.all using inplace deferred").unwrap(),
-            Stmt::Replicate { separate: false, deferred: true, .. }
+            Stmt::Replicate {
+                separate: false,
+                deferred: true,
+                ..
+            }
         ));
         assert!(matches!(
             parse_stmt("replicate Emp1.dept.org.name collapsed").unwrap(),
-            Stmt::Replicate { collapsed: true, .. }
+            Stmt::Replicate {
+                collapsed: true,
+                ..
+            }
         ));
         assert!(matches!(
             parse_stmt("drop replicate Emp1.dept.name").unwrap(),
@@ -466,20 +491,24 @@ mod tests {
         // The paper's §3.3.4 statement.
         assert!(matches!(
             parse_stmt("build btree on Emp1.dept.org.name").unwrap(),
-            Stmt::BuildIndex { clustered: false, .. }
+            Stmt::BuildIndex {
+                clustered: false,
+                ..
+            }
         ));
         assert!(matches!(
             parse_stmt("build clustered btree on Emp1.salary").unwrap(),
-            Stmt::BuildIndex { clustered: true, .. }
+            Stmt::BuildIndex {
+                clustered: true,
+                ..
+            }
         ));
     }
 
     #[test]
     fn parse_insert_and_bind() {
-        let s = parse_stmt(
-            r#"insert Emp1 (name = "Alice", age = 30, dept = $shoe) as $alice"#,
-        )
-        .unwrap();
+        let s = parse_stmt(r#"insert Emp1 (name = "Alice", age = 30, dept = $shoe) as $alice"#)
+            .unwrap();
         match s {
             Stmt::Insert { set, fields, bind } => {
                 assert_eq!(set, "Emp1");
@@ -496,9 +525,21 @@ mod tests {
         let s = parse_stmt(r#"replace (Dept.budget = 42) where Dept.name = "Shoe""#).unwrap();
         assert!(matches!(s, Stmt::Replace { .. }));
         let s = parse_stmt("delete from Emp1 where Emp1.salary < 100").unwrap();
-        assert!(matches!(s, Stmt::Delete { predicate: Some(_), .. }));
+        assert!(matches!(
+            s,
+            Stmt::Delete {
+                predicate: Some(_),
+                ..
+            }
+        ));
         let s = parse_stmt("delete from Emp1").unwrap();
-        assert!(matches!(s, Stmt::Delete { predicate: None, .. }));
+        assert!(matches!(
+            s,
+            Stmt::Delete {
+                predicate: None,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -518,7 +559,10 @@ mod tests {
         let s = parse_stmt("retrieve (R.field_r) where R.field_r between 10 and 20").unwrap();
         assert!(matches!(
             s,
-            Stmt::Retrieve { predicate: Some(Predicate::Between { .. }), .. }
+            Stmt::Retrieve {
+                predicate: Some(Predicate::Between { .. }),
+                ..
+            }
         ));
     }
 

@@ -44,9 +44,7 @@ fn section_3_1_example_verbatim() {
 
     // The paper's query, verbatim.
     let out = it
-        .execute(
-            "retrieve (Emp1.name, Emp1.salary, Emp1.dept.name) where Emp1.salary > 100000",
-        )
+        .execute("retrieve (Emp1.name, Emp1.salary, Emp1.dept.name) where Emp1.salary > 100000")
         .unwrap();
     let rows = rows(out);
     assert_eq!(rows.len(), 2);
@@ -91,7 +89,8 @@ fn two_level_and_build_btree() {
 #[test]
 fn separate_and_deferred_variants() {
     let mut it = interpreter_with_figure_1();
-    it.execute("replicate Emp1.dept.budget using separate").unwrap();
+    it.execute("replicate Emp1.dept.budget using separate")
+        .unwrap();
     it.execute("replicate Emp1.dept.name using inplace deferred")
         .unwrap();
     it.execute(r#"replace (Dept.name = "S2") where Dept.name = "Shoe""#)
@@ -161,7 +160,8 @@ fn show_catalog_prints_link_sequences() {
 fn null_refs_and_defaults() {
     let mut it = interpreter_with_figure_1();
     it.execute("replicate Emp1.dept.name").unwrap();
-    it.execute(r#"insert Emp1 (name = "Eve", dept = null)"#).unwrap();
+    it.execute(r#"insert Emp1 (name = "Eve", dept = null)"#)
+        .unwrap();
     // Defaults: age/salary 0; NULL dept → NULL projection.
     let out = it
         .execute(r#"retrieve (Emp1.salary, Emp1.dept.name) where Emp1.name = "Eve""#)
@@ -208,7 +208,8 @@ fn execution_errors_are_clean() {
 #[test]
 fn collapsed_replicate_statement() {
     let mut it = interpreter_with_figure_1();
-    it.execute("replicate Emp1.dept.org.name collapsed").unwrap();
+    it.execute("replicate Emp1.dept.org.name collapsed")
+        .unwrap();
     let p = it.db.catalog().paths().next().unwrap();
     assert!(p.collapsed);
     let out = it

@@ -141,8 +141,12 @@ impl Annotation {
         let tag = *b.first().ok_or(ModelError::Truncated)?;
         match tag {
             1 => {
-                let path =
-                    u16::from_le_bytes(b.get(1..3).ok_or(ModelError::Truncated)?.try_into().unwrap());
+                let path = u16::from_le_bytes(
+                    b.get(1..3)
+                        .ok_or(ModelError::Truncated)?
+                        .try_into()
+                        .unwrap(),
+                );
                 let body = b.get(3..).ok_or(ModelError::Truncated)?;
                 let values = Value::decode_list(body)?;
                 let used: usize = 1 + values.iter().map(|v| v.encode().len()).sum::<usize>();
@@ -156,7 +160,10 @@ impl Annotation {
             3 => {
                 let link = *b.get(1).ok_or(ModelError::Truncated)?;
                 let n = u16::from_le_bytes(
-                    b.get(2..4).ok_or(ModelError::Truncated)?.try_into().unwrap(),
+                    b.get(2..4)
+                        .ok_or(ModelError::Truncated)?
+                        .try_into()
+                        .unwrap(),
                 ) as usize;
                 let mut oids = Vec::with_capacity(n);
                 let mut off = 4;
@@ -169,17 +176,28 @@ impl Annotation {
                 Ok((Annotation::InlineLink { link, oids }, off))
             }
             4 => {
-                let group =
-                    u16::from_le_bytes(b.get(1..3).ok_or(ModelError::Truncated)?.try_into().unwrap());
+                let group = u16::from_le_bytes(
+                    b.get(1..3)
+                        .ok_or(ModelError::Truncated)?
+                        .try_into()
+                        .unwrap(),
+                );
                 let oid = Oid::from_bytes(b.get(3..11).ok_or(ModelError::Truncated)?);
                 Ok((Annotation::ReplicaRef { group, oid }, 11))
             }
             5 => {
-                let group =
-                    u16::from_le_bytes(b.get(1..3).ok_or(ModelError::Truncated)?.try_into().unwrap());
+                let group = u16::from_le_bytes(
+                    b.get(1..3)
+                        .ok_or(ModelError::Truncated)?
+                        .try_into()
+                        .unwrap(),
+                );
                 let oid = Oid::from_bytes(b.get(3..11).ok_or(ModelError::Truncated)?);
                 let refcount = u32::from_le_bytes(
-                    b.get(11..15).ok_or(ModelError::Truncated)?.try_into().unwrap(),
+                    b.get(11..15)
+                        .ok_or(ModelError::Truncated)?
+                        .try_into()
+                        .unwrap(),
                 );
                 Ok((
                     Annotation::ReplicaAnchor {
@@ -194,7 +212,9 @@ impl Annotation {
                 let link = *b.get(1).ok_or(ModelError::Truncated)?;
                 Ok((Annotation::CollapsedVia { link }, 2))
             }
-            other => Err(ModelError::BadEncoding(format!("bad annotation tag {other}"))),
+            other => Err(ModelError::BadEncoding(format!(
+                "bad annotation tag {other}"
+            ))),
         }
     }
 }
@@ -262,9 +282,7 @@ impl Object {
     /// The hidden replicated values for replication path `path`, if any.
     pub fn replica_values(&self, path: u16) -> Option<&[Value]> {
         self.annotations.iter().find_map(|a| match a {
-            Annotation::ReplicaValue { path: p, values } if *p == path => {
-                Some(values.as_slice())
-            }
+            Annotation::ReplicaValue { path: p, values } if *p == path => Some(values.as_slice()),
             _ => None,
         })
     }
@@ -303,7 +321,9 @@ impl Object {
                     out.extend_from_slice(b);
                 }
                 (Value::Ref(o), FieldType::Ref(_)) => out.extend_from_slice(&o.to_bytes()),
-                (Value::Unit, FieldType::Pad(n)) => out.extend(std::iter::repeat_n(0u8, *n as usize)),
+                (Value::Unit, FieldType::Pad(n)) => {
+                    out.extend(std::iter::repeat_n(0u8, *n as usize))
+                }
                 (v, t) => panic!("value {v:?} does not match field type {t:?}"),
             }
         }
@@ -323,21 +343,30 @@ impl Object {
             match &f.ftype {
                 FieldType::Int => {
                     let v = i64::from_le_bytes(
-                        b.get(off..off + 8).ok_or(ModelError::Truncated)?.try_into().unwrap(),
+                        b.get(off..off + 8)
+                            .ok_or(ModelError::Truncated)?
+                            .try_into()
+                            .unwrap(),
                     );
                     off += 8;
                     values.push(Value::Int(v));
                 }
                 FieldType::Float => {
                     let v = f64::from_le_bytes(
-                        b.get(off..off + 8).ok_or(ModelError::Truncated)?.try_into().unwrap(),
+                        b.get(off..off + 8)
+                            .ok_or(ModelError::Truncated)?
+                            .try_into()
+                            .unwrap(),
                     );
                     off += 8;
                     values.push(Value::Float(v));
                 }
                 FieldType::Str => {
                     let len = u16::from_le_bytes(
-                        b.get(off..off + 2).ok_or(ModelError::Truncated)?.try_into().unwrap(),
+                        b.get(off..off + 2)
+                            .ok_or(ModelError::Truncated)?
+                            .try_into()
+                            .unwrap(),
                     ) as usize;
                     off += 2;
                     let bytes = b.get(off..off + len).ok_or(ModelError::Truncated)?;

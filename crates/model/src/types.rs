@@ -145,7 +145,11 @@ mod tests {
         assert_eq!(FieldType::Str.fixed_size(), None);
         let t = TypeDef::new(
             "S",
-            vec![("a", FieldType::Int), ("pad", FieldType::Pad(20)), ("s", FieldType::Str)],
+            vec![
+                ("a", FieldType::Int),
+                ("pad", FieldType::Pad(20)),
+                ("s", FieldType::Str),
+            ],
         );
         assert_eq!(t.min_encoded_size(), 8 + 20 + 2);
     }

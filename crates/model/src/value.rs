@@ -120,20 +120,29 @@ impl Value {
         match tag {
             1 => {
                 let v = i64::from_le_bytes(
-                    b.get(1..9).ok_or(ModelError::Truncated)?.try_into().unwrap(),
+                    b.get(1..9)
+                        .ok_or(ModelError::Truncated)?
+                        .try_into()
+                        .unwrap(),
                 );
                 Ok((Value::Int(v), 9))
             }
             2 => {
                 let v = f64::from_le_bytes(
-                    b.get(1..9).ok_or(ModelError::Truncated)?.try_into().unwrap(),
+                    b.get(1..9)
+                        .ok_or(ModelError::Truncated)?
+                        .try_into()
+                        .unwrap(),
                 );
                 Ok((Value::Float(v), 9))
             }
             3 => {
-                let len =
-                    u16::from_le_bytes(b.get(1..3).ok_or(ModelError::Truncated)?.try_into().unwrap())
-                        as usize;
+                let len = u16::from_le_bytes(
+                    b.get(1..3)
+                        .ok_or(ModelError::Truncated)?
+                        .try_into()
+                        .unwrap(),
+                ) as usize;
                 let bytes = b.get(3..3 + len).ok_or(ModelError::Truncated)?;
                 let s = std::str::from_utf8(bytes)
                     .map_err(|_| ModelError::BadEncoding("non-UTF-8 string".into()))?;

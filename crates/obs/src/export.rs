@@ -1,0 +1,449 @@
+//! Exporters: human-readable text and JSON lines.
+//!
+//! The JSON-lines format emits one self-contained object per line:
+//! `{"type":"span",...}` (children nested inline), `{"type":"profile",...}`,
+//! and one line per registry instrument
+//! (`{"type":"counter"|"gauge"|"histogram",...}`). Lines are valid JSON
+//! produced by a tiny built-in writer — no external serializer.
+
+use std::fmt::Write as _;
+
+use crate::io::IoCounts;
+use crate::metrics::Snapshot;
+use crate::profile::Profile;
+use crate::span::SpanNode;
+
+/// Escape `s` as JSON string contents (no surrounding quotes).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn io_json(io: &IoCounts) -> String {
+    format!(
+        "{{\"disk_reads\":{},\"disk_writes\":{},\"disk_allocs\":{},\"pool_hits\":{},\"pool_misses\":{},\"evictions\":{}}}",
+        io.disk_reads, io.disk_writes, io.disk_allocs, io.pool_hits, io.pool_misses, io.evictions
+    )
+}
+
+/// Compact one-line rendering of a set of I/O counters.
+pub fn io_text(io: &IoCounts) -> String {
+    format!(
+        "rd={} wr={} alloc={} hit={} miss={} evict={}",
+        io.disk_reads, io.disk_writes, io.disk_allocs, io.pool_hits, io.pool_misses, io.evictions
+    )
+}
+
+fn span_json(node: &SpanNode) -> String {
+    let notes = node
+        .notes
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+        .collect::<Vec<_>>()
+        .join(",");
+    let children = node
+        .children
+        .iter()
+        .map(span_json)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"name\":\"{}\",\"nanos\":{},\"io\":{},\"notes\":{{{}}},\"children\":[{}]}}",
+        escape_json(&node.name),
+        node.nanos,
+        io_json(&node.io),
+        notes,
+        children
+    )
+}
+
+/// One JSON line for a root span (children nested inline).
+pub fn span_jsonl(node: &SpanNode) -> String {
+    format!("{{\"type\":\"span\",\"span\":{}}}", span_json(node))
+}
+
+/// One JSON line for a finished [`Profile`].
+pub fn profile_jsonl(label: &str, profile: &Profile) -> String {
+    let ops = profile
+        .ops
+        .iter()
+        .map(|op| {
+            format!(
+                "{{\"name\":\"{}\",\"nanos\":{},\"io\":{}}}",
+                escape_json(&op.name),
+                op.nanos,
+                io_json(&op.io)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"type\":\"profile\",\"label\":\"{}\",\"total_nanos\":{},\"total_io\":{},\"ops\":[{}]}}",
+        escape_json(label),
+        profile.total_nanos,
+        io_json(&profile.total_io),
+        ops
+    )
+}
+
+/// JSON lines for a registry [`Snapshot`]: one line per instrument.
+pub fn snapshot_jsonl(snap: &Snapshot) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (name, value) in &snap.counters {
+        lines.push(format!(
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+            escape_json(name),
+            value
+        ));
+    }
+    for (name, value) in &snap.gauges {
+        lines.push(format!(
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            escape_json(name),
+            value
+        ));
+    }
+    for h in &snap.histograms {
+        let q = |v: Option<u64>| v.map_or("null".to_string(), |x| x.to_string());
+        let bounds = h
+            .bounds
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let buckets = h
+            .buckets
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        lines.push(format!(
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"mean\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"bounds\":[{}],\"buckets\":[{}]}}",
+            escape_json(&h.name),
+            h.count,
+            h.sum,
+            h.mean,
+            h.max,
+            q(h.p50),
+            q(h.p95),
+            q(h.p99),
+            bounds,
+            buckets
+        ));
+    }
+    lines
+}
+
+fn span_text_into(node: &SpanNode, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    let notes = if node.notes.is_empty() {
+        String::new()
+    } else {
+        let body = node
+            .notes
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        format!("  [{body}]")
+    };
+    let _ = writeln!(
+        out,
+        "{indent}{:<width$} {:>9.3}ms  {}{notes}",
+        node.name,
+        node.nanos as f64 / 1e6,
+        io_text(&node.io),
+        width = 28usize.saturating_sub(indent.len()).max(12),
+    );
+    for child in &node.children {
+        span_text_into(child, depth + 1, out);
+    }
+}
+
+/// Render a span tree as indented text, one line per span.
+pub fn span_text(node: &SpanNode) -> String {
+    let mut out = String::new();
+    span_text_into(node, 0, &mut out);
+    out
+}
+
+/// Render a finished [`Profile`] as an `EXPLAIN ANALYZE`-style table.
+pub fn profile_text(label: &str, profile: &Profile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profile: {label}  ({:.3}ms, {})",
+        profile.total_nanos as f64 / 1e6,
+        io_text(&profile.total_io)
+    );
+    let _ = writeln!(
+        out,
+        "  {:<38} {:>10} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "operator", "ms", "rd", "wr", "alloc", "hit", "miss", "evict"
+    );
+    for op in &profile.ops {
+        let _ = writeln!(
+            out,
+            "  {:<38} {:>10.3} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            op.name,
+            op.nanos as f64 / 1e6,
+            op.io.disk_reads,
+            op.io.disk_writes,
+            op.io.disk_allocs,
+            op.io.pool_hits,
+            op.io.pool_misses,
+            op.io.evictions
+        );
+    }
+    out
+}
+
+/// Render a registry [`Snapshot`] as text.
+pub fn snapshot_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "  {name:<42} {value}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        for (name, value) in &snap.gauges {
+            let _ = writeln!(out, "  {name:<42} {value}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(out, "histograms:");
+        for h in &snap.histograms {
+            let q = |v: Option<u64>| v.map_or("-".to_string(), |x| x.to_string());
+            let _ = writeln!(
+                out,
+                "  {:<42} n={} mean={:.2} p50={} p95={} p99={} max={}",
+                h.name,
+                h.count,
+                h.mean,
+                q(h.p50),
+                q(h.p95),
+                q(h.p99),
+                h.max
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::IoCounts;
+    use crate::metrics::Registry;
+    use crate::profile::Profile;
+    use crate::span::{set_tracing, take_finished, Span};
+
+    /// Minimal JSON validity checker: strings/escapes, numbers, null,
+    /// objects, arrays. Returns true iff `s` is one complete JSON value.
+    fn is_valid_json(s: &str) -> bool {
+        fn skip_ws(b: &[u8], i: &mut usize) {
+            while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
+                *i += 1;
+            }
+        }
+        fn value(b: &[u8], i: &mut usize) -> bool {
+            skip_ws(b, i);
+            if *i >= b.len() {
+                return false;
+            }
+            match b[*i] {
+                b'{' => {
+                    *i += 1;
+                    skip_ws(b, i);
+                    if *i < b.len() && b[*i] == b'}' {
+                        *i += 1;
+                        return true;
+                    }
+                    loop {
+                        skip_ws(b, i);
+                        if !string(b, i) {
+                            return false;
+                        }
+                        skip_ws(b, i);
+                        if *i >= b.len() || b[*i] != b':' {
+                            return false;
+                        }
+                        *i += 1;
+                        if !value(b, i) {
+                            return false;
+                        }
+                        skip_ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b'}') => {
+                                *i += 1;
+                                return true;
+                            }
+                            _ => return false,
+                        }
+                    }
+                }
+                b'[' => {
+                    *i += 1;
+                    skip_ws(b, i);
+                    if *i < b.len() && b[*i] == b']' {
+                        *i += 1;
+                        return true;
+                    }
+                    loop {
+                        if !value(b, i) {
+                            return false;
+                        }
+                        skip_ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b']') => {
+                                *i += 1;
+                                return true;
+                            }
+                            _ => return false,
+                        }
+                    }
+                }
+                b'"' => string(b, i),
+                b'n' => literal(b, i, b"null"),
+                b't' => literal(b, i, b"true"),
+                b'f' => literal(b, i, b"false"),
+                _ => number(b, i),
+            }
+        }
+        fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> bool {
+            if b[*i..].starts_with(lit) {
+                *i += lit.len();
+                true
+            } else {
+                false
+            }
+        }
+        fn string(b: &[u8], i: &mut usize) -> bool {
+            if *i >= b.len() || b[*i] != b'"' {
+                return false;
+            }
+            *i += 1;
+            while *i < b.len() {
+                match b[*i] {
+                    b'"' => {
+                        *i += 1;
+                        return true;
+                    }
+                    b'\\' => *i += 2,
+                    c if c < 0x20 => return false,
+                    _ => *i += 1,
+                }
+            }
+            false
+        }
+        fn number(b: &[u8], i: &mut usize) -> bool {
+            let start = *i;
+            if *i < b.len() && b[*i] == b'-' {
+                *i += 1;
+            }
+            while *i < b.len()
+                && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                *i += 1;
+            }
+            *i > start
+        }
+        let b = s.as_bytes();
+        let mut i = 0;
+        if !value(b, &mut i) {
+            return false;
+        }
+        skip_ws(b, &mut i);
+        i == b.len()
+    }
+
+    #[test]
+    fn escaping_covers_quotes_and_control_chars() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+        assert!(is_valid_json(&format!(
+            "\"{}\"",
+            escape_json("x\"\\\n\t\r\u{2}y")
+        )));
+    }
+
+    #[test]
+    fn span_jsonl_is_valid_json() {
+        set_tracing(true);
+        take_finished();
+        {
+            let root = Span::enter("query.\"odd\" name");
+            root.note("k", "v with \"quotes\"");
+            let _child = root.child("inner");
+        }
+        let spans = take_finished();
+        set_tracing(false);
+        let line = span_jsonl(&spans[0]);
+        assert!(is_valid_json(&line), "invalid: {line}");
+        assert!(line.contains("\"type\":\"span\""));
+        assert!(line.contains("\"children\":[{"));
+    }
+
+    #[test]
+    fn profile_and_snapshot_jsonl_are_valid_json() {
+        let mut p = Profile::start();
+        crate::io::record_pool_hit();
+        p.mark("access");
+        let p = p.finish();
+        let line = profile_jsonl("read q", &p);
+        assert!(is_valid_json(&line), "invalid: {line}");
+
+        let r = Registry::default();
+        r.counter("c.a").add(3);
+        r.gauge("g.b").set(-7);
+        r.histogram("h.c", &[1, 4, 16]).record(5);
+        for line in snapshot_jsonl(&r.snapshot()) {
+            assert!(is_valid_json(&line), "invalid: {line}");
+        }
+        assert_eq!(snapshot_jsonl(&r.snapshot()).len(), 3);
+    }
+
+    #[test]
+    fn text_renderers_contain_the_key_facts() {
+        let mut p = Profile::start();
+        crate::io::record_disk_read();
+        p.mark("access:index-range");
+        let p = p.finish();
+        let text = profile_text("q1", &p);
+        assert!(text.contains("access:index-range"));
+        assert!(text.contains("operator"));
+
+        let node = crate::span::SpanNode {
+            name: "root".into(),
+            nanos: 1_500_000,
+            io: IoCounts {
+                disk_reads: 2,
+                ..Default::default()
+            },
+            notes: vec![("rows".into(), "9".into())],
+            children: vec![],
+        };
+        let text = span_text(&node);
+        assert!(text.contains("root"));
+        assert!(text.contains("rd=2"));
+        assert!(text.contains("rows=9"));
+    }
+}

@@ -1,0 +1,380 @@
+//! Process-wide metrics registry: named counters, gauges, and
+//! fixed-bucket histograms behind cheap atomics.
+//!
+//! Handles are `Arc`s into the global [`registry`]; after the first
+//! lookup the hot path is a single atomic RMW with no locking.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the value by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over fixed, caller-supplied bucket upper bounds.
+///
+/// Bucket `i` counts samples `<= bounds[i]`; one extra overflow bucket
+/// catches the rest. Quantiles are estimated as the upper bound of the
+/// bucket containing the target rank (the recorded maximum for the
+/// overflow bucket), which is exact whenever samples sit on bucket
+/// boundaries and conservative otherwise.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// bounds.len() + 1 buckets; the last is overflow.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Estimated `q`-quantile (`0.0 < q <= 1.0`); `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        // Rank of the target sample, 1-based, at least 1.
+        let rank = ((q * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max()
+                });
+            }
+        }
+        Some(self.max())
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// The configured bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// The metrics registry: name → instrument.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<HashMap<String, Arc<Counter>>>,
+    gauges: RwLock<HashMap<String, Arc<Gauge>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(self.counters.write().entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(self.gauges.write().entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the histogram named `name` with the given bucket
+    /// upper bounds. If it already exists, the existing instrument (and
+    /// its original bounds) wins.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// A point-in-time copy of every instrument, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        counters.sort();
+        let mut gauges: Vec<(String, i64)> = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        gauges.sort();
+        let mut histograms: Vec<HistogramSnapshot> = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, h)| HistogramSnapshot {
+                name: k.clone(),
+                count: h.count(),
+                sum: h.sum(),
+                mean: h.mean(),
+                max: h.max(),
+                p50: h.p50(),
+                p95: h.p95(),
+                p99: h.p99(),
+                bounds: h.bounds().to_vec(),
+                buckets: h.bucket_counts(),
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Instrument name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Mean of samples.
+    pub mean: f64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median estimate.
+    pub p50: Option<u64>,
+    /// 95th-percentile estimate.
+    pub p95: Option<u64>,
+    /// 99th-percentile estimate.
+    pub p99: Option<u64>,
+    /// Configured bucket upper bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts (last is overflow).
+    pub buckets: Vec<u64>,
+}
+
+/// Point-in-time copy of the whole registry.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Every histogram, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let r = Registry::default();
+        let c = r.counter("c");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("c").get(), 5, "same name returns same counter");
+        let g = r.gauge("g");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(r.gauge("g").get(), 7);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let h = Histogram::new(&[1, 10, 100]);
+        // On-boundary values land in the bucket they bound (<=).
+        h.record(1);
+        h.record(10);
+        h.record(100);
+        // Off-boundary values land in the next bucket up.
+        h.record(2);
+        h.record(11);
+        // Overflow.
+        h.record(101);
+        h.record(5_000);
+        assert_eq!(h.bucket_counts(), vec![1, 2, 2, 2]);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max(), 5_000);
+        assert_eq!(h.sum(), 1 + 10 + 100 + 2 + 11 + 101 + 5_000);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let h = Histogram::new(&[1, 2, 4, 8, 16]);
+        for v in [1, 1, 2, 2, 2, 4, 4, 8, 8, 30] {
+            h.record(v);
+        }
+        // Ranks (1-based) over 10 samples sorted: 1 1 2 2 2 4 4 8 8 30.
+        assert_eq!(h.p50(), Some(2));
+        assert_eq!(h.quantile(0.7), Some(4));
+        assert_eq!(h.p95(), Some(30), "p95 rank 10 falls in overflow → max");
+        assert_eq!(h.p99(), Some(30));
+        assert_eq!(h.quantile(1.0), Some(30));
+        // Tiny q clamps to the first sample.
+        assert_eq!(h.quantile(0.001), Some(1));
+        assert!((h.mean() - 6.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new(&[1, 2]);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::default();
+        r.counter("b").add(2);
+        r.counter("a").inc();
+        r.gauge("z").set(-4);
+        r.histogram("h", &[1, 2, 4]).record(3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("a".into(), 1), ("b".into(), 2)]);
+        assert_eq!(snap.gauges, vec![("z".into(), -4)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].count, 1);
+        assert_eq!(snap.histograms[0].buckets, vec![0, 0, 1, 0]);
+    }
+}

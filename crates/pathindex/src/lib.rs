@@ -214,8 +214,7 @@ impl GemstonePathIndex {
         // Terminal value component.
         let old_t = old_chain.last().copied().flatten();
         let new_t = new_chain.last().copied().flatten();
-        if old_t != new_t
-            || old_terminal_value.map(value_key) != new_terminal_value.map(value_key)
+        if old_t != new_t || old_terminal_value.map(value_key) != new_terminal_value.map(value_key)
         {
             if let (Some(t), Some(v)) = (old_t, old_terminal_value) {
                 self.components[0].delete(db.sm(), &value_key(v), t)?;

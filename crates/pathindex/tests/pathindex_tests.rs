@@ -13,19 +13,28 @@ fn setup() -> (Database, Vec<Oid>, Vec<Oid>, Vec<Oid>) {
         .unwrap();
     db.define_type(TypeDef::new(
         "DEPT",
-        vec![("name", FieldType::Str), ("org", FieldType::Ref("ORG".into()))],
+        vec![
+            ("name", FieldType::Str),
+            ("org", FieldType::Ref("ORG".into())),
+        ],
     ))
     .unwrap();
     db.define_type(TypeDef::new(
         "EMP",
-        vec![("name", FieldType::Str), ("dept", FieldType::Ref("DEPT".into()))],
+        vec![
+            ("name", FieldType::Str),
+            ("dept", FieldType::Ref("DEPT".into())),
+        ],
     ))
     .unwrap();
     db.create_set("Org", "ORG").unwrap();
     db.create_set("Dept", "DEPT").unwrap();
     db.create_set("Emp1", "EMP").unwrap();
     let orgs: Vec<Oid> = (0..3)
-        .map(|i| db.insert("Org", vec![Value::Str(format!("org{i}"))]).unwrap())
+        .map(|i| {
+            db.insert("Org", vec![Value::Str(format!("org{i}"))])
+                .unwrap()
+        })
         .collect();
     let depts: Vec<Oid> = (0..6)
         .map(|i| {
@@ -80,7 +89,8 @@ fn gemstone_lookup_matches_ground_truth() {
 #[test]
 fn replicated_index_matches_gemstone() {
     let (mut db, _, _, _) = setup();
-    db.replicate("Emp1.dept.org.name", Strategy::InPlace).unwrap();
+    db.replicate("Emp1.dept.org.name", Strategy::InPlace)
+        .unwrap();
     let r = ReplicatedPathIndex::build(&mut db, "Emp1.dept.org.name").unwrap();
     let g = GemstonePathIndex::build(&mut db, "Emp1.dept.org.name").unwrap();
     for name in ["org0", "org1", "org2"] {
@@ -96,10 +106,15 @@ fn replicated_index_matches_gemstone() {
 #[test]
 fn replicated_index_range() {
     let (mut db, _, _, _) = setup();
-    db.replicate("Emp1.dept.org.name", Strategy::InPlace).unwrap();
+    db.replicate("Emp1.dept.org.name", Strategy::InPlace)
+        .unwrap();
     let r = ReplicatedPathIndex::build(&mut db, "Emp1.dept.org.name").unwrap();
     let hits = r
-        .range(&mut db, &Value::Str("org0".into()), &Value::Str("org1".into()))
+        .range(
+            &mut db,
+            &Value::Str("org0".into()),
+            &Value::Str("org1".into()),
+        )
         .unwrap();
     assert_eq!(hits.len(), 40); // orgs 0 and 1 → 2/3 of 60 employees
 }
@@ -155,7 +170,8 @@ fn gemstone_reindex_source() {
 #[test]
 fn gemstone_lookup_costs_more_io_than_replicated_index() {
     let (mut db, _, _, _) = setup();
-    db.replicate("Emp1.dept.org.name", Strategy::InPlace).unwrap();
+    db.replicate("Emp1.dept.org.name", Strategy::InPlace)
+        .unwrap();
     let r = ReplicatedPathIndex::build(&mut db, "Emp1.dept.org.name").unwrap();
     let g = GemstonePathIndex::build(&mut db, "Emp1.dept.org.name").unwrap();
     let v = Value::Str("org0".into());

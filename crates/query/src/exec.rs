@@ -12,6 +12,7 @@ use crate::{Assign, Filter, ReadQuery, UpdateQuery};
 use fieldrep_btree::BTreeIndex;
 use fieldrep_core::{read_object, value_key, Database};
 use fieldrep_model::{Annotation, Object, Value};
+use fieldrep_obs::{io as obs_io, Profile, Span};
 use fieldrep_storage::{HeapFile, Oid};
 use std::collections::HashMap;
 
@@ -29,6 +30,10 @@ pub struct QueryResult {
     /// The output file T, if the query was run with spooling; the caller
     /// drops it when done.
     pub output_file: Option<fieldrep_storage::FileId>,
+    /// `EXPLAIN ANALYZE`-style per-operator breakdown: every plan
+    /// operator's page-I/O delta and wall time. The per-operator deltas
+    /// sum exactly to `profile.total_io` (telescoping segments).
+    pub profile: Profile,
 }
 
 /// The outcome of an update query.
@@ -38,6 +43,9 @@ pub struct UpdateResult {
     pub updated: usize,
     /// The plan used to locate them.
     pub plan: Plan,
+    /// Per-operator breakdown; replica-propagation I/O done inside the
+    /// apply loop is carved out as its own `core.propagate` operator.
+    pub profile: Profile,
 }
 
 /// Fetch many objects with each page read once: sort unique OIDs into
@@ -105,12 +113,22 @@ fn eval_filter_value(
 ) -> Result<Option<Value>> {
     // Reuse the projection machinery for a single object.
     let proj = plan_projection(db.catalog(), set, f.path())?;
-    let mut rows = project(db, &[oid], std::slice::from_ref(&proj))?;
+    let mut rows = project(db, &[oid], std::slice::from_ref(&proj), None)?;
     Ok(rows.pop().and_then(|mut r| r.pop()).flatten())
 }
 
 /// Compute the projected columns for `oids`, one row per OID.
-fn project(db: &mut Database, oids: &[Oid], projections: &[ProjPlan]) -> Result<Vec<Row>> {
+///
+/// With `prof`, the sync/fetch phases and every projection operator close
+/// their own profile segment (`None` when called for a nested filter
+/// evaluation, whose I/O belongs to the enclosing access segment).
+fn project(
+    db: &mut Database,
+    oids: &[Oid],
+    projections: &[ProjPlan],
+    mut prof: Option<&mut Profile>,
+) -> Result<Vec<Row>> {
+    let _span = Span::enter("query.project");
     // Deferred-propagation paths must be synced before their replicated
     // values are read (§8 / `Propagation::Deferred`).
     for proj in projections {
@@ -127,15 +145,18 @@ fn project(db: &mut Database, oids: &[Oid], projections: &[ProjPlan]) -> Result<
             _ => {}
         }
     }
+    if let Some(p) = prof.as_deref_mut() {
+        p.mark("sync");
+    }
     // Fetch the source objects once (optimally).
     let src = fetch_batch(db, oids)?;
+    if let Some(p) = prof.as_deref_mut() {
+        p.mark("fetch");
+    }
     let width: usize = projections.iter().map(|p| p.width()).sum();
-    let mut rows: Vec<Row> = oids
-        .iter()
-        .map(|_| Vec::with_capacity(width))
-        .collect();
+    let mut rows: Vec<Row> = oids.iter().map(|_| Vec::with_capacity(width)).collect();
 
-    for proj in projections {
+    for (proj_idx, proj) in projections.iter().enumerate() {
         match proj {
             ProjPlan::BaseField { field } => {
                 for (row, oid) in rows.iter_mut().zip(oids) {
@@ -157,9 +178,7 @@ fn project(db: &mut Database, oids: &[Oid], projections: &[ProjPlan]) -> Result<
                     .iter()
                     .map(|oid| {
                         src[oid].annotations.iter().find_map(|a| match a {
-                            Annotation::ReplicaRef { group: g, oid }
-                                if *g == gdef.id.0 =>
-                            {
+                            Annotation::ReplicaRef { group: g, oid } if *g == gdef.id.0 => {
                                 Some(*oid)
                             }
                             _ => None,
@@ -173,9 +192,12 @@ fn project(db: &mut Database, oids: &[Oid], projections: &[ProjPlan]) -> Result<
                 let mut replica_vals: HashMap<Oid, Vec<Value>> = HashMap::new();
                 for t in targets {
                     let (_, payload) = hf.read(db.sm(), t)?;
-                    replica_vals.insert(t, Value::decode_list(&payload).map_err(
-                        |e| QueryError::BadQuery(format!("bad replica object: {e}")),
-                    )?);
+                    replica_vals.insert(
+                        t,
+                        Value::decode_list(&payload).map_err(|e| {
+                            QueryError::BadQuery(format!("bad replica object: {e}"))
+                        })?,
+                    );
                 }
                 for (row, r) in rows.iter_mut().zip(&refs) {
                     for &pos in positions {
@@ -225,6 +247,9 @@ fn project(db: &mut Database, oids: &[Oid], projections: &[ProjPlan]) -> Result<
                     row.extend(c);
                 }
             }
+        }
+        if let Some(p) = prof.as_deref_mut() {
+            p.mark(format!("proj[{proj_idx}]:{}", proj.label()));
         }
     }
     Ok(rows)
@@ -286,9 +311,17 @@ impl ReadQuery {
 
     /// Execute the query.
     pub fn run(&self, db: &mut Database) -> Result<QueryResult> {
+        let span = Span::enter("query.read");
+        let mut prof = Profile::start();
         let plan = self.plan(db)?;
+        prof.mark("plan");
+        let access_span = span.child(&plan.access.label());
         let oids = run_access(db, &plan, self.filter.as_ref())?;
-        let rows = project(db, &oids, &plan.projections)?;
+        access_span.note("oids", oids.len());
+        drop(access_span);
+        prof.mark(plan.access.label());
+        let rows = project(db, &oids, &plan.projections, Some(&mut prof))?;
+        span.note("rows", rows.len());
 
         // Generate the output file T if requested (§6.5.1 charges P_t for
         // it). Rows are padded to `output_row_bytes` to model `t`.
@@ -311,11 +344,13 @@ impl ReadQuery {
         } else {
             None
         };
+        prof.mark("spool");
 
         Ok(QueryResult {
             rows,
             plan,
             output_file,
+            profile: prof.finish(),
         })
     }
 }
@@ -335,12 +370,23 @@ impl UpdateQuery {
     /// Execute the query: locate qualifying objects and apply the
     /// assignments through the engine (which propagates to all replicas).
     pub fn run(&self, db: &mut Database) -> Result<UpdateResult> {
+        let span = Span::enter("query.update");
+        let mut prof = Profile::start();
         let plan = self.plan(db)?;
+        prof.mark("plan");
+        let access_span = span.child(&plan.access.label());
         let mut oids = run_access(db, &plan, self.filter.as_ref())?;
+        access_span.note("oids", oids.len());
+        drop(access_span);
         // Visit in physical order (the paper propagates and updates in
         // clustered order).
         oids.sort_unstable();
         oids.dedup();
+        prof.mark(plan.access.label());
+        span.note("updates", oids.len());
+        // Drain any propagation I/O a previous (unprofiled) caller left
+        // accumulated on this thread, so "apply" splits only its own.
+        let _ = obs_io::component_take("core.propagate");
 
         let set = db.catalog().set(plan.set).clone();
         let def = db.catalog().type_def(set.elem_type).clone();
@@ -364,7 +410,11 @@ impl UpdateQuery {
                     Assign::CycleStr(suffixes) => match &obj.values[idx] {
                         Value::Str(s) => {
                             let base = s.split('#').next().unwrap_or("").to_string();
-                            let n: usize = s.split('#').nth(1).and_then(|x| x.parse().ok()).unwrap_or(0);
+                            let n: usize = s
+                                .split('#')
+                                .nth(1)
+                                .and_then(|x| x.parse().ok())
+                                .unwrap_or(0);
                             let next = (n + 1) % (*suffixes).max(1);
                             Value::Str(format!("{base}#{next}"))
                         }
@@ -379,9 +429,12 @@ impl UpdateQuery {
             }
             db.update(*oid, &changes)?;
         }
+        prof.mark("apply");
+        prof.split_last("core.propagate", obs_io::component_take("core.propagate"));
         Ok(UpdateResult {
             updated: oids.len(),
             plan,
+            profile: prof.finish(),
         })
     }
 }

@@ -65,8 +65,29 @@ impl ProjPlan {
             ProjPlan::BaseField { .. } => 1,
             ProjPlan::InPlaceReplica { positions, .. } => positions.len(),
             ProjPlan::SeparateReplica { positions, .. } => positions.len(),
-            ProjPlan::CollapseThenJoin { terminal_fields, .. } => terminal_fields.len(),
-            ProjPlan::FunctionalJoin { terminal_fields, .. } => terminal_fields.len(),
+            ProjPlan::CollapseThenJoin {
+                terminal_fields, ..
+            } => terminal_fields.len(),
+            ProjPlan::FunctionalJoin {
+                terminal_fields, ..
+            } => terminal_fields.len(),
+        }
+    }
+
+    /// Short operator label for profiles and span notes.
+    pub fn label(&self) -> String {
+        match self {
+            ProjPlan::BaseField { field } => format!("base-field(#{field})"),
+            ProjPlan::InPlaceReplica { path, .. } => format!("inplace-replica({path})"),
+            ProjPlan::SeparateReplica { group, .. } => {
+                format!("separate-replica(group #{})", group.0)
+            }
+            ProjPlan::CollapseThenJoin {
+                path,
+                remaining_hops,
+                ..
+            } => format!("collapse({path})+{}join", remaining_hops.len()),
+            ProjPlan::FunctionalJoin { hops, .. } => format!("functional-join({})", hops.len()),
         }
     }
 }
@@ -92,6 +113,21 @@ pub enum AccessPlan {
         /// The replication path whose values are indexed.
         path: PathId,
     },
+}
+
+impl AccessPlan {
+    /// Short operator label for profiles and span notes.
+    pub fn label(&self) -> String {
+        match self {
+            AccessPlan::FullScan => "access:full-scan".to_string(),
+            AccessPlan::IndexRange { kind, field, .. } => {
+                format!("access:index-range({kind:?} #{field})")
+            }
+            AccessPlan::PathIndexRange { path, .. } => {
+                format!("access:path-index-range({path})")
+            }
+        }
+    }
 }
 
 /// A complete plan for a read or update query.
@@ -122,9 +158,11 @@ impl fmt::Display for Plan {
                 ProjPlan::InPlaceReplica { path, .. } => {
                     writeln!(f, "proj[{i}]: in-place replica of {path} (no join)")?
                 }
-                ProjPlan::SeparateReplica { group, .. } => {
-                    writeln!(f, "proj[{i}]: separate replica via S' of group #{}", group.0)?
-                }
+                ProjPlan::SeparateReplica { group, .. } => writeln!(
+                    f,
+                    "proj[{i}]: separate replica via S' of group #{}",
+                    group.0
+                )?,
                 ProjPlan::CollapseThenJoin {
                     path,
                     remaining_hops,
@@ -228,10 +266,7 @@ pub fn plan_access(cat: &Catalog, set: SetId, filter_path: Option<&str>) -> Resu
 
     if resolved.hops.is_empty() {
         let field = resolved.terminal_fields[0];
-        if let Some(IndexDef {
-            file, kind, ..
-        }) = cat.index_on_field(set, field)
-        {
+        if let Some(IndexDef { file, kind, .. }) = cat.index_on_field(set, field) {
             return Ok(AccessPlan::IndexRange {
                 index: *file,
                 kind: *kind,

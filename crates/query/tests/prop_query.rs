@@ -16,7 +16,7 @@ struct Population {
     n_depts: usize,
     emps: Vec<(i64, usize)>, // (salary, dept pick; pick==n_depts → NULL)
     dept_orgs: Vec<usize>,
-    renames: Vec<(usize, u8)>,   // dept rename after replication
+    renames: Vec<(usize, u8)>,      // dept rename after replication
     retargets: Vec<(usize, usize)>, // emp -> dept re-target after replication
     filter_lo: i64,
     filter_hi: i64,
@@ -49,15 +49,22 @@ fn population() -> impl Strategy<Value = Population> {
 
 fn build(pop: &Population, strategy: Option<RepStrategy>) -> Database {
     let mut db = Database::in_memory(DbConfig::default());
-    db.define_type(TypeDef::new("ORG", vec![("name", FieldType::Str)])).unwrap();
+    db.define_type(TypeDef::new("ORG", vec![("name", FieldType::Str)]))
+        .unwrap();
     db.define_type(TypeDef::new(
         "DEPT",
-        vec![("name", FieldType::Str), ("org", FieldType::Ref("ORG".into()))],
+        vec![
+            ("name", FieldType::Str),
+            ("org", FieldType::Ref("ORG".into())),
+        ],
     ))
     .unwrap();
     db.define_type(TypeDef::new(
         "EMP",
-        vec![("salary", FieldType::Int), ("dept", FieldType::Ref("DEPT".into()))],
+        vec![
+            ("salary", FieldType::Int),
+            ("dept", FieldType::Ref("DEPT".into())),
+        ],
     ))
     .unwrap();
     db.create_set("Org", "ORG").unwrap();
@@ -87,7 +94,8 @@ fn build(pop: &Population, strategy: Option<RepStrategy>) -> Database {
                 .unwrap()
         })
         .collect();
-    db.create_index("Emp1.salary", IndexKind::Unclustered).unwrap();
+    db.create_index("Emp1.salary", IndexKind::Unclustered)
+        .unwrap();
     if let Some(s) = strategy {
         db.replicate("Emp1.dept.name", s).unwrap();
         db.replicate("Emp1.dept.org.name", s).unwrap();
@@ -95,7 +103,8 @@ fn build(pop: &Population, strategy: Option<RepStrategy>) -> Database {
     // Post-replication churn so the answers exercise propagation.
     for (i, n) in &pop.renames {
         let d = depts[i % pop.n_depts];
-        db.update(d, &[("name", Value::Str(format!("r{n}")))]).unwrap();
+        db.update(d, &[("name", Value::Str(format!("r{n}")))])
+            .unwrap();
     }
     for (e, d) in &pop.retargets {
         if *e < emps.len() {

@@ -9,7 +9,8 @@ use fieldrep_storage::HeapFile;
 
 fn db_with_emps(n: usize) -> Database {
     let mut db = Database::in_memory(DbConfig::default());
-    db.define_type(TypeDef::new("DEPT", vec![("name", FieldType::Str)])).unwrap();
+    db.define_type(TypeDef::new("DEPT", vec![("name", FieldType::Str)]))
+        .unwrap();
     db.define_type(TypeDef::new(
         "EMP",
         vec![
@@ -69,7 +70,8 @@ fn spooled_rows_decode_back() {
 #[test]
 fn plan_display_is_readable() {
     let mut db = db_with_emps(5);
-    db.create_index("Emp1.salary", IndexKind::Unclustered).unwrap();
+    db.create_index("Emp1.salary", IndexKind::Unclustered)
+        .unwrap();
     db.replicate("Emp1.dept.name", Strategy::InPlace).unwrap();
     let plan = ReadQuery::on("Emp1")
         .filter(Filter::Eq {
@@ -88,7 +90,8 @@ fn plan_display_is_readable() {
 #[test]
 fn empty_result_sets() {
     let mut db = db_with_emps(5);
-    db.create_index("Emp1.salary", IndexKind::Unclustered).unwrap();
+    db.create_index("Emp1.salary", IndexKind::Unclustered)
+        .unwrap();
     let res = ReadQuery::on("Emp1")
         .filter(Filter::Range {
             path: "salary".into(),
@@ -154,7 +157,8 @@ fn repeated_updates_via_cyclestr_always_change() {
     let mut db = db_with_emps(3);
     db.replicate("Emp1.dept.name", Strategy::InPlace).unwrap();
     let d = db.scan_set("Dept").unwrap()[0];
-    db.update(d, &[("name", Value::Str("base#0".into()))]).unwrap();
+    db.update(d, &[("name", Value::Str("base#0".into()))])
+        .unwrap();
     let mut seen = std::collections::BTreeSet::new();
     for _ in 0..6 {
         UpdateQuery::on("Dept")
@@ -201,7 +205,10 @@ fn index_range_ordering_vs_scan_ordering() {
         )
         .unwrap();
     }
-    let scan_rows = ReadQuery::on("Emp1").project(["salary"]).run(&mut db).unwrap();
+    let scan_rows = ReadQuery::on("Emp1")
+        .project(["salary"])
+        .run(&mut db)
+        .unwrap();
     let scanned: Vec<i64> = scan_rows
         .rows
         .iter()
@@ -209,7 +216,8 @@ fn index_range_ordering_vs_scan_ordering() {
         .collect();
     assert_eq!(scanned, vec![5, 1, 9, 3]);
 
-    db.create_index("Emp1.salary", IndexKind::Unclustered).unwrap();
+    db.create_index("Emp1.salary", IndexKind::Unclustered)
+        .unwrap();
     let q = ReadQuery::on("Emp1")
         .filter(Filter::Range {
             path: "salary".into(),
@@ -217,7 +225,10 @@ fn index_range_ordering_vs_scan_ordering() {
             hi: Value::Int(100),
         })
         .project(["salary"]);
-    assert!(matches!(q.plan(&db).unwrap().access, AccessPlan::IndexRange { .. }));
+    assert!(matches!(
+        q.plan(&db).unwrap().access,
+        AccessPlan::IndexRange { .. }
+    ));
     let idx_rows = q.run(&mut db).unwrap();
     let indexed: Vec<i64> = idx_rows
         .rows

@@ -95,7 +95,8 @@ fn full_scan_no_filter() {
 #[test]
 fn index_range_filter() {
     let (mut db, _, _, _) = make_db();
-    db.create_index("Emp1.salary", IndexKind::Unclustered).unwrap();
+    db.create_index("Emp1.salary", IndexKind::Unclustered)
+        .unwrap();
     let q = ReadQuery::on("Emp1")
         .filter(Filter::Range {
             path: "salary".into(),
@@ -106,7 +107,7 @@ fn index_range_filter() {
     let res = q.run(&mut db).unwrap();
     assert!(matches!(res.plan.access, AccessPlan::IndexRange { .. }));
     assert_eq!(res.rows.len(), 6); // salaries 50000..50500 step 100
-    // Index scan returns rows in key order.
+                                   // Index scan returns rows in key order.
     let salaries: Vec<i64> = res
         .rows
         .iter()
@@ -115,7 +116,10 @@ fn index_range_filter() {
             _ => panic!(),
         })
         .collect();
-    assert_eq!(salaries, vec![50_000, 50_100, 50_200, 50_300, 50_400, 50_500]);
+    assert_eq!(
+        salaries,
+        vec![50_000, 50_100, 50_200, 50_300, 50_400, 50_500]
+    );
 }
 
 #[test]
@@ -141,8 +145,14 @@ fn functional_join_baseline() {
         .project(["name", "dept.name", "dept.org.name"])
         .run(&mut db)
         .unwrap();
-    assert!(matches!(res.plan.projections[1], ProjPlan::FunctionalJoin { .. }));
-    assert!(matches!(res.plan.projections[2], ProjPlan::FunctionalJoin { .. }));
+    assert!(matches!(
+        res.plan.projections[1],
+        ProjPlan::FunctionalJoin { .. }
+    ));
+    assert!(matches!(
+        res.plan.projections[2],
+        ProjPlan::FunctionalJoin { .. }
+    ));
     assert_eq!(res.rows[0][1], Some(sval("dept0")));
     assert_eq!(res.rows[0][2], Some(sval("org0")));
     assert_eq!(res.rows[1][1], Some(sval("dept1")));
@@ -158,8 +168,14 @@ fn planner_prefers_inplace_replica() {
         .project(["dept.name", "dept.budget"])
         .plan(&db)
         .unwrap();
-    assert!(matches!(plan.projections[0], ProjPlan::SeparateReplica { .. }));
-    assert!(matches!(plan.projections[1], ProjPlan::InPlaceReplica { .. }));
+    assert!(matches!(
+        plan.projections[0],
+        ProjPlan::SeparateReplica { .. }
+    ));
+    assert!(matches!(
+        plan.projections[1],
+        ProjPlan::InPlaceReplica { .. }
+    ));
 }
 
 #[test]
@@ -174,7 +190,10 @@ fn inplace_replica_results_match_joins() {
         .project(["name", "dept.name"])
         .run(&mut db)
         .unwrap();
-    assert!(matches!(fast.plan.projections[1], ProjPlan::InPlaceReplica { .. }));
+    assert!(matches!(
+        fast.plan.projections[1],
+        ProjPlan::InPlaceReplica { .. }
+    ));
     assert_eq!(baseline.rows, fast.rows);
 }
 
@@ -185,12 +204,16 @@ fn separate_replica_results_match_joins() {
         .project(["name", "dept.org.name"])
         .run(&mut db)
         .unwrap();
-    db.replicate("Emp1.dept.org.name", Strategy::Separate).unwrap();
+    db.replicate("Emp1.dept.org.name", Strategy::Separate)
+        .unwrap();
     let fast = ReadQuery::on("Emp1")
         .project(["name", "dept.org.name"])
         .run(&mut db)
         .unwrap();
-    assert!(matches!(fast.plan.projections[1], ProjPlan::SeparateReplica { .. }));
+    assert!(matches!(
+        fast.plan.projections[1],
+        ProjPlan::SeparateReplica { .. }
+    ));
     assert_eq!(baseline.rows, fast.rows);
 }
 
@@ -215,7 +238,8 @@ fn collapse_path_shortcut() {
 fn update_query_propagates_through_replicas() {
     let (mut db, _, _, _) = make_db();
     db.replicate("Emp1.dept.name", Strategy::InPlace).unwrap();
-    db.create_index("Dept.budget", IndexKind::Unclustered).unwrap();
+    db.create_index("Dept.budget", IndexKind::Unclustered)
+        .unwrap();
 
     // Rename all depts with budget ≥ 20 (depts 2 and 3).
     let res = UpdateQuery::on("Dept")
@@ -235,7 +259,11 @@ fn update_query_propagates_through_replicas() {
         .unwrap();
     // Employees of depts 2 and 3 (i % 4 ∈ {2,3}) see the rename.
     for (i, row) in read.rows.iter().enumerate() {
-        let want = if i % 4 >= 2 { "renamed" } else { &format!("dept{}", i % 4) };
+        let want = if i % 4 >= 2 {
+            "renamed"
+        } else {
+            &format!("dept{}", i % 4)
+        };
         assert_eq!(row[0], Some(sval(want)), "row {i}");
     }
 }
@@ -243,7 +271,8 @@ fn update_query_propagates_through_replicas() {
 #[test]
 fn update_query_increment() {
     let (mut db, _, _, _) = make_db();
-    db.replicate("Emp1.dept.budget", Strategy::Separate).unwrap();
+    db.replicate("Emp1.dept.budget", Strategy::Separate)
+        .unwrap();
     let res = UpdateQuery::on("Dept")
         .assign("budget", Assign::Increment(5))
         .run(&mut db)
@@ -262,7 +291,8 @@ fn path_index_access_plan() {
     // §3.3.4: associative lookup on Emp1.dept.org.name through the index
     // on replicated values.
     let (mut db, _, _, _) = make_db();
-    db.replicate("Emp1.dept.org.name", Strategy::InPlace).unwrap();
+    db.replicate("Emp1.dept.org.name", Strategy::InPlace)
+        .unwrap();
     db.create_index("Emp1.dept.org.name", IndexKind::Unclustered)
         .unwrap();
     let q = ReadQuery::on("Emp1")
@@ -355,7 +385,10 @@ fn update_with_eq_filter_on_unindexed_field() {
 fn bad_queries_error_cleanly() {
     let (mut db, _, _, _) = make_db();
     assert!(ReadQuery::on("Nope").project(["x"]).run(&mut db).is_err());
-    assert!(ReadQuery::on("Emp1").project(["bogus"]).run(&mut db).is_err());
+    assert!(ReadQuery::on("Emp1")
+        .project(["bogus"])
+        .run(&mut db)
+        .is_err());
     assert!(UpdateQuery::on("Emp1")
         .assign("name", Assign::Increment(1))
         .run(&mut db)

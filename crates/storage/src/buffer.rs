@@ -14,6 +14,7 @@ use crate::error::{Result, StorageError};
 use crate::oid::{FileId, PageId};
 use crate::page::PAGE_SIZE;
 use crate::stats::IoProfile;
+use fieldrep_obs::io as obs_io;
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -125,7 +126,12 @@ impl BufferPool {
     /// Drop a file: discard its buffered pages (without write-back) and
     /// remove it from disk.
     pub fn drop_file(&mut self, file: FileId) -> Result<()> {
-        let victims: Vec<PageId> = self.map.keys().filter(|p| p.file == file).copied().collect();
+        let victims: Vec<PageId> = self
+            .map
+            .keys()
+            .filter(|p| p.file == file)
+            .copied()
+            .collect();
         for pid in victims {
             let idx = self.map.remove(&pid).expect("victim was in map");
             let f = &mut self.frames[idx];
@@ -146,6 +152,7 @@ impl BufferPool {
     /// disk on flush.
     pub fn new_page(&mut self, file: FileId) -> Result<(PageId, PageHandle)> {
         let pid = self.disk.allocate_page(file)?;
+        obs_io::record_disk_alloc();
         let idx = self.find_victim()?;
         self.install(idx, pid, None)?;
         let h = self.handle(idx, pid);
@@ -157,10 +164,12 @@ impl BufferPool {
     pub fn fetch(&mut self, pid: PageId) -> Result<PageHandle> {
         if let Some(&idx) = self.map.get(&pid) {
             self.hits += 1;
+            obs_io::record_pool_hit();
             self.frames[idx].referenced = true;
             return Ok(self.handle(idx, pid));
         }
         self.misses += 1;
+        obs_io::record_pool_miss();
         let idx = self.find_victim()?;
         self.install(idx, pid, Some(()))?;
         Ok(self.handle(idx, pid))
@@ -194,6 +203,8 @@ impl BufferPool {
                     let data = frame.inner.data.read();
                     self.disk.write_page(old, &data)?;
                     self.evictions += 1;
+                    obs_io::record_disk_write();
+                    obs_io::record_eviction();
                 }
                 self.map.remove(&old);
             }
@@ -209,7 +220,10 @@ impl BufferPool {
             let frame = &self.frames[idx];
             let mut data = frame.inner.data.write();
             match read {
-                Some(()) => self.disk.read_page(pid, &mut data)?,
+                Some(()) => {
+                    self.disk.read_page(pid, &mut data)?;
+                    obs_io::record_disk_read();
+                }
                 None => data.fill(0),
             }
             frame.inner.dirty.store(false, Ordering::Relaxed);
@@ -227,6 +241,7 @@ impl BufferPool {
             if frame.inner.dirty.swap(false, Ordering::Relaxed) {
                 let data = frame.inner.data.read();
                 self.disk.write_page(pid, &data)?;
+                obs_io::record_disk_write();
             }
         }
         Ok(())
@@ -247,6 +262,7 @@ impl BufferPool {
             if frame.inner.dirty.swap(false, Ordering::Relaxed) {
                 let data = frame.inner.data.read();
                 self.disk.write_page(pid, &data)?;
+                obs_io::record_disk_write();
             }
             self.map.remove(&pid);
             self.frames[idx].pid = None;
@@ -265,12 +281,23 @@ impl BufferPool {
         }
     }
 
-    /// Reset both disk and pool counters.
-    pub fn reset_io(&mut self) {
+    /// Reset the **whole** I/O profile — disk counters (reads, writes,
+    /// allocations) and pool counters (hits, misses, evictions) together.
+    ///
+    /// This is the single reset used for cold-pool accounting: resetting
+    /// the disk and pool counters separately lets them drift out of a
+    /// common baseline, which silently skews measured hit ratios.
+    pub fn reset_profile(&mut self) {
         self.disk.reset_stats();
         self.hits = 0;
         self.misses = 0;
         self.evictions = 0;
+    }
+
+    /// Reset both disk and pool counters. Alias of
+    /// [`BufferPool::reset_profile`], kept for existing call sites.
+    pub fn reset_io(&mut self) {
+        self.reset_profile();
     }
 }
 

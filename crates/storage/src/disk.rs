@@ -227,8 +227,7 @@ impl DiskManager for FileDisk {
             .ok_or(StorageError::FileNotFound(file))?;
         let page_no = of.pages;
         of.pages += 1;
-        of.handle
-            .set_len(u64::from(of.pages) * PAGE_SIZE as u64)?;
+        of.handle.set_len(u64::from(of.pages) * PAGE_SIZE as u64)?;
         self.stats.allocations += 1;
         Ok(PageId::new(file, page_no))
     }

@@ -37,7 +37,10 @@ impl fmt::Display for StorageError {
         match self {
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
             StorageError::RecordTooLarge { size, max } => {
-                write!(f, "record of {size} bytes exceeds page capacity of {max} bytes")
+                write!(
+                    f,
+                    "record of {size} bytes exceeds page capacity of {max} bytes"
+                )
             }
             StorageError::FileNotFound(id) => write!(f, "file {id} not found"),
             StorageError::PageOutOfBounds(pid) => write!(f, "page {pid} is out of bounds"),

@@ -156,8 +156,7 @@ impl HeapFile {
                     return Ok(());
                 }
                 // Move: place the record elsewhere as Moved, stub here.
-                let target =
-                    self.insert_flagged(sm, hdr.type_tag, RecordFlags::Moved, payload)?;
+                let target = self.insert_flagged(sm, hdr.type_tag, RecordFlags::Moved, payload)?;
                 let h = sm.pool().fetch(oid.page_id())?;
                 let mut data = h.data_mut();
                 PageMut::new(&mut data[..]).write_forward_stub(oid.slot, hdr.type_tag, target)?;

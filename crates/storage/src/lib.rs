@@ -40,8 +40,9 @@ pub use error::{Result, StorageError};
 pub use heap::{HeapFile, HeapScan};
 pub use oid::{FileId, Oid, PageId};
 pub use page::{
-    PageKind, PageMut, PageView, RecordFlags, RecordHeader, MAX_RECORD_PAYLOAD, MIN_RECORD_PAYLOAD, OBJECT_OVERHEAD,
-    PAGE_HEADER_SIZE, PAGE_SIZE, RECORD_HEADER_SIZE, SLOT_SIZE, USER_BYTES_PER_PAGE,
+    PageKind, PageMut, PageView, RecordFlags, RecordHeader, MAX_RECORD_PAYLOAD, MIN_RECORD_PAYLOAD,
+    OBJECT_OVERHEAD, PAGE_HEADER_SIZE, PAGE_SIZE, RECORD_HEADER_SIZE, SLOT_SIZE,
+    USER_BYTES_PER_PAGE,
 };
 pub use stats::{IoProfile, IoStats};
 
@@ -105,10 +106,17 @@ impl StorageManager {
         self.pool.io_profile()
     }
 
-    /// Reset all I/O counters. Used by the benchmark harness between
-    /// queries.
+    /// Reset the whole I/O profile (disk and pool counters together); see
+    /// [`BufferPool::reset_profile`]. This is the reset the benchmark
+    /// harness uses for cold-pool accounting between queries.
+    pub fn reset_profile(&mut self) {
+        self.pool.reset_profile();
+    }
+
+    /// Reset all I/O counters. Alias of [`StorageManager::reset_profile`],
+    /// kept for existing call sites.
     pub fn reset_io(&mut self) {
-        self.pool.reset_io();
+        self.reset_profile();
     }
 
     /// Write back every dirty page and empty the buffer pool, so that the

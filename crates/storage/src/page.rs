@@ -262,7 +262,8 @@ impl<'a> PageView<'a> {
         }
         let off = off as usize;
         let len = len as usize;
-        let (hdr, payload_len) = RecordHeader::read(&self.data[off..off + RECORD_HEADER_SIZE]).ok()?;
+        let (hdr, payload_len) =
+            RecordHeader::read(&self.data[off..off + RECORD_HEADER_SIZE]).ok()?;
         debug_assert!(RECORD_HEADER_SIZE + payload_len as usize <= len);
         let start = off + RECORD_HEADER_SIZE;
         Some((hdr, &self.data[start..start + payload_len as usize]))
@@ -325,11 +326,7 @@ impl<'a> PageMut<'a> {
     /// Fails with [`StorageError::RecordTooLarge`] if the payload can never
     /// fit a page, and returns `Ok(None)` if this particular page lacks
     /// space (the caller then tries another page).
-    pub fn insert(
-        &mut self,
-        header: RecordHeader,
-        payload: &[u8],
-    ) -> Result<Option<u16>> {
+    pub fn insert(&mut self, header: RecordHeader, payload: &[u8]) -> Result<Option<u16>> {
         if payload.len() > MAX_RECORD_PAYLOAD {
             return Err(StorageError::RecordTooLarge {
                 size: payload.len(),
@@ -370,7 +367,10 @@ impl<'a> PageMut<'a> {
 
         let free_end = self.view().free_end() as usize;
         let off = free_end - record_len;
-        header.write(&mut self.data[off..off + RECORD_HEADER_SIZE], payload.len() as u16);
+        header.write(
+            &mut self.data[off..off + RECORD_HEADER_SIZE],
+            payload.len() as u16,
+        );
         let start = off + RECORD_HEADER_SIZE;
         self.data[start..start + payload.len()].copy_from_slice(payload);
         put_u16(self.data, OFF_FREE_END, off as u16);
@@ -406,12 +406,7 @@ impl<'a> PageMut<'a> {
     /// Returns `Ok(true)` on success; `Ok(false)` if the new payload does
     /// not fit on this page even after compaction (the caller must forward
     /// the record elsewhere).
-    pub fn update(
-        &mut self,
-        slot: u16,
-        header: RecordHeader,
-        payload: &[u8],
-    ) -> Result<bool> {
+    pub fn update(&mut self, slot: u16, header: RecordHeader, payload: &[u8]) -> Result<bool> {
         if payload.len() > MAX_RECORD_PAYLOAD {
             return Err(StorageError::RecordTooLarge {
                 size: payload.len(),
@@ -424,15 +419,16 @@ impl<'a> PageMut<'a> {
         }
         let (off, len) = v.slot(slot);
         if off == 0 && len == 0 {
-            return Err(StorageError::Corrupt(format!(
-                "update of free slot {slot}"
-            )));
+            return Err(StorageError::Corrupt(format!("update of free slot {slot}")));
         }
         let new_len = alloc_len(payload.len());
         if new_len <= len as usize {
             // Shrink or same size: rewrite in place, tail becomes frag.
             let off = off as usize;
-            header.write(&mut self.data[off..off + RECORD_HEADER_SIZE], payload.len() as u16);
+            header.write(
+                &mut self.data[off..off + RECORD_HEADER_SIZE],
+                payload.len() as u16,
+            );
             let start = off + RECORD_HEADER_SIZE;
             self.data[start..start + payload.len()].copy_from_slice(payload);
             if new_len < len as usize {
@@ -456,7 +452,10 @@ impl<'a> PageMut<'a> {
         }
         let free_end = self.view().free_end() as usize;
         let off = free_end - new_len;
-        header.write(&mut self.data[off..off + RECORD_HEADER_SIZE], payload.len() as u16);
+        header.write(
+            &mut self.data[off..off + RECORD_HEADER_SIZE],
+            payload.len() as u16,
+        );
         let start = off + RECORD_HEADER_SIZE;
         self.data[start..start + payload.len()].copy_from_slice(payload);
         put_u16(self.data, OFF_FREE_END, off as u16);
@@ -470,7 +469,9 @@ impl<'a> PageMut<'a> {
         let v = self.view();
         let (off, len) = v.slot(slot);
         if slot >= v.slot_count() || (off == 0 && len == 0) {
-            return Err(StorageError::Corrupt(format!("flag set on bad slot {slot}")));
+            return Err(StorageError::Corrupt(format!(
+                "flag set on bad slot {slot}"
+            )));
         }
         self.data[off as usize + 2] = flags as u8;
         Ok(())
@@ -574,7 +575,10 @@ mod tests {
         let free_before = pg.view().total_free();
         pg.delete(s0).unwrap();
         assert!(pg.view().record(s0).is_none());
-        assert_eq!(pg.view().total_free(), free_before + 50 + RECORD_HEADER_SIZE);
+        assert_eq!(
+            pg.view().total_free(),
+            free_before + 50 + RECORD_HEADER_SIZE
+        );
         // Slot is reused by the next insert.
         let s1 = pg.insert(hdr(2), &[1u8; 10]).unwrap().unwrap();
         assert_eq!(s1, s0);

@@ -2,7 +2,9 @@
 //! in-memory map from handle → payload under arbitrary operation sequences
 //! (DESIGN.md invariant 4).
 
-use fieldrep_storage::{HeapFile, PageKind, PageMut, RecordFlags, RecordHeader, StorageManager, PAGE_SIZE};
+use fieldrep_storage::{
+    HeapFile, PageKind, PageMut, RecordFlags, RecordHeader, StorageManager, PAGE_SIZE,
+};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -78,9 +80,9 @@ proptest! {
 
 #[derive(Clone, Debug)]
 enum HeapOp {
-    Insert(u8, u16),          // fill byte, length
+    Insert(u8, u16), // fill byte, length
     Delete(usize),
-    Update(usize, u8, u16),   // fill byte, new length (may force forwarding)
+    Update(usize, u8, u16), // fill byte, new length (may force forwarding)
 }
 
 fn heap_op() -> impl Strategy<Value = HeapOp> {

@@ -9,8 +9,8 @@
 //! ```
 
 use field_replication::costmodel::{
-    crossover, percent_difference, read_cost, recommend, update_cost, IndexSetting,
-    ModelStrategy, Params,
+    crossover, percent_difference, read_cost, recommend, update_cost, IndexSetting, ModelStrategy,
+    Params,
 };
 
 fn main() {
@@ -64,9 +64,7 @@ fn main() {
                 }
             }
             match break_even {
-                Some(p) if p > 0.0 => println!(
-                    "{strat:?} stops paying off at P_update ≈ {p:.3}"
-                ),
+                Some(p) if p > 0.0 => println!("{strat:?} stops paying off at P_update ≈ {p:.3}"),
                 Some(_) => println!("{strat:?} never pays off at these parameters"),
                 None => println!("{strat:?} pays off for every update probability"),
             }

@@ -87,7 +87,8 @@ fn main() {
         .unwrap();
     }
 
-    db.create_index("Emp1.salary", IndexKind::Unclustered).unwrap();
+    db.create_index("Emp1.salary", IndexKind::Unclustered)
+        .unwrap();
 
     // ---- §3.3.2: 2-level replication eliminates two joins -------------
     // A selective reporting query: employees in a salary band, with the
@@ -110,7 +111,8 @@ fn main() {
     let (base, io0) = io(&mut db, &q);
     println!("salary-band query projecting dept.org.name (2 joins):     {io0} I/Os");
 
-    db.replicate("Emp1.dept.org.name", Strategy::InPlace).unwrap();
+    db.replicate("Emp1.dept.org.name", Strategy::InPlace)
+        .unwrap();
     let (fast, io1) = io(&mut db, &q);
     assert_eq!(base.rows, fast.rows);
     println!("after `replicate Emp1.dept.org.name` (2-level, §3.3.2):    {io1} I/Os");
@@ -151,7 +153,10 @@ fn main() {
     assert_eq!(via_rep_sorted, via_gem);
 
     println!("\n§3.3.4 associative lookup: employees of org-007");
-    println!("  via index on replicated values (1 B+-tree):   {} hits, {io_rep} page reads", via_rep.len());
+    println!(
+        "  via index on replicated values (1 B+-tree):   {} hits, {io_rep} page reads",
+        via_rep.len()
+    );
     println!(
         "  via Gemstone path index ({} B+-trees, §7.2):   {} hits, {io_gem} page reads",
         gem_idx.component_count(),

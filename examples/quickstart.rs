@@ -50,7 +50,10 @@ fn main() {
 
     // --- Populate ------------------------------------------------------
     let acme = db
-        .insert("Org", vec![Value::Str("Acme".into()), Value::Int(5_000_000)])
+        .insert(
+            "Org",
+            vec![Value::Str("Acme".into()), Value::Int(5_000_000)],
+        )
         .unwrap();
     // 2000 departments (a hundred pages of DEPT objects), 5000 employees
     // whose dept references are scattered — the paper's "relatively
@@ -84,7 +87,8 @@ fn main() {
         )
         .unwrap();
     }
-    db.create_index("Emp1.salary", IndexKind::Unclustered).unwrap();
+    db.create_index("Emp1.salary", IndexKind::Unclustered)
+        .unwrap();
 
     // --- The §3.1 query, before replication ----------------------------
     let query = ReadQuery::on("Emp1")
@@ -118,15 +122,21 @@ fn main() {
     println!("rows: {}, page I/O: {io_after}\n", after.rows.len());
 
     assert_eq!(before.rows, after.rows, "replication never changes answers");
-    println!("Same {} rows, {} fewer page I/Os — \"the query can be executed",
-             after.rows.len(), io_before.saturating_sub(io_after));
+    println!(
+        "Same {} rows, {} fewer page I/Os — \"the query can be executed",
+        after.rows.len(),
+        io_before.saturating_sub(io_after)
+    );
     println!("without performing a functional join\" (§3.1).");
     println!("\nSample: {:?}", &after.rows[0]);
 
     // Updates keep replicas consistent automatically.
     db.update(depts[0], &[("name", Value::Str("Footwear".into()))])
         .unwrap();
-    let all = ReadQuery::on("Emp1").project(["dept.name"]).run(&mut db).unwrap();
+    let all = ReadQuery::on("Emp1")
+        .project(["dept.name"])
+        .run(&mut db)
+        .unwrap();
     let renamed = all
         .rows
         .iter()

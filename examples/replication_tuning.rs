@@ -7,9 +7,9 @@
 //! cargo run --release --example replication_tuning
 //! ```
 
-use fieldrep_bench::{avg_read_io, avg_update_io, build_workload, WorkloadSpec};
 use field_replication::costmodel::{total_cost, IndexSetting, ModelStrategy};
 use field_replication::Strategy;
+use fieldrep_bench::{avg_read_io, avg_update_io, build_workload, WorkloadSpec};
 
 fn main() {
     let s_count = 2000; // scaled-down |S| (the paper uses 10 000)
@@ -24,7 +24,11 @@ fn main() {
     for (name, strat, model) in [
         ("none", None, ModelStrategy::None),
         ("in-place", Some(Strategy::InPlace), ModelStrategy::InPlace),
-        ("separate", Some(Strategy::Separate), ModelStrategy::Separate),
+        (
+            "separate",
+            Some(Strategy::Separate),
+            ModelStrategy::Separate,
+        ),
     ] {
         let spec = WorkloadSpec::paper(sharing, setting, strat).scaled(s_count);
         let params = spec.params();
@@ -35,7 +39,10 @@ fn main() {
         measured.push((name, read, update, params, model));
     }
 
-    println!("\n{:>6} | {:^28} | {:^28}", "P_up", "measured C_total", "analytical C_total");
+    println!(
+        "\n{:>6} | {:^28} | {:^28}",
+        "P_up", "measured C_total", "analytical C_total"
+    );
     println!(
         "{:>6} | {:>8} {:>8} {:>8}  | {:>8} {:>8} {:>8}",
         "", "none", "in-pl", "sep", "none", "in-pl", "sep"
@@ -63,7 +70,11 @@ fn main() {
         println!();
 
         // Track the in-place / separate crossover.
-        let winner = if totals[1] <= totals[2] { "in-place" } else { "separate" };
+        let winner = if totals[1] <= totals[2] {
+            "in-place"
+        } else {
+            "separate"
+        };
         if prev_winner == "in-place" && winner == "separate" && crossover_measured.is_none() {
             crossover_measured = Some(p);
         }

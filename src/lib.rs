@@ -47,25 +47,25 @@
 //! assert_eq!(res.rows[0][2], Some(Value::Str("Shoe".into())));
 //! ```
 
-/// The storage substrate (pages, buffer pool, heap files, I/O counters).
-pub use fieldrep_storage as storage;
 /// B⁺-tree indexes and key encodings.
 pub use fieldrep_btree as btree;
-/// The EXTRA-subset data model (types, values, objects, paths).
-pub use fieldrep_model as model;
 /// The schema catalog (sets, links, replication paths, replica groups).
 pub use fieldrep_catalog as catalog;
 /// The replication engine and [`Database`] facade.
 pub use fieldrep_core as core;
-/// Read/update query processing.
-pub use fieldrep_query as query;
 /// The paper's §6 analytical cost model.
 pub use fieldrep_costmodel as costmodel;
-/// Path indexes: replicated-value vs Gemstone-style (§3.3.4 / §7.2).
-pub use fieldrep_pathindex as pathindex;
 /// EXTRA-style statement language (`define type`, `create`, `replicate`,
 /// `retrieve`, `replace`, …) — the syntax the paper's examples use.
 pub use fieldrep_lang as lang;
+/// The EXTRA-subset data model (types, values, objects, paths).
+pub use fieldrep_model as model;
+/// Path indexes: replicated-value vs Gemstone-style (§3.3.4 / §7.2).
+pub use fieldrep_pathindex as pathindex;
+/// Read/update query processing.
+pub use fieldrep_query as query;
+/// The storage substrate (pages, buffer pool, heap files, I/O counters).
+pub use fieldrep_storage as storage;
 
 pub use fieldrep_catalog::{IndexKind, PathId, SetId, Strategy};
 pub use fieldrep_core::{Database, DbConfig, DbError};

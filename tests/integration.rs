@@ -4,9 +4,7 @@
 
 use field_replication::query::{Assign, Filter, ReadQuery, UpdateQuery};
 use field_replication::storage::FileDisk;
-use field_replication::{
-    Database, DbConfig, FieldType, IndexKind, Strategy, TypeDef, Value,
-};
+use field_replication::{Database, DbConfig, FieldType, IndexKind, Strategy, TypeDef, Value};
 
 fn schema(db: &mut Database) {
     db.define_type(TypeDef::new(
@@ -83,10 +81,13 @@ fn full_stack_mixed_strategies() {
     schema(&mut db);
     populate(&mut db, 5, 40, 1000);
 
-    db.create_index("Emp1.salary", IndexKind::Unclustered).unwrap();
-    db.create_index("Dept.budget", IndexKind::Unclustered).unwrap();
+    db.create_index("Emp1.salary", IndexKind::Unclustered)
+        .unwrap();
+    db.create_index("Dept.budget", IndexKind::Unclustered)
+        .unwrap();
     db.replicate("Emp1.dept.name", Strategy::InPlace).unwrap();
-    db.replicate("Emp1.dept.org.name", Strategy::Separate).unwrap();
+    db.replicate("Emp1.dept.org.name", Strategy::Separate)
+        .unwrap();
 
     // Baseline answers computed by dereference.
     let q = ReadQuery::on("Emp1")
@@ -123,13 +124,17 @@ fn full_stack_mixed_strategies() {
     assert!(renamed > 0);
 
     // Replicated answers always equal join answers.
-    for (oid, row) in db
-        .scan_set("Emp1")
-        .unwrap()
-        .into_iter()
-        .zip(ReadQuery::on("Emp1").project(["dept.name"]).run(&mut db).unwrap().rows)
-    {
-        let truth = db.deref_path(oid, "dept.name").unwrap().map(|v| v[0].clone());
+    for (oid, row) in db.scan_set("Emp1").unwrap().into_iter().zip(
+        ReadQuery::on("Emp1")
+            .project(["dept.name"])
+            .run(&mut db)
+            .unwrap()
+            .rows,
+    ) {
+        let truth = db
+            .deref_path(oid, "dept.name")
+            .unwrap()
+            .map(|v| v[0].clone());
         assert_eq!(row[0], truth);
     }
 }
@@ -156,7 +161,10 @@ fn file_backed_database() {
         .unwrap()
         .map(|e| e.unwrap().metadata().unwrap().len())
         .sum();
-    assert!(bytes > 30 * 1024, "expected real on-disk pages, got {bytes}");
+    assert!(
+        bytes > 30 * 1024,
+        "expected real on-disk pages, got {bytes}"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -168,8 +176,14 @@ fn instance_level_separation_between_sets() {
     populate(&mut db, 2, 10, 200);
     db.replicate("Emp1.dept.name", Strategy::InPlace).unwrap();
 
-    let p1 = ReadQuery::on("Emp1").project(["dept.name"]).plan(&db).unwrap();
-    let p2 = ReadQuery::on("Emp2").project(["dept.name"]).plan(&db).unwrap();
+    let p1 = ReadQuery::on("Emp1")
+        .project(["dept.name"])
+        .plan(&db)
+        .unwrap();
+    let p2 = ReadQuery::on("Emp2")
+        .project(["dept.name"])
+        .plan(&db)
+        .unwrap();
     assert!(matches!(
         p1.projections[0],
         field_replication::query::ProjPlan::InPlaceReplica { .. }
@@ -179,7 +193,10 @@ fn instance_level_separation_between_sets() {
         field_replication::query::ProjPlan::FunctionalJoin { .. }
     ));
     // And both give the same kind of (correct) answers.
-    let r2 = ReadQuery::on("Emp2").project(["dept.name"]).run(&mut db).unwrap();
+    let r2 = ReadQuery::on("Emp2")
+        .project(["dept.name"])
+        .run(&mut db)
+        .unwrap();
     assert_eq!(r2.rows.len(), 40);
 }
 
@@ -191,7 +208,8 @@ fn io_savings_materialise_end_to_end() {
         let mut db = Database::in_memory(DbConfig::default());
         schema(&mut db);
         populate(&mut db, 4, 500, 3000);
-        db.create_index("Emp1.salary", IndexKind::Unclustered).unwrap();
+        db.create_index("Emp1.salary", IndexKind::Unclustered)
+            .unwrap();
         if let Some(s) = strategy {
             db.replicate("Emp1.dept.name", s).unwrap();
         }
@@ -227,7 +245,9 @@ fn deep_path_through_facade() {
     let mut db = Database::in_memory(DbConfig::default());
     schema(&mut db);
     populate(&mut db, 3, 9, 90);
-    let p = db.replicate("Emp1.dept.org.budget", Strategy::InPlace).unwrap();
+    let p = db
+        .replicate("Emp1.dept.org.budget", Strategy::InPlace)
+        .unwrap();
     for oid in db.scan_set("Emp1").unwrap() {
         let via_replica = db.path_values(oid, p).unwrap();
         let via_join = db.deref_path(oid, "dept.org.budget").unwrap();
