@@ -1,0 +1,126 @@
+//! Continuous benchmark suite: runs the fixed measurement matrix (§6
+//! read/update I/O across settings, sharing levels, and strategies,
+//! propagation fan-out, EXPLAIN-ANALYZE model drift, and the Figure
+//! 12/14 analytical cells) and writes a schema-versioned report for
+//! `bench_gate` to diff against the previous run.
+//!
+//! Run: `cargo run --release -p fieldrep-bench --bin bench_suite -- \
+//!         [--smoke] [--out PATH] [--run-id ID]`
+//!
+//! * default output: `BENCH_<YYYY-MM-DD>.json` in the current directory;
+//! * `--smoke`: the seconds-scale CI matrix, which additionally
+//!   self-tests the gate logic (a report must pass against itself, and
+//!   an injected +50% I/O regression must fail) and exits nonzero if
+//!   those checks break.
+
+use fieldrep_bench::suite::{gate, run_suite, GateThresholds, SuiteConfig, SuiteReport};
+use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// `YYYY-MM-DD` from a Unix timestamp (civil-from-days, Howard Hinnant's
+/// algorithm) — avoids a date-time dependency.
+fn utc_date(secs: u64) -> String {
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// The gate self-test run in smoke mode: identical reports must pass,
+/// an injected regression must fail. Returns an error description if
+/// the gate logic itself is broken.
+fn smoke_gate_check(report: &SuiteReport) -> Result<(), String> {
+    let t = GateThresholds::default();
+    let v = gate(report, report, &t);
+    if !v.is_empty() {
+        return Err(format!("self-comparison must pass, got {v:?}"));
+    }
+    let mut worse = report.clone();
+    let p = worse
+        .points
+        .iter_mut()
+        .find(|p| p.id.starts_with("io/"))
+        .ok_or("no io/ point in smoke report")?;
+    p.measured_io *= 1.5;
+    if gate(report, &worse, &t).is_empty() {
+        return Err("injected +50% I/O regression was not caught".into());
+    }
+    let back = SuiteReport::parse(&report.to_json()).map_err(|e| format!("reparse: {e}"))?;
+    if back.points != report.points {
+        return Err("report did not survive a JSON round trip".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut run_id: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = Some(args.next().expect("--out PATH")),
+            "--run-id" => run_id = Some(args.next().expect("--run-id ID")),
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cfg = if smoke {
+        SuiteConfig::smoke()
+    } else {
+        SuiteConfig::full()
+    };
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let run_id = run_id.unwrap_or_else(|| format!("local-{}", utc_date(now)));
+    let out = out.unwrap_or_else(|| format!("BENCH_{}.json", utc_date(now)));
+
+    println!(
+        "=== bench_suite ({}) run_id={run_id} ===\n",
+        if smoke { "smoke" } else { "full" }
+    );
+    let report = run_suite(&cfg, &run_id);
+
+    println!(
+        "{:<40} {:>10} {:>10} {:>8}",
+        "point", "measured", "model", "drift%"
+    );
+    for p in &report.points {
+        if p.id.starts_with("model/") {
+            continue; // analytical cells are in the JSON, not the summary
+        }
+        println!(
+            "{:<40} {:>10.1} {:>10.1} {:>+8.1}",
+            p.id, p.measured_io, p.model_io, p.drift_pct
+        );
+    }
+
+    if smoke {
+        if let Err(e) = smoke_gate_check(&report) {
+            eprintln!("\nsmoke gate self-test FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nsmoke gate self-test passed (self-diff clean, injected regression caught)");
+    }
+
+    if let Err(e) = std::fs::write(&out, report.to_json() + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} points to {out}", report.points.len());
+    ExitCode::SUCCESS
+}

@@ -7,9 +7,8 @@
 //!
 //! `--full` adds f = 50 (|R| = 500 000; takes a few extra minutes).
 
-use fieldrep_bench::{avg_read_io, avg_update_io, build_workload, WorkloadSpec};
-use fieldrep_catalog::Strategy;
-use fieldrep_costmodel::{read_cost, update_cost, IndexSetting};
+use fieldrep_bench::{measure_cell, strategy_name, WorkloadSpec, ALL_STRATEGIES};
+use fieldrep_costmodel::IndexSetting;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -26,29 +25,19 @@ fn main() {
             "f", "strategy", "read meas", "read model", "ratio", "upd meas", "upd model", "ratio"
         );
         for &f in sharings {
-            for strategy in [None, Some(Strategy::InPlace), Some(Strategy::Separate)] {
+            for strategy in ALL_STRATEGIES {
                 let spec = WorkloadSpec::paper(f, setting, strategy);
-                let params = spec.params();
-                let model = spec.model_strategy();
-                let mut w = build_workload(spec);
-                let read_meas = avg_read_io(&mut w, queries);
-                let upd_meas = avg_update_io(&mut w, queries);
-                let read_model = read_cost(&params, model, setting).total();
-                let upd_model = update_cost(&params, model, setting).total();
+                let (_, cell) = measure_cell(spec, queries);
                 println!(
                     "{:>3} {:<10} | {:>10.1} {:>10.1} {:>7.2} | {:>10.1} {:>10.1} {:>7.2}",
                     f,
-                    match strategy {
-                        None => "none",
-                        Some(Strategy::InPlace) => "in-place",
-                        Some(Strategy::Separate) => "separate",
-                    },
-                    read_meas,
-                    read_model,
-                    read_meas / read_model,
-                    upd_meas,
-                    upd_model,
-                    upd_meas / upd_model,
+                    strategy_name(strategy),
+                    cell.read_measured,
+                    cell.read_model,
+                    cell.read_measured / cell.read_model,
+                    cell.update_measured,
+                    cell.update_model,
+                    cell.update_measured / cell.update_model,
                 );
             }
         }

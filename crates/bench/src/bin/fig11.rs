@@ -4,14 +4,13 @@
 //!
 //! Run: `cargo run --release -p fieldrep-bench --bin fig11`
 
-use fieldrep_costmodel::{figure_11_or_13, render_graph, IndexSetting};
+use fieldrep_bench::figures::render_percent_figure;
+use fieldrep_costmodel::IndexSetting;
 
 fn main() {
     println!("=== Figure 11: Results for Unclustered Indexes ===");
     println!("(negative % = replication is cheaper than no replication)\n");
-    for g in figure_11_or_13(IndexSetting::Unclustered, 20) {
-        println!("{}", render_graph(&g, IndexSetting::Unclustered));
-    }
+    println!("{}", render_percent_figure(IndexSetting::Unclustered));
     println!("Paper's reading (§6.6): in-place wins below P_up ≈ 0.15 (15–45% savings);");
     println!("separate wins above ≈ 0.35 for f > 1 (10–30% savings); separate ≈ no");
     println!("replication at f = 1.");

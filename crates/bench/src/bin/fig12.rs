@@ -3,36 +3,12 @@
 //!
 //! Run: `cargo run --release -p fieldrep-bench --bin fig12`
 
-use fieldrep_costmodel::{selected_values, IndexSetting, ModelStrategy};
-
-fn name(s: ModelStrategy) -> &'static str {
-    match s {
-        ModelStrategy::None => "no replication",
-        ModelStrategy::InPlace => "in-place replication",
-        ModelStrategy::Separate => "separate replication",
-    }
-}
+use fieldrep_bench::figures::render_selected_values;
+use fieldrep_costmodel::IndexSetting;
 
 fn main() {
     println!("=== Figure 12: Selected Values for C_read and C_update (Unclustered) ===\n");
-    println!("{:<22} | f=1,f_r=.002        | f=20,f_r=.002", "");
-    println!(
-        "{:<22} | C_read   C_update   | C_read   C_update",
-        "Strategy"
-    );
-    println!("{}", "-".repeat(68));
-    let t1 = selected_values(IndexSetting::Unclustered, 1.0);
-    let t20 = selected_values(IndexSetting::Unclustered, 20.0);
-    for (a, b) in t1.iter().zip(&t20) {
-        println!(
-            "{:<22} | {:>6}   {:>8}   | {:>6}   {:>8}",
-            name(a.strategy),
-            a.c_read,
-            a.c_update,
-            b.c_read,
-            b.c_update
-        );
-    }
+    print!("{}", render_selected_values(IndexSetting::Unclustered));
     println!("\nPaper's values:        |     43         22   |    691         22");
     println!("                       |     23         42   |    407        427");
     println!("                       |     41         42   |    509         42");

@@ -3,14 +3,13 @@
 //!
 //! Run: `cargo run --release -p fieldrep-bench --bin fig13`
 
-use fieldrep_costmodel::{figure_11_or_13, render_graph, IndexSetting};
+use fieldrep_bench::figures::render_percent_figure;
+use fieldrep_costmodel::IndexSetting;
 
 fn main() {
     println!("=== Figure 13: Results for Clustered Indexes ===");
     println!("(negative % = replication is cheaper than no replication)\n");
-    for g in figure_11_or_13(IndexSetting::Clustered, 20) {
-        println!("{}", render_graph(&g, IndexSetting::Clustered));
-    }
+    println!("{}", render_percent_figure(IndexSetting::Clustered));
     println!("Paper's reading (§6.8): in-place saves 55–90% below P_up ≈ 0.15;");
     println!("separate saves 25–70% over a wide range for f > 1.");
 }

@@ -15,21 +15,12 @@
 
 use fieldrep_bench::trace::run_trace;
 use fieldrep_bench::{
-    build_workload, io_counts_of, profile_read_query, profile_update_query, ProfiledRun,
-    WorkloadSpec,
+    build_workload, io_counts_of, profile_read_query, profile_update_query, strategy_name,
+    ProfiledRun, WorkloadSpec, ALL_STRATEGIES,
 };
-use fieldrep_catalog::Strategy;
 use fieldrep_costmodel::{total_cost, IndexSetting, ModelStrategy};
 use fieldrep_obs::{export, registry};
 use std::io::Write;
-
-fn strategy_name(s: Option<Strategy>) -> &'static str {
-    match s {
-        None => "none",
-        Some(Strategy::InPlace) => "in-place",
-        Some(Strategy::Separate) => "separate",
-    }
-}
 
 /// Print one profiled query (profile table + span tree) and verify the
 /// telescoping invariant against the raw pool counters. Returns the
@@ -55,11 +46,11 @@ fn report_run(name: &str, run: &ProfiledRun) -> Vec<String> {
     lines
 }
 
-fn run_profiled(s_count: usize, sharing: usize, jsonl: Option<&str>) {
+fn run_profiled(s_count: usize, sharing: usize, jsonl: Option<&str>, run_id: &str) {
     let setting = IndexSetting::Unclustered;
     println!("=== Profiled §6 queries: f = {sharing}, |S| = {s_count} ===\n");
-    let mut lines = Vec::new();
-    for strat in [None, Some(Strategy::InPlace), Some(Strategy::Separate)] {
+    let mut lines = vec![export::run_meta_jsonl(run_id)];
+    for strat in ALL_STRATEGIES {
         let name = strategy_name(strat);
         let mut w = build_workload(WorkloadSpec::paper(sharing, setting, strat).scaled(s_count));
         lines.extend(report_run(name, &profile_read_query(&mut w, 0)));
@@ -83,6 +74,7 @@ fn main() {
     let mut n_queries = 30usize;
     let mut profile = false;
     let mut jsonl: Option<String> = None;
+    let mut run_id = String::from("trace_run");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -91,11 +83,12 @@ fn main() {
             "--q" => n_queries = args.next().and_then(|v| v.parse().ok()).expect("--q N"),
             "--profile" => profile = true,
             "--jsonl" => jsonl = Some(args.next().expect("--jsonl <path>")),
+            "--run-id" => run_id = args.next().expect("--run-id ID"),
             other => panic!("unknown flag {other}"),
         }
     }
     if profile || jsonl.is_some() {
-        run_profiled(s_count, sharing, jsonl.as_deref());
+        run_profiled(s_count, sharing, jsonl.as_deref(), &run_id);
         return;
     }
     let setting = IndexSetting::Unclustered;
@@ -112,7 +105,7 @@ fn main() {
 
     // Build each workload once; traces mutate repfield cyclically, which
     // keeps the database valid across points.
-    let mut workloads: Vec<_> = [None, Some(Strategy::InPlace), Some(Strategy::Separate)]
+    let mut workloads: Vec<_> = ALL_STRATEGIES
         .into_iter()
         .map(|strat| build_workload(WorkloadSpec::paper(sharing, setting, strat).scaled(s_count)))
         .collect();

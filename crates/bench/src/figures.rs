@@ -1,0 +1,89 @@
+//! Shared rendering for the figure binaries.
+//!
+//! Figures 11/13 (the `C_total` percent-difference graphs) and 12/14
+//! (the selected `C_read`/`C_update` tables) differ only in the index
+//! setting, so `fig11`…`fig14` are thin wrappers around these helpers.
+//! `bench_suite` reuses [`selected_points`] to pin the same analytical
+//! values into its report.
+
+use fieldrep_costmodel::{
+    figure_11_or_13, render_graph, selected_values, IndexSetting, ModelStrategy, TableRow,
+};
+
+/// Long-form strategy label used by the selected-values tables.
+pub fn model_strategy_name(s: ModelStrategy) -> &'static str {
+    match s {
+        ModelStrategy::None => "no replication",
+        ModelStrategy::InPlace => "in-place replication",
+        ModelStrategy::Separate => "separate replication",
+    }
+}
+
+/// The body of Figure 11 (unclustered) or 13 (clustered): one percent-
+/// difference graph per sharing level.
+pub fn render_percent_figure(setting: IndexSetting) -> String {
+    figure_11_or_13(setting, 20)
+        .iter()
+        .map(|g| render_graph(g, setting))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The analytical data behind Figures 12/14: selected values at
+/// `(f = 1, f_r = .002)` and `(f = 20, f_r = .002)`.
+pub fn selected_points(setting: IndexSetting) -> (Vec<TableRow>, Vec<TableRow>) {
+    (
+        selected_values(setting, 1.0),
+        selected_values(setting, 20.0),
+    )
+}
+
+/// The body of Figure 12 (unclustered) or 14 (clustered): the selected-
+/// values table, strategies down the side, the two sharing levels across.
+pub fn render_selected_values(setting: IndexSetting) -> String {
+    let (t1, t20) = selected_points(setting);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} | f=1,f_r=.002        | f=20,f_r=.002\n",
+        ""
+    ));
+    out.push_str(&format!(
+        "{:<22} | C_read   C_update   | C_read   C_update\n",
+        "Strategy"
+    ));
+    out.push_str(&"-".repeat(68));
+    out.push('\n');
+    for (a, b) in t1.iter().zip(&t20) {
+        out.push_str(&format!(
+            "{:<22} | {:>6}   {:>8}   | {:>6}   {:>8}\n",
+            model_strategy_name(a.strategy),
+            a.c_read,
+            a.c_update,
+            b.c_read,
+            b.c_update
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selected_values_table_carries_paper_reference_cells() {
+        // Figure 12, f = 20: None 691/22, InPlace 407/427, Separate 509/42.
+        let s = render_selected_values(IndexSetting::Unclustered);
+        for cell in ["691", "407", "427", "509", "no replication"] {
+            assert!(s.contains(cell), "missing {cell} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn percent_figures_render_one_graph_per_sharing_level() {
+        let s = render_percent_figure(IndexSetting::Clustered);
+        for f in ["f = 1", "f = 10", "f = 20", "f = 50"] {
+            assert!(s.contains(f), "missing graph for {f}");
+        }
+    }
+}

@@ -15,11 +15,14 @@
 //! helpers; see `src/bin/` for the per-figure drivers and `benches/` for
 //! the Criterion timing benchmarks.
 
+pub mod figures;
+pub mod json;
+pub mod suite;
 pub mod trace;
 
 use fieldrep_catalog::{IndexKind, PathId, Strategy};
 use fieldrep_core::{Database, DbConfig};
-use fieldrep_costmodel::{IndexSetting, ModelStrategy, Params};
+use fieldrep_costmodel::{read_cost, update_cost, IndexSetting, ModelStrategy, Params};
 use fieldrep_model::{FieldType, TypeDef, Value};
 use fieldrep_obs::{IoCounts, Profile, SpanNode};
 use fieldrep_query::{Assign, Filter, ReadQuery, UpdateQuery};
@@ -30,6 +33,19 @@ use rand::SeedableRng;
 
 /// Which replication strategy a workload uses (`None` = the baseline).
 pub type StrategyOpt = Option<Strategy>;
+
+/// The three strategies every sweep iterates, baseline first.
+pub const ALL_STRATEGIES: [StrategyOpt; 3] =
+    [None, Some(Strategy::InPlace), Some(Strategy::Separate)];
+
+/// Short strategy label used in tables and benchmark point ids.
+pub fn strategy_name(s: StrategyOpt) -> &'static str {
+    match s {
+        None => "none",
+        Some(Strategy::InPlace) => "in-place",
+        Some(Strategy::Separate) => "separate",
+    }
+}
 
 /// Specification of a §6 workload.
 #[derive(Clone, Debug)]
@@ -226,19 +242,49 @@ pub fn build_workload(spec: WorkloadSpec) -> Workload {
     }
 }
 
-/// Run one §6 read query over keys `[lo, lo + f_r·|R|)` and return the
-/// measured total page I/O (reads + writes, cold pool, output file
-/// generated with `t = 100`).
-pub fn measure_read_query(w: &mut Workload, lo: i64) -> u64 {
-    let count = (w.spec.read_sel * w.spec.r_count() as f64).round() as i64;
-    let q = ReadQuery::on("R")
+/// The §6 read query over keys `[lo, lo + f_r·|R|)`: range-select on
+/// `field_r`, project the key and the (possibly replicated) path, spool
+/// the output file with `t = 100`.
+pub fn read_query(w: &Workload, lo: i64) -> ReadQuery {
+    let count = read_rows(w);
+    ReadQuery::on("R")
         .filter(Filter::Range {
             path: "field_r".into(),
             lo: Value::Int(lo),
             hi: Value::Int(lo + count - 1),
         })
         .project(["field_r", "sref.repfield"])
-        .spool(100);
+        .spool(100)
+}
+
+/// The §6 update query over keys `[lo, lo + f_s·|S|)`: range-select on
+/// `field_s` and rewrite `repfield`, the replicated field.
+pub fn update_query(w: &Workload, lo: i64) -> UpdateQuery {
+    let count = update_rows(w);
+    UpdateQuery::on("S")
+        .filter(Filter::Range {
+            path: "field_s".into(),
+            lo: Value::Int(lo),
+            hi: Value::Int(lo + count - 1),
+        })
+        .assign("repfield", Assign::CycleStr(8))
+}
+
+/// Rows one read query selects (`f_r·|R|`, at least the range width).
+fn read_rows(w: &Workload) -> i64 {
+    (w.spec.read_sel * w.spec.r_count() as f64).round() as i64
+}
+
+/// Objects one update query touches (`f_s·|S|`).
+fn update_rows(w: &Workload) -> i64 {
+    (w.spec.update_sel * w.spec.s_count as f64).round() as i64
+}
+
+/// Run one §6 read query and return the measured total page I/O
+/// (reads + writes, cold pool, output file generated with `t = 100`).
+pub fn measure_read_query(w: &mut Workload, lo: i64) -> u64 {
+    let count = read_rows(w);
+    let q = read_query(w, lo);
     w.db.flush_all().unwrap();
     w.db.reset_profile();
     let res = q.run(&mut w.db).expect("read query");
@@ -251,18 +297,11 @@ pub fn measure_read_query(w: &mut Workload, lo: i64) -> u64 {
     io
 }
 
-/// Run one §6 update query over keys `[lo, lo + f_s·|S|)` — it rewrites
-/// `repfield`, the replicated field — and return the measured total page
-/// I/O (cold pool, dirty pages flushed and counted).
+/// Run one §6 update query and return the measured total page I/O
+/// (cold pool, dirty pages flushed and counted).
 pub fn measure_update_query(w: &mut Workload, lo: i64) -> u64 {
-    let count = (w.spec.update_sel * w.spec.s_count as f64).round() as i64;
-    let q = UpdateQuery::on("S")
-        .filter(Filter::Range {
-            path: "field_s".into(),
-            lo: Value::Int(lo),
-            hi: Value::Int(lo + count - 1),
-        })
-        .assign("repfield", Assign::CycleStr(8));
+    let count = update_rows(w);
+    let q = update_query(w, lo);
     w.db.flush_all().unwrap();
     w.db.reset_profile();
     let res = q.run(&mut w.db).expect("update query");
@@ -308,15 +347,8 @@ pub struct ProfiledRun {
 /// thread, so the raw [`IoProfile`] and the executor's [`Profile`]
 /// observe the identical I/O window.
 pub fn profile_read_query(w: &mut Workload, lo: i64) -> ProfiledRun {
-    let count = (w.spec.read_sel * w.spec.r_count() as f64).round() as i64;
-    let q = ReadQuery::on("R")
-        .filter(Filter::Range {
-            path: "field_r".into(),
-            lo: Value::Int(lo),
-            hi: Value::Int(lo + count - 1),
-        })
-        .project(["field_r", "sref.repfield"])
-        .spool(100);
+    let count = read_rows(w);
+    let q = read_query(w, lo);
     w.db.flush_all().unwrap();
     w.db.reset_profile();
     fieldrep_obs::set_tracing(true);
@@ -340,14 +372,8 @@ pub fn profile_read_query(w: &mut Workload, lo: i64) -> ProfiledRun {
 
 /// Run one §6 update query with tracing on and return its full profile.
 pub fn profile_update_query(w: &mut Workload, lo: i64) -> ProfiledRun {
-    let count = (w.spec.update_sel * w.spec.s_count as f64).round() as i64;
-    let q = UpdateQuery::on("S")
-        .filter(Filter::Range {
-            path: "field_s".into(),
-            lo: Value::Int(lo),
-            hi: Value::Int(lo + count - 1),
-        })
-        .assign("repfield", Assign::CycleStr(8));
+    let count = update_rows(w);
+    let q = update_query(w, lo);
     w.db.flush_all().unwrap();
     w.db.reset_profile();
     fieldrep_obs::set_tracing(true);
@@ -389,6 +415,47 @@ pub fn avg_update_io(w: &mut Workload, n: usize) -> f64 {
         })
         .sum::<f64>()
         / n as f64
+}
+
+/// One cell of the empirical matrix: measured vs. analytical page I/O
+/// for the §6 read and update queries of a single workload.
+pub struct CellMeasurement {
+    /// Measured read I/O, averaged over the cell's queries.
+    pub read_measured: f64,
+    /// Analytical `C_read` at the workload's parameters.
+    pub read_model: f64,
+    /// Measured update I/O, averaged.
+    pub update_measured: f64,
+    /// Analytical `C_update`.
+    pub update_model: f64,
+    /// Wall time of all read queries, nanoseconds.
+    pub read_nanos: u64,
+    /// Wall time of all update queries, nanoseconds.
+    pub update_nanos: u64,
+}
+
+/// Build one workload and measure its cell (`queries` runs averaged per
+/// side). Returns the workload too, so callers can keep probing it.
+pub fn measure_cell(spec: WorkloadSpec, queries: usize) -> (Workload, CellMeasurement) {
+    let params = spec.params();
+    let model = spec.model_strategy();
+    let setting = spec.setting;
+    let mut w = build_workload(spec);
+    let t0 = std::time::Instant::now();
+    let read_measured = avg_read_io(&mut w, queries);
+    let read_nanos = t0.elapsed().as_nanos() as u64;
+    let t1 = std::time::Instant::now();
+    let update_measured = avg_update_io(&mut w, queries);
+    let update_nanos = t1.elapsed().as_nanos() as u64;
+    let cell = CellMeasurement {
+        read_measured,
+        read_model: read_cost(&params, model, setting).total(),
+        update_measured,
+        update_model: update_cost(&params, model, setting).total(),
+        read_nanos,
+        update_nanos,
+    };
+    (w, cell)
 }
 
 #[cfg(test)]

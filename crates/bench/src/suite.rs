@@ -1,0 +1,483 @@
+//! The continuous benchmark suite and its regression gate.
+//!
+//! [`run_suite`] executes a fixed measurement matrix — the §6 read and
+//! update workloads across sharing levels, settings, and strategies,
+//! plus propagation fan-out and EXPLAIN-ANALYZE model drift — and the
+//! analytical Figure 12/14 reference cells, producing a schema-versioned
+//! [`SuiteReport`] that `bench_suite` writes as `BENCH_<date>.json`.
+//! [`gate`] diffs two reports point-by-point and reports violations
+//! (I/O regressions beyond a threshold, model drift beyond a bound, or
+//! vanished points), which `bench_gate` / `scripts/bench_gate.sh` turn
+//! into a nonzero exit.
+
+use crate::figures::selected_points;
+use crate::json::Json;
+use crate::{
+    measure_cell, profile_update_query, read_query, strategy_name, WorkloadSpec, ALL_STRATEGIES,
+};
+use fieldrep_costmodel::{
+    drift_pct, predict_update, AccessShape, IndexSetting, ModelStrategy, UpdateShape,
+};
+use fieldrep_obs::{export, registry};
+use fieldrep_query::explain_analyze_read;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Version of the `BENCH_*.json` document layout. Bump on any breaking
+/// change to [`SuiteReport::to_json`]; [`SuiteReport::parse`] rejects
+/// other versions so the gate never diffs incompatible reports.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// What the suite measures.
+#[derive(Clone, Debug)]
+pub struct SuiteConfig {
+    /// `|S|` per workload.
+    pub s_count: usize,
+    /// Sharing levels to sweep.
+    pub sharings: Vec<usize>,
+    /// Index settings to sweep.
+    pub settings: Vec<IndexSetting>,
+    /// Queries averaged per measured point.
+    pub queries: usize,
+    /// Read selectivity (the paper's `f_r`).
+    pub read_sel: f64,
+    /// Update selectivity (the paper's `f_s`).
+    pub update_sel: f64,
+    /// True for the fast CI variant.
+    pub smoke: bool,
+}
+
+impl SuiteConfig {
+    /// The full nightly matrix (a scaled-down |S| keeps the suite under
+    /// a few minutes; the paper-scale run is `--bin empirical`).
+    pub fn full() -> SuiteConfig {
+        SuiteConfig {
+            s_count: 2000,
+            sharings: vec![1, 10, 20],
+            settings: vec![IndexSetting::Unclustered, IndexSetting::Clustered],
+            queries: 3,
+            read_sel: 0.001,
+            update_sel: 0.001,
+            smoke: false,
+        }
+    }
+
+    /// A seconds-scale variant for `scripts/check.sh`: tiny workloads,
+    /// one setting, selectivities raised so every query touches rows.
+    pub fn smoke() -> SuiteConfig {
+        SuiteConfig {
+            s_count: 240,
+            sharings: vec![1, 3],
+            settings: vec![IndexSetting::Unclustered],
+            queries: 1,
+            read_sel: 0.02,
+            update_sel: 0.02,
+            smoke: true,
+        }
+    }
+
+    fn spec(
+        &self,
+        sharing: usize,
+        setting: IndexSetting,
+        strategy: crate::StrategyOpt,
+    ) -> WorkloadSpec {
+        let mut spec = WorkloadSpec::paper(sharing, setting, strategy).scaled(self.s_count);
+        spec.read_sel = self.read_sel;
+        spec.update_sel = self.update_sel;
+        spec
+    }
+}
+
+/// One benchmark point: a stable id, what was measured, what the model
+/// predicted, and the drift between them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchPoint {
+    /// Stable identifier, e.g. `io/unclustered/f10/in-place/read`.
+    pub id: String,
+    /// Measured page I/O (for `model/…` points, the analytical value —
+    /// so gating also catches accidental cost-model changes).
+    pub measured_io: f64,
+    /// Model-predicted page I/O.
+    pub model_io: f64,
+    /// `100·(measured − model)/model`.
+    pub drift_pct: f64,
+    /// Wall time of the measured queries, nanoseconds (0 for `model/…`).
+    pub wall_nanos: u64,
+}
+
+/// A full suite run, serialisable to/from `BENCH_*.json`.
+#[derive(Clone, Debug)]
+pub struct SuiteReport {
+    /// [`BENCH_SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// Caller-supplied run identifier (CI job id, date, …).
+    pub run_id: String,
+    /// Seconds since the Unix epoch at write time.
+    pub generated_unix: u64,
+    /// True if produced by the smoke config.
+    pub smoke: bool,
+    /// All points, in matrix order.
+    pub points: Vec<BenchPoint>,
+    /// The observability registry snapshot after the run, as JSONL
+    /// lines (includes the `costmodel.drift.*` gauges and the run
+    /// header from [`export::run_meta_jsonl`]).
+    pub metrics: Vec<String>,
+}
+
+fn setting_name(s: IndexSetting) -> &'static str {
+    match s {
+        IndexSetting::Unclustered => "unclustered",
+        IndexSetting::Clustered => "clustered",
+    }
+}
+
+/// Run the suite matrix.
+pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
+    let mut points = Vec::new();
+
+    // Analytical reference cells (Figures 12 and 14): pure model, so
+    // any diff here means the cost model itself changed.
+    for setting in [IndexSetting::Unclustered, IndexSetting::Clustered] {
+        let fig = match setting {
+            IndexSetting::Unclustered => "fig12",
+            IndexSetting::Clustered => "fig14",
+        };
+        let (t1, t20) = selected_points(setting);
+        for (f, table) in [(1, &t1), (20, &t20)] {
+            for row in table {
+                let strat = match row.strategy {
+                    ModelStrategy::None => "none",
+                    ModelStrategy::InPlace => "in-place",
+                    ModelStrategy::Separate => "separate",
+                };
+                for (kind, v) in [("read", row.c_read), ("update", row.c_update)] {
+                    points.push(BenchPoint {
+                        id: format!("model/{fig}/f{f}/{strat}/{kind}"),
+                        measured_io: v as f64,
+                        model_io: v as f64,
+                        drift_pct: 0.0,
+                        wall_nanos: 0,
+                    });
+                }
+            }
+        }
+    }
+
+    // Measured matrix.
+    for &setting in &cfg.settings {
+        for &sharing in &cfg.sharings {
+            for strategy in ALL_STRATEGIES {
+                let spec = cfg.spec(sharing, setting, strategy);
+                let strat = strategy_name(strategy);
+                let base = format!("io/{}/f{sharing}/{strat}", setting_name(setting));
+                let (mut w, cell) = measure_cell(spec, cfg.queries);
+                points.push(BenchPoint {
+                    id: format!("{base}/read"),
+                    measured_io: cell.read_measured,
+                    model_io: cell.read_model,
+                    drift_pct: drift_pct(cell.read_model, cell.read_measured),
+                    wall_nanos: cell.read_nanos,
+                });
+                points.push(BenchPoint {
+                    id: format!("{base}/update"),
+                    measured_io: cell.update_measured,
+                    model_io: cell.update_model,
+                    drift_pct: drift_pct(cell.update_model, cell.update_measured),
+                    wall_nanos: cell.update_nanos,
+                });
+
+                // Propagation fan-out: the `core.propagate` slice of one
+                // profiled update vs. the model's propagation term.
+                if strategy.is_some() {
+                    let run = profile_update_query(&mut w, 0);
+                    let measured = run
+                        .profile
+                        .ops
+                        .iter()
+                        .find(|op| op.name == "core.propagate")
+                        .map(|op| op.io.disk_total() as f64)
+                        .unwrap_or(0.0);
+                    let preds = predict_update(
+                        &w.spec.params(),
+                        setting,
+                        &UpdateShape {
+                            access: AccessShape::IndexRange,
+                            propagation: w.spec.model_strategy(),
+                        },
+                    );
+                    let model = preds
+                        .iter()
+                        .find(|p| p.metric == "propagate")
+                        .map(|p| p.pages)
+                        .unwrap_or(0.0);
+                    points.push(BenchPoint {
+                        id: format!("propagation/{}/f{sharing}/{strat}", setting_name(setting)),
+                        measured_io: measured,
+                        model_io: model,
+                        drift_pct: drift_pct(model, measured),
+                        wall_nanos: run.profile.total_nanos as u64,
+                    });
+                }
+
+                // EXPLAIN-ANALYZE conformance: total predicted vs.
+                // measured I/O of one read query (records the
+                // `costmodel.drift.*` gauges as a side effect).
+                let q = read_query(&w, 0);
+                let (e, res) = explain_analyze_read(&mut w.db, &q).expect("explain analyze");
+                if let Some(f) = res.output_file {
+                    w.db.sm().drop_file(f).ok();
+                }
+                points.push(BenchPoint {
+                    id: format!("drift/{}/f{sharing}/{strat}/read", setting_name(setting)),
+                    measured_io: e.measured_total.unwrap_or(0) as f64,
+                    model_io: e.predicted_total,
+                    drift_pct: e.total_drift().unwrap_or(0.0),
+                    wall_nanos: 0,
+                });
+            }
+        }
+    }
+
+    let mut metrics = vec![export::run_meta_jsonl(run_id)];
+    metrics.extend(export::snapshot_jsonl(&registry().snapshot()));
+    SuiteReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        run_id: run_id.to_string(),
+        generated_unix: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        smoke: cfg.smoke,
+        points,
+        metrics,
+    }
+}
+
+impl SuiteReport {
+    /// Serialise to pretty-enough JSON (one point per line).
+    pub fn to_json(&self) -> String {
+        let points = Json::Arr(
+            self.points
+                .iter()
+                .map(|p| {
+                    Json::Obj(vec![
+                        ("id".into(), Json::Str(p.id.clone())),
+                        ("measured_io".into(), Json::Num(p.measured_io)),
+                        ("model_io".into(), Json::Num(p.model_io)),
+                        ("drift_pct".into(), Json::Num(p.drift_pct)),
+                        ("wall_nanos".into(), Json::Num(p.wall_nanos as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        let doc = Json::Obj(vec![
+            (
+                "schema_version".into(),
+                Json::Num(self.schema_version as f64),
+            ),
+            ("run_id".into(), Json::Str(self.run_id.clone())),
+            (
+                "generated_unix".into(),
+                Json::Num(self.generated_unix as f64),
+            ),
+            ("smoke".into(), Json::Bool(self.smoke)),
+            ("points".into(), points),
+            (
+                "metrics".into(),
+                Json::Arr(self.metrics.iter().cloned().map(Json::Str).collect()),
+            ),
+        ]);
+        doc.render()
+    }
+
+    /// Parse a report written by [`SuiteReport::to_json`].
+    pub fn parse(src: &str) -> Result<SuiteReport, String> {
+        let doc = Json::parse(src)?;
+        let version = doc
+            .get("schema_version")
+            .and_then(Json::as_f64)
+            .ok_or("missing schema_version")? as u32;
+        if version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {version} unsupported (expected {BENCH_SCHEMA_VERSION})"
+            ));
+        }
+        let num = |p: &Json, k: &str| -> Result<f64, String> {
+            p.get(k)
+                .and_then(Json::as_f64)
+                .ok_or(format!("point missing {k}"))
+        };
+        let points = doc
+            .get("points")
+            .and_then(Json::as_arr)
+            .ok_or("missing points")?
+            .iter()
+            .map(|p| {
+                Ok(BenchPoint {
+                    id: p
+                        .get("id")
+                        .and_then(Json::as_str)
+                        .ok_or("point missing id")?
+                        .to_string(),
+                    measured_io: num(p, "measured_io")?,
+                    model_io: num(p, "model_io")?,
+                    drift_pct: num(p, "drift_pct")?,
+                    wall_nanos: num(p, "wall_nanos")? as u64,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(SuiteReport {
+            schema_version: version,
+            run_id: doc
+                .get("run_id")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            generated_unix: doc
+                .get("generated_unix")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0) as u64,
+            smoke: doc.get("smoke").and_then(Json::as_bool).unwrap_or(false),
+            points,
+            metrics: doc
+                .get("metrics")
+                .and_then(Json::as_arr)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|v| v.as_str().map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default(),
+        })
+    }
+}
+
+/// Gate thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct GateThresholds {
+    /// Maximum allowed measured-I/O increase vs. the previous run, %.
+    pub max_io_regress_pct: f64,
+    /// Maximum allowed |model drift| on `drift/…` points, %.
+    pub max_drift_pct: f64,
+}
+
+impl Default for GateThresholds {
+    fn default() -> Self {
+        GateThresholds {
+            max_io_regress_pct: 10.0,
+            max_drift_pct: 60.0,
+        }
+    }
+}
+
+/// Diff `new` against `old`; returns human-readable violations (empty =
+/// gate passes). Wall time is reported but never gated — it is too
+/// machine-dependent; page I/O is deterministic.
+pub fn gate(old: &SuiteReport, new: &SuiteReport, t: &GateThresholds) -> Vec<String> {
+    let mut violations = Vec::new();
+    for op in &old.points {
+        let Some(np) = new.points.iter().find(|p| p.id == op.id) else {
+            violations.push(format!("{}: point missing from new report", op.id));
+            continue;
+        };
+        let regress = 100.0 * (np.measured_io - op.measured_io) / op.measured_io.max(1.0);
+        if regress > t.max_io_regress_pct {
+            violations.push(format!(
+                "{}: measured I/O regressed {:.1}% ({:.1} -> {:.1} pages, limit {:.0}%)",
+                op.id, regress, op.measured_io, np.measured_io, t.max_io_regress_pct
+            ));
+        }
+    }
+    for np in &new.points {
+        if np.id.starts_with("drift/") && np.drift_pct.abs() > t.max_drift_pct {
+            violations.push(format!(
+                "{}: model drift {:+.1}% exceeds ±{:.0}% (predicted {:.1}, measured {:.1})",
+                np.id, np.drift_pct, t.max_drift_pct, np.model_io, np.measured_io
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> SuiteReport {
+        let mut cfg = SuiteConfig::smoke();
+        cfg.sharings = vec![2];
+        cfg.s_count = 180;
+        run_suite(&cfg, "test-run")
+    }
+
+    #[test]
+    fn suite_report_roundtrips_and_carries_drift_metrics() {
+        let r = tiny_report();
+        assert!(r.points.iter().any(|p| p.id.starts_with("io/")));
+        assert!(r.points.iter().any(|p| p.id.starts_with("propagation/")));
+        assert!(r.points.iter().any(|p| p.id.starts_with("drift/")));
+        assert_eq!(
+            r.points
+                .iter()
+                .filter(|p| p.id.starts_with("model/"))
+                .count(),
+            24,
+            "2 figures x 2 sharing levels x 3 strategies x read+update"
+        );
+        assert!(r.metrics.iter().any(|l| l.contains("\"type\":\"run\"")));
+        assert!(
+            r.metrics.iter().any(|l| l.contains("costmodel.drift.")),
+            "drift gauges must be exported: {:#?}",
+            r.metrics
+        );
+        let back = SuiteReport::parse(&r.to_json()).unwrap();
+        assert_eq!(back.points, r.points);
+        assert_eq!(back.run_id, "test-run");
+        assert!(back.smoke);
+    }
+
+    #[test]
+    fn gate_passes_on_identical_reports_and_fails_on_injected_regression() {
+        let r = tiny_report();
+        let t = GateThresholds::default();
+        assert!(gate(&r, &r, &t).is_empty());
+
+        let mut worse = r.clone();
+        let io = worse
+            .points
+            .iter_mut()
+            .find(|p| p.id.starts_with("io/"))
+            .unwrap();
+        io.measured_io *= 1.5;
+        let v = gate(&r, &worse, &t);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("regressed"), "{v:?}");
+
+        let mut missing = r.clone();
+        missing.points.retain(|p| !p.id.starts_with("drift/"));
+        assert!(!gate(&r, &missing, &t).is_empty());
+    }
+
+    #[test]
+    fn gate_flags_excess_drift_in_new_report() {
+        let r = tiny_report();
+        let mut drifted = r.clone();
+        let d = drifted
+            .points
+            .iter_mut()
+            .find(|p| p.id.starts_with("drift/"))
+            .unwrap();
+        d.drift_pct = 95.0;
+        let v = gate(&r, &drifted, &GateThresholds::default());
+        assert!(v.iter().any(|m| m.contains("model drift")), "{v:?}");
+    }
+
+    #[test]
+    fn parse_rejects_other_schema_versions() {
+        let r = tiny_report();
+        let bumped = r
+            .to_json()
+            .replacen("\"schema_version\":1", "\"schema_version\":99", 1);
+        assert!(SuiteReport::parse(&bumped).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! Conformance bound: EXPLAIN ANALYZE on the §6 read workload must stay
+//! within a generous drift envelope of the analytical model for every
+//! replication strategy. The bound is deliberately loose — it catches
+//! "the predictions became nonsense" regressions, not small constant
+//! offsets (B⁺-tree heights, annotation bytes) the model ignores.
+
+use fieldrep_bench::{build_workload, read_query, strategy_name, WorkloadSpec, ALL_STRATEGIES};
+use fieldrep_costmodel::IndexSetting;
+use fieldrep_query::explain_analyze_read;
+
+#[test]
+fn read_drift_stays_bounded_for_every_strategy() {
+    for strategy in ALL_STRATEGIES {
+        let spec = WorkloadSpec::paper(10, IndexSetting::Unclustered, strategy).scaled(2000);
+        let mut w = build_workload(spec);
+        let q = read_query(&w, 0);
+        let (e, res) = explain_analyze_read(&mut w.db, &q).unwrap();
+        if let Some(f) = res.output_file {
+            w.db.sm().drop_file(f).unwrap();
+        }
+        let drift = e.total_drift().expect("analyze measures I/O");
+        assert!(
+            drift.abs() <= 60.0,
+            "{}: total drift {drift:+.1}% (predicted {:.1}, measured {:?})",
+            strategy_name(strategy),
+            e.predicted_total,
+            e.measured_total
+        );
+        // Per-operator: the dominant predicted operators must also be
+        // measured as dominant (no prediction attached to the wrong op).
+        let fetchy: f64 = e
+            .rows
+            .iter()
+            .filter(|r| r.predicted > 1.0)
+            .map(|r| r.measured.unwrap() as f64)
+            .sum();
+        let total = e.measured_total.unwrap() as f64;
+        assert!(
+            fetchy >= 0.5 * total,
+            "{}: operators predicted >1 page carry only {fetchy}/{total} measured pages",
+            strategy_name(strategy)
+        );
+    }
+}

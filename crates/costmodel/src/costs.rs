@@ -41,7 +41,7 @@ impl Cost {
 
 /// `⌈log_m N⌉ + max(⌈sel·N/m − 1⌉, 0)`: descend the B⁺-tree, then walk
 /// the qualifying leaves.
-fn index_read(p: &Params, n: f64, sel: f64) -> f64 {
+pub fn index_read(p: &Params, n: f64, sel: f64) -> f64 {
     let descend = n.log(p.fanout).ceil().max(1.0);
     let leaves = (sel * n / p.fanout - 1.0).ceil().max(0.0);
     descend + leaves
@@ -49,7 +49,7 @@ fn index_read(p: &Params, n: f64, sel: f64) -> f64 {
 
 /// Whole pages holding `sel·count` consecutive objects at `per_page`
 /// density (clustered access).
-fn seq_pages(sel: f64, count: f64, per_page: f64) -> f64 {
+pub fn seq_pages(sel: f64, count: f64, per_page: f64) -> f64 {
     (sel * count / per_page).ceil()
 }
 

@@ -12,12 +12,17 @@
 //! real engine.
 
 pub mod advisor;
+pub mod conformance;
 pub mod costs;
 pub mod figures;
 pub mod params;
 pub mod yao;
 
 pub use advisor::{crossover, recommend, Recommendation};
+pub use conformance::{
+    drift_pct, matches_op, predict_read, predict_update, predicted_total, AccessShape,
+    OpPrediction, ProjShape, ReadShape, UpdateShape,
+};
 pub use costs::{percent_difference, read_cost, total_cost, update_cost, Cost};
 pub use figures::{
     figure_11_or_13, figure_graph, render_graph, selected_values, CurvePoint, Graph, TableRow,

@@ -149,6 +149,15 @@ pub enum Stmt {
         /// Update probability of the workload mix (default 0.1).
         p_update: f64,
     },
+    /// `explain [analyze] <retrieve|replace …>` — print the physical
+    /// plan with §6 cost-model page-I/O predictions per operator;
+    /// with `analyze`, execute and show measured I/O and drift too.
+    Explain {
+        /// True for `explain analyze` (executes the statement).
+        analyze: bool,
+        /// The explained statement (`Retrieve` or `Replace`).
+        stmt: Box<Stmt>,
+    },
     /// `sync` — apply all deferred propagation.
     Sync,
     /// `show catalog | show pending | show io`

@@ -178,6 +178,76 @@ impl Interpreter {
         Ok((path, filter))
     }
 
+    /// Build the [`ReadQuery`] for a `retrieve` statement, returning the
+    /// column headers alongside. Shared by `retrieve` and `explain`.
+    fn build_read_query(
+        &self,
+        projections: &[Vec<String>],
+        predicate: &Option<Predicate>,
+    ) -> Result<(Vec<String>, ReadQuery), LangError> {
+        let (set, first_rel) = split_set(&projections[0])?;
+        let mut q = ReadQuery::on(set.clone()).project([first_rel]);
+        for p in &projections[1..] {
+            let (s, rel) = split_set(p)?;
+            if s != set {
+                return Err(LangError::Exec(format!(
+                    "all projections must start from the same set ({set} vs {s})"
+                )));
+            }
+            q = q.project([rel]);
+        }
+        if let Some(pred) = predicate {
+            let (pset, filter) = self.filter_of(pred)?;
+            if pset != set {
+                return Err(LangError::Exec(format!(
+                    "predicate set {pset} differs from projection set {set}"
+                )));
+            }
+            q = q.filter(filter);
+        }
+        let columns = projections.iter().map(|p| p.join(".")).collect();
+        Ok((columns, q))
+    }
+
+    /// Build the [`UpdateQuery`] for a `replace` statement. Shared by
+    /// `replace` and `explain`.
+    fn build_update_query(
+        &self,
+        assignments: &[(Vec<String>, Expr)],
+        predicate: &Option<Predicate>,
+    ) -> Result<UpdateQuery, LangError> {
+        let (set, first_field) = {
+            let (s, rel) = split_set(&assignments[0].0)?;
+            if rel.contains('.') {
+                return Err(LangError::Exec(
+                    "replace assigns base fields only (Set.field = value)".into(),
+                ));
+            }
+            (s, rel)
+        };
+        let mut q = UpdateQuery::on(set.clone())
+            .assign(first_field, Assign::Set(self.value_of(&assignments[0].1)?));
+        for (path, e) in &assignments[1..] {
+            let (s, rel) = split_set(path)?;
+            if s != set {
+                return Err(LangError::Exec(
+                    "all assignments must target the same set".into(),
+                ));
+            }
+            q = q.assign(rel, Assign::Set(self.value_of(e)?));
+        }
+        if let Some(pred) = predicate {
+            let (pset, filter) = self.filter_of(pred)?;
+            if pset != set {
+                return Err(LangError::Exec(format!(
+                    "predicate set {pset} differs from assignment set {set}"
+                )));
+            }
+            q = q.filter(filter);
+        }
+        Ok(q)
+    }
+
     /// Execute one parsed statement.
     pub fn execute_stmt(&mut self, stmt: &Stmt) -> Result<Output, LangError> {
         match stmt {
@@ -290,29 +360,10 @@ impl Interpreter {
                 projections,
                 predicate,
             } => {
-                let (set, first_rel) = split_set(&projections[0])?;
-                let mut q = ReadQuery::on(set.clone()).project([first_rel]);
-                for p in &projections[1..] {
-                    let (s, rel) = split_set(p)?;
-                    if s != set {
-                        return Err(LangError::Exec(format!(
-                            "all projections must start from the same set ({set} vs {s})"
-                        )));
-                    }
-                    q = q.project([rel]);
-                }
-                if let Some(pred) = predicate {
-                    let (pset, filter) = self.filter_of(pred)?;
-                    if pset != set {
-                        return Err(LangError::Exec(format!(
-                            "predicate set {pset} differs from projection set {set}"
-                        )));
-                    }
-                    q = q.filter(filter);
-                }
+                let (columns, q) = self.build_read_query(projections, predicate)?;
                 let res = q.run(&mut self.db)?;
                 Ok(Output::Rows {
-                    columns: projections.iter().map(|p| p.join(".")).collect(),
+                    columns,
                     rows: res.rows,
                 })
             }
@@ -320,37 +371,48 @@ impl Interpreter {
                 assignments,
                 predicate,
             } => {
-                let (set, first_field) = {
-                    let (s, rel) = split_set(&assignments[0].0)?;
-                    if rel.contains('.') {
-                        return Err(LangError::Exec(
-                            "replace assigns base fields only (Set.field = value)".into(),
-                        ));
-                    }
-                    (s, rel)
-                };
-                let mut q = UpdateQuery::on(set.clone())
-                    .assign(first_field, Assign::Set(self.value_of(&assignments[0].1)?));
-                for (path, e) in &assignments[1..] {
-                    let (s, rel) = split_set(path)?;
-                    if s != set {
-                        return Err(LangError::Exec(
-                            "all assignments must target the same set".into(),
-                        ));
-                    }
-                    q = q.assign(rel, Assign::Set(self.value_of(e)?));
-                }
-                if let Some(pred) = predicate {
-                    let (pset, filter) = self.filter_of(pred)?;
-                    if pset != set {
-                        return Err(LangError::Exec(format!(
-                            "predicate set {pset} differs from assignment set {set}"
-                        )));
-                    }
-                    q = q.filter(filter);
-                }
+                let q = self.build_update_query(assignments, predicate)?;
                 let res = q.run(&mut self.db)?;
                 Ok(Output::Updated(res.updated))
+            }
+            Stmt::Explain { analyze, stmt } => {
+                let report = match &**stmt {
+                    Stmt::Retrieve {
+                        projections,
+                        predicate,
+                    } => {
+                        let (_, q) = self.build_read_query(projections, predicate)?;
+                        if *analyze {
+                            let (e, res) = fieldrep_query::explain_analyze_read(&mut self.db, &q)?;
+                            if let Some(f) = res.output_file {
+                                self.db.sm().drop_file(f).ok();
+                            }
+                            e
+                        } else {
+                            fieldrep_query::explain_read(&mut self.db, &q)?
+                        }
+                    }
+                    Stmt::Replace {
+                        assignments,
+                        predicate,
+                    } => {
+                        let q = self.build_update_query(assignments, predicate)?;
+                        if *analyze {
+                            let (e, _) = fieldrep_query::explain_analyze_update(&mut self.db, &q)?;
+                            e
+                        } else {
+                            fieldrep_query::explain_update(&mut self.db, &q)?
+                        }
+                    }
+                    other => {
+                        return Err(LangError::Exec(format!(
+                            "explain supports retrieve and replace only, got {other:?}"
+                        )))
+                    }
+                };
+                Ok(Output::Text(
+                    fieldrep_query::render(&report).trim_end().to_string(),
+                ))
             }
             Stmt::Delete { set, predicate } => {
                 // Evaluate the predicate per object (index use is a

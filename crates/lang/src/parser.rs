@@ -123,6 +123,7 @@ impl Parser {
             "retrieve" => self.retrieve(),
             "replace" => self.replace(),
             "delete" => self.delete(),
+            "explain" => self.explain(),
             "advise" => {
                 self.pos += 1;
                 let path = self.dotted_path()?;
@@ -385,6 +386,22 @@ impl Parser {
             assignments,
             predicate,
         })
+    }
+
+    /// `explain [analyze] retrieve (…) …` / `explain [analyze] replace (…) …`
+    fn explain(&mut self) -> Result<Stmt, LangError> {
+        self.expect_keyword("explain")?;
+        let analyze = self.keyword("analyze");
+        let inner = self.statement()?;
+        match inner {
+            Stmt::Retrieve { .. } | Stmt::Replace { .. } => Ok(Stmt::Explain {
+                analyze,
+                stmt: Box::new(inner),
+            }),
+            _ => Err(LangError::Parse(
+                "explain supports retrieve and replace statements only".into(),
+            )),
+        }
     }
 
     /// `delete from Emp1 where …`

@@ -243,3 +243,58 @@ fn deferred_read_through_language_syncs() {
         .unwrap();
     assert_eq!(rows(out)[0][0], Some(Value::Str("Lazy".into())));
 }
+
+#[test]
+fn explain_retrieve_prints_predictions_only() {
+    let mut it = interpreter_with_figure_1();
+    it.execute("replicate Emp1.dept.name").unwrap();
+    let out = it
+        .execute("explain retrieve (Emp1.name, Emp1.dept.name) where Emp1.salary > 100000")
+        .unwrap();
+    let text = format!("{out}");
+    assert!(text.contains("predicted"), "{text}");
+    assert!(text.contains("access"), "{text}");
+    assert!(!text.contains("measured"), "{text}");
+    assert!(!text.contains("rows:"), "explain must not execute: {text}");
+}
+
+#[test]
+fn explain_analyze_retrieve_reports_measured_io_and_drift() {
+    let mut it = interpreter_with_figure_1();
+    it.execute("replicate Emp1.dept.name using separate")
+        .unwrap();
+    let out = it
+        .execute("explain analyze retrieve (Emp1.name, Emp1.dept.name) where Emp1.salary > 100000")
+        .unwrap();
+    let text = format!("{out}");
+    for needle in ["predicted", "measured", "drift", "total", "rows: 2"] {
+        assert!(text.contains(needle), "missing {needle}:\n{text}");
+    }
+}
+
+#[test]
+fn explain_analyze_replace_shows_propagation_operator() {
+    let mut it = interpreter_with_figure_1();
+    it.execute("replicate Emp1.dept.name").unwrap();
+    let out = it
+        .execute(r#"explain analyze replace (Dept.name = "Sneaker") where Dept.name = "Shoe""#)
+        .unwrap();
+    let text = format!("{out}");
+    assert!(text.contains("core.propagate"), "{text}");
+    assert!(text.contains("measured"), "{text}");
+    // The update really ran.
+    let check = it
+        .execute(r#"retrieve (Emp1.dept.name) where Emp1.name = "Alice""#)
+        .unwrap();
+    assert_eq!(rows(check)[0][0], Some(Value::Str("Sneaker".into())));
+}
+
+#[test]
+fn explain_accepts_only_retrieve_and_replace() {
+    let mut it = interpreter_with_figure_1();
+    assert!(it.execute("explain sync").is_err());
+    assert!(it
+        .execute(r#"explain insert Org (name = "X", budget = 1)"#)
+        .is_err());
+    assert!(it.execute("explain analyze advise Emp1.dept.name").is_err());
+}

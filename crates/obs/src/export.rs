@@ -13,6 +13,21 @@ use crate::metrics::Snapshot;
 use crate::profile::Profile;
 use crate::span::SpanNode;
 
+/// Version of the JSON-lines format emitted by this module. Bump when a
+/// line type changes shape; consumers should check the `run` header line.
+pub const JSONL_SCHEMA_VERSION: u32 = 1;
+
+/// Header line stamping a JSONL stream with the format version and a
+/// caller-supplied run identifier, so streams from different runs stay
+/// distinguishable after concatenation.
+pub fn run_meta_jsonl(run_id: &str) -> String {
+    format!(
+        "{{\"type\":\"run\",\"schema_version\":{},\"run_id\":\"{}\"}}",
+        JSONL_SCHEMA_VERSION,
+        escape_json(run_id)
+    )
+}
+
 /// Escape `s` as JSON string contents (no surrounding quotes).
 pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -114,6 +129,12 @@ pub fn snapshot_jsonl(snap: &Snapshot) -> Vec<String> {
             "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
             escape_json(name),
             value
+        ));
+    }
+    for (name, value) in &snap.derived {
+        lines.push(format!(
+            "{{\"type\":\"derived\",\"name\":\"{}\",\"value\":{value:.6}}}",
+            escape_json(name),
         ));
     }
     for h in &snap.histograms {
@@ -224,6 +245,12 @@ pub fn snapshot_text(snap: &Snapshot) -> String {
         let _ = writeln!(out, "gauges:");
         for (name, value) in &snap.gauges {
             let _ = writeln!(out, "  {name:<42} {value}");
+        }
+    }
+    if !snap.derived.is_empty() {
+        let _ = writeln!(out, "derived:");
+        for (name, value) in &snap.derived {
+            let _ = writeln!(out, "  {name:<42} {value:.4}");
         }
     }
     if !snap.histograms.is_empty() {
@@ -419,6 +446,37 @@ mod tests {
             assert!(is_valid_json(&line), "invalid: {line}");
         }
         assert_eq!(snapshot_jsonl(&r.snapshot()).len(), 3);
+    }
+
+    #[test]
+    fn run_meta_line_carries_schema_version_and_run_id() {
+        let line = run_meta_jsonl("bench \"42\"");
+        assert!(is_valid_json(&line), "invalid: {line}");
+        assert!(line.contains("\"type\":\"run\""));
+        assert!(line.contains(&format!("\"schema_version\":{JSONL_SCHEMA_VERSION}")));
+        assert!(line.contains("bench \\\"42\\\""));
+    }
+
+    #[test]
+    fn derived_ratios_appear_in_both_exporters() {
+        let r = Registry::default();
+        r.counter("storage.pool.hits").add(9);
+        r.counter("storage.pool.misses").add(1);
+        let snap = r.snapshot();
+        let lines = snapshot_jsonl(&snap);
+        let derived: Vec<_> = lines
+            .iter()
+            .filter(|l| l.contains("\"type\":\"derived\""))
+            .collect();
+        assert_eq!(derived.len(), 1);
+        assert!(derived[0].contains("storage.pool.hit_rate"));
+        assert!(derived[0].contains("0.900000"));
+        assert!(is_valid_json(derived[0]));
+
+        let text = snapshot_text(&snap);
+        assert!(text.contains("derived:"));
+        assert!(text.contains("storage.pool.hit_rate"));
+        assert!(text.contains("0.9000"));
     }
 
     #[test]

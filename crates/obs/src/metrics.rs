@@ -252,12 +252,33 @@ impl Registry {
             })
             .collect();
         histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        let derived = derive_metrics(&counters);
         Snapshot {
             counters,
             gauges,
             histograms,
+            derived,
         }
     }
+}
+
+/// Ratios computed from raw counters at snapshot time, so exports are
+/// readable without manual arithmetic. Currently:
+/// `storage.pool.hit_rate` = hits / (hits + misses).
+fn derive_metrics(counters: &[(String, u64)]) -> Vec<(String, f64)> {
+    let get = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v as f64)
+    };
+    let mut derived = Vec::new();
+    if let (Some(hits), Some(misses)) = (get("storage.pool.hits"), get("storage.pool.misses")) {
+        if hits + misses > 0.0 {
+            derived.push(("storage.pool.hit_rate".to_string(), hits / (hits + misses)));
+        }
+    }
+    derived
 }
 
 /// Point-in-time copy of one histogram.
@@ -294,6 +315,9 @@ pub struct Snapshot {
     pub gauges: Vec<(String, i64)>,
     /// Every histogram, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
+    /// `(name, value)` for every derived ratio (see [`Registry::snapshot`]),
+    /// e.g. `storage.pool.hit_rate`.
+    pub derived: Vec<(String, f64)>,
 }
 
 /// The process-wide registry.
@@ -376,5 +400,25 @@ mod tests {
         assert_eq!(snap.histograms.len(), 1);
         assert_eq!(snap.histograms[0].count, 1);
         assert_eq!(snap.histograms[0].buckets, vec![0, 0, 1, 0]);
+        assert!(snap.derived.is_empty(), "no pool counters, no ratio");
+    }
+
+    #[test]
+    fn pool_hit_rate_is_derived_at_snapshot_time() {
+        let r = Registry::default();
+        r.counter("storage.pool.hits").add(3);
+        r.counter("storage.pool.misses").add(1);
+        let snap = r.snapshot();
+        assert_eq!(snap.derived.len(), 1);
+        assert_eq!(snap.derived[0].0, "storage.pool.hit_rate");
+        assert!((snap.derived[0].1 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_skipped_when_pool_untouched() {
+        let r = Registry::default();
+        r.counter("storage.pool.hits");
+        r.counter("storage.pool.misses");
+        assert!(r.snapshot().derived.is_empty(), "0/0 must not divide");
     }
 }

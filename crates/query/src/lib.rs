@@ -16,10 +16,15 @@
 
 pub mod error;
 pub mod exec;
+pub mod explain;
 pub mod plan;
 
 pub use error::{QueryError, Result};
 pub use exec::{QueryResult, Row, UpdateResult};
+pub use explain::{
+    explain_analyze_read, explain_analyze_update, explain_read, explain_update, render, Explain,
+    ExplainRow,
+};
 pub use plan::{AccessPlan, Plan, ProjPlan};
 
 use fieldrep_model::Value;

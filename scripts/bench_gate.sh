@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regression gate over committed benchmark snapshots: diff the two newest
+# BENCH_*.json reports and fail on I/O regressions or excess model drift.
+# Run from anywhere: ./scripts/bench_gate.sh [--max-io-regress PCT] [--max-drift PCT]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mapfile -t files < <(ls -1 BENCH_*.json 2>/dev/null | sort | tail -2)
+if [ "${#files[@]}" -lt 2 ]; then
+    echo "bench_gate: need two BENCH_*.json snapshots (found ${#files[@]});"
+    echo "run 'cargo run --release -p fieldrep-bench --bin bench_suite' to create one."
+    exit 0
+fi
+exec cargo run --release -q -p fieldrep-bench --bin bench_gate -- \
+    "${files[0]}" "${files[1]}" "$@"

@@ -7,3 +7,9 @@ cd "$(dirname "$0")/.."
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q --workspace
+
+# Fast benchmark smoke: runs the suite's tiny matrix and self-tests the
+# regression-gate logic (exits nonzero if the gate stops catching
+# injected regressions).
+cargo run --release -q -p fieldrep-bench --bin bench_suite -- \
+    --smoke --run-id check.sh --out target/BENCH_smoke.json
