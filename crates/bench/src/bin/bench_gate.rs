@@ -4,7 +4,12 @@
 //! EXPLAIN-ANALYZE model drift exceeds its bound.
 //!
 //! Run: `cargo run --release -p fieldrep-bench --bin bench_gate -- \
-//!         OLD.json NEW.json [--max-io-regress PCT] [--max-drift PCT]`
+//!         OLD.json NEW.json [--max-io-regress PCT] [--max-drift PCT] \
+//!         [--max-wall-regress PCT]`
+//!
+//! Wall-clock gating only applies to points whose readings clear the
+//! noise floor in both reports (and never against v1 baselines, which
+//! carry no `wall_ms`); pass `--max-wall-regress 0` to disable it.
 //!
 //! `scripts/bench_gate.sh` wires this to the two newest committed
 //! `BENCH_*.json` snapshots.
@@ -35,11 +40,20 @@ fn main() -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .expect("--max-drift PCT")
             }
+            "--max-wall-regress" => {
+                t.max_wall_regress_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-wall-regress PCT")
+            }
             other => files.push(other.to_string()),
         }
     }
     if files.len() != 2 {
-        eprintln!("usage: bench_gate OLD.json NEW.json [--max-io-regress PCT] [--max-drift PCT]");
+        eprintln!(
+            "usage: bench_gate OLD.json NEW.json [--max-io-regress PCT] [--max-drift PCT] \
+             [--max-wall-regress PCT]"
+        );
         return ExitCode::FAILURE;
     }
     let (old, new) = match (load(&files[0]), load(&files[1])) {
@@ -52,8 +66,14 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "gate: {} (run {}) vs {} (run {}); limits: io +{:.0}%, drift ±{:.0}%",
-        files[0], old.run_id, files[1], new.run_id, t.max_io_regress_pct, t.max_drift_pct
+        "gate: {} (run {}) vs {} (run {}); limits: io +{:.0}%, drift ±{:.0}%, wall +{:.0}%",
+        files[0],
+        old.run_id,
+        files[1],
+        new.run_id,
+        t.max_io_regress_pct,
+        t.max_drift_pct,
+        t.max_wall_regress_pct
     );
     let violations = gate(&old, &new, &t);
     if violations.is_empty() {

@@ -53,6 +53,35 @@ fn smoke_gate_check(report: &SuiteReport) -> Result<(), String> {
     if gate(report, &worse, &t).is_empty() {
         return Err("injected +50% I/O regression was not caught".into());
     }
+    // Wall-clock gating: a synthetic 100 ms -> 130 ms slowdown (above the
+    // noise floor) must be caught.
+    let mut slow_old = report.clone();
+    let mut slow_new = report.clone();
+    let id = slow_old
+        .points
+        .iter()
+        .find(|p| p.id.starts_with("io/"))
+        .ok_or("no io/ point in smoke report")?
+        .id
+        .clone();
+    slow_old
+        .points
+        .iter_mut()
+        .find(|p| p.id == id)
+        .unwrap()
+        .wall_ms = 100.0;
+    slow_new
+        .points
+        .iter_mut()
+        .find(|p| p.id == id)
+        .unwrap()
+        .wall_ms = 130.0;
+    if !gate(&slow_old, &slow_new, &t)
+        .iter()
+        .any(|v| v.contains("wall clock"))
+    {
+        return Err("injected +30% wall-clock regression was not caught".into());
+    }
     let back = SuiteReport::parse(&report.to_json()).map_err(|e| format!("reparse: {e}"))?;
     if back.points != report.points {
         return Err("report did not survive a JSON round trip".into());
@@ -107,6 +136,33 @@ fn main() -> ExitCode {
             "{:<40} {:>10.1} {:>10.1} {:>+8.1}",
             p.id, p.measured_io, p.model_io, p.drift_pct
         );
+    }
+
+    // Batched I/O: wall clock and grouped-read calls per io/ point. Page
+    // I/O is unchanged by batching; the win shows up as fewer read calls
+    // (seek/syscall proxy) and lower wall time.
+    println!(
+        "\n--- Batched I/O ---\n{:<40} {:>10} {:>10} {:>10}",
+        "point", "wall_ms", "calls", "pages/call"
+    );
+    for p in &report.points {
+        if !p.id.starts_with("io/") {
+            continue;
+        }
+        let per_call = if p.batch_io > 0.0 {
+            p.measured_io / p.batch_io
+        } else {
+            0.0
+        };
+        println!(
+            "{:<40} {:>10.2} {:>10.1} {:>10.2}",
+            p.id, p.wall_ms, p.batch_io, per_call
+        );
+    }
+    for line in &report.metrics {
+        if line.contains("storage.disk.batch_len") || line.contains("storage.prefetch.") {
+            println!("{line}");
+        }
     }
 
     if smoke {

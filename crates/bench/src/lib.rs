@@ -280,9 +280,10 @@ fn update_rows(w: &Workload) -> i64 {
     (w.spec.update_sel * w.spec.s_count as f64).round() as i64
 }
 
-/// Run one §6 read query and return the measured total page I/O
-/// (reads + writes, cold pool, output file generated with `t = 100`).
-pub fn measure_read_query(w: &mut Workload, lo: i64) -> u64 {
+/// Run one §6 read query (cold pool, output file generated with
+/// `t = 100`) and return the full measured [`IoProfile`] — page counts
+/// plus the grouped-read call count (`disk.read_calls`).
+pub fn measure_read_query_profile(w: &mut Workload, lo: i64) -> IoProfile {
     let count = read_rows(w);
     let q = read_query(w, lo);
     w.db.flush_all().unwrap();
@@ -290,16 +291,22 @@ pub fn measure_read_query(w: &mut Workload, lo: i64) -> u64 {
     let res = q.run(&mut w.db).expect("read query");
     assert_eq!(res.rows.len(), count as usize, "selectivity honoured");
     w.db.flush_all().unwrap();
-    let io = w.db.io_profile().total_io();
+    let prof = w.db.io_profile();
     if let Some(f) = res.output_file {
         w.db.sm().drop_file(f).unwrap();
     }
-    io
+    prof
 }
 
-/// Run one §6 update query and return the measured total page I/O
-/// (cold pool, dirty pages flushed and counted).
-pub fn measure_update_query(w: &mut Workload, lo: i64) -> u64 {
+/// Run one §6 read query and return the measured total page I/O
+/// (reads + writes, cold pool, output file generated with `t = 100`).
+pub fn measure_read_query(w: &mut Workload, lo: i64) -> u64 {
+    measure_read_query_profile(w, lo).total_io()
+}
+
+/// Run one §6 update query (cold pool, dirty pages flushed and counted)
+/// and return the full measured [`IoProfile`].
+pub fn measure_update_query_profile(w: &mut Workload, lo: i64) -> IoProfile {
     let count = update_rows(w);
     let q = update_query(w, lo);
     w.db.flush_all().unwrap();
@@ -307,7 +314,13 @@ pub fn measure_update_query(w: &mut Workload, lo: i64) -> u64 {
     let res = q.run(&mut w.db).expect("update query");
     assert_eq!(res.updated, count as usize, "selectivity honoured");
     w.db.flush_all().unwrap();
-    w.db.io_profile().total_io()
+    w.db.io_profile()
+}
+
+/// Run one §6 update query and return the measured total page I/O
+/// (cold pool, dirty pages flushed and counted).
+pub fn measure_update_query(w: &mut Workload, lo: i64) -> u64 {
+    measure_update_query_profile(w, lo).total_io()
 }
 
 /// Convert the storage layer's raw counters into the observability
@@ -391,30 +404,46 @@ pub fn profile_update_query(w: &mut Workload, lo: i64) -> ProfiledRun {
     }
 }
 
-/// Average measured I/O of `n` read queries at distinct offsets.
-pub fn avg_read_io(w: &mut Workload, n: usize) -> f64 {
+/// Average `(total page I/O, disk read calls)` of `n` read queries at
+/// distinct offsets. The second component is the grouped-call count —
+/// the seek/syscall proxy the batched fast path shrinks while page I/O
+/// stays constant.
+pub fn avg_read_stats(w: &mut Workload, n: usize) -> (f64, f64) {
     let count = (w.spec.read_sel * w.spec.r_count() as f64).round() as i64;
     let max_lo = (w.spec.r_count() as i64 - count).max(1);
-    (0..n)
-        .map(|i| {
-            let lo = (i as i64 * 7919) % max_lo;
-            measure_read_query(w, lo) as f64
-        })
-        .sum::<f64>()
-        / n as f64
+    let (mut io, mut calls) = (0.0, 0.0);
+    for i in 0..n {
+        let lo = (i as i64 * 7919) % max_lo;
+        let p = measure_read_query_profile(w, lo);
+        io += p.total_io() as f64;
+        calls += p.disk.read_calls as f64;
+    }
+    (io / n as f64, calls / n as f64)
+}
+
+/// Average measured I/O of `n` read queries at distinct offsets.
+pub fn avg_read_io(w: &mut Workload, n: usize) -> f64 {
+    avg_read_stats(w, n).0
+}
+
+/// Average `(total page I/O, disk read calls)` of `n` update queries at
+/// distinct offsets.
+pub fn avg_update_stats(w: &mut Workload, n: usize) -> (f64, f64) {
+    let count = (w.spec.update_sel * w.spec.s_count as f64).round() as i64;
+    let max_lo = (w.spec.s_count as i64 - count).max(1);
+    let (mut io, mut calls) = (0.0, 0.0);
+    for i in 0..n {
+        let lo = (i as i64 * 6389) % max_lo;
+        let p = measure_update_query_profile(w, lo);
+        io += p.total_io() as f64;
+        calls += p.disk.read_calls as f64;
+    }
+    (io / n as f64, calls / n as f64)
 }
 
 /// Average measured I/O of `n` update queries at distinct offsets.
 pub fn avg_update_io(w: &mut Workload, n: usize) -> f64 {
-    let count = (w.spec.update_sel * w.spec.s_count as f64).round() as i64;
-    let max_lo = (w.spec.s_count as i64 - count).max(1);
-    (0..n)
-        .map(|i| {
-            let lo = (i as i64 * 6389) % max_lo;
-            measure_update_query(w, lo) as f64
-        })
-        .sum::<f64>()
-        / n as f64
+    avg_update_stats(w, n).0
 }
 
 /// One cell of the empirical matrix: measured vs. analytical page I/O
@@ -432,6 +461,11 @@ pub struct CellMeasurement {
     pub read_nanos: u64,
     /// Wall time of all update queries, nanoseconds.
     pub update_nanos: u64,
+    /// Disk read *calls* per read query, averaged (grouped batch reads
+    /// count once; `read_measured / read_calls` ≈ mean batch length).
+    pub read_calls: f64,
+    /// Disk read calls per update query, averaged.
+    pub update_calls: f64,
 }
 
 /// Build one workload and measure its cell (`queries` runs averaged per
@@ -442,10 +476,10 @@ pub fn measure_cell(spec: WorkloadSpec, queries: usize) -> (Workload, CellMeasur
     let setting = spec.setting;
     let mut w = build_workload(spec);
     let t0 = std::time::Instant::now();
-    let read_measured = avg_read_io(&mut w, queries);
+    let (read_measured, read_calls) = avg_read_stats(&mut w, queries);
     let read_nanos = t0.elapsed().as_nanos() as u64;
     let t1 = std::time::Instant::now();
-    let update_measured = avg_update_io(&mut w, queries);
+    let (update_measured, update_calls) = avg_update_stats(&mut w, queries);
     let update_nanos = t1.elapsed().as_nanos() as u64;
     let cell = CellMeasurement {
         read_measured,
@@ -454,6 +488,8 @@ pub fn measure_cell(spec: WorkloadSpec, queries: usize) -> (Workload, CellMeasur
         update_model: update_cost(&params, model, setting).total(),
         read_nanos,
         update_nanos,
+        read_calls,
+        update_calls,
     };
     (w, cell)
 }

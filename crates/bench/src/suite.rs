@@ -24,8 +24,16 @@ use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Version of the `BENCH_*.json` document layout. Bump on any breaking
 /// change to [`SuiteReport::to_json`]; [`SuiteReport::parse`] rejects
-/// other versions so the gate never diffs incompatible reports.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+/// unknown versions so the gate never diffs incompatible reports.
+///
+/// v2 added `wall_ms` and `batch_io` per point (the batched-I/O fast
+/// path's wall-clock and grouped-read-call telemetry). v1 documents are
+/// still parsed, with those fields defaulting to 0 — which also disables
+/// wall-clock gating against a v1 baseline.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// Wall-clock readings below this are considered noise and never gated.
+pub const WALL_FLOOR_MS: f64 = 5.0;
 
 /// What the suite measures.
 #[derive(Clone, Debug)]
@@ -103,6 +111,14 @@ pub struct BenchPoint {
     pub drift_pct: f64,
     /// Wall time of the measured queries, nanoseconds (0 for `model/…`).
     pub wall_nanos: u64,
+    /// Wall time in milliseconds (same window as `wall_nanos`; kept as a
+    /// separate field so gates and humans read one unit). 0 when the
+    /// point has no wall measurement or came from a v1 document.
+    pub wall_ms: f64,
+    /// Disk read *calls* per query (grouped batch reads count once) —
+    /// the syscall/seek proxy; `measured_io / batch_io` ≈ mean batch
+    /// length. 0 for non-`io/` points and v1 documents.
+    pub batch_io: f64,
 }
 
 /// A full suite run, serialisable to/from `BENCH_*.json`.
@@ -157,6 +173,8 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
                         model_io: v as f64,
                         drift_pct: 0.0,
                         wall_nanos: 0,
+                        wall_ms: 0.0,
+                        batch_io: 0.0,
                     });
                 }
             }
@@ -177,6 +195,8 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
                     model_io: cell.read_model,
                     drift_pct: drift_pct(cell.read_model, cell.read_measured),
                     wall_nanos: cell.read_nanos,
+                    wall_ms: cell.read_nanos as f64 / 1e6,
+                    batch_io: cell.read_calls,
                 });
                 points.push(BenchPoint {
                     id: format!("{base}/update"),
@@ -184,6 +204,8 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
                     model_io: cell.update_model,
                     drift_pct: drift_pct(cell.update_model, cell.update_measured),
                     wall_nanos: cell.update_nanos,
+                    wall_ms: cell.update_nanos as f64 / 1e6,
+                    batch_io: cell.update_calls,
                 });
 
                 // Propagation fan-out: the `core.propagate` slice of one
@@ -216,6 +238,8 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
                         model_io: model,
                         drift_pct: drift_pct(model, measured),
                         wall_nanos: run.profile.total_nanos as u64,
+                        wall_ms: run.profile.total_nanos as f64 / 1e6,
+                        batch_io: 0.0,
                     });
                 }
 
@@ -233,6 +257,8 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
                     model_io: e.predicted_total,
                     drift_pct: e.total_drift().unwrap_or(0.0),
                     wall_nanos: 0,
+                    wall_ms: 0.0,
+                    batch_io: 0.0,
                 });
             }
         }
@@ -266,6 +292,8 @@ impl SuiteReport {
                         ("model_io".into(), Json::Num(p.model_io)),
                         ("drift_pct".into(), Json::Num(p.drift_pct)),
                         ("wall_nanos".into(), Json::Num(p.wall_nanos as f64)),
+                        ("wall_ms".into(), Json::Num(p.wall_ms)),
+                        ("batch_io".into(), Json::Num(p.batch_io)),
                     ])
                 })
                 .collect(),
@@ -290,16 +318,18 @@ impl SuiteReport {
         doc.render()
     }
 
-    /// Parse a report written by [`SuiteReport::to_json`].
+    /// Parse a report written by [`SuiteReport::to_json`]. Accepts the
+    /// current schema and v1 (whose points lack `wall_ms` / `batch_io`;
+    /// they default to 0, which exempts them from wall-clock gating).
     pub fn parse(src: &str) -> Result<SuiteReport, String> {
         let doc = Json::parse(src)?;
         let version = doc
             .get("schema_version")
             .and_then(Json::as_f64)
             .ok_or("missing schema_version")? as u32;
-        if version != BENCH_SCHEMA_VERSION {
+        if version != BENCH_SCHEMA_VERSION && version != 1 {
             return Err(format!(
-                "schema_version {version} unsupported (expected {BENCH_SCHEMA_VERSION})"
+                "schema_version {version} unsupported (expected {BENCH_SCHEMA_VERSION} or 1)"
             ));
         }
         let num = |p: &Json, k: &str| -> Result<f64, String> {
@@ -323,6 +353,9 @@ impl SuiteReport {
                     model_io: num(p, "model_io")?,
                     drift_pct: num(p, "drift_pct")?,
                     wall_nanos: num(p, "wall_nanos")? as u64,
+                    // v2 fields; absent in v1 documents.
+                    wall_ms: p.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                    batch_io: p.get("batch_io").and_then(Json::as_f64).unwrap_or(0.0),
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -359,6 +392,10 @@ pub struct GateThresholds {
     pub max_io_regress_pct: f64,
     /// Maximum allowed |model drift| on `drift/…` points, %.
     pub max_drift_pct: f64,
+    /// Maximum allowed wall-clock increase vs. the previous run, %.
+    /// Only applied when both readings are at least [`WALL_FLOOR_MS`]
+    /// (sub-floor timings are noise); `<= 0` disables wall gating.
+    pub max_wall_regress_pct: f64,
 }
 
 impl Default for GateThresholds {
@@ -366,13 +403,16 @@ impl Default for GateThresholds {
         GateThresholds {
             max_io_regress_pct: 10.0,
             max_drift_pct: 60.0,
+            max_wall_regress_pct: 15.0,
         }
     }
 }
 
 /// Diff `new` against `old`; returns human-readable violations (empty =
-/// gate passes). Wall time is reported but never gated — it is too
-/// machine-dependent; page I/O is deterministic.
+/// gate passes). Page I/O is deterministic and gated strictly; wall
+/// clock is gated loosely (floor + wide threshold) because it is
+/// machine-dependent, and not at all against v1 baselines (their
+/// `wall_ms` parses as 0, below the floor).
 pub fn gate(old: &SuiteReport, new: &SuiteReport, t: &GateThresholds) -> Vec<String> {
     let mut violations = Vec::new();
     for op in &old.points {
@@ -386,6 +426,18 @@ pub fn gate(old: &SuiteReport, new: &SuiteReport, t: &GateThresholds) -> Vec<Str
                 "{}: measured I/O regressed {:.1}% ({:.1} -> {:.1} pages, limit {:.0}%)",
                 op.id, regress, op.measured_io, np.measured_io, t.max_io_regress_pct
             ));
+        }
+        if t.max_wall_regress_pct > 0.0
+            && op.wall_ms >= WALL_FLOOR_MS
+            && np.wall_ms >= WALL_FLOOR_MS
+        {
+            let wall_regress = 100.0 * (np.wall_ms - op.wall_ms) / op.wall_ms;
+            if wall_regress > t.max_wall_regress_pct {
+                violations.push(format!(
+                    "{}: wall clock regressed {:.1}% ({:.1} -> {:.1} ms, limit {:.0}%)",
+                    op.id, wall_regress, op.wall_ms, np.wall_ms, t.max_wall_regress_pct
+                ));
+            }
         }
     }
     for np in &new.points {
@@ -477,7 +529,65 @@ mod tests {
         let r = tiny_report();
         let bumped = r
             .to_json()
-            .replacen("\"schema_version\":1", "\"schema_version\":99", 1);
+            .replacen("\"schema_version\":2", "\"schema_version\":99", 1);
         assert!(SuiteReport::parse(&bumped).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_v1_documents_with_wall_fields_defaulted() {
+        // A v1 document: no wall_ms / batch_io on its points.
+        let v1 = concat!(
+            "{\"schema_version\":1,\"run_id\":\"old\",\"generated_unix\":1,",
+            "\"smoke\":true,\"points\":[{\"id\":\"io/x/f1/none/read\",",
+            "\"measured_io\":10,\"model_io\":9,\"drift_pct\":11.1,",
+            "\"wall_nanos\":8000000}],\"metrics\":[]}"
+        );
+        let r = SuiteReport::parse(v1).unwrap();
+        assert_eq!(r.schema_version, 1);
+        assert_eq!(r.points.len(), 1);
+        assert_eq!(r.points[0].wall_ms, 0.0);
+        assert_eq!(r.points[0].batch_io, 0.0);
+        // wall_ms 0 < WALL_FLOOR_MS: no wall gating against a v1 baseline,
+        // even against an arbitrarily slow new report.
+        let mut new = r.clone();
+        new.points[0].wall_ms = 1e6;
+        assert!(gate(&r, &new, &GateThresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn gate_flags_wall_clock_regression_above_floor_only() {
+        let r = tiny_report();
+        let mut old = r.clone();
+        let mut new = r.clone();
+        let id = old
+            .points
+            .iter()
+            .find(|p| p.id.starts_with("io/"))
+            .unwrap()
+            .id
+            .clone();
+        let set = |rep: &mut SuiteReport, ms: f64| {
+            rep.points.iter_mut().find(|p| p.id == id).unwrap().wall_ms = ms;
+        };
+        // 100 ms -> 130 ms: +30% > 15% limit.
+        set(&mut old, 100.0);
+        set(&mut new, 130.0);
+        let v = gate(&old, &new, &GateThresholds::default());
+        assert!(
+            v.iter().any(|m| m.contains("wall clock regressed")),
+            "{v:?}"
+        );
+        // Same ratio below the floor: noise, not gated.
+        set(&mut old, 1.0);
+        set(&mut new, 1.3);
+        assert!(gate(&old, &new, &GateThresholds::default()).is_empty());
+        // Threshold <= 0 disables wall gating entirely.
+        set(&mut old, 100.0);
+        set(&mut new, 130.0);
+        let off = GateThresholds {
+            max_wall_regress_pct: 0.0,
+            ..GateThresholds::default()
+        };
+        assert!(gate(&old, &new, &off).is_empty());
     }
 }

@@ -25,6 +25,37 @@ use fieldrep_catalog::{RepPathDef, Strategy};
 use fieldrep_model::{Annotation, Object, Value};
 use fieldrep_storage::Oid;
 
+/// Process a physically-sorted OID batch page-group by page-group: split
+/// it into chunks of at most half-the-pool distinct pages
+/// ([`fieldrep_storage::oid_page_chunks`]), batch-fetch each chunk's
+/// pages with grouped disk reads, and invoke `f` for every OID while its
+/// page is pinned — so all co-located OIDs are rewritten under one pin,
+/// the §4.1.3 payoff of keeping link-object OIDs sorted. Returns the
+/// number of distinct pages the batch spanned.
+pub(crate) fn for_each_page_group<F>(
+    ctx: &mut EngineCtx<'_>,
+    oids: &[Oid],
+    mut f: F,
+) -> Result<usize>
+where
+    F: FnMut(&mut EngineCtx<'_>, Oid) -> Result<()>,
+{
+    debug_assert!(oids.is_sorted(), "page grouping expects physical order");
+    // Half the pool keeps enough free frames for the work `f` does under
+    // the pins (forwarding, link pages, replica objects).
+    let max_pages = (ctx.sm.pool().capacity() / 2).clamp(1, 32);
+    let mut pages_total = 0;
+    for (range, pages) in fieldrep_storage::oid_page_chunks(oids, max_pages) {
+        pages_total += pages.len();
+        let pinned = ctx.sm.get_pages_batch(&pages)?;
+        for &oid in &oids[range] {
+            f(ctx, oid)?;
+        }
+        drop(pinned);
+    }
+    Ok(pages_total)
+}
+
 /// Walk the forward chain of `path` starting from the already-loaded
 /// source object. `chain[0] = Some(source)`; `chain[i+1]` is the object
 /// after hop `i`, or `None` from the first NULL/broken reference onward.
@@ -376,10 +407,11 @@ pub fn collect_sources(
         return Ok(members); // already sorted
     }
     let mut out = Vec::new();
-    for m in members {
+    for_each_page_group(ctx, &members, |ctx, m| {
         let mobj = read_object(ctx.sm, ctx.cat, m)?;
         out.extend(collect_sources(ctx, path, at_level - 1, &mobj)?);
-    }
+        Ok(())
+    })?;
     out.sort_unstable();
     out.dedup();
     Ok(out)

@@ -855,20 +855,21 @@ impl Database {
         for e in entries {
             match e {
                 crate::PendingEntry::StaleSources { obj, link_level } => {
-                    let (sources, _) = {
-                        let mut ctx = self.ctx();
+                    let mut ctx = self.ctx();
+                    let sources = {
                         let o = read_object(ctx.sm, ctx.cat, obj)?;
-                        (
-                            crate::attach::collect_sources(&mut ctx, &pdef, link_level, &o)?,
-                            (),
-                        )
+                        let mut s =
+                            crate::attach::collect_sources(&mut ctx, &pdef, link_level, &o)?;
+                        s.dedup();
+                        s
                     };
-                    for s in sources {
-                        let mut ctx = self.ctx();
+                    // Refresh the stale sources page-group by page-group
+                    // (sorted physical order, one grouped read per run).
+                    crate::attach::for_each_page_group(&mut ctx, &sources, |ctx, s| {
                         let sobj = read_object(ctx.sm, ctx.cat, s)?;
-                        let chain = walk_chain(&mut ctx, &pdef, s, &sobj)?;
-                        crate::attach::attach_terminal(&mut ctx, &pdef, s, &chain)?;
-                    }
+                        let chain = walk_chain(ctx, &pdef, s, &sobj)?;
+                        crate::attach::attach_terminal(ctx, &pdef, s, &chain)
+                    })?;
                 }
                 crate::PendingEntry::StaleReplica { obj } => {
                     let group = self

@@ -19,8 +19,8 @@
 //!    source object below.
 
 use crate::attach::{
-    attach_links_from, collect_sources, detach_links_from, set_source_replica_values,
-    terminal_values,
+    attach_links_from, collect_sources, detach_links_from, for_each_page_group,
+    set_source_replica_values, terminal_values,
 };
 use crate::error::Result;
 use crate::objects::{read_object, write_object};
@@ -44,22 +44,25 @@ struct PropMetrics {
     /// `core.propagate.deferred`: propagations parked on the pending list.
     deferred: Arc<metrics::Counter>,
     /// `core.propagate.fanout`: source objects rewritten per in-place
-    /// propagation (the paper's fan-out `f`).
+    /// propagation (the paper's fan-out `f`), after page-level dedup.
     fanout: Arc<metrics::Histogram>,
+    /// `core.propagate.pages_per_fanout`: distinct source pages touched
+    /// per in-place propagation — the `Yao(f)` page count the cost model
+    /// charges, as opposed to `f` round trips.
+    pages_per_fanout: Arc<metrics::Histogram>,
 }
 
 fn prop_metrics() -> &'static PropMetrics {
     static METRICS: OnceLock<PropMetrics> = OnceLock::new();
     METRICS.get_or_init(|| {
         let r = metrics::registry();
+        let fanout_bounds = &[1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
         PropMetrics {
             inplace: r.counter("core.propagate.inplace"),
             separate: r.counter("core.propagate.separate"),
             deferred: r.counter("core.propagate.deferred"),
-            fanout: r.histogram(
-                "core.propagate.fanout",
-                &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024],
-            ),
+            fanout: r.histogram("core.propagate.fanout", fanout_bounds),
+            pages_per_fanout: r.histogram("core.propagate.pages_per_fanout", fanout_bounds),
         }
     })
 }
@@ -206,14 +209,22 @@ pub fn propagate_terminal_inplace(
     debug_assert_eq!(path.strategy, Strategy::InPlace);
     let span = Span::enter("core.propagate.inplace");
     let last_level = path.links.len() - 1;
-    let sources = collect_sources(ctx, path, last_level, terminal_obj)?;
+    let mut sources = collect_sources(ctx, path, last_level, terminal_obj)?;
+    // Level-0 members arrive sorted but not deduplicated: dedup before
+    // fetching so the fan-out metric counts logical sources and co-located
+    // OIDs are not fetched repeatedly.
+    sources.dedup();
     span.note("fanout", sources.len());
     prop_metrics().inplace.inc();
     prop_metrics().fanout.record(sources.len() as u64);
     let values = terminal_values(path, terminal_obj);
-    for s in sources {
-        set_source_replica_values(ctx, path, s, Some(values.clone()))?;
-    }
+    // The sorted OID array visits each source page once, all co-located
+    // sources rewritten under one pin (§4.1.3).
+    let pages = for_each_page_group(ctx, &sources, |ctx, s| {
+        set_source_replica_values(ctx, path, s, Some(values.clone()))
+    })?;
+    span.note("pages", pages);
+    prop_metrics().pages_per_fanout.record(pages as u64);
     Ok(())
 }
 
@@ -269,8 +280,11 @@ pub fn handle_intermediate_ref_update(
     if path.collapsed {
         return handle_collapsed_intermediate(ctx, path, oid, old_ref, new_ref);
     }
-    // Sources below this object (they all reach the terminal through it).
-    let sources = collect_sources(ctx, path, lvl, obj)?;
+    // Sources below this object (they all reach the terminal through it),
+    // sorted and deduplicated so the page-grouped rewrites below touch
+    // each source page once.
+    let mut sources = collect_sources(ctx, path, lvl, obj)?;
+    sources.dedup();
 
     // Unlink the old suffix, link the new one. Structure is always
     // maintained eagerly, even for deferred paths.
@@ -299,9 +313,9 @@ pub fn handle_intermediate_ref_update(
                 }
                 None => None,
             };
-            for s in sources {
-                set_source_replica_values(ctx, path, s, values.clone())?;
-            }
+            for_each_page_group(ctx, &sources, |ctx, s| {
+                set_source_replica_values(ctx, path, s, values.clone())
+            })?;
         }
         Strategy::Separate => {
             let group = ctx
@@ -314,14 +328,15 @@ pub fn handle_intermediate_ref_update(
             // Remove the sources' replica references (counting how many
             // actually pointed at the old replica).
             let mut released = 0u32;
-            for s in &sources {
-                let mut sobj = read_object(ctx.sm, ctx.cat, *s)?;
+            for_each_page_group(ctx, &sources, |ctx, s| {
+                let mut sobj = read_object(ctx.sm, ctx.cat, s)?;
                 if let Some((i, _)) = find_replica_ref(&sobj, group.id.0) {
                     sobj.annotations.remove(i);
-                    write_object(ctx.sm, ctx.cat, *s, &sobj)?;
+                    write_object(ctx.sm, ctx.cat, s, &sobj)?;
                     released += 1;
                 }
-            }
+                Ok(())
+            })?;
             if released > 0 {
                 if let Some(t) = old_terminal {
                     anchor_release(ctx.sm, ctx.cat, &group, t, released)?;
@@ -330,14 +345,14 @@ pub fn handle_intermediate_ref_update(
             // Point them at the new terminal's replica.
             if let Some(t) = new_terminal {
                 let roid = anchor_acquire(ctx.sm, ctx.cat, &group, t, sources.len() as u32)?;
-                for s in &sources {
-                    let mut sobj = read_object(ctx.sm, ctx.cat, *s)?;
+                for_each_page_group(ctx, &sources, |ctx, s| {
+                    let mut sobj = read_object(ctx.sm, ctx.cat, s)?;
                     sobj.annotations.push(Annotation::ReplicaRef {
                         group: group.id.0,
                         oid: roid,
                     });
-                    write_object(ctx.sm, ctx.cat, *s, &sobj)?;
-                }
+                    write_object(ctx.sm, ctx.cat, s, &sobj)
+                })?;
             }
         }
     }
@@ -405,7 +420,9 @@ fn handle_collapsed_intermediate(
         }
     }
 
-    // 3. Refresh the moved sources' values.
+    // 3. Refresh the moved sources' values, in physical page order.
+    moved.sort_unstable();
+    moved.dedup();
     match new_ref {
         Some(t) => {
             if path.propagation == Propagation::Deferred {
@@ -419,17 +436,17 @@ fn handle_collapsed_intermediate(
             } else {
                 let tobj = read_object(ctx.sm, ctx.cat, t)?;
                 let values = terminal_values(path, &tobj);
-                for s in moved {
-                    set_source_replica_values(ctx, path, s, Some(values.clone()))?;
-                }
+                for_each_page_group(ctx, &moved, |ctx, s| {
+                    set_source_replica_values(ctx, path, s, Some(values.clone()))
+                })?;
             }
         }
         None => {
             // Broken chain: values disappear (eagerly — a pending entry
             // cannot express clearing).
-            for s in moved {
-                set_source_replica_values(ctx, path, s, None)?;
-            }
+            for_each_page_group(ctx, &moved, |ctx, s| {
+                set_source_replica_values(ctx, path, s, None)
+            })?;
         }
     }
     Ok(())

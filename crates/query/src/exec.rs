@@ -13,7 +13,7 @@ use fieldrep_btree::BTreeIndex;
 use fieldrep_core::{read_object, value_key, Database};
 use fieldrep_model::{Annotation, Object, Value};
 use fieldrep_obs::{io as obs_io, Profile, Span};
-use fieldrep_storage::{HeapFile, Oid};
+use fieldrep_storage::{oid_page_chunks, HeapFile, Oid};
 use std::collections::HashMap;
 
 /// One result row: one entry per projected column (`None` when a path was
@@ -48,17 +48,30 @@ pub struct UpdateResult {
     pub profile: Profile,
 }
 
+/// The page-chunk cap for batched fetches: half the pool, so decode work
+/// under the pins always has free frames available.
+fn max_batch_pages(db: &mut Database) -> usize {
+    (db.sm().pool().capacity() / 2).clamp(1, 32)
+}
+
 /// Fetch many objects with each page read once: sort unique OIDs into
-/// physical order, then read through the buffer pool.
+/// physical order, then move each adjacent page run with one grouped
+/// disk read ([`fieldrep_storage::StorageManager::get_pages_batch`]) and
+/// decode the objects while their pages are pinned.
 fn fetch_batch(db: &mut Database, oids: &[Oid]) -> Result<HashMap<Oid, Object>> {
     let mut uniq: Vec<Oid> = oids.to_vec();
     uniq.sort_unstable();
     uniq.dedup();
     let mut map = HashMap::with_capacity(uniq.len());
-    for oid in uniq {
-        let ctx = db.ctx();
-        let obj = read_object(ctx.sm, ctx.cat, oid)?;
-        map.insert(oid, obj);
+    let max_pages = max_batch_pages(db);
+    for (range, pages) in oid_page_chunks(&uniq, max_pages) {
+        let pinned = db.sm().get_pages_batch(&pages)?;
+        for &oid in &uniq[range] {
+            let ctx = db.ctx();
+            let obj = read_object(ctx.sm, ctx.cat, oid)?;
+            map.insert(oid, obj);
+        }
+        drop(pinned);
     }
     Ok(map)
 }
@@ -190,14 +203,21 @@ fn project(
                 targets.dedup();
                 let hf = HeapFile::open(gdef.file);
                 let mut replica_vals: HashMap<Oid, Vec<Value>> = HashMap::new();
-                for t in targets {
-                    let (_, payload) = hf.read(db.sm(), t)?;
-                    replica_vals.insert(
-                        t,
-                        Value::decode_list(&payload).map_err(|e| {
-                            QueryError::BadQuery(format!("bad replica object: {e}"))
-                        })?,
-                    );
+                // S'-scan: batched over the sorted replica OIDs, one
+                // grouped read per adjacent page run.
+                let max_pages = max_batch_pages(db);
+                for (range, pages) in oid_page_chunks(&targets, max_pages) {
+                    let pinned = db.sm().get_pages_batch(&pages)?;
+                    for &t in &targets[range] {
+                        let (_, payload) = hf.read(db.sm(), t)?;
+                        replica_vals.insert(
+                            t,
+                            Value::decode_list(&payload).map_err(|e| {
+                                QueryError::BadQuery(format!("bad replica object: {e}"))
+                            })?,
+                        );
+                    }
+                    drop(pinned);
                 }
                 for (row, r) in rows.iter_mut().zip(&refs) {
                     for &pos in positions {

@@ -35,6 +35,21 @@ pub trait DiskManager: Send {
     fn page_count(&self, file: FileId) -> Result<u32>;
     /// Read page `pid` into `buf`.
     fn read_page(&mut self, pid: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()>;
+    /// Read `bufs.len()` *adjacent* pages starting at `first` — the
+    /// grouped transfer behind [`BufferPool::get_pages_batch`]
+    /// (see [`crate::BufferPool`]): one call moves a whole sorted run.
+    ///
+    /// Backends override this to issue the run as a single seek +
+    /// vectored read; the default falls back to per-page reads. Either
+    /// way every page is still counted in [`IoStats::reads`], so batched
+    /// and unbatched paths report identical page-I/O totals; only
+    /// [`IoStats::read_calls`] differs.
+    fn read_pages(&mut self, first: PageId, bufs: &mut [&mut [u8; PAGE_SIZE]]) -> Result<()> {
+        for (i, buf) in bufs.iter_mut().enumerate() {
+            self.read_page(PageId::new(first.file, first.page + i as u32), buf)?;
+        }
+        Ok(())
+    }
     /// Write `buf` to page `pid`.
     fn write_page(&mut self, pid: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()>;
     /// Physical I/O counters since the last reset.
@@ -114,6 +129,32 @@ impl DiskManager for MemDisk {
             .ok_or(StorageError::PageOutOfBounds(pid))?;
         buf.copy_from_slice(&page[..]);
         self.stats.reads += 1;
+        self.stats.read_calls += 1;
+        Ok(())
+    }
+
+    fn read_pages(&mut self, first: PageId, bufs: &mut [&mut [u8; PAGE_SIZE]]) -> Result<()> {
+        let pages = self
+            .files
+            .get(&first.file)
+            .ok_or(StorageError::FileNotFound(first.file))?;
+        let last = first.page as usize + bufs.len().saturating_sub(1);
+        if bufs.is_empty() {
+            return Ok(());
+        }
+        if last >= pages.len() {
+            return Err(StorageError::PageOutOfBounds(PageId::new(
+                first.file,
+                last as u32,
+            )));
+        }
+        for (i, buf) in bufs.iter_mut().enumerate() {
+            buf.copy_from_slice(&pages[first.page as usize + i][..]);
+        }
+        // n page transfers, one grouped call — the in-memory analogue of
+        // a single-seek vectored read.
+        self.stats.reads += bufs.len() as u64;
+        self.stats.read_calls += 1;
         Ok(())
     }
 
@@ -251,6 +292,46 @@ impl DiskManager for FileDisk {
             .seek(SeekFrom::Start(u64::from(pid.page) * PAGE_SIZE as u64))?;
         of.handle.read_exact(&mut buf[..])?;
         self.stats.reads += 1;
+        self.stats.read_calls += 1;
+        Ok(())
+    }
+
+    fn read_pages(&mut self, first: PageId, bufs: &mut [&mut [u8; PAGE_SIZE]]) -> Result<()> {
+        if bufs.is_empty() {
+            return Ok(());
+        }
+        let of = self
+            .files
+            .get_mut(&first.file)
+            .ok_or(StorageError::FileNotFound(first.file))?;
+        let last = u64::from(first.page) + bufs.len() as u64 - 1;
+        if last >= u64::from(of.pages) {
+            return Err(StorageError::PageOutOfBounds(PageId::new(
+                first.file,
+                last as u32,
+            )));
+        }
+        of.handle
+            .seek(SeekFrom::Start(u64::from(first.page) * PAGE_SIZE as u64))?;
+        // One vectored read for the whole run; a short read (the kernel
+        // may split large vectors) falls back to per-page reads at
+        // explicit offsets for the remainder.
+        let mut slices: Vec<std::io::IoSliceMut<'_>> = bufs
+            .iter_mut()
+            .map(|b| std::io::IoSliceMut::new(&mut b[..]))
+            .collect();
+        let n = of.handle.read_vectored(&mut slices)?;
+        let done_pages = n / PAGE_SIZE;
+        if n % PAGE_SIZE != 0 || done_pages < bufs.len() {
+            for (i, buf) in bufs.iter_mut().enumerate().skip(done_pages) {
+                let page = first.page + i as u32;
+                of.handle
+                    .seek(SeekFrom::Start(u64::from(page) * PAGE_SIZE as u64))?;
+                of.handle.read_exact(&mut buf[..])?;
+            }
+        }
+        self.stats.reads += bufs.len() as u64;
+        self.stats.read_calls += 1;
         Ok(())
     }
 
@@ -361,6 +442,54 @@ mod tests {
             // New files must not collide with reopened ids.
             let g = d.create_file().unwrap();
             assert_ne!(g, f);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn exercise_batch(disk: &mut dyn DiskManager) {
+        let f = disk.create_file().unwrap();
+        let mut pids = vec![];
+        for i in 0..4u8 {
+            let p = disk.allocate_page(f).unwrap();
+            let mut buf = [0u8; PAGE_SIZE];
+            buf[0] = i + 1;
+            disk.write_page(p, &buf).unwrap();
+            pids.push(p);
+        }
+        disk.reset_stats();
+        let mut storage = vec![[0u8; PAGE_SIZE]; 4];
+        let mut bufs: Vec<&mut [u8; PAGE_SIZE]> = storage.iter_mut().collect();
+        disk.read_pages(pids[0], &mut bufs).unwrap();
+        for (i, buf) in storage.iter().enumerate() {
+            assert_eq!(buf[0], i as u8 + 1, "page {i} of the run");
+        }
+        let s = disk.stats();
+        assert_eq!(s.reads, 4, "every page of the run is counted");
+        assert_eq!(s.read_calls, 1, "but the run is one grouped call");
+
+        // A run extending past EOF fails without touching the counters.
+        let mut storage = vec![[0u8; PAGE_SIZE]; 3];
+        let mut bufs: Vec<&mut [u8; PAGE_SIZE]> = storage.iter_mut().collect();
+        assert!(matches!(
+            disk.read_pages(PageId::new(f, 2), &mut bufs),
+            Err(StorageError::PageOutOfBounds(_))
+        ));
+        assert_eq!(disk.stats().reads, 4);
+    }
+
+    #[test]
+    fn mem_disk_batch_reads() {
+        let mut d = MemDisk::new();
+        exercise_batch(&mut d);
+    }
+
+    #[test]
+    fn file_disk_batch_reads() {
+        let dir = std::env::temp_dir().join(format!("fieldrep-disk-b-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut d = FileDisk::open(&dir).unwrap();
+            exercise_batch(&mut d);
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }

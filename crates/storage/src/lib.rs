@@ -126,9 +126,53 @@ impl StorageManager {
         self.pool.flush_all()
     }
 
+    /// Batched page fetch: see [`BufferPool::get_pages_batch`].
+    pub fn get_pages_batch(&mut self, pids: &[PageId]) -> Result<Vec<PageHandle>> {
+        self.pool.get_pages_batch(pids)
+    }
+
+    /// Read-ahead hint: see [`BufferPool::prefetch`].
+    pub fn prefetch_pages(&mut self, pids: &[PageId]) -> Result<()> {
+        self.pool.prefetch(pids)
+    }
+
     pub(crate) fn free_space_map(&mut self, file: FileId) -> &mut heap::FileSpace {
         self.free_space.entry(file).or_default()
     }
+}
+
+/// Split a physically-sorted OID slice into chunks of at most `max_pages`
+/// **distinct** pages each, returning for every chunk the index range it
+/// covers and its distinct page ids (in order, deduplicated).
+///
+/// This is the bridge between a link object's sorted OID array (§4.1.3)
+/// and [`BufferPool::get_pages_batch`]: callers iterate the chunks, batch-
+/// fetch each page list, and process the OIDs in `range` while the pins
+/// are held. Chunking caps how many frames one batch pins at once, so the
+/// fast path works even with a tiny pool. OIDs sharing a page always land
+/// in the same chunk. `max_pages` is clamped to at least 1.
+pub fn oid_page_chunks(
+    oids: &[Oid],
+    max_pages: usize,
+) -> Vec<(std::ops::Range<usize>, Vec<PageId>)> {
+    let max_pages = max_pages.max(1);
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut pages: Vec<PageId> = Vec::new();
+    for (i, oid) in oids.iter().enumerate() {
+        let pid = oid.page_id();
+        if pages.last() != Some(&pid) {
+            if pages.len() == max_pages {
+                out.push((start..i, std::mem::take(&mut pages)));
+                start = i;
+            }
+            pages.push(pid);
+        }
+    }
+    if !pages.is_empty() {
+        out.push((start..oids.len(), pages));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -142,6 +186,34 @@ mod tests {
         assert_eq!(OBJECT_OVERHEAD, 20);
         assert_eq!(PAGE_SIZE, 4096);
         assert_eq!(std::mem::size_of::<Oid>(), 8);
+    }
+
+    #[test]
+    fn oid_page_chunks_groups_by_page_and_caps_distinct_pages() {
+        let f = FileId(1);
+        let oid = |page, slot| Oid::new(f, page, slot);
+        let oids = [
+            oid(0, 0),
+            oid(0, 1),
+            oid(0, 2),
+            oid(1, 0),
+            oid(2, 0),
+            oid(2, 1),
+            oid(5, 0),
+        ];
+        let chunks = oid_page_chunks(&oids, 2);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].0, 0..4);
+        assert_eq!(
+            chunks[0].1,
+            vec![PageId::new(f, 0), PageId::new(f, 1)],
+            "distinct pages only, co-located OIDs stay together"
+        );
+        assert_eq!(chunks[1].0, 4..7);
+        assert_eq!(chunks[1].1, vec![PageId::new(f, 2), PageId::new(f, 5)]);
+        // max_pages is clamped to at least one page per chunk.
+        assert_eq!(oid_page_chunks(&oids, 0).len(), 4);
+        assert!(oid_page_chunks(&[], 4).is_empty());
     }
 
     #[test]

@@ -11,6 +11,12 @@ use std::fmt;
 pub struct IoStats {
     /// Pages read from the disk backend.
     pub reads: u64,
+    /// Read *calls* issued to the backend: a batched
+    /// [`read_pages`](crate::disk::DiskManager::read_pages) of `n`
+    /// adjacent pages counts `n` reads but one call. On a real disk this
+    /// is the seek/syscall count, so `reads / read_calls` is the mean
+    /// batch length actually achieved.
+    pub read_calls: u64,
     /// Pages written to the disk backend.
     pub writes: u64,
     /// Pages allocated (extended) on the disk backend.
@@ -33,8 +39,8 @@ impl fmt::Display for IoStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "reads={} writes={} allocs={}",
-            self.reads, self.writes, self.allocations
+            "reads={} (calls={}) writes={} allocs={}",
+            self.reads, self.read_calls, self.writes, self.allocations
         )
     }
 }
