@@ -1,6 +1,9 @@
 //! Criterion bench: B⁺-tree substrate operations (the index costs inside
 //! every §6 query).
 
+// `criterion_group!` expands to an undocumented harness fn.
+#![allow(missing_docs)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fieldrep_btree::{keys::encode_i64, BTreeIndex, Entry};
 use fieldrep_storage::{FileId, Oid, StorageManager};
@@ -17,7 +20,7 @@ fn bench_insert(c: &mut Criterion) {
         b.iter(|| {
             idx.insert(&mut sm, &encode_i64(i), oid(i as u32)).unwrap();
             i += 1;
-        })
+        });
     });
     c.bench_function("btree_insert_random", |b| {
         let mut sm = StorageManager::in_memory(4096);
@@ -27,7 +30,7 @@ fn bench_insert(c: &mut Criterion) {
             let k = (i * 2654435761) % 100_000_000;
             idx.insert(&mut sm, &encode_i64(k), oid(i as u32)).unwrap();
             i += 1;
-        })
+        });
     });
 }
 
@@ -43,7 +46,7 @@ fn bench_lookup_and_range(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 7919) % 100_000;
             black_box(idx.lookup(&mut sm, &encode_i64(i)).unwrap())
-        })
+        });
     });
     let mut i: i64 = 0;
     c.bench_function("btree_range_100_of_100k", |b| {
@@ -53,7 +56,7 @@ fn bench_lookup_and_range(c: &mut Criterion) {
                 idx.range(&mut sm, &encode_i64(i), &encode_i64(i + 99))
                     .unwrap(),
             )
-        })
+        });
     });
 }
 
@@ -65,7 +68,7 @@ fn bench_bulk_load(c: &mut Criterion) {
         b.iter(|| {
             let mut sm = StorageManager::in_memory(8192);
             black_box(BTreeIndex::bulk_load(&mut sm, &entries, 1.0).unwrap())
-        })
+        });
     });
 }
 

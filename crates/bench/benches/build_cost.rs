@@ -2,6 +2,9 @@
 //! (§4.1.2) — `replicate` over an existing population, per strategy and
 //! for the §4.3.3 collapsed form.
 
+// `criterion_group!` expands to an undocumented harness fn.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fieldrep_catalog::{Propagation, Strategy};
 use fieldrep_core::{Database, DbConfig};
@@ -75,7 +78,7 @@ fn bench_build(c: &mut Criterion) {
                         .unwrap(),
                 };
                 db
-            })
+            });
         });
     }
     group.finish();

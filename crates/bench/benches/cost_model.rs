@@ -1,6 +1,9 @@
 //! Criterion bench: the analytical cost model itself (Figures 11–14 are
 //! regenerated thousands of times during sweeps; this keeps that cheap).
 
+// `criterion_group!` expands to an undocumented harness fn.
+#![allow(missing_docs)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fieldrep_costmodel::{
     figure_11_or_13, selected_values, total_cost, yao, IndexSetting, ModelStrategy, Params,
@@ -8,7 +11,7 @@ use fieldrep_costmodel::{
 
 fn bench_yao(c: &mut Criterion) {
     c.bench_function("yao_exact_400_picks", |b| {
-        b.iter(|| yao(black_box(200_000.0), black_box(28.0), black_box(400.0)))
+        b.iter(|| yao(black_box(200_000.0), black_box(28.0), black_box(400.0)));
     });
 }
 
@@ -22,16 +25,16 @@ fn bench_total_cost(c: &mut Criterion) {
                 IndexSetting::Unclustered,
                 black_box(0.3),
             )
-        })
+        });
     });
 }
 
 fn bench_figures(c: &mut Criterion) {
     c.bench_function("figure_11_full_sweep", |b| {
-        b.iter(|| figure_11_or_13(IndexSetting::Unclustered, black_box(100)))
+        b.iter(|| figure_11_or_13(IndexSetting::Unclustered, black_box(100)));
     });
     c.bench_function("figure_14_table", |b| {
-        b.iter(|| selected_values(IndexSetting::Clustered, black_box(20.0)))
+        b.iter(|| selected_values(IndexSetting::Clustered, black_box(20.0)));
     });
 }
 

@@ -3,6 +3,9 @@
 //! workload: |S| = 1000, f = 5; the I/O-level comparison lives in the
 //! `empirical` binary).
 
+// `criterion_group!` expands to an undocumented harness fn.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fieldrep_bench::{build_workload, measure_read_query, measure_update_query, WorkloadSpec};
 use fieldrep_catalog::Strategy;
@@ -27,7 +30,7 @@ fn bench_read(c: &mut Criterion) {
                 let io = measure_read_query(&mut w, lo % 4000);
                 lo += 37;
                 io
-            })
+            });
         });
     }
     group.finish();
@@ -45,7 +48,7 @@ fn bench_update(c: &mut Criterion) {
                 let io = measure_update_query(&mut w, lo % 900);
                 lo += 13;
                 io
-            })
+            });
         });
     }
     group.finish();
@@ -62,7 +65,7 @@ fn bench_clustered_read(c: &mut Criterion) {
                 let io = measure_read_query(&mut w, lo % 4000);
                 lo += 37;
                 io
-            })
+            });
         });
     }
     group.finish();

@@ -1,6 +1,9 @@
 //! Criterion bench: EXTRA-language parsing and end-to-end statement
 //! execution.
 
+// `criterion_group!` expands to an undocumented harness fn.
+#![allow(missing_docs)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fieldrep_core::DbConfig;
 use fieldrep_lang::{parse_script, Interpreter};
@@ -19,7 +22,7 @@ replace (Dept.budget = 42) where Dept.budget between 0 and 10;
 
 fn bench_parse(c: &mut Criterion) {
     c.bench_function("lang_parse_script", |b| {
-        b.iter(|| black_box(parse_script(SCRIPT).unwrap()))
+        b.iter(|| black_box(parse_script(SCRIPT).unwrap()));
     });
 }
 
@@ -49,7 +52,7 @@ fn bench_execute(c: &mut Criterion) {
                 it.execute("retrieve (Emp1.name, Emp1.dept.name) where Emp1.salary > 1400")
                     .unwrap(),
             )
-        })
+        });
     });
 }
 

@@ -1,6 +1,9 @@
 //! Criterion bench: §3.3.4 path-index lookups — one B⁺-tree over
 //! replicated values vs. the Gemstone-style multi-component traversal.
 
+// `criterion_group!` expands to an undocumented harness fn.
+#![allow(missing_docs)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fieldrep_catalog::Strategy;
 use fieldrep_core::{Database, DbConfig};
@@ -68,7 +71,7 @@ fn bench_lookups(c: &mut Criterion) {
             i = (i + 7) % 200;
             let v = Value::Str(format!("org{i:04}"));
             black_box(rep.lookup(&mut db, &v).unwrap())
-        })
+        });
     });
     let mut i = 0usize;
     c.bench_function("path_lookup_gemstone_index", |b| {
@@ -76,7 +79,7 @@ fn bench_lookups(c: &mut Criterion) {
             i = (i + 7) % 200;
             let v = Value::Str(format!("org{i:04}"));
             black_box(gem.lookup(&mut db, &v).unwrap())
-        })
+        });
     });
 }
 

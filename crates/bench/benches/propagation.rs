@@ -3,6 +3,9 @@
 //! breakdown (each update fans out to `f` source objects) vs. separate
 //! replication's constant one-replica write.
 
+// `criterion_group!` expands to an undocumented harness fn.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fieldrep_catalog::Strategy;
 use fieldrep_core::{Database, DbConfig};
@@ -59,7 +62,7 @@ fn bench_propagation(c: &mut Criterion) {
                     tick += 1;
                     db.update(d, &[("name", Value::Str(format!("d#{}", tick % 8)))])
                         .unwrap();
-                })
+                });
             });
         }
     }
@@ -77,7 +80,7 @@ fn bench_inline_threshold(c: &mut Criterion) {
                 tick += 1;
                 db.update(d, &[("name", Value::Str(format!("d#{}", tick % 8)))])
                     .unwrap();
-            })
+            });
         });
     }
     group.finish();

@@ -1,5 +1,8 @@
 //! Criterion bench: storage-manager substrate operations.
 
+// `criterion_group!` expands to an undocumented harness fn.
+#![allow(missing_docs)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fieldrep_storage::{HeapFile, StorageManager};
 
@@ -8,7 +11,7 @@ fn bench_heap(c: &mut Criterion) {
         let mut sm = StorageManager::in_memory(4096);
         let hf = HeapFile::create(&mut sm).unwrap();
         let payload = [7u8; 100];
-        b.iter(|| black_box(hf.insert(&mut sm, 1, &payload).unwrap()))
+        b.iter(|| black_box(hf.insert(&mut sm, 1, &payload).unwrap()));
     });
 
     c.bench_function("heap_point_read_warm", |b| {
@@ -21,7 +24,7 @@ fn bench_heap(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 7919) % oids.len();
             black_box(hf.read(&mut sm, oids[i]).unwrap())
-        })
+        });
     });
 
     c.bench_function("heap_update_same_size", |b| {
@@ -33,8 +36,8 @@ fn bench_heap(c: &mut Criterion) {
         let mut i = 0usize;
         b.iter(|| {
             i = (i + 4391) % oids.len();
-            hf.update(&mut sm, oids[i], &[5u8; 100]).unwrap()
-        })
+            hf.update(&mut sm, oids[i], &[5u8; 100]).unwrap();
+        });
     });
 
     c.bench_function("heap_scan_10k_objects", |b| {
@@ -50,7 +53,7 @@ fn bench_heap(c: &mut Criterion) {
                 n += 1;
             }
             black_box(n)
-        })
+        });
     });
 }
 
@@ -60,7 +63,7 @@ fn bench_buffer_pool(c: &mut Criterion) {
         let f = sm.create_file().unwrap();
         let (pid, h) = sm.pool().new_page(f).unwrap();
         drop(h);
-        b.iter(|| black_box(sm.pool().fetch(pid).unwrap()))
+        b.iter(|| black_box(sm.pool().fetch(pid).unwrap()));
     });
 
     c.bench_function("pool_fetch_miss_evict", |b| {
@@ -78,7 +81,7 @@ fn bench_buffer_pool(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 17) % pids.len();
             black_box(sm.pool().fetch(pids[i]).unwrap())
-        })
+        });
     });
 }
 

@@ -143,7 +143,7 @@ fn main() {
             .iter()
             .map(|f| db.sm().page_count(*f).unwrap())
             .sum();
-        println!("{:>10} | {:>14} | {:>15}", threshold, io, pages);
+        println!("{threshold:>10} | {io:>14} | {pages:>15}");
     }
     println!("\nAt threshold ≥ 2 every link object (2 OIDs) is inlined into its dept:");
     println!("the link file vanishes entirely. Total update I/O barely moves because");
@@ -181,7 +181,7 @@ fn main() {
                 .unwrap();
             assert_eq!(res.rows.len(), 60);
         });
-        println!("{:<32} | {:>10}", label, io);
+        println!("{label:<32} | {io:>10}");
     }
     println!("\nThe collapse path removes one of the two joins; the full replica");
     println!("removes both (at higher update-propagation cost, per Figure 11).");

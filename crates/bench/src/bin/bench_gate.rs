@@ -32,19 +32,19 @@ fn main() -> ExitCode {
                 t.max_io_regress_pct = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--max-io-regress PCT")
+                    .expect("--max-io-regress PCT");
             }
             "--max-drift" => {
                 t.max_drift_pct = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--max-drift PCT")
+                    .expect("--max-drift PCT");
             }
             "--max-wall-regress" => {
                 t.max_wall_regress_pct = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--max-wall-regress PCT")
+                    .expect("--max-wall-regress PCT");
             }
             other => files.push(other.to_string()),
         }

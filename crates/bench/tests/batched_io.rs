@@ -73,7 +73,7 @@ fn inplace_propagation_reads_pages_not_objects_via_grouped_batches() {
 
     // The paper's page-count bound: f objects on ceil(f / objects-per-page)
     // contiguous pages.
-    let mut src_pages: Vec<PageId> = r_oids.iter().map(|o| o.page_id()).collect();
+    let mut src_pages: Vec<PageId> = r_oids.iter().map(fieldrep_storage::Oid::page_id).collect();
     src_pages.dedup();
     assert!(
         src_pages.len() < FANOUT / 8,

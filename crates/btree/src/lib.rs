@@ -29,7 +29,7 @@
 pub mod keys;
 pub mod node;
 
-use fieldrep_obs::{metrics, Span};
+use fieldrep_obs::{metrics, names as obs_names, Span};
 use fieldrep_storage::{
     FileId, Oid, PageId, PageKind, PageMut, Result, StorageError, StorageManager,
 };
@@ -39,7 +39,7 @@ use std::sync::{Arc, OnceLock};
 /// Process-wide count of B⁺-tree node splits (`btree.splits`).
 fn split_counter() -> &'static Arc<metrics::Counter> {
     static SPLITS: OnceLock<Arc<metrics::Counter>> = OnceLock::new();
-    SPLITS.get_or_init(|| metrics::registry().counter("btree.splits"))
+    SPLITS.get_or_init(|| metrics::registry().counter(obs_names::BTREE_SPLITS))
 }
 
 /// Offsets within the meta page (page 0 of the index file).
@@ -142,7 +142,7 @@ impl BTreeIndex {
     /// surfaced as `Corrupt`, because the replication engine relies on
     /// exact-once index maintenance).
     pub fn insert(&self, sm: &mut StorageManager, key: &[u8], oid: Oid) -> Result<()> {
-        let _span = Span::enter("btree.insert");
+        let _span = Span::enter(obs_names::BTREE_INSERT);
         let comp = composite(key, oid);
         let (root, height, count) = self.meta(sm)?;
         if let Some((sep, right_page)) = self.insert_rec(sm, root, &comp, oid)? {
@@ -247,7 +247,7 @@ impl BTreeIndex {
 
     /// All OIDs stored under exactly `key`, in OID order.
     pub fn lookup(&self, sm: &mut StorageManager, key: &[u8]) -> Result<Vec<Oid>> {
-        let _span = Span::enter("btree.lookup");
+        let _span = Span::enter(obs_names::BTREE_LOOKUP);
         Ok(self
             .range(sm, key, key)?
             .into_iter()
@@ -258,7 +258,7 @@ impl BTreeIndex {
     /// All `(key, oid)` entries with `lo ≤ key ≤ hi` (user keys, both
     /// inclusive), in key order.
     pub fn range(&self, sm: &mut StorageManager, lo: &[u8], hi: &[u8]) -> Result<Vec<Entry>> {
-        let span = Span::enter("btree.range");
+        let span = Span::enter(obs_names::BTREE_RANGE);
         let lo_comp = composite(lo, Oid::new(FileId(0), 0, 0));
         let mut hi_comp = hi.to_vec();
         hi_comp.extend_from_slice(&[0xFF; 8]);
@@ -311,7 +311,7 @@ impl BTreeIndex {
     /// harness uses 1.0 for static files (the paper's sets never grow
     /// during an experiment).
     pub fn bulk_load(sm: &mut StorageManager, entries: &[Entry], fill: f64) -> Result<BTreeIndex> {
-        let span = Span::enter("btree.bulk_load");
+        let span = Span::enter(obs_names::BTREE_BULK_LOAD);
         span.note("entries", entries.len());
         assert!(fill > 0.0 && fill <= 1.0, "bad fill factor");
         debug_assert!(

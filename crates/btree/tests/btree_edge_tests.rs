@@ -133,7 +133,7 @@ fn mixed_string_lengths() {
         .iter()
         .map(|(k, _)| String::from_utf8(keys::decode_bytes(k).0).unwrap())
         .collect();
-    let mut want: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+    let mut want: Vec<String> = names.iter().map(std::string::ToString::to_string).collect();
     want.sort();
     assert_eq!(decoded, want);
     // Prefix range: all keys starting at or after "a" and at most "b".

@@ -426,7 +426,9 @@ pub fn read_path_values(
     source_obj: &Object,
 ) -> Result<Option<Vec<Value>>> {
     match path.strategy {
-        Strategy::InPlace => Ok(source_obj.replica_values(path.id.0).map(|v| v.to_vec())),
+        Strategy::InPlace => Ok(source_obj
+            .replica_values(path.id.0)
+            .map(<[fieldrep_model::Value]>::to_vec)),
         Strategy::Separate => {
             let group = ctx
                 .cat

@@ -31,7 +31,7 @@ use crate::EngineCtx;
 use crate::PendingEntry;
 use fieldrep_catalog::{LinkId, PathId, Propagation, RepPathDef, Strategy};
 use fieldrep_model::{Annotation, Object, Value};
-use fieldrep_obs::{io as obs_io, metrics, Span};
+use fieldrep_obs::{io as obs_io, metrics, names as obs_names, Span};
 use fieldrep_storage::Oid;
 use std::sync::{Arc, OnceLock};
 
@@ -58,11 +58,12 @@ fn prop_metrics() -> &'static PropMetrics {
         let r = metrics::registry();
         let fanout_bounds = &[1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
         PropMetrics {
-            inplace: r.counter("core.propagate.inplace"),
-            separate: r.counter("core.propagate.separate"),
-            deferred: r.counter("core.propagate.deferred"),
-            fanout: r.histogram("core.propagate.fanout", fanout_bounds),
-            pages_per_fanout: r.histogram("core.propagate.pages_per_fanout", fanout_bounds),
+            inplace: r.counter(obs_names::CORE_PROPAGATE_INPLACE),
+            separate: r.counter(obs_names::CORE_PROPAGATE_SEPARATE),
+            deferred: r.counter(obs_names::CORE_PROPAGATE_DEFERRED),
+            fanout: r.histogram(obs_names::CORE_PROPAGATE_FANOUT, fanout_bounds),
+            pages_per_fanout: r
+                .histogram(obs_names::CORE_PROPAGATE_PAGES_PER_FANOUT, fanout_bounds),
         }
     })
 }
@@ -84,10 +85,10 @@ pub fn propagate_after_update(
     obj: &Object,
     changed: &[FieldChange],
 ) -> Result<()> {
-    let _span = Span::enter("core.propagate");
+    let _span = Span::enter(obs_names::CORE_PROPAGATE);
     let io_before = obs_io::snapshot();
     let result = propagate_after_update_inner(ctx, oid, obj, changed);
-    obs_io::component_add("core.propagate", obs_io::snapshot() - io_before);
+    obs_io::component_add(obs_names::CORE_PROPAGATE, obs_io::snapshot() - io_before);
     result
 }
 
@@ -120,7 +121,7 @@ fn propagate_after_update_inner(
                     ctx.pending.add(*p, PendingEntry::StaleReplica { obj: oid });
                 }
             } else {
-                let span = Span::enter("core.propagate.separate");
+                let span = Span::enter(obs_names::CORE_PROPAGATE_SEPARATE);
                 span.note("group", gid);
                 prop_metrics().separate.inc();
                 let values = group_values(&group, obj);
@@ -207,7 +208,7 @@ pub fn propagate_terminal_inplace(
     terminal_obj: &Object,
 ) -> Result<()> {
     debug_assert_eq!(path.strategy, Strategy::InPlace);
-    let span = Span::enter("core.propagate.inplace");
+    let span = Span::enter(obs_names::CORE_PROPAGATE_INPLACE);
     let last_level = path.links.len() - 1;
     let mut sources = collect_sources(ctx, path, last_level, terminal_obj)?;
     // Level-0 members arrive sorted but not deduplicated: dedup before
@@ -275,7 +276,7 @@ pub fn handle_intermediate_ref_update(
     if old_ref == new_ref {
         return Ok(());
     }
-    let span = Span::enter("core.propagate.intermediate");
+    let span = Span::enter(obs_names::CORE_PROPAGATE_INTERMEDIATE);
     span.note("level", lvl);
     if path.collapsed {
         return handle_collapsed_intermediate(ctx, path, oid, old_ref, new_ref);

@@ -133,7 +133,7 @@ fn check_collapsed_link(
 }
 
 /// Assert all replication invariants hold for the whole database.
-pub fn check_consistency(db: &mut Database) {
+pub(crate) fn check_consistency(db: &mut Database) {
     let paths: Vec<_> = db.catalog().paths().cloned().collect();
     let set_names: Vec<(fieldrep_catalog::SetId, String)> = db
         .catalog()

@@ -129,11 +129,11 @@ fn build_db_full(
 }
 
 fn run_ops(threshold: usize, ops: Vec<Op>) {
-    run_ops_with(threshold, Propagation::Eager, ops)
+    run_ops_with(threshold, Propagation::Eager, ops);
 }
 
 fn run_ops_with(threshold: usize, propagation: Propagation, ops: Vec<Op>) {
-    run_ops_full(threshold, propagation, false, ops)
+    run_ops_full(threshold, propagation, false, ops);
 }
 
 fn run_ops_full(threshold: usize, propagation: Propagation, collapsed: bool, ops: Vec<Op>) {

@@ -74,6 +74,26 @@ pub struct UpdateShape {
     pub propagation: ModelStrategy,
 }
 
+/// Every drift-gauge metric suffix a prediction may carry. The EXPLAIN
+/// ANALYZE layer records each operator's drift under
+/// `costmodel.drift.<suffix>`; `fieldrep-lint` rule **L2** cross-checks
+/// this list against the gauges registered in `fieldrep_obs::names`, so
+/// a new operator metric cannot ship without its gauge (and vice versa).
+pub const DRIFT_METRICS: &[&str] = &[
+    "plan",
+    "access",
+    "sync",
+    "fetch",
+    "proj.base-field",
+    "proj.inplace-replica",
+    "proj.separate-replica",
+    "proj.functional-join",
+    "proj.collapse",
+    "spool",
+    "apply",
+    "propagate",
+];
+
 /// Predicted page I/O for one plan operator.
 #[derive(Clone, Debug)]
 pub struct OpPrediction {
@@ -90,6 +110,10 @@ pub struct OpPrediction {
 
 impl OpPrediction {
     fn new(key: &str, metric: &'static str, pages: f64) -> OpPrediction {
+        debug_assert!(
+            DRIFT_METRICS.contains(&metric),
+            "operator metric {metric:?} missing from DRIFT_METRICS"
+        );
         OpPrediction {
             key: key.to_string(),
             metric,
@@ -381,6 +405,44 @@ mod tests {
         let three = predict_read(&p, IndexSetting::Unclustered, &shape_of(3));
         let proj = |ops: &[OpPrediction]| ops.iter().find(|o| o.key == "proj[0]").unwrap().pages;
         assert!((proj(&three) - 3.0 * proj(&one)).abs() < 1e-9);
+    }
+
+    /// Every metric a prediction can emit is declared in `DRIFT_METRICS`
+    /// (the list the lint cross-checks against the obs name registry).
+    #[test]
+    fn emitted_metrics_are_all_declared() {
+        let p = params(20.0);
+        let mut shapes = vec![ReadShape {
+            access: AccessShape::FullScan,
+            projections: vec![
+                ProjShape::BaseField,
+                ProjShape::InPlaceReplica,
+                ProjShape::SeparateReplica,
+                ProjShape::FunctionalJoin { levels: 2 },
+                ProjShape::CollapseThenJoin {
+                    remaining_levels: 1,
+                },
+            ],
+            spool: true,
+        }];
+        shapes.push(read_shape(ModelStrategy::InPlace));
+        for shape in &shapes {
+            for op in predict_read(&p, IndexSetting::Unclustered, shape) {
+                assert!(DRIFT_METRICS.contains(&op.metric), "{}", op.metric);
+            }
+        }
+        for strategy in ALL {
+            for op in predict_update(
+                &p,
+                IndexSetting::Clustered,
+                &UpdateShape {
+                    access: AccessShape::FullScan,
+                    propagation: strategy,
+                },
+            ) {
+                assert!(DRIFT_METRICS.contains(&op.metric), "{}", op.metric);
+            }
+        }
     }
 
     #[test]

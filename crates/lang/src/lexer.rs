@@ -173,7 +173,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                 i = j;
             }
             c if c.is_ascii_digit()
-                || (c == '-' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+                || (c == '-' && b.get(i + 1).is_some_and(char::is_ascii_digit)) =>
             {
                 let start = i;
                 let mut j = i + 1;
@@ -181,7 +181,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                 while j < b.len() {
                     match b[j] {
                         d if d.is_ascii_digit() => j += 1,
-                        '.' if !is_float && b.get(j + 1).is_some_and(|d| d.is_ascii_digit()) => {
+                        '.' if !is_float && b.get(j + 1).is_some_and(char::is_ascii_digit) => {
                             is_float = true;
                             j += 1;
                         }

@@ -22,13 +22,15 @@ pub fn parse_script(src: &str) -> Result<Vec<Stmt>, LangError> {
 /// Parse exactly one statement.
 pub fn parse_stmt(src: &str) -> Result<Stmt, LangError> {
     let mut stmts = parse_script(src)?;
-    match stmts.len() {
-        1 => Ok(stmts.pop().unwrap()),
-        0 => Err(LangError::Parse("empty statement".into())),
-        n => Err(LangError::Parse(format!(
-            "expected one statement, found {n}"
-        ))),
+    if stmts.len() > 1 {
+        return Err(LangError::Parse(format!(
+            "expected one statement, found {}",
+            stmts.len()
+        )));
     }
+    stmts
+        .pop()
+        .ok_or_else(|| LangError::Parse("empty statement".into()))
 }
 
 struct Parser {
@@ -64,7 +66,7 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, t: Token) -> Result<(), LangError> {
+    fn expect_tok(&mut self, t: Token) -> Result<(), LangError> {
         let got = self.next()?;
         if got == t {
             Ok(())
@@ -160,18 +162,18 @@ impl Parser {
         self.expect_keyword("define")?;
         self.expect_keyword("type")?;
         let name = self.ident()?;
-        self.expect(Token::LParen)?;
+        self.expect_tok(Token::LParen)?;
         let mut fields = Vec::new();
         loop {
             let fname = self.ident()?;
-            self.expect(Token::Colon)?;
+            self.expect_tok(Token::Colon)?;
             let ftype = self.ident()?;
             let decl = match ftype.to_ascii_lowercase().as_str() {
                 "int" => FieldDecl::Int(fname),
                 "float" => FieldDecl::Float(fname),
                 "char" => {
-                    self.expect(Token::LBracket)?;
-                    self.expect(Token::RBracket)?;
+                    self.expect_tok(Token::LBracket)?;
+                    self.expect_tok(Token::RBracket)?;
                     FieldDecl::Str(fname)
                 }
                 "ref" => {
@@ -179,7 +181,7 @@ impl Parser {
                     FieldDecl::Ref(fname, target)
                 }
                 "pad" => {
-                    self.expect(Token::LBracket)?;
+                    self.expect_tok(Token::LBracket)?;
                     let n = match self.next()? {
                         Token::Int(n) if (0..=u16::MAX as i64).contains(&n) => n as u16,
                         other => {
@@ -188,7 +190,7 @@ impl Parser {
                             )))
                         }
                     };
-                    self.expect(Token::RBracket)?;
+                    self.expect_tok(Token::RBracket)?;
                     FieldDecl::Pad(fname, n)
                 }
                 other => return Err(LangError::Parse(format!("unknown field type {other:?}"))),
@@ -198,7 +200,7 @@ impl Parser {
                 break;
             }
         }
-        self.expect(Token::RParen)?;
+        self.expect_tok(Token::RParen)?;
         Ok(Stmt::DefineType { name, fields })
     }
 
@@ -206,12 +208,12 @@ impl Parser {
     fn create_set(&mut self) -> Result<Stmt, LangError> {
         self.expect_keyword("create")?;
         let name = self.ident()?;
-        self.expect(Token::Colon)?;
-        self.expect(Token::LBrace)?;
+        self.expect_tok(Token::Colon)?;
+        self.expect_tok(Token::LBrace)?;
         self.expect_keyword("own")?;
         self.expect_keyword("ref")?;
         let type_name = self.ident()?;
-        self.expect(Token::RBrace)?;
+        self.expect_tok(Token::RBrace)?;
         Ok(Stmt::CreateSet { name, type_name })
     }
 
@@ -294,19 +296,19 @@ impl Parser {
         // Tolerate the SQL-flavoured `insert into`.
         self.keyword("into");
         let set = self.ident()?;
-        self.expect(Token::LParen)?;
+        self.expect_tok(Token::LParen)?;
         let mut fields = Vec::new();
         if !self.eat(&Token::RParen) {
             loop {
                 let f = self.ident()?;
-                self.expect(Token::Eq)?;
+                self.expect_tok(Token::Eq)?;
                 let v = self.expr()?;
                 fields.push((f, v));
                 if !self.eat(&Token::Comma) {
                     break;
                 }
             }
-            self.expect(Token::RParen)?;
+            self.expect_tok(Token::RParen)?;
         }
         let bind = if self.keyword("as") {
             match self.next()? {
@@ -353,12 +355,12 @@ impl Parser {
     /// `retrieve (Emp1.name, Emp1.dept.name) where …`
     fn retrieve(&mut self) -> Result<Stmt, LangError> {
         self.expect_keyword("retrieve")?;
-        self.expect(Token::LParen)?;
+        self.expect_tok(Token::LParen)?;
         let mut projections = vec![self.dotted_path()?];
         while self.eat(&Token::Comma) {
             projections.push(self.dotted_path()?);
         }
-        self.expect(Token::RParen)?;
+        self.expect_tok(Token::RParen)?;
         let predicate = self.predicate_opt()?;
         Ok(Stmt::Retrieve {
             projections,
@@ -369,18 +371,18 @@ impl Parser {
     /// `replace (Dept.budget = 42, Dept.name = "X") where …`
     fn replace(&mut self) -> Result<Stmt, LangError> {
         self.expect_keyword("replace")?;
-        self.expect(Token::LParen)?;
+        self.expect_tok(Token::LParen)?;
         let mut assignments = Vec::new();
         loop {
             let path = self.dotted_path()?;
-            self.expect(Token::Eq)?;
+            self.expect_tok(Token::Eq)?;
             let v = self.expr()?;
             assignments.push((path, v));
             if !self.eat(&Token::Comma) {
                 break;
             }
         }
-        self.expect(Token::RParen)?;
+        self.expect_tok(Token::RParen)?;
         let predicate = self.predicate_opt()?;
         Ok(Stmt::Replace {
             assignments,

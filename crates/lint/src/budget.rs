@@ -1,0 +1,90 @@
+//! The committed ratchet file (`lint_budget.toml`): per-crate panic
+//! counts and the total suppression count. Parsed with a tiny TOML
+//! subset reader (sections, `key = integer`, `#` comments) — the
+//! registry is offline, so no external TOML crate.
+
+use std::collections::BTreeMap;
+
+/// Parsed budget file.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// `[panic_budget]`: crate dir (e.g. `crates/query`) → allowed count
+    /// of `unwrap`/`expect`/`panic!`/`unreachable!` in library code.
+    pub panic_budget: BTreeMap<String, u64>,
+    /// `[suppressions]` → `total`: allowed `// lint: allow(..)` markers.
+    pub suppressions: u64,
+}
+
+/// Parse the budget file. Errors carry the offending line.
+pub fn parse(text: &str) -> Result<Budget, String> {
+    let mut b = Budget::default();
+    let mut section = String::new();
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().to_string();
+            continue;
+        }
+        let Some((key, val)) = line.split_once('=') else {
+            return Err(format!("line {}: expected `key = value`", n + 1));
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        let val: u64 = val
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {}: bad integer: {e}", n + 1))?;
+        match section.as_str() {
+            "panic_budget" => {
+                b.panic_budget.insert(key, val);
+            }
+            "suppressions" if key == "total" => b.suppressions = val,
+            other => return Err(format!("line {}: unknown entry in [{other}]", n + 1)),
+        }
+    }
+    Ok(b)
+}
+
+/// Render a budget back to the committed file format (deterministic
+/// ordering, so `--update-budget` produces minimal diffs).
+pub fn render(b: &Budget) -> String {
+    let mut out = String::from(
+        "# Panic-path ratchet, enforced by `cargo run -q -p fieldrep-lint`.\n\
+         # Counts may only go DOWN: when you remove an unwrap/expect/panic!/\n\
+         # unreachable! from library code, lower the crate's number (or run\n\
+         # `cargo run -p fieldrep-lint -- --update-budget`). Raising a number\n\
+         # requires justifying the new panic path in review.\n\n[panic_budget]\n",
+    );
+    for (k, v) in &b.panic_budget {
+        out.push_str(&format!("\"{k}\" = {v}\n"));
+    }
+    out.push_str(&format!(
+        "\n# `// lint: allow(<rule>) <reason>` markers in library code.\n[suppressions]\ntotal = {}\n",
+        b.suppressions
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut b = Budget::default();
+        b.panic_budget.insert("crates/query".into(), 3);
+        b.panic_budget.insert("crates/btree".into(), 7);
+        b.suppressions = 2;
+        let parsed = parse(&render(&b)).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("[panic_budget]\nnot a pair").is_err());
+        assert!(parse("[panic_budget]\nx = abc").is_err());
+        assert!(parse("[mystery]\nx = 1").is_err());
+    }
+}

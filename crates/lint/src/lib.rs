@@ -1,0 +1,38 @@
+//! Project-specific static analysis for the field-replication workspace.
+//!
+//! `cargo run -q -p fieldrep-lint` enforces four invariants that rustc
+//! and clippy cannot see (each is documented in DESIGN.md's quality-gate
+//! appendix):
+//!
+//! - **L1 — storage layering**: `DiskManager` page I/O and raw file I/O
+//!   (`std::fs`, `File::open`, `OpenOptions`) appear only inside
+//!   `crates/storage`. Everything else reaches pages through the buffer
+//!   pool, which is what keeps the paper's Fig. 12/14 I/O accounting
+//!   complete.
+//! - **L2 — name registry**: metric/span name literals passed to obs
+//!   APIs, and `costmodel::conformance` operator names, must resolve in
+//!   the central `obs::names` module. EXPLAIN ANALYZE joins predictions
+//!   to measurements by name string; a typo silently breaks the join.
+//! - **L3 — panic budget**: `unwrap`/`expect`/`panic!`/`unreachable!` in
+//!   non-test, non-bin library code is counted per crate against the
+//!   committed `lint_budget.toml`, which may only ratchet down.
+//! - **L4 — lock discipline**: no buffer frame may be acquired (`fetch`,
+//!   `new_page`, `prefetch`) while a page write guard is live, except
+//!   through the ordered batch helper `get_pages_batch`. Mirrors the
+//!   debug-build runtime check in `storage::buffer`.
+//!
+//! Violations print as rustc-style `file:line` diagnostics and make the
+//! process exit nonzero. `// lint: allow(<rule>) <reason>` on (or right
+//! above) the offending line suppresses a finding; suppressions require
+//! a reason and are themselves budgeted.
+//!
+//! The whole tool is dependency-free (offline registry): a minimal
+//! hand-rolled tokenizer plus token-pattern rules.
+
+pub mod budget;
+pub mod registry;
+pub mod rules;
+pub mod tokens;
+
+pub use budget::Budget;
+pub use rules::{check_budget, run_checks, Diagnostic, Report};

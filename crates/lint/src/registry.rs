@@ -1,0 +1,126 @@
+//! Loading the central name registry (`obs::names`) and the cost-model
+//! operator table, by parsing their source files with the lint tokenizer.
+//!
+//! The registry is the set of string values bound to `const` items in
+//! `crates/obs/src/names.rs` (scalar `&str` consts and `&[&str]` tables
+//! both contribute). The cost-model side parses the `DRIFT_METRICS`
+//! table from `crates/costmodel/src/conformance.rs` so its operator
+//! names can be resolved against the registry without running any code.
+
+use crate::tokens::{tokenize, TokKind};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// All string values bound to `const` items in a source file.
+///
+/// Matches `const NAME: … = "value";` and `const NAME: … = &["a", "b"];`
+/// by scanning from each `const` keyword to the terminating `;` and
+/// collecting every string literal in between.
+pub fn const_strings(src: &str) -> Vec<(String, Vec<String>)> {
+    let toks = tokenize(src).toks;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("const") && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            let name = toks[i + 1].text.clone();
+            let mut vals = Vec::new();
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct(";") {
+                if toks[j].kind == TokKind::Str {
+                    vals.push(toks[j].text.clone());
+                }
+                j += 1;
+            }
+            if !vals.is_empty() {
+                out.push((name, vals));
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The obs name registry: every registered metric/span/operator name.
+#[derive(Debug, Default)]
+pub struct Registry {
+    names: BTreeSet<String>,
+}
+
+impl Registry {
+    /// Parse the registry from `crates/obs/src/names.rs` under `root`.
+    /// Returns `None` when the file does not exist (fixture trees that
+    /// don't exercise L2).
+    pub fn load(root: &Path) -> Option<Registry> {
+        let src = std::fs::read_to_string(root.join("crates/obs/src/names.rs")).ok()?;
+        let mut names = BTreeSet::new();
+        for (_, vals) in const_strings(&src) {
+            names.extend(vals);
+        }
+        Some(Registry { names })
+    }
+
+    /// Whether `name` is a registered name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.contains(name)
+    }
+
+    /// Number of registered names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// The cost-model operator table: `(line, name)` per `DRIFT_METRICS`
+/// entry in `crates/costmodel/src/conformance.rs`, or empty when the
+/// file (or table) is absent.
+pub fn drift_metrics(root: &Path) -> Vec<(u32, String)> {
+    let Ok(src) = std::fs::read_to_string(root.join("crates/costmodel/src/conformance.rs")) else {
+        return Vec::new();
+    };
+    let toks = tokenize(&src).toks;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("DRIFT_METRICS") {
+            let mut j = i + 1;
+            while j < toks.len() && !toks[j].is_punct(";") {
+                if toks[j].kind == TokKind::Str {
+                    out.push((toks[j].line, toks[j].text.clone()));
+                }
+                j += 1;
+            }
+            return out;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_strings_sees_scalars_and_tables() {
+        let src = r#"
+            pub const A: &str = "x.y";
+            pub const T: &[&str] = &["p", "q"];
+            fn not_a_const() { let s = "ignored"; }
+        "#;
+        let got = const_strings(src);
+        assert_eq!(
+            got,
+            vec![
+                ("A".to_string(), vec!["x.y".to_string()]),
+                ("T".to_string(), vec!["p".to_string(), "q".to_string()]),
+            ]
+        );
+    }
+}

@@ -1,0 +1,504 @@
+//! The rule engine: L1 layering, L2 name registry, L3 panic budget,
+//! L4 lock discipline — all token-pattern checks over library sources.
+//!
+//! Scope: `crates/*/src/**/*.rs` and the root crate's `src/**/*.rs`,
+//! minus `src/bin/` binaries and `#[cfg(test)]` modules. A finding on a
+//! line covered by a `// lint: allow(<rule>) <reason>` marker (same line
+//! or the line above) is suppressed; markers without a reason are
+//! themselves errors, and the total marker count ratchets through
+//! `lint_budget.toml` alongside the panic counts.
+
+use crate::budget::Budget;
+use crate::registry::{drift_metrics, Registry};
+use crate::tokens::{tokenize, Tok, TokKind};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One finding, in rustc style: `file:line: error[rule]: message`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`L1`..`L4`, `suppression`, `budget`).
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: error[{}]: {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Everything one lint run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Rule violations (budget comparison is separate — see
+    /// [`check_budget`]).
+    pub diags: Vec<Diagnostic>,
+    /// Panic-site count per crate dir (L3 raw counts).
+    pub panic_counts: BTreeMap<String, u64>,
+    /// Total `// lint: allow(..)` markers seen.
+    pub suppressions: u64,
+}
+
+/// A parsed suppression marker.
+struct Allow {
+    line: u32,
+    rule: String,
+    has_reason: bool,
+}
+
+/// Rules L1/L2/L4 fire as diagnostics; L3 only counts. `DiskManager`
+/// page I/O and raw file APIs are the layering surface.
+const DISK_METHODS: [&str; 4] = ["read_page", "read_pages", "write_page", "write_pages"];
+/// obs calls whose first argument, when a string literal, must be a
+/// registered name.
+const OBS_NAME_APIS: [&str; 6] = [
+    "counter",
+    "gauge",
+    "histogram",
+    "component_add",
+    "component_take",
+    "mark",
+];
+/// Buffer-pool entry points that take a frame lock (L4 triggers).
+const FRAME_ACQUIRERS: [&str; 3] = ["fetch", "new_page", "prefetch"];
+
+/// Run all checks over the workspace at `root`.
+pub fn run_checks(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    let registry = Registry::load(root);
+
+    for file in source_files(root)? {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let crate_key = crate_key(&rel);
+        let src = std::fs::read_to_string(&file)?;
+        let parsed = tokenize(&src);
+        let toks = strip_test_modules(parsed.toks);
+        let allows: Vec<Allow> = parsed
+            .comments
+            .iter()
+            .filter_map(|c| parse_allow(c.text.as_str(), c.line))
+            .collect();
+        report.suppressions += allows.len() as u64;
+        for a in &allows {
+            if !a.has_reason {
+                report.diags.push(Diagnostic {
+                    file: rel.clone(),
+                    line: a.line,
+                    rule: "suppression",
+                    msg: format!(
+                        "`lint: allow({})` must carry a reason after the rule name",
+                        a.rule
+                    ),
+                });
+            }
+        }
+
+        let mut push = |line: u32, rule: &'static str, msg: String| {
+            let suppressed = allows
+                .iter()
+                .any(|a| a.rule == rule && a.has_reason && (a.line == line || a.line + 1 == line));
+            if !suppressed {
+                report.diags.push(Diagnostic {
+                    file: rel.clone(),
+                    line,
+                    rule,
+                    msg,
+                });
+            }
+        };
+
+        if crate_key != "crates/storage" && crate_key != "crates/lint" {
+            check_layering(&toks, &mut push);
+        }
+        if crate_key != "crates/lint" {
+            if let Some(reg) = &registry {
+                check_names(&toks, reg, &mut push);
+            }
+        }
+        check_lock_discipline(&toks, &mut push);
+        *report.panic_counts.entry(crate_key).or_insert(0) += count_panics(&toks);
+    }
+
+    if let Some(reg) = &registry {
+        for (line, name) in drift_metrics(root) {
+            let full = format!("costmodel.drift.{name}");
+            if !reg.contains(&full) {
+                report.diags.push(Diagnostic {
+                    file: "crates/costmodel/src/conformance.rs".into(),
+                    line,
+                    rule: "L2",
+                    msg: format!(
+                        "conformance operator {name:?} has no `{full}` gauge in obs::names"
+                    ),
+                });
+            }
+        }
+    }
+
+    report
+        .diags
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+/// Compare a report against the committed budget: counts may only match
+/// exactly — higher is a regression, lower means the ratchet is stale.
+pub fn check_budget(report: &Report, budget: &Budget) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut keys: Vec<&String> = report.panic_counts.keys().collect();
+    for k in budget.panic_budget.keys() {
+        if !report.panic_counts.contains_key(k) {
+            keys.push(k);
+        }
+    }
+    keys.sort();
+    keys.dedup();
+    for key in keys {
+        let actual = report.panic_counts.get(key).copied().unwrap_or(0);
+        let allowed = budget.panic_budget.get(key).copied().unwrap_or(0);
+        if actual > allowed {
+            diags.push(budget_diag(format!(
+                "{key}: {actual} panic site(s) in library code, budget allows {allowed} — \
+                 return an Err instead, or justify raising the budget in review"
+            )));
+        } else if actual < allowed {
+            diags.push(budget_diag(format!(
+                "{key}: budget allows {allowed} panic site(s) but only {actual} remain — \
+                 ratchet down (run `cargo run -p fieldrep-lint -- --update-budget`)"
+            )));
+        }
+    }
+    if report.suppressions > budget.suppressions {
+        diags.push(budget_diag(format!(
+            "{} lint suppression(s) in tree, budget allows {} — remove markers or justify \
+             raising the budget in review",
+            report.suppressions, budget.suppressions
+        )));
+    } else if report.suppressions < budget.suppressions {
+        diags.push(budget_diag(format!(
+            "suppression budget allows {} but only {} remain — ratchet down",
+            budget.suppressions, report.suppressions
+        )));
+    }
+    diags
+}
+
+fn budget_diag(msg: String) -> Diagnostic {
+    Diagnostic {
+        file: "lint_budget.toml".into(),
+        line: 1,
+        rule: "budget",
+        msg,
+    }
+}
+
+/// `// lint: allow(L4) guards dropped via mem::take` → marker.
+fn parse_allow(text: &str, line: u32) -> Option<Allow> {
+    let rest = text.trim().strip_prefix("lint:")?.trim();
+    let rest = rest.strip_prefix("allow(")?;
+    let (rule, reason) = rest.split_once(')')?;
+    Some(Allow {
+        line,
+        rule: rule.trim().to_string(),
+        has_reason: !reason.trim().is_empty(),
+    })
+}
+
+/// All library sources: `crates/*/src/**` plus the root `src/**`,
+/// excluding `bin/` subtrees.
+fn source_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                walk(&src, &mut out)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk(&root_src, &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "bin") {
+                continue; // binaries are outside the library lint scope
+            }
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `crates/query/src/exec.rs` → `crates/query`; root `src/lib.rs` → `src`.
+fn crate_key(rel: &str) -> String {
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts.first() == Some(&"crates") && parts.len() > 1 {
+        format!("crates/{}", parts[1])
+    } else {
+        "src".to_string()
+    }
+}
+
+/// Remove `#[cfg(test)] mod … { … }` blocks from the token stream.
+fn strip_test_modules(toks: Vec<Tok>) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0;
+    while i < toks.len() {
+        let is_cfg_test =
+            toks[i].is_punct("#") && matches(&toks, i + 1, &["[", "cfg", "(", "test", ")", "]"]);
+        if is_cfg_test {
+            // Skip to the `mod` item's body (or `;` for out-of-line mods).
+            let mut j = i + 7;
+            while j < toks.len() && !toks[j].is_ident("mod") && !toks[j].is_punct(";") {
+                j += 1;
+            }
+            while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct("{") {
+                let mut depth = 1;
+                j += 1;
+                while j < toks.len() && depth > 0 {
+                    if toks[j].is_punct("{") {
+                        depth += 1;
+                    } else if toks[j].is_punct("}") {
+                        depth -= 1;
+                    }
+                    j += 1;
+                }
+            }
+            i = j.max(i + 1);
+        } else {
+            out.push(toks[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Does `toks[at..]` start with these texts (idents or puncts)?
+fn matches(toks: &[Tok], at: usize, texts: &[&str]) -> bool {
+    texts
+        .iter()
+        .enumerate()
+        .all(|(k, t)| toks.get(at + k).is_some_and(|tok| tok.text == *t))
+}
+
+/// L1: `DiskManager` page I/O and raw file I/O stay inside
+/// `crates/storage` — everything else goes through the buffer pool, or
+/// the paper's Fig. 12/14 I/O accounting silently loses pages.
+fn check_layering(toks: &[Tok], push: &mut impl FnMut(u32, &'static str, String)) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "std" if matches(toks, i + 1, &["::", "fs"]) => push(
+                    t.line,
+                    "L1",
+                    "raw file I/O (`std::fs`) outside crates/storage — all page I/O must \
+                     flow through the buffer pool"
+                        .into(),
+                ),
+                "File" if matches(toks, i + 1, &["::", "open"]) => push(
+                    t.line,
+                    "L1",
+                    "raw `File::open` outside crates/storage — open data through \
+                     StorageManager/HeapFile instead"
+                        .into(),
+                ),
+                "OpenOptions" => push(
+                    t.line,
+                    "L1",
+                    "raw `OpenOptions` outside crates/storage".into(),
+                ),
+                "DiskManager"
+                    if toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                        && toks
+                            .get(i + 2)
+                            .is_some_and(|n| DISK_METHODS.contains(&n.text.as_str())) =>
+                {
+                    push(
+                        t.line,
+                        "L1",
+                        format!(
+                            "`DiskManager::{}` outside crates/storage bypasses buffer-pool \
+                             accounting",
+                            toks[i + 2].text
+                        ),
+                    );
+                }
+                _ => {}
+            }
+        }
+        if t.is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| {
+                n.kind == TokKind::Ident && DISK_METHODS.contains(&n.text.as_str())
+            })
+            && toks.get(i + 2).is_some_and(|n| n.is_punct("("))
+        {
+            push(
+                toks[i + 1].line,
+                "L1",
+                format!(
+                    "`.{}()` call outside crates/storage bypasses buffer-pool accounting",
+                    toks[i + 1].text
+                ),
+            );
+        }
+    }
+}
+
+/// L2: string literals handed to obs name-taking APIs must be registered
+/// in `obs::names` — EXPLAIN ANALYZE joins predictions to profiles by
+/// name, so a typo silently breaks the join.
+fn check_names(toks: &[Tok], reg: &Registry, push: &mut impl FnMut(u32, &'static str, String)) {
+    for (i, t) in toks.iter().enumerate() {
+        // `.api("literal"` and `Span::enter("literal"`.
+        let open = if t.is_punct(".")
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| OBS_NAME_APIS.contains(&n.text.as_str()))
+        {
+            i + 2
+        } else if t.is_ident("Span") && matches(toks, i + 1, &["::", "enter"]) {
+            i + 3
+        } else {
+            continue;
+        };
+        if !toks.get(open).is_some_and(|n| n.is_punct("(")) {
+            continue;
+        }
+        if let Some(arg) = toks.get(open + 1) {
+            if arg.kind == TokKind::Str && !reg.contains(&arg.text) {
+                push(
+                    arg.line,
+                    "L2",
+                    format!(
+                        "name {:?} passed to an obs API is not registered in obs::names",
+                        arg.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// L3: count panic sites (`.unwrap(`, `.expect(`, `panic!`,
+/// `unreachable!`) in library code.
+fn count_panics(toks: &[Tok]) -> u64 {
+    let mut n = 0;
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct(".")
+            && toks
+                .get(i + 1)
+                .is_some_and(|x| x.is_ident("unwrap") || x.is_ident("expect"))
+            && toks.get(i + 2).is_some_and(|x| x.is_punct("("))
+        {
+            n += 1;
+        }
+        if (t.is_ident("panic") || t.is_ident("unreachable"))
+            && toks.get(i + 1).is_some_and(|x| x.is_punct("!"))
+        {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// L4: a function must not take another buffer frame lock (`fetch`,
+/// `new_page`, `prefetch`) while a page write guard (`data_mut()` /
+/// `data.write()`) is still live — multi-page work goes through the
+/// ordered batch helper `get_pages_batch`. Brace-depth and `drop(var)`
+/// aware, mirroring the debug-build runtime check in `storage::buffer`.
+fn check_lock_discipline(toks: &[Tok], push: &mut impl FnMut(u32, &'static str, String)) {
+    let mut guards: Vec<(String, usize)> = Vec::new(); // (var, depth at binding)
+    let mut pending: Vec<(usize, String)> = Vec::new(); // (token idx of `;`, var)
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        if let Some(k) = pending.iter().position(|(idx, _)| *idx == i) {
+            guards.push((pending.remove(k).1, depth));
+        }
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            guards.retain(|(_, d)| *d <= depth);
+        } else if t.is_ident("fn") {
+            guards.clear();
+            pending.clear();
+        } else if t.is_ident("drop") && toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            if let Some(v) = toks.get(i + 2) {
+                if toks.get(i + 3).is_some_and(|n| n.is_punct(")")) {
+                    guards.retain(|(name, _)| *name != v.text);
+                }
+            }
+        } else if t.is_ident("let") {
+            // `let [mut] v = … .data_mut( … ;`  /  `… .data.write( … ;`
+            let mut at = i + 1;
+            if toks.get(at).is_some_and(|n| n.is_ident("mut")) {
+                at += 1;
+            }
+            let Some(var) = toks.get(at).filter(|n| n.kind == TokKind::Ident) else {
+                continue;
+            };
+            let mut j = at + 1;
+            let mut takes_guard = false;
+            while j < toks.len() && !toks[j].is_punct(";") && !toks[j].is_punct("{") {
+                if toks[j].is_punct(".")
+                    && (matches(toks, j + 1, &["data_mut", "("])
+                        || matches(toks, j + 1, &["data", ".", "write", "("]))
+                {
+                    takes_guard = true;
+                }
+                j += 1;
+            }
+            if takes_guard && j < toks.len() && toks[j].is_punct(";") {
+                pending.push((j, var.text.clone()));
+            }
+        }
+        if t.is_punct(".")
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| FRAME_ACQUIRERS.contains(&n.text.as_str()))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct("("))
+        {
+            if let Some((var, _)) = guards.first() {
+                push(
+                    toks[i + 1].line,
+                    "L4",
+                    format!(
+                        "`.{}()` acquires a buffer frame while page write guard `{var}` is \
+                         live — use BufferPool::get_pages_batch (the ordered batch helper) \
+                         or drop the guard first",
+                        toks[i + 1].text
+                    ),
+                );
+            }
+        }
+    }
+}

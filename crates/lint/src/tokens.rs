@@ -1,0 +1,272 @@
+//! Minimal line-aware Rust tokenizer.
+//!
+//! Not a full lexer — it distinguishes identifiers, string literals, and
+//! punctuation (with `::` fused into one token so qualified paths match
+//! as `a`, `::`, `b`), which is all the rules need. Comments are captured
+//! separately so suppression markers can be matched to the lines they
+//! govern; char literals and lifetimes are recognised just enough not to
+//! confuse string tracking; numeric literals are skipped entirely.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// String literal (text holds the *contents*, quotes stripped, raw).
+    Str,
+    /// Punctuation (single char, except the fused `::`).
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// Token text (contents only for strings).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this a punctuation token with exactly this text?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// One comment (`//` or `/* */`), with its starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Tokenizer output: code tokens plus the comment sidecar.
+#[derive(Debug, Default)]
+pub struct Tokens {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize Rust source. Never fails: unterminated constructs are
+/// consumed to end of input (good enough for linting committed code).
+pub fn tokenize(src: &str) -> Tokens {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Tokens::default();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                out.comments.push(Comment {
+                    text: text.trim().to_string(),
+                    line,
+                });
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                let text: String = b[start..end].iter().collect();
+                out.comments.push(Comment {
+                    text: text.trim().to_string(),
+                    line: start_line,
+                });
+            }
+            '"' => {
+                let tok_line = line;
+                i += 1;
+                let start = i;
+                while i < b.len() && b[i] != '"' {
+                    if b[i] == '\\' {
+                        i += 1; // skip the escaped char
+                    } else if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                let text: String = b[start..i.min(b.len())].iter().collect();
+                i += 1; // closing quote
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line: tok_line,
+                });
+            }
+            '\'' => {
+                // Char literal or lifetime. A char literal closes within a
+                // couple of chars ('x', '\n', '\u{..}'); a lifetime is a
+                // quote followed by an ident with no closing quote.
+                if b.get(i + 1) == Some(&'\\') {
+                    i += 3; // '\x
+                    while i < b.len() && b[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if b.get(i + 2) == Some(&'\'') {
+                    i += 3; // 'x'
+                } else {
+                    i += 1; // lifetime: skip quote, ident lexes next round
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                // Raw/byte string prefixes: hand off to the string scanner.
+                if matches!(text.as_str(), "r" | "b" | "br")
+                    && matches!(b.get(i), Some(&'"') | Some(&'#'))
+                {
+                    let tok_line = line;
+                    let mut hashes = 0;
+                    while b.get(i) == Some(&'#') {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if b.get(i) == Some(&'"') {
+                        i += 1;
+                        let start = i;
+                        'scan: while i < b.len() {
+                            if b[i] == '\n' {
+                                line += 1;
+                            }
+                            if b[i] == '"' {
+                                let mut ok = true;
+                                for k in 0..hashes {
+                                    if b.get(i + 1 + k) != Some(&'#') {
+                                        ok = false;
+                                        break;
+                                    }
+                                }
+                                if ok {
+                                    let text: String = b[start..i].iter().collect();
+                                    i += 1 + hashes;
+                                    out.toks.push(Tok {
+                                        kind: TokKind::Str,
+                                        text,
+                                        line: tok_line,
+                                    });
+                                    break 'scan;
+                                }
+                            }
+                            i += 1;
+                        }
+                        continue;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                // Skip the number (incl. 1_000, 0xFF, 1.5, 1e9, 1u64).
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric()
+                        || b[i] == '_'
+                        || (b[i] == '.' && b.get(i + 1).is_some_and(char::is_ascii_digit)))
+                {
+                    i += 1;
+                }
+            }
+            ':' if b.get(i + 1) == Some(&':') => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: "::".into(),
+                    line,
+                });
+                i += 2;
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qualified_paths_fuse_the_double_colon() {
+        let t = tokenize("std::fs::File");
+        let texts: Vec<&str> = t.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["std", "::", "fs", "::", "File"]);
+    }
+
+    #[test]
+    fn strings_capture_contents_and_lines() {
+        let t = tokenize("let x = \"a.b\";\nlet y = r#\"raw\"#;");
+        let strs: Vec<(&str, u32)> = t
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| (t.text.as_str(), t.line))
+            .collect();
+        assert_eq!(strs, [("a.b", 1), ("raw", 2)]);
+    }
+
+    #[test]
+    fn comments_lifetimes_and_chars_do_not_confuse_the_stream() {
+        let t = tokenize("fn f<'a>(x: &'a str) { // c1\n let c = '\"'; /* c2 */ }");
+        assert_eq!(t.comments.len(), 2);
+        assert_eq!(t.comments[0].text, "c1");
+        assert_eq!(t.comments[1].text, "c2");
+        assert!(!t.toks.iter().any(|t| t.kind == TokKind::Str));
+    }
+
+    #[test]
+    fn numbers_are_skipped() {
+        let t = tokenize("let x = 1_000.5e3 + 0xFFu64;");
+        assert!(t.toks.iter().all(|t| t.kind != TokKind::Str));
+        assert!(!t.toks.iter().any(|t| t.text.contains('0')));
+    }
+}

@@ -1,0 +1,3 @@
+//! Fixture conformance table whose operator has no registered gauge.
+
+pub const DRIFT_METRICS: &[&str] = &["sync"];

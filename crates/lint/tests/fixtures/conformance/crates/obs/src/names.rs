@@ -1,0 +1,4 @@
+//! Fixture registry without the drift gauge the conformance table needs.
+
+/// Unrelated registered name.
+pub const APP_KNOWN: &str = "app.known";

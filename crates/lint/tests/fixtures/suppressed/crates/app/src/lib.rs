@@ -1,0 +1,15 @@
+//! Fixture: suppression markers. The reasoned marker silences its L1
+//! finding; the reasonless one is itself an error (and its L1 finding
+//! still fires).
+
+// lint: allow(L1) fixture tool legitimately reads its own sidecar file
+use std::fs;
+
+pub fn sidecar() -> Vec<u8> {
+    fs::read("sidecar.bin").unwrap_or_default()
+}
+
+// lint: allow(L1)
+pub fn naughty() {
+    let _ = std::fs::read("other.bin");
+}

@@ -1,0 +1,5 @@
+//! Fixture binary: raw file I/O and panics are fine in bins.
+
+fn main() {
+    let _ = std::fs::read("data.bin").unwrap();
+}

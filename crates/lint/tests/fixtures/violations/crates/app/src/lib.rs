@@ -1,0 +1,49 @@
+//! Fixture app crate: exactly one violation of each diagnostic rule.
+//! (L3 produces counts, not diagnostics: this file has exactly two
+//! panic sites in library code.)
+
+// L1 fires here (raw file I/O outside crates/storage):
+use std::fs;
+
+pub fn read_config() -> Vec<u8> {
+    // L3 site 1:
+    fs::read("config.bin").unwrap()
+}
+
+pub fn record(reg: &Registry) {
+    // Fine: registered name.
+    reg.counter("app.known").inc();
+    // L2 fires here (literal not in the registry):
+    reg.counter("app.unknown").inc();
+}
+
+pub fn rewrite(pool: &mut BufferPool, a: PageId, b: PageId) {
+    let h = pool.fetch(a).unwrap(); // L3 site 2
+    let mut g = h.data_mut();
+    g[0] = 1;
+    // L4 fires here (second frame acquired while `g` is live):
+    let _other = pool.fetch(b);
+    drop(g);
+    // Fine after the drop:
+    let _ok = pool.fetch(b);
+}
+
+pub fn batched(pool: &mut BufferPool, a: PageId, b: PageId) {
+    let h = pool.fetch(a);
+    let mut g = h.data_mut();
+    g[0] = 1;
+    // Fine: the ordered batch helper is the sanctioned path.
+    let _hs = pool.get_pages_batch(&[b]);
+}
+
+#[cfg(test)]
+mod tests {
+    // None of these fire: test code is out of scope.
+    use std::fs;
+
+    #[test]
+    fn test_code_is_exempt() {
+        fs::read("x").unwrap();
+        panic!("fine in tests");
+    }
+}

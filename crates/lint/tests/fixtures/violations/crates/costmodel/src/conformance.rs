@@ -1,0 +1,4 @@
+//! Fixture conformance table: resolves cleanly against the registry
+//! (the L2 violation in this tree comes from a call-site literal).
+
+pub const DRIFT_METRICS: &[&str] = &["plan"];

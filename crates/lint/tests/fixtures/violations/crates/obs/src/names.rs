@@ -1,0 +1,6 @@
+//! Fixture registry: the only names the fixture workspace may use.
+
+/// A registered metric name.
+pub const APP_KNOWN: &str = "app.known";
+/// Registered drift gauge for the fixture's one conformance operator.
+pub const DRIFT_PLAN: &str = "costmodel.drift.plan";

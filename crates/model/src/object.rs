@@ -322,7 +322,7 @@ impl Object {
                 }
                 (Value::Ref(o), FieldType::Ref(_)) => out.extend_from_slice(&o.to_bytes()),
                 (Value::Unit, FieldType::Pad(n)) => {
-                    out.extend(std::iter::repeat_n(0u8, *n as usize))
+                    out.extend(std::iter::repeat_n(0u8, *n as usize));
                 }
                 (v, t) => panic!("value {v:?} does not match field type {t:?}"),
             }

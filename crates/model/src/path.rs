@@ -41,7 +41,10 @@ impl PathExpr {
         }
         Ok(PathExpr {
             set: parts[0].to_string(),
-            segments: parts[1..].iter().map(|p| p.to_string()).collect(),
+            segments: parts[1..]
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
         })
     }
 

@@ -11,6 +11,7 @@ use std::ops::{Add, AddAssign, Sub};
 use std::sync::OnceLock;
 
 use crate::metrics::{registry, Counter};
+use crate::names;
 use std::sync::Arc;
 
 /// A bundle of page-I/O event counts (or a delta between two snapshots).
@@ -109,12 +110,12 @@ fn mirror() -> &'static Mirror {
     MIRROR.get_or_init(|| {
         let r = registry();
         Mirror {
-            disk_reads: r.counter("storage.disk.reads"),
-            disk_writes: r.counter("storage.disk.writes"),
-            disk_allocs: r.counter("storage.disk.allocs"),
-            pool_hits: r.counter("storage.pool.hits"),
-            pool_misses: r.counter("storage.pool.misses"),
-            evictions: r.counter("storage.pool.evictions"),
+            disk_reads: r.counter(names::STORAGE_DISK_READS),
+            disk_writes: r.counter(names::STORAGE_DISK_WRITES),
+            disk_allocs: r.counter(names::STORAGE_DISK_ALLOCS),
+            pool_hits: r.counter(names::STORAGE_POOL_HITS),
+            pool_misses: r.counter(names::STORAGE_POOL_MISSES),
+            evictions: r.counter(names::STORAGE_POOL_EVICTIONS),
         }
     })
 }

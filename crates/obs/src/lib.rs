@@ -26,6 +26,7 @@
 pub mod export;
 pub mod io;
 pub mod metrics;
+pub mod names;
 pub mod profile;
 pub mod span;
 

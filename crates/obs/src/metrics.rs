@@ -273,9 +273,15 @@ fn derive_metrics(counters: &[(String, u64)]) -> Vec<(String, f64)> {
             .map(|(_, v)| *v as f64)
     };
     let mut derived = Vec::new();
-    if let (Some(hits), Some(misses)) = (get("storage.pool.hits"), get("storage.pool.misses")) {
+    if let (Some(hits), Some(misses)) = (
+        get(crate::names::STORAGE_POOL_HITS),
+        get(crate::names::STORAGE_POOL_MISSES),
+    ) {
         if hits + misses > 0.0 {
-            derived.push(("storage.pool.hit_rate".to_string(), hits / (hits + misses)));
+            derived.push((
+                crate::names::STORAGE_POOL_HIT_RATE.to_string(),
+                hits / (hits + misses),
+            ));
         }
     }
     derived

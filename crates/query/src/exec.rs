@@ -12,7 +12,7 @@ use crate::{Assign, Filter, ReadQuery, UpdateQuery};
 use fieldrep_btree::BTreeIndex;
 use fieldrep_core::{read_object, value_key, Database};
 use fieldrep_model::{Annotation, Object, Value};
-use fieldrep_obs::{io as obs_io, Profile, Span};
+use fieldrep_obs::{io as obs_io, names as obs_names, Profile, Span};
 use fieldrep_storage::{oid_page_chunks, HeapFile, Oid};
 use std::collections::HashMap;
 
@@ -82,7 +82,9 @@ fn run_access(db: &mut Database, plan: &Plan, filter: Option<&Filter>) -> Result
     let set = db.catalog().set(plan.set).clone();
     match &plan.access {
         AccessPlan::IndexRange { index, .. } | AccessPlan::PathIndexRange { index, .. } => {
-            let f = filter.expect("index access requires a filter");
+            let f = filter.ok_or_else(|| {
+                QueryError::BadQuery("index access plan requires a filter".into())
+            })?;
             let (lo, hi) = f.bounds();
             let tree = BTreeIndex::open(*index);
             let hits = tree.range(db.sm(), &value_key(&lo), &value_key(&hi))?;
@@ -141,7 +143,7 @@ fn project(
     projections: &[ProjPlan],
     mut prof: Option<&mut Profile>,
 ) -> Result<Vec<Row>> {
-    let _span = Span::enter("query.project");
+    let _span = Span::enter(obs_names::QUERY_PROJECT);
     // Deferred-propagation paths must be synced before their replicated
     // values are read (§8 / `Propagation::Deferred`).
     for proj in projections {
@@ -159,14 +161,14 @@ fn project(
         }
     }
     if let Some(p) = prof.as_deref_mut() {
-        p.mark("sync");
+        p.mark(obs_names::OP_SYNC);
     }
     // Fetch the source objects once (optimally).
     let src = fetch_batch(db, oids)?;
     if let Some(p) = prof.as_deref_mut() {
-        p.mark("fetch");
+        p.mark(obs_names::OP_FETCH);
     }
-    let width: usize = projections.iter().map(|p| p.width()).sum();
+    let width: usize = projections.iter().map(super::plan::ProjPlan::width).sum();
     let mut rows: Vec<Row> = oids.iter().map(|_| Vec::with_capacity(width)).collect();
 
     for (proj_idx, proj) in projections.iter().enumerate() {
@@ -316,7 +318,11 @@ impl ReadQuery {
     /// Plan this query against the catalog without running it.
     pub fn plan(&self, db: &Database) -> Result<Plan> {
         let set = db.catalog().set_id(&self.set)?;
-        let access = plan_access(db.catalog(), set, self.filter.as_ref().map(|f| f.path()))?;
+        let access = plan_access(
+            db.catalog(),
+            set,
+            self.filter.as_ref().map(super::Filter::path),
+        )?;
         let projections = self
             .projections
             .iter()
@@ -331,10 +337,10 @@ impl ReadQuery {
 
     /// Execute the query.
     pub fn run(&self, db: &mut Database) -> Result<QueryResult> {
-        let span = Span::enter("query.read");
+        let span = Span::enter(obs_names::QUERY_READ);
         let mut prof = Profile::start();
         let plan = self.plan(db)?;
-        prof.mark("plan");
+        prof.mark(obs_names::OP_PLAN);
         let access_span = span.child(&plan.access.label());
         let oids = run_access(db, &plan, self.filter.as_ref())?;
         access_span.note("oids", oids.len());
@@ -364,7 +370,7 @@ impl ReadQuery {
         } else {
             None
         };
-        prof.mark("spool");
+        prof.mark(obs_names::OP_SPOOL);
 
         Ok(QueryResult {
             rows,
@@ -379,7 +385,11 @@ impl UpdateQuery {
     /// Plan this query.
     pub fn plan(&self, db: &Database) -> Result<Plan> {
         let set = db.catalog().set_id(&self.set)?;
-        let access = plan_access(db.catalog(), set, self.filter.as_ref().map(|f| f.path()))?;
+        let access = plan_access(
+            db.catalog(),
+            set,
+            self.filter.as_ref().map(super::Filter::path),
+        )?;
         Ok(Plan {
             set,
             access,
@@ -390,10 +400,10 @@ impl UpdateQuery {
     /// Execute the query: locate qualifying objects and apply the
     /// assignments through the engine (which propagates to all replicas).
     pub fn run(&self, db: &mut Database) -> Result<UpdateResult> {
-        let span = Span::enter("query.update");
+        let span = Span::enter(obs_names::QUERY_UPDATE);
         let mut prof = Profile::start();
         let plan = self.plan(db)?;
-        prof.mark("plan");
+        prof.mark(obs_names::OP_PLAN);
         let access_span = span.child(&plan.access.label());
         let mut oids = run_access(db, &plan, self.filter.as_ref())?;
         access_span.note("oids", oids.len());
@@ -406,7 +416,7 @@ impl UpdateQuery {
         span.note("updates", oids.len());
         // Drain any propagation I/O a previous (unprofiled) caller left
         // accumulated on this thread, so "apply" splits only its own.
-        let _ = obs_io::component_take("core.propagate");
+        let _ = obs_io::component_take(obs_names::CORE_PROPAGATE);
 
         let set = db.catalog().set(plan.set).clone();
         let def = db.catalog().type_def(set.elem_type).clone();
@@ -449,8 +459,11 @@ impl UpdateQuery {
             }
             db.update(*oid, &changes)?;
         }
-        prof.mark("apply");
-        prof.split_last("core.propagate", obs_io::component_take("core.propagate"));
+        prof.mark(obs_names::OP_APPLY);
+        prof.split_last(
+            obs_names::CORE_PROPAGATE,
+            obs_io::component_take(obs_names::CORE_PROPAGATE),
+        );
         Ok(UpdateResult {
             updated: oids.len(),
             plan,

@@ -27,7 +27,7 @@ use fieldrep_costmodel::conformance::{
 };
 use fieldrep_costmodel::{IndexSetting, ModelStrategy, Params};
 use fieldrep_model::Value;
-use fieldrep_obs::registry;
+use fieldrep_obs::{names as obs_names, registry};
 
 /// One operator row of an EXPLAIN report.
 #[derive(Clone, Debug)]
@@ -316,14 +316,15 @@ fn record_drift(e: &Explain) {
     let reg = registry();
     for row in &e.rows {
         if let (Some(metric), Some(drift)) = (row.metric, row.drift()) {
-            reg.gauge(&format!("costmodel.drift.{metric}"))
+            reg.gauge(&obs_names::drift_gauge(metric))
                 .set(drift.round() as i64);
         }
     }
     if let Some(total) = e.total_drift() {
-        reg.gauge("costmodel.drift.total").set(total.round() as i64);
+        reg.gauge(obs_names::COSTMODEL_DRIFT_TOTAL)
+            .set(total.round() as i64);
     }
-    reg.counter("costmodel.conformance.queries").inc();
+    reg.counter(obs_names::COSTMODEL_CONFORMANCE_QUERIES).inc();
 }
 
 fn build_explain(

@@ -146,17 +146,17 @@ impl fmt::Display for Plan {
         match &self.access {
             AccessPlan::FullScan => writeln!(f, "access: full scan")?,
             AccessPlan::IndexRange { kind, field, .. } => {
-                writeln!(f, "access: {kind:?} index range on field #{field}")?
+                writeln!(f, "access: {kind:?} index range on field #{field}")?;
             }
             AccessPlan::PathIndexRange { path, .. } => {
-                writeln!(f, "access: path-index range on replicated path {path}")?
+                writeln!(f, "access: path-index range on replicated path {path}")?;
             }
         }
         for (i, p) in self.projections.iter().enumerate() {
             match p {
                 ProjPlan::BaseField { field } => writeln!(f, "proj[{i}]: base field #{field}")?,
                 ProjPlan::InPlaceReplica { path, .. } => {
-                    writeln!(f, "proj[{i}]: in-place replica of {path} (no join)")?
+                    writeln!(f, "proj[{i}]: in-place replica of {path} (no join)")?;
                 }
                 ProjPlan::SeparateReplica { group, .. } => writeln!(
                     f,
@@ -173,7 +173,7 @@ impl fmt::Display for Plan {
                     remaining_hops.len()
                 )?,
                 ProjPlan::FunctionalJoin { hops, .. } => {
-                    writeln!(f, "proj[{i}]: {} functional join(s)", hops.len())?
+                    writeln!(f, "proj[{i}]: {} functional join(s)", hops.len())?;
                 }
             }
         }
@@ -188,9 +188,15 @@ pub fn plan_projection(cat: &Catalog, set: SetId, dotted: &str) -> Result<ProjPl
         .map_err(|e| QueryError::BadQuery(e.to_string()))?;
     let resolved = cat.resolve_path(&expr)?;
 
+    let Some(&first_terminal) = resolved.terminal_fields.first() else {
+        return Err(QueryError::BadQuery(format!(
+            "projection path {dotted:?} resolves to no terminal fields"
+        )));
+    };
+
     if resolved.hops.is_empty() {
         return Ok(ProjPlan::BaseField {
-            field: resolved.terminal_fields[0],
+            field: first_terminal,
         });
     }
 
@@ -212,23 +218,33 @@ pub fn plan_projection(cat: &Catalog, set: SetId, dotted: &str) -> Result<ProjPl
     {
         match p.strategy {
             Strategy::InPlace => {
-                let positions = resolved
-                    .terminal_fields
-                    .iter()
-                    .map(|f| p.terminal_fields.iter().position(|g| g == f).unwrap())
-                    .collect();
+                let positions = positions_of(&resolved.terminal_fields, &p.terminal_fields)
+                    .ok_or_else(|| {
+                        QueryError::BadQuery(format!(
+                            "replicated path {} does not carry every field of {dotted:?}",
+                            p.id
+                        ))
+                    })?;
                 return Ok(ProjPlan::InPlaceReplica {
                     path: p.id,
                     positions,
                 });
             }
             Strategy::Separate => {
-                let group = cat.group(p.group.expect("separate path has group"));
-                let positions = resolved
-                    .terminal_fields
-                    .iter()
-                    .map(|f| group.fields.iter().position(|g| g == f).unwrap())
-                    .collect();
+                let Some(gid) = p.group else {
+                    return Err(QueryError::BadQuery(format!(
+                        "separate-strategy path {} has no replica group in the catalog",
+                        p.id
+                    )));
+                };
+                let group = cat.group(gid);
+                let positions =
+                    positions_of(&resolved.terminal_fields, &group.fields).ok_or_else(|| {
+                        QueryError::BadQuery(format!(
+                            "replica group #{} does not carry every field of {dotted:?}",
+                            group.id.0
+                        ))
+                    })?;
                 return Ok(ProjPlan::SeparateReplica {
                     group: group.id,
                     positions,
@@ -253,6 +269,16 @@ pub fn plan_projection(cat: &Catalog, set: SetId, dotted: &str) -> Result<ProjPl
     })
 }
 
+/// Position of each `wanted` field within `carried`, or `None` if any is
+/// missing (a catalog/resolution mismatch the caller reports as a bad
+/// query rather than panicking on).
+fn positions_of(wanted: &[usize], carried: &[usize]) -> Option<Vec<usize>> {
+    wanted
+        .iter()
+        .map(|f| carried.iter().position(|g| g == f))
+        .collect()
+}
+
 /// Plan the access path for a filter on `dotted` (a base field or a
 /// replicated path with an index).
 pub fn plan_access(cat: &Catalog, set: SetId, filter_path: Option<&str>) -> Result<AccessPlan> {
@@ -263,9 +289,14 @@ pub fn plan_access(cat: &Catalog, set: SetId, filter_path: Option<&str>) -> Resu
     let expr = PathExpr::parse(&format!("{set_name}.{dotted}"))
         .map_err(|e| QueryError::BadQuery(e.to_string()))?;
     let resolved = cat.resolve_path(&expr)?;
+    let Some(&first_terminal) = resolved.terminal_fields.first() else {
+        return Err(QueryError::BadQuery(format!(
+            "filter path {dotted:?} resolves to no terminal fields"
+        )));
+    };
 
     if resolved.hops.is_empty() {
-        let field = resolved.terminal_fields[0];
+        let field = first_terminal;
         if let Some(IndexDef { file, kind, .. }) = cat.index_on_field(set, field) {
             return Ok(AccessPlan::IndexRange {
                 index: *file,
@@ -279,7 +310,7 @@ pub fn plan_access(cat: &Catalog, set: SetId, filter_path: Option<&str>) -> Resu
     // Path filter: use a path index if one exists over an in-place
     // replicated path (§3.3.4); otherwise a full scan evaluates the path
     // per object.
-    if let Some(p) = cat.replica_for(set, &resolved.hops, resolved.terminal_fields[0]) {
+    if let Some(p) = cat.replica_for(set, &resolved.hops, first_terminal) {
         if let Some(idx) = cat.index_on_path(p.id) {
             return Ok(AccessPlan::PathIndexRange {
                 index: idx.file,

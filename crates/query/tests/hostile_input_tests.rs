@@ -1,0 +1,90 @@
+//! Hostile-input regressions for plan building: queries over unknown
+//! sets, fields, or malformed dotted paths must come back as
+//! `Err(QueryError)`, never a panic. These pin the conversion of the
+//! planner's historical `unwrap`/`expect` sites into diagnostics.
+
+use fieldrep_core::{Database, DbConfig};
+use fieldrep_model::{FieldType, TypeDef, Value};
+use fieldrep_query::{Filter, ReadQuery, UpdateQuery};
+
+fn small_db() -> Database {
+    let mut db = Database::in_memory(DbConfig::default());
+    db.define_type(TypeDef::new("DEPT", vec![("name", FieldType::Str)]))
+        .unwrap();
+    db.define_type(TypeDef::new(
+        "EMP",
+        vec![
+            ("name", FieldType::Str),
+            ("salary", FieldType::Int),
+            ("dept", FieldType::Ref("DEPT".into())),
+        ],
+    ))
+    .unwrap();
+    db.create_set("Dept", "DEPT").unwrap();
+    db.create_set("Emp1", "EMP").unwrap();
+    let d = db.insert("Dept", vec![Value::Str("D".into())]).unwrap();
+    db.insert(
+        "Emp1",
+        vec![Value::Str("e".into()), Value::Int(1), Value::Ref(d)],
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn unknown_set_is_an_error() {
+    let mut db = small_db();
+    assert!(ReadQuery::on("Ghost")
+        .project(["name"])
+        .run(&mut db)
+        .is_err());
+    assert!(UpdateQuery::on("Ghost").run(&mut db).is_err());
+}
+
+#[test]
+fn unknown_projection_paths_are_errors() {
+    let mut db = small_db();
+    for proj in [
+        "ghost",
+        "dept.ghost",
+        "ghost.name",
+        "name.name",  // terminal field used as a hop
+        "dept..name", // empty path component
+        ".name",      // leading dot
+        "dept.name.", // trailing dot
+        "",           // empty projection
+        "dept.🦀",    // non-identifier bytes
+    ] {
+        let r = ReadQuery::on("Emp1").project([proj]).run(&mut db);
+        assert!(r.is_err(), "expected error for projection {proj:?}");
+    }
+}
+
+#[test]
+fn unknown_filter_paths_are_errors() {
+    let mut db = small_db();
+    for path in ["ghost", "dept.ghost", "dept..name", ""] {
+        let r = ReadQuery::on("Emp1")
+            .project(["name"])
+            .filter(Filter::Eq {
+                path: path.into(),
+                value: Value::Int(1),
+            })
+            .run(&mut db);
+        assert!(r.is_err(), "expected error for filter path {path:?}");
+    }
+}
+
+#[test]
+fn hostile_plans_still_leave_the_db_usable() {
+    let mut db = small_db();
+    let _ = ReadQuery::on("Emp1").project(["ghost"]).run(&mut db);
+    let _ = ReadQuery::on("Ghost").project(["name"]).run(&mut db);
+    // A good query after the failed ones still works.
+    let res = ReadQuery::on("Emp1")
+        .project(["name", "dept.name"])
+        .run(&mut db)
+        .unwrap();
+    assert_eq!(res.rows.len(), 1);
+    assert_eq!(res.rows[0][1], Some(Value::Str("D".into())));
+}

@@ -33,7 +33,7 @@ use crate::error::{Result, StorageError};
 use crate::oid::{FileId, PageId};
 use crate::page::PAGE_SIZE;
 use crate::stats::IoProfile;
-use fieldrep_obs::{io as obs_io, metrics};
+use fieldrep_obs::{io as obs_io, metrics, names as obs_names};
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -69,18 +69,111 @@ fn pool_metrics() -> &'static PoolMetrics {
     METRICS.get_or_init(|| {
         let r = metrics::registry();
         PoolMetrics {
-            shard_contention: r.counter("storage.pool.shard_contention"),
-            prefetch_issued: r.counter("storage.prefetch.issued"),
-            prefetch_hit: r.counter("storage.prefetch.hit"),
-            batch_len: r.histogram("storage.disk.batch_len", &[1, 2, 4, 8, 16, 32, 64, 128]),
+            shard_contention: r.counter(obs_names::STORAGE_POOL_SHARD_CONTENTION),
+            prefetch_issued: r.counter(obs_names::STORAGE_PREFETCH_ISSUED),
+            prefetch_hit: r.counter(obs_names::STORAGE_PREFETCH_HIT),
+            batch_len: r.histogram(
+                obs_names::STORAGE_DISK_BATCH_LEN,
+                &[1, 2, 4, 8, 16, 32, 64, 128],
+            ),
         }
     })
+}
+
+// ---- Debug-build lock discipline ----------------------------------------
+//
+// The pool's deadlock-freedom argument is simple: a thread holds at most
+// one page write guard at a time, except inside the ordered batch helper
+// ([`BufferPool::get_pages_batch`] → `read_run`), which locks only
+// freshly claimed victim frames in sorted page order from a single site.
+// These thread-local counters enforce the "at most one, or batched" half
+// in debug builds; release builds compile the checks away.
+#[cfg(debug_assertions)]
+mod lockcheck {
+    use std::cell::Cell;
+
+    thread_local! {
+        /// Live write guards handed out by `PageHandle::data_mut` on this
+        /// thread.
+        static LIVE_WRITE_GUARDS: Cell<usize> = const { Cell::new(0) };
+        /// Whether this thread is inside the ordered batch helper.
+        static IN_ORDERED_BATCH: Cell<bool> = const { Cell::new(false) };
+    }
+
+    pub(super) fn guard_acquired() {
+        LIVE_WRITE_GUARDS.with(|c| c.set(c.get() + 1));
+    }
+
+    pub(super) fn guard_released() {
+        LIVE_WRITE_GUARDS.with(|c| c.set(c.get().saturating_sub(1)));
+    }
+
+    /// Trip (debug builds) if a frame lock is about to be taken while a
+    /// page write guard is live outside the ordered batch helper.
+    pub(super) fn check_frame_acquire(op: &str) {
+        let live = LIVE_WRITE_GUARDS.with(Cell::get);
+        let batched = IN_ORDERED_BATCH.with(Cell::get);
+        debug_assert!(
+            live == 0 || batched,
+            "lock discipline: {op} while {live} page write guard(s) are live \
+             on this thread; route multi-page work through \
+             BufferPool::get_pages_batch (the ordered batch helper) or drop \
+             the guard first"
+        );
+    }
+
+    /// RAII marker for the ordered batch helper's dynamic extent.
+    pub(super) struct BatchScope {
+        prev: bool,
+    }
+
+    impl BatchScope {
+        pub(super) fn enter() -> BatchScope {
+            BatchScope {
+                prev: IN_ORDERED_BATCH.with(|c| c.replace(true)),
+            }
+        }
+    }
+
+    impl Drop for BatchScope {
+        fn drop(&mut self) {
+            IN_ORDERED_BATCH.with(|c| c.set(self.prev));
+        }
+    }
 }
 
 struct FrameInner {
     data: RwLock<PageBuf>,
     dirty: AtomicBool,
     pins: AtomicU32,
+}
+
+/// Write guard over a page's bytes, returned by [`PageHandle::data_mut`].
+///
+/// Dereferences to the page buffer. Debug builds count live guards per
+/// thread to enforce the pool's lock discipline (see the lint's L4 rule).
+pub struct PageWriteGuard<'a> {
+    guard: RwLockWriteGuard<'a, PageBuf>,
+}
+
+impl std::ops::Deref for PageWriteGuard<'_> {
+    type Target = PageBuf;
+    fn deref(&self) -> &PageBuf {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for PageWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut PageBuf {
+        &mut self.guard
+    }
+}
+
+#[cfg(debug_assertions)]
+impl Drop for PageWriteGuard<'_> {
+    fn drop(&mut self) {
+        lockcheck::guard_released();
+    }
 }
 
 /// A pinned reference to a buffered page.
@@ -102,13 +195,15 @@ impl PageHandle {
     }
 
     /// Exclusive write access; marks the page dirty.
-    pub fn data_mut(&self) -> RwLockWriteGuard<'_, PageBuf> {
+    pub fn data_mut(&self) -> PageWriteGuard<'_> {
         let guard = self.inner.data.write();
+        #[cfg(debug_assertions)]
+        lockcheck::guard_acquired();
         // The dirty store must come *after* lock acquisition: flagging
         // first would let a flush racing with a still-blocked writer
         // count a spurious write-back for a page that hasn't changed.
         self.inner.dirty.store(true, Ordering::Relaxed);
-        guard
+        PageWriteGuard { guard }
     }
 
     /// Whether the frame is currently marked dirty (write-back pending).
@@ -243,6 +338,11 @@ impl BufferPool {
             for pid in victims {
                 let idx = self.shards[s].map.remove(&pid).expect("victim was in map");
                 let f = &mut self.frames[idx];
+                debug_assert!(
+                    f.inner.pins.load(Ordering::Relaxed) == 0,
+                    "pin leak: dropping {file:?} while its page {pid:?} is \
+                     still pinned"
+                );
                 f.pid = None;
                 f.referenced = false;
                 f.prefetched = false;
@@ -261,6 +361,8 @@ impl BufferPool {
     /// (zeroed) handle to it. The page is dirty from birth so it reaches
     /// disk on flush.
     pub fn new_page(&mut self, file: FileId) -> Result<(PageId, PageHandle)> {
+        #[cfg(debug_assertions)]
+        lockcheck::check_frame_acquire("BufferPool::new_page");
         let pid = self.disk.allocate_page(file)?;
         obs_io::record_disk_alloc();
         let idx = self.find_victim(self.shard_of(pid))?;
@@ -272,6 +374,8 @@ impl BufferPool {
 
     /// Fetch page `pid`, reading it from disk on a miss.
     pub fn fetch(&mut self, pid: PageId) -> Result<PageHandle> {
+        #[cfg(debug_assertions)]
+        lockcheck::check_frame_acquire("BufferPool::fetch");
         let home = self.shard_of(pid);
         if let Some(&idx) = self.shards[home].map.get(&pid) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -301,6 +405,11 @@ impl BufferPool {
         if pids.is_empty() {
             return Ok(Vec::new());
         }
+        // This *is* the ordered batch helper: frame locks below are taken
+        // in sorted page order from a single site, so a caller-held write
+        // guard cannot form a cycle with them.
+        #[cfg(debug_assertions)]
+        let _batch = lockcheck::BatchScope::enter();
         let mut uniq: Vec<PageId> = pids.to_vec();
         uniq.sort_unstable();
         uniq.dedup();
@@ -344,6 +453,10 @@ impl BufferPool {
     /// prefetch never changes page-I/O totals relative to fetching the
     /// pages directly — it only turns the later fetch into a hit.
     pub fn prefetch(&mut self, pids: &[PageId]) -> Result<()> {
+        #[cfg(debug_assertions)]
+        lockcheck::check_frame_acquire("BufferPool::prefetch");
+        #[cfg(debug_assertions)]
+        let _batch = lockcheck::BatchScope::enter();
         let mut missing: Vec<PageId> = pids.to_vec();
         missing.sort_unstable();
         missing.dedup();
@@ -432,6 +545,12 @@ impl BufferPool {
     /// and home-map entries. Callers drop the pinning handles first.
     fn uninstall_run(&mut self, idxs: &[usize]) {
         for &idx in idxs {
+            debug_assert!(
+                self.frames[idx].inner.pins.load(Ordering::Relaxed) == 0,
+                "pin leak: rolling back batch frame {idx} while it is still \
+                 pinned; callers must drop the run's handles before \
+                 uninstall_run"
+            );
             if let Some(pid) = self.frames[idx].pid.take() {
                 let home = self.shard_of(pid);
                 self.shards[home].map.remove(&pid);
@@ -687,6 +806,53 @@ mod tests {
         let prof = bp.io_profile();
         assert_eq!(prof.pool_misses, 1, "pool was cold after flush_all");
         assert_eq!(prof.disk.reads, 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "lock discipline")]
+    fn out_of_order_frame_acquire_is_caught_in_debug() {
+        let mut bp = pool(4);
+        let f = bp.create_file().unwrap();
+        let (_, h0) = bp.new_page(f).unwrap();
+        let (p1, h1) = bp.new_page(f).unwrap();
+        drop(h1);
+        let _guard = h0.data_mut();
+        // A second frame acquisition with the write guard live, outside
+        // the ordered batch helper, must trip the debug check.
+        let _ = bp.fetch(p1);
+    }
+
+    #[test]
+    fn ordered_batch_with_live_guard_is_allowed() {
+        let mut bp = pool(8);
+        let f = bp.create_file().unwrap();
+        let mut pids = vec![];
+        for i in 0..3u8 {
+            let (pid, h) = bp.new_page(f).unwrap();
+            h.data_mut()[0] = i;
+            pids.push(pid);
+        }
+        bp.flush_all().unwrap();
+        let h0 = bp.fetch(pids[0]).unwrap();
+        let guard = h0.data_mut();
+        // Batched (sorted, single-site) acquisition is the sanctioned way
+        // to touch more frames while a write guard is live; the two cold
+        // pages below go through read_run's grouped locking.
+        let hs = bp.get_pages_batch(&[pids[1], pids[2]]).unwrap();
+        assert_eq!(hs[0].data()[0], 1);
+        assert_eq!(hs[1].data()[0], 2);
+        drop(guard);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "pin leak")]
+    fn drop_file_with_pinned_page_is_caught_in_debug() {
+        let mut bp = pool(4);
+        let f = bp.create_file().unwrap();
+        let (_pid, _h) = bp.new_page(f).unwrap();
+        let _ = bp.drop_file(f);
     }
 
     #[test]

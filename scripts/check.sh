@@ -6,6 +6,11 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Repo-specific static analysis (layering, obs-name registry, panic
+# budget, lock discipline) against the committed lint_budget.toml.
+cargo run -q -p fieldrep-lint
+
 cargo test -q --workspace
 
 # Fast benchmark smoke: runs the suite's tiny matrix and self-tests the

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Run the repo-specific static analysis (fieldrep-lint) on its own.
+#
+#   ./scripts/lint.sh                 check against lint_budget.toml
+#   ./scripts/lint.sh --update-budget rewrite lint_budget.toml after a
+#                                     legitimate ratchet-down
+#
+# The four rules (see DESIGN.md §9 and crates/lint/src/lib.rs):
+#   L1  layering      raw page/file I/O only inside crates/storage
+#   L2  name registry obs name literals must exist in obs::names
+#   L3  panic budget  unwrap/expect/panic in library code only ratchets down
+#   L4  lock order    no second frame acquire under a live page write guard
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo run -q -p fieldrep-lint -- "$@"
