@@ -5,11 +5,14 @@
 //!
 //! Run: `cargo run --release -p fieldrep-bench --bin bench_gate -- \
 //!         OLD.json NEW.json [--max-io-regress PCT] [--max-drift PCT] \
-//!         [--max-wall-regress PCT]`
+//!         [--max-wall-regress PCT] [--max-obs-overhead PCT]`
 //!
 //! Wall-clock gating only applies to points whose readings clear the
 //! noise floor in both reports (and never against v1 baselines, which
 //! carry no `wall_ms`); pass `--max-wall-regress 0` to disable it.
+//! The telemetry-overhead check compares the new report's
+//! `overhead/telemetry/on` and `…/off` wall readings against each other
+//! (default limit 5%); `--max-obs-overhead 0` disables it.
 //!
 //! `scripts/bench_gate.sh` wires this to the two newest committed
 //! `BENCH_*.json` snapshots.
@@ -46,13 +49,19 @@ fn main() -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .expect("--max-wall-regress PCT");
             }
+            "--max-obs-overhead" => {
+                t.max_obs_overhead_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-obs-overhead PCT");
+            }
             other => files.push(other.to_string()),
         }
     }
     if files.len() != 2 {
         eprintln!(
             "usage: bench_gate OLD.json NEW.json [--max-io-regress PCT] [--max-drift PCT] \
-             [--max-wall-regress PCT]"
+             [--max-wall-regress PCT] [--max-obs-overhead PCT]"
         );
         return ExitCode::FAILURE;
     }
@@ -66,14 +75,16 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "gate: {} (run {}) vs {} (run {}); limits: io +{:.0}%, drift ±{:.0}%, wall +{:.0}%",
+        "gate: {} (run {}) vs {} (run {}); limits: io +{:.0}%, drift ±{:.0}%, wall +{:.0}%, \
+         telemetry overhead +{:.0}%",
         files[0],
         old.run_id,
         files[1],
         new.run_id,
         t.max_io_regress_pct,
         t.max_drift_pct,
-        t.max_wall_regress_pct
+        t.max_wall_regress_pct,
+        t.max_obs_overhead_pct
     );
     let violations = gate(&old, &new, &t);
     if violations.is_empty() {

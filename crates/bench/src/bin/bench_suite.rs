@@ -165,6 +165,26 @@ fn main() -> ExitCode {
         }
     }
 
+    // Telemetry overhead: always-on pipeline (recorder + timeline tick)
+    // vs. recorder disabled, min-of-reps on one fixed workload.
+    let wall = |mode: &str| {
+        report
+            .points
+            .iter()
+            .find(|p| p.id == format!("overhead/telemetry/{mode}"))
+            .map(|p| p.wall_ms)
+    };
+    if let (Some(on), Some(off)) = (wall("on"), wall("off")) {
+        let pct = if off > 0.0 {
+            100.0 * (on - off) / off
+        } else {
+            0.0
+        };
+        println!(
+            "\n--- Telemetry overhead ---\non  {on:>8.2} ms\noff {off:>8.2} ms\ncost {pct:>+6.1}%"
+        );
+    }
+
     if smoke {
         if let Err(e) = smoke_gate_check(&report) {
             eprintln!("\nsmoke gate self-test FAILED: {e}");

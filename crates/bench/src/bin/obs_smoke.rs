@@ -1,0 +1,104 @@
+//! Observability smoke check for `scripts/check.sh`: drive a tiny
+//! workload with the always-on pipeline engaged, take two timeline
+//! ticks, write the run header + timeline series + flight-recorder dump
+//! as JSONL under `target/`, and validate the output — every line must
+//! parse with the bench crate's JSON parser and the run header must
+//! carry the expected `schema_version`. Prints the `obs_report` summary
+//! and exits nonzero on any failure.
+//!
+//! Run: `cargo run --release -p fieldrep-bench --bin obs_smoke`
+
+use fieldrep_bench::json::Json;
+use fieldrep_bench::{build_workload, measure_read_query, measure_update_query, WorkloadSpec};
+use fieldrep_catalog::Strategy;
+use fieldrep_costmodel::IndexSetting;
+use fieldrep_obs::{export, recorder, timeline};
+use std::process::ExitCode;
+
+const OUT_PATH: &str = "target/obs_smoke.jsonl";
+
+fn run() -> Result<(), String> {
+    recorder::set_enabled(true);
+
+    // Tiny §6 workload: one read and one update query, a timeline tick
+    // after each so the series has at least two points.
+    let mut spec =
+        WorkloadSpec::paper(2, IndexSetting::Unclustered, Some(Strategy::InPlace)).scaled(240);
+    // Paper selectivities round to zero rows at this scale; raise them so
+    // the queries touch rows and the propagation path actually runs.
+    spec.read_sel = 0.02;
+    spec.update_sel = 0.02;
+    let mut w = build_workload(spec);
+    measure_read_query(&mut w, 0);
+    timeline::global_tick();
+    measure_update_query(&mut w, 0);
+    timeline::global_tick();
+
+    let mut lines = vec![export::run_meta_jsonl("obs_smoke")];
+    lines.extend(timeline::global_export_jsonl());
+    lines.extend(recorder::dump_jsonl());
+
+    // Every exported line must be valid JSON.
+    for (i, line) in lines.iter().enumerate() {
+        Json::parse(line).map_err(|e| format!("line {}: {e}: {line}", i + 1))?;
+    }
+
+    // The run header must carry the current JSONL schema version.
+    let head = Json::parse(&lines[0]).map_err(|e| format!("run header: {e}"))?;
+    if head.get("type").and_then(Json::as_str) != Some("run") {
+        return Err(format!("first line is not a run header: {}", lines[0]));
+    }
+    let version = head
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("run header lacks schema_version: {}", lines[0]))?
+        as u32;
+    if version != export::JSONL_SCHEMA_VERSION {
+        return Err(format!(
+            "run header schema_version {version} != {}",
+            export::JSONL_SCHEMA_VERSION
+        ));
+    }
+
+    // The workload must actually have fed the pipeline.
+    let ticks = lines
+        .iter()
+        .filter(|l| l.contains("\"type\":\"timeline\""))
+        .count();
+    if ticks < 2 {
+        return Err(format!("expected >= 2 timeline ticks, got {ticks}"));
+    }
+    if !lines
+        .iter()
+        .any(|l| l.contains("\"type\":\"recorder_dump\""))
+    {
+        return Err("no recorder_dump header in the output".into());
+    }
+    if !lines
+        .iter()
+        .any(|l| l.contains("\"event\":\"span_exit\"") && l.contains("core.propagate"))
+    {
+        return Err("recorder captured no core.propagate span exit".into());
+    }
+
+    std::fs::create_dir_all("target").map_err(|e| format!("mkdir target: {e}"))?;
+    std::fs::write(OUT_PATH, lines.join("\n") + "\n")
+        .map_err(|e| format!("write {OUT_PATH}: {e}"))?;
+
+    print!("{}", timeline::global_report());
+    println!(
+        "obs_smoke: ok ({} JSONL line(s), schema v{version}, written to {OUT_PATH})",
+        lines.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("obs_smoke: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

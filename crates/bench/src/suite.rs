@@ -13,14 +13,16 @@
 use crate::figures::selected_points;
 use crate::json::Json;
 use crate::{
-    measure_cell, profile_update_query, read_query, strategy_name, WorkloadSpec, ALL_STRATEGIES,
+    build_workload, measure_cell, measure_read_query, measure_update_query, profile_update_query,
+    read_query, strategy_name, WorkloadSpec, ALL_STRATEGIES,
 };
+use fieldrep_catalog::Strategy;
 use fieldrep_costmodel::{
     drift_pct, predict_update, AccessShape, IndexSetting, ModelStrategy, UpdateShape,
 };
-use fieldrep_obs::{export, registry};
+use fieldrep_obs::{export, recorder, registry, timeline};
 use fieldrep_query::explain_analyze_read;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Version of the `BENCH_*.json` document layout. Bump on any breaking
 /// change to [`SuiteReport::to_json`]; [`SuiteReport::parse`] rejects
@@ -264,6 +266,22 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
         }
     }
 
+    // Telemetry overhead: the same workload with the always-on pipeline
+    // engaged vs. the recorder disabled. Gated within one report (same
+    // machine, same run), so the points carry only wall clock.
+    let (on_ms, off_ms) = measure_overhead(cfg);
+    for (mode, ms) in [("on", on_ms), ("off", off_ms)] {
+        points.push(BenchPoint {
+            id: format!("overhead/telemetry/{mode}"),
+            measured_io: 0.0,
+            model_io: 0.0,
+            drift_pct: 0.0,
+            wall_nanos: (ms * 1e6) as u64,
+            wall_ms: ms,
+            batch_io: 0.0,
+        });
+    }
+
     let mut metrics = vec![export::run_meta_jsonl(run_id)];
     metrics.extend(export::snapshot_jsonl(&registry().snapshot()));
     SuiteReport {
@@ -277,6 +295,47 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
         points,
         metrics,
     }
+}
+
+/// Wall clock of the always-on telemetry pipeline vs. the recorder
+/// disabled, as `(on_ms, off_ms)`: min over `reps` passes of one §6
+/// read + update query on a fixed in-place workload, after a warmup
+/// pass. The "on" mode additionally takes one timeline tick per pass —
+/// the configuration the engine actually ships with.
+fn measure_overhead(cfg: &SuiteConfig) -> (f64, f64) {
+    let sharing = cfg.sharings.last().copied().unwrap_or(1);
+    let setting = cfg
+        .settings
+        .first()
+        .copied()
+        .unwrap_or(IndexSetting::Unclustered);
+    let spec = cfg.spec(sharing, setting, Some(Strategy::InPlace));
+    let mut w = build_workload(spec);
+    let reps = if cfg.smoke { 3 } else { 5 };
+    let was_on = recorder::enabled();
+    let mut best = |telemetry: bool| -> f64 {
+        recorder::set_enabled(telemetry);
+        let mut min = f64::INFINITY;
+        for rep in 0..=reps {
+            let t0 = Instant::now();
+            measure_read_query(&mut w, 0);
+            measure_update_query(&mut w, 0);
+            if telemetry {
+                timeline::global_tick();
+            }
+            let ms = t0.elapsed().as_nanos() as f64 / 1e6;
+            if rep > 0 {
+                min = min.min(ms); // pass 0 is warmup
+            }
+        }
+        min
+    };
+    // "on" runs first so any residual cache warmth favours "off",
+    // overstating rather than hiding the overhead.
+    let on_ms = best(true);
+    let off_ms = best(false);
+    recorder::set_enabled(was_on);
+    (on_ms, off_ms)
 }
 
 impl SuiteReport {
@@ -396,6 +455,11 @@ pub struct GateThresholds {
     /// Only applied when both readings are at least [`WALL_FLOOR_MS`]
     /// (sub-floor timings are noise); `<= 0` disables wall gating.
     pub max_wall_regress_pct: f64,
+    /// Maximum wall-clock cost of the always-on telemetry pipeline:
+    /// `overhead/telemetry/on` vs. `…/off` **within the new report**
+    /// (same machine, same run). Only applied when the "off" reading
+    /// clears [`WALL_FLOOR_MS`]; `<= 0` disables the check.
+    pub max_obs_overhead_pct: f64,
 }
 
 impl Default for GateThresholds {
@@ -404,6 +468,7 @@ impl Default for GateThresholds {
             max_io_regress_pct: 10.0,
             max_drift_pct: 60.0,
             max_wall_regress_pct: 15.0,
+            max_obs_overhead_pct: 5.0,
         }
     }
 }
@@ -420,6 +485,11 @@ pub fn gate(old: &SuiteReport, new: &SuiteReport, t: &GateThresholds) -> Vec<Str
             violations.push(format!("{}: point missing from new report", op.id));
             continue;
         };
+        if op.id.starts_with("overhead/") {
+            // Overhead points are compared within the new report below;
+            // their absolute wall clock is machine-dependent noise here.
+            continue;
+        }
         let regress = 100.0 * (np.measured_io - op.measured_io) / op.measured_io.max(1.0);
         if regress > t.max_io_regress_pct {
             violations.push(format!(
@@ -448,6 +518,24 @@ pub fn gate(old: &SuiteReport, new: &SuiteReport, t: &GateThresholds) -> Vec<Str
             ));
         }
     }
+    if t.max_obs_overhead_pct > 0.0 {
+        let wall = |id: &str| new.points.iter().find(|p| p.id == id).map(|p| p.wall_ms);
+        if let (Some(on), Some(off)) = (
+            wall("overhead/telemetry/on"),
+            wall("overhead/telemetry/off"),
+        ) {
+            if off >= WALL_FLOOR_MS {
+                let pct = 100.0 * (on - off) / off;
+                if pct > t.max_obs_overhead_pct {
+                    violations.push(format!(
+                        "overhead/telemetry: always-on telemetry costs {pct:+.1}% wall clock \
+                         ({off:.1} -> {on:.1} ms, limit {:.0}%)",
+                        t.max_obs_overhead_pct
+                    ));
+                }
+            }
+        }
+    }
     violations
 }
 
@@ -468,6 +556,14 @@ mod tests {
         assert!(r.points.iter().any(|p| p.id.starts_with("io/")));
         assert!(r.points.iter().any(|p| p.id.starts_with("propagation/")));
         assert!(r.points.iter().any(|p| p.id.starts_with("drift/")));
+        for mode in ["on", "off"] {
+            let p = r
+                .points
+                .iter()
+                .find(|p| p.id == format!("overhead/telemetry/{mode}"))
+                .expect("overhead point");
+            assert!(p.wall_ms > 0.0, "{}: wall must be measured", p.id);
+        }
         assert_eq!(
             r.points
                 .iter()
@@ -589,5 +685,37 @@ mod tests {
             ..GateThresholds::default()
         };
         assert!(gate(&old, &new, &off).is_empty());
+    }
+
+    #[test]
+    fn gate_flags_telemetry_overhead_within_the_new_report() {
+        let r = tiny_report();
+        let set = |rep: &mut SuiteReport, mode: &str, ms: f64| {
+            rep.points
+                .iter_mut()
+                .find(|p| p.id == format!("overhead/telemetry/{mode}"))
+                .unwrap()
+                .wall_ms = ms;
+        };
+        // +10% overhead above the floor: caught at the default 5% limit.
+        let mut costly = r.clone();
+        set(&mut costly, "off", 100.0);
+        set(&mut costly, "on", 110.0);
+        let v = gate(&r, &costly, &GateThresholds::default());
+        assert!(v.iter().any(|m| m.contains("always-on telemetry")), "{v:?}");
+        // Overhead wall readings are exempt from the old-vs-new wall
+        // comparison (they're compared within one run instead).
+        assert_eq!(v.len(), 1, "{v:?}");
+        // Same ratio below the noise floor: not gated.
+        let mut tiny = r.clone();
+        set(&mut tiny, "off", 1.0);
+        set(&mut tiny, "on", 1.1);
+        assert!(gate(&r, &tiny, &GateThresholds::default()).is_empty());
+        // Threshold <= 0 disables the check.
+        let off = GateThresholds {
+            max_obs_overhead_pct: 0.0,
+            ..GateThresholds::default()
+        };
+        assert!(gate(&r, &costly, &off).is_empty());
     }
 }

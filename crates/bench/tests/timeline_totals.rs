@@ -1,0 +1,72 @@
+//! Acceptance for the metrics timeline: over a window bracketed by two
+//! global ticks, the `storage.*` counter deltas must sum *exactly* to
+//! the raw buffer-pool totals the database measured over the same
+//! window — the timeline is a faithful resampling of the engine's I/O,
+//! not an approximation.
+//!
+//! Kept as a single-test file: the global registry and timeline are
+//! process-wide, so this test owns its process.
+
+use fieldrep_bench::{build_workload, io_counts_of, read_query, update_query, WorkloadSpec};
+use fieldrep_catalog::Strategy;
+use fieldrep_costmodel::IndexSetting;
+use fieldrep_obs::{names, timeline};
+
+#[test]
+fn timeline_storage_deltas_sum_exactly_to_pool_totals() {
+    let mut spec =
+        WorkloadSpec::paper(2, IndexSetting::Unclustered, Some(Strategy::InPlace)).scaled(300);
+    spec.read_sel = 0.02;
+    spec.update_sel = 0.02;
+    let mut w = build_workload(spec);
+
+    // Baseline tick after the build settles, so the measured window is
+    // exactly [baseline tick, final tick].
+    w.db.flush_all().unwrap();
+    w.db.reset_profile();
+    timeline::global_tick();
+
+    let rq = read_query(&w, 0);
+    let res = rq.run(&mut w.db).expect("read query");
+    assert!(!res.rows.is_empty(), "window must contain real work");
+    let uq = update_query(&w, 0);
+    let ur = uq.run(&mut w.db).expect("update query");
+    assert!(ur.updated > 0, "window must contain update ripples");
+    w.db.flush_all().unwrap();
+
+    let expect = io_counts_of(&w.db.io_profile());
+    timeline::global_tick();
+
+    let got = timeline::with_global(|t| {
+        let last = t.ticks().last().expect("final tick retained");
+        [
+            last.counter_delta(names::STORAGE_DISK_READS),
+            last.counter_delta(names::STORAGE_DISK_WRITES),
+            last.counter_delta(names::STORAGE_DISK_ALLOCS),
+            last.counter_delta(names::STORAGE_POOL_HITS),
+            last.counter_delta(names::STORAGE_POOL_MISSES),
+            last.counter_delta(names::STORAGE_POOL_EVICTIONS),
+        ]
+    });
+    let want = [
+        expect.disk_reads,
+        expect.disk_writes,
+        expect.disk_allocs,
+        expect.pool_hits,
+        expect.pool_misses,
+        expect.evictions,
+    ];
+    assert!(
+        want.iter().sum::<u64>() > 0,
+        "the window must have measured some I/O"
+    );
+    assert_eq!(
+        got, want,
+        "timeline deltas (reads, writes, allocs, hits, misses, evictions) \
+         must equal the raw pool counters exactly"
+    );
+
+    if let Some(f) = res.output_file {
+        w.db.sm().drop_file(f).ok();
+    }
+}

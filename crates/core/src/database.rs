@@ -62,6 +62,7 @@ pub struct Database {
     cfg: DbConfig,
     file_sets: HashMap<FileId, SetId>,
     pending: crate::PendingSet,
+    workload: crate::WorkloadStats,
     /// The dedicated file holding the serialized catalog (always the
     /// disk's first file).
     catalog_file: FileId,
@@ -85,6 +86,7 @@ impl Database {
             cfg,
             file_sets: HashMap::new(),
             pending: crate::PendingSet::default(),
+            workload: crate::WorkloadStats::new(),
             catalog_file,
         }
     }
@@ -158,6 +160,7 @@ impl Database {
             cfg,
             file_sets,
             pending: crate::PendingSet::default(),
+            workload: crate::WorkloadStats::new(),
             catalog_file,
         })
     }
@@ -185,7 +188,14 @@ impl Database {
             cat: &self.catalog,
             cfg: &self.cfg,
             pending: &mut self.pending,
+            workload: &self.workload,
         }
+    }
+
+    /// Observed per-path workload statistics (reads, update ripples,
+    /// fan-out and page-I/O EWMAs). See [`crate::WorkloadStats`].
+    pub fn workload(&self) -> &crate::WorkloadStats {
+        &self.workload
     }
 
     /// I/O counters since the last reset.
@@ -686,9 +696,15 @@ impl Database {
     pub fn path_values(&mut self, oid: Oid, path: PathId) -> Result<Option<Vec<Value>>> {
         self.sync_path(path)?;
         let path = self.catalog.path(path).clone();
+        let before = fieldrep_obs::io::snapshot();
         let obj = self.get(oid)?;
-        let mut ctx = self.ctx();
-        read_path_values(&mut ctx, &path, &obj)
+        let values = {
+            let mut ctx = self.ctx();
+            read_path_values(&mut ctx, &path, &obj)?
+        };
+        let pages = (fieldrep_obs::io::snapshot() - before).page_touches();
+        self.workload.record_read(&path.expr.to_string(), 1, pages);
+        Ok(values)
     }
 
     /// Dereference a path with plain functional joins (the no-replication
@@ -853,7 +869,8 @@ impl Database {
         let pdef = self.catalog.path(path).clone();
         let n = entries.len();
         for e in entries {
-            match e {
+            let io_before = fieldrep_obs::io::snapshot();
+            let fanout = match e {
                 crate::PendingEntry::StaleSources { obj, link_level } => {
                     let mut ctx = self.ctx();
                     let sources = {
@@ -870,6 +887,7 @@ impl Database {
                         let chain = walk_chain(ctx, &pdef, s, &sobj)?;
                         crate::attach::attach_terminal(ctx, &pdef, s, &chain)
                     })?;
+                    sources.len() as u64
                 }
                 crate::PendingEntry::StaleReplica { obj } => {
                     let group = self
@@ -882,8 +900,14 @@ impl Database {
                         let values = group_values(&group, &o);
                         write_replica(ctx.sm, &group, roid, &values)?;
                     }
+                    1
                 }
-            }
+            };
+            // A synced entry is an update ripple that was parked; count
+            // it against the path now that its pages are known.
+            let pages = (fieldrep_obs::io::snapshot() - io_before).page_touches();
+            self.workload
+                .record_update(&pdef.expr.to_string(), fanout, pages);
         }
         Ok(n)
     }

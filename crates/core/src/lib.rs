@@ -26,11 +26,13 @@ pub mod objects;
 pub mod propagate;
 pub mod replicas;
 pub mod stats;
+pub mod workload;
 
 pub use database::Database;
 pub use error::{DbError, Result};
 pub use objects::{read_object, value_key, write_object, LINK_TAG, REPLICA_TAG};
 pub use stats::PathStats;
+pub use workload::{PathWorkload, WorkloadStats};
 
 use fieldrep_catalog::{Catalog, PathId};
 use fieldrep_storage::{Oid, StorageManager};
@@ -68,6 +70,8 @@ pub struct EngineCtx<'a> {
     pub cfg: &'a DbConfig,
     /// Deferred-propagation work queue (§8 / `Propagation::Deferred`).
     pub pending: &'a mut PendingSet,
+    /// Observed per-path workload statistics (reads, ripples, EWMAs).
+    pub workload: &'a WorkloadStats,
 }
 
 /// One deferred-propagation work item.

@@ -22,7 +22,7 @@ use crate::attach::{
     attach_links_from, collect_sources, detach_links_from, for_each_page_group,
     set_source_replica_values, terminal_values,
 };
-use crate::error::Result;
+use crate::error::{DbError, Result};
 use crate::objects::{read_object, write_object};
 use crate::replicas::{
     anchor_acquire, anchor_release, find_replica_ref, group_values, write_replica,
@@ -33,7 +33,20 @@ use fieldrep_catalog::{LinkId, PathId, Propagation, RepPathDef, Strategy};
 use fieldrep_model::{Annotation, Object, Value};
 use fieldrep_obs::{io as obs_io, metrics, names as obs_names, Span};
 use fieldrep_storage::Oid;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
+
+/// Test-only failpoint: when armed, the next in-place terminal
+/// propagation fails *after* its fan-out has been collected (so the
+/// flight-recorder dump shows the failing batch's span and I/O delta).
+/// Disarms itself on first use.
+static FAIL_NEXT_INPLACE: AtomicBool = AtomicBool::new(false);
+
+/// Arm [`FAIL_NEXT_INPLACE`]; used by the flight-recorder end-to-end
+/// test to inject an engine error mid-ripple.
+pub fn fail_next_inplace_propagation() {
+    FAIL_NEXT_INPLACE.store(true, Ordering::SeqCst);
+}
 
 /// Process-wide propagation instruments (see the registry names below).
 struct PropMetrics {
@@ -85,10 +98,19 @@ pub fn propagate_after_update(
     obj: &Object,
     changed: &[FieldChange],
 ) -> Result<()> {
-    let _span = Span::enter(obs_names::CORE_PROPAGATE);
-    let io_before = obs_io::snapshot();
-    let result = propagate_after_update_inner(ctx, oid, obj, changed);
-    obs_io::component_add(obs_names::CORE_PROPAGATE, obs_io::snapshot() - io_before);
+    let result = {
+        let _span = Span::enter(obs_names::CORE_PROPAGATE);
+        let io_before = obs_io::snapshot();
+        let result = propagate_after_update_inner(ctx, oid, obj, changed);
+        obs_io::component_add(obs_names::CORE_PROPAGATE, obs_io::snapshot() - io_before);
+        result
+    };
+    // Engine errors mid-ripple dump the flight recorder: the span exits
+    // above have already landed, so the dump's tail shows the failing
+    // batch's propagation spans and their page-I/O deltas.
+    if let Err(e) = &result {
+        fieldrep_obs::recorder::record_error(obs_names::CORE_PROPAGATE, &e.to_string());
+    }
     result
 }
 
@@ -124,8 +146,16 @@ fn propagate_after_update_inner(
                 let span = Span::enter(obs_names::CORE_PROPAGATE_SEPARATE);
                 span.note("group", gid);
                 prop_metrics().separate.inc();
+                let io_before = obs_io::snapshot();
                 let values = group_values(&group, obj);
                 write_replica(ctx.sm, &group, roid, &values)?;
+                // One shared replica rewritten; every path reading
+                // through the group observed the ripple.
+                let pages = (obs_io::snapshot() - io_before).page_touches();
+                for p in &group.paths {
+                    ctx.workload
+                        .record_update(&ctx.cat.path(*p).expr.to_string(), 1, pages);
+                }
             }
         }
     }
@@ -209,6 +239,7 @@ pub fn propagate_terminal_inplace(
 ) -> Result<()> {
     debug_assert_eq!(path.strategy, Strategy::InPlace);
     let span = Span::enter(obs_names::CORE_PROPAGATE_INPLACE);
+    let io_before = obs_io::snapshot();
     let last_level = path.links.len() - 1;
     let mut sources = collect_sources(ctx, path, last_level, terminal_obj)?;
     // Level-0 members arrive sorted but not deduplicated: dedup before
@@ -216,6 +247,11 @@ pub fn propagate_terminal_inplace(
     // OIDs are not fetched repeatedly.
     sources.dedup();
     span.note("fanout", sources.len());
+    if FAIL_NEXT_INPLACE.swap(false, Ordering::SeqCst) {
+        return Err(DbError::Unsupported(
+            "failpoint: injected propagation failure".into(),
+        ));
+    }
     prop_metrics().inplace.inc();
     prop_metrics().fanout.record(sources.len() as u64);
     let values = terminal_values(path, terminal_obj);
@@ -226,6 +262,11 @@ pub fn propagate_terminal_inplace(
     })?;
     span.note("pages", pages);
     prop_metrics().pages_per_fanout.record(pages as u64);
+    ctx.workload.record_update(
+        &path.expr.to_string(),
+        sources.len() as u64,
+        (obs_io::snapshot() - io_before).page_touches(),
+    );
     Ok(())
 }
 

@@ -1,0 +1,60 @@
+//! Acceptance for the per-path workload registry: after a mixed
+//! read/update workload, the observed update probability `P_up` must be
+//! within 10% of the driven mix, and the EWMAs must reflect real
+//! propagation fan-out.
+
+use fieldrep_catalog::Strategy;
+use fieldrep_core::{Database, DbConfig};
+use fieldrep_model::{FieldType, TypeDef, Value};
+
+#[test]
+fn observed_p_up_is_within_ten_percent_of_the_driven_mix() {
+    let mut db = Database::in_memory(DbConfig::default());
+    db.define_type(TypeDef::new("DEPT", vec![("name", FieldType::Str)]))
+        .unwrap();
+    db.define_type(TypeDef::new(
+        "EMP",
+        vec![("dept", FieldType::Ref("DEPT".into()))],
+    ))
+    .unwrap();
+    db.create_set("Dept", "DEPT").unwrap();
+    db.create_set("Emp", "EMP").unwrap();
+    let d = db.insert("Dept", vec![Value::Str("Shoe".into())]).unwrap();
+    let emps: Vec<_> = (0..4)
+        .map(|_| db.insert("Emp", vec![Value::Ref(d)]).unwrap())
+        .collect();
+    let path = db.replicate("Emp.dept.name", Strategy::InPlace).unwrap();
+
+    // Drive a 30-read / 10-update mix on the path.
+    for i in 0..10 {
+        db.update(d, &[("name", Value::Str(format!("name-{i}")))])
+            .unwrap();
+    }
+    for k in 0..30 {
+        let vals = db.path_values(emps[k % emps.len()], path).unwrap();
+        assert_eq!(
+            vals,
+            Some(vec![Value::Str("name-9".into())]),
+            "replica must serve the latest propagated value"
+        );
+    }
+
+    let w = db
+        .workload()
+        .get("Emp.dept.name")
+        .expect("the driven path has observed statistics");
+    assert_eq!((w.reads, w.updates), (30, 10), "every access was counted");
+    let driven = 10.0 / 40.0;
+    let observed = w.p_up();
+    assert!(
+        ((observed - driven) / driven).abs() <= 0.10,
+        "observed P_up {observed} not within 10% of driven {driven}"
+    );
+    // Each ripple fans out to the 4 sharing EMP objects.
+    assert!(
+        (w.fanout_ewma - 4.0).abs() < 1e-9,
+        "fan-out EWMA {} should settle at 4",
+        w.fanout_ewma
+    );
+    assert!(w.update_pages_ewma > 0.0, "propagation ripples touch pages");
+}

@@ -165,4 +165,10 @@ pub enum Stmt {
         /// What to show.
         what: String,
     },
+    /// `show stats [path Emp1.dept.name]` — observed per-path workload
+    /// statistics (reads, update ripples, `P_up`, fan-out and page EWMAs).
+    ShowStats {
+        /// Restrict to one dotted path (including the set name).
+        path: Option<Vec<String>>,
+    },
 }

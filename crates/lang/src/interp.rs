@@ -470,7 +470,47 @@ impl Interpreter {
             }
             Stmt::Sync => Ok(Output::Synced(self.db.sync_all_pending()?)),
             Stmt::Show { what } => self.show(what),
+            Stmt::ShowStats { path } => self.show_stats(path.as_deref()),
         }
+    }
+
+    fn show_stats(&mut self, path: Option<&[String]>) -> Result<Output, LangError> {
+        use std::fmt::Write;
+        let filter = path.map(|p| p.join("."));
+        let mut out = String::new();
+        let _ = writeln!(out, "observed workload (per replication path):");
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>7} {:>8} {:>7} {:>7} {:>9} {:>9}",
+            "path", "reads", "updates", "P_up", "fanout", "r_pages", "u_pages"
+        );
+        let mut shown = 0usize;
+        for (expr, w) in self.db.workload().all() {
+            if filter.as_deref().is_some_and(|f| f != expr) {
+                continue;
+            }
+            shown += 1;
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>7} {:>8} {:>7.3} {:>7.1} {:>9.1} {:>9.1}",
+                expr,
+                w.reads,
+                w.updates,
+                w.p_up(),
+                w.fanout_ewma,
+                w.read_pages_ewma,
+                w.update_pages_ewma
+            );
+        }
+        if shown == 0 {
+            if let Some(f) = &filter {
+                return Err(LangError::Exec(format!(
+                    "no observed statistics for path {f:?}"
+                )));
+            }
+            let _ = writeln!(out, "  (none recorded yet)");
+        }
+        Ok(Output::Text(out.trim_end().to_string()))
     }
 
     fn show(&mut self, what: &str) -> Result<Output, LangError> {
@@ -540,7 +580,7 @@ impl Interpreter {
             }
             other => {
                 return Err(LangError::Exec(format!(
-                    "unknown `show` target {other:?} (catalog | pending | io)"
+                    "unknown `show` target {other:?} (catalog | pending | io | stats)"
                 )))
             }
         }

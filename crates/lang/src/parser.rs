@@ -151,6 +151,14 @@ impl Parser {
             "show" => {
                 self.pos += 1;
                 let what = self.ident()?.to_ascii_lowercase();
+                if what == "stats" {
+                    let path = if self.keyword("path") {
+                        Some(self.dotted_path()?)
+                    } else {
+                        None
+                    };
+                    return Ok(Stmt::ShowStats { path });
+                }
                 Ok(Stmt::Show { what })
             }
             other => Err(LangError::Parse(format!("unknown statement {other:?}"))),

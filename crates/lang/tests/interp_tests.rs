@@ -298,3 +298,25 @@ fn explain_accepts_only_retrieve_and_replace() {
         .is_err());
     assert!(it.execute("explain analyze advise Emp1.dept.name").is_err());
 }
+
+#[test]
+fn show_stats_reports_the_driven_workload_per_path() {
+    let mut it = interpreter_with_figure_1();
+    it.execute("replicate Emp1.dept.name").unwrap();
+    for _ in 0..3 {
+        it.execute("retrieve (Emp1.dept.name)").unwrap();
+    }
+    it.execute(r#"replace (Dept.name = "Outlet") where Dept.name = "Shoe""#)
+        .unwrap();
+
+    let text = format!("{}", it.execute("show stats").unwrap());
+    assert!(text.contains("observed workload"), "{text}");
+    assert!(text.contains("Emp1.dept.name"), "{text}");
+
+    // Filtered to the driven path: same row, nothing else.
+    let filtered = format!("{}", it.execute("show stats path Emp1.dept.name").unwrap());
+    assert!(filtered.contains("Emp1.dept.name"), "{filtered}");
+
+    // A path with no observed statistics is an error, not an empty table.
+    assert!(it.execute("show stats path Emp1.dept.budget").is_err());
+}

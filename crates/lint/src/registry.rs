@@ -11,28 +11,43 @@ use crate::tokens::{tokenize, TokKind};
 use std::collections::BTreeSet;
 use std::path::Path;
 
-/// All string values bound to `const` items in a source file.
+/// One `const` item binding string values: its line, identifier, and
+/// every string literal in its initializer (one for scalar `&str`
+/// consts, several for `&[&str]` tables).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstDef {
+    /// 1-based line of the const's identifier.
+    pub line: u32,
+    /// The const's identifier.
+    pub name: String,
+    /// String literals in the initializer, in source order.
+    pub values: Vec<String>,
+}
+
+/// All `const` items binding string values in a source file, with line
+/// numbers — the dead-name check anchors its diagnostics here.
 ///
 /// Matches `const NAME: … = "value";` and `const NAME: … = &["a", "b"];`
 /// by scanning from each `const` keyword to the terminating `;` and
 /// collecting every string literal in between.
-pub fn const_strings(src: &str) -> Vec<(String, Vec<String>)> {
+pub fn const_defs(src: &str) -> Vec<ConstDef> {
     let toks = tokenize(src).toks;
     let mut out = Vec::new();
     let mut i = 0;
     while i < toks.len() {
         if toks[i].is_ident("const") && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
             let name = toks[i + 1].text.clone();
-            let mut vals = Vec::new();
+            let line = toks[i + 1].line;
+            let mut values = Vec::new();
             let mut j = i + 2;
             while j < toks.len() && !toks[j].is_punct(";") {
                 if toks[j].kind == TokKind::Str {
-                    vals.push(toks[j].text.clone());
+                    values.push(toks[j].text.clone());
                 }
                 j += 1;
             }
-            if !vals.is_empty() {
-                out.push((name, vals));
+            if !values.is_empty() {
+                out.push(ConstDef { line, name, values });
             }
             i = j;
         } else {
@@ -40,6 +55,24 @@ pub fn const_strings(src: &str) -> Vec<(String, Vec<String>)> {
         }
     }
     out
+}
+
+/// All string values bound to `const` items in a source file (the
+/// line-less view of [`const_defs`]).
+pub fn const_strings(src: &str) -> Vec<(String, Vec<String>)> {
+    const_defs(src)
+        .into_iter()
+        .map(|d| (d.name, d.values))
+        .collect()
+}
+
+/// The registry's const definitions, for the dead-name check. Empty when
+/// `crates/obs/src/names.rs` is absent (fixture trees without one).
+pub fn registry_const_defs(root: &Path) -> Vec<ConstDef> {
+    match std::fs::read_to_string(root.join("crates/obs/src/names.rs")) {
+        Ok(src) => const_defs(&src),
+        Err(_) => Vec::new(),
+    }
 }
 
 /// The obs name registry: every registered metric/span/operator name.
@@ -122,5 +155,14 @@ mod tests {
                 ("T".to_string(), vec!["p".to_string(), "q".to_string()]),
             ]
         );
+    }
+
+    #[test]
+    fn const_defs_carry_the_identifier_line() {
+        let src = "pub const A: &str = \"x\";\n\npub const T: &[&str] = &[\"p\"];\n";
+        let got = const_defs(src);
+        assert_eq!(got.len(), 2);
+        assert_eq!((got[0].line, got[0].name.as_str()), (1, "A"));
+        assert_eq!((got[1].line, got[1].name.as_str()), (3, "T"));
     }
 }

@@ -9,9 +9,9 @@
 //! `lint_budget.toml` alongside the panic counts.
 
 use crate::budget::Budget;
-use crate::registry::{drift_metrics, Registry};
+use crate::registry::{drift_metrics, registry_const_defs, Registry};
 use crate::tokens::{tokenize, Tok, TokKind};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -72,11 +72,21 @@ const OBS_NAME_APIS: [&str; 6] = [
 ];
 /// Buffer-pool entry points that take a frame lock (L4 triggers).
 const FRAME_ACQUIRERS: [&str; 3] = ["fetch", "new_page", "prefetch"];
+/// Where the obs name registry lives; its own consts don't count as
+/// usages of themselves.
+const NAMES_FILE: &str = "crates/obs/src/names.rs";
+/// Prefix of the drift gauge family — consts under it are exercised via
+/// `drift_gauge(suffix)` rather than by identifier, so they get a
+/// reverse check against the conformance table instead.
+const DRIFT_PREFIX: &str = "costmodel.drift.";
 
 /// Run all checks over the workspace at `root`.
 pub fn run_checks(root: &Path) -> std::io::Result<Report> {
     let mut report = Report::default();
     let registry = Registry::load(root);
+    // Ident usages outside the registry file itself, for the dead-name
+    // check — tests count as usages, so collect before stripping.
+    let mut used_idents: BTreeSet<String> = BTreeSet::new();
 
     for file in source_files(root)? {
         let rel = file
@@ -87,6 +97,15 @@ pub fn run_checks(root: &Path) -> std::io::Result<Report> {
         let crate_key = crate_key(&rel);
         let src = std::fs::read_to_string(&file)?;
         let parsed = tokenize(&src);
+        if rel != NAMES_FILE {
+            used_idents.extend(
+                parsed
+                    .toks
+                    .iter()
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone()),
+            );
+        }
         let toks = strip_test_modules(parsed.toks);
         let allows: Vec<Allow> = parsed
             .comments
@@ -148,6 +167,7 @@ pub fn run_checks(root: &Path) -> std::io::Result<Report> {
                 });
             }
         }
+        check_dead_names(root, &used_idents, &mut report.diags);
     }
 
     report
@@ -404,6 +424,52 @@ fn check_names(toks: &[Tok], reg: &Registry, push: &mut impl FnMut(u32, &'static
                     ),
                 );
             }
+        }
+    }
+}
+
+/// L2 (dead names): every scalar const in `obs::names` must have a call
+/// site — an identifier usage in some other library source, tests
+/// included. A name nothing references is untested vocabulary: it rots
+/// silently until someone "reuses" it with different semantics.
+///
+/// Exemptions: multi-value tables (`ALL`), prefix consts (value ends in
+/// `.`), and the `costmodel.drift.*` family, whose gauges are built
+/// dynamically through `drift_gauge` — those instead must resolve to a
+/// conformance operator (or the whole-query `total`).
+fn check_dead_names(root: &Path, used_idents: &BTreeSet<String>, diags: &mut Vec<Diagnostic>) {
+    let operators: BTreeSet<String> = drift_metrics(root).into_iter().map(|(_, n)| n).collect();
+    for def in registry_const_defs(root) {
+        let [value] = def.values.as_slice() else {
+            continue; // tables like `ALL` aggregate other consts
+        };
+        if value.ends_with('.') {
+            continue; // prefix const — a family root, not a name
+        }
+        if let Some(suffix) = value.strip_prefix(DRIFT_PREFIX) {
+            if suffix != "total" && !operators.contains(suffix) {
+                diags.push(Diagnostic {
+                    file: NAMES_FILE.into(),
+                    line: def.line,
+                    rule: "L2",
+                    msg: format!(
+                        "dead name: drift gauge const `{}` ({value:?}) matches no \
+                         conformance operator in DRIFT_METRICS",
+                        def.name
+                    ),
+                });
+            }
+        } else if !used_idents.contains(&def.name) {
+            diags.push(Diagnostic {
+                file: NAMES_FILE.into(),
+                line: def.line,
+                rule: "L2",
+                msg: format!(
+                    "dead name: const `{}` ({value:?}) has no call site outside \
+                     obs::names — wire it up or remove it",
+                    def.name
+                ),
+            });
         }
     }
 }

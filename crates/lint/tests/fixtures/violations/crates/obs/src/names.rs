@@ -4,3 +4,5 @@
 pub const APP_KNOWN: &str = "app.known";
 /// Registered drift gauge for the fixture's one conformance operator.
 pub const DRIFT_PLAN: &str = "costmodel.drift.plan";
+/// Dead name: nothing outside this file references the constant.
+pub const APP_DEAD: &str = "app.dead";

@@ -15,7 +15,10 @@ use crate::span::SpanNode;
 
 /// Version of the JSON-lines format emitted by this module. Bump when a
 /// line type changes shape; consumers should check the `run` header line.
-pub const JSONL_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the flight-recorder (`recorder_dump`/`recorder_event`) and
+/// timeline (`timeline`) line types.
+pub const JSONL_SCHEMA_VERSION: u32 = 2;
 
 /// Header line stamping a JSONL stream with the format version and a
 /// caller-supplied run identifier, so streams from different runs stay
@@ -47,7 +50,7 @@ pub fn escape_json(s: &str) -> String {
     out
 }
 
-fn io_json(io: &IoCounts) -> String {
+pub(crate) fn io_json(io: &IoCounts) -> String {
     format!(
         "{{\"disk_reads\":{},\"disk_writes\":{},\"disk_allocs\":{},\"pool_hits\":{},\"pool_misses\":{},\"evictions\":{}}}",
         io.disk_reads, io.disk_writes, io.disk_allocs, io.pool_hits, io.pool_misses, io.evictions

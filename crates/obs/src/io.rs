@@ -186,7 +186,15 @@ thread_local! {
 }
 
 /// Accumulate `delta` under `name` for the current thread.
+///
+/// Non-zero deltas are also fed to the always-on
+/// [flight recorder](crate::recorder) as metric-delta events, so a
+/// post-mortem dump shows which component moved pages right before a
+/// failure.
 pub fn component_add(name: &'static str, delta: IoCounts) {
+    if !delta.is_zero() {
+        crate::recorder::record(name, crate::recorder::EventKind::IoDelta { io: delta });
+    }
     COMPONENTS.with(|m| {
         *m.borrow_mut().entry(name).or_default() += delta;
     });

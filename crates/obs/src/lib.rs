@@ -22,15 +22,24 @@
 //!
 //! [`export`] renders span trees and registry snapshots as
 //! human-readable text or JSON lines.
+//!
+//! Two always-on companions extend the profiler into a telemetry
+//! pipeline: [`recorder`] keeps a fixed-capacity flight-recorder ring of
+//! recent span and I/O-delta events for post-mortem dumps, and
+//! [`timeline`] turns registry snapshots into a bounded delta
+//! time-series with JSONL and `obs_report` exports.
 
 pub mod export;
 pub mod io;
 pub mod metrics;
 pub mod names;
 pub mod profile;
+pub mod recorder;
 pub mod span;
+pub mod timeline;
 
 pub use io::IoCounts;
 pub use metrics::{registry, Registry};
 pub use profile::{OpProfile, Profile};
 pub use span::{set_tracing, take_finished, tracing_enabled, Span, SpanNode};
+pub use timeline::Timeline;

@@ -389,8 +389,55 @@ mod tests {
     fn empty_histogram_has_no_quantiles() {
         let h = Histogram::new(&[1, 2]);
         assert_eq!(h.p50(), None);
+        assert_eq!(h.p95(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.quantile(1.0), None);
         assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_percentiles_all_agree() {
+        // On a bucket boundary every quantile is exact.
+        let h = Histogram::new(&[1, 2, 4, 8, 16]);
+        h.record(8);
+        for q in [0.001, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(8), "q={q}");
+        }
+        assert_eq!(h.mean(), 8.0);
+        assert_eq!(h.max(), 8);
+        // A single overflow sample reports the recorded max everywhere.
+        let h = Histogram::new(&[1, 2]);
+        h.record(100);
+        assert_eq!(h.p50(), Some(100));
+        assert_eq!(h.p99(), Some(100));
+        assert_eq!(h.bucket_counts(), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn counter_deltas_never_go_negative_across_resets() {
+        // Registry counters are monotonic: lower layers may reset their
+        // own profiles (e.g. `reset_profile()` on the storage side), but
+        // mirrored counters only ever grow, so snapshot deltas taken by
+        // the timeline stay non-negative by construction.
+        let r = Registry::default();
+        let c = r.counter("t.reset.counter");
+        c.add(10);
+        let before = r.snapshot();
+        // A storage-style "reset" has no registry analog; the counter
+        // keeps its value and keeps growing.
+        c.add(2);
+        let after = r.snapshot();
+        let get = |s: &Snapshot| {
+            s.counters
+                .iter()
+                .find(|(n, _)| n == "t.reset.counter")
+                .map_or(0, |(_, v)| *v)
+        };
+        assert!(get(&after) >= get(&before), "counters are monotonic");
+        assert_eq!(get(&after) - get(&before), 2);
     }
 
     #[test]

@@ -74,6 +74,38 @@ pub const CORE_PROPAGATE_FANOUT: &str = "core.propagate.fanout";
 /// Distinct pages touched per fan-out (histogram).
 pub const CORE_PROPAGATE_PAGES_PER_FANOUT: &str = "core.propagate.pages_per_fanout";
 
+// --- obs: flight recorder and timeline self-metrics ------------------------
+
+/// Events recorded into the flight-recorder ring (counter).
+pub const OBS_RECORDER_EVENTS: &str = "obs.recorder.events";
+/// Ring-buffer events overwritten before being dumped (counter).
+pub const OBS_RECORDER_DROPPED: &str = "obs.recorder.dropped";
+/// Flight-recorder JSONL dumps produced (counter).
+pub const OBS_RECORDER_DUMPS: &str = "obs.recorder.dumps";
+/// Engine errors recorded through the recorder's error hook (counter).
+pub const OBS_RECORDER_ERRORS: &str = "obs.recorder.errors";
+/// Timeline ticks taken against the global registry (counter).
+pub const OBS_TIMELINE_TICKS: &str = "obs.timeline.ticks";
+/// Timeline ticks evicted from the bounded series (counter).
+pub const OBS_TIMELINE_EVICTED: &str = "obs.timeline.evicted";
+
+// --- core: per-path workload statistics ------------------------------------
+
+/// Path-read accesses observed by the workload registry (counter).
+pub const CORE_WORKLOAD_READS: &str = "core.workload.reads";
+/// Path-update propagations observed by the workload registry (counter).
+pub const CORE_WORKLOAD_UPDATES: &str = "core.workload.updates";
+/// Distinct replication paths with observed traffic (gauge).
+pub const CORE_WORKLOAD_PATHS: &str = "core.workload.paths";
+/// Observed update probability across paths, in permille (gauge).
+pub const CORE_WORKLOAD_P_UP_PERMILLE: &str = "core.workload.p_up_permille";
+/// Observed propagation fan-out EWMA across paths, ×100 (gauge).
+pub const CORE_WORKLOAD_FANOUT_X100: &str = "core.workload.fanout_x100";
+/// Observed page touches per path read, EWMA ×100 (gauge).
+pub const CORE_WORKLOAD_READ_PAGES_X100: &str = "core.workload.read_pages_x100";
+/// Observed page touches per path update, EWMA ×100 (gauge).
+pub const CORE_WORKLOAD_UPDATE_PAGES_X100: &str = "core.workload.update_pages_x100";
+
 // --- query: spans and profile operators -----------------------------------
 
 /// Span: whole read query.
@@ -166,6 +198,19 @@ pub const ALL: &[&str] = &[
     CORE_PROPAGATE_INTERMEDIATE,
     CORE_PROPAGATE_FANOUT,
     CORE_PROPAGATE_PAGES_PER_FANOUT,
+    OBS_RECORDER_EVENTS,
+    OBS_RECORDER_DROPPED,
+    OBS_RECORDER_DUMPS,
+    OBS_RECORDER_ERRORS,
+    OBS_TIMELINE_TICKS,
+    OBS_TIMELINE_EVICTED,
+    CORE_WORKLOAD_READS,
+    CORE_WORKLOAD_UPDATES,
+    CORE_WORKLOAD_PATHS,
+    CORE_WORKLOAD_P_UP_PERMILLE,
+    CORE_WORKLOAD_FANOUT_X100,
+    CORE_WORKLOAD_READ_PAGES_X100,
+    CORE_WORKLOAD_UPDATE_PAGES_X100,
     QUERY_READ,
     QUERY_UPDATE,
     QUERY_PROJECT,

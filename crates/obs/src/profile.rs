@@ -118,7 +118,7 @@ impl Profile {
         let residual = snap - self.last_io;
         if !residual.is_zero() {
             self.ops.push(OpProfile {
-                name: "other".to_string(),
+                name: crate::names::OP_OTHER.to_string(),
                 io: residual,
                 nanos: now.duration_since(self.last_t).as_nanos(),
             });

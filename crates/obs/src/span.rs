@@ -9,11 +9,17 @@
 //! Tracing is **off by default**. When disabled, `Span::enter` reads one
 //! thread-local flag and returns an inert guard — cheap enough to leave
 //! span calls in hot paths unconditionally.
+//!
+//! Independently of the tracing flag, every span enter/exit is fed to
+//! the always-on [flight recorder](crate::recorder) (exit events carry
+//! the span's wall time and I/O delta), so a post-mortem dump shows the
+//! recent span activity even when nobody asked for a trace up front.
 
 use std::cell::RefCell;
 use std::time::Instant;
 
 use crate::io::{self, IoCounts};
+use crate::recorder;
 
 /// A finished span: name, wall time, attributed I/O delta, notes, and
 /// child spans, in completion order.
@@ -97,19 +103,40 @@ pub fn take_finished() -> Vec<SpanNode> {
     TRACE.with(|t| std::mem::take(&mut t.borrow_mut().finished))
 }
 
+/// Flight-recorder bookkeeping carried by a live span: enough to emit
+/// the exit event (with wall time and I/O delta) on drop.
+struct RecSpan {
+    name: &'static str,
+    start: Instant,
+    io_at_enter: IoCounts,
+}
+
 /// RAII span guard; see the [module docs](self).
 #[must_use = "a span attributes I/O for as long as the guard lives"]
 pub struct Span {
     active: bool,
+    rec: Option<RecSpan>,
 }
 
 impl Span {
     /// Open a span named `name`. Nested calls become children.
     pub fn enter(name: &str) -> Span {
+        // Flight-recorder hook: fires regardless of the tracing flag so
+        // post-mortem dumps always have recent span context.
+        let rec = if recorder::enabled() {
+            recorder::record(name, recorder::EventKind::SpanEnter);
+            Some(RecSpan {
+                name: recorder::intern(name),
+                start: Instant::now(),
+                io_at_enter: io::snapshot(),
+            })
+        } else {
+            None
+        };
         TRACE.with(|t| {
             let mut t = t.borrow_mut();
             if !t.enabled {
-                return Span { active: false };
+                return Span { active: false, rec };
             }
             let open = OpenSpan {
                 name: name.to_string(),
@@ -119,7 +146,7 @@ impl Span {
                 children: Vec::new(),
             };
             t.stack.push(open);
-            Span { active: true }
+            Span { active: true, rec }
         })
     }
 
@@ -144,6 +171,15 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if let Some(rec) = self.rec.take() {
+            recorder::record(
+                rec.name,
+                recorder::EventKind::SpanExit {
+                    nanos: rec.start.elapsed().as_nanos() as u64,
+                    io: io::snapshot() - rec.io_at_enter,
+                },
+            );
+        }
         if !self.active {
             return;
         }
@@ -188,6 +224,32 @@ mod tests {
             s.note("k", "v");
         }
         assert!(take_finished().is_empty());
+    }
+
+    #[test]
+    fn spans_feed_the_flight_recorder_even_with_tracing_off() {
+        use crate::recorder::{self, EventKind};
+        set_tracing(false);
+        let before = recorder::global().recorded_total();
+        {
+            let _s = Span::enter("t.span.recorded");
+            io::record_pool_hit();
+        }
+        let events = recorder::global().events();
+        assert!(recorder::global().recorded_total() >= before + 2);
+        let enter = events
+            .iter()
+            .find(|e| e.name == "t.span.recorded" && e.kind == EventKind::SpanEnter);
+        assert!(enter.is_some(), "enter event recorded");
+        let exit = events
+            .iter()
+            .find(|e| e.name == "t.span.recorded" && matches!(e.kind, EventKind::SpanExit { .. }));
+        let Some(exit) = exit else {
+            panic!("exit event recorded");
+        };
+        if let EventKind::SpanExit { io, .. } = &exit.kind {
+            assert_eq!(io.pool_hits, 1, "exit event carries the span's I/O delta");
+        }
     }
 
     #[test]

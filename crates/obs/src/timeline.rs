@@ -1,0 +1,428 @@
+//! Metrics time-series: turn the point-in-time registry [`Snapshot`]
+//! into a trajectory.
+//!
+//! A [`Timeline`] is ticked explicitly (typically between workload
+//! phases or on a bench-suite interval). Each tick records the **delta**
+//! of every registered counter and histogram since the previous tick —
+//! counters in the registry are monotonic, so deltas are never negative
+//! even when a storage-level profile is reset in between — plus the
+//! current value of every gauge. The series is bounded: once `capacity`
+//! ticks are retained, the oldest is evicted.
+//!
+//! Exports mirror [`crate::export`]: [`Timeline::export_jsonl`] emits one
+//! self-contained `{"type":"timeline",...}` line per tick, and
+//! [`Timeline::report`] renders an `obs_report` text summary (per-counter
+//! totals and rates, histogram p50/p95/p99 trends).
+
+use std::fmt::Write as _;
+
+use crate::export::escape_json;
+use crate::metrics::{registry, Registry, Snapshot};
+use crate::names;
+use crate::recorder::clock_nanos;
+
+use parking_lot::Mutex;
+use std::sync::OnceLock;
+
+/// Default number of retained ticks for the global timeline.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// Histogram movement over one tick window.
+#[derive(Clone, Debug)]
+pub struct HistogramTrend {
+    /// Instrument name.
+    pub name: String,
+    /// Samples recorded during the window.
+    pub count_delta: u64,
+    /// Sum recorded during the window.
+    pub sum_delta: u64,
+    /// Median estimate at tick time (cumulative).
+    pub p50: Option<u64>,
+    /// 95th-percentile estimate at tick time (cumulative).
+    pub p95: Option<u64>,
+    /// 99th-percentile estimate at tick time (cumulative).
+    pub p99: Option<u64>,
+}
+
+/// One recorded tick: deltas over the window that ended here.
+#[derive(Clone, Debug)]
+pub struct Tick {
+    /// 0-based tick index (never reused, even after eviction).
+    pub index: u64,
+    /// [`clock_nanos`] timestamp at tick time.
+    pub at_nanos: u64,
+    /// `(name, delta)` for every counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge (current value), sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram movement, sorted by name.
+    pub histograms: Vec<HistogramTrend>,
+}
+
+impl Tick {
+    /// The recorded delta for counter `name` in this window (0 when the
+    /// counter did not exist yet).
+    pub fn counter_delta(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+}
+
+/// A bounded in-memory series of registry snapshot deltas.
+pub struct Timeline {
+    capacity: usize,
+    base: Option<Snapshot>,
+    ticks: Vec<Tick>,
+    next_index: u64,
+    evicted: u64,
+}
+
+impl Timeline {
+    /// A timeline retaining at most `capacity` ticks (≥ 1).
+    pub fn new(capacity: usize) -> Timeline {
+        Timeline {
+            capacity: capacity.max(1),
+            base: None,
+            ticks: Vec::new(),
+            next_index: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Record one tick against `reg`: deltas since the previous tick
+    /// (the first tick's window starts at zero). Returns the tick index.
+    pub fn tick(&mut self, reg: &Registry) -> u64 {
+        let snap = reg.snapshot();
+        let tick = diff(self.next_index, self.base.as_ref(), &snap);
+        self.base = Some(snap);
+        self.ticks.push(tick);
+        if self.ticks.len() > self.capacity {
+            self.ticks.remove(0);
+            self.evicted += 1;
+        }
+        let index = self.next_index;
+        self.next_index += 1;
+        index
+    }
+
+    /// The retained ticks, oldest first.
+    pub fn ticks(&self) -> &[Tick] {
+        &self.ticks
+    }
+
+    /// Number of ticks evicted so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Sum of a counter's deltas across every retained tick.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.ticks.iter().map(|t| t.counter_delta(name)).sum()
+    }
+
+    /// One JSONL line per retained tick.
+    pub fn export_jsonl(&self) -> Vec<String> {
+        self.ticks.iter().map(tick_jsonl).collect()
+    }
+
+    /// Text summary of the retained window: totals, rates, and
+    /// histogram quantile trends.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let Some(first) = self.ticks.first() else {
+            let _ = writeln!(out, "obs_report: no ticks recorded");
+            return out;
+        };
+        let Some(last) = self.ticks.last() else {
+            return out;
+        };
+        let window_nanos = last.at_nanos.saturating_sub(first.at_nanos);
+        let window_ms = window_nanos as f64 / 1e6;
+        let _ = writeln!(
+            out,
+            "obs_report: {} tick(s) over {:.3}ms ({} evicted)",
+            self.ticks.len(),
+            window_ms,
+            self.evicted
+        );
+        // Counter totals and rates over the retained window.
+        let mut names: Vec<&String> = Vec::new();
+        for t in &self.ticks {
+            for (n, _) in &t.counters {
+                if !names.contains(&n) {
+                    names.push(n);
+                }
+            }
+        }
+        names.sort();
+        let mut counter_lines = Vec::new();
+        for name in names {
+            let total = self.counter_total(name);
+            if total == 0 {
+                continue;
+            }
+            let rate = if window_ms > 0.0 {
+                total as f64 / window_ms
+            } else {
+                0.0
+            };
+            counter_lines.push(format!("  {name:<42} +{total:<10} {rate:>10.1}/ms"));
+        }
+        if !counter_lines.is_empty() {
+            let _ = writeln!(out, "counters (delta over window, rate):");
+            for l in counter_lines {
+                let _ = writeln!(out, "{l}");
+            }
+        }
+        // Last-tick gauge values.
+        if !last.gauges.is_empty() {
+            let _ = writeln!(out, "gauges (latest):");
+            for (name, value) in &last.gauges {
+                let _ = writeln!(out, "  {name:<42} {value}");
+            }
+        }
+        // Histogram quantile trends: first tick vs last tick.
+        let mut hist_lines = Vec::new();
+        for h in &last.histograms {
+            let moved: u64 = self
+                .ticks
+                .iter()
+                .flat_map(|t| &t.histograms)
+                .filter(|x| x.name == h.name)
+                .map(|x| x.count_delta)
+                .sum();
+            if moved == 0 {
+                continue;
+            }
+            let q = |v: Option<u64>| v.map_or("-".to_string(), |x| x.to_string());
+            let start = first.histograms.iter().find(|x| x.name == h.name);
+            let trend = |f: fn(&HistogramTrend) -> Option<u64>| {
+                format!("{}→{}", q(start.and_then(f)), q(f(h)))
+            };
+            hist_lines.push(format!(
+                "  {:<42} n=+{moved} p50={} p95={} p99={}",
+                h.name,
+                trend(|x| x.p50),
+                trend(|x| x.p95),
+                trend(|x| x.p99),
+            ));
+        }
+        if !hist_lines.is_empty() {
+            let _ = writeln!(out, "histograms (samples over window, quantile trend):");
+            for l in hist_lines {
+                let _ = writeln!(out, "{l}");
+            }
+        }
+        out
+    }
+}
+
+/// Compute one tick's deltas from `base` (None = zero) to `snap`.
+fn diff(index: u64, base: Option<&Snapshot>, snap: &Snapshot) -> Tick {
+    let base_counter = |name: &str| -> u64 {
+        base.and_then(|b| b.counters.iter().find(|(n, _)| n == name))
+            .map_or(0, |(_, v)| *v)
+    };
+    let counters = snap
+        .counters
+        .iter()
+        .map(|(n, v)| (n.clone(), v.saturating_sub(base_counter(n))))
+        .collect();
+    let gauges = snap.gauges.clone();
+    let histograms = snap
+        .histograms
+        .iter()
+        .map(|h| {
+            let (bc, bs) = base
+                .and_then(|b| b.histograms.iter().find(|x| x.name == h.name))
+                .map_or((0, 0), |x| (x.count, x.sum));
+            HistogramTrend {
+                name: h.name.clone(),
+                count_delta: h.count.saturating_sub(bc),
+                sum_delta: h.sum.saturating_sub(bs),
+                p50: h.p50,
+                p95: h.p95,
+                p99: h.p99,
+            }
+        })
+        .collect();
+    Tick {
+        index,
+        at_nanos: clock_nanos(),
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+/// One JSONL line for a tick.
+pub fn tick_jsonl(t: &Tick) -> String {
+    let kv_u = |pairs: &[(String, u64)]| {
+        pairs
+            .iter()
+            .map(|(n, v)| format!("\"{}\":{v}", escape_json(n)))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let gauges = t
+        .gauges
+        .iter()
+        .map(|(n, v)| format!("\"{}\":{v}", escape_json(n)))
+        .collect::<Vec<_>>()
+        .join(",");
+    let q = |v: Option<u64>| v.map_or("null".to_string(), |x| x.to_string());
+    let hists = t
+        .histograms
+        .iter()
+        .map(|h| {
+            format!(
+                "{{\"name\":\"{}\",\"count_delta\":{},\"sum_delta\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                escape_json(&h.name),
+                h.count_delta,
+                h.sum_delta,
+                q(h.p50),
+                q(h.p95),
+                q(h.p99)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"type\":\"timeline\",\"tick\":{},\"at_nanos\":{},\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":[{}]}}",
+        t.index,
+        t.at_nanos,
+        kv_u(&t.counters),
+        gauges,
+        hists
+    )
+}
+
+fn global_timeline() -> &'static Mutex<Timeline> {
+    static GLOBAL: OnceLock<Mutex<Timeline>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(Timeline::new(DEFAULT_CAPACITY)))
+}
+
+/// Tick the global timeline against the global registry; returns the
+/// tick index. Maintains the `obs.timeline.*` counters.
+pub fn global_tick() -> u64 {
+    let reg = registry();
+    let ticks = reg.counter(names::OBS_TIMELINE_TICKS);
+    let evicted_c = reg.counter(names::OBS_TIMELINE_EVICTED);
+    let mut t = global_timeline().lock();
+    let before = t.evicted();
+    let idx = t.tick(reg);
+    ticks.inc();
+    evicted_c.add(t.evicted() - before);
+    idx
+}
+
+/// JSONL export of the global timeline's retained ticks.
+pub fn global_export_jsonl() -> Vec<String> {
+    global_timeline().lock().export_jsonl()
+}
+
+/// `obs_report` text summary of the global timeline.
+pub fn global_report() -> String {
+    global_timeline().lock().report()
+}
+
+/// Run `f` with the global timeline locked (read helpers for tests and
+/// binaries that need more than the canned exports).
+pub fn with_global<R>(f: impl FnOnce(&Timeline) -> R) -> R {
+    f(&global_timeline().lock())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_window_between_ticks() {
+        let r = Registry::default();
+        let c = r.counter("t.tl.count");
+        let mut tl = Timeline::new(8);
+        c.add(5);
+        tl.tick(&r);
+        c.add(3);
+        tl.tick(&r);
+        tl.tick(&r);
+        let ticks = tl.ticks();
+        assert_eq!(ticks.len(), 3);
+        assert_eq!(ticks[0].counter_delta("t.tl.count"), 5);
+        assert_eq!(ticks[1].counter_delta("t.tl.count"), 3);
+        assert_eq!(ticks[2].counter_delta("t.tl.count"), 0);
+        assert_eq!(tl.counter_total("t.tl.count"), 8, "deltas telescope");
+        assert!(ticks.windows(2).all(|w| w[0].at_nanos <= w[1].at_nanos));
+    }
+
+    #[test]
+    fn series_is_bounded_and_counts_evictions() {
+        let r = Registry::default();
+        let c = r.counter("t.tl.bounded");
+        let mut tl = Timeline::new(2);
+        for _ in 0..5 {
+            c.inc();
+            tl.tick(&r);
+        }
+        assert_eq!(tl.ticks().len(), 2);
+        assert_eq!(tl.evicted(), 3);
+        assert_eq!(tl.ticks()[0].index, 3, "oldest retained tick is #3");
+        assert_eq!(tl.ticks()[1].index, 4);
+    }
+
+    #[test]
+    fn gauges_report_current_values_not_deltas() {
+        let r = Registry::default();
+        let g = r.gauge("t.tl.gauge");
+        let mut tl = Timeline::new(4);
+        g.set(10);
+        tl.tick(&r);
+        g.set(7);
+        tl.tick(&r);
+        assert_eq!(tl.ticks()[0].gauges, vec![("t.tl.gauge".to_string(), 10)]);
+        assert_eq!(tl.ticks()[1].gauges, vec![("t.tl.gauge".to_string(), 7)]);
+    }
+
+    #[test]
+    fn histogram_trends_carry_count_deltas_and_quantiles() {
+        let r = Registry::default();
+        let h = r.histogram("t.tl.hist", &[1, 4, 16]);
+        let mut tl = Timeline::new(4);
+        h.record(1);
+        h.record(2);
+        tl.tick(&r);
+        h.record(16);
+        tl.tick(&r);
+        let t0 = &tl.ticks()[0].histograms[0];
+        assert_eq!(t0.count_delta, 2);
+        assert_eq!(t0.sum_delta, 3);
+        let t1 = &tl.ticks()[1].histograms[0];
+        assert_eq!(t1.count_delta, 1);
+        assert_eq!(t1.sum_delta, 16);
+        assert_eq!(t1.p99, Some(16));
+    }
+
+    #[test]
+    fn jsonl_and_report_render() {
+        let r = Registry::default();
+        r.counter("t.tl.render").add(2);
+        r.gauge("t.tl.g").set(-3);
+        r.histogram("t.tl.h", &[1, 2]).record(2);
+        let mut tl = Timeline::new(4);
+        tl.tick(&r);
+        let lines = tl.export_jsonl();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"type\":\"timeline\""));
+        assert!(lines[0].contains("\"t.tl.render\":2"));
+        assert!(lines[0].contains("\"t.tl.g\":-3"));
+        assert!(lines[0].contains("\"count_delta\":1"));
+        let report = tl.report();
+        assert!(report.contains("obs_report: 1 tick(s)"));
+        assert!(report.contains("t.tl.render"));
+        assert!(report.contains("t.tl.g"));
+        assert!(report.contains("t.tl.h"));
+        assert!(Timeline::new(1).report().contains("no ticks recorded"));
+    }
+}

@@ -172,6 +172,7 @@ fn project(
     let mut rows: Vec<Row> = oids.iter().map(|_| Vec::with_capacity(width)).collect();
 
     for (proj_idx, proj) in projections.iter().enumerate() {
+        let io_before = obs_io::snapshot();
         match proj {
             ProjPlan::BaseField { field } => {
                 for (row, oid) in rows.iter_mut().zip(oids) {
@@ -270,11 +271,54 @@ fn project(
                 }
             }
         }
+        record_replica_reads(db, proj, oids, io_before);
         if let Some(p) = prof.as_deref_mut() {
             p.mark(format!("proj[{proj_idx}]:{}", proj.label()));
         }
     }
     Ok(rows)
+}
+
+/// Feed one projection's replicated reads into the database's observed
+/// workload registry: `oids.len()` reads against the replication path(s)
+/// the projection was answered by, with the projection's page-I/O delta
+/// spread over them. Base fields and plain functional joins record
+/// nothing — they do not touch replicated state.
+fn record_replica_reads(
+    db: &mut Database,
+    proj: &ProjPlan,
+    oids: &[Oid],
+    io_before: obs_io::IoCounts,
+) {
+    if oids.is_empty() {
+        return;
+    }
+    let pages = (obs_io::snapshot() - io_before).page_touches();
+    let n = oids.len() as u64;
+    match proj {
+        ProjPlan::InPlaceReplica { path, .. } | ProjPlan::CollapseThenJoin { path, .. } => {
+            let expr = db.catalog().path(*path).expr.to_string();
+            db.workload().record_read(&expr, n, pages);
+        }
+        ProjPlan::SeparateReplica { group, .. } => {
+            // Attribute to the group's paths rooted at the queried set
+            // (the ones this projection could have been planned from).
+            let set = oids.first().and_then(|&o| db.set_of(o).ok());
+            let exprs: Vec<String> = db
+                .catalog()
+                .group(*group)
+                .paths
+                .iter()
+                .map(|p| db.catalog().path(*p))
+                .filter(|p| set.is_none_or(|s| p.set == s))
+                .map(|p| p.expr.to_string())
+                .collect();
+            for e in exprs {
+                db.workload().record_read(&e, n, pages);
+            }
+        }
+        _ => {}
+    }
 }
 
 /// Perform the remaining functional joins: `current` holds, per row, the

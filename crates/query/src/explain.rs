@@ -70,6 +70,10 @@ pub struct Explain {
     pub measured_total: Option<u64>,
     /// Qualifying rows (read) or updated objects (update), when executed.
     pub result_rows: Option<usize>,
+    /// Observed workload of the replication paths this plan touches
+    /// (path expression → live [`fieldrep_core::PathWorkload`]), from the
+    /// database's per-path registry. Empty when nothing was recorded yet.
+    pub observed: Vec<(String, fieldrep_core::PathWorkload)>,
 }
 
 impl Explain {
@@ -327,12 +331,51 @@ fn record_drift(e: &Explain) {
     reg.counter(obs_names::COSTMODEL_CONFORMANCE_QUERIES).inc();
 }
 
+/// The replication-path expressions a plan reads through (projection
+/// replicas and collapse jumps; separate projections list every path of
+/// their group).
+fn plan_path_exprs(db: &Database, plan: &Plan) -> Vec<String> {
+    let mut v = Vec::new();
+    for p in &plan.projections {
+        match p {
+            ProjPlan::InPlaceReplica { path, .. } | ProjPlan::CollapseThenJoin { path, .. } => {
+                v.push(db.catalog().path(*path).expr.to_string());
+            }
+            ProjPlan::SeparateReplica { group, .. } => {
+                for gp in &db.catalog().group(*group).paths {
+                    v.push(db.catalog().path(*gp).expr.to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    v
+}
+
+/// Look up the observed workload for each (deduplicated) path expression.
+fn observed_workload(
+    db: &Database,
+    exprs: impl IntoIterator<Item = String>,
+) -> Vec<(String, fieldrep_core::PathWorkload)> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for e in exprs {
+        if seen.insert(e.clone()) {
+            if let Some(w) = db.workload().get(&e) {
+                out.push((e, w));
+            }
+        }
+    }
+    out
+}
+
 fn build_explain(
     plan: Plan,
     est: Estimate,
     predictions: Vec<OpPrediction>,
     profile: Option<&fieldrep_obs::Profile>,
     result_rows: Option<usize>,
+    observed: Vec<(String, fieldrep_core::PathWorkload)>,
 ) -> Explain {
     let rows = join_rows(&predictions, profile);
     let predicted_total = predictions.iter().map(|p| p.pages).sum();
@@ -345,6 +388,7 @@ fn build_explain(
         predicted_total,
         measured_total,
         result_rows,
+        observed,
     }
 }
 
@@ -353,7 +397,8 @@ pub fn explain_read(db: &mut Database, q: &ReadQuery) -> Result<Explain> {
     let plan = q.plan(db)?;
     let est = estimate_read(db, q, &plan, None)?;
     let predictions = predict_read(&est.params, est.setting, &read_shape(&plan, q));
-    Ok(build_explain(plan, est, predictions, None, None))
+    let observed = observed_workload(db, plan_path_exprs(db, &plan));
+    Ok(build_explain(plan, est, predictions, None, None, observed))
 }
 
 /// `EXPLAIN ANALYZE <read query>`: execute against a cold buffer pool and
@@ -368,12 +413,14 @@ pub fn explain_analyze_read(db: &mut Database, q: &ReadQuery) -> Result<(Explain
     let result = q.run(db)?;
     let est = estimate_read(db, q, &plan, Some(result.rows.len()))?;
     let predictions = predict_read(&est.params, est.setting, &read_shape(&plan, q));
+    let observed = observed_workload(db, plan_path_exprs(db, &plan));
     let e = build_explain(
         plan,
         est,
         predictions,
         Some(&result.profile),
         Some(result.rows.len()),
+        observed,
     );
     record_drift(&e);
     Ok((e, result))
@@ -390,7 +437,8 @@ pub fn explain_update(db: &mut Database, q: &UpdateQuery) -> Result<Explain> {
             .unwrap_or(ModelStrategy::None),
     };
     let predictions = predict_update(&est.params, est.setting, &shape);
-    Ok(build_explain(plan, est, predictions, None, None))
+    let observed = observed_workload(db, propagation_path(db, q).map(|(expr, _)| expr));
+    Ok(build_explain(plan, est, predictions, None, None, observed))
 }
 
 /// `EXPLAIN ANALYZE <update query>`: execute against a cold pool and
@@ -412,12 +460,14 @@ pub fn explain_analyze_update(
     let result = q.run(db)?;
     let est = estimate_update(db, q, &plan, Some(result.updated))?;
     let predictions = predict_update(&est.params, est.setting, &shape);
+    let observed = observed_workload(db, propagation_path(db, q).map(|(expr, _)| expr));
     let e = build_explain(
         plan,
         est,
         predictions,
         Some(&result.profile),
         Some(result.updated),
+        observed,
     );
     record_drift(&e);
     Ok((e, result))
@@ -438,6 +488,18 @@ pub fn render(e: &Explain) -> String {
         e.params.update_sel,
         e.setting
     );
+    for (expr, w) in &e.observed {
+        let _ = writeln!(
+            out,
+            "observed: {expr} P_up={:.3} f={:.1} reads={} updates={} pages r/u={:.1}/{:.1}",
+            w.p_up(),
+            w.fanout_ewma,
+            w.reads,
+            w.updates,
+            w.read_pages_ewma,
+            w.update_pages_ewma
+        );
+    }
     if analyze {
         let _ = writeln!(
             out,

@@ -14,6 +14,7 @@
 use crate::error::{QueryError, Result};
 use fieldrep_catalog::{Catalog, GroupId, IndexDef, IndexKind, PathId, SetId, Strategy};
 use fieldrep_model::PathExpr;
+use fieldrep_obs::names as obs_names;
 use std::fmt;
 
 /// How one projection path will be evaluated.
@@ -119,12 +120,12 @@ impl AccessPlan {
     /// Short operator label for profiles and span notes.
     pub fn label(&self) -> String {
         match self {
-            AccessPlan::FullScan => "access:full-scan".to_string(),
+            AccessPlan::FullScan => format!("{}:full-scan", obs_names::OP_ACCESS),
             AccessPlan::IndexRange { kind, field, .. } => {
-                format!("access:index-range({kind:?} #{field})")
+                format!("{}:index-range({kind:?} #{field})", obs_names::OP_ACCESS)
             }
             AccessPlan::PathIndexRange { path, .. } => {
-                format!("access:path-index-range({path})")
+                format!("{}:path-index-range({path})", obs_names::OP_ACCESS)
             }
         }
     }

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Regression gate over committed benchmark snapshots: diff the two newest
 # BENCH_*.json reports and fail on I/O regressions, excess model drift,
-# or a >15% wall-clock regression (wall gating applies only to readings
-# above the noise floor, and never against v1 snapshots).
+# a >15% wall-clock regression (wall gating applies only to readings
+# above the noise floor, and never against v1 snapshots), or >5%
+# always-on telemetry overhead in the newest report's overhead section.
 # Run from anywhere:
 #   ./scripts/bench_gate.sh [--max-io-regress PCT] [--max-drift PCT] \
-#                           [--max-wall-regress PCT]
+#                           [--max-wall-regress PCT] [--max-obs-overhead PCT]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,4 +17,4 @@ if [ "${#files[@]}" -lt 2 ]; then
     exit 0
 fi
 exec cargo run --release -q -p fieldrep-bench --bin bench_gate -- \
-    "${files[0]}" "${files[1]}" --max-wall-regress 15 "$@"
+    "${files[0]}" "${files[1]}" --max-wall-regress 15 --max-obs-overhead 5 "$@"

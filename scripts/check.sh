@@ -18,3 +18,8 @@ cargo test -q --workspace
 # injected regressions).
 cargo run --release -q -p fieldrep-bench --bin bench_suite -- \
     --smoke --run-id check.sh --out target/BENCH_smoke.json
+
+# Observability smoke: a tiny workload through the always-on pipeline
+# (two timeline ticks + flight-recorder dump), validating that every
+# exported JSONL line parses and carries the current schema version.
+cargo run --release -q -p fieldrep-bench --bin obs_smoke
