@@ -3,19 +3,83 @@
 //! ticks, write the run header + timeline series + flight-recorder dump
 //! as JSONL under `target/`, and validate the output — every line must
 //! parse with the bench crate's JSON parser and the run header must
-//! carry the expected `schema_version`. Prints the `obs_report` summary
-//! and exits nonzero on any failure.
+//! carry the expected `schema_version`. The read query runs with span
+//! tracing on; its span tree is exported as a Chrome-trace/Perfetto
+//! document and validated structurally (every `B` has a matching `E`,
+//! timestamps are monotone per thread, stacks balance out). Prints the
+//! `obs_report` summary and exits nonzero on any failure.
 //!
 //! Run: `cargo run --release -p fieldrep-bench --bin obs_smoke`
 
 use fieldrep_bench::json::Json;
-use fieldrep_bench::{build_workload, measure_read_query, measure_update_query, WorkloadSpec};
+use fieldrep_bench::{build_workload, measure_update_query, profile_read_query, WorkloadSpec};
 use fieldrep_catalog::Strategy;
 use fieldrep_costmodel::IndexSetting;
 use fieldrep_obs::{export, recorder, timeline};
+use std::collections::HashMap;
 use std::process::ExitCode;
 
 const OUT_PATH: &str = "target/obs_smoke.jsonl";
+const TRACE_PATH: &str = "target/obs_smoke.trace.json";
+
+/// Structurally validate a Chrome-trace document: per thread, `B`/`E`
+/// phases must nest like parentheses (an `E` closes the innermost open
+/// `B` with the same name), timestamps must be non-decreasing, and every
+/// stack must be empty at the end.
+fn validate_chrome_trace(doc: &str) -> Result<usize, String> {
+    let json = Json::parse(doc).map_err(|e| format!("chrome trace: {e}"))?;
+    let events = json
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("chrome trace: missing traceEvents array")?;
+    let mut stacks: HashMap<String, Vec<String>> = HashMap::new();
+    let mut cursors: HashMap<String, f64> = HashMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let at = |k: &str| format!("event {i}: missing {k}");
+        let name = ev.get("name").and_then(Json::as_str).ok_or(at("name"))?;
+        let ph = ev.get("ph").and_then(Json::as_str).ok_or(at("ph"))?;
+        let ts = ev.get("ts").and_then(Json::as_f64).ok_or(at("ts"))?;
+        let tid = format!(
+            "{}/{}",
+            ev.get("pid").and_then(Json::as_f64).ok_or(at("pid"))?,
+            ev.get("tid").and_then(Json::as_f64).ok_or(at("tid"))?
+        );
+        let cursor = cursors.entry(tid.clone()).or_insert(ts);
+        if ts < *cursor {
+            return Err(format!(
+                "event {i} ({name}): ts {ts} goes backwards on tid {tid} (cursor {cursor})"
+            ));
+        }
+        *cursor = ts;
+        let stack = stacks.entry(tid.clone()).or_default();
+        match ph {
+            "B" => stack.push(name.to_string()),
+            "E" => {
+                let open = stack
+                    .pop()
+                    .ok_or(format!("event {i} ({name}): E with no open B on tid {tid}"))?;
+                if open != name {
+                    return Err(format!(
+                        "event {i}: E({name}) closes B({open}) on tid {tid} — phases not balanced"
+                    ));
+                }
+            }
+            other => return Err(format!("event {i} ({name}): unexpected phase {other:?}")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "tid {tid}: {} span(s) never closed: {stack:?}",
+                stack.len()
+            ));
+        }
+    }
+    if events.is_empty() {
+        return Err("chrome trace has no events".into());
+    }
+    Ok(events.len())
+}
 
 fn run() -> Result<(), String> {
     recorder::set_enabled(true);
@@ -29,7 +93,7 @@ fn run() -> Result<(), String> {
     spec.read_sel = 0.02;
     spec.update_sel = 0.02;
     let mut w = build_workload(spec);
-    measure_read_query(&mut w, 0);
+    let profiled = profile_read_query(&mut w, 0);
     timeline::global_tick();
     measure_update_query(&mut w, 0);
     timeline::global_tick();
@@ -81,13 +145,23 @@ fn run() -> Result<(), String> {
         return Err("recorder captured no core.propagate span exit".into());
     }
 
+    // The Chrome-trace exporter must produce a structurally valid
+    // document from the profiled read's span tree.
+    if profiled.spans.is_empty() {
+        return Err("profiled read query produced no spans".into());
+    }
+    let trace = export::chrome_trace_json(&profiled.spans);
+    let n_events = validate_chrome_trace(&trace)?;
+
     std::fs::create_dir_all("target").map_err(|e| format!("mkdir target: {e}"))?;
     std::fs::write(OUT_PATH, lines.join("\n") + "\n")
         .map_err(|e| format!("write {OUT_PATH}: {e}"))?;
+    std::fs::write(TRACE_PATH, &trace).map_err(|e| format!("write {TRACE_PATH}: {e}"))?;
 
     print!("{}", timeline::global_report());
     println!(
-        "obs_smoke: ok ({} JSONL line(s), schema v{version}, written to {OUT_PATH})",
+        "obs_smoke: ok ({} JSONL line(s), schema v{version}, written to {OUT_PATH}; \
+         Chrome trace with {n_events} event(s) validated, written to {TRACE_PATH})",
         lines.len()
     );
     Ok(())

@@ -12,6 +12,9 @@
 //! are checked to sum exactly to the raw buffer-pool totals for the
 //! run.  `--jsonl <path>` additionally writes every span, profile, and
 //! registry entry as one JSON object per line (and implies --profile).
+//! `--chrome-trace <path>` writes the collected span trees as one
+//! Chrome-trace/Perfetto JSON document (load it at ui.perfetto.dev or
+//! `chrome://tracing`); it also implies --profile.
 
 use fieldrep_bench::trace::run_trace;
 use fieldrep_bench::{
@@ -46,15 +49,27 @@ fn report_run(name: &str, run: &ProfiledRun) -> Vec<String> {
     lines
 }
 
-fn run_profiled(s_count: usize, sharing: usize, jsonl: Option<&str>, run_id: &str) {
+fn run_profiled(
+    s_count: usize,
+    sharing: usize,
+    jsonl: Option<&str>,
+    chrome: Option<&str>,
+    run_id: &str,
+) {
     let setting = IndexSetting::Unclustered;
     println!("=== Profiled §6 queries: f = {sharing}, |S| = {s_count} ===\n");
     let mut lines = vec![export::run_meta_jsonl(run_id)];
+    let mut spans = Vec::new();
     for strat in ALL_STRATEGIES {
         let name = strategy_name(strat);
         let mut w = build_workload(WorkloadSpec::paper(sharing, setting, strat).scaled(s_count));
-        lines.extend(report_run(name, &profile_read_query(&mut w, 0)));
-        lines.extend(report_run(name, &profile_update_query(&mut w, 0)));
+        for run in [
+            profile_read_query(&mut w, 0),
+            profile_update_query(&mut w, 0),
+        ] {
+            lines.extend(report_run(name, &run));
+            spans.extend(run.spans);
+        }
     }
     let snap = registry().snapshot();
     println!("{}", export::snapshot_text(&snap));
@@ -66,6 +81,13 @@ fn run_profiled(s_count: usize, sharing: usize, jsonl: Option<&str>, run_id: &st
         }
         println!("wrote {} JSON lines to {path}", lines.len());
     }
+    if let Some(path) = chrome {
+        std::fs::write(path, export::chrome_trace_json(&spans)).expect("write --chrome-trace file");
+        println!(
+            "wrote Chrome trace of {} root span(s) to {path}",
+            spans.len()
+        );
+    }
 }
 
 fn main() {
@@ -74,6 +96,7 @@ fn main() {
     let mut n_queries = 30usize;
     let mut profile = false;
     let mut jsonl: Option<String> = None;
+    let mut chrome: Option<String> = None;
     let mut run_id = String::from("trace_run");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -83,12 +106,19 @@ fn main() {
             "--q" => n_queries = args.next().and_then(|v| v.parse().ok()).expect("--q N"),
             "--profile" => profile = true,
             "--jsonl" => jsonl = Some(args.next().expect("--jsonl <path>")),
+            "--chrome-trace" => chrome = Some(args.next().expect("--chrome-trace <path>")),
             "--run-id" => run_id = args.next().expect("--run-id ID"),
             other => panic!("unknown flag {other}"),
         }
     }
-    if profile || jsonl.is_some() {
-        run_profiled(s_count, sharing, jsonl.as_deref(), &run_id);
+    if profile || jsonl.is_some() || chrome.is_some() {
+        run_profiled(
+            s_count,
+            sharing,
+            jsonl.as_deref(),
+            chrome.as_deref(),
+            &run_id,
+        );
         return;
     }
     let setting = IndexSetting::Unclustered;

@@ -14,14 +14,14 @@ use crate::figures::selected_points;
 use crate::json::Json;
 use crate::{
     build_workload, measure_cell, measure_read_query, measure_update_query, profile_update_query,
-    read_query, strategy_name, WorkloadSpec, ALL_STRATEGIES,
+    read_query, strategy_name, update_query, WorkloadSpec, ALL_STRATEGIES,
 };
 use fieldrep_catalog::Strategy;
 use fieldrep_costmodel::{
     drift_pct, predict_update, AccessShape, IndexSetting, ModelStrategy, UpdateShape,
 };
-use fieldrep_obs::{export, recorder, registry, timeline};
-use fieldrep_query::explain_analyze_read;
+use fieldrep_obs::{export, names as obs_names, recorder, registry, slowlog, timeline};
+use fieldrep_query::{explain_analyze_read, SysQuery};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Version of the `BENCH_*.json` document layout. Bump on any breaking
@@ -282,6 +282,23 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
         });
     }
 
+    // Introspection overhead: the slow-query log armed (recording every
+    // statement) plus a monitoring client's sys.* scans, vs. the same
+    // queries with the log disarmed. Gated within one report, like the
+    // telemetry pair above.
+    let (on_ms, off_ms) = measure_introspect_overhead(cfg);
+    for (mode, ms) in [("on", on_ms), ("off", off_ms)] {
+        points.push(BenchPoint {
+            id: format!("overhead/introspect/{mode}"),
+            measured_io: 0.0,
+            model_io: 0.0,
+            drift_pct: 0.0,
+            wall_nanos: (ms * 1e6) as u64,
+            wall_ms: ms,
+            batch_io: 0.0,
+        });
+    }
+
     let mut metrics = vec![export::run_meta_jsonl(run_id)];
     metrics.extend(export::snapshot_jsonl(&registry().snapshot()));
     SuiteReport {
@@ -335,6 +352,79 @@ fn measure_overhead(cfg: &SuiteConfig) -> (f64, f64) {
     let on_ms = best(true);
     let off_ms = best(false);
     recorder::set_enabled(was_on);
+    (on_ms, off_ms)
+}
+
+/// Wall clock of the introspection subsystem armed vs. idle, as
+/// `(on_ms, off_ms)`: min over `reps` passes of one §6 read + update
+/// query on a fixed in-place workload, after a warmup pass. The "on"
+/// mode arms the slow-query log at a threshold that records every
+/// statement, observes each statement at its boundary (the `lang`
+/// front-end's hook), and scans `sys.metrics` + `sys.pool` once per
+/// pass — a monitoring client polling the engine. The "off" mode runs
+/// the identical queries with the log disarmed and no scans.
+fn measure_introspect_overhead(cfg: &SuiteConfig) -> (f64, f64) {
+    let sharing = cfg.sharings.last().copied().unwrap_or(1);
+    let setting = cfg
+        .settings
+        .first()
+        .copied()
+        .unwrap_or(IndexSetting::Unclustered);
+    let spec = cfg.spec(sharing, setting, Some(Strategy::InPlace));
+    let mut w = build_workload(spec);
+    let reps = if cfg.smoke { 3 } else { 5 };
+    let mut best = |introspect: bool| -> f64 {
+        if introspect {
+            slowlog::set_thresholds(Some(0), None); // wall 0 ms: record everything
+        } else {
+            slowlog::set_off();
+        }
+        let mut min = f64::INFINITY;
+        for rep in 0..=reps {
+            let t0 = Instant::now();
+            let q = read_query(&w, 0);
+            w.db.flush_all().unwrap();
+            w.db.reset_profile();
+            let res = q.run(&mut w.db).expect("read query");
+            if introspect {
+                w.db.observe_statement(
+                    "suite read",
+                    &res.plan.to_string(),
+                    &res.profile,
+                    res.rows.len() as u64,
+                );
+            }
+            if let Some(f) = res.output_file {
+                w.db.sm().drop_file(f).unwrap();
+            }
+            let uq = update_query(&w, 0);
+            w.db.flush_all().unwrap();
+            w.db.reset_profile();
+            let ur = uq.run(&mut w.db).expect("update query");
+            if introspect {
+                w.db.observe_statement(
+                    "suite update",
+                    &ur.plan.to_string(),
+                    &ur.profile,
+                    ur.updated as u64,
+                );
+                for table in [obs_names::SYS_METRICS, obs_names::SYS_POOL] {
+                    SysQuery::on(table).run(&mut w.db).expect("sys scan");
+                }
+            }
+            let ms = t0.elapsed().as_nanos() as f64 / 1e6;
+            if rep > 0 {
+                min = min.min(ms); // pass 0 is warmup
+            }
+        }
+        min
+    };
+    // "on" first, so residual cache warmth favours "off" (overstates
+    // rather than hides the overhead), matching `measure_overhead`.
+    let on_ms = best(true);
+    let off_ms = best(false);
+    slowlog::set_off();
+    slowlog::clear();
     (on_ms, off_ms)
 }
 
@@ -520,18 +610,23 @@ pub fn gate(old: &SuiteReport, new: &SuiteReport, t: &GateThresholds) -> Vec<Str
     }
     if t.max_obs_overhead_pct > 0.0 {
         let wall = |id: &str| new.points.iter().find(|p| p.id == id).map(|p| p.wall_ms);
-        if let (Some(on), Some(off)) = (
-            wall("overhead/telemetry/on"),
-            wall("overhead/telemetry/off"),
-        ) {
-            if off >= WALL_FLOOR_MS {
-                let pct = 100.0 * (on - off) / off;
-                if pct > t.max_obs_overhead_pct {
-                    violations.push(format!(
-                        "overhead/telemetry: always-on telemetry costs {pct:+.1}% wall clock \
-                         ({off:.1} -> {on:.1} ms, limit {:.0}%)",
-                        t.max_obs_overhead_pct
-                    ));
+        for (kind, label) in [
+            ("telemetry", "always-on telemetry"),
+            ("introspect", "armed introspection"),
+        ] {
+            if let (Some(on), Some(off)) = (
+                wall(&format!("overhead/{kind}/on")),
+                wall(&format!("overhead/{kind}/off")),
+            ) {
+                if off >= WALL_FLOOR_MS {
+                    let pct = 100.0 * (on - off) / off;
+                    if pct > t.max_obs_overhead_pct {
+                        violations.push(format!(
+                            "overhead/{kind}: {label} costs {pct:+.1}% wall clock \
+                             ({off:.1} -> {on:.1} ms, limit {:.0}%)",
+                            t.max_obs_overhead_pct
+                        ));
+                    }
                 }
             }
         }
@@ -556,13 +651,15 @@ mod tests {
         assert!(r.points.iter().any(|p| p.id.starts_with("io/")));
         assert!(r.points.iter().any(|p| p.id.starts_with("propagation/")));
         assert!(r.points.iter().any(|p| p.id.starts_with("drift/")));
-        for mode in ["on", "off"] {
-            let p = r
-                .points
-                .iter()
-                .find(|p| p.id == format!("overhead/telemetry/{mode}"))
-                .expect("overhead point");
-            assert!(p.wall_ms > 0.0, "{}: wall must be measured", p.id);
+        for kind in ["telemetry", "introspect"] {
+            for mode in ["on", "off"] {
+                let p = r
+                    .points
+                    .iter()
+                    .find(|p| p.id == format!("overhead/{kind}/{mode}"))
+                    .expect("overhead point");
+                assert!(p.wall_ms > 0.0, "{}: wall must be measured", p.id);
+            }
         }
         assert_eq!(
             r.points
@@ -711,6 +808,19 @@ mod tests {
         set(&mut tiny, "off", 1.0);
         set(&mut tiny, "on", 1.1);
         assert!(gate(&r, &tiny, &GateThresholds::default()).is_empty());
+        // The introspection pair is gated the same way.
+        let set_i = |rep: &mut SuiteReport, mode: &str, ms: f64| {
+            rep.points
+                .iter_mut()
+                .find(|p| p.id == format!("overhead/introspect/{mode}"))
+                .unwrap()
+                .wall_ms = ms;
+        };
+        let mut probing = r.clone();
+        set_i(&mut probing, "off", 100.0);
+        set_i(&mut probing, "on", 110.0);
+        let v = gate(&r, &probing, &GateThresholds::default());
+        assert!(v.iter().any(|m| m.contains("armed introspection")), "{v:?}");
         // Threshold <= 0 disables the check.
         let off = GateThresholds {
             max_obs_overhead_pct: 0.0,

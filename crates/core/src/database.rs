@@ -198,6 +198,65 @@ impl Database {
         &self.workload
     }
 
+    /// One line per observed path: the workload snapshot the slow-query
+    /// log stores next to an over-threshold statement's profile.
+    pub fn workload_snapshot_text(&self) -> String {
+        self.workload
+            .all()
+            .iter()
+            .map(|(path, w)| {
+                format!(
+                    "{path}: reads={} updates={} p_up={:.3} fanout={:.2} read_pages={:.2} update_pages={:.2}",
+                    w.reads,
+                    w.updates,
+                    w.p_up(),
+                    w.fanout_ewma,
+                    w.read_pages_ewma,
+                    w.update_pages_ewma
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Statement-boundary hook: offer a finished statement (text, plan
+    /// rendering, per-operator profile, row count) to the process-wide
+    /// [slow-query log](fieldrep_obs::slowlog), attaching this
+    /// database's workload snapshot. Returns whether it was recorded.
+    /// Free (two relaxed loads) while the log is unarmed.
+    pub fn observe_statement(
+        &self,
+        statement: &str,
+        plan: &str,
+        profile: &fieldrep_obs::Profile,
+        rows: u64,
+    ) -> bool {
+        // Build the workload snapshot only when a threshold actually
+        // tripped; `slowlog::observe` re-checks, so probe first.
+        let (wall, pages) = fieldrep_obs::slowlog::thresholds();
+        if wall.is_none() && pages.is_none() {
+            return false;
+        }
+        fieldrep_obs::slowlog::observe(
+            statement,
+            plan,
+            profile,
+            rows,
+            &self.workload_snapshot_text(),
+        )
+    }
+
+    /// Arm the process-wide slow-query log; see
+    /// [`fieldrep_obs::slowlog::set_thresholds`].
+    pub fn set_slowlog_thresholds(&self, wall_ms: Option<u64>, io_pages: Option<u64>) {
+        fieldrep_obs::slowlog::set_thresholds(wall_ms, io_pages);
+    }
+
+    /// Disarm the slow-query log (the initial state).
+    pub fn set_slowlog_off(&self) {
+        fieldrep_obs::slowlog::set_off();
+    }
+
     /// I/O counters since the last reset.
     pub fn io_profile(&self) -> IoProfile {
         self.sm.io_profile()

@@ -126,6 +126,17 @@ pub enum Stmt {
         /// Optional predicate.
         predicate: Option<Predicate>,
     },
+    /// `retrieve (name, value) from sys.metrics [where …]` — a virtual
+    /// scan over one introspection table. `retrieve (all) from sys.…`
+    /// projects every column.
+    RetrieveSys {
+        /// Full table name (`"sys.metrics"`, …).
+        table: String,
+        /// Projected column names; empty = every column.
+        columns: Vec<String>,
+        /// Optional predicate over one column (bare column name).
+        predicate: Option<Predicate>,
+    },
     /// `replace (Dept.budget = 42) where Dept.name = "Shoe"`
     Replace {
         /// Assignments: `(set-qualified field path, value)`.
@@ -157,6 +168,15 @@ pub enum Stmt {
         analyze: bool,
         /// The explained statement (`Retrieve` or `Replace`).
         stmt: Box<Stmt>,
+    },
+    /// `set slowlog off` / `set slowlog threshold 10 ms 100 pages` —
+    /// configure the process-wide slow-query log. Both limits `None`
+    /// turns the log off.
+    SetSlowlog {
+        /// Wall-clock threshold in milliseconds.
+        wall_ms: Option<u64>,
+        /// Page-touch threshold.
+        io_pages: Option<u64>,
     },
     /// `sync` — apply all deferred propagation.
     Sync,

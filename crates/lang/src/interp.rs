@@ -140,42 +140,36 @@ impl Interpreter {
             }
             Predicate::Cmp { path, op, value } => {
                 let (set, rel) = split_set(path)?;
-                let v = self.value_of(value)?;
-                let f = match (op, &v) {
-                    (CmpOp::Eq, _) => Filter::Eq {
-                        path: rel,
-                        value: v,
-                    },
-                    (CmpOp::Gt, Value::Int(x)) => Filter::Range {
-                        path: rel,
-                        lo: Value::Int(x + 1),
-                        hi: Value::Int(i64::MAX),
-                    },
-                    (CmpOp::Ge, Value::Int(x)) => Filter::Range {
-                        path: rel,
-                        lo: Value::Int(*x),
-                        hi: Value::Int(i64::MAX),
-                    },
-                    (CmpOp::Lt, Value::Int(x)) => Filter::Range {
-                        path: rel,
-                        lo: Value::Int(i64::MIN),
-                        hi: Value::Int(x - 1),
-                    },
-                    (CmpOp::Le, Value::Int(x)) => Filter::Range {
-                        path: rel,
-                        lo: Value::Int(i64::MIN),
-                        hi: Value::Int(*x),
-                    },
-                    (op, v) => {
-                        return Err(LangError::Exec(format!(
-                            "operator {op:?} is only supported on integer fields (got {v})"
-                        )))
-                    }
-                };
+                let f = cmp_filter(rel, *op, self.value_of(value)?)?;
                 (set, f)
             }
         };
         Ok((path, filter))
+    }
+
+    /// Convert a predicate over a bare column name (the `where` clause of
+    /// a `retrieve … from sys.<table>`) into a [`Filter`].
+    fn sys_filter_of(&self, pred: &Predicate) -> Result<Filter, LangError> {
+        let col = |path: &[String]| {
+            if path.len() == 1 {
+                Ok(path[0].clone())
+            } else {
+                Err(LangError::Exec(format!(
+                    "sys predicates filter one bare column, found {:?}",
+                    path.join(".")
+                )))
+            }
+        };
+        match pred {
+            Predicate::Between { path, lo, hi } => Ok(Filter::Range {
+                path: col(path)?,
+                lo: self.value_of(lo)?,
+                hi: self.value_of(hi)?,
+            }),
+            Predicate::Cmp { path, op, value } => {
+                cmp_filter(col(path)?, *op, self.value_of(value)?)
+            }
+        }
     }
 
     /// Build the [`ReadQuery`] for a `retrieve` statement, returning the
@@ -362,8 +356,40 @@ impl Interpreter {
             } => {
                 let (columns, q) = self.build_read_query(projections, predicate)?;
                 let res = q.run(&mut self.db)?;
+                if slowlog_armed() {
+                    self.db.observe_statement(
+                        &stmt_text(stmt),
+                        &res.plan.to_string(),
+                        &res.profile,
+                        res.rows.len() as u64,
+                    );
+                }
                 Ok(Output::Rows {
                     columns,
+                    rows: res.rows,
+                })
+            }
+            Stmt::RetrieveSys {
+                table,
+                columns,
+                predicate,
+            } => {
+                let mut q =
+                    fieldrep_query::SysQuery::on(table.clone()).project(columns.iter().cloned());
+                if let Some(pred) = predicate {
+                    q = q.filter(self.sys_filter_of(pred)?);
+                }
+                let res = q.run(&mut self.db)?;
+                if slowlog_armed() {
+                    self.db.observe_statement(
+                        &stmt_text(stmt),
+                        &q.plan()?.render(),
+                        &res.profile,
+                        res.rows.len() as u64,
+                    );
+                }
+                Ok(Output::Rows {
+                    columns: res.columns,
                     rows: res.rows,
                 })
             }
@@ -373,9 +399,54 @@ impl Interpreter {
             } => {
                 let q = self.build_update_query(assignments, predicate)?;
                 let res = q.run(&mut self.db)?;
+                if slowlog_armed() {
+                    self.db.observe_statement(
+                        &stmt_text(stmt),
+                        &res.plan.to_string(),
+                        &res.profile,
+                        res.updated as u64,
+                    );
+                }
                 Ok(Output::Updated(res.updated))
             }
+            Stmt::SetSlowlog { wall_ms, io_pages } => {
+                if wall_ms.is_none() && io_pages.is_none() {
+                    self.db.set_slowlog_off();
+                    Ok(Output::Text("slow-query log: off".into()))
+                } else {
+                    self.db.set_slowlog_thresholds(*wall_ms, *io_pages);
+                    let mut arms = Vec::new();
+                    if let Some(ms) = wall_ms {
+                        arms.push(format!("wall >= {ms} ms"));
+                    }
+                    if let Some(p) = io_pages {
+                        arms.push(format!("io >= {p} pages"));
+                    }
+                    Ok(Output::Text(format!(
+                        "slow-query log: {}",
+                        arms.join(" or ")
+                    )))
+                }
+            }
             Stmt::Explain { analyze, stmt } => {
+                if let Stmt::RetrieveSys {
+                    table,
+                    columns,
+                    predicate,
+                } = &**stmt
+                {
+                    let mut q = fieldrep_query::SysQuery::on(table.clone())
+                        .project(columns.iter().cloned());
+                    if let Some(pred) = predicate {
+                        q = q.filter(self.sys_filter_of(pred)?);
+                    }
+                    let text = if *analyze {
+                        q.explain_analyze_text(&mut self.db)?.0
+                    } else {
+                        q.explain_text()?
+                    };
+                    return Ok(Output::Text(text.trim_end().to_string()));
+                }
                 let report = match &**stmt {
                     Stmt::Retrieve {
                         projections,
@@ -578,14 +649,154 @@ impl Interpreter {
             "io" => {
                 writeln!(out, "{}", self.db.io_profile()).unwrap();
             }
+            "slowlog" => {
+                let (wall, pages) = fieldrep_obs::slowlog::thresholds();
+                let arm = |v: Option<u64>, unit: &str| {
+                    v.map_or("off".to_string(), |n| format!(">= {n} {unit}"))
+                };
+                writeln!(
+                    out,
+                    "slow-query log: wall {} | io {} | recorded {}",
+                    arm(wall, "ms"),
+                    arm(pages, "pages"),
+                    fieldrep_obs::slowlog::recorded_total()
+                )
+                .unwrap();
+                for line in fieldrep_obs::slowlog::dump_jsonl() {
+                    writeln!(out, "{line}").unwrap();
+                }
+            }
             other => {
                 return Err(LangError::Exec(format!(
-                    "unknown `show` target {other:?} (catalog | pending | io | stats)"
+                    "unknown `show` target {other:?} (catalog | pending | io | stats | slowlog)"
                 )))
             }
         }
         Ok(Output::Text(out.trim_end().to_string()))
     }
+}
+
+/// Whether the process-wide slow-query log has any trigger armed. The
+/// interpreter probes this before rendering statement/plan text, so the
+/// disabled path costs two relaxed atomic loads per statement.
+fn slowlog_armed() -> bool {
+    fieldrep_obs::slowlog::thresholds() != (None, None)
+}
+
+fn expr_text(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Float(v) => v.to_string(),
+        Expr::Str(s) => format!("{s:?}"),
+        Expr::Null => "null".into(),
+        Expr::Var(v) => format!("${v}"),
+    }
+}
+
+fn pred_text(p: &Predicate) -> String {
+    match p {
+        Predicate::Cmp { path, op, value } => {
+            let sym = match op {
+                CmpOp::Eq => "=",
+                CmpOp::Lt => "<",
+                CmpOp::Gt => ">",
+                CmpOp::Le => "<=",
+                CmpOp::Ge => ">=",
+            };
+            format!(" where {} {} {}", path.join("."), sym, expr_text(value))
+        }
+        Predicate::Between { path, lo, hi } => format!(
+            " where {} between {} and {}",
+            path.join("."),
+            expr_text(lo),
+            expr_text(hi)
+        ),
+    }
+}
+
+/// Canonical statement text for the slow-query log: the parsed statement
+/// re-rendered (whitespace-normalised but otherwise faithful). Only the
+/// observed statement kinds get a full rendering.
+fn stmt_text(stmt: &Stmt) -> String {
+    let where_of = |p: &Option<Predicate>| p.as_ref().map(pred_text).unwrap_or_default();
+    match stmt {
+        Stmt::Retrieve {
+            projections,
+            predicate,
+        } => format!(
+            "retrieve ({}){}",
+            projections
+                .iter()
+                .map(|p| p.join("."))
+                .collect::<Vec<_>>()
+                .join(", "),
+            where_of(predicate)
+        ),
+        Stmt::RetrieveSys {
+            table,
+            columns,
+            predicate,
+        } => format!(
+            "retrieve ({}) from {}{}",
+            if columns.is_empty() {
+                "all".to_string()
+            } else {
+                columns.join(", ")
+            },
+            table,
+            where_of(predicate)
+        ),
+        Stmt::Replace {
+            assignments,
+            predicate,
+        } => format!(
+            "replace ({}){}",
+            assignments
+                .iter()
+                .map(|(p, e)| format!("{} = {}", p.join("."), expr_text(e)))
+                .collect::<Vec<_>>()
+                .join(", "),
+            where_of(predicate)
+        ),
+        other => format!("{other:?}"),
+    }
+}
+
+/// Map `path OP value` onto the inclusive [`Filter`] forms the query
+/// layer understands (equality, or an open-ended integer range).
+fn cmp_filter(rel: String, op: CmpOp, v: Value) -> Result<Filter, LangError> {
+    let f = match (op, &v) {
+        (CmpOp::Eq, _) => Filter::Eq {
+            path: rel,
+            value: v,
+        },
+        (CmpOp::Gt, Value::Int(x)) => Filter::Range {
+            path: rel,
+            lo: Value::Int(x + 1),
+            hi: Value::Int(i64::MAX),
+        },
+        (CmpOp::Ge, Value::Int(x)) => Filter::Range {
+            path: rel,
+            lo: Value::Int(*x),
+            hi: Value::Int(i64::MAX),
+        },
+        (CmpOp::Lt, Value::Int(x)) => Filter::Range {
+            path: rel,
+            lo: Value::Int(i64::MIN),
+            hi: Value::Int(x - 1),
+        },
+        (CmpOp::Le, Value::Int(x)) => Filter::Range {
+            path: rel,
+            lo: Value::Int(i64::MIN),
+            hi: Value::Int(*x),
+        },
+        (op, v) => {
+            return Err(LangError::Exec(format!(
+                "operator {op:?} is only supported on integer fields (got {v})"
+            )))
+        }
+    };
+    Ok(f)
 }
 
 /// Split `[set, rest…]` into `(set, "rest.joined")`.

@@ -126,6 +126,7 @@ impl Parser {
             "replace" => self.replace(),
             "delete" => self.delete(),
             "explain" => self.explain(),
+            "set" => self.set_slowlog(),
             "advise" => {
                 self.pos += 1;
                 let path = self.dotted_path()?;
@@ -369,11 +370,88 @@ impl Parser {
             projections.push(self.dotted_path()?);
         }
         self.expect_tok(Token::RParen)?;
+        if self.keyword("from") {
+            return self.retrieve_sys(projections);
+        }
         let predicate = self.predicate_opt()?;
         Ok(Stmt::Retrieve {
             projections,
             predicate,
         })
+    }
+
+    /// `… from sys.metrics [where name = "…"]` — the tail of a virtual
+    /// `retrieve` over one introspection table. The parenthesised list
+    /// holds bare column names, or the single word `all` for every
+    /// column.
+    fn retrieve_sys(&mut self, projections: Vec<Vec<String>>) -> Result<Stmt, LangError> {
+        let table_path = self.dotted_path()?;
+        if table_path.len() != 2 || !table_path[0].eq_ignore_ascii_case("sys") {
+            return Err(LangError::Parse(format!(
+                "`from` expects a sys.<table> name, found {:?}",
+                table_path.join(".")
+            )));
+        }
+        let table = format!("sys.{}", table_path[1].to_ascii_lowercase());
+        let all = projections.len() == 1
+            && projections[0].len() == 1
+            && projections[0][0].eq_ignore_ascii_case("all");
+        let mut columns = Vec::new();
+        if !all {
+            for p in &projections {
+                if p.len() != 1 {
+                    return Err(LangError::Parse(format!(
+                        "sys projections are bare column names, found {:?}",
+                        p.join(".")
+                    )));
+                }
+                columns.push(p[0].clone());
+            }
+        }
+        let predicate = self.predicate_opt()?;
+        Ok(Stmt::RetrieveSys {
+            table,
+            columns,
+            predicate,
+        })
+    }
+
+    /// `set slowlog off` / `set slowlog threshold 10 ms [100 pages]`
+    fn set_slowlog(&mut self) -> Result<Stmt, LangError> {
+        self.expect_keyword("set")?;
+        self.expect_keyword("slowlog")?;
+        if self.keyword("off") {
+            return Ok(Stmt::SetSlowlog {
+                wall_ms: None,
+                io_pages: None,
+            });
+        }
+        self.expect_keyword("threshold")?;
+        let mut wall_ms = None;
+        let mut io_pages = None;
+        while let Some(Token::Int(v)) = self.peek() {
+            if *v < 0 {
+                return Err(LangError::Parse("threshold must be non-negative".into()));
+            }
+            let n = *v as u64;
+            self.pos += 1;
+            if self.keyword("ms") {
+                wall_ms = Some(n);
+            } else if self.keyword("pages") {
+                io_pages = Some(n);
+            } else {
+                return Err(LangError::Parse(format!(
+                    "expected `ms` or `pages` after threshold value, found {:?}",
+                    self.peek()
+                )));
+            }
+        }
+        if wall_ms.is_none() && io_pages.is_none() {
+            return Err(LangError::Parse(
+                "set slowlog threshold needs `<N> ms` and/or `<N> pages`".into(),
+            ));
+        }
+        Ok(Stmt::SetSlowlog { wall_ms, io_pages })
     }
 
     /// `replace (Dept.budget = 42, Dept.name = "X") where …`
@@ -404,10 +482,12 @@ impl Parser {
         let analyze = self.keyword("analyze");
         let inner = self.statement()?;
         match inner {
-            Stmt::Retrieve { .. } | Stmt::Replace { .. } => Ok(Stmt::Explain {
-                analyze,
-                stmt: Box::new(inner),
-            }),
+            Stmt::Retrieve { .. } | Stmt::RetrieveSys { .. } | Stmt::Replace { .. } => {
+                Ok(Stmt::Explain {
+                    analyze,
+                    stmt: Box::new(inner),
+                })
+            }
             _ => Err(LangError::Parse(
                 "explain supports retrieve and replace statements only".into(),
             )),
@@ -591,6 +671,66 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn parse_retrieve_sys() {
+        let s = parse_stmt(r#"retrieve (name, value) from sys.metrics where name = "x""#).unwrap();
+        match s {
+            Stmt::RetrieveSys {
+                table,
+                columns,
+                predicate,
+            } => {
+                assert_eq!(table, "sys.metrics");
+                assert_eq!(columns, vec!["name".to_string(), "value".to_string()]);
+                assert!(matches!(
+                    predicate,
+                    Some(Predicate::Cmp { path, .. }) if path == vec!["name".to_string()]
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_stmt("retrieve (all) from sys.slow_queries").unwrap(),
+            Stmt::RetrieveSys { columns, .. } if columns.is_empty()
+        ));
+        assert!(matches!(
+            parse_stmt("explain analyze retrieve (all) from sys.pool").unwrap(),
+            Stmt::Explain { analyze: true, stmt }
+                if matches!(*stmt, Stmt::RetrieveSys { .. })
+        ));
+        // Dotted projections and non-sys sources are rejected.
+        assert!(parse_stmt("retrieve (a.b) from sys.metrics").is_err());
+        assert!(parse_stmt("retrieve (name) from other.metrics").is_err());
+        assert!(parse_stmt("retrieve (name) from sys").is_err());
+    }
+
+    #[test]
+    fn parse_set_slowlog() {
+        assert_eq!(
+            parse_stmt("set slowlog off").unwrap(),
+            Stmt::SetSlowlog {
+                wall_ms: None,
+                io_pages: None
+            }
+        );
+        assert_eq!(
+            parse_stmt("set slowlog threshold 10 ms 100 pages").unwrap(),
+            Stmt::SetSlowlog {
+                wall_ms: Some(10),
+                io_pages: Some(100)
+            }
+        );
+        assert_eq!(
+            parse_stmt("set slowlog threshold 7 pages").unwrap(),
+            Stmt::SetSlowlog {
+                wall_ms: None,
+                io_pages: Some(7)
+            }
+        );
+        assert!(parse_stmt("set slowlog threshold").is_err());
+        assert!(parse_stmt("set slowlog threshold 10 bogus").is_err());
     }
 
     #[test]

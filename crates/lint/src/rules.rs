@@ -396,7 +396,33 @@ fn check_layering(toks: &[Tok], push: &mut impl FnMut(u32, &'static str, String)
 /// L2: string literals handed to obs name-taking APIs must be registered
 /// in `obs::names` — EXPLAIN ANALYZE joins predictions to profiles by
 /// name, so a typo silently breaks the join.
+///
+/// The same rule covers `sys.*` virtual-table names *anywhere* they
+/// appear as a literal (catalog rows, query builders, match arms): the
+/// language front-end, the virtual-scan operator, and the table catalog
+/// all join on these strings. Only literals shaped like a name (all of
+/// `[a-z0-9_.]`, something after the dot) are in scope, which keeps
+/// format strings and prose out.
 fn check_names(toks: &[Tok], reg: &Registry, push: &mut impl FnMut(u32, &'static str, String)) {
+    for t in toks {
+        if t.kind == TokKind::Str
+            && t.text.len() > 4
+            && t.text.starts_with("sys.")
+            && t.text
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_')
+            && !reg.contains(&t.text)
+        {
+            push(
+                t.line,
+                "L2",
+                format!(
+                    "sys virtual-table name {:?} is not registered in obs::names",
+                    t.text
+                ),
+            );
+        }
+    }
     for (i, t) in toks.iter().enumerate() {
         // `.api("literal"` and `Span::enter("literal"`.
         let open = if t.is_punct(".")

@@ -42,6 +42,19 @@ pub fn describe(reg: &Registry) {
     reg.counter(names::APP_KNOWN).inc();
 }
 
+pub fn introspect(catalog: &SysCatalog) {
+    // Fine: registered virtual-table name, as a literal and through the
+    // constant (which also keeps SYS_OK alive for the dead-name check).
+    catalog.open("sys.ok");
+    catalog.open(names::SYS_OK);
+    // L2 fires here (sys.* literal not in the registry):
+    catalog.open("sys.bogus");
+    // Fine: not name-shaped (format hole / prose / bare prefix).
+    let _fmt = "sys.{}";
+    let _prose = "sys. tables are virtual";
+    let _prefix = "sys.";
+}
+
 #[cfg(test)]
 mod tests {
     // None of these fire: test code is out of scope.

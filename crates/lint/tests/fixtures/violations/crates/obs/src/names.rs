@@ -6,3 +6,5 @@ pub const APP_KNOWN: &str = "app.known";
 pub const DRIFT_PLAN: &str = "costmodel.drift.plan";
 /// Dead name: nothing outside this file references the constant.
 pub const APP_DEAD: &str = "app.dead";
+/// Registered virtual-table name.
+pub const SYS_OK: &str = "sys.ok";

@@ -31,11 +31,20 @@ fn each_rule_fires_exactly_once_on_the_violation_fixture() {
         rule_diags(&r, "L2"),
         [
             ("crates/app/src/lib.rs", 17),
+            ("crates/app/src/lib.rs", 51),
             ("crates/obs/src/names.rs", 8)
         ],
-        "L2: the one unregistered name literal, plus the one dead registry \
-         const (the used const, the drift gauge, and the resolved \
-         conformance operator are fine)"
+        "L2: the one unregistered name literal, the one unregistered sys.* \
+         table literal, plus the one dead registry const (the used consts, \
+         the registered sys.* literal, non-name-shaped sys strings, the \
+         drift gauge, and the resolved conformance operator are fine)"
+    );
+    assert!(
+        r.diags
+            .iter()
+            .any(|d| d.msg.contains("sys virtual-table name") && d.msg.contains("sys.bogus")),
+        "{:?}",
+        r.diags
     );
     assert!(
         r.diags
@@ -51,7 +60,7 @@ fn each_rule_fires_exactly_once_on_the_violation_fixture() {
          ordered batch helper are fine)"
     );
     assert!(rule_diags(&r, "suppression").is_empty());
-    assert_eq!(r.diags.len(), 4, "no other diagnostics: {:?}", r.diags);
+    assert_eq!(r.diags.len(), 5, "no other diagnostics: {:?}", r.diags);
     // L3 is a count, not a diagnostic: two library unwraps, none from the
     // bin or the test module.
     assert_eq!(r.panic_counts.get("crates/app"), Some(&2));

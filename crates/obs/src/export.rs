@@ -17,8 +17,10 @@ use crate::span::SpanNode;
 /// line type changes shape; consumers should check the `run` header line.
 ///
 /// v2 added the flight-recorder (`recorder_dump`/`recorder_event`) and
-/// timeline (`timeline`) line types.
-pub const JSONL_SCHEMA_VERSION: u32 = 2;
+/// timeline (`timeline`) line types. v3 added the slow-query log
+/// (`slowlog_dump`/`slow_query`) line types and the `start_nanos` field
+/// on `span` lines.
+pub const JSONL_SCHEMA_VERSION: u32 = 3;
 
 /// Header line stamping a JSONL stream with the format version and a
 /// caller-supplied run identifier, so streams from different runs stay
@@ -79,8 +81,9 @@ fn span_json(node: &SpanNode) -> String {
         .collect::<Vec<_>>()
         .join(",");
     format!(
-        "{{\"name\":\"{}\",\"nanos\":{},\"io\":{},\"notes\":{{{}}},\"children\":[{}]}}",
+        "{{\"name\":\"{}\",\"start_nanos\":{},\"nanos\":{},\"io\":{},\"notes\":{{{}}},\"children\":[{}]}}",
         escape_json(&node.name),
+        node.start_nanos,
         node.nanos,
         io_json(&node.io),
         notes,
@@ -169,6 +172,65 @@ pub fn snapshot_jsonl(snap: &Snapshot) -> Vec<String> {
         ));
     }
     lines
+}
+
+// ---- Chrome-trace ("Trace Event Format") export ---------------------------
+
+/// Microsecond timestamp with nanosecond fractional precision, as the
+/// Trace Event Format's `ts` field expects.
+fn chrome_ts(nanos: u128) -> String {
+    format!("{}.{:03}", nanos / 1000, nanos % 1000)
+}
+
+/// Emit one span subtree as `B`/`E` duration events, depth-first.
+///
+/// `cursor` is the last emitted timestamp: every event is clamped to be
+/// at or after it, so the produced stream is monotone per thread even
+/// when sibling clock reads land nanoseconds out of order. All events
+/// share `pid:1`/`tid:1` — the engine executes a profiled run on one
+/// thread, and the span tree is per-thread to begin with.
+fn chrome_events(node: &SpanNode, cursor: &mut u128, out: &mut Vec<String>) {
+    let start = u128::from(node.start_nanos).max(*cursor);
+    let end = start + node.nanos;
+    let notes = node
+        .notes
+        .iter()
+        .map(|(k, v)| format!(",\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+        .collect::<String>();
+    out.push(format!(
+        "{{\"name\":\"{}\",\"ph\":\"B\",\"ts\":{},\"pid\":1,\"tid\":1,\"args\":{{\"io\":{}{notes}}}}}",
+        escape_json(&node.name),
+        chrome_ts(start),
+        io_json(&node.io)
+    ));
+    *cursor = start;
+    for child in &node.children {
+        chrome_events(child, cursor, out);
+    }
+    let end = end.max(*cursor);
+    out.push(format!(
+        "{{\"name\":\"{}\",\"ph\":\"E\",\"ts\":{},\"pid\":1,\"tid\":1}}",
+        escape_json(&node.name),
+        chrome_ts(end)
+    ));
+    *cursor = end;
+}
+
+/// Render root spans as one Chrome-trace/Perfetto JSON document
+/// (`{"traceEvents":[...]}`), loadable by `chrome://tracing` and
+/// [ui.perfetto.dev](https://ui.perfetto.dev). Each span becomes a
+/// balanced `B`/`E` duration-event pair on the shared telemetry clock,
+/// with its attributed page I/O and notes in `args`.
+pub fn chrome_trace_json(spans: &[SpanNode]) -> String {
+    let mut events = Vec::new();
+    let mut cursor = 0u128;
+    for root in spans {
+        chrome_events(root, &mut cursor, &mut events);
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
+        events.join(",")
+    )
 }
 
 fn span_text_into(node: &SpanNode, depth: usize, out: &mut String) {
@@ -482,6 +544,75 @@ mod tests {
         assert!(text.contains("0.9000"));
     }
 
+    fn trace_ts_values(doc: &str) -> Vec<f64> {
+        doc.split("\"ts\":")
+            .skip(1)
+            .map(|rest| {
+                let end = rest.find(',').expect("ts is followed by more fields");
+                rest[..end].parse::<f64>().expect("ts parses as a number")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_balanced_and_monotone() {
+        set_tracing(true);
+        take_finished();
+        {
+            let root = Span::enter("trace.root");
+            {
+                let a = root.child("trace.a");
+                a.note("rows", 3);
+            }
+            let _b = root.child("trace.b");
+        }
+        let spans = take_finished();
+        set_tracing(false);
+        let doc = chrome_trace_json(&spans);
+        assert!(is_valid_json(&doc), "invalid: {doc}");
+        assert!(doc.contains("\"traceEvents\""));
+        assert_eq!(doc.matches("\"ph\":\"B\"").count(), 3);
+        assert_eq!(doc.matches("\"ph\":\"E\"").count(), 3);
+        assert!(doc.contains("\"rows\":\"3\""), "notes land in args");
+        let ts = trace_ts_values(&doc);
+        assert_eq!(ts.len(), 6);
+        assert!(
+            ts.windows(2).all(|w| w[0] <= w[1]),
+            "timestamps are monotone in emission order: {ts:?}"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_clamps_out_of_order_clock_reads() {
+        // A child whose recorded start precedes its parent's (possible
+        // only through clock-read skew) must still produce a monotone,
+        // properly nested stream.
+        let child = crate::span::SpanNode {
+            name: "c".into(),
+            start_nanos: 5,
+            nanos: 10_000_000,
+            io: IoCounts::default(),
+            notes: vec![],
+            children: vec![],
+        };
+        let root = crate::span::SpanNode {
+            name: "r".into(),
+            start_nanos: 1_000,
+            nanos: 2_000,
+            io: IoCounts::default(),
+            notes: vec![],
+            children: vec![child],
+        };
+        let doc = chrome_trace_json(&[root]);
+        assert!(is_valid_json(&doc), "invalid: {doc}");
+        let ts = trace_ts_values(&doc);
+        assert!(
+            ts.windows(2).all(|w| w[0] <= w[1]),
+            "clamped stream is monotone: {ts:?}"
+        );
+        assert!(chrome_trace_json(&[]).contains("\"traceEvents\":[]"));
+    }
+
     #[test]
     fn text_renderers_contain_the_key_facts() {
         let mut p = Profile::start();
@@ -494,6 +625,7 @@ mod tests {
 
         let node = crate::span::SpanNode {
             name: "root".into(),
+            start_nanos: 0,
             nanos: 1_500_000,
             io: IoCounts {
                 disk_reads: 2,

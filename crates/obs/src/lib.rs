@@ -28,6 +28,13 @@
 //! recent span and I/O-delta events for post-mortem dumps, and
 //! [`timeline`] turns registry snapshots into a bounded delta
 //! time-series with JSONL and `obs_report` exports.
+//!
+//! The introspection layer makes all of it *data*: [`sys`] exposes the
+//! obs structures as virtual-table rows (queryable from `lang` as
+//! `sys.metrics`, `sys.recorder`, …), [`slowlog`] keeps a bounded ring
+//! of over-threshold statements with their full per-operator profiles,
+//! and [`export::chrome_trace_json`] renders any span tree as a
+//! Chrome-trace/Perfetto document.
 
 pub mod export;
 pub mod io;
@@ -35,7 +42,9 @@ pub mod metrics;
 pub mod names;
 pub mod profile;
 pub mod recorder;
+pub mod slowlog;
 pub mod span;
+pub mod sys;
 pub mod timeline;
 
 pub use io::IoCounts;

@@ -84,10 +84,37 @@ pub const OBS_RECORDER_DROPPED: &str = "obs.recorder.dropped";
 pub const OBS_RECORDER_DUMPS: &str = "obs.recorder.dumps";
 /// Engine errors recorded through the recorder's error hook (counter).
 pub const OBS_RECORDER_ERRORS: &str = "obs.recorder.errors";
+/// Flight-recorder dumps suppressed by the per-sink rate limit (counter).
+pub const OBS_RECORDER_DUMPS_SUPPRESSED: &str = "obs.recorder.dumps_suppressed";
 /// Timeline ticks taken against the global registry (counter).
 pub const OBS_TIMELINE_TICKS: &str = "obs.timeline.ticks";
 /// Timeline ticks evicted from the bounded series (counter).
 pub const OBS_TIMELINE_EVICTED: &str = "obs.timeline.evicted";
+/// Statements recorded into the slow-query ring (counter).
+pub const OBS_SLOWLOG_RECORDED: &str = "obs.slowlog.recorded";
+/// Slow-query entries evicted from the bounded ring (counter).
+pub const OBS_SLOWLOG_EVICTED: &str = "obs.slowlog.evicted";
+
+// --- sys: virtual introspection tables --------------------------------------
+//
+// The `sys` catalog exposes the obs stack as queryable relations
+// (`retrieve ... from sys.<table>`). Table names are registered here so
+// lint rule L2 can flag a `sys.*` literal that drifts from the catalog.
+
+/// Virtual table: registry counters/gauges/derived/histogram quantiles.
+pub const SYS_METRICS: &str = "sys.metrics";
+/// Virtual table: global timeline tick deltas.
+pub const SYS_TIMELINE: &str = "sys.timeline";
+/// Virtual table: per-path workload statistics.
+pub const SYS_WORKLOAD: &str = "sys.workload";
+/// Virtual table: flight-recorder ring contents.
+pub const SYS_RECORDER: &str = "sys.recorder";
+/// Virtual table: per-shard buffer-pool state.
+pub const SYS_POOL: &str = "sys.pool";
+/// Virtual table: cost-model drift gauges.
+pub const SYS_DRIFT: &str = "sys.drift";
+/// Virtual table: the slow-query ring.
+pub const SYS_SLOW_QUERIES: &str = "sys.slow_queries";
 
 // --- core: per-path workload statistics ------------------------------------
 
@@ -201,9 +228,19 @@ pub const ALL: &[&str] = &[
     OBS_RECORDER_EVENTS,
     OBS_RECORDER_DROPPED,
     OBS_RECORDER_DUMPS,
+    OBS_RECORDER_DUMPS_SUPPRESSED,
     OBS_RECORDER_ERRORS,
     OBS_TIMELINE_TICKS,
     OBS_TIMELINE_EVICTED,
+    OBS_SLOWLOG_RECORDED,
+    OBS_SLOWLOG_EVICTED,
+    SYS_METRICS,
+    SYS_TIMELINE,
+    SYS_WORKLOAD,
+    SYS_RECORDER,
+    SYS_POOL,
+    SYS_DRIFT,
+    SYS_SLOW_QUERIES,
     CORE_WORKLOAD_READS,
     CORE_WORKLOAD_UPDATES,
     CORE_WORKLOAD_PATHS,
@@ -263,6 +300,23 @@ mod tests {
                 assert_eq!(drift_gauge(suffix), *n);
             }
         }
+    }
+
+    #[test]
+    fn sys_tables_are_registered() {
+        for t in [
+            SYS_METRICS,
+            SYS_TIMELINE,
+            SYS_WORKLOAD,
+            SYS_RECORDER,
+            SYS_POOL,
+            SYS_DRIFT,
+            SYS_SLOW_QUERIES,
+        ] {
+            assert!(is_registered(t), "{t} missing from ALL");
+            assert!(t.starts_with("sys."), "{t} must live under sys.");
+        }
+        assert!(!is_registered("sys.bogus"));
     }
 
     #[test]

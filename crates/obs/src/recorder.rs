@@ -209,6 +209,7 @@ struct RecorderCounters {
     events: Arc<Counter>,
     dropped: Arc<Counter>,
     dumps: Arc<Counter>,
+    dumps_suppressed: Arc<Counter>,
     errors: Arc<Counter>,
 }
 
@@ -220,6 +221,7 @@ fn counters() -> &'static RecorderCounters {
             events: r.counter(names::OBS_RECORDER_EVENTS),
             dropped: r.counter(names::OBS_RECORDER_DROPPED),
             dumps: r.counter(names::OBS_RECORDER_DUMPS),
+            dumps_suppressed: r.counter(names::OBS_RECORDER_DUMPS_SUPPRESSED),
             errors: r.counter(names::OBS_RECORDER_ERRORS),
         }
     })
@@ -261,16 +263,36 @@ pub fn dump_jsonl() -> Vec<String> {
 
 type DumpSink = Box<dyn Fn(&[String]) + Send + Sync>;
 
-fn error_sink() -> &'static Mutex<Option<DumpSink>> {
-    static SINK: OnceLock<Mutex<Option<DumpSink>>> = OnceLock::new();
+/// Most dumps one installed sink receives before further dumps are
+/// suppressed (counted by `obs.recorder.dumps_suppressed`). A repeating
+/// error storm still records every error *event*; the rate limit only
+/// guards against re-dumping the whole ring per occurrence.
+pub const MAX_DUMPS_PER_SINK: u64 = 8;
+
+struct SinkState {
+    sink: DumpSink,
+    /// `(origin, message)` of the last error this sink dumped for, so a
+    /// repeat of the same error dedupes instead of dumping again.
+    last_error: Option<(String, String)>,
+    /// Dumps delivered since this sink was installed.
+    delivered: u64,
+}
+
+fn error_sink() -> &'static Mutex<Option<SinkState>> {
+    static SINK: OnceLock<Mutex<Option<SinkState>>> = OnceLock::new();
     SINK.get_or_init(|| Mutex::new(None))
 }
 
 /// Install (or replace) the sink that receives the JSONL dump whenever
 /// [`record_error`] fires. Binaries typically write the lines to a file;
-/// the recorder itself never touches the filesystem.
+/// the recorder itself never touches the filesystem. Installing a sink
+/// resets the per-sink dump budget and dedupe state.
 pub fn set_error_sink(sink: impl Fn(&[String]) + Send + Sync + 'static) {
-    *error_sink().lock() = Some(Box::new(sink));
+    *error_sink().lock() = Some(SinkState {
+        sink: Box::new(sink),
+        last_error: None,
+        delivered: 0,
+    });
 }
 
 /// Remove the error sink installed by [`set_error_sink`].
@@ -281,6 +303,11 @@ pub fn clear_error_sink() {
 /// Record an engine error against `origin` (a registered span/component
 /// name) and, when a sink is installed, hand it the ring dump. This is
 /// the Result-path counterpart of [`install_panic_hook`].
+///
+/// Dumps are rate-limited per sink: a consecutive repeat of the same
+/// `(origin, message)` pair and anything past [`MAX_DUMPS_PER_SINK`]
+/// increments `obs.recorder.dumps_suppressed` instead of dumping. The
+/// first occurrence of a new error always dumps (budget permitting).
 pub fn record_error(origin: &str, message: &str) {
     record(
         origin,
@@ -289,9 +316,17 @@ pub fn record_error(origin: &str, message: &str) {
         },
     );
     counters().errors.inc();
-    let sink = error_sink().lock();
-    if let Some(sink) = sink.as_ref() {
-        sink(&dump_jsonl());
+    let mut sink = error_sink().lock();
+    if let Some(state) = sink.as_mut() {
+        let key = (origin.to_string(), message.to_string());
+        let repeat = state.last_error.as_ref() == Some(&key);
+        if repeat || state.delivered >= MAX_DUMPS_PER_SINK {
+            counters().dumps_suppressed.inc();
+            return;
+        }
+        state.last_error = Some(key);
+        state.delivered += 1;
+        (state.sink)(&dump_jsonl());
     }
 }
 
@@ -390,6 +425,56 @@ mod tests {
         assert_eq!(r.recorded_total(), 2);
         r.record("t.clear", EventKind::SpanEnter);
         assert_eq!(r.events()[0].seq, 2);
+    }
+
+    #[test]
+    fn error_dumps_dedupe_and_cap_per_sink() {
+        use std::sync::atomic::AtomicUsize;
+        let suppressed = registry().counter(names::OBS_RECORDER_DUMPS_SUPPRESSED);
+        let suppressed_before = suppressed.get();
+        let delivered = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&delivered);
+        set_error_sink(move |_| {
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+        record_error("t.ratelimit", "same boom");
+        record_error("t.ratelimit", "same boom");
+        record_error("t.ratelimit", "same boom");
+        assert_eq!(
+            delivered.load(Ordering::SeqCst),
+            1,
+            "consecutive repeats dedupe after the first dump"
+        );
+        record_error("t.ratelimit", "other boom");
+        assert_eq!(delivered.load(Ordering::SeqCst), 2, "a new error dumps");
+        record_error("t.ratelimit", "same boom");
+        assert_eq!(
+            delivered.load(Ordering::SeqCst),
+            3,
+            "a non-consecutive repeat dumps again"
+        );
+        for i in 0..20 {
+            record_error("t.ratelimit", &format!("boom {i}"));
+        }
+        assert_eq!(
+            delivered.load(Ordering::SeqCst) as u64,
+            MAX_DUMPS_PER_SINK,
+            "the per-sink budget caps deliveries"
+        );
+        assert!(
+            suppressed.get() > suppressed_before,
+            "suppressed dumps are counted"
+        );
+
+        // Re-installing the sink resets both the budget and the dedupe.
+        let delivered2 = Arc::new(AtomicUsize::new(0));
+        let d2 = Arc::clone(&delivered2);
+        set_error_sink(move |_| {
+            d2.fetch_add(1, Ordering::SeqCst);
+        });
+        record_error("t.ratelimit", "same boom");
+        assert_eq!(delivered2.load(Ordering::SeqCst), 1);
+        clear_error_sink();
     }
 
     #[test]

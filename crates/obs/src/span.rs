@@ -27,6 +27,9 @@ use crate::recorder;
 pub struct SpanNode {
     /// Dotted span name, e.g. `"query.read"` or `"btree.lookup"`.
     pub name: String,
+    /// [`recorder::clock_nanos`] timestamp at span entry, so trace
+    /// exporters can place the span on the shared telemetry clock.
+    pub start_nanos: u64,
     /// Wall-clock duration in nanoseconds.
     pub nanos: u128,
     /// Page-I/O delta attributed to this span (children included).
@@ -59,6 +62,7 @@ impl SpanNode {
 struct OpenSpan {
     name: String,
     start: Instant,
+    start_nanos: u64,
     io_at_enter: IoCounts,
     notes: Vec<(String, String)>,
     children: Vec<SpanNode>,
@@ -141,6 +145,7 @@ impl Span {
             let open = OpenSpan {
                 name: name.to_string(),
                 start: Instant::now(),
+                start_nanos: recorder::clock_nanos(),
                 io_at_enter: io::snapshot(),
                 notes: Vec::new(),
                 children: Vec::new(),
@@ -189,6 +194,7 @@ impl Drop for Span {
             let Some(open) = t.stack.pop() else { return };
             let node = SpanNode {
                 name: open.name,
+                start_nanos: open.start_nanos,
                 nanos: open.start.elapsed().as_nanos(),
                 io: io::snapshot() - open.io_at_enter,
                 notes: open.notes,

@@ -18,6 +18,7 @@ pub mod error;
 pub mod exec;
 pub mod explain;
 pub mod plan;
+pub mod sysq;
 
 pub use error::{QueryError, Result};
 pub use exec::{QueryResult, Row, UpdateResult};
@@ -26,6 +27,7 @@ pub use explain::{
     ExplainRow,
 };
 pub use plan::{AccessPlan, Plan, ProjPlan};
+pub use sysq::{SysPlan, SysQuery, SysResult};
 
 use fieldrep_model::Value;
 

@@ -717,6 +717,50 @@ impl BufferPool {
     pub fn reset_io(&mut self) {
         self.reset_profile();
     }
+
+    /// Point-in-time per-shard state, for the `sys.pool` virtual table.
+    ///
+    /// Reads only in-memory frame flags — no page I/O — so introspection
+    /// queries cannot perturb the pool counters they report on.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let frames = &self.frames[shard.start..shard.start + shard.len];
+                ShardStats {
+                    shard: i,
+                    frames: shard.len,
+                    resident: shard.map.len(),
+                    dirty: frames
+                        .iter()
+                        .filter(|f| f.pid.is_some() && f.inner.dirty.load(Ordering::Relaxed))
+                        .count(),
+                    pinned: frames
+                        .iter()
+                        .filter(|f| f.inner.pins.load(Ordering::Relaxed) > 0)
+                        .count(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Point-in-time state of one buffer-pool shard (see
+/// [`BufferPool::shard_stats`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Frames the shard owns.
+    pub frames: usize,
+    /// Resident pages whose *home* is this shard (a stolen frame counts
+    /// toward the page's home shard, not the frame's physical shard).
+    pub resident: usize,
+    /// Physically-owned frames currently marked dirty.
+    pub dirty: usize,
+    /// Physically-owned frames currently pinned.
+    pub pinned: usize,
 }
 
 #[cfg(test)]
@@ -780,6 +824,38 @@ mod tests {
         }
         assert_eq!(h0.data()[0], 99);
         assert_eq!(h0.pid, pid0);
+    }
+
+    #[test]
+    fn shard_stats_track_residency_dirt_and_pins() {
+        let mut bp = pool(8);
+        let f = bp.create_file().unwrap();
+        let stats = bp.shard_stats();
+        assert_eq!(stats.len(), bp.shard_count());
+        assert_eq!(
+            stats.iter().map(|s| s.frames).sum::<usize>(),
+            bp.capacity(),
+            "shards partition the frame array"
+        );
+        assert!(stats.iter().all(|s| s.resident == 0 && s.dirty == 0));
+
+        let (pid, h) = bp.new_page(f).unwrap();
+        h.data_mut()[0] = 1;
+        let stats = bp.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.resident).sum::<usize>(), 1);
+        assert_eq!(stats.iter().map(|s| s.dirty).sum::<usize>(), 1);
+        assert_eq!(stats.iter().map(|s| s.pinned).sum::<usize>(), 1);
+        assert_eq!(stats[bp.shard_of(pid)].resident, 1);
+
+        drop(h);
+        bp.flush_all().unwrap();
+        let stats = bp.shard_stats();
+        assert!(
+            stats
+                .iter()
+                .all(|s| s.resident == 0 && s.dirty == 0 && s.pinned == 0),
+            "flush_all leaves every shard cold"
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod oid;
 pub mod page;
 pub mod stats;
 
-pub use buffer::{BufferPool, PageHandle};
+pub use buffer::{BufferPool, PageHandle, ShardStats};
 pub use disk::{DiskManager, FileDisk, MemDisk};
 pub use error::{Result, StorageError};
 pub use heap::{HeapFile, HeapScan};

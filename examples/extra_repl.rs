@@ -9,8 +9,10 @@
 //! Statements end with `;` (or a lone newline in interactive mode).
 //! Supported: `define type`, `create`, `replicate … [using separate]
 //! [deferred]`, `drop replicate`, `build [clustered] btree on`,
-//! `insert … as $var`, `retrieve (…) where …`, `replace (…) where …`,
-//! `delete from … where …`, `sync`, `show catalog|pending|io`.
+//! `insert … as $var`, `retrieve (…) where …`,
+//! `retrieve (…) from sys.<table> where …`, `replace (…) where …`,
+//! `delete from … where …`, `sync`, `set slowlog …`,
+//! `show catalog|pending|io|stats|slowlog`.
 
 use field_replication::lang::Interpreter;
 use field_replication::DbConfig;
@@ -39,6 +41,12 @@ show catalog;
 retrieve (Emp1.name, Emp1.salary, Emp1.dept.name) where Emp1.salary > 100000;
 replace (Dept.name = "Footwear") where Dept.name = "Shoe";
 retrieve (Emp1.name, Emp1.dept.name) where Emp1.salary > 100000;
+
+set slowlog threshold 0 ms;
+retrieve (Emp1.name, Emp1.dept.org.name) where Emp1.age > 30;
+set slowlog off;
+retrieve (statement, io_pages, rows) from sys.slow_queries;
+retrieve (name, value) from sys.metrics where name = "storage.pool.hits";
 "#;
 
 fn main() {

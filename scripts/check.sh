@@ -21,5 +21,7 @@ cargo run --release -q -p fieldrep-bench --bin bench_suite -- \
 
 # Observability smoke: a tiny workload through the always-on pipeline
 # (two timeline ticks + flight-recorder dump), validating that every
-# exported JSONL line parses and carries the current schema version.
+# exported JSONL line parses and carries the current schema version,
+# and that the Chrome-trace/Perfetto export of the profiled read's span
+# tree is structurally sound (balanced B/E, monotone timestamps).
 cargo run --release -q -p fieldrep-bench --bin obs_smoke
