@@ -14,48 +14,45 @@ fn oid(n: u32) -> Oid {
 
 fn bench_insert(c: &mut Criterion) {
     c.bench_function("btree_insert_sequential", |b| {
-        let mut sm = StorageManager::in_memory(4096);
-        let idx = BTreeIndex::create(&mut sm).unwrap();
+        let sm = StorageManager::in_memory(4096);
+        let idx = BTreeIndex::create(&sm).unwrap();
         let mut i: i64 = 0;
         b.iter(|| {
-            idx.insert(&mut sm, &encode_i64(i), oid(i as u32)).unwrap();
+            idx.insert(&sm, &encode_i64(i), oid(i as u32)).unwrap();
             i += 1;
         });
     });
     c.bench_function("btree_insert_random", |b| {
-        let mut sm = StorageManager::in_memory(4096);
-        let idx = BTreeIndex::create(&mut sm).unwrap();
+        let sm = StorageManager::in_memory(4096);
+        let idx = BTreeIndex::create(&sm).unwrap();
         let mut i: i64 = 0;
         b.iter(|| {
             let k = (i * 2654435761) % 100_000_000;
-            idx.insert(&mut sm, &encode_i64(k), oid(i as u32)).unwrap();
+            idx.insert(&sm, &encode_i64(k), oid(i as u32)).unwrap();
             i += 1;
         });
     });
 }
 
 fn bench_lookup_and_range(c: &mut Criterion) {
-    let mut sm = StorageManager::in_memory(8192);
+    let sm = StorageManager::in_memory(8192);
     let entries: Vec<Entry> = (0..100_000i64)
         .map(|i| (encode_i64(i).to_vec(), oid(i as u32)))
         .collect();
-    let idx = BTreeIndex::bulk_load(&mut sm, &entries, 1.0).unwrap();
+    let idx = BTreeIndex::bulk_load(&sm, &entries, 1.0).unwrap();
 
     let mut i: i64 = 0;
     c.bench_function("btree_point_lookup_100k", |b| {
         b.iter(|| {
             i = (i + 7919) % 100_000;
-            black_box(idx.lookup(&mut sm, &encode_i64(i)).unwrap())
+            black_box(idx.lookup(&sm, &encode_i64(i)).unwrap())
         });
     });
     let mut i: i64 = 0;
     c.bench_function("btree_range_100_of_100k", |b| {
         b.iter(|| {
             i = (i + 4391) % 99_000;
-            black_box(
-                idx.range(&mut sm, &encode_i64(i), &encode_i64(i + 99))
-                    .unwrap(),
-            )
+            black_box(idx.range(&sm, &encode_i64(i), &encode_i64(i + 99)).unwrap())
         });
     });
 }
@@ -66,8 +63,8 @@ fn bench_bulk_load(c: &mut Criterion) {
         .collect();
     c.bench_function("btree_bulk_load_50k", |b| {
         b.iter(|| {
-            let mut sm = StorageManager::in_memory(8192);
-            black_box(BTreeIndex::bulk_load(&mut sm, &entries, 1.0).unwrap())
+            let sm = StorageManager::in_memory(8192);
+            black_box(BTreeIndex::bulk_load(&sm, &entries, 1.0).unwrap())
         });
     });
 }

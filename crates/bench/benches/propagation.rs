@@ -55,7 +55,7 @@ fn bench_propagation(c: &mut Criterion) {
             ("inplace", Strategy::InPlace),
             ("separate", Strategy::Separate),
         ] {
-            let (mut db, d) = build(fan_in, strat, 0);
+            let (db, d) = build(fan_in, strat, 0);
             let mut tick = 0u64;
             group.bench_with_input(BenchmarkId::new(name, fan_in), &(), |b, _| {
                 b.iter(|| {
@@ -73,7 +73,7 @@ fn bench_inline_threshold(c: &mut Criterion) {
     // §4.3.1 ablation at fan-in 2: inline vs link-object form.
     let mut group = c.benchmark_group("propagation_inline_ablation");
     for (name, threshold) in [("link_objects", 0usize), ("inlined", 4)] {
-        let (mut db, d) = build(2, Strategy::InPlace, threshold);
+        let (db, d) = build(2, Strategy::InPlace, threshold);
         let mut tick = 0u64;
         group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
             b.iter(|| {

@@ -8,46 +8,46 @@ use fieldrep_storage::{HeapFile, StorageManager};
 
 fn bench_heap(c: &mut Criterion) {
     c.bench_function("heap_insert_100B", |b| {
-        let mut sm = StorageManager::in_memory(4096);
-        let hf = HeapFile::create(&mut sm).unwrap();
+        let sm = StorageManager::in_memory(4096);
+        let hf = HeapFile::create(&sm).unwrap();
         let payload = [7u8; 100];
-        b.iter(|| black_box(hf.insert(&mut sm, 1, &payload).unwrap()));
+        b.iter(|| black_box(hf.insert(&sm, 1, &payload).unwrap()));
     });
 
     c.bench_function("heap_point_read_warm", |b| {
-        let mut sm = StorageManager::in_memory(4096);
-        let hf = HeapFile::create(&mut sm).unwrap();
+        let sm = StorageManager::in_memory(4096);
+        let hf = HeapFile::create(&sm).unwrap();
         let oids: Vec<_> = (0..10_000)
-            .map(|_| hf.insert(&mut sm, 1, &[3u8; 100]).unwrap())
+            .map(|_| hf.insert(&sm, 1, &[3u8; 100]).unwrap())
             .collect();
         let mut i = 0usize;
         b.iter(|| {
             i = (i + 7919) % oids.len();
-            black_box(hf.read(&mut sm, oids[i]).unwrap())
+            black_box(hf.read(&sm, oids[i]).unwrap())
         });
     });
 
     c.bench_function("heap_update_same_size", |b| {
-        let mut sm = StorageManager::in_memory(4096);
-        let hf = HeapFile::create(&mut sm).unwrap();
+        let sm = StorageManager::in_memory(4096);
+        let hf = HeapFile::create(&sm).unwrap();
         let oids: Vec<_> = (0..10_000)
-            .map(|_| hf.insert(&mut sm, 1, &[3u8; 100]).unwrap())
+            .map(|_| hf.insert(&sm, 1, &[3u8; 100]).unwrap())
             .collect();
         let mut i = 0usize;
         b.iter(|| {
             i = (i + 4391) % oids.len();
-            hf.update(&mut sm, oids[i], &[5u8; 100]).unwrap();
+            hf.update(&sm, oids[i], &[5u8; 100]).unwrap();
         });
     });
 
     c.bench_function("heap_scan_10k_objects", |b| {
-        let mut sm = StorageManager::in_memory(4096);
-        let hf = HeapFile::create(&mut sm).unwrap();
+        let sm = StorageManager::in_memory(4096);
+        let hf = HeapFile::create(&sm).unwrap();
         for _ in 0..10_000 {
-            hf.insert(&mut sm, 1, &[3u8; 100]).unwrap();
+            hf.insert(&sm, 1, &[3u8; 100]).unwrap();
         }
         b.iter(|| {
-            let mut scan = hf.scan(&mut sm).unwrap();
+            let mut scan = hf.scan(&sm).unwrap();
             let mut n = 0u64;
             while scan.next_record().unwrap().is_some() {
                 n += 1;
@@ -59,7 +59,7 @@ fn bench_heap(c: &mut Criterion) {
 
 fn bench_buffer_pool(c: &mut Criterion) {
     c.bench_function("pool_fetch_hit", |b| {
-        let mut sm = StorageManager::in_memory(64);
+        let sm = StorageManager::in_memory(64);
         let f = sm.create_file().unwrap();
         let (pid, h) = sm.pool().new_page(f).unwrap();
         drop(h);
@@ -68,7 +68,7 @@ fn bench_buffer_pool(c: &mut Criterion) {
 
     c.bench_function("pool_fetch_miss_evict", |b| {
         // Pool of 8 frames cycling over 64 pages: every fetch misses.
-        let mut sm = StorageManager::in_memory(8);
+        let sm = StorageManager::in_memory(8);
         let f = sm.create_file().unwrap();
         let mut pids = vec![];
         for _ in 0..64 {

@@ -165,6 +165,23 @@ fn main() -> ExitCode {
         }
     }
 
+    // Concurrency: snapshot-read / transactional-update throughput by
+    // thread count (ops/s; scaling judged by the gate on capable hosts).
+    println!(
+        "\n--- Concurrency ---\n{:<40} {:>12} {:>10}",
+        "point", "ops/s", "wall_ms"
+    );
+    for p in &report.points {
+        if !p.id.starts_with("concurrency/") {
+            continue;
+        }
+        if p.id == "concurrency/host/cpus" {
+            println!("{:<40} {:>12.0} {:>10}", p.id, p.measured_io, "-");
+        } else {
+            println!("{:<40} {:>12.0} {:>10.1}", p.id, p.ops_per_sec, p.wall_ms);
+        }
+    }
+
     // Telemetry overhead: always-on pipeline (recorder + timeline tick)
     // vs. recorder disabled, min-of-reps on one fixed workload.
     let wall = |mode: &str| {

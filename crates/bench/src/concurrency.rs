@@ -1,0 +1,287 @@
+//! Multi-threaded throughput: snapshot readers and `update_txn` writers
+//! over one shared database, swept across thread counts.
+//!
+//! This is the empirical side of the concurrency work: the §6 workloads
+//! measure page I/O per query, while this module measures *operations
+//! per second* as threads are added. Readers use the seqlock snapshot
+//! protocol ([`Database::snapshot_path_values`]), writers the
+//! OID-ordered lock closure ([`Database::update_txn`]); both are
+//! wait-free for readers, so read throughput should scale with cores
+//! until the buffer pool saturates.
+//!
+//! Three point families land in the suite report (schema v3):
+//!
+//! * `concurrency/host/cpus` — [`std::thread::available_parallelism`]
+//!   at run time. The scaling gate consults this: a 1-core CI box
+//!   physically cannot scale, so the gate only fires on hosts with at
+//!   least four CPUs (the same spirit as the wall-clock noise floor).
+//! * `concurrency/read/t<N>` — pure snapshot reads, N threads.
+//! * `concurrency/mixed/p<P>/t<N>` — P% transactional terminal updates
+//!   mixed into the reads (the paper's `P_up`), N threads.
+
+use crate::suite::BenchPoint;
+use fieldrep_catalog::{PathId, Propagation, Strategy};
+use fieldrep_core::{Database, DbConfig};
+use fieldrep_model::{FieldType, TypeDef, Value};
+use fieldrep_storage::Oid;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Shape of the concurrency sweep.
+#[derive(Clone, Debug)]
+pub struct ConcurrencyConfig {
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Employees (sources) in the shared world.
+    pub emps: usize,
+    /// Departments (terminals); fan-out is `emps / depts`.
+    pub depts: usize,
+    /// Snapshot reads per thread in the read-only runs.
+    pub read_ops_per_thread: usize,
+    /// Operations per thread in the mixed runs.
+    pub mixed_ops_per_thread: usize,
+    /// Update percentages for the mixed runs (the paper's `P_up`).
+    pub update_pcts: Vec<u32>,
+    /// RNG seed (per-thread streams derive from it).
+    pub seed: u64,
+}
+
+impl ConcurrencyConfig {
+    /// The nightly sweep: enough operations that the 1- and 4-thread
+    /// read points clear the wall-clock floor and the scaling gate has
+    /// signal.
+    pub fn full() -> ConcurrencyConfig {
+        ConcurrencyConfig {
+            threads: vec![1, 2, 4, 8],
+            emps: 512,
+            depts: 16,
+            read_ops_per_thread: 30_000,
+            mixed_ops_per_thread: 6_000,
+            update_pcts: vec![10, 30],
+            seed: 0xC0C0,
+        }
+    }
+
+    /// Seconds-scale variant for `scripts/check.sh`. Deliberately under
+    /// the wall floor so the scaling gate never judges a smoke run.
+    pub fn smoke() -> ConcurrencyConfig {
+        ConcurrencyConfig {
+            threads: vec![1, 2, 4],
+            emps: 128,
+            depts: 8,
+            read_ops_per_thread: 2_000,
+            mixed_ops_per_thread: 500,
+            update_pcts: vec![10, 30],
+            seed: 0xC0C0,
+        }
+    }
+}
+
+/// The shared world: the Figure-1 chain ORG ← DEPT ← EMP with one path
+/// per strategy (`Emp.dept.name` in-place, `Emp.dept.budget` separate,
+/// `Emp.dept.org.name` collapsed), so the sweep crosses every footprint
+/// code path.
+struct ConcWorld {
+    db: Database,
+    orgs: Vec<Oid>,
+    depts: Vec<Oid>,
+    emps: Vec<Oid>,
+    paths: Vec<PathId>,
+}
+
+fn build_world(cfg: &ConcurrencyConfig) -> Result<ConcWorld, String> {
+    let e = |e: fieldrep_core::DbError| format!("concurrency world: {e}");
+    let mut db = Database::in_memory(DbConfig {
+        pool_pages: 512,
+        inline_link_threshold: 4,
+    });
+    db.define_type(TypeDef::new(
+        "ORG",
+        vec![("name", FieldType::Str), ("budget", FieldType::Int)],
+    ))
+    .map_err(e)?;
+    db.define_type(TypeDef::new(
+        "DEPT",
+        vec![
+            ("name", FieldType::Str),
+            ("budget", FieldType::Int),
+            ("org", FieldType::Ref("ORG".into())),
+        ],
+    ))
+    .map_err(e)?;
+    db.define_type(TypeDef::new(
+        "EMP",
+        vec![
+            ("name", FieldType::Str),
+            ("salary", FieldType::Int),
+            ("dept", FieldType::Ref("DEPT".into())),
+        ],
+    ))
+    .map_err(e)?;
+    db.create_set("Org", "ORG").map_err(e)?;
+    db.create_set("Dept", "DEPT").map_err(e)?;
+    db.create_set("Emp1", "EMP").map_err(e)?;
+    let mut orgs = Vec::new();
+    for i in 0..4 {
+        orgs.push(
+            db.insert(
+                "Org",
+                vec![Value::Str(format!("org{i}")), Value::Int(1000 + i)],
+            )
+            .map_err(e)?,
+        );
+    }
+    let mut depts = Vec::new();
+    for i in 0..cfg.depts {
+        depts.push(
+            db.insert(
+                "Dept",
+                vec![
+                    Value::Str(format!("dept{i}")),
+                    Value::Int(100 * i as i64),
+                    Value::Ref(orgs[i % orgs.len()]),
+                ],
+            )
+            .map_err(e)?,
+        );
+    }
+    let mut emps = Vec::new();
+    for i in 0..cfg.emps {
+        emps.push(
+            db.insert(
+                "Emp1",
+                vec![
+                    Value::Str(format!("emp{i}")),
+                    Value::Int(i as i64),
+                    Value::Ref(depts[i % depts.len()]),
+                ],
+            )
+            .map_err(e)?,
+        );
+    }
+    let paths = vec![
+        db.replicate("Emp1.dept.name", Strategy::InPlace)
+            .map_err(e)?,
+        db.replicate("Emp1.dept.budget", Strategy::Separate)
+            .map_err(e)?,
+        db.replicate_collapsed("Emp1.dept.org.name", Propagation::Eager)
+            .map_err(e)?,
+    ];
+    Ok(ConcWorld {
+        db,
+        orgs,
+        depts,
+        emps,
+        paths,
+    })
+}
+
+/// One thread's loop: `update_pct`% terminal updates through
+/// `update_txn`, the rest snapshot path reads. Returns the operation
+/// count on success.
+fn worker(
+    w: &ConcWorld,
+    thread: usize,
+    ops: usize,
+    update_pct: u32,
+    seed: u64,
+) -> Result<usize, String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (thread as u64).wrapping_mul(0x9E37_79B9));
+    for op in 0..ops {
+        if rng.gen_range(0..100u32) < update_pct {
+            let r = match rng.gen_range(0..3u32) {
+                0 => {
+                    let d = w.depts[rng.gen_range(0..w.depts.len())];
+                    w.db.update_txn(d, &[("name", Value::Str(format!("d{thread}-{op}")))])
+                }
+                1 => {
+                    let d = w.depts[rng.gen_range(0..w.depts.len())];
+                    w.db.update_txn(d, &[("budget", Value::Int(rng.gen_range(0..1_000_000)))])
+                }
+                _ => {
+                    let o = w.orgs[rng.gen_range(0..w.orgs.len())];
+                    w.db.update_txn(o, &[("name", Value::Str(format!("o{thread}-{op}")))])
+                }
+            };
+            r.map_err(|e| format!("thread {thread} op {op} update: {e}"))?;
+        } else {
+            let s = w.emps[rng.gen_range(0..w.emps.len())];
+            let p = w.paths[rng.gen_range(0..w.paths.len())];
+            w.db.snapshot_path_values(s, p)
+                .map_err(|e| format!("thread {thread} op {op} read: {e}"))?;
+        }
+    }
+    Ok(ops)
+}
+
+/// Run `threads` workers and return `(total_ops, elapsed_ms)`.
+fn run_mix(
+    w: &ConcWorld,
+    threads: usize,
+    ops_per_thread: usize,
+    update_pct: u32,
+    seed: u64,
+) -> Result<(usize, f64), String> {
+    let t0 = Instant::now();
+    let total = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| s.spawn(move || worker(w, t, ops_per_thread, update_pct, seed)))
+            .collect();
+        let mut total = 0usize;
+        for h in handles {
+            total += h
+                .join()
+                .map_err(|_| "concurrency worker panicked".to_string())??;
+        }
+        Ok::<usize, String>(total)
+    })?;
+    Ok((total, t0.elapsed().as_nanos() as f64 / 1e6))
+}
+
+fn point(id: String, ops: usize, wall_ms: f64) -> BenchPoint {
+    BenchPoint {
+        id,
+        measured_io: 0.0,
+        model_io: 0.0,
+        drift_pct: 0.0,
+        wall_nanos: (wall_ms * 1e6) as u64,
+        wall_ms,
+        batch_io: 0.0,
+        ops_per_sec: if wall_ms > 0.0 {
+            ops as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Run the sweep; points in matrix order (`host`, then `read/t<N>`,
+/// then `mixed/p<P>/t<N>`).
+pub fn run_concurrency(cfg: &ConcurrencyConfig) -> Result<Vec<BenchPoint>, String> {
+    let w = build_world(cfg)?;
+    // Warmup: fault every emp's page (and the replica pages) in once so
+    // the timed runs measure concurrency, not first-touch I/O.
+    for &e in &w.emps {
+        for &p in &w.paths {
+            w.db.snapshot_path_values(e, p)
+                .map_err(|e| format!("warmup: {e}"))?;
+        }
+    }
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1);
+    let mut points = vec![point("concurrency/host/cpus".into(), 0, 0.0)];
+    points[0].measured_io = cpus as f64;
+    for &n in &cfg.threads {
+        let (ops, ms) = run_mix(&w, n, cfg.read_ops_per_thread, 0, cfg.seed)?;
+        points.push(point(format!("concurrency/read/t{n}"), ops, ms));
+    }
+    for &pct in &cfg.update_pcts {
+        for &n in &cfg.threads {
+            let (ops, ms) = run_mix(&w, n, cfg.mixed_ops_per_thread, pct, cfg.seed)?;
+            points.push(point(format!("concurrency/mixed/p{pct}/t{n}"), ops, ms));
+        }
+    }
+    Ok(points)
+}

@@ -15,6 +15,7 @@
 //! helpers; see `src/bin/` for the per-figure drivers and `benches/` for
 //! the Criterion timing benchmarks.
 
+pub mod concurrency;
 pub mod figures;
 pub mod json;
 pub mod suite;
@@ -501,7 +502,7 @@ mod tests {
     #[test]
     fn workload_object_sizes_match_paper() {
         let spec = WorkloadSpec::paper(1, IndexSetting::Unclustered, None).scaled(200);
-        let mut w = build_workload(spec);
+        let w = build_workload(spec);
         // r = 100 → 33 objects/page → 200 objects on ⌈200/33⌉ = 7 pages.
         let rfile = w.db.catalog().set(w.db.catalog().set_id("R").unwrap()).file;
         assert_eq!(w.db.sm().page_count(rfile).unwrap(), 7);

@@ -32,7 +32,13 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 /// path's wall-clock and grouped-read-call telemetry). v1 documents are
 /// still parsed, with those fields defaulting to 0 — which also disables
 /// wall-clock gating against a v1 baseline.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+///
+/// v3 added `ops_per_sec` and the `concurrency/…` point family (the
+/// multi-threaded snapshot-read/`update_txn` throughput sweep). v1 and
+/// v2 documents still parse, with `ops_per_sec` defaulting to 0 — the
+/// read-scaling gate only judges the *new* report, so old baselines
+/// never trip it.
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// Wall-clock readings below this are considered noise and never gated.
 pub const WALL_FLOOR_MS: f64 = 5.0;
@@ -121,6 +127,9 @@ pub struct BenchPoint {
     /// the syscall/seek proxy; `measured_io / batch_io` ≈ mean batch
     /// length. 0 for non-`io/` points and v1 documents.
     pub batch_io: f64,
+    /// Operations per second, for `concurrency/…` throughput points.
+    /// 0 for all other points and for pre-v3 documents.
+    pub ops_per_sec: f64,
 }
 
 /// A full suite run, serialisable to/from `BENCH_*.json`.
@@ -177,6 +186,7 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
                         wall_nanos: 0,
                         wall_ms: 0.0,
                         batch_io: 0.0,
+                        ops_per_sec: 0.0,
                     });
                 }
             }
@@ -199,6 +209,7 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
                     wall_nanos: cell.read_nanos,
                     wall_ms: cell.read_nanos as f64 / 1e6,
                     batch_io: cell.read_calls,
+                    ops_per_sec: 0.0,
                 });
                 points.push(BenchPoint {
                     id: format!("{base}/update"),
@@ -208,6 +219,7 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
                     wall_nanos: cell.update_nanos,
                     wall_ms: cell.update_nanos as f64 / 1e6,
                     batch_io: cell.update_calls,
+                    ops_per_sec: 0.0,
                 });
 
                 // Propagation fan-out: the `core.propagate` slice of one
@@ -242,6 +254,7 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
                         wall_nanos: run.profile.total_nanos as u64,
                         wall_ms: run.profile.total_nanos as f64 / 1e6,
                         batch_io: 0.0,
+                        ops_per_sec: 0.0,
                     });
                 }
 
@@ -261,6 +274,7 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
                     wall_nanos: 0,
                     wall_ms: 0.0,
                     batch_io: 0.0,
+                    ops_per_sec: 0.0,
                 });
             }
         }
@@ -279,6 +293,7 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
             wall_nanos: (ms * 1e6) as u64,
             wall_ms: ms,
             batch_io: 0.0,
+            ops_per_sec: 0.0,
         });
     }
 
@@ -296,8 +311,20 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
             wall_nanos: (ms * 1e6) as u64,
             wall_ms: ms,
             batch_io: 0.0,
+            ops_per_sec: 0.0,
         });
     }
+
+    // Multi-threaded throughput: snapshot readers and OID-ordered
+    // transactional writers over one shared database (schema v3's
+    // `concurrency/…` family). An engine error here is a found bug,
+    // not a measurement problem — fail the suite loudly.
+    let conc = if cfg.smoke {
+        crate::concurrency::ConcurrencyConfig::smoke()
+    } else {
+        crate::concurrency::ConcurrencyConfig::full()
+    };
+    points.extend(crate::concurrency::run_concurrency(&conc).expect("concurrency sweep"));
 
     let mut metrics = vec![export::run_meta_jsonl(run_id)];
     metrics.extend(export::snapshot_jsonl(&registry().snapshot()));
@@ -443,6 +470,7 @@ impl SuiteReport {
                         ("wall_nanos".into(), Json::Num(p.wall_nanos as f64)),
                         ("wall_ms".into(), Json::Num(p.wall_ms)),
                         ("batch_io".into(), Json::Num(p.batch_io)),
+                        ("ops_per_sec".into(), Json::Num(p.ops_per_sec)),
                     ])
                 })
                 .collect(),
@@ -468,17 +496,18 @@ impl SuiteReport {
     }
 
     /// Parse a report written by [`SuiteReport::to_json`]. Accepts the
-    /// current schema and v1 (whose points lack `wall_ms` / `batch_io`;
-    /// they default to 0, which exempts them from wall-clock gating).
+    /// current schema and every earlier one (v1 points lack `wall_ms` /
+    /// `batch_io`, v1/v2 points lack `ops_per_sec`; missing fields
+    /// default to 0, which exempts them from the corresponding gates).
     pub fn parse(src: &str) -> Result<SuiteReport, String> {
         let doc = Json::parse(src)?;
         let version = doc
             .get("schema_version")
             .and_then(Json::as_f64)
             .ok_or("missing schema_version")? as u32;
-        if version != BENCH_SCHEMA_VERSION && version != 1 {
+        if !(1..=BENCH_SCHEMA_VERSION).contains(&version) {
             return Err(format!(
-                "schema_version {version} unsupported (expected {BENCH_SCHEMA_VERSION} or 1)"
+                "schema_version {version} unsupported (expected 1..={BENCH_SCHEMA_VERSION})"
             ));
         }
         let num = |p: &Json, k: &str| -> Result<f64, String> {
@@ -505,6 +534,8 @@ impl SuiteReport {
                     // v2 fields; absent in v1 documents.
                     wall_ms: p.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
                     batch_io: p.get("batch_io").and_then(Json::as_f64).unwrap_or(0.0),
+                    // v3 field; absent in v1/v2 documents.
+                    ops_per_sec: p.get("ops_per_sec").and_then(Json::as_f64).unwrap_or(0.0),
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -550,6 +581,14 @@ pub struct GateThresholds {
     /// (same machine, same run). Only applied when the "off" reading
     /// clears [`WALL_FLOOR_MS`]; `<= 0` disables the check.
     pub max_obs_overhead_pct: f64,
+    /// Minimum `concurrency/read/t4` ÷ `concurrency/read/t1` throughput
+    /// ratio **within the new report**: snapshot readers never block, so
+    /// read throughput must scale with threads. Only applied when the
+    /// producing host reported at least 4 CPUs (`concurrency/host/cpus`)
+    /// and both readings ran long enough to clear [`WALL_FLOOR_MS`] — a
+    /// 1-core CI box physically cannot scale and a sub-floor smoke run
+    /// is noise. `<= 0` disables the check.
+    pub min_read_scaling: f64,
 }
 
 impl Default for GateThresholds {
@@ -559,6 +598,7 @@ impl Default for GateThresholds {
             max_drift_pct: 60.0,
             max_wall_regress_pct: 15.0,
             max_obs_overhead_pct: 5.0,
+            min_read_scaling: 2.0,
         }
     }
 }
@@ -575,9 +615,10 @@ pub fn gate(old: &SuiteReport, new: &SuiteReport, t: &GateThresholds) -> Vec<Str
             violations.push(format!("{}: point missing from new report", op.id));
             continue;
         };
-        if op.id.starts_with("overhead/") {
-            // Overhead points are compared within the new report below;
-            // their absolute wall clock is machine-dependent noise here.
+        if op.id.starts_with("overhead/") || op.id.starts_with("concurrency/") {
+            // Overhead and concurrency points are judged within the new
+            // report below (on/off pairs; thread-scaling ratios); their
+            // absolute readings are machine-dependent noise here.
             continue;
         }
         let regress = 100.0 * (np.measured_io - op.measured_io) / op.measured_io.max(1.0);
@@ -631,6 +672,28 @@ pub fn gate(old: &SuiteReport, new: &SuiteReport, t: &GateThresholds) -> Vec<Str
             }
         }
     }
+    if t.min_read_scaling > 0.0 {
+        let find = |id: &str| new.points.iter().find(|p| p.id == id);
+        let cpus = find("concurrency/host/cpus")
+            .map(|p| p.measured_io)
+            .unwrap_or(0.0);
+        if let (Some(p1), Some(p4)) = (find("concurrency/read/t1"), find("concurrency/read/t4")) {
+            if cpus >= 4.0
+                && p1.wall_ms >= WALL_FLOOR_MS
+                && p4.wall_ms >= WALL_FLOOR_MS
+                && p1.ops_per_sec > 0.0
+            {
+                let scaling = p4.ops_per_sec / p1.ops_per_sec;
+                if scaling < t.min_read_scaling {
+                    violations.push(format!(
+                        "concurrency/read: 4-thread snapshot reads scale only {scaling:.2}x over \
+                         1 thread ({:.0} -> {:.0} ops/s on a {cpus:.0}-CPU host, minimum {:.1}x)",
+                        p1.ops_per_sec, p4.ops_per_sec, t.min_read_scaling
+                    ));
+                }
+            }
+        }
+    }
     violations
 }
 
@@ -668,6 +731,22 @@ mod tests {
                 .count(),
             24,
             "2 figures x 2 sharing levels x 3 strategies x read+update"
+        );
+        let read_t1 = r
+            .points
+            .iter()
+            .find(|p| p.id == "concurrency/read/t1")
+            .expect("concurrency read point");
+        assert!(read_t1.ops_per_sec > 0.0, "throughput must be measured");
+        assert!(
+            r.points.iter().any(|p| p.id == "concurrency/host/cpus"),
+            "host parallelism must be recorded for the scaling gate"
+        );
+        assert!(
+            r.points
+                .iter()
+                .any(|p| p.id.starts_with("concurrency/mixed/p30/")),
+            "mixed-update sweep must be present"
         );
         assert!(r.metrics.iter().any(|l| l.contains("\"type\":\"run\"")));
         assert!(
@@ -722,8 +801,17 @@ mod tests {
         let r = tiny_report();
         let bumped = r
             .to_json()
-            .replacen("\"schema_version\":2", "\"schema_version\":99", 1);
+            .replacen("\"schema_version\":3", "\"schema_version\":99", 1);
         assert!(SuiteReport::parse(&bumped).is_err());
+        // Every released schema still parses.
+        for old in ["1", "2"] {
+            let back = r.to_json().replacen(
+                "\"schema_version\":3",
+                &format!("\"schema_version\":{old}"),
+                1,
+            );
+            assert!(SuiteReport::parse(&back).is_ok(), "v{old} must parse");
+        }
     }
 
     #[test]
@@ -782,6 +870,49 @@ mod tests {
             ..GateThresholds::default()
         };
         assert!(gate(&old, &new, &off).is_empty());
+    }
+
+    #[test]
+    fn read_scaling_gate_is_host_and_floor_guarded() {
+        let r = tiny_report();
+        let set = |rep: &mut SuiteReport, id: &str, ops: f64, ms: f64| {
+            let p = rep.points.iter_mut().find(|p| p.id == id).unwrap();
+            p.ops_per_sec = ops;
+            p.wall_ms = ms;
+            if id == "concurrency/host/cpus" {
+                p.measured_io = ops;
+            }
+        };
+        // An 8-CPU host whose 4-thread reads only reach 1.5x: caught.
+        let mut flat = r.clone();
+        set(&mut flat, "concurrency/host/cpus", 8.0, 0.0);
+        set(&mut flat, "concurrency/read/t1", 100_000.0, 50.0);
+        set(&mut flat, "concurrency/read/t4", 150_000.0, 40.0);
+        let v = gate(&r, &flat, &GateThresholds::default());
+        assert!(v.iter().any(|m| m.contains("scale only 1.50x")), "{v:?}");
+        // 2.5x scaling on the same host: passes.
+        let mut scaled = flat.clone();
+        set(&mut scaled, "concurrency/read/t4", 250_000.0, 40.0);
+        assert!(gate(&r, &scaled, &GateThresholds::default()).is_empty());
+        // A 1-CPU host physically cannot scale: exempt.
+        let mut small = flat.clone();
+        set(&mut small, "concurrency/host/cpus", 1.0, 0.0);
+        assert!(gate(&r, &small, &GateThresholds::default()).is_empty());
+        // Sub-floor readings (the smoke config) are noise: exempt.
+        let mut fast = flat.clone();
+        set(&mut fast, "concurrency/read/t1", 100_000.0, 1.0);
+        assert!(gate(&r, &fast, &GateThresholds::default()).is_empty());
+        // Threshold <= 0 disables the check.
+        let off = GateThresholds {
+            min_read_scaling: 0.0,
+            ..GateThresholds::default()
+        };
+        assert!(gate(&r, &flat, &off).is_empty());
+        // Concurrency points are exempt from the old-vs-new wall
+        // comparison (machine-dependent; judged within one run instead).
+        let mut slow = r.clone();
+        set(&mut slow, "concurrency/read/t1", 1.0, 1e6);
+        assert!(gate(&r, &slow, &GateThresholds::default()).is_empty());
     }
 
     #[test]

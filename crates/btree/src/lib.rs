@@ -72,7 +72,7 @@ fn split_composite(comp: &[u8]) -> (Vec<u8>, Oid) {
 
 impl BTreeIndex {
     /// Create an empty index (meta page + one empty leaf as root).
-    pub fn create(sm: &mut StorageManager) -> Result<BTreeIndex> {
+    pub fn create(sm: &StorageManager) -> Result<BTreeIndex> {
         let file = sm.create_file()?;
         let (meta_pid, meta) = sm.pool().new_page(file)?;
         debug_assert_eq!(meta_pid.page, 0);
@@ -94,13 +94,13 @@ impl BTreeIndex {
         BTreeIndex { file }
     }
 
-    fn meta(&self, sm: &mut StorageManager) -> Result<(u32, u16, u64)> {
+    fn meta(&self, sm: &StorageManager) -> Result<(u32, u16, u64)> {
         let h = sm.pool().fetch(PageId::new(self.file, 0))?;
         let data = h.data();
         Ok(read_meta(&data[..]))
     }
 
-    fn set_meta(&self, sm: &mut StorageManager, root: u32, height: u16, count: u64) -> Result<()> {
+    fn set_meta(&self, sm: &StorageManager, root: u32, height: u16, count: u64) -> Result<()> {
         let h = sm.pool().fetch(PageId::new(self.file, 0))?;
         let mut data = h.data_mut();
         write_meta(&mut data[..], root, height, count);
@@ -108,29 +108,29 @@ impl BTreeIndex {
     }
 
     /// Number of entries in the index.
-    pub fn entry_count(&self, sm: &mut StorageManager) -> Result<u64> {
+    pub fn entry_count(&self, sm: &StorageManager) -> Result<u64> {
         Ok(self.meta(sm)?.2)
     }
 
     /// Height of the tree (1 = root is a leaf).
-    pub fn height(&self, sm: &mut StorageManager) -> Result<u16> {
+    pub fn height(&self, sm: &StorageManager) -> Result<u16> {
         Ok(self.meta(sm)?.1)
     }
 
-    fn load_node(&self, sm: &mut StorageManager, page: u32) -> Result<Node> {
+    fn load_node(&self, sm: &StorageManager, page: u32) -> Result<Node> {
         let h = sm.pool().fetch(PageId::new(self.file, page))?;
         let data = h.data();
         Ok(Node::parse(&data[..]))
     }
 
-    fn store_node(&self, sm: &mut StorageManager, page: u32, node: &Node) -> Result<()> {
+    fn store_node(&self, sm: &StorageManager, page: u32, node: &Node) -> Result<()> {
         let h = sm.pool().fetch(PageId::new(self.file, page))?;
         let mut data = h.data_mut();
         node.serialize(&mut data[..]);
         Ok(())
     }
 
-    fn alloc_node(&self, sm: &mut StorageManager, node: &Node) -> Result<u32> {
+    fn alloc_node(&self, sm: &StorageManager, node: &Node) -> Result<u32> {
         let (pid, h) = sm.pool().new_page(self.file)?;
         let mut data = h.data_mut();
         node.serialize(&mut data[..]);
@@ -141,7 +141,7 @@ impl BTreeIndex {
     /// `(key, oid)` pair must be unique (inserting it twice is an error
     /// surfaced as `Corrupt`, because the replication engine relies on
     /// exact-once index maintenance).
-    pub fn insert(&self, sm: &mut StorageManager, key: &[u8], oid: Oid) -> Result<()> {
+    pub fn insert(&self, sm: &StorageManager, key: &[u8], oid: Oid) -> Result<()> {
         let _span = Span::enter(obs_names::BTREE_INSERT);
         let comp = composite(key, oid);
         let (root, height, count) = self.meta(sm)?;
@@ -159,7 +159,7 @@ impl BTreeIndex {
         Ok(())
     }
 
-    fn min_key_of(&self, sm: &mut StorageManager, page: u32) -> Result<Vec<u8>> {
+    fn min_key_of(&self, sm: &StorageManager, page: u32) -> Result<Vec<u8>> {
         let node = self.load_node(sm, page)?;
         Ok(node
             .entries
@@ -172,7 +172,7 @@ impl BTreeIndex {
     /// if this node split.
     fn insert_rec(
         &self,
-        sm: &mut StorageManager,
+        sm: &StorageManager,
         page: u32,
         comp: &[u8],
         oid: Oid,
@@ -220,7 +220,7 @@ impl BTreeIndex {
     }
 
     /// Delete the exact `(key, oid)` entry. Returns `true` if it existed.
-    pub fn delete(&self, sm: &mut StorageManager, key: &[u8], oid: Oid) -> Result<bool> {
+    pub fn delete(&self, sm: &StorageManager, key: &[u8], oid: Oid) -> Result<bool> {
         let comp = composite(key, oid);
         let (root, height, count) = self.meta(sm)?;
         let mut page = root;
@@ -246,7 +246,7 @@ impl BTreeIndex {
     }
 
     /// All OIDs stored under exactly `key`, in OID order.
-    pub fn lookup(&self, sm: &mut StorageManager, key: &[u8]) -> Result<Vec<Oid>> {
+    pub fn lookup(&self, sm: &StorageManager, key: &[u8]) -> Result<Vec<Oid>> {
         let _span = Span::enter(obs_names::BTREE_LOOKUP);
         Ok(self
             .range(sm, key, key)?
@@ -257,7 +257,7 @@ impl BTreeIndex {
 
     /// All `(key, oid)` entries with `lo ≤ key ≤ hi` (user keys, both
     /// inclusive), in key order.
-    pub fn range(&self, sm: &mut StorageManager, lo: &[u8], hi: &[u8]) -> Result<Vec<Entry>> {
+    pub fn range(&self, sm: &StorageManager, lo: &[u8], hi: &[u8]) -> Result<Vec<Entry>> {
         let span = Span::enter(obs_names::BTREE_RANGE);
         let lo_comp = composite(lo, Oid::new(FileId(0), 0, 0));
         let mut hi_comp = hi.to_vec();
@@ -301,7 +301,7 @@ impl BTreeIndex {
     }
 
     /// Every entry in the index, in key order.
-    pub fn scan_all(&self, sm: &mut StorageManager) -> Result<Vec<Entry>> {
+    pub fn scan_all(&self, sm: &StorageManager) -> Result<Vec<Entry>> {
         self.range(sm, &[], &[0xFF; 64])
     }
 
@@ -310,7 +310,7 @@ impl BTreeIndex {
     /// `fill` is the leaf/internal fill factor in `(0, 1]`; the benchmark
     /// harness uses 1.0 for static files (the paper's sets never grow
     /// during an experiment).
-    pub fn bulk_load(sm: &mut StorageManager, entries: &[Entry], fill: f64) -> Result<BTreeIndex> {
+    pub fn bulk_load(sm: &StorageManager, entries: &[Entry], fill: f64) -> Result<BTreeIndex> {
         let span = Span::enter(obs_names::BTREE_BULK_LOAD);
         span.note("entries", entries.len());
         assert!(fill > 0.0 && fill <= 1.0, "bad fill factor");
@@ -378,7 +378,7 @@ impl BTreeIndex {
     }
 
     /// Number of pages in the index file.
-    pub fn pages(&self, sm: &mut StorageManager) -> Result<u32> {
+    pub fn pages(&self, sm: &StorageManager) -> Result<u32> {
         sm.page_count(self.file)
     }
 }
@@ -411,35 +411,35 @@ mod tests {
 
     #[test]
     fn empty_index() {
-        let mut sm = sm();
-        let idx = BTreeIndex::create(&mut sm).unwrap();
-        assert_eq!(idx.entry_count(&mut sm).unwrap(), 0);
-        assert_eq!(idx.height(&mut sm).unwrap(), 1);
-        assert!(idx.lookup(&mut sm, &encode_i64(5)).unwrap().is_empty());
-        assert!(idx.scan_all(&mut sm).unwrap().is_empty());
+        let sm = sm();
+        let idx = BTreeIndex::create(&sm).unwrap();
+        assert_eq!(idx.entry_count(&sm).unwrap(), 0);
+        assert_eq!(idx.height(&sm).unwrap(), 1);
+        assert!(idx.lookup(&sm, &encode_i64(5)).unwrap().is_empty());
+        assert!(idx.scan_all(&sm).unwrap().is_empty());
     }
 
     #[test]
     fn insert_lookup_small() {
-        let mut sm = sm();
-        let idx = BTreeIndex::create(&mut sm).unwrap();
+        let sm = sm();
+        let idx = BTreeIndex::create(&sm).unwrap();
         for i in 0..100i64 {
-            idx.insert(&mut sm, &encode_i64(i), oid(i as u32)).unwrap();
+            idx.insert(&sm, &encode_i64(i), oid(i as u32)).unwrap();
         }
-        assert_eq!(idx.entry_count(&mut sm).unwrap(), 100);
+        assert_eq!(idx.entry_count(&sm).unwrap(), 100);
         for i in 0..100i64 {
             assert_eq!(
-                idx.lookup(&mut sm, &encode_i64(i)).unwrap(),
+                idx.lookup(&sm, &encode_i64(i)).unwrap(),
                 vec![oid(i as u32)]
             );
         }
-        assert!(idx.lookup(&mut sm, &encode_i64(100)).unwrap().is_empty());
+        assert!(idx.lookup(&sm, &encode_i64(100)).unwrap().is_empty());
     }
 
     #[test]
     fn inserts_cause_splits_and_stay_sorted() {
-        let mut sm = sm();
-        let idx = BTreeIndex::create(&mut sm).unwrap();
+        let sm = sm();
+        let idx = BTreeIndex::create(&sm).unwrap();
         // Insert in a scrambled order to exercise splits everywhere.
         let n: i64 = 5000;
         let mut order: Vec<i64> = (0..n).collect();
@@ -448,10 +448,10 @@ mod tests {
             order.swap(i, j);
         }
         for &i in &order {
-            idx.insert(&mut sm, &encode_i64(i), oid(i as u32)).unwrap();
+            idx.insert(&sm, &encode_i64(i), oid(i as u32)).unwrap();
         }
-        assert!(idx.height(&mut sm).unwrap() >= 2, "tree actually split");
-        let all = idx.scan_all(&mut sm).unwrap();
+        assert!(idx.height(&sm).unwrap() >= 2, "tree actually split");
+        let all = idx.scan_all(&sm).unwrap();
         assert_eq!(all.len(), n as usize);
         for (i, (k, o)) in all.iter().enumerate() {
             assert_eq!(keys::decode_i64(k), i as i64);
@@ -461,113 +461,106 @@ mod tests {
 
     #[test]
     fn duplicate_user_keys() {
-        let mut sm = sm();
-        let idx = BTreeIndex::create(&mut sm).unwrap();
+        let sm = sm();
+        let idx = BTreeIndex::create(&sm).unwrap();
         for i in 0..50u32 {
-            idx.insert(&mut sm, &encode_i64(7), oid(i)).unwrap();
+            idx.insert(&sm, &encode_i64(7), oid(i)).unwrap();
         }
-        let hits = idx.lookup(&mut sm, &encode_i64(7)).unwrap();
+        let hits = idx.lookup(&sm, &encode_i64(7)).unwrap();
         assert_eq!(hits.len(), 50);
         let mut sorted = hits.clone();
         sorted.sort();
         assert_eq!(hits, sorted, "duplicates come back in OID order");
         // Exact duplicate (key, oid) is rejected.
-        assert!(idx.insert(&mut sm, &encode_i64(7), oid(3)).is_err());
+        assert!(idx.insert(&sm, &encode_i64(7), oid(3)).is_err());
     }
 
     #[test]
     fn range_scan_inclusive() {
-        let mut sm = sm();
-        let idx = BTreeIndex::create(&mut sm).unwrap();
+        let sm = sm();
+        let idx = BTreeIndex::create(&sm).unwrap();
         for i in 0..1000i64 {
-            idx.insert(&mut sm, &encode_i64(i * 2), oid(i as u32))
-                .unwrap();
+            idx.insert(&sm, &encode_i64(i * 2), oid(i as u32)).unwrap();
         }
-        let hits = idx
-            .range(&mut sm, &encode_i64(100), &encode_i64(200))
-            .unwrap();
+        let hits = idx.range(&sm, &encode_i64(100), &encode_i64(200)).unwrap();
         // Even keys 100..=200 → 51 entries.
         assert_eq!(hits.len(), 51);
         assert_eq!(keys::decode_i64(&hits[0].0), 100);
         assert_eq!(keys::decode_i64(&hits.last().unwrap().0), 200);
         // Bounds that fall between keys.
-        let hits = idx
-            .range(&mut sm, &encode_i64(101), &encode_i64(103))
-            .unwrap();
+        let hits = idx.range(&sm, &encode_i64(101), &encode_i64(103)).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(keys::decode_i64(&hits[0].0), 102);
     }
 
     #[test]
     fn delete_exact_entries() {
-        let mut sm = sm();
-        let idx = BTreeIndex::create(&mut sm).unwrap();
+        let sm = sm();
+        let idx = BTreeIndex::create(&sm).unwrap();
         for i in 0..2000i64 {
-            idx.insert(&mut sm, &encode_i64(i), oid(i as u32)).unwrap();
+            idx.insert(&sm, &encode_i64(i), oid(i as u32)).unwrap();
         }
         for i in (0..2000i64).step_by(2) {
-            assert!(idx.delete(&mut sm, &encode_i64(i), oid(i as u32)).unwrap());
+            assert!(idx.delete(&sm, &encode_i64(i), oid(i as u32)).unwrap());
         }
-        assert_eq!(idx.entry_count(&mut sm).unwrap(), 1000);
-        assert!(!idx.delete(&mut sm, &encode_i64(0), oid(0)).unwrap());
+        assert_eq!(idx.entry_count(&sm).unwrap(), 1000);
+        assert!(!idx.delete(&sm, &encode_i64(0), oid(0)).unwrap());
         for i in (1..2000i64).step_by(2) {
-            assert_eq!(idx.lookup(&mut sm, &encode_i64(i)).unwrap().len(), 1);
+            assert_eq!(idx.lookup(&sm, &encode_i64(i)).unwrap().len(), 1);
         }
         for i in (0..2000i64).step_by(2) {
-            assert!(idx.lookup(&mut sm, &encode_i64(i)).unwrap().is_empty());
+            assert!(idx.lookup(&sm, &encode_i64(i)).unwrap().is_empty());
         }
         // Delete with the right key but wrong oid.
-        assert!(!idx.delete(&mut sm, &encode_i64(1), oid(999_999)).unwrap());
+        assert!(!idx.delete(&sm, &encode_i64(1), oid(999_999)).unwrap());
     }
 
     #[test]
     fn bulk_load_equals_incremental() {
-        let mut sm = sm();
+        let sm = sm();
         let entries: Vec<Entry> = (0..20_000i64)
             .map(|i| (encode_i64(i).to_vec(), oid(i as u32)))
             .collect();
-        let idx = BTreeIndex::bulk_load(&mut sm, &entries, 1.0).unwrap();
-        assert_eq!(idx.entry_count(&mut sm).unwrap(), 20_000);
-        let all = idx.scan_all(&mut sm).unwrap();
+        let idx = BTreeIndex::bulk_load(&sm, &entries, 1.0).unwrap();
+        assert_eq!(idx.entry_count(&sm).unwrap(), 20_000);
+        let all = idx.scan_all(&sm).unwrap();
         assert_eq!(all.len(), 20_000);
         for (i, (k, o)) in all.iter().enumerate() {
             assert_eq!(keys::decode_i64(k), i as i64);
             assert_eq!(*o, oid(i as u32));
         }
         // Point lookups and deletes work on a bulk-loaded tree.
-        assert_eq!(idx.lookup(&mut sm, &encode_i64(12_345)).unwrap().len(), 1);
-        assert!(idx
-            .delete(&mut sm, &encode_i64(12_345), oid(12_345))
-            .unwrap());
-        assert!(idx.lookup(&mut sm, &encode_i64(12_345)).unwrap().is_empty());
+        assert_eq!(idx.lookup(&sm, &encode_i64(12_345)).unwrap().len(), 1);
+        assert!(idx.delete(&sm, &encode_i64(12_345), oid(12_345)).unwrap());
+        assert!(idx.lookup(&sm, &encode_i64(12_345)).unwrap().is_empty());
         // Inserts after bulk load still split correctly.
         for i in 0..100u32 {
-            idx.insert(&mut sm, &encode_i64(50_000), oid(1_000_000 + i))
+            idx.insert(&sm, &encode_i64(50_000), oid(1_000_000 + i))
                 .unwrap();
         }
-        assert_eq!(idx.lookup(&mut sm, &encode_i64(50_000)).unwrap().len(), 100);
+        assert_eq!(idx.lookup(&sm, &encode_i64(50_000)).unwrap().len(), 100);
     }
 
     #[test]
     fn bulk_load_empty_and_single() {
-        let mut sm = sm();
-        let idx = BTreeIndex::bulk_load(&mut sm, &[], 1.0).unwrap();
-        assert_eq!(idx.entry_count(&mut sm).unwrap(), 0);
+        let sm = sm();
+        let idx = BTreeIndex::bulk_load(&sm, &[], 1.0).unwrap();
+        assert_eq!(idx.entry_count(&sm).unwrap(), 0);
         let one = vec![(encode_i64(1).to_vec(), oid(1))];
-        let idx = BTreeIndex::bulk_load(&mut sm, &one, 1.0).unwrap();
-        assert_eq!(idx.lookup(&mut sm, &encode_i64(1)).unwrap(), vec![oid(1)]);
+        let idx = BTreeIndex::bulk_load(&sm, &one, 1.0).unwrap();
+        assert_eq!(idx.lookup(&sm, &encode_i64(1)).unwrap(), vec![oid(1)]);
     }
 
     #[test]
     fn string_keys() {
-        let mut sm = sm();
-        let idx = BTreeIndex::create(&mut sm).unwrap();
+        let sm = sm();
+        let idx = BTreeIndex::create(&sm).unwrap();
         let names = ["delta", "alpha", "charlie", "bravo", "echo"];
         for (i, n) in names.iter().enumerate() {
-            idx.insert(&mut sm, &keys::encode_bytes(n.as_bytes()), oid(i as u32))
+            idx.insert(&sm, &keys::encode_bytes(n.as_bytes()), oid(i as u32))
                 .unwrap();
         }
-        let all = idx.scan_all(&mut sm).unwrap();
+        let all = idx.scan_all(&sm).unwrap();
         let decoded: Vec<String> = all
             .iter()
             .map(|(k, _)| String::from_utf8(keys::decode_bytes(k).0).unwrap())
@@ -581,11 +574,11 @@ mod tests {
         // suffixes our leaf fanout is 4054/26 ≈ 155 and internal fanout
         // 4054/22 ≈ 184 — same order of magnitude; the analytical model
         // keeps the paper's m = 350.
-        let mut sm = sm();
+        let sm = sm();
         let entries: Vec<Entry> = (0..100_000i64)
             .map(|i| (encode_i64(i).to_vec(), oid(i as u32)))
             .collect();
-        let idx = BTreeIndex::bulk_load(&mut sm, &entries, 1.0).unwrap();
-        assert!(idx.height(&mut sm).unwrap() <= 3);
+        let idx = BTreeIndex::bulk_load(&sm, &entries, 1.0).unwrap();
+        assert!(idx.height(&sm).unwrap() <= 3);
     }
 }

@@ -14,8 +14,8 @@ fn oid(n: u32) -> Oid {
 
 #[test]
 fn incremental_growth_to_height_three() {
-    let mut sm = sm();
-    let idx = BTreeIndex::create(&mut sm).unwrap();
+    let sm = sm();
+    let idx = BTreeIndex::create(&sm).unwrap();
     // Long keys force low fanout, so height 3 arrives quickly.
     let key = |i: i64| {
         let mut k = vec![0xAB; 100];
@@ -24,36 +24,36 @@ fn incremental_growth_to_height_three() {
     };
     let n = 4000i64;
     for i in 0..n {
-        idx.insert(&mut sm, &key(i * 7 % n), oid(i as u32)).unwrap();
+        idx.insert(&sm, &key(i * 7 % n), oid(i as u32)).unwrap();
     }
-    assert!(idx.height(&mut sm).unwrap() >= 3, "forced a deep tree");
-    assert_eq!(idx.entry_count(&mut sm).unwrap(), n as u64);
+    assert!(idx.height(&sm).unwrap() >= 3, "forced a deep tree");
+    assert_eq!(idx.entry_count(&sm).unwrap(), n as u64);
     // Everything still findable.
     for i in (0..n).step_by(97) {
-        assert_eq!(idx.lookup(&mut sm, &key(i)).unwrap().len(), 1, "key {i}");
+        assert_eq!(idx.lookup(&sm, &key(i)).unwrap().len(), 1, "key {i}");
     }
     // Full scan sorted and complete.
-    let all = idx.scan_all(&mut sm).unwrap();
+    let all = idx.scan_all(&sm).unwrap();
     assert_eq!(all.len(), n as usize);
     assert!(all.windows(2).all(|w| w[0].0 <= w[1].0));
 }
 
 #[test]
 fn range_scan_across_emptied_leaves() {
-    let mut sm = sm();
+    let sm = sm();
     let entries: Vec<Entry> = (0..5000i64)
         .map(|i| (keys::encode_i64(i).to_vec(), oid(i as u32)))
         .collect();
-    let idx = BTreeIndex::bulk_load(&mut sm, &entries, 1.0).unwrap();
+    let idx = BTreeIndex::bulk_load(&sm, &entries, 1.0).unwrap();
     // Empty out a band of keys in the middle (several whole leaves).
     for i in 1000..3000i64 {
         assert!(idx
-            .delete(&mut sm, &keys::encode_i64(i), oid(i as u32))
+            .delete(&sm, &keys::encode_i64(i), oid(i as u32))
             .unwrap());
     }
     // A range spanning the hole sees exactly the survivors.
     let hits = idx
-        .range(&mut sm, &keys::encode_i64(500), &keys::encode_i64(3499))
+        .range(&sm, &keys::encode_i64(500), &keys::encode_i64(3499))
         .unwrap();
     assert_eq!(hits.len(), 500 + 500); // 500..999 and 3000..3499
     assert_eq!(keys::decode_i64(&hits[0].0), 500);
@@ -62,73 +62,63 @@ fn range_scan_across_emptied_leaves() {
 
 #[test]
 fn many_duplicates_span_leaves() {
-    let mut sm = sm();
-    let idx = BTreeIndex::create(&mut sm).unwrap();
+    let sm = sm();
+    let idx = BTreeIndex::create(&sm).unwrap();
     // 2000 entries under ONE user key: duplicates must span many leaves
     // and still come back complete and OID-sorted.
     let key = keys::encode_i64(42);
     for i in 0..2000u32 {
-        idx.insert(&mut sm, &key, oid(i)).unwrap();
+        idx.insert(&sm, &key, oid(i)).unwrap();
     }
-    let hits = idx.lookup(&mut sm, &key).unwrap();
+    let hits = idx.lookup(&sm, &key).unwrap();
     assert_eq!(hits.len(), 2000);
     assert!(hits.windows(2).all(|w| w[0] < w[1]));
     // Neighbouring keys are unaffected.
-    assert!(idx
-        .lookup(&mut sm, &keys::encode_i64(41))
-        .unwrap()
-        .is_empty());
-    assert!(idx
-        .lookup(&mut sm, &keys::encode_i64(43))
-        .unwrap()
-        .is_empty());
+    assert!(idx.lookup(&sm, &keys::encode_i64(41)).unwrap().is_empty());
+    assert!(idx.lookup(&sm, &keys::encode_i64(43)).unwrap().is_empty());
     // Delete a specific (key, oid) out of the middle.
-    assert!(idx.delete(&mut sm, &key, oid(1000)).unwrap());
-    assert_eq!(idx.lookup(&mut sm, &key).unwrap().len(), 1999);
+    assert!(idx.delete(&sm, &key, oid(1000)).unwrap());
+    assert_eq!(idx.lookup(&sm, &key).unwrap().len(), 1999);
 }
 
 #[test]
 fn empty_range_and_reversed_bounds() {
-    let mut sm = sm();
+    let sm = sm();
     let entries: Vec<Entry> = (0..100i64)
         .map(|i| (keys::encode_i64(i * 10).to_vec(), oid(i as u32)))
         .collect();
-    let idx = BTreeIndex::bulk_load(&mut sm, &entries, 1.0).unwrap();
+    let idx = BTreeIndex::bulk_load(&sm, &entries, 1.0).unwrap();
     // Range strictly between keys.
     assert!(idx
-        .range(&mut sm, &keys::encode_i64(11), &keys::encode_i64(19))
+        .range(&sm, &keys::encode_i64(11), &keys::encode_i64(19))
         .unwrap()
         .is_empty());
     // Range below and above all keys.
     assert!(idx
-        .range(&mut sm, &keys::encode_i64(-100), &keys::encode_i64(-1))
+        .range(&sm, &keys::encode_i64(-100), &keys::encode_i64(-1))
         .unwrap()
         .is_empty());
     assert!(idx
-        .range(
-            &mut sm,
-            &keys::encode_i64(10_000),
-            &keys::encode_i64(20_000)
-        )
+        .range(&sm, &keys::encode_i64(10_000), &keys::encode_i64(20_000))
         .unwrap()
         .is_empty());
     // Inverted bounds: empty, not an error.
     assert!(idx
-        .range(&mut sm, &keys::encode_i64(500), &keys::encode_i64(100))
+        .range(&sm, &keys::encode_i64(500), &keys::encode_i64(100))
         .unwrap()
         .is_empty());
 }
 
 #[test]
 fn mixed_string_lengths() {
-    let mut sm = sm();
-    let idx = BTreeIndex::create(&mut sm).unwrap();
+    let sm = sm();
+    let idx = BTreeIndex::create(&sm).unwrap();
     let names = ["a", "ab", "abc", "b", "ba", "z", "zz", ""];
     for (i, n) in names.iter().enumerate() {
-        idx.insert(&mut sm, &keys::encode_bytes(n.as_bytes()), oid(i as u32))
+        idx.insert(&sm, &keys::encode_bytes(n.as_bytes()), oid(i as u32))
             .unwrap();
     }
-    let all = idx.scan_all(&mut sm).unwrap();
+    let all = idx.scan_all(&sm).unwrap();
     let decoded: Vec<String> = all
         .iter()
         .map(|(k, _)| String::from_utf8(keys::decode_bytes(k).0).unwrap())
@@ -138,51 +128,43 @@ fn mixed_string_lengths() {
     assert_eq!(decoded, want);
     // Prefix range: all keys starting at or after "a" and at most "b".
     let hits = idx
-        .range(
-            &mut sm,
-            &keys::encode_bytes(b"a"),
-            &keys::encode_bytes(b"b"),
-        )
+        .range(&sm, &keys::encode_bytes(b"a"), &keys::encode_bytes(b"b"))
         .unwrap();
     assert_eq!(hits.len(), 4); // "a", "ab", "abc", "b"
 }
 
 #[test]
 fn reinsert_after_delete() {
-    let mut sm = sm();
-    let idx = BTreeIndex::create(&mut sm).unwrap();
+    let sm = sm();
+    let idx = BTreeIndex::create(&sm).unwrap();
     let key = keys::encode_i64(5);
     for round in 0..50 {
-        idx.insert(&mut sm, &key, oid(round)).unwrap();
-        assert!(idx.delete(&mut sm, &key, oid(round)).unwrap());
+        idx.insert(&sm, &key, oid(round)).unwrap();
+        assert!(idx.delete(&sm, &key, oid(round)).unwrap());
     }
-    assert_eq!(idx.entry_count(&mut sm).unwrap(), 0);
-    idx.insert(&mut sm, &key, oid(999)).unwrap();
-    assert_eq!(idx.lookup(&mut sm, &key).unwrap(), vec![oid(999)]);
+    assert_eq!(idx.entry_count(&sm).unwrap(), 0);
+    idx.insert(&sm, &key, oid(999)).unwrap();
+    assert_eq!(idx.lookup(&sm, &key).unwrap(), vec![oid(999)]);
 }
 
 #[test]
 fn bulk_load_partial_fill_leaves_insert_room() {
-    let mut sm = sm();
+    let sm = sm();
     let entries: Vec<Entry> = (0..10_000i64)
         .map(|i| (keys::encode_i64(i * 2).to_vec(), oid(i as u32)))
         .collect();
     // 70% fill: the classic setting for trees that keep growing.
-    let idx = BTreeIndex::bulk_load(&mut sm, &entries, 0.7).unwrap();
-    let pages_before = idx.pages(&mut sm).unwrap();
+    let idx = BTreeIndex::bulk_load(&sm, &entries, 0.7).unwrap();
+    let pages_before = idx.pages(&sm).unwrap();
     // Odd keys squeeze between the evens; with 30% slack, few splits.
     for i in 0..2000i64 {
-        idx.insert(
-            &mut sm,
-            &keys::encode_i64(i * 2 + 1),
-            oid(100_000 + i as u32),
-        )
-        .unwrap();
+        idx.insert(&sm, &keys::encode_i64(i * 2 + 1), oid(100_000 + i as u32))
+            .unwrap();
     }
-    let all = idx.scan_all(&mut sm).unwrap();
+    let all = idx.scan_all(&sm).unwrap();
     assert_eq!(all.len(), 12_000);
     assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
-    let pages_after = idx.pages(&mut sm).unwrap();
+    let pages_after = idx.pages(&sm).unwrap();
     assert!(
         pages_after - pages_before < 30,
         "70% fill should absorb inserts with few new pages ({pages_before} → {pages_after})"
@@ -191,21 +173,17 @@ fn bulk_load_partial_fill_leaves_insert_room() {
 
 #[test]
 fn full_fill_bulk_load_splits_on_insert() {
-    let mut sm = sm();
+    let sm = sm();
     let entries: Vec<Entry> = (0..5000i64)
         .map(|i| (keys::encode_i64(i * 2).to_vec(), oid(i as u32)))
         .collect();
-    let idx = BTreeIndex::bulk_load(&mut sm, &entries, 1.0).unwrap();
+    let idx = BTreeIndex::bulk_load(&sm, &entries, 1.0).unwrap();
     // Inserting into packed leaves must split, not corrupt.
     for i in 0..500i64 {
-        idx.insert(
-            &mut sm,
-            &keys::encode_i64(i * 20 + 1),
-            oid(50_000 + i as u32),
-        )
-        .unwrap();
+        idx.insert(&sm, &keys::encode_i64(i * 20 + 1), oid(50_000 + i as u32))
+            .unwrap();
     }
-    let all = idx.scan_all(&mut sm).unwrap();
+    let all = idx.scan_all(&sm).unwrap();
     assert_eq!(all.len(), 5500);
     assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
 }

@@ -30,8 +30,8 @@ proptest! {
 
     #[test]
     fn btree_matches_sorted_model(ops in proptest::collection::vec(op(), 1..400)) {
-        let mut sm = StorageManager::in_memory(1024);
-        let idx = BTreeIndex::create(&mut sm).unwrap();
+        let sm = StorageManager::in_memory(1024);
+        let idx = BTreeIndex::create(&sm).unwrap();
         // model: set of (key, oid-number)
         let mut model: BTreeSet<(i16, u16)> = BTreeSet::new();
 
@@ -39,20 +39,20 @@ proptest! {
             match op {
                 Op::Insert(k, o) => {
                     if model.insert((k, o)) {
-                        idx.insert(&mut sm, &encode_i64(k as i64), mkoid(o)).unwrap();
+                        idx.insert(&sm, &encode_i64(k as i64), mkoid(o)).unwrap();
                     } else {
-                        prop_assert!(idx.insert(&mut sm, &encode_i64(k as i64), mkoid(o)).is_err());
+                        prop_assert!(idx.insert(&sm, &encode_i64(k as i64), mkoid(o)).is_err());
                     }
                 }
                 Op::Delete(i) => {
                     if model.is_empty() { continue; }
                     let pick = *model.iter().nth(i % model.len()).unwrap();
                     model.remove(&pick);
-                    prop_assert!(idx.delete(&mut sm, &encode_i64(pick.0 as i64), mkoid(pick.1)).unwrap());
-                    prop_assert!(!idx.delete(&mut sm, &encode_i64(pick.0 as i64), mkoid(pick.1)).unwrap());
+                    prop_assert!(idx.delete(&sm, &encode_i64(pick.0 as i64), mkoid(pick.1)).unwrap());
+                    prop_assert!(!idx.delete(&sm, &encode_i64(pick.0 as i64), mkoid(pick.1)).unwrap());
                 }
                 Op::Range(lo, hi) => {
-                    let got = idx.range(&mut sm, &encode_i64(lo as i64), &encode_i64(hi as i64)).unwrap();
+                    let got = idx.range(&sm, &encode_i64(lo as i64), &encode_i64(hi as i64)).unwrap();
                     let want: Vec<(i16, u16)> = model.range((lo, 0)..=(hi, u16::MAX)).copied().collect();
                     prop_assert_eq!(got.len(), want.len());
                     for ((gk, go), (wk, wo)) in got.iter().zip(&want) {
@@ -63,9 +63,9 @@ proptest! {
             }
         }
 
-        prop_assert_eq!(idx.entry_count(&mut sm).unwrap(), model.len() as u64);
+        prop_assert_eq!(idx.entry_count(&sm).unwrap(), model.len() as u64);
         // Full scan equals full model.
-        let all = idx.scan_all(&mut sm).unwrap();
+        let all = idx.scan_all(&sm).unwrap();
         prop_assert_eq!(all.len(), model.len());
         for ((gk, go), (wk, wo)) in all.iter().zip(model.iter()) {
             prop_assert_eq!(fieldrep_btree::keys::decode_i64(gk), *wk as i64);

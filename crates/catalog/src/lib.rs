@@ -214,6 +214,12 @@ impl Catalog {
         self.indexes.iter().filter(move |i| i.set == set)
     }
 
+    /// Every index in the catalog (the transaction layer uses this to
+    /// decide whether B-tree maintenance needs serializing).
+    pub fn indexes(&self) -> impl Iterator<Item = &IndexDef> + '_ {
+        self.indexes.iter()
+    }
+
     /// Find an index on a specific base field of `set`.
     pub fn index_on_field(&self, set: SetId, field_idx: usize) -> Option<&IndexDef> {
         self.indexes
@@ -362,7 +368,7 @@ impl Catalog {
         &mut self,
         expr: &PathExpr,
         strategy: Strategy,
-        sm: &mut StorageManager,
+        sm: &StorageManager,
     ) -> Result<DeclaredReplication> {
         self.declare_replication_with(expr, strategy, Propagation::Eager, sm)
     }
@@ -374,7 +380,7 @@ impl Catalog {
         expr: &PathExpr,
         strategy: Strategy,
         propagation: Propagation,
-        sm: &mut StorageManager,
+        sm: &StorageManager,
     ) -> Result<DeclaredReplication> {
         self.declare_replication_full(expr, strategy, propagation, false, sm)
     }
@@ -389,7 +395,7 @@ impl Catalog {
         strategy: Strategy,
         propagation: Propagation,
         collapsed: bool,
-        sm: &mut StorageManager,
+        sm: &StorageManager,
     ) -> Result<DeclaredReplication> {
         let resolved = self.resolve_path(expr)?;
         if resolved.hops.is_empty() {

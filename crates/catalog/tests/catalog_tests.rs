@@ -7,7 +7,7 @@ use fieldrep_catalog::{
 use fieldrep_model::{FieldType, PathExpr, TypeDef};
 use fieldrep_storage::StorageManager;
 
-fn employee_catalog(sm: &mut StorageManager) -> Catalog {
+fn employee_catalog(sm: &StorageManager) -> Catalog {
     let mut c = Catalog::new();
     c.define_type(TypeDef::new(
         "ORG",
@@ -64,8 +64,8 @@ fn type_definition_rules() {
 
 #[test]
 fn resolve_paths() {
-    let mut sm = StorageManager::in_memory(8);
-    let c = employee_catalog(&mut sm);
+    let sm = StorageManager::in_memory(8);
+    let c = employee_catalog(&sm);
 
     let p = c.resolve_path_str("Emp1.dept.name").unwrap();
     assert_eq!(p.hops, vec![3]); // EMP.dept is field 3
@@ -113,17 +113,17 @@ fn link_sharing_follows_section_4_1_4() {
     //   replicate Emp1.dept.name      link sequence = (1)
     //   replicate Emp1.dept.org.name  link sequence = (1,2)
     //   replicate Emp2.dept.org       link sequence = (3)
-    let mut sm = StorageManager::in_memory(8);
-    let mut c = employee_catalog(&mut sm);
+    let sm = StorageManager::in_memory(8);
+    let mut c = employee_catalog(&sm);
 
-    let dec = |c: &mut Catalog, sm: &mut StorageManager, s: &str| {
+    let dec = |c: &mut Catalog, sm: &StorageManager, s: &str| {
         c.declare_replication(&PathExpr::parse(s).unwrap(), Strategy::InPlace, sm)
             .unwrap()
     };
-    let p1 = dec(&mut c, &mut sm, "Emp1.dept.budget");
-    let p2 = dec(&mut c, &mut sm, "Emp1.dept.name");
-    let p3 = dec(&mut c, &mut sm, "Emp1.dept.org.name");
-    let p4 = dec(&mut c, &mut sm, "Emp2.dept.org");
+    let p1 = dec(&mut c, &sm, "Emp1.dept.budget");
+    let p2 = dec(&mut c, &sm, "Emp1.dept.name");
+    let p3 = dec(&mut c, &sm, "Emp1.dept.org.name");
+    let p4 = dec(&mut c, &sm, "Emp2.dept.org");
 
     let l = |p: DeclaredReplication| c.path(p.path).links.clone();
     assert_eq!(l(p1), vec![LinkId(1)]);
@@ -141,13 +141,13 @@ fn link_sharing_follows_section_4_1_4() {
 fn separate_groups_share_replica_objects() {
     // §5 Figure 7: Emp1.dept.name and Emp1.dept.budget store their
     // replicated values together in one object per department.
-    let mut sm = StorageManager::in_memory(8);
-    let mut c = employee_catalog(&mut sm);
+    let sm = StorageManager::in_memory(8);
+    let mut c = employee_catalog(&sm);
     let a = c
         .declare_replication(
             &PathExpr::parse("Emp1.dept.name").unwrap(),
             Strategy::Separate,
-            &mut sm,
+            &sm,
         )
         .unwrap();
     assert!(!a.group_extended);
@@ -155,7 +155,7 @@ fn separate_groups_share_replica_objects() {
         .declare_replication(
             &PathExpr::parse("Emp1.dept.budget").unwrap(),
             Strategy::Separate,
-            &mut sm,
+            &sm,
         )
         .unwrap();
     assert_eq!(a.group, b.group);
@@ -173,7 +173,7 @@ fn separate_groups_share_replica_objects() {
         .declare_replication(
             &PathExpr::parse("Emp2.dept.name").unwrap(),
             Strategy::Separate,
-            &mut sm,
+            &sm,
         )
         .unwrap();
     assert_ne!(e2.group, a.group);
@@ -181,13 +181,13 @@ fn separate_groups_share_replica_objects() {
 
 #[test]
 fn separate_two_level_has_one_link() {
-    let mut sm = StorageManager::in_memory(8);
-    let mut c = employee_catalog(&mut sm);
+    let sm = StorageManager::in_memory(8);
+    let mut c = employee_catalog(&sm);
     let d = c
         .declare_replication(
             &PathExpr::parse("Emp1.dept.org.name").unwrap(),
             Strategy::Separate,
-            &mut sm,
+            &sm,
         )
         .unwrap();
     // 2-level path, (n−1) = 1 link: Emp1.dept⁻¹ only.
@@ -198,20 +198,20 @@ fn separate_two_level_has_one_link() {
 #[test]
 fn inplace_and_separate_share_links() {
     // §5.3: "links can even be shared by the two strategies".
-    let mut sm = StorageManager::in_memory(8);
-    let mut c = employee_catalog(&mut sm);
+    let sm = StorageManager::in_memory(8);
+    let mut c = employee_catalog(&sm);
     let a = c
         .declare_replication(
             &PathExpr::parse("Emp1.dept.name").unwrap(),
             Strategy::InPlace,
-            &mut sm,
+            &sm,
         )
         .unwrap();
     let b = c
         .declare_replication(
             &PathExpr::parse("Emp1.dept.org.name").unwrap(),
             Strategy::Separate,
-            &mut sm,
+            &sm,
         )
         .unwrap();
     assert_eq!(c.path(a.path).links[0], c.path(b.path).links[0]);
@@ -219,45 +219,44 @@ fn inplace_and_separate_share_links() {
 
 #[test]
 fn replication_requires_a_ref() {
-    let mut sm = StorageManager::in_memory(8);
-    let mut c = employee_catalog(&mut sm);
+    let sm = StorageManager::in_memory(8);
+    let mut c = employee_catalog(&sm);
     let r = c.declare_replication(
         &PathExpr::parse("Emp1.salary").unwrap(),
         Strategy::InPlace,
-        &mut sm,
+        &sm,
     );
     assert!(matches!(r, Err(CatalogError::NotAReferencePath(_))));
 }
 
 #[test]
 fn duplicate_replication_rejected() {
-    let mut sm = StorageManager::in_memory(8);
-    let mut c = employee_catalog(&mut sm);
+    let sm = StorageManager::in_memory(8);
+    let mut c = employee_catalog(&sm);
     let e = PathExpr::parse("Emp1.dept.name").unwrap();
-    c.declare_replication(&e, Strategy::InPlace, &mut sm)
-        .unwrap();
+    c.declare_replication(&e, Strategy::InPlace, &sm).unwrap();
     assert!(matches!(
-        c.declare_replication(&e, Strategy::InPlace, &mut sm),
+        c.declare_replication(&e, Strategy::InPlace, &sm),
         Err(CatalogError::Duplicate(_))
     ));
 }
 
 #[test]
 fn propagation_lookups() {
-    let mut sm = StorageManager::in_memory(8);
-    let mut c = employee_catalog(&mut sm);
+    let sm = StorageManager::in_memory(8);
+    let mut c = employee_catalog(&sm);
     let p_name = c
         .declare_replication(
             &PathExpr::parse("Emp1.dept.name").unwrap(),
             Strategy::InPlace,
-            &mut sm,
+            &sm,
         )
         .unwrap();
     let p_orgname = c
         .declare_replication(
             &PathExpr::parse("Emp1.dept.org.name").unwrap(),
             Strategy::InPlace,
-            &mut sm,
+            &sm,
         )
         .unwrap();
 
@@ -288,18 +287,18 @@ fn propagation_lookups() {
 
 #[test]
 fn query_planning_lookups() {
-    let mut sm = StorageManager::in_memory(8);
-    let mut c = employee_catalog(&mut sm);
+    let sm = StorageManager::in_memory(8);
+    let mut c = employee_catalog(&sm);
     c.declare_replication(
         &PathExpr::parse("Emp1.dept.org").unwrap(), // collapse path
         Strategy::InPlace,
-        &mut sm,
+        &sm,
     )
     .unwrap();
     c.declare_replication(
         &PathExpr::parse("Emp1.dept.name").unwrap(),
         Strategy::InPlace,
-        &mut sm,
+        &sm,
     )
     .unwrap();
 
@@ -318,8 +317,8 @@ fn query_planning_lookups() {
 
 #[test]
 fn index_registry() {
-    let mut sm = StorageManager::in_memory(8);
-    let mut c = employee_catalog(&mut sm);
+    let sm = StorageManager::in_memory(8);
+    let mut c = employee_catalog(&sm);
     let emp1 = c.set_id("Emp1").unwrap();
     let f = sm.create_file().unwrap();
     let id = c
@@ -337,13 +336,13 @@ fn index_registry() {
 #[test]
 fn all_path_group_fields() {
     // `.all` replication groups every non-pad field of the terminal type.
-    let mut sm = StorageManager::in_memory(8);
-    let mut c = employee_catalog(&mut sm);
+    let sm = StorageManager::in_memory(8);
+    let mut c = employee_catalog(&sm);
     let d = c
         .declare_replication(
             &PathExpr::parse("Emp1.dept.all").unwrap(),
             Strategy::Separate,
-            &mut sm,
+            &sm,
         )
         .unwrap();
     let g = c.group(d.group.unwrap());

@@ -71,11 +71,7 @@ pub fn decode_chunk(b: &[u8]) -> (Option<Oid>, Vec<TaggedEntry>) {
 
 /// Create a collapsed store from entries sorted by source OID; returns the
 /// head chunk OID (stable for the store's lifetime).
-pub fn create_store(
-    sm: &mut StorageManager,
-    link: &LinkDef,
-    entries: &[TaggedEntry],
-) -> Result<Oid> {
+pub fn create_store(sm: &StorageManager, link: &LinkDef, entries: &[TaggedEntry]) -> Result<Oid> {
     let hf = HeapFile::open(link.file);
     let chunks: Vec<&[TaggedEntry]> = entries.chunks(MAX_CHUNK_PAIRS).collect();
     let mut next = None;
@@ -90,7 +86,7 @@ pub fn create_store(
 }
 
 /// Read every entry of a collapsed store, sorted by source.
-pub fn read_store(sm: &mut StorageManager, link: &LinkDef, head: Oid) -> Result<Vec<TaggedEntry>> {
+pub fn read_store(sm: &StorageManager, link: &LinkDef, head: Oid) -> Result<Vec<TaggedEntry>> {
     let hf = HeapFile::open(link.file);
     let mut out = Vec::new();
     let mut cur = Some(head);
@@ -114,7 +110,7 @@ pub fn find_store(obj: &Object, link_id: u8) -> Option<Oid> {
 /// All entries of `terminal_obj`'s collapsed store for `link` (empty if
 /// none).
 pub fn members(
-    sm: &mut StorageManager,
+    sm: &StorageManager,
     terminal_obj: &Object,
     link: &LinkDef,
 ) -> Result<Vec<TaggedEntry>> {
@@ -128,7 +124,7 @@ pub fn members(
 /// mutation helpers below. Deletes surplus chunks / allocates new ones as
 /// needed.
 fn rewrite_store(
-    sm: &mut StorageManager,
+    sm: &StorageManager,
     link: &LinkDef,
     head: Oid,
     entries: &[TaggedEntry],
@@ -176,7 +172,7 @@ fn rewrite_store(
 /// Insert `(src, via)` into the store headed at `head` (idempotent on
 /// `src`). Returns `true` if newly added.
 pub fn store_add(
-    sm: &mut StorageManager,
+    sm: &StorageManager,
     link: &LinkDef,
     head: Oid,
     entry: TaggedEntry,
@@ -198,7 +194,7 @@ pub fn store_add(
 /// Remove the entry for `src`. Returns `(removed_via, remaining_total,
 /// remaining_with_same_via)`.
 pub fn store_remove(
-    sm: &mut StorageManager,
+    sm: &StorageManager,
     link: &LinkDef,
     head: Oid,
     src: Oid,
@@ -225,7 +221,7 @@ pub fn store_remove(
 
 /// Remove every entry tagged `via`, returning the source OIDs (sorted).
 pub fn store_remove_tagged(
-    sm: &mut StorageManager,
+    sm: &StorageManager,
     link: &LinkDef,
     head: Oid,
     via: Oid,
@@ -245,7 +241,7 @@ pub fn store_remove_tagged(
 }
 
 /// Number of entries tagged `via`.
-pub fn count_tagged(sm: &mut StorageManager, link: &LinkDef, head: Oid, via: Oid) -> Result<usize> {
+pub fn count_tagged(sm: &StorageManager, link: &LinkDef, head: Oid, via: Oid) -> Result<usize> {
     Ok(read_store(sm, link, head)?
         .iter()
         .filter(|(_, v)| *v == via)
@@ -253,7 +249,7 @@ pub fn count_tagged(sm: &mut StorageManager, link: &LinkDef, head: Oid, via: Oid
 }
 
 /// Delete every chunk of a store.
-pub fn destroy_store(sm: &mut StorageManager, link: &LinkDef, head: Oid) -> Result<()> {
+pub fn destroy_store(sm: &StorageManager, link: &LinkDef, head: Oid) -> Result<()> {
     let hf = HeapFile::open(link.file);
     let mut cur = Some(head);
     while let Some(oid) = cur {

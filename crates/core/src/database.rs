@@ -66,6 +66,8 @@ pub struct Database {
     /// The dedicated file holding the serialized catalog (always the
     /// disk's first file).
     catalog_file: FileId,
+    /// Concurrency: OID write-lock table, commit epoch, txn counters.
+    txn: crate::txn::TxnManager,
 }
 
 impl Database {
@@ -78,7 +80,7 @@ impl Database {
     /// file on the disk is reserved for the serialized catalog (see
     /// [`Database::save`] / [`Database::open`]).
     pub fn with_disk(disk: Box<dyn DiskManager>, cfg: DbConfig) -> Database {
-        let mut sm = StorageManager::new(disk, cfg.pool_pages);
+        let sm = StorageManager::new(disk, cfg.pool_pages);
         let catalog_file = sm.create_file().expect("allocate catalog file");
         Database {
             sm,
@@ -88,6 +90,7 @@ impl Database {
             pending: crate::PendingSet::default(),
             workload: crate::WorkloadStats::new(),
             catalog_file,
+            txn: crate::txn::TxnManager::default(),
         }
     }
 
@@ -103,13 +106,13 @@ impl Database {
         // Clear the previous image.
         let mut old = Vec::new();
         {
-            let mut scan = hf.scan(&mut self.sm)?;
+            let mut scan = hf.scan(&self.sm)?;
             while let Some((oid, _, _)) = scan.next_record()? {
                 old.push(oid);
             }
         }
         for oid in old {
-            hf.delete(&mut self.sm, oid)?;
+            hf.delete(&self.sm, oid)?;
         }
         // Write the new image as sequence-numbered chunks.
         let max = fieldrep_storage::MAX_RECORD_PAYLOAD - 8;
@@ -118,7 +121,7 @@ impl Database {
             payload.extend_from_slice(&(seq as u32).to_le_bytes());
             payload.extend_from_slice(&(image.chunks(max).count() as u32).to_le_bytes());
             payload.extend_from_slice(chunk);
-            hf.insert(&mut self.sm, 0xFFFC, &payload)?;
+            hf.insert(&self.sm, 0xFFFC, &payload)?;
         }
         self.flush_all()
     }
@@ -126,12 +129,12 @@ impl Database {
     /// Reopen a database previously built with [`Database::with_disk`]
     /// and persisted with [`Database::save`].
     pub fn open(disk: Box<dyn DiskManager>, cfg: DbConfig) -> Result<Database> {
-        let mut sm = StorageManager::new(disk, cfg.pool_pages);
+        let sm = StorageManager::new(disk, cfg.pool_pages);
         let catalog_file = FileId(0);
         let hf = HeapFile::open(catalog_file);
         let mut chunks: Vec<(u32, Vec<u8>)> = Vec::new();
         {
-            let mut scan = hf.scan(&mut sm)?;
+            let mut scan = hf.scan(&sm)?;
             while let Some((_, tag, payload)) = scan.next_record()? {
                 if tag != 0xFFFC || payload.len() < 8 {
                     return Err(DbError::Unsupported(
@@ -162,7 +165,14 @@ impl Database {
             pending: crate::PendingSet::default(),
             workload: crate::WorkloadStats::new(),
             catalog_file,
+            txn: crate::txn::TxnManager::default(),
         })
+    }
+
+    /// The transaction manager (OID write locks, snapshot versions,
+    /// txn counters — see [`crate::txn`]).
+    pub fn txn(&self) -> &crate::txn::TxnManager {
+        &self.txn
     }
 
     /// The catalog (schema, sets, paths, links, groups, indexes).
@@ -172,8 +182,8 @@ impl Database {
 
     /// The storage manager (for I/O statistics and low-level access from
     /// the query processor).
-    pub fn sm(&mut self) -> &mut StorageManager {
-        &mut self.sm
+    pub fn sm(&self) -> &StorageManager {
+        &self.sm
     }
 
     /// Engine configuration.
@@ -181,13 +191,15 @@ impl Database {
         &self.cfg
     }
 
-    /// Borrow the pieces the engine functions need.
-    pub fn ctx(&mut self) -> EngineCtx<'_> {
+    /// Borrow the pieces the engine functions need. Takes `&self`: the
+    /// context is all shared references (see [`EngineCtx`]), so DML can
+    /// run from many threads over one database.
+    pub fn ctx(&self) -> EngineCtx<'_> {
         EngineCtx {
-            sm: &mut self.sm,
+            sm: &self.sm,
             cat: &self.catalog,
             cfg: &self.cfg,
-            pending: &mut self.pending,
+            pending: &self.pending,
             workload: &self.workload,
         }
     }
@@ -265,19 +277,19 @@ impl Database {
     /// Reset the whole I/O profile (disk and pool counters together); see
     /// [`fieldrep_storage::BufferPool::reset_profile`]. This is the reset
     /// the benchmark harness uses for cold-pool accounting.
-    pub fn reset_profile(&mut self) {
+    pub fn reset_profile(&self) {
         self.sm.reset_profile();
     }
 
     /// Reset I/O counters. Alias of [`Database::reset_profile`], kept for
     /// existing call sites.
-    pub fn reset_io(&mut self) {
+    pub fn reset_io(&self) {
         self.reset_profile();
     }
 
     /// Flush all dirty pages and leave the buffer pool cold (used between
     /// measured queries).
-    pub fn flush_all(&mut self) -> Result<()> {
+    pub fn flush_all(&self) -> Result<()> {
         Ok(self.sm.flush_all()?)
     }
 
@@ -350,7 +362,7 @@ impl Database {
             strategy,
             propagation,
             collapsed,
-            &mut self.sm,
+            &self.sm,
         )?;
         let path_def = self.catalog.path(decl.path).clone();
         self.build_path(&path_def, &pre_links)?;
@@ -370,7 +382,7 @@ impl Database {
         let hf = HeapFile::open(set.file);
         let mut sources = Vec::new();
         {
-            let mut scan = hf.scan(&mut self.sm)?;
+            let mut scan = hf.scan(&self.sm)?;
             while let Some((oid, _tag, _payload)) = scan.next_record()? {
                 sources.push(oid);
             }
@@ -417,7 +429,7 @@ impl Database {
                         oids: members,
                     });
                 } else {
-                    let head = links::create_link_store(&mut self.sm, &link, &members)?;
+                    let head = links::create_link_store(&self.sm, &link, &members)?;
                     let ctx2 = self.ctx();
                     tobj = read_object(ctx2.sm, ctx2.cat, *target)?;
                     tobj.annotations.push(Annotation::LinkRef {
@@ -472,8 +484,7 @@ impl Database {
                         (find_anchor(&tobj, group.id.0), group_values(&group, &tobj))
                     };
                     debug_assert!(roid.is_none(), "fresh group has no anchors yet");
-                    let roid =
-                        rf.insert(&mut self.sm, REPLICA_TAG, &Value::encode_list(&values))?;
+                    let roid = rf.insert(&self.sm, REPLICA_TAG, &Value::encode_list(&values))?;
                     {
                         let ctx = self.ctx();
                         let mut tobj = read_object(ctx.sm, ctx.cat, *t)?;
@@ -506,7 +517,7 @@ impl Database {
         let hf = HeapFile::open(set.file);
         let mut sources = Vec::new();
         {
-            let mut scan = hf.scan(&mut self.sm)?;
+            let mut scan = hf.scan(&self.sm)?;
             while let Some((oid, _, _)) = scan.next_record()? {
                 sources.push(oid);
             }
@@ -537,7 +548,7 @@ impl Database {
         if link_is_new {
             for (holder, mut entries) in holders {
                 entries.sort_unstable_by_key(|e| e.0);
-                let head = crate::collapsed::create_store(&mut self.sm, &link, &entries)?;
+                let head = crate::collapsed::create_store(&self.sm, &link, &entries)?;
                 let ctx = self.ctx();
                 let mut hobj = read_object(ctx.sm, ctx.cat, holder)?;
                 hobj.annotations.push(Annotation::LinkRef {
@@ -587,7 +598,7 @@ impl Database {
             let hf = HeapFile::open(file);
             let mut oids = Vec::new();
             {
-                let mut scan = hf.scan(&mut self.sm)?;
+                let mut scan = hf.scan(&self.sm)?;
                 while let Some((oid, _, _)) = scan.next_record()? {
                     oids.push(oid);
                 }
@@ -618,7 +629,7 @@ impl Database {
             let hf = HeapFile::open(set.file);
             let mut oids = Vec::new();
             {
-                let mut scan = hf.scan(&mut self.sm)?;
+                let mut scan = hf.scan(&self.sm)?;
                 while let Some((oid, _, _)) = scan.next_record()? {
                     oids.push(oid);
                 }
@@ -629,7 +640,7 @@ impl Database {
                 entries.push((value_key(&obj.values[field]), oid));
             }
             entries.sort();
-            let tree = BTreeIndex::bulk_load(&mut self.sm, &entries, 1.0)?;
+            let tree = BTreeIndex::bulk_load(&self.sm, &entries, 1.0)?;
             Ok(self.catalog.declare_index(
                 resolved.set,
                 IndexTarget::Field(field),
@@ -671,7 +682,7 @@ impl Database {
             let hf = HeapFile::open(set.file);
             let mut oids = Vec::new();
             {
-                let mut scan = hf.scan(&mut self.sm)?;
+                let mut scan = hf.scan(&self.sm)?;
                 while let Some((oid, _, _)) = scan.next_record()? {
                     oids.push(oid);
                 }
@@ -685,7 +696,7 @@ impl Database {
                 }
             }
             entries.sort();
-            let tree = BTreeIndex::bulk_load(&mut self.sm, &entries, 1.0)?;
+            let tree = BTreeIndex::bulk_load(&self.sm, &entries, 1.0)?;
             Ok(self.catalog.declare_index(
                 resolved.set,
                 IndexTarget::ReplicatedPath(rep_id),
@@ -699,7 +710,7 @@ impl Database {
 
     /// Insert an object into a set. Reference values are type-checked;
     /// every replication path of the set is attached (§4.1.1 `insert E`).
-    pub fn insert(&mut self, set_name: &str, values: Vec<Value>) -> Result<Oid> {
+    pub fn insert(&self, set_name: &str, values: Vec<Value>) -> Result<Oid> {
         let set = self.catalog.set(self.catalog.set_id(set_name)?).clone();
         let def = self.catalog.type_def(set.elem_type).clone();
         let obj = Object::new(set.elem_type, &def, values)?;
@@ -713,7 +724,7 @@ impl Database {
         }
         let hf = HeapFile::open(set.file);
         let payload = obj.encode(&def);
-        let oid = hf.insert(&mut self.sm, set.elem_type.0, &payload)?;
+        let oid = hf.insert(&self.sm, set.elem_type.0, &payload)?;
 
         // Base-field index maintenance.
         let idxs: Vec<(usize, FileId)> = self
@@ -725,7 +736,7 @@ impl Database {
             })
             .collect();
         for (f, file) in idxs {
-            BTreeIndex::open(file).insert(&mut self.sm, &value_key(&obj.values[f]), oid)?;
+            BTreeIndex::open(file).insert(&self.sm, &value_key(&obj.values[f]), oid)?;
         }
 
         // Replication attach.
@@ -738,13 +749,13 @@ impl Database {
     }
 
     /// Read the object at `oid` (base values + annotations).
-    pub fn get(&mut self, oid: Oid) -> Result<Object> {
+    pub fn get(&self, oid: Oid) -> Result<Object> {
         let ctx = self.ctx();
         read_object(ctx.sm, ctx.cat, oid)
     }
 
     /// Read one base field by name.
-    pub fn get_field(&mut self, oid: Oid, field: &str) -> Result<Value> {
+    pub fn get_field(&self, oid: Oid, field: &str) -> Result<Value> {
         let obj = self.get(oid)?;
         let def = self.catalog.type_def(obj.type_id);
         Ok(obj.get(def, field)?.clone())
@@ -752,7 +763,7 @@ impl Database {
 
     /// The replicated values of `path` as seen from the source object at
     /// `oid` (`None` if the path chain is broken).
-    pub fn path_values(&mut self, oid: Oid, path: PathId) -> Result<Option<Vec<Value>>> {
+    pub fn path_values(&self, oid: Oid, path: PathId) -> Result<Option<Vec<Value>>> {
         self.sync_path(path)?;
         let path = self.catalog.path(path).clone();
         let before = fieldrep_obs::io::snapshot();
@@ -768,7 +779,7 @@ impl Database {
 
     /// Dereference a path with plain functional joins (the no-replication
     /// baseline): reads one object per hop.
-    pub fn deref_path(&mut self, oid: Oid, dotted: &str) -> Result<Option<Vec<Value>>> {
+    pub fn deref_path(&self, oid: Oid, dotted: &str) -> Result<Option<Vec<Value>>> {
         let obj = self.get(oid)?;
         let set = self.set_of(oid)?;
         let set_name = self.catalog.set(set).name.clone();
@@ -794,7 +805,7 @@ impl Database {
 
     /// Update named fields of the object at `oid`, propagating to all
     /// replicated copies (§4.1.3, §5.2) and maintaining indexes.
-    pub fn update(&mut self, oid: Oid, changes: &[(&str, Value)]) -> Result<()> {
+    pub fn update(&self, oid: Oid, changes: &[(&str, Value)]) -> Result<()> {
         let set = self.set_of(oid)?;
         let set_def = self.catalog.set(set).clone();
         let def = self.catalog.type_def(set_def.elem_type).clone();
@@ -866,8 +877,8 @@ impl Database {
         for (f, file) in idxs {
             if let Some((_, old, new)) = field_changes.iter().find(|(i, _, _)| *i == f) {
                 let tree = BTreeIndex::open(file);
-                tree.delete(&mut self.sm, &value_key(old), oid)?;
-                tree.insert(&mut self.sm, &value_key(new), oid)?;
+                tree.delete(&self.sm, &value_key(old), oid)?;
+                tree.insert(&self.sm, &value_key(new), oid)?;
             }
         }
 
@@ -887,7 +898,7 @@ impl Database {
     /// Delete the object at `oid` (§4.1.1 `delete E`). Fails with
     /// [`DbError::StillReferenced`] if other objects still replicate
     /// through it.
-    pub fn delete(&mut self, oid: Oid) -> Result<()> {
+    pub fn delete(&self, oid: Oid) -> Result<()> {
         let set = self.set_of(oid)?;
         let obj = self.get(oid)?;
         if is_referenced(&obj) {
@@ -909,10 +920,10 @@ impl Database {
             })
             .collect();
         for (f, file) in idxs {
-            BTreeIndex::open(file).delete(&mut self.sm, &value_key(&obj.values[f]), oid)?;
+            BTreeIndex::open(file).delete(&self.sm, &value_key(&obj.values[f]), oid)?;
         }
         let hf = HeapFile::open(oid.file);
-        hf.delete(&mut self.sm, oid)?;
+        hf.delete(&self.sm, oid)?;
         self.pending.purge_object(oid);
         Ok(())
     }
@@ -920,7 +931,7 @@ impl Database {
     /// Apply every deferred propagation recorded for `path` (a no-op for
     /// eager paths or when nothing is pending). Returns the number of
     /// work items applied.
-    pub fn sync_path(&mut self, path: PathId) -> Result<usize> {
+    pub fn sync_path(&self, path: PathId) -> Result<usize> {
         let entries = self.pending.take(path);
         if entries.is_empty() {
             return Ok(0);
@@ -972,7 +983,7 @@ impl Database {
     }
 
     /// Sync every path with pending deferred work.
-    pub fn sync_all_pending(&mut self) -> Result<usize> {
+    pub fn sync_all_pending(&self) -> Result<usize> {
         let mut total = 0;
         for p in self.pending.dirty_paths() {
             total += self.sync_path(p)?;
@@ -1000,7 +1011,7 @@ impl Database {
         let sources = {
             let hf = HeapFile::open(set.file);
             let mut oids = Vec::new();
-            let mut scan = hf.scan(&mut self.sm)?;
+            let mut scan = hf.scan(&self.sm)?;
             while let Some((oid, _, _)) = scan.next_record()? {
                 oids.push(oid);
             }
@@ -1045,7 +1056,7 @@ impl Database {
                 let hf = HeapFile::open(file);
                 let mut oids = Vec::new();
                 {
-                    let mut scan = hf.scan(&mut self.sm)?;
+                    let mut scan = hf.scan(&self.sm)?;
                     while let Some((oid, _, _)) = scan.next_record()? {
                         oids.push(oid);
                     }
@@ -1081,7 +1092,7 @@ impl Database {
                 let hf = HeapFile::open(file);
                 let mut oids = Vec::new();
                 {
-                    let mut scan = hf.scan(&mut self.sm)?;
+                    let mut scan = hf.scan(&self.sm)?;
                     while let Some((oid, _, _)) = scan.next_record()? {
                         oids.push(oid);
                     }
@@ -1107,7 +1118,7 @@ impl Database {
     /// inverted paths can be used … in implementing inverse functions"):
     /// the objects of `link`'s source side that reference `target` along
     /// the link — read straight from the link store, without scanning.
-    pub fn inverse(&mut self, link: LinkId, target: Oid) -> Result<Vec<Oid>> {
+    pub fn inverse(&self, link: LinkId, target: Oid) -> Result<Vec<Oid>> {
         let ldef = self.catalog.link(link).clone();
         let ctx = self.ctx();
         let obj = read_object(ctx.sm, ctx.cat, target)?;
@@ -1124,7 +1135,7 @@ impl Database {
     /// `"Set.reffield"` (e.g. `"Emp1.dept"`): which members of `Set`
     /// reference `target` through `reffield`? Requires a replication path
     /// (either strategy) whose inverted path covers that link.
-    pub fn inverse_of(&mut self, dotted: &str, target: Oid) -> Result<Vec<Oid>> {
+    pub fn inverse_of(&self, dotted: &str, target: Oid) -> Result<Vec<Oid>> {
         let resolved = self.catalog.resolve_path_str(dotted)?;
         // The "terminal field" of a 1-segment path like Emp1.dept is the
         // ref field itself.
@@ -1147,11 +1158,11 @@ impl Database {
     }
 
     /// All live member OIDs of a set, in physical order.
-    pub fn scan_set(&mut self, set_name: &str) -> Result<Vec<Oid>> {
+    pub fn scan_set(&self, set_name: &str) -> Result<Vec<Oid>> {
         let set = self.catalog.set(self.catalog.set_id(set_name)?).clone();
         let hf = HeapFile::open(set.file);
         let mut out = Vec::new();
-        let mut scan = hf.scan(&mut self.sm)?;
+        let mut scan = hf.scan(&self.sm)?;
         while let Some((oid, _, _)) = scan.next_record()? {
             out.push(oid);
         }
@@ -1159,8 +1170,8 @@ impl Database {
     }
 
     /// Number of members of a set.
-    pub fn set_len(&mut self, set_name: &str) -> Result<u64> {
+    pub fn set_len(&self, set_name: &str) -> Result<u64> {
         let set = self.catalog.set(self.catalog.set_id(set_name)?).clone();
-        Ok(HeapFile::open(set.file).count(&mut self.sm)?)
+        Ok(HeapFile::open(set.file).count(&self.sm)?)
     }
 }

@@ -33,6 +33,11 @@ pub enum DbError {
     },
     /// Operation addressed to the wrong set or a foreign OID.
     NotInSet(Oid),
+    /// A write-lock acquisition exceeded the deadlock watchdog bound.
+    /// Sorted-order acquisition makes deadlock impossible, so this firing
+    /// means either an ordering bug or a transaction stuck inside its
+    /// critical section.
+    LockTimeout(Oid),
     /// Anything else that indicates a bug or unsupported usage.
     Unsupported(String),
 }
@@ -50,6 +55,9 @@ impl fmt::Display for DbError {
                 write!(f, "reference {oid} should be a {expected}, found {got}")
             }
             DbError::NotInSet(o) => write!(f, "OID {o} does not belong to the addressed set"),
+            DbError::LockTimeout(o) => {
+                write!(f, "write-lock wait on {o} exceeded the deadlock watchdog")
+            }
             DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
     }

@@ -26,16 +26,19 @@ pub mod objects;
 pub mod propagate;
 pub mod replicas;
 pub mod stats;
+pub mod txn;
 pub mod workload;
 
 pub use database::Database;
 pub use error::{DbError, Result};
 pub use objects::{read_object, value_key, write_object, LINK_TAG, REPLICA_TAG};
 pub use stats::PathStats;
+pub use txn::{LockSet, TxnManager, TxnStats};
 pub use workload::{PathWorkload, WorkloadStats};
 
 use fieldrep_catalog::{Catalog, PathId};
 use fieldrep_storage::{Oid, StorageManager};
+use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 
 /// Engine configuration.
@@ -61,15 +64,20 @@ impl Default for DbConfig {
 }
 
 /// Borrowed engine context threaded through the maintenance routines.
+///
+/// Every field is a shared reference: the storage manager and the
+/// pending set have their own interior synchronization, so one context
+/// can be built from `&Database` and used concurrently from many
+/// threads.
 pub struct EngineCtx<'a> {
     /// Storage manager.
-    pub sm: &'a mut StorageManager,
+    pub sm: &'a StorageManager,
     /// Catalog (immutable during DML).
     pub cat: &'a Catalog,
     /// Configuration.
     pub cfg: &'a DbConfig,
     /// Deferred-propagation work queue (§8 / `Propagation::Deferred`).
-    pub pending: &'a mut PendingSet,
+    pub pending: &'a PendingSet,
     /// Observed per-path workload statistics (reads, ripples, EWMAs).
     pub workload: &'a WorkloadStats,
 }
@@ -97,20 +105,25 @@ pub enum PendingEntry {
 /// The set of deferred propagations, per replication path. Entries are
 /// deduplicated, which is the point: repeated updates to the same object
 /// collapse into one eventual propagation.
+///
+/// Internally synchronized (`&self` everywhere): deferred-mode writers
+/// on different threads enqueue concurrently, and `sync` drains under
+/// the same lock.
 #[derive(Default)]
 pub struct PendingSet {
-    map: HashMap<u16, BTreeSet<PendingEntry>>,
+    map: Mutex<HashMap<u16, BTreeSet<PendingEntry>>>,
 }
 
 impl PendingSet {
     /// Record a deferred propagation for `path`.
-    pub fn add(&mut self, path: PathId, entry: PendingEntry) {
-        self.map.entry(path.0).or_default().insert(entry);
+    pub fn add(&self, path: PathId, entry: PendingEntry) {
+        self.map.lock().entry(path.0).or_default().insert(entry);
     }
 
     /// Take (and clear) the pending entries of `path`.
-    pub fn take(&mut self, path: PathId) -> Vec<PendingEntry> {
+    pub fn take(&self, path: PathId) -> Vec<PendingEntry> {
         self.map
+            .lock()
             .remove(&path.0)
             .map(|s| s.into_iter().collect())
             .unwrap_or_default()
@@ -118,34 +131,35 @@ impl PendingSet {
 
     /// Pending-entry count for `path`.
     pub fn count(&self, path: PathId) -> usize {
-        self.map.get(&path.0).map_or(0, BTreeSet::len)
+        self.map.lock().get(&path.0).map_or(0, BTreeSet::len)
     }
 
     /// Paths that currently have pending work.
     pub fn dirty_paths(&self) -> Vec<PathId> {
-        self.map.keys().map(|k| PathId(*k)).collect()
+        self.map.lock().keys().map(|k| PathId(*k)).collect()
     }
 
     /// Drop every entry referring to `oid` (called when the object is
     /// deleted).
-    pub fn purge_object(&mut self, oid: Oid) {
-        for set in self.map.values_mut() {
+    pub fn purge_object(&self, oid: Oid) {
+        let mut map = self.map.lock();
+        for set in map.values_mut() {
             set.retain(|e| match e {
                 PendingEntry::StaleSources { obj, .. } | PendingEntry::StaleReplica { obj } => {
                     *obj != oid
                 }
             });
         }
-        self.map.retain(|_, s| !s.is_empty());
+        map.retain(|_, s| !s.is_empty());
     }
 
     /// Drop every entry of `path` (called when the path is dropped).
-    pub fn purge_path(&mut self, path: PathId) {
-        self.map.remove(&path.0);
+    pub fn purge_path(&self, path: PathId) {
+        self.map.lock().remove(&path.0);
     }
 
     /// Total pending entries across all paths.
     pub fn total(&self) -> usize {
-        self.map.values().map(BTreeSet::len).sum()
+        self.map.lock().values().map(BTreeSet::len).sum()
     }
 }

@@ -70,7 +70,7 @@ pub fn decode_chunk(b: &[u8]) -> (u8, Option<Oid>, Vec<Oid>) {
 /// Create a (possibly multi-chunk) link store holding `members` (sorted);
 /// returns the head chunk's OID. Chunks are written tail-first so each
 /// can point at its successor.
-pub fn create_link_store(sm: &mut StorageManager, link: &LinkDef, members: &[Oid]) -> Result<Oid> {
+pub fn create_link_store(sm: &StorageManager, link: &LinkDef, members: &[Oid]) -> Result<Oid> {
     let hf = HeapFile::open(link.file);
     let chunks: Vec<&[Oid]> = members.chunks(MAX_CHUNK_MEMBERS).collect();
     let mut next: Option<Oid> = None;
@@ -92,7 +92,7 @@ pub fn create_link_store(sm: &mut StorageManager, link: &LinkDef, members: &[Oid
 /// ahead of decoding the current one, so multi-chunk traversal overlaps
 /// its reads (and they count as prefetch hits, not pool misses, when the
 /// chunk is actually consumed).
-pub fn read_link_store(sm: &mut StorageManager, link: &LinkDef, head: Oid) -> Result<Vec<Oid>> {
+pub fn read_link_store(sm: &StorageManager, link: &LinkDef, head: Oid) -> Result<Vec<Oid>> {
     let hf = HeapFile::open(link.file);
     let mut out = Vec::new();
     let mut cur = Some(head);
@@ -132,11 +132,7 @@ pub struct RemoveOutcome {
 
 /// The members of `target`'s link store for `link` (empty if none).
 /// `target_obj` must be the decoded target object.
-pub fn link_members(
-    sm: &mut StorageManager,
-    target_obj: &Object,
-    link: &LinkDef,
-) -> Result<Vec<Oid>> {
+pub fn link_members(sm: &StorageManager, target_obj: &Object, link: &LinkDef) -> Result<Vec<Oid>> {
     match find_link_ann(target_obj, link.id.0) {
         None => Ok(Vec::new()),
         Some(i) => match &target_obj.annotations[i] {
@@ -150,7 +146,7 @@ pub fn link_members(
 /// Ensure `member` appears in `target`'s link store for `link`.
 /// Idempotent: returns `true` if the member was newly added.
 pub fn link_add(
-    sm: &mut StorageManager,
+    sm: &StorageManager,
     cat: &Catalog,
     link: &LinkDef,
     target: Oid,
@@ -169,7 +165,7 @@ pub fn link_add(
 /// Returns `(member_added, obj_dirty)`; the caller must write `obj` back
 /// when `obj_dirty` is true.
 pub fn link_add_obj(
-    sm: &mut StorageManager,
+    sm: &StorageManager,
     link: &LinkDef,
     _target: Oid,
     obj: &mut Object,
@@ -226,7 +222,7 @@ pub fn link_add_obj(
 /// Insert `member` into the chunk chain headed at `head`. Returns `true`
 /// if it was not already present. Splits full chunks; the head OID never
 /// changes.
-fn chain_insert(sm: &mut StorageManager, link: &LinkDef, head: Oid, member: Oid) -> Result<bool> {
+fn chain_insert(sm: &StorageManager, link: &LinkDef, head: Oid, member: Oid) -> Result<bool> {
     let hf = HeapFile::open(link.file);
     let mut cur = head;
     loop {
@@ -264,7 +260,7 @@ fn chain_insert(sm: &mut StorageManager, link: &LinkDef, head: Oid, member: Oid)
 /// Deletes emptied stores and annotations; shrinks back to inline form
 /// when the count falls to the threshold.
 pub fn link_remove(
-    sm: &mut StorageManager,
+    sm: &StorageManager,
     cat: &Catalog,
     link: &LinkDef,
     target: Oid,
@@ -282,7 +278,7 @@ pub fn link_remove(
 /// As [`link_remove`], but on a loaded object. Returns the outcome and
 /// whether `obj` changed (caller must write it back).
 pub fn link_remove_obj(
-    sm: &mut StorageManager,
+    sm: &StorageManager,
     link: &LinkDef,
     obj: &mut Object,
     member: Oid,
@@ -367,7 +363,7 @@ pub fn link_remove_obj(
 /// stable) or — if it was the only chunk — is deleted entirely (the
 /// caller drops the annotation).
 fn chain_remove(
-    sm: &mut StorageManager,
+    sm: &StorageManager,
     link: &LinkDef,
     head: Oid,
     member: Oid,
@@ -426,7 +422,7 @@ fn chain_remove(
 }
 
 /// Delete every chunk of a chain.
-fn destroy_chain(sm: &mut StorageManager, link: &LinkDef, head: Oid) -> Result<()> {
+fn destroy_chain(sm: &StorageManager, link: &LinkDef, head: Oid) -> Result<()> {
     let hf = HeapFile::open(link.file);
     let mut cur = Some(head);
     while let Some(coid) = cur {

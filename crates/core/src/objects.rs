@@ -12,7 +12,7 @@ pub const LINK_TAG: u16 = 0xFFFF;
 pub const REPLICA_TAG: u16 = 0xFFFE;
 
 /// Read and decode the object at `oid`.
-pub fn read_object(sm: &mut StorageManager, cat: &Catalog, oid: Oid) -> Result<Object> {
+pub fn read_object(sm: &StorageManager, cat: &Catalog, oid: Oid) -> Result<Object> {
     let hf = HeapFile::open(oid.file);
     let (tag, payload) = hf.read(sm, oid)?;
     debug_assert!(tag != LINK_TAG && tag != REPLICA_TAG, "not a data object");
@@ -22,7 +22,7 @@ pub fn read_object(sm: &mut StorageManager, cat: &Catalog, oid: Oid) -> Result<O
 }
 
 /// Encode and write back the object at `oid` (same type tag).
-pub fn write_object(sm: &mut StorageManager, cat: &Catalog, oid: Oid, obj: &Object) -> Result<()> {
+pub fn write_object(sm: &StorageManager, cat: &Catalog, oid: Oid, obj: &Object) -> Result<()> {
     let def = cat.type_def(obj.type_id);
     let payload = obj.encode(def);
     let hf = HeapFile::open(oid.file);
@@ -47,7 +47,7 @@ pub fn value_key(v: &Value) -> Vec<u8> {
 /// is NULL). Reads the referenced object's record header via a full read —
 /// callers that already walk the chain skip this.
 pub fn check_ref_type(
-    sm: &mut StorageManager,
+    sm: &StorageManager,
     cat: &Catalog,
     v: &Value,
     expected: TypeId,

@@ -274,7 +274,7 @@ pub fn propagate_terminal_inplace(
 /// `obj` (node `lvl + 1` of `path`) whose hop `lvl + 1` target is `next`.
 /// Positions `0..=lvl` are `None` (unused by the link helpers for `from =
 /// lvl + 1`).
-fn suffix_chain(
+pub(crate) fn suffix_chain(
     ctx: &mut EngineCtx<'_>,
     path: &RepPathDef,
     lvl: usize,

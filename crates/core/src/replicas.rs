@@ -23,7 +23,7 @@ pub fn group_values(group: &GroupDef, terminal_obj: &Object) -> Vec<Value> {
 }
 
 /// Read a replica object's values.
-pub fn read_replica(sm: &mut StorageManager, group: &GroupDef, oid: Oid) -> Result<Vec<Value>> {
+pub fn read_replica(sm: &StorageManager, group: &GroupDef, oid: Oid) -> Result<Vec<Value>> {
     let hf = HeapFile::open(group.file);
     let (tag, payload) = hf.read(sm, oid)?;
     debug_assert_eq!(tag, REPLICA_TAG);
@@ -32,7 +32,7 @@ pub fn read_replica(sm: &mut StorageManager, group: &GroupDef, oid: Oid) -> Resu
 
 /// Overwrite a replica object's values.
 pub fn write_replica(
-    sm: &mut StorageManager,
+    sm: &StorageManager,
     group: &GroupDef,
     oid: Oid,
     values: &[Value],
@@ -72,7 +72,7 @@ pub fn find_replica_ref(obj: &Object, group: u16) -> Option<(usize, Oid)> {
 /// `delta` to its refcount. Creates the replica (from the terminal's
 /// current values) on first use. Returns the replica OID.
 pub fn anchor_acquire(
-    sm: &mut StorageManager,
+    sm: &StorageManager,
     cat: &Catalog,
     group: &GroupDef,
     target: Oid,
@@ -107,7 +107,7 @@ pub fn anchor_acquire(
 /// Drop `delta` references from `target`'s anchor for `group`; deletes the
 /// replica object and the anchor when the count reaches zero.
 pub fn anchor_release(
-    sm: &mut StorageManager,
+    sm: &StorageManager,
     cat: &Catalog,
     group: &GroupDef,
     target: Oid,

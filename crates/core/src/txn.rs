@@ -1,0 +1,1058 @@
+//! Concurrent transactions: snapshot reads + OID-ordered write locking.
+//!
+//! The paper's replication maintenance makes concurrency hard in one
+//! specific way: an update to a shared field fans out through the
+//! inverted path's link objects to `f` replicas, so the atomic unit of a
+//! write is not one object but the whole *fan-out closure* — the updated
+//! object, the chain nodes whose links are rewired, every source object
+//! whose hidden values are re-materialised (in-place, §4.1.3), and the
+//! shared replica object (separate, §5.2). This module makes that unit
+//! atomic without ever blocking readers:
+//!
+//! * **Writers** ([`Database::update_txn`]) compute the closure with
+//!   [`Database::write_footprint`] (a read-only mirror of the
+//!   [`propagate`](crate::propagate) dispatch), then acquire a per-OID
+//!   write lock on every member **in globally sorted OID order** through
+//!   the single blessed helper [`TxnManager::lock_sorted`]. Sorted
+//!   acquisition over a total order makes deadlock impossible (every
+//!   wait edge points from a smaller held OID to a larger wanted one, so
+//!   the wait-for graph is acyclic); lint rule L4 statically enforces
+//!   that no other call site acquires a raw OID lock. Because the
+//!   closure is discovered by traversing the very structures concurrent
+//!   writers mutate, it is recomputed *under* the locks and the
+//!   acquisition retried (counted as `txn.conflict`) until the locked
+//!   set covers it. Sorted-OID order is also the engine's batched-I/O
+//!   order ([`fieldrep_storage::oid_page_chunks`]), so locks are taken
+//!   in the same order pages are fetched.
+//! * **Readers** ([`Database::snapshot_path_values`],
+//!   [`Database::snapshot_path_check`], [`Database::snapshot_get`])
+//!   never take locks. Each locked OID carries a seqlock-style version
+//!   that is odd while a writer holds it and bumped again on release;
+//!   readers capture the versions of the objects whose bytes they
+//!   consume (source, shared replica, terminal), read optimistically,
+//!   and retry (`txn.snapshot_retry`) if any version moved. Versions are
+//!   monotonic — lock-table entries are never removed — so a validated
+//!   read is a true point-in-time snapshot: it observed no mid-flight
+//!   ripple, which is exactly the "no torn replicas" invariant the
+//!   stress harness asserts.
+//!
+//! Two scope notes. Deferred-propagation paths are *not* synced by
+//! snapshot reads (syncing writes, and a reader must not write); they
+//! serve whatever is materialised, which is the documented semantics of
+//! §8 deferral. And B-tree maintenance has page-, not OID-granular
+//! state, so while any index exists, transactional updates additionally
+//! serialize on one coarse guard — the paper's experiments (and the
+//! concurrent bench) run without secondary indexes.
+
+use crate::attach::{collect_sources, read_path_values, terminal_values, walk_chain};
+use crate::database::Database;
+use crate::error::{DbError, Result};
+use crate::propagate::suffix_chain;
+use crate::replicas::{find_anchor, find_replica_ref};
+use fieldrep_catalog::{GroupId, LinkId, PathId, RepPathDef, Strategy};
+use fieldrep_model::{Annotation, Object, Value};
+use fieldrep_obs::{metrics, names as obs_names};
+use fieldrep_storage::Oid;
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Upper bound on one lock wait (and on one snapshot-read retry loop).
+/// Sorted acquisition makes deadlock impossible, so this firing means an
+/// ordering bug or a transaction wedged inside its critical section; the
+/// stress harness relies on it to fail fast instead of hanging.
+const DEADLOCK_WATCHDOG: Duration = Duration::from_secs(10);
+
+/// Lock-table stripes (power of two; each stripe is a mutex-guarded map).
+const LOCK_STRIPES: usize = 64;
+
+/// Re-acquisition attempts before a writer gives up on a closure that
+/// keeps changing under it.
+const MAX_LOCK_ATTEMPTS: usize = 32;
+
+/// Process-wide transaction instruments (names in [`obs_names`]).
+struct TxnMetrics {
+    begin: Arc<metrics::Counter>,
+    commit: Arc<metrics::Counter>,
+    abort: Arc<metrics::Counter>,
+    conflict: Arc<metrics::Counter>,
+    lock_wait: Arc<metrics::Counter>,
+    snapshot_retry: Arc<metrics::Counter>,
+    active: Arc<metrics::Gauge>,
+    lockset: Arc<metrics::Histogram>,
+}
+
+fn txn_metrics() -> &'static TxnMetrics {
+    static METRICS: OnceLock<TxnMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = metrics::registry();
+        TxnMetrics {
+            begin: r.counter(obs_names::TXN_BEGIN),
+            commit: r.counter(obs_names::TXN_COMMIT),
+            abort: r.counter(obs_names::TXN_ABORT),
+            conflict: r.counter(obs_names::TXN_CONFLICT),
+            lock_wait: r.counter(obs_names::TXN_LOCK_WAIT),
+            snapshot_retry: r.counter(obs_names::TXN_SNAPSHOT_RETRY),
+            active: r.gauge(obs_names::TXN_ACTIVE),
+            lockset: r.histogram(obs_names::TXN_LOCKSET, &[1, 2, 4, 8, 16, 32, 64, 128, 256]),
+        }
+    })
+}
+
+/// One OID's write lock + seqlock version.
+#[derive(Default)]
+struct OidLock {
+    /// Version: odd while a writer holds the lock, bumped on acquire and
+    /// release. Monotonic — entries are never removed from the table —
+    /// so a reader can never validate against a recycled version (no
+    /// ABA).
+    seq: AtomicU64,
+    /// Writer mutual exclusion. A spin-then-yield loop rather than a
+    /// mutex: guards are stored in a `Vec` across the whole commit, and
+    /// critical sections include page I/O, so waiters back off to
+    /// `yield_now` quickly.
+    held: AtomicBool,
+}
+
+impl OidLock {
+    /// The one raw lock acquisition in the workspace; only
+    /// [`TxnManager::lock_sorted`] may call it (lint rule L4 enforces
+    /// this), which is what makes the global acquisition order total.
+    fn raw_acquire(&self, oid: Oid) -> Result<bool> {
+        if self
+            .held
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            return Ok(false);
+        }
+        let start = Instant::now();
+        let mut spins = 0u32;
+        loop {
+            if self
+                .held
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Ok(true);
+            }
+            spins = spins.wrapping_add(1);
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+            if spins.is_multiple_of(4096) && start.elapsed() > DEADLOCK_WATCHDOG {
+                return Err(DbError::LockTimeout(oid));
+            }
+        }
+    }
+
+    fn raw_release(&self) {
+        self.held.store(false, Ordering::Release);
+    }
+}
+
+/// Striped `Oid → OidLock` table. Entries are created on first write
+/// lock and never removed (see [`OidLock::seq`]).
+struct LockTable {
+    stripes: Vec<Mutex<HashMap<Oid, Arc<OidLock>>>>,
+}
+
+impl LockTable {
+    fn new() -> Self {
+        LockTable {
+            stripes: (0..LOCK_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn stripe_of(oid: Oid) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        oid.hash(&mut h);
+        (h.finish() as usize) % LOCK_STRIPES
+    }
+
+    /// The lock of `oid`, created if absent.
+    fn entry(&self, oid: Oid) -> Arc<OidLock> {
+        Arc::clone(
+            self.stripes[Self::stripe_of(oid)]
+                .lock()
+                .entry(oid)
+                .or_default(),
+        )
+    }
+
+    /// Current version of `oid` without creating an entry: an OID that
+    /// was never write-locked is at version 0.
+    fn seq_of(&self, oid: Oid) -> u64 {
+        self.stripes[Self::stripe_of(oid)]
+            .lock()
+            .get(&oid)
+            .map_or(0, |l| l.seq.load(Ordering::Acquire))
+    }
+
+    fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// Guard over a sorted set of acquired OID write locks. Dropping it
+/// bumps every version to even (ripple complete) and releases the locks.
+pub struct LockSet {
+    oids: Vec<Oid>,
+    locks: Vec<Arc<OidLock>>,
+}
+
+impl LockSet {
+    /// Is every OID of `oids` (sorted or not) covered by this lock set?
+    pub fn covers(&self, oids: &[Oid]) -> bool {
+        oids.iter().all(|o| self.oids.binary_search(o).is_ok())
+    }
+
+    /// Number of locked OIDs.
+    pub fn len(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// True when nothing is locked.
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty()
+    }
+}
+
+impl Drop for LockSet {
+    fn drop(&mut self) {
+        for l in &self.locks {
+            l.seq.fetch_add(1, Ordering::Release); // even: ripple done
+            l.raw_release();
+        }
+    }
+}
+
+/// Snapshot of the transaction manager's counters (the `sys.txn` rows).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TxnStats {
+    /// Transactions currently between begin and commit/abort.
+    pub active: u64,
+    /// Transactions begun.
+    pub begun: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted.
+    pub aborted: u64,
+    /// Write commits that re-acquired a changed lock closure.
+    pub conflicts: u64,
+    /// Contended OID-lock acquisitions.
+    pub lock_waits: u64,
+    /// Snapshot reads re-run because a writer raced them.
+    pub snapshot_retries: u64,
+    /// Committed transactional writes (the global commit epoch).
+    pub commit_epoch: u64,
+    /// OIDs with a lock-table entry (ever write-locked).
+    pub locks_tracked: u64,
+}
+
+/// Per-database transaction manager: the OID lock table, the commit
+/// epoch, and counters. All methods take `&self`; one manager serves
+/// every concurrent thread of its [`Database`].
+pub struct TxnManager {
+    table: LockTable,
+    /// Committed transactional writes. Bumped after every successful
+    /// [`Database::update_txn`]; snapshot readers do not need it (they
+    /// validate per-OID versions) but `sys.txn` exposes it as the
+    /// database's logical write clock.
+    epoch: AtomicU64,
+    next_id: AtomicU64,
+    active: AtomicU64,
+    begun: AtomicU64,
+    committed: AtomicU64,
+    aborted: AtomicU64,
+    conflicts: AtomicU64,
+    lock_waits: AtomicU64,
+    snapshot_retries: AtomicU64,
+    /// Coarse serialization for B-tree maintenance: index pages have no
+    /// per-OID identity, so while any index exists, transactional
+    /// updates take this in addition to their OID locks.
+    index_guard: Mutex<()>,
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        TxnManager {
+            table: LockTable::new(),
+            epoch: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            begun: AtomicU64::new(0),
+            committed: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
+            lock_waits: AtomicU64::new(0),
+            snapshot_retries: AtomicU64::new(0),
+            index_guard: Mutex::new(()),
+        }
+    }
+}
+
+impl TxnManager {
+    /// Begin a transaction; returns its id. Transactions are
+    /// chained-auto-commit: DML applies as it runs (there is no undo
+    /// log, matching the paper's no-recovery scope); what begin/commit
+    /// delimit is the statistics window and, for read-only work, the
+    /// right to abort.
+    pub fn begin(&self) -> u64 {
+        self.begun.fetch_add(1, Ordering::Relaxed);
+        let now_active = self.active.fetch_add(1, Ordering::Relaxed) + 1;
+        let m = txn_metrics();
+        m.begin.inc();
+        m.active.set(now_active as i64);
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Commit transaction `_txn`.
+    pub fn commit(&self, _txn: u64) {
+        self.committed.fetch_add(1, Ordering::Relaxed);
+        let m = txn_metrics();
+        m.commit.inc();
+        m.active.set(self.dec_active() as i64);
+    }
+
+    /// Abort transaction `_txn`. Writes already applied stay applied
+    /// (no undo log); [`crate::lang`-level] callers refuse abort after
+    /// writes.
+    pub fn abort(&self, _txn: u64) {
+        self.aborted.fetch_add(1, Ordering::Relaxed);
+        let m = txn_metrics();
+        m.abort.inc();
+        m.active.set(self.dec_active() as i64);
+    }
+
+    fn dec_active(&self) -> u64 {
+        let prev = match self
+            .active
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            }) {
+            Ok(v) | Err(v) => v,
+        };
+        prev.saturating_sub(1)
+    }
+
+    /// Acquire write locks on every OID of `oids` — which **must** be
+    /// sorted and deduplicated — in that global order, and bump each
+    /// version to odd. This is the only place in the workspace that may
+    /// acquire OID locks (lint rule L4): funnelling every acquisition
+    /// through one sorted loop is the whole deadlock-freedom argument,
+    /// and the order equals the batched-I/O page order because both
+    /// derive from the same physical OID sort.
+    pub fn lock_sorted(&self, oids: &[Oid]) -> Result<LockSet> {
+        if oids.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(DbError::Unsupported(
+                "lock_sorted requires a sorted, deduplicated OID set".into(),
+            ));
+        }
+        let mut locks: Vec<Arc<OidLock>> = Vec::with_capacity(oids.len());
+        for &oid in oids {
+            let l = self.table.entry(oid);
+            match l.raw_acquire(oid) {
+                Ok(waited) => {
+                    if waited {
+                        self.lock_waits.fetch_add(1, Ordering::Relaxed);
+                        txn_metrics().lock_wait.inc();
+                    }
+                    l.seq.fetch_add(1, Ordering::Release); // odd: writer present
+                    locks.push(l);
+                }
+                Err(e) => {
+                    // Watchdog fired mid-acquisition: release the prefix.
+                    drop(LockSet {
+                        oids: oids[..locks.len()].to_vec(),
+                        locks,
+                    });
+                    return Err(e);
+                }
+            }
+        }
+        txn_metrics().lockset.record(oids.len() as u64);
+        Ok(LockSet {
+            oids: oids.to_vec(),
+            locks,
+        })
+    }
+
+    /// Current seqlock version of `oid` (0 if never write-locked; odd
+    /// while a writer holds it).
+    pub fn seq_of(&self, oid: Oid) -> u64 {
+        self.table.seq_of(oid)
+    }
+
+    /// The number of committed transactional writes.
+    pub fn commit_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn note_commit_applied(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    pub(crate) fn note_conflict(&self) {
+        self.conflicts.fetch_add(1, Ordering::Relaxed);
+        txn_metrics().conflict.inc();
+    }
+
+    pub(crate) fn note_snapshot_retry(&self) {
+        self.snapshot_retries.fetch_add(1, Ordering::Relaxed);
+        txn_metrics().snapshot_retry.inc();
+    }
+
+    /// Counter snapshot (the `sys.txn` virtual table's rows).
+    pub fn stats(&self) -> TxnStats {
+        TxnStats {
+            active: self.active.load(Ordering::Relaxed),
+            begun: self.begun.load(Ordering::Relaxed),
+            committed: self.committed.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+            lock_waits: self.lock_waits.load(Ordering::Relaxed),
+            snapshot_retries: self.snapshot_retries.load(Ordering::Relaxed),
+            commit_epoch: self.commit_epoch(),
+            locks_tracked: self.table.len() as u64,
+        }
+    }
+}
+
+/// Ref value → OID, `None` for null/non-ref.
+fn as_oid(v: &Value) -> Option<Oid> {
+    match v {
+        Value::Ref(o) if !o.is_null() => Some(*o),
+        _ => None,
+    }
+}
+
+/// Backoff for optimistic-read retries: spin briefly, then yield.
+fn snapshot_backoff(attempt: u32) {
+    if attempt < 64 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+impl Database {
+    /// The write-lock closure of `update(oid, changes)`: every OID whose
+    /// stored bytes the update may rewrite, plus every source object
+    /// whose replicated view of the ripple a snapshot reader validates.
+    /// A read-only mirror of the [`crate::propagate`] dispatch — the two
+    /// must stay in sync (the recompute-under-locks retry in
+    /// [`Database::update_txn`] absorbs races, not omissions).
+    ///
+    /// Returned sorted and deduplicated, ready for
+    /// [`TxnManager::lock_sorted`].
+    pub(crate) fn write_footprint(&self, oid: Oid, changes: &[(&str, Value)]) -> Result<Vec<Oid>> {
+        let set = self.set_of(oid)?;
+        let cat = self.catalog();
+        let set_def = cat.set(set).clone();
+        let def = cat.type_def(set_def.elem_type).clone();
+        let old_obj = self.get(oid)?;
+
+        // Resolve to effective (index, old, new) changes; unknown fields
+        // and type errors are left for `update` to surface.
+        let mut field_changes: Vec<(usize, Value, Value)> = Vec::new();
+        for (name, new) in changes {
+            let Some(idx) = def.field_index(name) else {
+                continue;
+            };
+            let old = old_obj.values[idx].clone();
+            if old != *new {
+                field_changes.push((idx, old, new.clone()));
+            }
+        }
+        let mut fp: BTreeSet<Oid> = BTreeSet::new();
+        fp.insert(oid);
+        if field_changes.is_empty() {
+            return Ok(fp.into_iter().collect());
+        }
+
+        // --- Own paths whose first hop changes: both chains, old and new.
+        let changed_refs: BTreeSet<usize> = field_changes
+            .iter()
+            .filter(|(i, _, _)| def.fields[*i].ftype.is_ref())
+            .map(|(i, _, _)| *i)
+            .collect();
+        let own_paths: Vec<RepPathDef> = cat
+            .paths_from(set)
+            .filter(|p| changed_refs.contains(&p.hops[0]))
+            .cloned()
+            .collect();
+        for p in &own_paths {
+            let mut ctx = self.ctx();
+            let old_chain = walk_chain(&mut ctx, p, oid, &old_obj)?;
+            fp.extend(old_chain.iter().flatten().copied());
+            let mut new_obj = old_obj.clone();
+            for (i, _, new) in &field_changes {
+                new_obj.values[*i] = new.clone();
+            }
+            let new_chain = walk_chain(&mut ctx, p, oid, &new_obj)?;
+            fp.extend(new_chain.iter().flatten().copied());
+            if p.strategy == Strategy::Separate {
+                let Some(g) = p.group else { continue };
+                let group = cat.group(g).clone();
+                // The old shared replica (refcount may drop it) and the
+                // new terminal's existing replica.
+                if let Some((_, roid)) = find_replica_ref(&old_obj, group.id.0) {
+                    fp.insert(roid);
+                }
+                if let Some(t) = new_chain.last().copied().flatten() {
+                    let tobj = self.get(t)?;
+                    if let Some((_, roid, _)) = find_anchor(&tobj, group.id.0) {
+                        fp.insert(roid);
+                    }
+                }
+            }
+        }
+
+        // --- This object as a separate-group terminal: the shared replica.
+        for a in &old_obj.annotations {
+            if let Annotation::ReplicaAnchor {
+                group, oid: roid, ..
+            } = a
+            {
+                let gdef = cat.group(GroupId(*group)).clone();
+                if field_changes
+                    .iter()
+                    .any(|(f, _, _)| gdef.fields.contains(f))
+                {
+                    fp.insert(*roid);
+                }
+            }
+        }
+
+        // --- Link-borne: in-place terminal fan-out + intermediate hops.
+        let link_ids: Vec<u8> = old_obj
+            .annotations
+            .iter()
+            .filter_map(|a| match a {
+                Annotation::LinkRef { link, .. }
+                | Annotation::InlineLink { link, .. }
+                | Annotation::CollapsedVia { link } => Some(*link),
+                _ => None,
+            })
+            .collect();
+        for (f, old, new) in &field_changes {
+            for &l in &link_ids {
+                let link = LinkId(l);
+                let term_paths: Vec<RepPathDef> = cat
+                    .inplace_paths_terminating_at(link, *f)
+                    .cloned()
+                    .collect();
+                for p in term_paths {
+                    let mut ctx = self.ctx();
+                    fp.extend(collect_sources(&mut ctx, &p, p.links.len() - 1, &old_obj)?);
+                }
+                let mid_paths: Vec<RepPathDef> =
+                    cat.paths_with_intermediate(link, *f).cloned().collect();
+                for p in mid_paths {
+                    let old_ref = as_oid(old);
+                    let new_ref = as_oid(new);
+                    if p.collapsed {
+                        // §4.3.3 re-target: both holders and every member
+                        // of the old holder's tagged store (a superset of
+                        // the entries that actually move).
+                        fp.extend(old_ref);
+                        fp.extend(new_ref);
+                        let holder = old_ref.unwrap_or(oid);
+                        let hobj = self.get(holder)?;
+                        let mut ctx = self.ctx();
+                        fp.extend(collect_sources(&mut ctx, &p, 0, &hobj)?);
+                        continue;
+                    }
+                    let Some(lvl) = p.links.iter().position(|x| *x == link) else {
+                        continue;
+                    };
+                    let mut ctx = self.ctx();
+                    fp.extend(collect_sources(&mut ctx, &p, lvl, &old_obj)?);
+                    let old_chain = suffix_chain(&mut ctx, &p, lvl, oid, old_ref)?;
+                    fp.extend(old_chain.iter().flatten().copied());
+                    let new_chain = suffix_chain(&mut ctx, &p, lvl, oid, new_ref)?;
+                    fp.extend(new_chain.iter().flatten().copied());
+                    if p.strategy == Strategy::Separate {
+                        if let Some(g) = p.group {
+                            let group = cat.group(g).clone();
+                            let terminals = [
+                                old_chain.last().copied().flatten(),
+                                new_chain.last().copied().flatten(),
+                            ];
+                            for t in terminals.into_iter().flatten() {
+                                let tobj = self.get(t)?;
+                                if let Some((_, roid, _)) = find_anchor(&tobj, group.id.0) {
+                                    fp.insert(roid);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(fp.into_iter().collect())
+    }
+
+    /// Concurrent-safe [`Database::update`]: compute the fan-out
+    /// closure, lock it in sorted OID order, re-validate under the
+    /// locks, apply, and version-bump every member so snapshot readers
+    /// observe the ripple atomically. Safe to call from many threads;
+    /// writers with disjoint closures run in parallel.
+    pub fn update_txn(&self, oid: Oid, changes: &[(&str, Value)]) -> Result<()> {
+        let txn = self.txn();
+        // B-tree pages have no OID identity: serialize index maintenance
+        // coarsely while any index exists.
+        let _index_guard = if self.catalog().indexes().next().is_some() {
+            Some(txn.index_lock())
+        } else {
+            None
+        };
+        let mut fp = self.write_footprint(oid, changes)?;
+        for _ in 0..MAX_LOCK_ATTEMPTS {
+            let guard = txn.lock_sorted(&fp)?;
+            // The closure was discovered without locks; recompute now
+            // that the world is frozen. A concurrent commit in between
+            // may have rewired links or moved sources.
+            let check = self.write_footprint(oid, changes)?;
+            if guard.covers(&check) {
+                let result = self.update(oid, changes);
+                if result.is_ok() {
+                    txn.note_commit_applied();
+                }
+                return result; // guard drop publishes the versions
+            }
+            txn.note_conflict();
+            drop(guard);
+            let merged: BTreeSet<Oid> = fp.into_iter().chain(check).collect();
+            fp = merged.into_iter().collect();
+        }
+        Err(DbError::Unsupported(
+            "update_txn: write-lock closure kept changing under contention".into(),
+        ))
+    }
+
+    /// Seqlock-validated snapshot read of one object. Never blocks:
+    /// retries (with backoff) while a writer's ripple is in flight.
+    pub fn snapshot_get(&self, oid: Oid) -> Result<Object> {
+        let txn = self.txn();
+        let start = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            if attempt > 0 {
+                txn.note_snapshot_retry();
+                snapshot_backoff(attempt);
+                if attempt.is_multiple_of(1024) && start.elapsed() > DEADLOCK_WATCHDOG {
+                    return Err(DbError::LockTimeout(oid));
+                }
+            }
+            attempt = attempt.wrapping_add(1);
+            let s1 = txn.seq_of(oid);
+            if s1 & 1 == 1 {
+                continue;
+            }
+            let obj = match self.get(oid) {
+                Ok(o) => o,
+                Err(e) => {
+                    if txn.seq_of(oid) != s1 {
+                        continue; // torn by a concurrent writer: retry
+                    }
+                    return Err(e);
+                }
+            };
+            if txn.seq_of(oid) == s1 {
+                return Ok(obj);
+            }
+        }
+    }
+
+    /// Snapshot read of one base field by name.
+    pub fn snapshot_field(&self, oid: Oid, field: &str) -> Result<Value> {
+        let obj = self.snapshot_get(oid)?;
+        let def = self.catalog().type_def(obj.type_id);
+        Ok(obj.get(def, field)?.clone())
+    }
+
+    /// Snapshot read of `path`'s replicated values as seen from `source`
+    /// — the query executor's read primitive under concurrency. Consumes
+    /// the source object's bytes (in-place / collapsed) or the shared
+    /// replica object's (separate), and validates the version of
+    /// exactly those OIDs. Deferred paths are *not* synced (a snapshot
+    /// reader must not write) and may serve pre-ripple values, which is
+    /// the §8 deferral contract.
+    pub fn snapshot_path_values(&self, source: Oid, path: PathId) -> Result<Option<Vec<Value>>> {
+        let pdef = self.catalog().path(path).clone();
+        let group = match (pdef.strategy, pdef.group) {
+            (Strategy::Separate, Some(g)) => Some(self.catalog().group(g).clone()),
+            _ => None,
+        };
+        let txn = self.txn();
+        let start = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            if attempt > 0 {
+                txn.note_snapshot_retry();
+                snapshot_backoff(attempt);
+                if attempt.is_multiple_of(1024) && start.elapsed() > DEADLOCK_WATCHDOG {
+                    return Err(DbError::LockTimeout(source));
+                }
+            }
+            attempt = attempt.wrapping_add(1);
+            let io_before = fieldrep_obs::io::snapshot();
+            let s1 = txn.seq_of(source);
+            if s1 & 1 == 1 {
+                continue;
+            }
+            let obj = match self.get(source) {
+                Ok(o) => o,
+                Err(e) => {
+                    if txn.seq_of(source) != s1 {
+                        continue;
+                    }
+                    return Err(e);
+                }
+            };
+            let mut watch: Vec<(Oid, u64)> = vec![(source, s1)];
+            if let Some(g) = &group {
+                if let Some((_, roid)) = find_replica_ref(&obj, g.id.0) {
+                    let r1 = txn.seq_of(roid);
+                    if r1 & 1 == 1 {
+                        continue;
+                    }
+                    watch.push((roid, r1));
+                }
+            }
+            let vals = {
+                let mut ctx = self.ctx();
+                match read_path_values(&mut ctx, &pdef, &obj) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        if watch.iter().any(|&(o, s)| txn.seq_of(o) != s) {
+                            continue;
+                        }
+                        return Err(e);
+                    }
+                }
+            };
+            if watch.iter().all(|&(o, s)| txn.seq_of(o) == s) {
+                let pages = (fieldrep_obs::io::snapshot() - io_before).page_touches();
+                self.workload()
+                    .record_read(&pdef.expr.to_string(), 1, pages);
+                return Ok(vals);
+            }
+        }
+    }
+
+    /// One consistent snapshot of both sides of a replication path: the
+    /// replicated values visible at `source` and the terminal's true
+    /// field values (via the forward chain). The two are read under one
+    /// validation window, so `visible == truth` — both `None` on a
+    /// broken chain, or equal value lists — is exactly the paper's
+    /// replica-consistency invariant; the concurrent stress harness
+    /// asserts it under hostile interleavings. (Deferred paths may
+    /// legitimately disagree until synced.)
+    #[allow(clippy::type_complexity)]
+    pub fn snapshot_path_check(
+        &self,
+        source: Oid,
+        path: PathId,
+    ) -> Result<(Option<Vec<Value>>, Option<Vec<Value>>)> {
+        let pdef = self.catalog().path(path).clone();
+        let group = match (pdef.strategy, pdef.group) {
+            (Strategy::Separate, Some(g)) => Some(self.catalog().group(g).clone()),
+            _ => None,
+        };
+        let txn = self.txn();
+        let start = Instant::now();
+        let mut attempt = 0u32;
+        'retry: loop {
+            if attempt > 0 {
+                txn.note_snapshot_retry();
+                snapshot_backoff(attempt);
+                if attempt.is_multiple_of(1024) && start.elapsed() > DEADLOCK_WATCHDOG {
+                    return Err(DbError::LockTimeout(source));
+                }
+            }
+            attempt = attempt.wrapping_add(1);
+            let s1 = txn.seq_of(source);
+            if s1 & 1 == 1 {
+                continue;
+            }
+            let obj = match self.get(source) {
+                Ok(o) => o,
+                Err(e) => {
+                    if txn.seq_of(source) != s1 {
+                        continue;
+                    }
+                    return Err(e);
+                }
+            };
+            let mut watch: Vec<(Oid, u64)> = vec![(source, s1)];
+            if let Some(g) = &group {
+                if let Some((_, roid)) = find_replica_ref(&obj, g.id.0) {
+                    let r1 = txn.seq_of(roid);
+                    if r1 & 1 == 1 {
+                        continue;
+                    }
+                    watch.push((roid, r1));
+                }
+            }
+            let invalidated = |watch: &[(Oid, u64)]| watch.iter().any(|&(o, s)| txn.seq_of(o) != s);
+            let (visible, chain) = {
+                let mut ctx = self.ctx();
+                let visible = match read_path_values(&mut ctx, &pdef, &obj) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        if invalidated(&watch) {
+                            continue;
+                        }
+                        return Err(e);
+                    }
+                };
+                let chain = match walk_chain(&mut ctx, &pdef, source, &obj) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        if invalidated(&watch) {
+                            continue;
+                        }
+                        return Err(e);
+                    }
+                };
+                (visible, chain)
+            };
+            let truth = match chain.last().copied().flatten() {
+                Some(t) => {
+                    let t1 = txn.seq_of(t);
+                    if t1 & 1 == 1 {
+                        continue;
+                    }
+                    watch.push((t, t1));
+                    let tobj = match self.get(t) {
+                        Ok(o) => o,
+                        Err(e) => {
+                            if invalidated(&watch) {
+                                continue 'retry;
+                            }
+                            return Err(e);
+                        }
+                    };
+                    Some(terminal_values(&pdef, &tobj))
+                }
+                None => None,
+            };
+            if !invalidated(&watch) {
+                return Ok((visible, truth));
+            }
+        }
+    }
+}
+
+impl TxnManager {
+    /// Take the coarse index-maintenance guard (see
+    /// [`TxnManager::index_guard`]).
+    pub(crate) fn index_lock(&self) -> parking_lot::MutexGuard<'_, ()> {
+        self.index_guard.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Database, DbConfig};
+    use fieldrep_model::{FieldType, TypeDef};
+
+    fn db_with_path(strategy: Strategy) -> (Database, Oid, Vec<Oid>, PathId) {
+        let mut db = Database::in_memory(DbConfig {
+            pool_pages: 64,
+            inline_link_threshold: 0,
+        });
+        db.define_type(TypeDef::new(
+            "DEPT",
+            vec![("name", FieldType::Str), ("budget", FieldType::Int)],
+        ))
+        .unwrap();
+        db.define_type(TypeDef::new(
+            "EMP",
+            vec![
+                ("name", FieldType::Str),
+                ("salary", FieldType::Int),
+                ("dept", FieldType::Ref("DEPT".into())),
+            ],
+        ))
+        .unwrap();
+        db.create_set("Dept", "DEPT").unwrap();
+        db.create_set("Emp", "EMP").unwrap();
+        let d = db
+            .insert("Dept", vec![Value::Str("Shoe".into()), Value::Int(100)])
+            .unwrap();
+        let emps: Vec<Oid> = (0..8)
+            .map(|i| {
+                db.insert(
+                    "Emp",
+                    vec![
+                        Value::Str(format!("e{i}")),
+                        Value::Int(1000 + i),
+                        Value::Ref(d),
+                    ],
+                )
+                .unwrap()
+            })
+            .collect();
+        let p = db.replicate("Emp.dept.name", strategy).unwrap();
+        (db, d, emps, p)
+    }
+
+    #[test]
+    fn database_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Database>();
+        assert_send_sync::<TxnManager>();
+    }
+
+    #[test]
+    fn lock_sorted_rejects_unsorted_and_duplicate_input() {
+        let mgr = TxnManager::default();
+        let f = fieldrep_storage::FileId(1);
+        let a = Oid::new(f, 0, 0);
+        let b = Oid::new(f, 0, 1);
+        assert!(mgr.lock_sorted(&[b, a]).is_err());
+        assert!(mgr.lock_sorted(&[a, a]).is_err());
+        // A failed acquisition must not leave anything locked.
+        let g = mgr.lock_sorted(&[a, b]).unwrap();
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn lock_versions_are_odd_while_held_and_bump_by_two() {
+        let mgr = TxnManager::default();
+        let oid = Oid::new(fieldrep_storage::FileId(1), 3, 4);
+        assert_eq!(mgr.seq_of(oid), 0);
+        let g = mgr.lock_sorted(&[oid]).unwrap();
+        assert_eq!(mgr.seq_of(oid) & 1, 1, "odd while held");
+        drop(g);
+        assert_eq!(mgr.seq_of(oid), 2, "even after release");
+    }
+
+    #[test]
+    fn footprint_of_terminal_update_is_the_fanout_closure() {
+        let (db, d, emps, _p) = db_with_path(Strategy::InPlace);
+        let fp = db
+            .write_footprint(d, &[("name", Value::Str("Boots".into()))])
+            .unwrap();
+        assert!(fp.contains(&d), "updated object");
+        for e in &emps {
+            assert!(fp.contains(e), "every fan-out source");
+        }
+        assert!(fp.windows(2).all(|w| w[0] < w[1]), "sorted + deduplicated");
+    }
+
+    #[test]
+    fn footprint_of_separate_update_includes_the_shared_replica() {
+        let (db, d, emps, p) = db_with_path(Strategy::Separate);
+        let fp = db
+            .write_footprint(d, &[("name", Value::Str("Boots".into()))])
+            .unwrap();
+        assert!(fp.contains(&d));
+        // The shared replica object is versioned; the sources are not
+        // rewritten by a separate refresh, but readers discover the
+        // replica OID from the source and validate the replica itself.
+        let obj = db.get(emps[0]).unwrap();
+        let pdef = db.catalog().path(p).clone();
+        let g = db.catalog().group(pdef.group.unwrap()).clone();
+        let (_, roid) = find_replica_ref(&obj, g.id.0).unwrap();
+        assert!(fp.contains(&roid), "shared replica object in closure");
+    }
+
+    #[test]
+    fn update_txn_propagates_like_plain_update() {
+        let (db, d, emps, p) = db_with_path(Strategy::InPlace);
+        db.update_txn(d, &[("name", Value::Str("Boots".into()))])
+            .unwrap();
+        for e in &emps {
+            assert_eq!(
+                db.path_values(*e, p).unwrap(),
+                Some(vec![Value::Str("Boots".into())])
+            );
+        }
+        assert_eq!(db.txn().commit_epoch(), 1);
+        let stats = db.txn().stats();
+        assert_eq!(stats.conflicts, 0, "single-threaded: no conflicts");
+    }
+
+    #[test]
+    fn snapshot_reads_match_committed_state() {
+        let (db, d, emps, p) = db_with_path(Strategy::Separate);
+        assert_eq!(
+            db.snapshot_path_values(emps[0], p).unwrap(),
+            Some(vec![Value::Str("Shoe".into())])
+        );
+        db.update_txn(d, &[("name", Value::Str("Boots".into()))])
+            .unwrap();
+        let (visible, truth) = db.snapshot_path_check(emps[0], p).unwrap();
+        assert_eq!(visible, Some(vec![Value::Str("Boots".into())]));
+        assert_eq!(visible, truth);
+        assert_eq!(
+            db.snapshot_field(d, "name").unwrap(),
+            Value::Str("Boots".into())
+        );
+    }
+
+    #[test]
+    fn begin_commit_abort_bookkeeping() {
+        let db = Database::in_memory(DbConfig::default());
+        let t1 = db.txn().begin();
+        let t2 = db.txn().begin();
+        assert_ne!(t1, t2);
+        assert_eq!(db.txn().stats().active, 2);
+        db.txn().commit(t1);
+        db.txn().abort(t2);
+        let s = db.txn().stats();
+        assert_eq!((s.active, s.begun, s.committed, s.aborted), (0, 2, 1, 1));
+    }
+
+    #[test]
+    fn concurrent_writers_and_snapshot_readers_agree() {
+        let (db, d, emps, p) = db_with_path(Strategy::InPlace);
+        let db = &db;
+        let emps = &emps;
+        std::thread::scope(|s| {
+            // One writer flips the shared terminal field; a second
+            // writer bounces a disjoint field; readers continuously
+            // assert the invariant.
+            s.spawn(move || {
+                for i in 0..50 {
+                    db.update_txn(d, &[("name", Value::Str(format!("n{i}")))])
+                        .unwrap();
+                }
+            });
+            s.spawn(move || {
+                for i in 0..50 {
+                    db.update_txn(emps[0], &[("salary", Value::Int(i))])
+                        .unwrap();
+                }
+            });
+            for _ in 0..2 {
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        for e in emps {
+                            let (visible, truth) = db.snapshot_path_check(*e, p).unwrap();
+                            assert_eq!(visible, truth, "torn replica observed");
+                        }
+                    }
+                });
+            }
+        });
+        // Final state is consistent too.
+        for e in emps {
+            let (visible, truth) = db.snapshot_path_check(*e, p).unwrap();
+            assert_eq!(visible, truth);
+        }
+    }
+}

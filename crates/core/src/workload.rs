@@ -13,7 +13,10 @@
 //! `core.workload.*` names, so the timeline sampler and the flight
 //! recorder see workload movement alongside the storage counters.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use fieldrep_obs::metrics::{registry, Counter, Gauge};
@@ -94,20 +97,77 @@ fn mirror() -> &'static Mirror {
     })
 }
 
+/// Shards in the per-path registry. Paths hash to a shard; recording
+/// sites only contend when two threads hit paths in the same shard.
+const WORKLOAD_SHARDS: usize = 16;
+
+/// Add `delta` to an `f64` stored as bits in an atomic (CAS loop).
+fn atomic_f64_add(a: &AtomicU64, delta: f64) {
+    let mut cur = a.load(Ordering::Relaxed);
+    loop {
+        let new = (f64::from_bits(cur) + delta).to_bits();
+        match a.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+fn atomic_f64_get(a: &AtomicU64) -> f64 {
+    f64::from_bits(a.load(Ordering::Relaxed))
+}
+
 /// Live per-path workload registry; one per [`Database`](crate::Database).
 ///
-/// Interior mutability (a `parking_lot` read-write lock over the path
-/// map) so recording sites only need a shared reference — the engine
-/// context hands one out alongside its `&mut StorageManager`.
-#[derive(Default)]
+/// The path map is split into [`WORKLOAD_SHARDS`] hash-selected shards,
+/// each behind its own read-write lock, and the aggregate totals the
+/// `core.workload.*` gauges mirror are maintained **incrementally** in
+/// atomics: a recording site locks exactly one shard, folds its sample
+/// into that path's EWMAs, and publishes the aggregate delta without
+/// touching (or even reading) any other path. The previous design — one
+/// pool-wide lock plus a full-map walk per sample to recompute the
+/// gauges — serialized every recording site; under the multi-threaded
+/// bench that made telemetry the bottleneck rather than the engine.
 pub struct WorkloadStats {
-    paths: RwLock<HashMap<String, PathWorkload>>,
+    shards: [RwLock<HashMap<String, PathWorkload>>; WORKLOAD_SHARDS],
+    /// Distinct paths across all shards.
+    path_count: AtomicU64,
+    /// Σ reads across paths.
+    reads: AtomicU64,
+    /// Σ updates across paths.
+    updates: AtomicU64,
+    /// f64 bits: Σ fanout_ewma · updates across paths.
+    fanout_w: AtomicU64,
+    /// f64 bits: Σ read_pages_ewma · reads across paths.
+    read_pages_w: AtomicU64,
+    /// f64 bits: Σ update_pages_ewma · updates across paths.
+    update_pages_w: AtomicU64,
+}
+
+impl Default for WorkloadStats {
+    fn default() -> Self {
+        WorkloadStats {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            path_count: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+            fanout_w: AtomicU64::new(f64::to_bits(0.0)),
+            read_pages_w: AtomicU64::new(f64::to_bits(0.0)),
+            update_pages_w: AtomicU64::new(f64::to_bits(0.0)),
+        }
+    }
 }
 
 impl WorkloadStats {
     /// Fresh, empty registry.
     pub fn new() -> WorkloadStats {
         WorkloadStats::default()
+    }
+
+    fn shard(&self, path: &str) -> &RwLock<HashMap<String, PathWorkload>> {
+        let mut h = DefaultHasher::new();
+        path.hash(&mut h);
+        &self.shards[(h.finish() as usize) % WORKLOAD_SHARDS]
     }
 
     /// Record `n` replicated reads through `path` that touched `pages`
@@ -117,66 +177,79 @@ impl WorkloadStats {
             return;
         }
         let per_read = pages as f64 / n as f64;
-        {
-            let mut map = self.paths.write();
+        let delta = {
+            let mut map = self.shard(path).write();
+            let is_new = !map.contains_key(path);
             let w = map.entry(path.to_string()).or_default();
+            let old_w = w.read_pages_ewma * w.reads as f64;
             let seeded = w.reads > 0;
             w.read_pages_ewma = ewma_fold(w.read_pages_ewma, seeded, per_read);
             w.reads += n;
-            self.refresh_gauges(&map);
-        }
+            if is_new {
+                self.path_count.fetch_add(1, Ordering::Relaxed);
+            }
+            w.read_pages_ewma * w.reads as f64 - old_w
+        };
+        self.reads.fetch_add(n, Ordering::Relaxed);
+        atomic_f64_add(&self.read_pages_w, delta);
+        self.refresh_gauges();
         mirror().reads.add(n);
     }
 
     /// Record one update ripple through `path` that refreshed `fanout`
     /// sources and touched `pages` pages.
     pub fn record_update(&self, path: &str, fanout: u64, pages: u64) {
-        {
-            let mut map = self.paths.write();
+        let (fanout_delta, pages_delta) = {
+            let mut map = self.shard(path).write();
+            let is_new = !map.contains_key(path);
             let w = map.entry(path.to_string()).or_default();
+            let old_fanout_w = w.fanout_ewma * w.updates as f64;
+            let old_pages_w = w.update_pages_ewma * w.updates as f64;
             let seeded = w.updates > 0;
             w.fanout_ewma = ewma_fold(w.fanout_ewma, seeded, fanout as f64);
             w.update_pages_ewma = ewma_fold(w.update_pages_ewma, seeded, pages as f64);
             w.updates += 1;
-            self.refresh_gauges(&map);
-        }
+            if is_new {
+                self.path_count.fetch_add(1, Ordering::Relaxed);
+            }
+            (
+                w.fanout_ewma * w.updates as f64 - old_fanout_w,
+                w.update_pages_ewma * w.updates as f64 - old_pages_w,
+            )
+        };
+        self.updates.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.fanout_w, fanout_delta);
+        atomic_f64_add(&self.update_pages_w, pages_delta);
+        self.refresh_gauges();
         mirror().updates.inc();
     }
 
     /// Observed workload for one path, if any access has been recorded.
     pub fn get(&self, path: &str) -> Option<PathWorkload> {
-        self.paths.read().get(path).cloned()
+        self.shard(path).read().get(path).cloned()
     }
 
     /// All observed paths with their workloads, sorted by path expression.
     pub fn all(&self) -> Vec<(String, PathWorkload)> {
-        let mut v: Vec<(String, PathWorkload)> = self
-            .paths
-            .read()
-            .iter()
-            .map(|(k, w)| (k.clone(), w.clone()))
-            .collect();
+        let mut v: Vec<(String, PathWorkload)> = Vec::new();
+        for shard in &self.shards {
+            v.extend(shard.read().iter().map(|(k, w)| (k.clone(), w.clone())));
+        }
         v.sort_by(|a, b| a.0.cmp(&b.0));
         v
     }
 
-    /// Push aggregate values into the global `core.workload.*` gauges.
+    /// Push aggregate values into the global `core.workload.*` gauges,
+    /// from the incrementally maintained atomics — O(1), no shard locks.
     ///
     /// Ratios are fixed-point: `P_up` in permille, EWMAs ×100 — gauges
     /// are integers, and three significant digits is plenty for a
     /// dashboard line.
-    fn refresh_gauges(&self, map: &HashMap<String, PathWorkload>) {
+    fn refresh_gauges(&self) {
         let m = mirror();
-        m.paths.set(map.len() as i64);
-        let (mut reads, mut updates) = (0u64, 0u64);
-        let (mut fanout_w, mut read_pages_w, mut update_pages_w) = (0.0f64, 0.0f64, 0.0f64);
-        for w in map.values() {
-            reads += w.reads;
-            updates += w.updates;
-            fanout_w += w.fanout_ewma * w.updates as f64;
-            update_pages_w += w.update_pages_ewma * w.updates as f64;
-            read_pages_w += w.read_pages_ewma * w.reads as f64;
-        }
+        m.paths.set(self.path_count.load(Ordering::Relaxed) as i64);
+        let reads = self.reads.load(Ordering::Relaxed);
+        let updates = self.updates.load(Ordering::Relaxed);
         let total = reads + updates;
         if total > 0 {
             m.p_up_permille
@@ -184,13 +257,14 @@ impl WorkloadStats {
         }
         if updates > 0 {
             m.fanout_x100
-                .set((100.0 * fanout_w / updates as f64).round() as i64);
-            m.update_pages_x100
-                .set((100.0 * update_pages_w / updates as f64).round() as i64);
+                .set((100.0 * atomic_f64_get(&self.fanout_w) / updates as f64).round() as i64);
+            m.update_pages_x100.set(
+                (100.0 * atomic_f64_get(&self.update_pages_w) / updates as f64).round() as i64,
+            );
         }
         if reads > 0 {
             m.read_pages_x100
-                .set((100.0 * read_pages_w / reads as f64).round() as i64);
+                .set((100.0 * atomic_f64_get(&self.read_pages_w) / reads as f64).round() as i64);
         }
     }
 }
@@ -238,6 +312,40 @@ mod tests {
         assert_eq!(w.read_pages_ewma, 2.0);
         ws.record_read("P", 0, 99); // ignored
         assert_eq!(ws.get("P").expect("recorded").reads, 4);
+    }
+
+    /// The sharded registry must absorb concurrent recording on many
+    /// paths without losing samples: exact counts per path, exact
+    /// aggregate totals.
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let ws = std::sync::Arc::new(WorkloadStats::new());
+        let paths: Vec<String> = (0..24).map(|i| format!("Set{i}.ref.field")).collect();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let ws = std::sync::Arc::clone(&ws);
+                let paths = paths.clone();
+                std::thread::spawn(move || {
+                    for round in 0..100 {
+                        let p = &paths[(t * 5 + round) % paths.len()];
+                        if round % 4 == 0 {
+                            ws.record_update(p, 3, 5);
+                        } else {
+                            ws.record_read(p, 1, 2);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let all = ws.all();
+        let reads: u64 = all.iter().map(|(_, w)| w.reads).sum();
+        let updates: u64 = all.iter().map(|(_, w)| w.updates).sum();
+        assert_eq!(updates, 8 * 25);
+        assert_eq!(reads, 8 * 75);
+        assert_eq!(all.len(), 24, "every path surfaced exactly once");
     }
 
     #[test]

@@ -161,7 +161,7 @@ fn collapsed_single_link_level_io_advantage() {
     };
     let mut io = Vec::new();
     for collapsed in [false, true] {
-        let (mut db, o) = build(collapsed);
+        let (db, o) = build(collapsed);
         db.flush_all().unwrap();
         db.reset_io();
         db.update(o, &[("name", sval("o#1"))]).unwrap();

@@ -42,7 +42,7 @@ fn schema(db: &mut Database) {
 #[test]
 fn catalog_image_roundtrip() {
     // Pure encode/decode equivalence, observed through the public API.
-    let mut sm = StorageManager::in_memory(64);
+    let sm = StorageManager::in_memory(64);
     let mut cat = fieldrep_catalog::Catalog::new();
     cat.define_type(TypeDef::new(
         "ORG",
@@ -65,7 +65,7 @@ fn catalog_image_roundtrip() {
         &PathExpr::parse("Dept.org.name").unwrap(),
         Strategy::InPlace,
         Propagation::Deferred,
-        &mut sm,
+        &sm,
     )
     .unwrap();
 

@@ -178,6 +178,14 @@ pub enum Stmt {
         /// Page-touch threshold.
         io_pages: Option<u64>,
     },
+    /// `begin` — open a transaction (statistics window + abort right).
+    Begin,
+    /// `commit` — close the current transaction.
+    Commit,
+    /// `abort` — abandon the current transaction. The engine has no undo
+    /// log (the paper's no-recovery scope), so aborting is only legal
+    /// before the transaction's first write.
+    Abort,
     /// `sync` — apply all deferred propagation.
     Sync,
     /// `show catalog | show pending | show io`

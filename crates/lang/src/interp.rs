@@ -68,6 +68,10 @@ pub struct Interpreter {
     /// use).
     pub db: Database,
     vars: HashMap<String, Oid>,
+    /// The open transaction, if any: `(id, has written)`. The engine has
+    /// no undo log, so the `abort` statement is refused once the flag is
+    /// set.
+    txn: Option<(u64, bool)>,
 }
 
 impl Interpreter {
@@ -76,6 +80,7 @@ impl Interpreter {
         Interpreter {
             db: Database::in_memory(cfg),
             vars: HashMap::new(),
+            txn: None,
         }
     }
 
@@ -84,7 +89,13 @@ impl Interpreter {
         Interpreter {
             db,
             vars: HashMap::new(),
+            txn: None,
         }
+    }
+
+    /// The id of the currently open transaction, if any.
+    pub fn current_txn(&self) -> Option<u64> {
+        self.txn.map(|(id, _)| id)
     }
 
     /// Look up a `$variable` bound by `insert … as $var`.
@@ -244,7 +255,61 @@ impl Interpreter {
 
     /// Execute one parsed statement.
     pub fn execute_stmt(&mut self, stmt: &Stmt) -> Result<Output, LangError> {
+        let out = self.execute_stmt_inner(stmt)?;
+        // Track whether the open transaction has written: once it has,
+        // `abort` is no longer legal (there is no undo log).
+        if matches!(
+            stmt,
+            Stmt::Insert { .. }
+                | Stmt::Replace { .. }
+                | Stmt::Delete { .. }
+                | Stmt::Sync
+                | Stmt::DefineType { .. }
+                | Stmt::CreateSet { .. }
+                | Stmt::Replicate { .. }
+                | Stmt::DropReplicate { .. }
+                | Stmt::BuildIndex { .. }
+        ) {
+            if let Some((_, wrote)) = &mut self.txn {
+                *wrote = true;
+            }
+        }
+        Ok(out)
+    }
+
+    fn execute_stmt_inner(&mut self, stmt: &Stmt) -> Result<Output, LangError> {
         match stmt {
+            Stmt::Begin => {
+                if let Some((id, _)) = self.txn {
+                    return Err(LangError::Exec(format!(
+                        "transaction {id} is already open (no nesting)"
+                    )));
+                }
+                let id = self.db.txn().begin();
+                self.txn = Some((id, false));
+                Ok(Output::Text(format!("begin transaction {id}")))
+            }
+            Stmt::Commit => {
+                let Some((id, _)) = self.txn.take() else {
+                    return Err(LangError::Exec("no open transaction to commit".into()));
+                };
+                self.db.txn().commit(id);
+                Ok(Output::Text(format!("commit transaction {id}")))
+            }
+            Stmt::Abort => {
+                let Some((id, wrote)) = self.txn else {
+                    return Err(LangError::Exec("no open transaction to abort".into()));
+                };
+                if wrote {
+                    return Err(LangError::Exec(format!(
+                        "transaction {id} has already applied writes and cannot abort \
+                         (no undo log); commit instead"
+                    )));
+                }
+                self.txn = None;
+                self.db.txn().abort(id);
+                Ok(Output::Text(format!("abort transaction {id}")))
+            }
             Stmt::DefineType { name, fields } => {
                 let fields: Vec<(String, FieldType)> = fields
                     .iter()

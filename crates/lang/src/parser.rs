@@ -145,6 +145,18 @@ impl Parser {
                 };
                 Ok(Stmt::Advise { path, p_update })
             }
+            "begin" => {
+                self.pos += 1;
+                Ok(Stmt::Begin)
+            }
+            "commit" => {
+                self.pos += 1;
+                Ok(Stmt::Commit)
+            }
+            "abort" => {
+                self.pos += 1;
+                Ok(Stmt::Abort)
+            }
             "sync" => {
                 self.pos += 1;
                 Ok(Stmt::Sync)

@@ -1,0 +1,84 @@
+//! Language-level transaction statements: `begin` / `commit` / `abort`
+//! and the `sys.txn` virtual table.
+
+use fieldrep_core::DbConfig;
+use fieldrep_lang::{Interpreter, Output};
+use fieldrep_model::Value;
+
+fn it() -> Interpreter {
+    let mut it = Interpreter::new(DbConfig {
+        pool_pages: 128,
+        ..DbConfig::default()
+    });
+    it.run_script(
+        r#"
+        define type DEPT ( name: char[], budget: int );
+        define type EMP  ( name: char[], salary: int, dept: ref DEPT );
+        create Dept: {own ref DEPT};
+        create Emp1: {own ref EMP};
+        insert Dept (name = "Shoe", budget = 100000) as $shoe;
+        insert Emp1 (name = "alice", salary = 10, dept = $shoe);
+        replicate Emp1.dept.name;
+        "#,
+    )
+    .expect("schema");
+    it
+}
+
+fn txn_counter(it: &mut Interpreter, name: &str) -> i64 {
+    let out = it
+        .execute(&format!(
+            "retrieve (value) from sys.txn where counter = \"{name}\""
+        ))
+        .expect("sys.txn query");
+    match out {
+        Output::Rows { rows, .. } => match rows.as_slice() {
+            [row] => match &row[0] {
+                Some(Value::Int(v)) => *v,
+                other => panic!("expected int, got {other:?}"),
+            },
+            other => panic!("expected one row, got {other:?}"),
+        },
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+#[test]
+fn begin_commit_shows_in_sys_txn() {
+    let mut it = it();
+    assert!(it.current_txn().is_none());
+    it.execute("begin").expect("begin");
+    assert!(it.current_txn().is_some());
+    assert_eq!(txn_counter(&mut it, "active"), 1);
+    it.execute("commit").expect("commit");
+    assert!(it.current_txn().is_none());
+    assert_eq!(txn_counter(&mut it, "active"), 0);
+    assert_eq!(txn_counter(&mut it, "committed"), 1);
+}
+
+#[test]
+fn abort_is_refused_after_writes_but_fine_before() {
+    let mut it = it();
+    it.execute("begin").expect("begin");
+    it.execute("abort").expect("read-only abort is legal");
+    assert_eq!(txn_counter(&mut it, "aborted"), 1);
+
+    it.execute("begin").expect("begin again");
+    it.execute(r#"replace (Dept.budget = 1) where Dept.name = "Shoe""#)
+        .expect("write");
+    let err = it.execute("abort").expect_err("abort after writes");
+    assert!(err.to_string().contains("cannot abort"), "{err}");
+    // The transaction is still open; commit closes it.
+    it.execute("commit").expect("commit");
+    assert!(it.current_txn().is_none());
+}
+
+#[test]
+fn txn_statements_need_an_open_transaction() {
+    let mut it = it();
+    assert!(it.execute("commit").is_err());
+    assert!(it.execute("abort").is_err());
+    it.execute("begin").expect("begin");
+    assert!(it.execute("begin").is_err(), "no nesting");
+    it.execute("commit").expect("commit");
+}

@@ -72,6 +72,9 @@ const OBS_NAME_APIS: [&str; 6] = [
 ];
 /// Buffer-pool entry points that take a frame lock (L4 triggers).
 const FRAME_ACQUIRERS: [&str; 3] = ["fetch", "new_page", "prefetch"];
+/// The one file allowed to acquire raw OID write locks: the transaction
+/// manager's sorted-order helper lives here (L4, concurrency half).
+const OID_LOCK_FILE: &str = "crates/core/src/txn.rs";
 /// Where the obs name registry lives; its own consts don't count as
 /// usages of themselves.
 const NAMES_FILE: &str = "crates/obs/src/names.rs";
@@ -84,6 +87,10 @@ const DRIFT_PREFIX: &str = "costmodel.drift.";
 pub fn run_checks(root: &Path) -> std::io::Result<Report> {
     let mut report = Report::default();
     let registry = Registry::load(root);
+    // L4 (concurrency half): raw OID-lock acquisitions in the blessed
+    // file — exactly one call site must remain.
+    let mut blessed_file_seen = false;
+    let mut blessed_acquires = 0usize;
     // Ident usages outside the registry file itself, for the dead-name
     // check — tests count as usages, so collect before stripping.
     let mut used_idents: BTreeSet<String> = BTreeSet::new();
@@ -150,7 +157,34 @@ pub fn run_checks(root: &Path) -> std::io::Result<Report> {
             }
         }
         check_lock_discipline(&toks, &mut push);
+        let acquire_sites = raw_acquire_sites(&toks);
+        if rel == OID_LOCK_FILE {
+            blessed_file_seen = true;
+            blessed_acquires += acquire_sites.len();
+        } else {
+            for line in acquire_sites {
+                push(
+                    line,
+                    "L4",
+                    "`raw_acquire` (raw OID write lock) outside TxnManager::lock_sorted — \
+                     every OID lock must be taken through the sorted-order helper, or the \
+                     global acquisition order (and with it deadlock freedom) is lost"
+                        .into(),
+                );
+            }
+        }
         *report.panic_counts.entry(crate_key).or_insert(0) += count_panics(&toks);
+    }
+    if blessed_file_seen && blessed_acquires != 1 {
+        report.diags.push(Diagnostic {
+            file: OID_LOCK_FILE.into(),
+            line: 1,
+            rule: "L4",
+            msg: format!(
+                "expected exactly one `raw_acquire` call site (inside lock_sorted, which \
+                 validates sorted input), found {blessed_acquires}"
+            ),
+        });
     }
 
     if let Some(reg) = &registry {
@@ -498,6 +532,26 @@ fn check_dead_names(root: &Path, used_idents: &BTreeSet<String>, diags: &mut Vec
             });
         }
     }
+}
+
+/// L4 (OID locks): lines with a `.raw_acquire(` call — the low-level,
+/// unordered OID write-lock primitive. Sorted-order acquisition is the
+/// whole deadlock-freedom argument of the concurrent transaction layer,
+/// so the only legal call site is `TxnManager::lock_sorted` (which
+/// rejects unsorted input) in [`OID_LOCK_FILE`]; propagation and replica
+/// refresh must hand their fan-out closure to it rather than lock
+/// piecemeal.
+fn raw_acquire_sites(toks: &[Tok]) -> Vec<u32> {
+    let mut sites = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.is_ident("raw_acquire"))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct("("))
+        {
+            sites.push(toks[i + 1].line);
+        }
+    }
+    sites
 }
 
 /// L3: count panic sites (`.unwrap(`, `.expect(`, `panic!`,

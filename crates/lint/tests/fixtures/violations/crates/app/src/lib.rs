@@ -55,6 +55,14 @@ pub fn introspect(catalog: &SysCatalog) {
     let _prefix = "sys.";
 }
 
+pub fn hostile_lock(table: &LockTable, oid: Oid) {
+    // L4 fires here (raw OID write lock outside the sorted-order
+    // helper):
+    let _held = table.raw_acquire(oid);
+    // Fine: the sanctioned path hands the whole closure to lock_sorted.
+    let _guard = table.lock_sorted(&[oid]);
+}
+
 #[cfg(test)]
 mod tests {
     // None of these fire: test code is out of scope.

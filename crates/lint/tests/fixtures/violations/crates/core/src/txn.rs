@@ -1,0 +1,14 @@
+//! Fixture transaction manager: the blessed OID-lock file, but with TWO
+//! `raw_acquire` call sites — the exactly-one check must fire (once, on
+//! line 1 of this file).
+
+pub fn lock_sorted(table: &LockTable, oids: &[Oid]) {
+    for &oid in oids {
+        let _held = table.entry(oid).raw_acquire(oid);
+    }
+}
+
+pub fn sneaky_second_path(table: &LockTable, oid: Oid) {
+    // A second acquisition point dodges the sorted-input validation.
+    let _held = table.entry(oid).raw_acquire(oid);
+}

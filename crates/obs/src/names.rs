@@ -115,6 +115,9 @@ pub const SYS_POOL: &str = "sys.pool";
 pub const SYS_DRIFT: &str = "sys.drift";
 /// Virtual table: the slow-query ring.
 pub const SYS_SLOW_QUERIES: &str = "sys.slow_queries";
+/// Virtual table: transaction-manager state (active txns, commits,
+/// conflicts, lock waits).
+pub const SYS_TXN: &str = "sys.txn";
 
 // --- core: per-path workload statistics ------------------------------------
 
@@ -132,6 +135,27 @@ pub const CORE_WORKLOAD_FANOUT_X100: &str = "core.workload.fanout_x100";
 pub const CORE_WORKLOAD_READ_PAGES_X100: &str = "core.workload.read_pages_x100";
 /// Observed page touches per path update, EWMA ×100 (gauge).
 pub const CORE_WORKLOAD_UPDATE_PAGES_X100: &str = "core.workload.update_pages_x100";
+
+// --- core: transactions -----------------------------------------------------
+
+/// Transactions begun (counter).
+pub const TXN_BEGIN: &str = "txn.begin";
+/// Transactions committed (counter).
+pub const TXN_COMMIT: &str = "txn.commit";
+/// Transactions aborted (counter).
+pub const TXN_ABORT: &str = "txn.abort";
+/// Write commits whose lock closure changed while being acquired and had
+/// to be re-acquired (counter).
+pub const TXN_CONFLICT: &str = "txn.conflict";
+/// OID-lock acquisitions that found the lock held and had to wait
+/// (counter).
+pub const TXN_LOCK_WAIT: &str = "txn.lock_wait";
+/// Snapshot reads re-run because a writer raced them (counter).
+pub const TXN_SNAPSHOT_RETRY: &str = "txn.snapshot_retry";
+/// Currently active transactions (gauge).
+pub const TXN_ACTIVE: &str = "txn.active";
+/// OIDs write-locked per transactional update (histogram).
+pub const TXN_LOCKSET: &str = "txn.lockset";
 
 // --- query: spans and profile operators -----------------------------------
 
@@ -241,6 +265,15 @@ pub const ALL: &[&str] = &[
     SYS_POOL,
     SYS_DRIFT,
     SYS_SLOW_QUERIES,
+    SYS_TXN,
+    TXN_BEGIN,
+    TXN_COMMIT,
+    TXN_ABORT,
+    TXN_CONFLICT,
+    TXN_LOCK_WAIT,
+    TXN_SNAPSHOT_RETRY,
+    TXN_ACTIVE,
+    TXN_LOCKSET,
     CORE_WORKLOAD_READS,
     CORE_WORKLOAD_UPDATES,
     CORE_WORKLOAD_PATHS,
@@ -312,6 +345,7 @@ mod tests {
             SYS_POOL,
             SYS_DRIFT,
             SYS_SLOW_QUERIES,
+            SYS_TXN,
         ] {
             assert!(is_registered(t), "{t} missing from ALL");
             assert!(t.starts_with("sys."), "{t} must live under sys.");

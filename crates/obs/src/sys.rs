@@ -8,9 +8,10 @@
 //! on top of them cannot perturb the profile invariant that operator I/O
 //! sums to pool totals.
 //!
-//! Two tables (`sys.pool`, `sys.workload`) describe per-database state
-//! the obs crate cannot see; their [`TableDef`]s live here so the
-//! catalog is complete, but their rows are produced by the query layer.
+//! Three tables (`sys.pool`, `sys.workload`, `sys.txn`) describe
+//! per-database state the obs crate cannot see; their [`TableDef`]s live
+//! here so the catalog is complete, but their rows are produced by the
+//! query layer.
 
 use crate::metrics::registry;
 use crate::names;
@@ -111,6 +112,13 @@ pub const TABLES: &[TableDef] = &[
             "rows",
             "ops",
         ],
+    },
+    // Database-backed (rows built by the query layer from the
+    // database's transaction manager): one (counter, value) row per
+    // concurrency statistic.
+    TableDef {
+        name: names::SYS_TXN,
+        columns: &["counter", "value"],
     },
 ];
 

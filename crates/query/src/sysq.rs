@@ -2,8 +2,9 @@
 //!
 //! A [`SysQuery`] is the read-only plan operator behind
 //! `retrieve (...) from sys.<table> where ...` in `lang`: it materialises
-//! one of the [`fieldrep_obs::sys`] virtual tables (plus the two
-//! database-backed ones, `sys.pool` and `sys.workload`), applies an
+//! one of the [`fieldrep_obs::sys`] virtual tables (plus the
+//! database-backed ones, `sys.pool`, `sys.workload`, and `sys.txn`),
+//! applies an
 //! optional [`Filter`] over a named column, and projects the requested
 //! columns.
 //!
@@ -230,11 +231,33 @@ fn value_of(v: SysValue) -> Value {
     }
 }
 
-/// Materialise the unprojected, unfiltered rows of `table`. The two
+/// Materialise the unprojected, unfiltered rows of `table`. The
 /// database-backed tables are built here; everything else delegates to
 /// the [`sys`] row builders.
 fn raw_rows(db: &mut Database, table: &'static TableDef) -> Vec<sys::SysRow> {
     let name = table.name;
+    if name == obs_names::SYS_TXN {
+        let s = db.txn().stats();
+        return [
+            ("active", s.active),
+            ("begun", s.begun),
+            ("committed", s.committed),
+            ("aborted", s.aborted),
+            ("conflicts", s.conflicts),
+            ("lock_waits", s.lock_waits),
+            ("snapshot_retries", s.snapshot_retries),
+            ("commit_epoch", s.commit_epoch),
+            ("locks_tracked", s.locks_tracked),
+        ]
+        .into_iter()
+        .map(|(counter, value)| {
+            vec![
+                Some(SysValue::Str(counter.to_string())),
+                Some(SysValue::Int(value.min(i64::MAX as u64) as i64)),
+            ]
+        })
+        .collect();
+    }
     if name == obs_names::SYS_POOL {
         return db
             .sm()
@@ -384,6 +407,23 @@ mod tests {
         assert!(text.contains("rows:"));
         assert!(text.contains(&format!("{}:virtual(sys.pool)", obs_names::OP_ACCESS)));
         assert_eq!(result.profile.total_io.page_touches(), 0);
+    }
+
+    #[test]
+    fn txn_scan_reflects_transaction_stats() {
+        let mut db = db();
+        let t = db.txn().begin();
+        db.txn().commit(t);
+        let r = SysQuery::on(obs_names::SYS_TXN)
+            .filter(Filter::Eq {
+                path: "counter".into(),
+                value: Value::Str("committed".into()),
+            })
+            .run(&mut db)
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][1], Some(Value::Int(1)));
+        assert_eq!(r.profile.total_io.page_touches(), 0);
     }
 
     #[test]

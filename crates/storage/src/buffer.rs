@@ -27,6 +27,22 @@
 //! identical per-page events, so page-I/O totals are independent of the
 //! access path; only the grouped-call count (`IoStats::read_calls`) and
 //! the `storage.disk.batch_len` histogram reveal the batching.
+//!
+//! # Concurrency
+//!
+//! The pool is shared (`&self` everywhere): all frame *metadata* — the
+//! resident maps, clock hands, victim selection, and the disk manager —
+//! lives behind one [`Mutex<PoolCore>`]. Keeping that state under a single
+//! lock makes every single-threaded run take exactly the eviction
+//! decisions and count exactly the I/O events the pre-concurrency pool
+//! did (the bit-identical page-I/O invariant the bench gate enforces).
+//! Page *bytes* stay parallel: the core mutex is released before the
+//! caller touches data, and reads/writes go through each frame's own
+//! `RwLock<PageBuf>`, so concurrent readers of distinct (or the same)
+//! resident pages never serialize on the pool. The lock order is
+//! `PoolCore` → frame data, and the pool only data-locks unpinned frames
+//! (eviction, install) or freshly claimed ones (`read_run`), so a caller
+//! holding a pinned page's guard can never deadlock against the pool.
 
 use crate::disk::DiskManager;
 use crate::error::{Result, StorageError};
@@ -34,9 +50,9 @@ use crate::oid::{FileId, PageId};
 use crate::page::PAGE_SIZE;
 use crate::stats::IoProfile;
 use fieldrep_obs::{io as obs_io, metrics, names as obs_names};
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// A page buffer: the unit the pool caches.
@@ -251,15 +267,35 @@ struct Shard {
     map: HashMap<PageId, usize>,
 }
 
+/// The home shard of a page id under `n` shards (multiplicative hash).
+fn home_shard(pid: PageId, n: usize) -> usize {
+    let h = ((pid.file.0 as u64) << 32) ^ (pid.page as u64);
+    let h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (((h >> 32) as usize) * n) >> 32
+}
+
 /// The buffer pool: a fixed set of frames over a [`DiskManager`],
 /// partitioned into hash-selected shards.
+///
+/// All methods take `&self`: frame metadata and the disk live behind one
+/// internal mutex (see the module docs), while page bytes are accessed in
+/// parallel through the per-frame locks of the returned [`PageHandle`]s.
 pub struct BufferPool {
+    core: Mutex<PoolCore>,
+    /// Frame count (fixed at construction; readable without locking).
+    capacity: usize,
+    /// Shard count (fixed at construction; readable without locking).
+    shard_count: usize,
+}
+
+/// All lock-protected pool state: frames, shards, counters, and the disk.
+struct PoolCore {
     frames: Vec<Frame>,
     shards: Vec<Shard>,
     disk: Box<dyn DiskManager>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
 }
 
 impl BufferPool {
@@ -293,41 +329,159 @@ impl BufferPool {
             start += len;
         }
         BufferPool {
-            frames,
-            shards,
-            disk,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            core: Mutex::new(PoolCore {
+                frames,
+                shards,
+                disk,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity,
+            shard_count: n,
         }
     }
 
     /// Number of frames.
     pub fn capacity(&self) -> usize {
-        self.frames.len()
+        self.capacity
     }
 
     /// Number of shards the frame array is partitioned into.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.shard_count
     }
 
     /// The home shard of a page id (multiplicative hash; exposed so the
     /// distribution can be property-tested).
     pub fn shard_of(&self, pid: PageId) -> usize {
-        let h = ((pid.file.0 as u64) << 32) ^ (pid.page as u64);
-        let h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        (((h >> 32) as usize) * self.shards.len()) >> 32
+        home_shard(pid, self.shard_count)
     }
 
     /// Create a file on the backing disk.
-    pub fn create_file(&mut self) -> Result<FileId> {
-        self.disk.create_file()
+    pub fn create_file(&self) -> Result<FileId> {
+        self.core.lock().disk.create_file()
     }
 
     /// Drop a file: discard its buffered pages (without write-back) and
     /// remove it from disk.
-    pub fn drop_file(&mut self, file: FileId) -> Result<()> {
+    pub fn drop_file(&self, file: FileId) -> Result<()> {
+        self.core.lock().drop_file(file)
+    }
+
+    /// Number of pages in a file.
+    pub fn page_count(&self, file: FileId) -> Result<u32> {
+        self.core.lock().disk.page_count(file)
+    }
+
+    /// Allocate a fresh page in `file` and return a pinned, formatted-blank
+    /// (zeroed) handle to it. The page is dirty from birth so it reaches
+    /// disk on flush.
+    pub fn new_page(&self, file: FileId) -> Result<(PageId, PageHandle)> {
+        #[cfg(debug_assertions)]
+        lockcheck::check_frame_acquire("BufferPool::new_page");
+        self.core.lock().new_page(file)
+    }
+
+    /// Fetch page `pid`, reading it from disk on a miss.
+    pub fn fetch(&self, pid: PageId) -> Result<PageHandle> {
+        #[cfg(debug_assertions)]
+        lockcheck::check_frame_acquire("BufferPool::fetch");
+        self.core.lock().fetch(pid)
+    }
+
+    /// Fetch a set of pages with grouped disk reads: the distinct page
+    /// ids are sorted into physical order, resident pages are pinned as
+    /// hits, and each maximal run of adjacent missing pages is moved with
+    /// one [`DiskManager::read_pages`] call. Returns one pinned handle
+    /// per *input* id, in input order (duplicates get handle clones).
+    ///
+    /// Every page of the batch stays pinned until its returned handle is
+    /// dropped, so batches are bounded by pool capacity; callers with
+    /// large sorted runs chunk them (see `oid_page_chunks` in the crate
+    /// root).
+    pub fn get_pages_batch(&self, pids: &[PageId]) -> Result<Vec<PageHandle>> {
+        if pids.is_empty() {
+            return Ok(Vec::new());
+        }
+        // This *is* the ordered batch helper: frame locks below are taken
+        // in sorted page order from a single site, so a caller-held write
+        // guard cannot form a cycle with them.
+        #[cfg(debug_assertions)]
+        let _batch = lockcheck::BatchScope::enter();
+        self.core.lock().get_pages_batch(pids)
+    }
+
+    /// Read-ahead hint: load the given pages into the pool (grouped like
+    /// [`BufferPool::get_pages_batch`]) **without** pinning them. Pages
+    /// already resident are skipped with no counter effect, so issuing a
+    /// prefetch never changes page-I/O totals relative to fetching the
+    /// pages directly — it only turns the later fetch into a hit.
+    pub fn prefetch(&self, pids: &[PageId]) -> Result<()> {
+        #[cfg(debug_assertions)]
+        lockcheck::check_frame_acquire("BufferPool::prefetch");
+        #[cfg(debug_assertions)]
+        let _batch = lockcheck::BatchScope::enter();
+        self.core.lock().prefetch(pids)
+    }
+
+    /// Write back one page if buffered and dirty.
+    pub fn flush_page(&self, pid: PageId) -> Result<()> {
+        self.core.lock().flush_page(pid)
+    }
+
+    /// Write back all dirty pages and drop every unpinned frame's contents,
+    /// leaving the pool cold. Fails if a page is still pinned.
+    pub fn flush_all(&self) -> Result<()> {
+        self.core.lock().flush_all()
+    }
+
+    /// Combined disk + pool statistics.
+    pub fn io_profile(&self) -> IoProfile {
+        let core = self.core.lock();
+        IoProfile {
+            disk: core.disk.stats(),
+            pool_hits: core.hits,
+            pool_misses: core.misses,
+            evictions: core.evictions,
+        }
+    }
+
+    /// Reset the **whole** I/O profile — disk counters (reads, writes,
+    /// allocations) and pool counters (hits, misses, evictions) together.
+    ///
+    /// This is the single reset used for cold-pool accounting: resetting
+    /// the disk and pool counters separately lets them drift out of a
+    /// common baseline, which silently skews measured hit ratios.
+    pub fn reset_profile(&self) {
+        let mut core = self.core.lock();
+        core.disk.reset_stats();
+        core.hits = 0;
+        core.misses = 0;
+        core.evictions = 0;
+    }
+
+    /// Reset both disk and pool counters. Alias of
+    /// [`BufferPool::reset_profile`], kept for existing call sites.
+    pub fn reset_io(&self) {
+        self.reset_profile();
+    }
+
+    /// Point-in-time per-shard state, for the `sys.pool` virtual table.
+    ///
+    /// Reads only in-memory frame flags — no page I/O — so introspection
+    /// queries cannot perturb the pool counters they report on.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.core.lock().shard_stats()
+    }
+}
+
+impl PoolCore {
+    fn shard_of(&self, pid: PageId) -> usize {
+        home_shard(pid, self.shards.len())
+    }
+
+    fn drop_file(&mut self, file: FileId) -> Result<()> {
         for s in 0..self.shards.len() {
             let victims: Vec<PageId> = self.shards[s]
                 .map
@@ -352,17 +506,7 @@ impl BufferPool {
         self.disk.drop_file(file)
     }
 
-    /// Number of pages in a file.
-    pub fn page_count(&self, file: FileId) -> Result<u32> {
-        self.disk.page_count(file)
-    }
-
-    /// Allocate a fresh page in `file` and return a pinned, formatted-blank
-    /// (zeroed) handle to it. The page is dirty from birth so it reaches
-    /// disk on flush.
-    pub fn new_page(&mut self, file: FileId) -> Result<(PageId, PageHandle)> {
-        #[cfg(debug_assertions)]
-        lockcheck::check_frame_acquire("BufferPool::new_page");
+    fn new_page(&mut self, file: FileId) -> Result<(PageId, PageHandle)> {
         let pid = self.disk.allocate_page(file)?;
         obs_io::record_disk_alloc();
         let idx = self.find_victim(self.shard_of(pid))?;
@@ -372,44 +516,23 @@ impl BufferPool {
         Ok((pid, h))
     }
 
-    /// Fetch page `pid`, reading it from disk on a miss.
-    pub fn fetch(&mut self, pid: PageId) -> Result<PageHandle> {
-        #[cfg(debug_assertions)]
-        lockcheck::check_frame_acquire("BufferPool::fetch");
+    fn fetch(&mut self, pid: PageId) -> Result<PageHandle> {
         let home = self.shard_of(pid);
         if let Some(&idx) = self.shards[home].map.get(&pid) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits += 1;
             obs_io::record_pool_hit();
             self.note_prefetch_hit(idx);
             self.frames[idx].referenced = true;
             return Ok(self.handle(idx, pid));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses += 1;
         obs_io::record_pool_miss();
         let idx = self.find_victim(home)?;
         self.install(idx, pid, true)?;
         Ok(self.handle(idx, pid))
     }
 
-    /// Fetch a set of pages with grouped disk reads: the distinct page
-    /// ids are sorted into physical order, resident pages are pinned as
-    /// hits, and each maximal run of adjacent missing pages is moved with
-    /// one [`DiskManager::read_pages`] call. Returns one pinned handle
-    /// per *input* id, in input order (duplicates get handle clones).
-    ///
-    /// Every page of the batch stays pinned until its returned handle is
-    /// dropped, so batches are bounded by pool capacity; callers with
-    /// large sorted runs chunk them (see `oid_page_chunks` in the crate
-    /// root).
-    pub fn get_pages_batch(&mut self, pids: &[PageId]) -> Result<Vec<PageHandle>> {
-        if pids.is_empty() {
-            return Ok(Vec::new());
-        }
-        // This *is* the ordered batch helper: frame locks below are taken
-        // in sorted page order from a single site, so a caller-held write
-        // guard cannot form a cycle with them.
-        #[cfg(debug_assertions)]
-        let _batch = lockcheck::BatchScope::enter();
+    fn get_pages_batch(&mut self, pids: &[PageId]) -> Result<Vec<PageHandle>> {
         let mut uniq: Vec<PageId> = pids.to_vec();
         uniq.sort_unstable();
         uniq.dedup();
@@ -418,7 +541,7 @@ impl BufferPool {
         for &pid in &uniq {
             let home = self.shard_of(pid);
             if let Some(&idx) = self.shards[home].map.get(&pid) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits += 1;
                 obs_io::record_pool_hit();
                 self.note_prefetch_hit(idx);
                 self.frames[idx].referenced = true;
@@ -447,16 +570,7 @@ impl BufferPool {
         Ok(pids.iter().map(|p| got[p].clone()).collect())
     }
 
-    /// Read-ahead hint: load the given pages into the pool (grouped like
-    /// [`BufferPool::get_pages_batch`]) **without** pinning them. Pages
-    /// already resident are skipped with no counter effect, so issuing a
-    /// prefetch never changes page-I/O totals relative to fetching the
-    /// pages directly — it only turns the later fetch into a hit.
-    pub fn prefetch(&mut self, pids: &[PageId]) -> Result<()> {
-        #[cfg(debug_assertions)]
-        lockcheck::check_frame_acquire("BufferPool::prefetch");
-        #[cfg(debug_assertions)]
-        let _batch = lockcheck::BatchScope::enter();
+    fn prefetch(&mut self, pids: &[PageId]) -> Result<()> {
         let mut missing: Vec<PageId> = pids.to_vec();
         missing.sort_unstable();
         missing.dedup();
@@ -487,7 +601,7 @@ impl BufferPool {
     }
 
     fn max_batch_run(&self) -> usize {
-        (self.capacity() / 2).clamp(1, MAX_BATCH_RUN)
+        (self.frames.len() / 2).clamp(1, MAX_BATCH_RUN)
     }
 
     /// Install and read one adjacent run of missing pages: pin a victim
@@ -525,7 +639,7 @@ impl BufferPool {
                 for h in &handles {
                     h.inner.dirty.store(false, Ordering::Relaxed);
                 }
-                self.misses.fetch_add(run.len() as u64, Ordering::Relaxed);
+                self.misses += run.len() as u64;
                 for _ in run {
                     obs_io::record_pool_miss();
                     obs_io::record_disk_read();
@@ -614,7 +728,7 @@ impl BufferPool {
                 if inner.dirty.swap(false, Ordering::Relaxed) {
                     let data = inner.data.read();
                     self.disk.write_page(old, &data)?;
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.evictions += 1;
                     obs_io::record_disk_write();
                     obs_io::record_eviction();
                 }
@@ -649,8 +763,7 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Write back one page if buffered and dirty.
-    pub fn flush_page(&mut self, pid: PageId) -> Result<()> {
+    fn flush_page(&mut self, pid: PageId) -> Result<()> {
         let home = self.shard_of(pid);
         if let Some(&idx) = self.shards[home].map.get(&pid) {
             let frame = &self.frames[idx];
@@ -663,9 +776,7 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Write back all dirty pages and drop every unpinned frame's contents,
-    /// leaving the pool cold. Fails if a page is still pinned.
-    pub fn flush_all(&mut self) -> Result<()> {
+    fn flush_all(&mut self) -> Result<()> {
         for idx in 0..self.frames.len() {
             let frame = &self.frames[idx];
             if frame.pid.is_none() {
@@ -689,40 +800,7 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Combined disk + pool statistics.
-    pub fn io_profile(&self) -> IoProfile {
-        IoProfile {
-            disk: self.disk.stats(),
-            pool_hits: self.hits.load(Ordering::Relaxed),
-            pool_misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Reset the **whole** I/O profile — disk counters (reads, writes,
-    /// allocations) and pool counters (hits, misses, evictions) together.
-    ///
-    /// This is the single reset used for cold-pool accounting: resetting
-    /// the disk and pool counters separately lets them drift out of a
-    /// common baseline, which silently skews measured hit ratios.
-    pub fn reset_profile(&mut self) {
-        self.disk.reset_stats();
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.evictions.store(0, Ordering::Relaxed);
-    }
-
-    /// Reset both disk and pool counters. Alias of
-    /// [`BufferPool::reset_profile`], kept for existing call sites.
-    pub fn reset_io(&mut self) {
-        self.reset_profile();
-    }
-
-    /// Point-in-time per-shard state, for the `sys.pool` virtual table.
-    ///
-    /// Reads only in-memory frame flags — no page I/O — so introspection
-    /// queries cannot perturb the pool counters they report on.
-    pub fn shard_stats(&self) -> Vec<ShardStats> {
+    fn shard_stats(&self) -> Vec<ShardStats> {
         self.shards
             .iter()
             .enumerate()
@@ -774,7 +852,7 @@ mod tests {
 
     #[test]
     fn fetch_hits_after_first_read() {
-        let mut bp = pool(4);
+        let bp = pool(4);
         let f = bp.create_file().unwrap();
         let (pid, h) = bp.new_page(f).unwrap();
         h.data_mut()[0] = 42;
@@ -794,7 +872,7 @@ mod tests {
 
     #[test]
     fn eviction_writes_back_dirty_pages() {
-        let mut bp = pool(2);
+        let bp = pool(2);
         let f = bp.create_file().unwrap();
         let mut pids = vec![];
         for i in 0..5u8 {
@@ -812,7 +890,7 @@ mod tests {
 
     #[test]
     fn pinned_pages_are_not_evicted() {
-        let mut bp = pool(2);
+        let bp = pool(2);
         let f = bp.create_file().unwrap();
         let (pid0, h0) = bp.new_page(f).unwrap();
         h0.data_mut()[0] = 99;
@@ -828,7 +906,7 @@ mod tests {
 
     #[test]
     fn shard_stats_track_residency_dirt_and_pins() {
-        let mut bp = pool(8);
+        let bp = pool(8);
         let f = bp.create_file().unwrap();
         let stats = bp.shard_stats();
         assert_eq!(stats.len(), bp.shard_count());
@@ -860,7 +938,7 @@ mod tests {
 
     #[test]
     fn pool_exhaustion_errors() {
-        let mut bp = pool(2);
+        let bp = pool(2);
         let f = bp.create_file().unwrap();
         let (_, _h0) = bp.new_page(f).unwrap();
         let (_, _h1) = bp.new_page(f).unwrap();
@@ -869,7 +947,7 @@ mod tests {
 
     #[test]
     fn flush_all_leaves_pool_cold() {
-        let mut bp = pool(4);
+        let bp = pool(4);
         let f = bp.create_file().unwrap();
         let (pid, h) = bp.new_page(f).unwrap();
         h.data_mut()[3] = 7;
@@ -888,7 +966,7 @@ mod tests {
     #[cfg(debug_assertions)]
     #[should_panic(expected = "lock discipline")]
     fn out_of_order_frame_acquire_is_caught_in_debug() {
-        let mut bp = pool(4);
+        let bp = pool(4);
         let f = bp.create_file().unwrap();
         let (_, h0) = bp.new_page(f).unwrap();
         let (p1, h1) = bp.new_page(f).unwrap();
@@ -901,7 +979,7 @@ mod tests {
 
     #[test]
     fn ordered_batch_with_live_guard_is_allowed() {
-        let mut bp = pool(8);
+        let bp = pool(8);
         let f = bp.create_file().unwrap();
         let mut pids = vec![];
         for i in 0..3u8 {
@@ -925,7 +1003,7 @@ mod tests {
     #[cfg(debug_assertions)]
     #[should_panic(expected = "pin leak")]
     fn drop_file_with_pinned_page_is_caught_in_debug() {
-        let mut bp = pool(4);
+        let bp = pool(4);
         let f = bp.create_file().unwrap();
         let (_pid, _h) = bp.new_page(f).unwrap();
         let _ = bp.drop_file(f);
@@ -933,7 +1011,7 @@ mod tests {
 
     #[test]
     fn drop_file_discards_buffered_pages() {
-        let mut bp = pool(4);
+        let bp = pool(4);
         let f = bp.create_file().unwrap();
         let (pid, h) = bp.new_page(f).unwrap();
         h.data_mut()[0] = 1;
@@ -944,7 +1022,7 @@ mod tests {
 
     #[test]
     fn handle_clone_keeps_pin() {
-        let mut bp = pool(2);
+        let bp = pool(2);
         let f = bp.create_file().unwrap();
         let (_, h) = bp.new_page(f).unwrap();
         let h2 = h.clone();
@@ -961,7 +1039,7 @@ mod tests {
     /// lock — a flush in that window would count a spurious write-back.
     #[test]
     fn data_mut_marks_dirty_only_after_acquiring_the_lock() {
-        let mut bp = pool(2);
+        let bp = pool(2);
         let f = bp.create_file().unwrap();
         let (pid, h) = bp.new_page(f).unwrap();
         drop(h);
@@ -991,7 +1069,7 @@ mod tests {
     /// pinned.
     #[test]
     fn clock_evicts_around_concurrently_pinned_frames() {
-        let mut bp = pool(8);
+        let bp = pool(8);
         let f = bp.create_file().unwrap();
         // Pin six pages; their contents must survive arbitrary churn.
         let pinned: Vec<(PageId, PageHandle)> = (0..6u8)
@@ -1029,7 +1107,7 @@ mod tests {
     fn batch_fetch_groups_adjacent_pages_into_one_read_call() {
         // Pool large enough that the 10-page run fits one grouped read
         // (runs are capped at capacity / 2).
-        let mut bp = pool(32);
+        let bp = pool(32);
         let f = bp.create_file().unwrap();
         let mut pids = vec![];
         for i in 0..10u8 {
@@ -1063,7 +1141,7 @@ mod tests {
 
     #[test]
     fn batch_fetch_splits_non_adjacent_pages_into_runs() {
-        let mut bp = pool(16);
+        let bp = pool(16);
         let f = bp.create_file().unwrap();
         let mut pids = vec![];
         for i in 0..8u8 {
@@ -1086,7 +1164,7 @@ mod tests {
 
     #[test]
     fn prefetch_turns_later_fetches_into_hits_without_extra_io() {
-        let mut bp = pool(16);
+        let bp = pool(16);
         let f = bp.create_file().unwrap();
         let mut pids = vec![];
         for i in 0..4u8 {
@@ -1145,5 +1223,42 @@ mod tests {
                 assert!(s < bp.shard_count());
             }
         }
+    }
+
+    /// The pool is shared: concurrent fetches of disjoint and overlapping
+    /// pages from many threads return consistent bytes, and the counters
+    /// sum to the work done.
+    #[test]
+    fn concurrent_fetches_are_consistent() {
+        let bp = std::sync::Arc::new(pool(64));
+        let f = bp.create_file().unwrap();
+        let mut pids = vec![];
+        for i in 0..16u8 {
+            let (pid, h) = bp.new_page(f).unwrap();
+            h.data_mut()[0] = i;
+            pids.push(pid);
+        }
+        bp.flush_all().unwrap();
+        bp.reset_profile();
+
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let bp = std::sync::Arc::clone(&bp);
+                let pids = pids.clone();
+                std::thread::spawn(move || {
+                    for round in 0..50 {
+                        let i = (t * 7 + round * 3) % pids.len();
+                        let h = bp.fetch(pids[i]).unwrap();
+                        assert_eq!(h.data()[0], i as u8);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let prof = bp.io_profile();
+        assert_eq!(prof.pool_hits + prof.pool_misses, 8 * 50);
+        assert_eq!(prof.disk.reads, prof.pool_misses);
     }
 }

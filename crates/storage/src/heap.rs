@@ -45,7 +45,7 @@ pub struct HeapFile {
 
 impl HeapFile {
     /// Create a new, empty heap file.
-    pub fn create(sm: &mut StorageManager) -> Result<HeapFile> {
+    pub fn create(sm: &StorageManager) -> Result<HeapFile> {
         let file = sm.create_file()?;
         Ok(HeapFile { file })
     }
@@ -56,31 +56,37 @@ impl HeapFile {
     }
 
     /// Insert a record, returning its stable OID.
-    pub fn insert(&self, sm: &mut StorageManager, type_tag: u16, payload: &[u8]) -> Result<Oid> {
+    pub fn insert(&self, sm: &StorageManager, type_tag: u16, payload: &[u8]) -> Result<Oid> {
         self.insert_flagged(sm, type_tag, RecordFlags::Normal, payload)
     }
 
     fn insert_flagged(
         &self,
-        sm: &mut StorageManager,
+        sm: &StorageManager,
         type_tag: u16,
         flags: RecordFlags,
         payload: &[u8],
     ) -> Result<Oid> {
         let header = RecordHeader { type_tag, flags };
 
-        // 1. Try the append page.
-        let space = sm.free_space_map(self.file);
-        let mut candidates: Vec<u32> = Vec::with_capacity(1 + RECYCLE_PROBES);
-        if let Some(p) = space.append_page {
-            candidates.push(p);
-        }
-        // 2. Then a few recycled pages.
-        for p in space.recycled.iter().take(RECYCLE_PROBES) {
-            if Some(*p) != space.append_page {
-                candidates.push(*p);
+        // Snapshot placement candidates under the free-space lock, then
+        // probe them with the lock released: a concurrent insert may race
+        // us to a page, but `pg.insert` under the page latch simply
+        // reports "full" and we fall through to the next candidate.
+        let candidates: Vec<u32> = sm.with_free_space(self.file, |space| {
+            // 1. The append page first.
+            let mut candidates = Vec::with_capacity(1 + RECYCLE_PROBES);
+            if let Some(p) = space.append_page {
+                candidates.push(p);
             }
-        }
+            // 2. Then a few recycled pages.
+            for p in space.recycled.iter().take(RECYCLE_PROBES) {
+                if Some(*p) != space.append_page {
+                    candidates.push(*p);
+                }
+            }
+            candidates
+        });
 
         for page_no in candidates {
             let pid = PageId::new(self.file, page_no);
@@ -103,22 +109,23 @@ impl HeapFile {
             .insert(header, payload)?
             .expect("fresh page always fits a legal record");
         drop(data);
-        sm.free_space_map(self.file).append_page = Some(pid.page);
+        sm.with_free_space(self.file, |space| space.append_page = Some(pid.page));
         Ok(Oid::new(self.file, pid.page, slot))
     }
 
-    fn after_placement(&self, sm: &mut StorageManager, page_no: u32) {
+    fn after_placement(&self, sm: &StorageManager, page_no: u32) {
         // Keep the recycled queue from growing without bound: drop entries
         // we have just used (front-biased removal).
-        let space = sm.free_space_map(self.file);
-        if space.recycled.front() == Some(&page_no) {
-            space.recycled.pop_front();
-        }
+        sm.with_free_space(self.file, |space| {
+            if space.recycled.front() == Some(&page_no) {
+                space.recycled.pop_front();
+            }
+        });
     }
 
     /// Read a record by OID, following a forwarding stub if present.
     /// Returns the record's type tag and payload.
-    pub fn read(&self, sm: &mut StorageManager, oid: Oid) -> Result<(u16, Vec<u8>)> {
+    pub fn read(&self, sm: &StorageManager, oid: Oid) -> Result<(u16, Vec<u8>)> {
         let (hdr, payload) = self.read_raw(sm, oid)?;
         match hdr.flags {
             RecordFlags::Normal | RecordFlags::Moved => Ok((hdr.type_tag, payload)),
@@ -135,7 +142,7 @@ impl HeapFile {
         }
     }
 
-    fn read_raw(&self, sm: &mut StorageManager, oid: Oid) -> Result<(RecordHeader, Vec<u8>)> {
+    fn read_raw(&self, sm: &StorageManager, oid: Oid) -> Result<(RecordHeader, Vec<u8>)> {
         if oid.file != self.file {
             return Err(StorageError::InvalidOid(oid));
         }
@@ -148,7 +155,7 @@ impl HeapFile {
 
     /// Replace the payload of the record at `oid`, preserving its type tag
     /// and keeping `oid` valid even if the record must move pages.
-    pub fn update(&self, sm: &mut StorageManager, oid: Oid, payload: &[u8]) -> Result<()> {
+    pub fn update(&self, sm: &StorageManager, oid: Oid, payload: &[u8]) -> Result<()> {
         let (hdr, old_payload) = self.read_raw(sm, oid)?;
         match hdr.flags {
             RecordFlags::Normal => {
@@ -199,7 +206,7 @@ impl HeapFile {
 
     fn try_update_at(
         &self,
-        sm: &mut StorageManager,
+        sm: &StorageManager,
         oid: Oid,
         hdr: RecordHeader,
         payload: &[u8],
@@ -211,7 +218,7 @@ impl HeapFile {
     }
 
     /// Delete the record at `oid` (and its forwarded body, if any).
-    pub fn delete(&self, sm: &mut StorageManager, oid: Oid) -> Result<()> {
+    pub fn delete(&self, sm: &StorageManager, oid: Oid) -> Result<()> {
         let (hdr, payload) = self.read_raw(sm, oid)?;
         if hdr.flags == RecordFlags::Forward {
             let target = Oid::from_bytes(&payload);
@@ -220,7 +227,7 @@ impl HeapFile {
         self.delete_raw(sm, oid)
     }
 
-    fn delete_raw(&self, sm: &mut StorageManager, oid: Oid) -> Result<()> {
+    fn delete_raw(&self, sm: &StorageManager, oid: Oid) -> Result<()> {
         let h = sm.pool().fetch(oid.page_id())?;
         let mut data = h.data_mut();
         PageMut::new(&mut data[..]).delete(oid.slot)?;
@@ -229,18 +236,19 @@ impl HeapFile {
         Ok(())
     }
 
-    fn note_shrink(&self, sm: &mut StorageManager, page: u32) {
-        let space = sm.free_space_map(self.file);
-        if !space.recycled.contains(&page) {
-            space.recycled.push_back(page);
-            if space.recycled.len() > 64 {
-                space.recycled.pop_front();
+    fn note_shrink(&self, sm: &StorageManager, page: u32) {
+        sm.with_free_space(self.file, |space| {
+            if !space.recycled.contains(&page) {
+                space.recycled.push_back(page);
+                if space.recycled.len() > 64 {
+                    space.recycled.pop_front();
+                }
             }
-        }
+        });
     }
 
     /// Open a physical-order scan over the file.
-    pub fn scan<'a>(&self, sm: &'a mut StorageManager) -> Result<HeapScan<'a>> {
+    pub fn scan<'a>(&self, sm: &'a StorageManager) -> Result<HeapScan<'a>> {
         let npages = sm.page_count(self.file)?;
         Ok(HeapScan {
             sm,
@@ -252,7 +260,7 @@ impl HeapFile {
     }
 
     /// Number of live logical records (counts stubs, skips moved bodies).
-    pub fn count(&self, sm: &mut StorageManager) -> Result<u64> {
+    pub fn count(&self, sm: &StorageManager) -> Result<u64> {
         let mut scan = self.scan(sm)?;
         let mut n = 0;
         while scan.next_record()?.is_some() {
@@ -266,7 +274,7 @@ impl HeapFile {
 /// stable OID; forwarding stubs are followed (costing the extra page read a
 /// real system would pay), moved bodies are skipped.
 pub struct HeapScan<'a> {
-    sm: &'a mut StorageManager,
+    sm: &'a StorageManager,
     file: FileId,
     npages: u32,
     page: u32,
@@ -345,97 +353,97 @@ mod tests {
 
     #[test]
     fn insert_read_roundtrip() {
-        let mut sm = sm();
-        let hf = HeapFile::create(&mut sm).unwrap();
-        let a = hf.insert(&mut sm, 1, b"alpha").unwrap();
-        let b = hf.insert(&mut sm, 2, b"bravo").unwrap();
-        assert_eq!(hf.read(&mut sm, a).unwrap(), (1, b"alpha".to_vec()));
-        assert_eq!(hf.read(&mut sm, b).unwrap(), (2, b"bravo".to_vec()));
+        let sm = sm();
+        let hf = HeapFile::create(&sm).unwrap();
+        let a = hf.insert(&sm, 1, b"alpha").unwrap();
+        let b = hf.insert(&sm, 2, b"bravo").unwrap();
+        assert_eq!(hf.read(&sm, a).unwrap(), (1, b"alpha".to_vec()));
+        assert_eq!(hf.read(&sm, b).unwrap(), (2, b"bravo".to_vec()));
     }
 
     #[test]
     fn inserts_fill_pages_at_cost_model_density() {
-        let mut sm = sm();
-        let hf = HeapFile::create(&mut sm).unwrap();
+        let sm = sm();
+        let hf = HeapFile::create(&sm).unwrap();
         // 100-byte payloads → 33 objects/page (O_r in the paper).
         for _ in 0..330 {
-            hf.insert(&mut sm, 1, &[0u8; 100]).unwrap();
+            hf.insert(&sm, 1, &[0u8; 100]).unwrap();
         }
         assert_eq!(sm.page_count(hf.file).unwrap(), 10);
     }
 
     #[test]
     fn update_in_place_preserves_oid() {
-        let mut sm = sm();
-        let hf = HeapFile::create(&mut sm).unwrap();
-        let oid = hf.insert(&mut sm, 1, &[1u8; 50]).unwrap();
-        hf.update(&mut sm, oid, &[2u8; 50]).unwrap();
-        assert_eq!(hf.read(&mut sm, oid).unwrap().1, vec![2u8; 50]);
+        let sm = sm();
+        let hf = HeapFile::create(&sm).unwrap();
+        let oid = hf.insert(&sm, 1, &[1u8; 50]).unwrap();
+        hf.update(&sm, oid, &[2u8; 50]).unwrap();
+        assert_eq!(hf.read(&sm, oid).unwrap().1, vec![2u8; 50]);
     }
 
     #[test]
     fn growing_update_forwards_and_oid_stays_valid() {
-        let mut sm = sm();
-        let hf = HeapFile::create(&mut sm).unwrap();
+        let sm = sm();
+        let hf = HeapFile::create(&sm).unwrap();
         // Fill a page completely.
         let mut oids = vec![];
         for _ in 0..33 {
-            oids.push(hf.insert(&mut sm, 1, &[3u8; 100]).unwrap());
+            oids.push(hf.insert(&sm, 1, &[3u8; 100]).unwrap());
         }
         let victim = oids[0];
         // Grow it so it cannot stay on its full page.
-        hf.update(&mut sm, victim, &[4u8; 600]).unwrap();
-        let (tag, body) = hf.read(&mut sm, victim).unwrap();
+        hf.update(&sm, victim, &[4u8; 600]).unwrap();
+        let (tag, body) = hf.read(&sm, victim).unwrap();
         assert_eq!(tag, 1);
         assert_eq!(body, vec![4u8; 600]);
         // Update through the stub again (fits at the forwarded location).
-        hf.update(&mut sm, victim, &[5u8; 600]).unwrap();
-        assert_eq!(hf.read(&mut sm, victim).unwrap().1, vec![5u8; 600]);
+        hf.update(&sm, victim, &[5u8; 600]).unwrap();
+        assert_eq!(hf.read(&sm, victim).unwrap().1, vec![5u8; 600]);
         // And grow it further, forcing a re-forward.
-        hf.update(&mut sm, victim, &[6u8; 3000]).unwrap();
-        assert_eq!(hf.read(&mut sm, victim).unwrap().1, vec![6u8; 3000]);
+        hf.update(&sm, victim, &[6u8; 3000]).unwrap();
+        assert_eq!(hf.read(&sm, victim).unwrap().1, vec![6u8; 3000]);
     }
 
     #[test]
     fn delete_then_read_fails() {
-        let mut sm = sm();
-        let hf = HeapFile::create(&mut sm).unwrap();
-        let oid = hf.insert(&mut sm, 1, b"gone").unwrap();
-        hf.delete(&mut sm, oid).unwrap();
-        assert!(hf.read(&mut sm, oid).is_err());
+        let sm = sm();
+        let hf = HeapFile::create(&sm).unwrap();
+        let oid = hf.insert(&sm, 1, b"gone").unwrap();
+        hf.delete(&sm, oid).unwrap();
+        assert!(hf.read(&sm, oid).is_err());
     }
 
     #[test]
     fn delete_reclaims_space_for_reuse() {
-        let mut sm = sm();
-        let hf = HeapFile::create(&mut sm).unwrap();
+        let sm = sm();
+        let hf = HeapFile::create(&sm).unwrap();
         let mut oids = vec![];
         for _ in 0..33 {
-            oids.push(hf.insert(&mut sm, 1, &[7u8; 100]).unwrap());
+            oids.push(hf.insert(&sm, 1, &[7u8; 100]).unwrap());
         }
         assert_eq!(sm.page_count(hf.file).unwrap(), 1);
-        hf.delete(&mut sm, oids[10]).unwrap();
+        hf.delete(&sm, oids[10]).unwrap();
         // The next insert should reuse page 0, not extend the file.
-        let oid = hf.insert(&mut sm, 1, &[8u8; 100]).unwrap();
+        let oid = hf.insert(&sm, 1, &[8u8; 100]).unwrap();
         assert_eq!(oid.page, 0);
         assert_eq!(sm.page_count(hf.file).unwrap(), 1);
     }
 
     #[test]
     fn scan_sees_each_logical_record_once() {
-        let mut sm = sm();
-        let hf = HeapFile::create(&mut sm).unwrap();
+        let sm = sm();
+        let hf = HeapFile::create(&sm).unwrap();
         let mut expect = vec![];
         for i in 0..100u8 {
-            let oid = hf.insert(&mut sm, 1, &[i; 60]).unwrap();
+            let oid = hf.insert(&sm, 1, &[i; 60]).unwrap();
             expect.push((oid, vec![i; 60]));
         }
         // Forward a few by growing them.
         for &(oid, _) in expect.iter().take(80).step_by(7) {
-            hf.update(&mut sm, oid, &[0xEE; 900]).unwrap();
+            hf.update(&sm, oid, &[0xEE; 900]).unwrap();
         }
         let mut seen = std::collections::HashMap::new();
-        let mut scan = hf.scan(&mut sm).unwrap();
+        let mut scan = hf.scan(&sm).unwrap();
         while let Some((oid, _tag, body)) = scan.next_record().unwrap() {
             assert!(seen.insert(oid, body).is_none(), "duplicate oid in scan");
         }
@@ -452,17 +460,17 @@ mod tests {
 
     #[test]
     fn forwarded_delete_removes_both_records() {
-        let mut sm = sm();
-        let hf = HeapFile::create(&mut sm).unwrap();
+        let sm = sm();
+        let hf = HeapFile::create(&sm).unwrap();
         for _ in 0..33 {
-            hf.insert(&mut sm, 1, &[1u8; 100]).unwrap();
+            hf.insert(&sm, 1, &[1u8; 100]).unwrap();
         }
         let victim = Oid::new(hf.file, 0, 0);
-        hf.update(&mut sm, victim, &[2u8; 1000]).unwrap(); // forwards
-        hf.delete(&mut sm, victim).unwrap();
-        assert!(hf.read(&mut sm, victim).is_err());
+        hf.update(&sm, victim, &[2u8; 1000]).unwrap(); // forwards
+        hf.delete(&sm, victim).unwrap();
+        assert!(hf.read(&sm, victim).is_err());
         // Nothing in the scan refers to the moved body.
-        let mut scan = hf.scan(&mut sm).unwrap();
+        let mut scan = hf.scan(&sm).unwrap();
         let mut n = 0;
         while scan.next_record().unwrap().is_some() {
             n += 1;
@@ -472,11 +480,11 @@ mod tests {
 
     #[test]
     fn count_matches_inserts() {
-        let mut sm = sm();
-        let hf = HeapFile::create(&mut sm).unwrap();
+        let sm = sm();
+        let hf = HeapFile::create(&sm).unwrap();
         for _ in 0..250 {
-            hf.insert(&mut sm, 3, &[0u8; 30]).unwrap();
+            hf.insert(&sm, 3, &[0u8; 30]).unwrap();
         }
-        assert_eq!(hf.count(&mut sm).unwrap(), 250);
+        assert_eq!(hf.count(&sm).unwrap(), 250);
     }
 }

@@ -46,6 +46,7 @@ pub use page::{
 };
 pub use stats::{IoProfile, IoStats};
 
+use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// The storage manager: a buffer pool plus per-file free-space tracking and
@@ -54,12 +55,19 @@ use std::collections::HashMap;
 /// All object and index I/O in the system flows through one
 /// `StorageManager`, which is what makes the benchmark harness able to
 /// report exact page-I/O counts per query (the paper's cost metric).
+///
+/// The manager is shared: every method takes `&self`, so concurrent
+/// transactions operate on one `StorageManager` without external locking.
+/// The pool has its own interior synchronization (see [`BufferPool`]);
+/// the free-space placement state sits behind a private mutex accessed
+/// through short closures, and only influences *placement* — page-level
+/// correctness is always guaranteed by the per-page write latch.
 pub struct StorageManager {
     pool: BufferPool,
     /// Per-file insert placement state (append page + recycled pages).
     /// This is an in-memory structure (the engine is not crash-recoverable,
     /// which matches the paper's scope).
-    free_space: HashMap<FileId, heap::FileSpace>,
+    free_space: Mutex<HashMap<FileId, heap::FileSpace>>,
 }
 
 impl StorageManager {
@@ -68,7 +76,7 @@ impl StorageManager {
     pub fn new(disk: Box<dyn DiskManager>, pool_pages: usize) -> Self {
         StorageManager {
             pool: BufferPool::new(disk, pool_pages),
-            free_space: HashMap::new(),
+            free_space: Mutex::new(HashMap::new()),
         }
     }
 
@@ -79,20 +87,20 @@ impl StorageManager {
     }
 
     /// Access the underlying buffer pool.
-    pub fn pool(&mut self) -> &mut BufferPool {
-        &mut self.pool
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     /// Create a new, empty file and return its id.
-    pub fn create_file(&mut self) -> Result<FileId> {
+    pub fn create_file(&self) -> Result<FileId> {
         let f = self.pool.create_file()?;
-        self.free_space.insert(f, heap::FileSpace::default());
+        self.free_space.lock().insert(f, heap::FileSpace::default());
         Ok(f)
     }
 
     /// Drop a file and all its pages.
-    pub fn drop_file(&mut self, file: FileId) -> Result<()> {
-        self.free_space.remove(&file);
+    pub fn drop_file(&self, file: FileId) -> Result<()> {
+        self.free_space.lock().remove(&file);
         self.pool.drop_file(file)
     }
 
@@ -109,35 +117,44 @@ impl StorageManager {
     /// Reset the whole I/O profile (disk and pool counters together); see
     /// [`BufferPool::reset_profile`]. This is the reset the benchmark
     /// harness uses for cold-pool accounting between queries.
-    pub fn reset_profile(&mut self) {
+    pub fn reset_profile(&self) {
         self.pool.reset_profile();
     }
 
     /// Reset all I/O counters. Alias of [`StorageManager::reset_profile`],
     /// kept for existing call sites.
-    pub fn reset_io(&mut self) {
+    pub fn reset_io(&self) {
         self.reset_profile();
     }
 
     /// Write back every dirty page and empty the buffer pool, so that the
     /// next query starts cold. The paper's cost model charges one read for
     /// every page a query needs; a cold pool makes measured I/O comparable.
-    pub fn flush_all(&mut self) -> Result<()> {
+    pub fn flush_all(&self) -> Result<()> {
         self.pool.flush_all()
     }
 
     /// Batched page fetch: see [`BufferPool::get_pages_batch`].
-    pub fn get_pages_batch(&mut self, pids: &[PageId]) -> Result<Vec<PageHandle>> {
+    pub fn get_pages_batch(&self, pids: &[PageId]) -> Result<Vec<PageHandle>> {
         self.pool.get_pages_batch(pids)
     }
 
     /// Read-ahead hint: see [`BufferPool::prefetch`].
-    pub fn prefetch_pages(&mut self, pids: &[PageId]) -> Result<()> {
+    pub fn prefetch_pages(&self, pids: &[PageId]) -> Result<()> {
         self.pool.prefetch(pids)
     }
 
-    pub(crate) fn free_space_map(&mut self, file: FileId) -> &mut heap::FileSpace {
-        self.free_space.entry(file).or_default()
+    /// Run `f` with exclusive access to `file`'s free-space placement
+    /// state. The closure must not touch the pool (placement decisions
+    /// and page I/O are deliberately decoupled so the free-space mutex is
+    /// never held across a disk access).
+    pub(crate) fn with_free_space<R>(
+        &self,
+        file: FileId,
+        f: impl FnOnce(&mut heap::FileSpace) -> R,
+    ) -> R {
+        let mut map = self.free_space.lock();
+        f(map.entry(file).or_default())
     }
 }
 
@@ -218,7 +235,7 @@ mod tests {
 
     #[test]
     fn create_and_drop_files() {
-        let mut sm = StorageManager::in_memory(16);
+        let sm = StorageManager::in_memory(16);
         let a = sm.create_file().unwrap();
         let b = sm.create_file().unwrap();
         assert_ne!(a, b);

@@ -99,29 +99,29 @@ proptest! {
     /// Heap files keep OIDs stable (through forwarding) and scans complete.
     #[test]
     fn heap_file_matches_model(ops in proptest::collection::vec(heap_op(), 1..150)) {
-        let mut sm = StorageManager::in_memory(256);
-        let hf = HeapFile::create(&mut sm).unwrap();
+        let sm = StorageManager::in_memory(256);
+        let hf = HeapFile::create(&sm).unwrap();
         let mut model: Vec<(fieldrep_storage::Oid, Vec<u8>)> = Vec::new();
 
         for op in ops {
             match op {
                 HeapOp::Insert(b, l) => {
                     let payload = vec![b; l as usize];
-                    let oid = hf.insert(&mut sm, 9, &payload).unwrap();
+                    let oid = hf.insert(&sm, 9, &payload).unwrap();
                     model.push((oid, payload));
                 }
                 HeapOp::Delete(i) => {
                     if model.is_empty() { continue; }
                     let (oid, _) = model.remove(i % model.len());
-                    hf.delete(&mut sm, oid).unwrap();
-                    prop_assert!(hf.read(&mut sm, oid).is_err());
+                    hf.delete(&sm, oid).unwrap();
+                    prop_assert!(hf.read(&sm, oid).is_err());
                 }
                 HeapOp::Update(i, b, l) => {
                     if model.is_empty() { continue; }
                     let idx = i % model.len();
                     let payload = vec![b; l as usize];
                     let oid = model[idx].0;
-                    hf.update(&mut sm, oid, &payload).unwrap();
+                    hf.update(&sm, oid, &payload).unwrap();
                     model[idx].1 = payload;
                 }
             }
@@ -129,13 +129,13 @@ proptest! {
 
         // Point reads.
         for (oid, payload) in &model {
-            let (tag, got) = hf.read(&mut sm, *oid).unwrap();
+            let (tag, got) = hf.read(&sm, *oid).unwrap();
             prop_assert_eq!(tag, 9);
             prop_assert_eq!(&got, payload);
         }
         // Scan sees exactly the live set, each once.
         let mut seen: HashMap<fieldrep_storage::Oid, Vec<u8>> = HashMap::new();
-        let mut scan = hf.scan(&mut sm).unwrap();
+        let mut scan = hf.scan(&sm).unwrap();
         while let Some((oid, tag, body)) = scan.next_record().unwrap() {
             prop_assert_eq!(tag, 9);
             prop_assert!(seen.insert(oid, body).is_none());
@@ -148,7 +148,7 @@ proptest! {
         // Cold restart: flush, then everything still reads back.
         sm.flush_all().unwrap();
         for (oid, payload) in &model {
-            prop_assert_eq!(&hf.read(&mut sm, *oid).unwrap().1, payload);
+            prop_assert_eq!(&hf.read(&sm, *oid).unwrap().1, payload);
         }
     }
 }

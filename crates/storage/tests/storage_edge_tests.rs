@@ -10,12 +10,12 @@ use fieldrep_storage::{
 fn tiny_records_can_always_be_forwarded() {
     // Records smaller than a forwarding stub (8-byte payload) must still
     // be forwardable — the MIN_RECORD_PAYLOAD reservation guarantees it.
-    let mut sm = StorageManager::in_memory(64);
-    let hf = HeapFile::create(&mut sm).unwrap();
+    let sm = StorageManager::in_memory(64);
+    let hf = HeapFile::create(&sm).unwrap();
     let mut oids = Vec::new();
     // Fill a page with 1-byte records.
     loop {
-        let oid = hf.insert(&mut sm, 1, &[7u8]).unwrap();
+        let oid = hf.insert(&sm, 1, &[7u8]).unwrap();
         if oid.page > 0 {
             break;
         }
@@ -23,48 +23,48 @@ fn tiny_records_can_always_be_forwarded() {
     }
     // Grow every page-0 record far beyond the page: each needs a stub.
     for &oid in &oids {
-        hf.update(&mut sm, oid, &[9u8; 300]).unwrap();
+        hf.update(&sm, oid, &[9u8; 300]).unwrap();
     }
     for &oid in &oids {
-        assert_eq!(hf.read(&mut sm, oid).unwrap().1, vec![9u8; 300]);
+        assert_eq!(hf.read(&sm, oid).unwrap().1, vec![9u8; 300]);
     }
     const _: () = assert!(MIN_RECORD_PAYLOAD >= 8);
 }
 
 #[test]
 fn zero_length_payload_roundtrip() {
-    let mut sm = StorageManager::in_memory(16);
-    let hf = HeapFile::create(&mut sm).unwrap();
-    let oid = hf.insert(&mut sm, 3, &[]).unwrap();
-    assert_eq!(hf.read(&mut sm, oid).unwrap(), (3, vec![]));
-    hf.update(&mut sm, oid, &[]).unwrap();
-    assert_eq!(hf.read(&mut sm, oid).unwrap().1, Vec::<u8>::new());
-    hf.delete(&mut sm, oid).unwrap();
+    let sm = StorageManager::in_memory(16);
+    let hf = HeapFile::create(&sm).unwrap();
+    let oid = hf.insert(&sm, 3, &[]).unwrap();
+    assert_eq!(hf.read(&sm, oid).unwrap(), (3, vec![]));
+    hf.update(&sm, oid, &[]).unwrap();
+    assert_eq!(hf.read(&sm, oid).unwrap().1, Vec::<u8>::new());
+    hf.delete(&sm, oid).unwrap();
 }
 
 #[test]
 fn max_payload_roundtrip_through_heap() {
-    let mut sm = StorageManager::in_memory(16);
-    let hf = HeapFile::create(&mut sm).unwrap();
+    let sm = StorageManager::in_memory(16);
+    let hf = HeapFile::create(&sm).unwrap();
     let big = vec![0x5A; MAX_RECORD_PAYLOAD];
-    let oid = hf.insert(&mut sm, 2, &big).unwrap();
-    assert_eq!(hf.read(&mut sm, oid).unwrap().1, big);
+    let oid = hf.insert(&sm, 2, &big).unwrap();
+    assert_eq!(hf.read(&sm, oid).unwrap().1, big);
     // One byte more is rejected cleanly.
     let too_big = vec![0u8; MAX_RECORD_PAYLOAD + 1];
     assert!(matches!(
-        hf.insert(&mut sm, 2, &too_big),
+        hf.insert(&sm, 2, &too_big),
         Err(StorageError::RecordTooLarge { .. })
     ));
 }
 
 #[test]
 fn per_query_io_accounting_with_cold_pool() {
-    let mut sm = StorageManager::in_memory(256);
-    let hf = HeapFile::create(&mut sm).unwrap();
+    let sm = StorageManager::in_memory(256);
+    let hf = HeapFile::create(&sm).unwrap();
     // 10 pages of 100-byte records.
     let mut oids = Vec::new();
     for _ in 0..330 {
-        oids.push(hf.insert(&mut sm, 1, &[1u8; 100]).unwrap());
+        oids.push(hf.insert(&sm, 1, &[1u8; 100]).unwrap());
     }
     sm.flush_all().unwrap();
     sm.reset_io();
@@ -72,7 +72,7 @@ fn per_query_io_accounting_with_cold_pool() {
     // Read one record from each of 10 pages: exactly 10 physical reads.
     for p in 0..10u32 {
         let oid = oids.iter().find(|o| o.page == p).unwrap();
-        hf.read(&mut sm, *oid).unwrap();
+        hf.read(&sm, *oid).unwrap();
     }
     let prof = sm.io_profile();
     assert_eq!(prof.pages_read(), 10);
@@ -82,7 +82,7 @@ fn per_query_io_accounting_with_cold_pool() {
     // Re-reading is free (buffered).
     for p in 0..10u32 {
         let oid = oids.iter().find(|o| o.page == p).unwrap();
-        hf.read(&mut sm, *oid).unwrap();
+        hf.read(&sm, *oid).unwrap();
     }
     let prof = sm.io_profile();
     assert_eq!(prof.pages_read(), 10, "second pass came from the pool");
@@ -91,7 +91,7 @@ fn per_query_io_accounting_with_cold_pool() {
     // Updating 5 records on one page then flushing writes exactly 1 page.
     sm.reset_io();
     for oid in oids.iter().filter(|o| o.page == 3).take(5) {
-        hf.update(&mut sm, *oid, &[2u8; 100]).unwrap();
+        hf.update(&sm, *oid, &[2u8; 100]).unwrap();
     }
     sm.flush_all().unwrap();
     let prof = sm.io_profile();
@@ -101,14 +101,14 @@ fn per_query_io_accounting_with_cold_pool() {
 #[test]
 fn pool_thrashing_still_correct() {
     // A 4-frame pool over a 40-page file: heavy eviction, no data loss.
-    let mut sm = StorageManager::in_memory(4);
-    let hf = HeapFile::create(&mut sm).unwrap();
+    let sm = StorageManager::in_memory(4);
+    let hf = HeapFile::create(&sm).unwrap();
     let mut oids = Vec::new();
     for i in 0..1320u32 {
-        oids.push(hf.insert(&mut sm, 1, &i.to_le_bytes().repeat(25)).unwrap());
+        oids.push(hf.insert(&sm, 1, &i.to_le_bytes().repeat(25)).unwrap());
     }
     for (i, oid) in oids.iter().enumerate().step_by(31) {
-        let (_, body) = hf.read(&mut sm, *oid).unwrap();
+        let (_, body) = hf.read(&sm, *oid).unwrap();
         assert_eq!(body, (i as u32).to_le_bytes().repeat(25));
     }
     let prof = sm.io_profile();
@@ -117,11 +117,11 @@ fn pool_thrashing_still_correct() {
 
 #[test]
 fn error_messages_are_informative() {
-    let mut sm = StorageManager::in_memory(8);
-    let hf = HeapFile::create(&mut sm).unwrap();
-    let oid = hf.insert(&mut sm, 1, b"x").unwrap();
-    hf.delete(&mut sm, oid).unwrap();
-    let err = hf.read(&mut sm, oid).unwrap_err();
+    let sm = StorageManager::in_memory(8);
+    let hf = HeapFile::create(&sm).unwrap();
+    let oid = hf.insert(&sm, 1, b"x").unwrap();
+    hf.delete(&sm, oid).unwrap();
+    let err = hf.read(&sm, oid).unwrap_err();
     let msg = format!("{err}");
     assert!(msg.contains("does not name a live record"), "{msg}");
 
@@ -131,21 +131,21 @@ fn error_messages_are_informative() {
 
 #[test]
 fn interleaved_files_do_not_interfere() {
-    let mut sm = StorageManager::in_memory(64);
-    let a = HeapFile::create(&mut sm).unwrap();
-    let b = HeapFile::create(&mut sm).unwrap();
+    let sm = StorageManager::in_memory(64);
+    let a = HeapFile::create(&sm).unwrap();
+    let b = HeapFile::create(&sm).unwrap();
     let mut pairs = Vec::new();
     for i in 0..500u32 {
-        let oa = a.insert(&mut sm, 1, &i.to_le_bytes()).unwrap();
-        let ob = b.insert(&mut sm, 2, &(i * 2).to_le_bytes()).unwrap();
+        let oa = a.insert(&sm, 1, &i.to_le_bytes()).unwrap();
+        let ob = b.insert(&sm, 2, &(i * 2).to_le_bytes()).unwrap();
         pairs.push((oa, ob, i));
     }
     sm.drop_file(a.file).unwrap();
     // B survives A's destruction fully intact.
     for (_, ob, i) in &pairs {
-        assert_eq!(b.read(&mut sm, *ob).unwrap().1, (i * 2).to_le_bytes());
+        assert_eq!(b.read(&sm, *ob).unwrap().1, (i * 2).to_le_bytes());
     }
-    assert_eq!(b.count(&mut sm).unwrap(), 500);
+    assert_eq!(b.count(&sm).unwrap(), 500);
 }
 
 #[test]

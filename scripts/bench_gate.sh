@@ -2,11 +2,15 @@
 # Regression gate over committed benchmark snapshots: diff the two newest
 # BENCH_*.json reports and fail on I/O regressions, excess model drift,
 # a >15% wall-clock regression (wall gating applies only to readings
-# above the noise floor, and never against v1 snapshots), or >5%
-# always-on telemetry overhead in the newest report's overhead section.
+# above the noise floor, and never against v1 snapshots), >5%
+# always-on telemetry overhead in the newest report's overhead section,
+# or <2x 1->4-thread snapshot-read scaling in the newest report (only
+# judged when the producing host had >=4 CPUs and the readings cleared
+# the noise floor).
 # Run from anywhere:
 #   ./scripts/bench_gate.sh [--max-io-regress PCT] [--max-drift PCT] \
-#                           [--max-wall-regress PCT] [--max-obs-overhead PCT]
+#                           [--max-wall-regress PCT] [--max-obs-overhead PCT] \
+#                           [--min-read-scaling X]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

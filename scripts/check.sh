@@ -13,6 +13,11 @@ cargo run -q -p fieldrep-lint
 
 cargo test -q --workspace
 
+# Concurrency stress smoke: the seeded 8-thread hostile mix across all
+# three replication strategies (release mode, fixed seed). A torn
+# replica read or a lock-ordering deadlock fails here.
+cargo test --release -q -p fieldrep-core --test concurrency_stress
+
 # Fast benchmark smoke: runs the suite's tiny matrix and self-tests the
 # regression-gate logic (exits nonzero if the gate stops catching
 # injected regressions).
