@@ -239,7 +239,10 @@ fn run_mix(
     Ok((total, t0.elapsed().as_nanos() as f64 / 1e6))
 }
 
-fn point(id: String, ops: usize, wall_ms: f64) -> BenchPoint {
+/// A throughput-flavoured [`BenchPoint`]: wall clock plus `ops_per_sec`,
+/// no modelled I/O. Shared with the durability sweep's group-commit
+/// points (`crate::durability`).
+pub(crate) fn point(id: String, ops: usize, wall_ms: f64) -> BenchPoint {
     BenchPoint {
         id,
         measured_io: 0.0,

@@ -1,0 +1,346 @@
+//! Durability benchmarks: what the write-ahead log costs.
+//!
+//! Two point families land in the suite report:
+//!
+//! * `durability/wal/{off,on}` — one seeded, single-threaded
+//!   `update_txn` workload over a counted in-memory disk, first without
+//!   and then with a WAL attached. `measured_io` is total page traffic
+//!   (reads + writes + allocations) across the world build and the
+//!   update loop; the pool is sized so nothing evicts, and the log is a
+//!   separate byte stream, so the two readings must be **identical** —
+//!   this is the suite's standing pin that commit logging and page
+//!   checksums add zero page I/O to the hot path (the log's own volume
+//!   is visible in `wal.bytes`, not here). The pair is gated cross-run
+//!   like any deterministic point.
+//! * `concurrency/group_commit/t<N>` — N committer threads updating
+//!   disjoint departments over one file-backed database + log. Every
+//!   commit must reach disk, but concurrent commits share fsyncs (group
+//!   commit), so throughput per fsync rises with threads. The point
+//!   carries `ops_per_sec`, plus the run's fsync count in `measured_io`
+//!   and its coalesced-commit count in `batch_io`. It lives under the
+//!   `concurrency/` prefix because fsync latency is a machine property:
+//!   the cross-run gate ignores it.
+
+use crate::concurrency::point;
+use crate::suite::BenchPoint;
+use fieldrep_catalog::{Propagation, Strategy};
+use fieldrep_core::{Database, DbConfig};
+use fieldrep_model::{FieldType, TypeDef, Value};
+use fieldrep_storage::{remove_db_dir, FileDisk, FileWalStore, MemDisk, MemWalStore, Oid};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Shape of the durability sweep.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Single-threaded terminal updates in the WAL on/off pair.
+    pub updates: usize,
+    /// Thread counts for the group-commit runs.
+    pub gc_threads: Vec<usize>,
+    /// Commits per thread in the group-commit runs.
+    pub gc_ops_per_thread: usize,
+    /// RNG seed (per-thread streams derive from it).
+    pub seed: u64,
+}
+
+impl DurabilityConfig {
+    /// The nightly shape.
+    pub fn full() -> DurabilityConfig {
+        DurabilityConfig {
+            updates: 1500,
+            gc_threads: vec![1, 4],
+            gc_ops_per_thread: 150,
+            seed: 0xD0_D0,
+        }
+    }
+
+    /// Seconds-scale variant for `scripts/check.sh` (fewer commits, so
+    /// fewer real fsyncs).
+    pub fn smoke() -> DurabilityConfig {
+        DurabilityConfig {
+            updates: 250,
+            gc_threads: vec![1, 4],
+            gc_ops_per_thread: 30,
+            seed: 0xD0_D0,
+        }
+    }
+}
+
+fn db_cfg() -> DbConfig {
+    DbConfig {
+        pool_pages: 512,
+        inline_link_threshold: 4,
+    }
+}
+
+/// The Figure-1 world (ORG ← DEPT ← EMP, one replicated path per
+/// strategy), built into an existing database so the same populate step
+/// runs over every backend under test.
+struct World {
+    db: Database,
+    orgs: Vec<Oid>,
+    depts: Vec<Oid>,
+}
+
+fn populate(mut db: Database) -> Result<World, String> {
+    let e = |e: fieldrep_core::DbError| format!("durability world: {e}");
+    db.define_type(TypeDef::new(
+        "ORG",
+        vec![("name", FieldType::Str), ("budget", FieldType::Int)],
+    ))
+    .map_err(e)?;
+    db.define_type(TypeDef::new(
+        "DEPT",
+        vec![
+            ("name", FieldType::Str),
+            ("budget", FieldType::Int),
+            ("org", FieldType::Ref("ORG".into())),
+        ],
+    ))
+    .map_err(e)?;
+    db.define_type(TypeDef::new(
+        "EMP",
+        vec![
+            ("name", FieldType::Str),
+            ("salary", FieldType::Int),
+            ("dept", FieldType::Ref("DEPT".into())),
+        ],
+    ))
+    .map_err(e)?;
+    db.create_set("Org", "ORG").map_err(e)?;
+    db.create_set("Dept", "DEPT").map_err(e)?;
+    db.create_set("Emp1", "EMP").map_err(e)?;
+    let mut orgs = Vec::new();
+    for i in 0..4 {
+        orgs.push(
+            db.insert(
+                "Org",
+                vec![Value::Str(format!("org{i}")), Value::Int(1000 + i)],
+            )
+            .map_err(e)?,
+        );
+    }
+    let mut depts = Vec::new();
+    for i in 0..16 {
+        depts.push(
+            db.insert(
+                "Dept",
+                vec![
+                    Value::Str(format!("dept{i}")),
+                    Value::Int(100 * i as i64),
+                    Value::Ref(orgs[i % orgs.len()]),
+                ],
+            )
+            .map_err(e)?,
+        );
+    }
+    for i in 0..512 {
+        db.insert(
+            "Emp1",
+            vec![
+                Value::Str(format!("emp{i}")),
+                Value::Int(i as i64),
+                Value::Ref(depts[i % depts.len()]),
+            ],
+        )
+        .map_err(e)?;
+    }
+    db.replicate("Emp1.dept.name", Strategy::InPlace)
+        .map_err(e)?;
+    db.replicate("Emp1.dept.budget", Strategy::Separate)
+        .map_err(e)?;
+    db.replicate_collapsed("Emp1.dept.org.name", Propagation::Eager)
+        .map_err(e)?;
+    Ok(World { db, orgs, depts })
+}
+
+/// The seeded single-threaded update loop: terminal dept/org updates
+/// through `update_txn`, same mix as the concurrency sweep's writers.
+fn update_loop(w: &World, ops: usize, seed: u64) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for op in 0..ops {
+        let r = match rng.gen_range(0..3u32) {
+            0 => {
+                let d = w.depts[rng.gen_range(0..w.depts.len())];
+                w.db.update_txn(d, &[("name", Value::Str(format!("d-{op}")))])
+            }
+            1 => {
+                let d = w.depts[rng.gen_range(0..w.depts.len())];
+                w.db.update_txn(d, &[("budget", Value::Int(rng.gen_range(0..1_000_000)))])
+            }
+            _ => {
+                let o = w.orgs[rng.gen_range(0..w.orgs.len())];
+                w.db.update_txn(o, &[("name", Value::Str(format!("o-{op}")))])
+            }
+        };
+        r.map_err(|e| format!("durability update {op}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// The `durability/wal/{off,on}` pair. Both runs start from a fresh
+/// counted [`MemDisk`]; the "on" run attaches a [`MemWalStore`] so the
+/// commit path logs and "syncs" every transaction without real fsync
+/// latency drowning the page-I/O signal.
+fn run_wal_pair(cfg: &DurabilityConfig) -> Result<Vec<BenchPoint>, String> {
+    let mut points = Vec::new();
+    for mode in ["off", "on"] {
+        let db = if mode == "on" {
+            Database::with_disk_and_wal(
+                Box::new(MemDisk::new()),
+                Box::new(MemWalStore::new()),
+                db_cfg(),
+            )
+            .map_err(|e| format!("durability wal-on database: {e}"))?
+        } else {
+            Database::in_memory(db_cfg())
+        };
+        db.reset_profile();
+        let t0 = Instant::now();
+        let w = populate(db)?;
+        update_loop(&w, cfg.updates, cfg.seed)?;
+        let ms = t0.elapsed().as_nanos() as f64 / 1e6;
+        let prof = w.db.io_profile();
+        if prof.evictions != 0 {
+            return Err(format!(
+                "durability/wal/{mode}: {} evictions — grow pool_pages so the \
+                 page-I/O pin stays eviction-free",
+                prof.evictions
+            ));
+        }
+        let mut p = point(format!("durability/wal/{mode}"), cfg.updates, ms);
+        p.measured_io = (prof.disk.reads + prof.disk.writes + prof.disk.allocations) as f64;
+        points.push(p);
+    }
+    Ok(points)
+}
+
+/// One group-commit thread: commits over its own slice of the
+/// departments (`index % stride == thread`), so threads contend only on
+/// the log tail, never on object locks.
+fn gc_worker(
+    w: &World,
+    thread: usize,
+    stride: usize,
+    ops: usize,
+    seed: u64,
+) -> Result<usize, String> {
+    let mine: Vec<Oid> = w
+        .depts
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(i, _)| i % stride == thread)
+        .map(|(_, d)| d)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ (thread as u64).wrapping_mul(0x9E37_79B9));
+    for op in 0..ops {
+        let d = mine[rng.gen_range(0..mine.len())];
+        let r = if rng.gen_range(0..2u32) == 0 {
+            w.db.update_txn(d, &[("name", Value::Str(format!("d{thread}-{op}")))])
+        } else {
+            w.db.update_txn(d, &[("budget", Value::Int(rng.gen_range(0..1_000_000)))])
+        };
+        r.map_err(|e| format!("group-commit thread {thread} op {op}: {e}"))?;
+    }
+    Ok(ops)
+}
+
+/// The `concurrency/group_commit/t<N>` sweep over a real file-backed
+/// database + log in a scratch directory under the system temp dir
+/// (removed afterwards).
+fn run_group_commit(cfg: &DurabilityConfig) -> Result<Vec<BenchPoint>, String> {
+    // Disambiguates scratch dirs when several suites run in one process
+    // (the suite's own unit tests do exactly that, in parallel).
+    static SCRATCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let es = |e: fieldrep_storage::StorageError| format!("group-commit scratch: {e}");
+    let mut points = Vec::new();
+    for &n in &cfg.gc_threads {
+        let run = SCRATCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "fieldrep-group-commit-{}-{run}-t{n}",
+            std::process::id()
+        ));
+        remove_db_dir(&dir).map_err(es)?;
+        let db = Database::with_disk_and_wal(
+            Box::new(FileDisk::open(&dir).map_err(es)?),
+            Box::new(FileWalStore::open(&dir).map_err(es)?),
+            db_cfg(),
+        )
+        .map_err(|e| format!("group-commit database: {e}"))?;
+        let w = populate(db)?;
+        let before = w.db.sm().wal_stats();
+        let t0 = Instant::now();
+        let total = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|t| {
+                    let w = &w;
+                    s.spawn(move || gc_worker(w, t, n, cfg.gc_ops_per_thread, cfg.seed))
+                })
+                .collect();
+            let mut total = 0usize;
+            for h in handles {
+                total += h
+                    .join()
+                    .map_err(|_| "group-commit worker panicked".to_string())??;
+            }
+            Ok::<usize, String>(total)
+        })?;
+        let ms = t0.elapsed().as_nanos() as f64 / 1e6;
+        let after = w.db.sm().wal_stats();
+        let mut p = point(format!("concurrency/group_commit/t{n}"), total, ms);
+        p.measured_io = (after.fsyncs - before.fsyncs) as f64;
+        p.batch_io = (after.coalesced - before.coalesced) as f64;
+        points.push(p);
+        drop(w);
+        remove_db_dir(&dir).map_err(es)?;
+    }
+    Ok(points)
+}
+
+/// Run the sweep; the WAL on/off pair first, then `group_commit/t<N>`
+/// in thread order.
+pub fn run_durability(smoke: bool) -> Result<Vec<BenchPoint>, String> {
+    let cfg = if smoke {
+        DurabilityConfig::smoke()
+    } else {
+        DurabilityConfig::full()
+    };
+    let mut points = run_wal_pair(&cfg)?;
+    points.extend(run_group_commit(&cfg)?);
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wal_on_and_off_do_identical_page_io() {
+        let pts = run_wal_pair(&DurabilityConfig::smoke()).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].id, "durability/wal/off");
+        assert_eq!(pts[1].id, "durability/wal/on");
+        assert!(pts[0].measured_io > 0.0, "the pin must measure something");
+        assert_eq!(
+            pts[0].measured_io, pts[1].measured_io,
+            "attaching a WAL changed page I/O"
+        );
+    }
+
+    #[test]
+    fn group_commit_points_carry_throughput_and_fsync_counts() {
+        let mut cfg = DurabilityConfig::smoke();
+        cfg.gc_threads = vec![2];
+        cfg.gc_ops_per_thread = 10;
+        let pts = run_group_commit(&cfg).unwrap();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].id, "concurrency/group_commit/t2");
+        assert!(pts[0].ops_per_sec > 0.0);
+        // 20 durable commits need at least one fsync, and never more
+        // than one per commit.
+        assert!(pts[0].measured_io >= 1.0);
+        assert!(pts[0].measured_io <= 20.0 + 1.0);
+    }
+}

@@ -16,6 +16,7 @@
 //! the Criterion timing benchmarks.
 
 pub mod concurrency;
+pub mod durability;
 pub mod figures;
 pub mod json;
 pub mod suite;

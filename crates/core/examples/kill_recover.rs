@@ -1,0 +1,141 @@
+//! Kill-and-recover walkthrough: build a replicated world over a
+//! file-backed database + write-ahead log, commit updates, "kill" the
+//! process without checkpointing, tear the log tail (as a crash during
+//! the final append would), and reopen — printing what recovery saw.
+//!
+//! Run: `cargo run --release -p fieldrep-core --example kill_recover`
+//!
+//! The transcript in EXPERIMENTS.md ("Durability") is this program's
+//! output.
+
+use fieldrep_catalog::{Propagation, Strategy};
+use fieldrep_core::{Database, DbConfig};
+use fieldrep_model::{FieldType, TypeDef, Value};
+use fieldrep_storage::{FileDisk, FileWalStore};
+
+const UPDATES: usize = 25;
+
+fn cfg() -> DbConfig {
+    DbConfig {
+        pool_pages: 512,
+        inline_link_threshold: 4,
+    }
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("fieldrep-kill-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Build the Figure-1 world, replicate one path per strategy, and
+    // checkpoint (save() flushes, fsyncs, and truncates the log).
+    let mut db = Database::with_disk_and_wal(
+        Box::new(FileDisk::open(&dir).unwrap()),
+        Box::new(FileWalStore::open(&dir).unwrap()),
+        cfg(),
+    )
+    .unwrap();
+    db.define_type(TypeDef::new(
+        "ORG",
+        vec![("name", FieldType::Str), ("budget", FieldType::Int)],
+    ))
+    .unwrap();
+    db.define_type(TypeDef::new(
+        "DEPT",
+        vec![
+            ("name", FieldType::Str),
+            ("budget", FieldType::Int),
+            ("org", FieldType::Ref("ORG".into())),
+        ],
+    ))
+    .unwrap();
+    db.define_type(TypeDef::new(
+        "EMP",
+        vec![
+            ("name", FieldType::Str),
+            ("salary", FieldType::Int),
+            ("dept", FieldType::Ref("DEPT".into())),
+        ],
+    ))
+    .unwrap();
+    db.create_set("Org", "ORG").unwrap();
+    db.create_set("Dept", "DEPT").unwrap();
+    db.create_set("Emp1", "EMP").unwrap();
+    let org = db
+        .insert("Org", vec![Value::Str("acme".into()), Value::Int(1000)])
+        .unwrap();
+    let dept = db
+        .insert(
+            "Dept",
+            vec![Value::Str("dept0".into()), Value::Int(100), Value::Ref(org)],
+        )
+        .unwrap();
+    for i in 0..64 {
+        db.insert(
+            "Emp1",
+            vec![
+                Value::Str(format!("emp{i}")),
+                Value::Int(i),
+                Value::Ref(dept),
+            ],
+        )
+        .unwrap();
+    }
+    db.replicate("Emp1.dept.name", Strategy::InPlace).unwrap();
+    db.replicate("Emp1.dept.budget", Strategy::Separate)
+        .unwrap();
+    db.replicate_collapsed("Emp1.dept.org.name", Propagation::Eager)
+        .unwrap();
+    db.save().unwrap();
+    println!("checkpointed; wal.log is empty again\n");
+
+    // Committed updates: each update_txn returns only after its log
+    // records are fsynced. Nothing here is ever written back to the
+    // data files — the WAL is the only durable trace.
+    for i in 0..UPDATES {
+        db.update_txn(dept, &[("name", Value::Str(format!("rev-{i}")))])
+            .unwrap();
+    }
+    let s = db.sm().wal_stats();
+    println!(
+        "after {UPDATES} committed updates: last_lsn={} durable_lsn={} \
+         appends={} fsyncs={} coalesced={} bytes={}",
+        s.last_lsn, s.durable_lsn, s.appends, s.fsyncs, s.coalesced, s.bytes
+    );
+    drop(db); // kill -9: no save, no checkpoint, no flush
+
+    // A crash during the final append leaves a torn frame; simulate it
+    // by chopping the last 13 bytes of the log.
+    let wal_path = dir.join("wal.log");
+    let len = std::fs::metadata(&wal_path).unwrap().len();
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&wal_path)
+        .unwrap();
+    f.set_len(len - 13).unwrap();
+    println!("killed; tore the log tail: {len} -> {} bytes\n", len - 13);
+
+    // Reopen: recovery scans the log, discards the torn tail, and
+    // replays every committed transaction's page images.
+    let db = Database::open_with_wal(
+        Box::new(FileDisk::open(&dir).unwrap()),
+        Box::new(FileWalStore::open(&dir).unwrap()),
+        cfg(),
+    )
+    .unwrap();
+    let r = db.sm().recovery_report();
+    println!(
+        "recovery: scanned_records={} truncated_bytes={} committed_txns={} \
+         replayed_pages={} last_lsn={}",
+        r.scanned_records, r.truncated_bytes, r.committed_txns, r.replayed_pages, r.last_lsn
+    );
+    let Value::Str(name) = db.get_field(dept, "name").unwrap() else {
+        panic!("dept name is a string");
+    };
+    println!("recovered dept.name = {name:?}");
+    assert_eq!(
+        name,
+        format!("rev-{}", UPDATES - 2),
+        "the torn final transaction is discarded; every earlier commit survives"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -94,11 +94,38 @@ impl Database {
         }
     }
 
+    /// As [`Database::with_disk`] for a **fresh** database, with a
+    /// write-ahead log attached: crash recovery runs against the pair
+    /// first (a no-op on an empty log), then the pool is built with the
+    /// WAL so every [`Database::update_txn`] commit is durable and
+    /// every page write-back obeys the steal rule (see
+    /// [`fieldrep_storage::wal`]).
+    pub fn with_disk_and_wal(
+        disk: Box<dyn DiskManager>,
+        store: Box<dyn fieldrep_storage::WalStore>,
+        cfg: DbConfig,
+    ) -> Result<Database> {
+        let sm = StorageManager::new_with_wal(disk, store, cfg.pool_pages)?;
+        let catalog_file = sm.create_file()?;
+        Ok(Database {
+            sm,
+            catalog: Catalog::new(),
+            cfg,
+            file_sets: HashMap::new(),
+            pending: crate::PendingSet::default(),
+            workload: crate::WorkloadStats::new(),
+            catalog_file,
+            txn: crate::txn::TxnManager::default(),
+        })
+    }
+
     /// Persist the catalog (schema, sets, indexes, replication paths,
     /// links, groups) into the database's catalog file and flush every
     /// dirty page, so the disk image is self-contained and can be
     /// reopened with [`Database::open`]. Deferred propagation is synced
-    /// first (the pending queue lives only in memory).
+    /// first (the pending queue lives only in memory). With a WAL
+    /// attached this is a full checkpoint: data files are fsynced and
+    /// the log is truncated.
     pub fn save(&mut self) -> Result<()> {
         self.sync_all_pending()?;
         let image = fieldrep_catalog::persist::encode(&self.catalog);
@@ -123,13 +150,31 @@ impl Database {
             payload.extend_from_slice(chunk);
             hf.insert(&self.sm, 0xFFFC, &payload)?;
         }
-        self.flush_all()
+        Ok(self.sm.checkpoint()?)
     }
 
     /// Reopen a database previously built with [`Database::with_disk`]
     /// and persisted with [`Database::save`].
     pub fn open(disk: Box<dyn DiskManager>, cfg: DbConfig) -> Result<Database> {
         let sm = StorageManager::new(disk, cfg.pool_pages);
+        Self::open_with_sm(sm, cfg)
+    }
+
+    /// Reopen a database with a write-ahead log: crash recovery runs
+    /// first (replaying any committed transactions the log still
+    /// holds), then the catalog is read from the recovered disk image.
+    /// This is the constructor a kill-and-restart cycle uses; see
+    /// [`StorageManager::recovery_report`] for what recovery found.
+    pub fn open_with_wal(
+        disk: Box<dyn DiskManager>,
+        store: Box<dyn fieldrep_storage::WalStore>,
+        cfg: DbConfig,
+    ) -> Result<Database> {
+        let sm = StorageManager::new_with_wal(disk, store, cfg.pool_pages)?;
+        Self::open_with_sm(sm, cfg)
+    }
+
+    fn open_with_sm(sm: StorageManager, cfg: DbConfig) -> Result<Database> {
         let catalog_file = FileId(0);
         let hf = HeapFile::open(catalog_file);
         let mut chunks: Vec<(u32, Vec<u8>)> = Vec::new();

@@ -623,9 +623,23 @@ impl Database {
             // may have rewired links or moved sources.
             let check = self.write_footprint(oid, changes)?;
             if guard.covers(&check) {
+                // Durability: hold the WAL apply section across
+                // apply+log so the log never interleaves two
+                // transactions' page images, then release it *before*
+                // the fsync so concurrent commits coalesce into one
+                // barrier (group commit).
+                let wal = self.sm().wal().cloned();
+                let apply_guard = wal.as_ref().map(|w| w.apply_lock());
                 let result = self.update(oid, changes);
                 if result.is_ok() {
                     txn.note_commit_applied();
+                    if let Some(w) = &wal {
+                        let lsn = self.sm().pool().log_txn_commit()?;
+                        drop(apply_guard);
+                        if let Some(lsn) = lsn {
+                            w.sync_to(lsn)?;
+                        }
+                    }
                 }
                 return result; // guard drop publishes the versions
             }

@@ -72,6 +72,17 @@ const OBS_NAME_APIS: [&str; 6] = [
 ];
 /// Buffer-pool entry points that take a frame lock (L4 triggers).
 const FRAME_ACQUIRERS: [&str; 3] = ["fetch", "new_page", "prefetch"];
+/// Raw `WalStore` methods: the log's framing, fsync, and truncation
+/// surface. Deliberately distinctive names so call sites are greppable.
+const WAL_STORE_METHODS: [&str; 5] = [
+    "wal_append",
+    "wal_sync",
+    "wal_read_all",
+    "wal_truncate",
+    "wal_len",
+];
+/// The only directory allowed to touch the raw log store (L1, WAL half).
+const WAL_DIR: &str = "crates/storage/src/wal";
 /// The one file allowed to acquire raw OID write locks: the transaction
 /// manager's sorted-order helper lives here (L4, concurrency half).
 const OID_LOCK_FILE: &str = "crates/core/src/txn.rs";
@@ -150,6 +161,9 @@ pub fn run_checks(root: &Path) -> std::io::Result<Report> {
 
         if crate_key != "crates/storage" && crate_key != "crates/lint" {
             check_layering(&toks, &mut push);
+        }
+        if crate_key != "crates/lint" && !rel.starts_with(WAL_DIR) {
+            check_wal_confinement(&toks, &mut push);
         }
         if crate_key != "crates/lint" {
             if let Some(reg) = &registry {
@@ -420,6 +434,33 @@ fn check_layering(toks: &[Tok], push: &mut impl FnMut(u32, &'static str, String)
                 "L1",
                 format!(
                     "`.{}()` call outside crates/storage bypasses buffer-pool accounting",
+                    toks[i + 1].text
+                ),
+            );
+        }
+    }
+}
+
+/// L1 (WAL half): raw [`WalStore`] access (`.wal_append(` …) stays
+/// inside `crates/storage/src/wal` — everywhere else goes through the
+/// `Wal` front end (or the recovery entry point), whose group-commit
+/// coalescing, LSN assignment, and record framing a direct store call
+/// would bypass.
+fn check_wal_confinement(toks: &[Tok], push: &mut impl FnMut(u32, &'static str, String)) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| {
+                n.kind == TokKind::Ident && WAL_STORE_METHODS.contains(&n.text.as_str())
+            })
+            && toks.get(i + 2).is_some_and(|n| n.is_punct("("))
+        {
+            push(
+                toks[i + 1].line,
+                "L1",
+                format!(
+                    "`.{}()` (raw WAL store access) outside crates/storage/src/wal — go \
+                     through the `Wal` front end so commits keep their LSN and fsync \
+                     accounting",
                     toks[i + 1].text
                 ),
             );

@@ -63,6 +63,11 @@ pub fn hostile_lock(table: &LockTable, oid: Oid) {
     let _guard = table.lock_sorted(&[oid]);
 }
 
+pub fn bypass_log(store: &mut WalStore) {
+    // L1 fires here (raw WAL store access outside crates/storage/src/wal):
+    let _ = store.wal_append(b"rogue");
+}
+
 #[cfg(test)]
 mod tests {
     // None of these fire: test code is out of scope.

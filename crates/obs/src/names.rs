@@ -44,6 +44,27 @@ pub const STORAGE_PREFETCH_ISSUED: &str = "storage.prefetch.issued";
 /// Fetches served from a still-resident prefetched frame (counter).
 pub const STORAGE_PREFETCH_HIT: &str = "storage.prefetch.hit";
 
+// --- storage: write-ahead log and checksums ---------------------------------
+
+/// WAL records appended (counter).
+pub const WAL_APPENDS: &str = "wal.appends";
+/// WAL fsync barriers issued (counter).
+pub const WAL_FSYNCS: &str = "wal.fsyncs";
+/// Bytes appended to the WAL (counter).
+pub const WAL_BYTES: &str = "wal.bytes";
+/// Commits that found their LSN already durable thanks to another
+/// transaction's fsync — the group-commit win (counter).
+pub const WAL_GROUP_COMMIT_COALESCED: &str = "wal.group_commit.coalesced";
+/// Page images replayed by crash recovery (counter).
+pub const WAL_REPLAYED_PAGES: &str = "wal.replayed_pages";
+/// Crash-recovery passes run at open (counter).
+pub const WAL_RECOVERIES: &str = "wal.recoveries";
+/// Unlogged dirty pages autocommitted as implicit single-page
+/// transactions at eviction time (counter).
+pub const WAL_AUTOCOMMITS: &str = "wal.autocommits";
+/// Pages whose CRC32 failed verification on read (counter).
+pub const STORAGE_CHECKSUM_FAILURES: &str = "storage.checksum.failures";
+
 // --- btree ----------------------------------------------------------------
 
 /// Leaf/internal node splits (counter).
@@ -118,6 +139,9 @@ pub const SYS_SLOW_QUERIES: &str = "sys.slow_queries";
 /// Virtual table: transaction-manager state (active txns, commits,
 /// conflicts, lock waits).
 pub const SYS_TXN: &str = "sys.txn";
+/// Virtual table: WAL state (LSNs, appends, fsyncs, group-commit
+/// coalescing, recovery results).
+pub const SYS_WAL: &str = "sys.wal";
 
 // --- core: per-path workload statistics ------------------------------------
 
@@ -237,6 +261,14 @@ pub const ALL: &[&str] = &[
     STORAGE_POOL_HIT_RATE,
     STORAGE_PREFETCH_ISSUED,
     STORAGE_PREFETCH_HIT,
+    WAL_APPENDS,
+    WAL_FSYNCS,
+    WAL_BYTES,
+    WAL_GROUP_COMMIT_COALESCED,
+    WAL_REPLAYED_PAGES,
+    WAL_RECOVERIES,
+    WAL_AUTOCOMMITS,
+    STORAGE_CHECKSUM_FAILURES,
     BTREE_SPLITS,
     BTREE_INSERT,
     BTREE_LOOKUP,
@@ -266,6 +298,7 @@ pub const ALL: &[&str] = &[
     SYS_DRIFT,
     SYS_SLOW_QUERIES,
     SYS_TXN,
+    SYS_WAL,
     TXN_BEGIN,
     TXN_COMMIT,
     TXN_ABORT,
@@ -346,6 +379,7 @@ mod tests {
             SYS_DRIFT,
             SYS_SLOW_QUERIES,
             SYS_TXN,
+            SYS_WAL,
         ] {
             assert!(is_registered(t), "{t} missing from ALL");
             assert!(t.starts_with("sys."), "{t} must live under sys.");

@@ -120,6 +120,12 @@ pub const TABLES: &[TableDef] = &[
         name: names::SYS_TXN,
         columns: &["counter", "value"],
     },
+    // Database-backed: one (counter, value) row per WAL/recovery
+    // statistic from the database's storage manager.
+    TableDef {
+        name: names::SYS_WAL,
+        columns: &["counter", "value"],
+    },
 ];
 
 /// Look up a table by its full name (`"sys.metrics"`).

@@ -258,6 +258,32 @@ fn raw_rows(db: &mut Database, table: &'static TableDef) -> Vec<sys::SysRow> {
         })
         .collect();
     }
+    if name == obs_names::SYS_WAL {
+        let w = db.sm().wal_stats();
+        let r = db.sm().recovery_report();
+        return [
+            ("enabled", db.sm().wal_enabled() as u64),
+            ("last_lsn", w.last_lsn),
+            ("durable_lsn", w.durable_lsn),
+            ("appends", w.appends),
+            ("fsyncs", w.fsyncs),
+            ("bytes", w.bytes),
+            ("group_commit_coalesced", w.coalesced),
+            ("autocommits", w.autocommits),
+            ("recovery_scanned_records", r.scanned_records as u64),
+            ("recovery_truncated_bytes", r.truncated_bytes),
+            ("recovery_committed_txns", r.committed_txns as u64),
+            ("recovery_replayed_pages", r.replayed_pages),
+        ]
+        .into_iter()
+        .map(|(counter, value)| {
+            vec![
+                Some(SysValue::Str(counter.to_string())),
+                Some(SysValue::Int(value.min(i64::MAX as u64) as i64)),
+            ]
+        })
+        .collect();
+    }
     if name == obs_names::SYS_POOL {
         return db
             .sm()
@@ -423,6 +449,55 @@ mod tests {
             .unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0][1], Some(Value::Int(1)));
+        assert_eq!(r.profile.total_io.page_touches(), 0);
+    }
+
+    #[test]
+    fn wal_scan_reflects_durability_state() {
+        // Without a WAL: enabled = 0, every counter zero.
+        let mut db = db();
+        let r = SysQuery::on(obs_names::SYS_WAL)
+            .filter(Filter::Eq {
+                path: "counter".into(),
+                value: Value::Str("enabled".into()),
+            })
+            .run(&mut db)
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][1], Some(Value::Int(0)));
+
+        // With a WAL: enabled = 1, and a committed update moves fsyncs.
+        let mut db = Database::with_disk_and_wal(
+            Box::new(fieldrep_storage::MemDisk::new()),
+            Box::new(fieldrep_storage::MemWalStore::new()),
+            DbConfig {
+                pool_pages: 64,
+                ..DbConfig::default()
+            },
+        )
+        .unwrap();
+        use fieldrep_model::{FieldType, TypeDef};
+        db.define_type(TypeDef::new("D", vec![("name", FieldType::Str)]))
+            .unwrap();
+        db.create_set("Ds", "D").unwrap();
+        let d = db.insert("Ds", vec![Value::Str("a".into())]).unwrap();
+        db.update_txn(d, &[("name", Value::Str("b".into()))])
+            .unwrap();
+        let r = SysQuery::on(obs_names::SYS_WAL).run(&mut db).unwrap();
+        let get = |key: &str| {
+            r.rows
+                .iter()
+                .find(|row| row[0] == Some(Value::Str(key.into())))
+                .and_then(|row| match row[1] {
+                    Some(Value::Int(n)) => Some(n),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_eq!(get("enabled"), 1);
+        assert!(get("fsyncs") >= 1, "the commit fsynced");
+        assert!(get("appends") >= 3, "Begin + image(s) + Commit");
+        assert_eq!(get("last_lsn"), get("durable_lsn"));
         assert_eq!(r.profile.total_io.page_touches(), 0);
     }
 

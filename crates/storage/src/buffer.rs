@@ -44,15 +44,17 @@
 //! (eviction, install) or freshly claimed ones (`read_run`), so a caller
 //! holding a pinned page's guard can never deadlock against the pool.
 
+use crate::checksum;
 use crate::disk::DiskManager;
 use crate::error::{Result, StorageError};
 use crate::oid::{FileId, PageId};
 use crate::page::PAGE_SIZE;
 use crate::stats::IoProfile;
+use crate::wal::Wal;
 use fieldrep_obs::{io as obs_io, metrics, names as obs_names};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// A page buffer: the unit the pool caches.
@@ -78,6 +80,9 @@ struct PoolMetrics {
     prefetch_hit: Arc<metrics::Counter>,
     /// `storage.disk.batch_len`: pages per grouped disk read.
     batch_len: Arc<metrics::Histogram>,
+    /// `storage.checksum.failures`: pages that failed CRC verification
+    /// on read.
+    checksum_failures: Arc<metrics::Counter>,
 }
 
 fn pool_metrics() -> &'static PoolMetrics {
@@ -92,6 +97,7 @@ fn pool_metrics() -> &'static PoolMetrics {
                 obs_names::STORAGE_DISK_BATCH_LEN,
                 &[1, 2, 4, 8, 16, 32, 64, 128],
             ),
+            checksum_failures: r.counter(obs_names::STORAGE_CHECKSUM_FAILURES),
         }
     })
 }
@@ -162,6 +168,13 @@ struct FrameInner {
     data: RwLock<PageBuf>,
     dirty: AtomicBool,
     pins: AtomicU32,
+    /// Dirty but not yet covered by any WAL record. Set with `dirty`,
+    /// cleared when a commit logs the page (or the write-back path
+    /// autocommits it). Meaningless when the pool has no WAL.
+    unlogged: AtomicBool,
+    /// LSN of the last commit record covering this page's image; the
+    /// steal rule requires it durable before write-back.
+    lsn: AtomicU64,
 }
 
 /// Write guard over a page's bytes, returned by [`PageHandle::data_mut`].
@@ -219,6 +232,7 @@ impl PageHandle {
         // first would let a flush racing with a still-blocked writer
         // count a spurious write-back for a page that hasn't changed.
         self.inner.dirty.store(true, Ordering::Relaxed);
+        self.inner.unlogged.store(true, Ordering::Relaxed);
         PageWriteGuard { guard }
     }
 
@@ -282,6 +296,9 @@ fn home_shard(pid: PageId, n: usize) -> usize {
 /// parallel through the per-frame locks of the returned [`PageHandle`]s.
 pub struct BufferPool {
     core: Mutex<PoolCore>,
+    /// The WAL, if durability is enabled (fixed at construction;
+    /// readable without locking).
+    wal: Option<Arc<Wal>>,
     /// Frame count (fixed at construction; readable without locking).
     capacity: usize,
     /// Shard count (fixed at construction; readable without locking).
@@ -293,14 +310,67 @@ struct PoolCore {
     frames: Vec<Frame>,
     shards: Vec<Shard>,
     disk: Box<dyn DiskManager>,
+    wal: Option<Arc<Wal>>,
     hits: u64,
     misses: u64,
     evictions: u64,
 }
 
+/// Write one frame's bytes back to `pid`, enforcing the WAL steal rule
+/// and stamping the durability header (LSN + CRC) into a copy — the
+/// resident frame bytes are never mutated, so concurrent readers under
+/// the frame's read lock see a stable image.
+fn write_back_frame(
+    disk: &mut dyn DiskManager,
+    wal: Option<&Wal>,
+    pid: PageId,
+    inner: &FrameInner,
+) -> Result<()> {
+    let mut copy: PageBuf = inner.data.read().clone();
+    let lsn = match wal {
+        Some(w) => {
+            if inner.unlogged.swap(false, Ordering::Relaxed) {
+                // No transaction logged this page: log it now as a
+                // single-page implicit transaction (made durable inside)
+                // so the WAL invariant holds for every write-back.
+                match w.autocommit_page(pid, &copy) {
+                    Ok(lsn) => {
+                        inner.lsn.store(lsn, Ordering::Relaxed);
+                        lsn
+                    }
+                    Err(e) => {
+                        inner.unlogged.store(true, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                }
+            } else {
+                // The steal rule: covering log records must be durable
+                // before the page image may overwrite its disk home.
+                let lsn = inner.lsn.load(Ordering::Relaxed);
+                w.ensure_durable(lsn)?;
+                lsn
+            }
+        }
+        None => inner.lsn.load(Ordering::Relaxed),
+    };
+    checksum::stamp(&mut copy, lsn);
+    disk.write_page(pid, &copy)
+}
+
 impl BufferPool {
-    /// Create a pool of `capacity` frames over `disk`.
+    /// Create a pool of `capacity` frames over `disk`, with no WAL.
     pub fn new(disk: Box<dyn DiskManager>, capacity: usize) -> Self {
+        Self::new_with_wal(disk, capacity, None)
+    }
+
+    /// Create a pool of `capacity` frames over `disk`. When `wal` is
+    /// given, every write-back enforces the steal rule (log records
+    /// durable first; unlogged dirty pages are autocommitted inline).
+    pub fn new_with_wal(
+        disk: Box<dyn DiskManager>,
+        capacity: usize,
+        wal: Option<Arc<Wal>>,
+    ) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         let frames = (0..capacity)
             .map(|_| Frame {
@@ -308,6 +378,8 @@ impl BufferPool {
                     data: RwLock::new(Box::new([0u8; PAGE_SIZE])),
                     dirty: AtomicBool::new(false),
                     pins: AtomicU32::new(0),
+                    unlogged: AtomicBool::new(false),
+                    lsn: AtomicU64::new(0),
                 }),
                 pid: None,
                 referenced: false,
@@ -333,13 +405,71 @@ impl BufferPool {
                 frames,
                 shards,
                 disk,
+                wal: wal.clone(),
                 hits: 0,
                 misses: 0,
                 evictions: 0,
             }),
+            wal,
             capacity,
             shard_count: n,
         }
+    }
+
+    /// The pool's WAL, if durability is enabled.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Issue a durability barrier on the backing disk (fsync every data
+    /// file on a [`crate::FileDisk`]).
+    pub fn sync_disk(&self) -> Result<()> {
+        self.core.lock().disk.sync()
+    }
+
+    /// Log the current set of dirty-but-unlogged pages as one committed
+    /// transaction and return its commit LSN (`None` when the pool has
+    /// no WAL or the commit touched no pages). Under the WAL's
+    /// serialized apply section these frames are exactly the committing
+    /// transaction's write set. Does **not** fsync — pass the LSN to
+    /// [`Wal::sync_to`] so concurrent commits group-commit.
+    pub fn log_txn_commit(&self) -> Result<Option<u64>> {
+        let Some(wal) = self.wal.as_ref() else {
+            return Ok(None);
+        };
+        // Pin the write set under the pool lock so none of it can be
+        // evicted (and its frame reused) between the scan and the
+        // snapshot below.
+        let mut handles: Vec<PageHandle> = Vec::new();
+        {
+            let core = self.core.lock();
+            for (idx, f) in core.frames.iter().enumerate() {
+                if let Some(pid) = f.pid {
+                    if f.inner.dirty.load(Ordering::Relaxed)
+                        && f.inner.unlogged.load(Ordering::Relaxed)
+                    {
+                        handles.push(core.handle(idx, pid));
+                    }
+                }
+            }
+        }
+        if handles.is_empty() {
+            return Ok(None);
+        }
+        handles.sort_by_key(|h| h.pid);
+        let images: Vec<(PageId, PageBuf)> = handles
+            .iter()
+            .map(|h| (h.pid, h.inner.data.read().clone()))
+            .collect();
+        let refs: Vec<(PageId, &[u8; PAGE_SIZE])> =
+            images.iter().map(|(pid, b)| (*pid, &**b)).collect();
+        let txn = wal.begin_txn();
+        let lsn = wal.append_commit(txn, &refs)?;
+        for h in &handles {
+            h.inner.lsn.store(lsn, Ordering::Relaxed);
+            h.inner.unlogged.store(false, Ordering::Relaxed);
+        }
+        Ok(Some(lsn))
     }
 
     /// Number of frames.
@@ -513,6 +643,7 @@ impl PoolCore {
         self.install(idx, pid, false)?;
         let h = self.handle(idx, pid);
         h.inner.dirty.store(true, Ordering::Relaxed);
+        h.inner.unlogged.store(true, Ordering::Relaxed);
         Ok((pid, h))
     }
 
@@ -632,12 +763,24 @@ impl PoolCore {
                 handles.iter().map(|h| h.inner.data.write()).collect();
             let mut bufs: Vec<&mut [u8; PAGE_SIZE]> =
                 guards.iter_mut().map(|g| &mut ***g).collect();
-            self.disk.read_pages(run[0], &mut bufs)
+            self.disk.read_pages(run[0], &mut bufs).and_then(|()| {
+                let mut lsns = Vec::with_capacity(bufs.len());
+                for (i, buf) in bufs.iter().enumerate() {
+                    if !checksum::verify(buf) {
+                        pool_metrics().checksum_failures.inc();
+                        return Err(StorageError::ChecksumMismatch(run[i]));
+                    }
+                    lsns.push(checksum::read_lsn(buf));
+                }
+                Ok(lsns)
+            })
         };
         match res {
-            Ok(()) => {
-                for h in &handles {
+            Ok(lsns) => {
+                for (h, lsn) in handles.iter().zip(lsns) {
                     h.inner.dirty.store(false, Ordering::Relaxed);
+                    h.inner.unlogged.store(false, Ordering::Relaxed);
+                    h.inner.lsn.store(lsn, Ordering::Relaxed);
                 }
                 self.misses += run.len() as u64;
                 for _ in run {
@@ -726,8 +869,7 @@ impl PoolCore {
             if let Some(old) = self.frames[idx].pid.take() {
                 let inner = Arc::clone(&self.frames[idx].inner);
                 if inner.dirty.swap(false, Ordering::Relaxed) {
-                    let data = inner.data.read();
-                    self.disk.write_page(old, &data)?;
+                    write_back_frame(self.disk.as_mut(), self.wal.as_deref(), old, &inner)?;
                     self.evictions += 1;
                     obs_io::record_disk_write();
                     obs_io::record_eviction();
@@ -750,10 +892,19 @@ impl PoolCore {
             if read {
                 self.disk.read_page(pid, &mut data)?;
                 obs_io::record_disk_read();
+                if !checksum::verify(&data) {
+                    pool_metrics().checksum_failures.inc();
+                    return Err(StorageError::ChecksumMismatch(pid));
+                }
+                inner
+                    .lsn
+                    .store(checksum::read_lsn(&data), Ordering::Relaxed);
             } else {
                 data.fill(0);
+                inner.lsn.store(0, Ordering::Relaxed);
             }
             inner.dirty.store(false, Ordering::Relaxed);
+            inner.unlogged.store(false, Ordering::Relaxed);
         }
         self.frames[idx].pid = Some(pid);
         self.frames[idx].referenced = true;
@@ -766,10 +917,9 @@ impl PoolCore {
     fn flush_page(&mut self, pid: PageId) -> Result<()> {
         let home = self.shard_of(pid);
         if let Some(&idx) = self.shards[home].map.get(&pid) {
-            let frame = &self.frames[idx];
-            if frame.inner.dirty.swap(false, Ordering::Relaxed) {
-                let data = frame.inner.data.read();
-                self.disk.write_page(pid, &data)?;
+            let inner = Arc::clone(&self.frames[idx].inner);
+            if inner.dirty.swap(false, Ordering::Relaxed) {
+                write_back_frame(self.disk.as_mut(), self.wal.as_deref(), pid, &inner)?;
                 obs_io::record_disk_write();
             }
         }
@@ -786,9 +936,9 @@ impl PoolCore {
                 return Err(StorageError::BufferExhausted);
             }
             let pid = frame.pid.unwrap();
-            if frame.inner.dirty.swap(false, Ordering::Relaxed) {
-                let data = frame.inner.data.read();
-                self.disk.write_page(pid, &data)?;
+            let inner = Arc::clone(&frame.inner);
+            if inner.dirty.swap(false, Ordering::Relaxed) {
+                write_back_frame(self.disk.as_mut(), self.wal.as_deref(), pid, &inner)?;
                 obs_io::record_disk_write();
             }
             let home = self.shard_of(pid);

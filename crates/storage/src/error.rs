@@ -30,6 +30,9 @@ pub enum StorageError {
     BufferExhausted,
     /// On-page data failed an internal consistency check.
     Corrupt(String),
+    /// The page's stored CRC32 does not match its contents — the page was
+    /// torn by a crash mid-write or corrupted at rest.
+    ChecksumMismatch(PageId),
 }
 
 impl fmt::Display for StorageError {
@@ -49,6 +52,9 @@ impl fmt::Display for StorageError {
                 write!(f, "all buffer-pool frames are pinned; cannot evict")
             }
             StorageError::Corrupt(msg) => write!(f, "corrupt page data: {msg}"),
+            StorageError::ChecksumMismatch(pid) => {
+                write!(f, "page {pid} failed its CRC32 checksum")
+            }
         }
     }
 }

@@ -27,16 +27,20 @@
 //! counters ([`IoStats`]) observes every page touched by an experiment.
 
 pub mod buffer;
+pub mod checksum;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod heap;
 pub mod oid;
 pub mod page;
 pub mod stats;
+pub mod wal;
 
 pub use buffer::{BufferPool, PageHandle, ShardStats};
-pub use disk::{DiskManager, FileDisk, MemDisk};
+pub use disk::{remove_db_dir, DiskManager, FileDisk, MemDisk};
 pub use error::{Result, StorageError};
+pub use fault::{FaultDisk, FaultPlan};
 pub use heap::{HeapFile, HeapScan};
 pub use oid::{FileId, Oid, PageId};
 pub use page::{
@@ -45,9 +49,11 @@ pub use page::{
     USER_BYTES_PER_PAGE,
 };
 pub use stats::{IoProfile, IoStats};
+pub use wal::{FileWalStore, MemWalStore, RecoveryReport, Wal, WalStats, WalStore};
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The storage manager: a buffer pool plus per-file free-space tracking and
 /// the heap-file record interface used by every higher layer.
@@ -65,19 +71,76 @@ use std::collections::HashMap;
 pub struct StorageManager {
     pool: BufferPool,
     /// Per-file insert placement state (append page + recycled pages).
-    /// This is an in-memory structure (the engine is not crash-recoverable,
-    /// which matches the paper's scope).
+    /// This is an in-memory structure, rebuilt on open; durability of the
+    /// *pages* is the WAL's job (see [`wal`]).
     free_space: Mutex<HashMap<FileId, heap::FileSpace>>,
+    /// What recovery found when this manager was opened with a WAL.
+    recovery: RecoveryReport,
 }
 
 impl StorageManager {
     /// Create a storage manager over the given disk backend with a buffer
-    /// pool of `pool_pages` frames.
+    /// pool of `pool_pages` frames and no durability layer.
     pub fn new(disk: Box<dyn DiskManager>, pool_pages: usize) -> Self {
         StorageManager {
             pool: BufferPool::new(disk, pool_pages),
             free_space: Mutex::new(HashMap::new()),
+            recovery: RecoveryReport::default(),
         }
+    }
+
+    /// Create a durable storage manager: run crash [`wal::recover`]y
+    /// against `disk` and `store` (replaying any committed transactions
+    /// a crash left in the log), then construct the pool with the WAL
+    /// attached so every subsequent write-back obeys the steal rule.
+    pub fn new_with_wal(
+        mut disk: Box<dyn DiskManager>,
+        mut store: Box<dyn WalStore>,
+        pool_pages: usize,
+    ) -> Result<Self> {
+        let report = wal::recover(disk.as_mut(), store.as_mut())?;
+        let w = Arc::new(Wal::new(store, report.last_lsn + 1));
+        Ok(StorageManager {
+            pool: BufferPool::new_with_wal(disk, pool_pages, Some(w)),
+            free_space: Mutex::new(HashMap::new()),
+            recovery: report,
+        })
+    }
+
+    /// The WAL, if this manager was opened with one.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.pool.wal()
+    }
+
+    /// Whether a durability layer is attached.
+    pub fn wal_enabled(&self) -> bool {
+        self.pool.wal().is_some()
+    }
+
+    /// What recovery found and did when this manager was opened (all
+    /// zeros without a WAL or after a clean shutdown).
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Point-in-time WAL counters (zeros when no WAL is attached).
+    pub fn wal_stats(&self) -> WalStats {
+        self.pool.wal().map(|w| w.stats()).unwrap_or_default()
+    }
+
+    /// Checkpoint: write back every dirty page (each gated on its log
+    /// records being durable, unlogged ones autocommitted), fsync the
+    /// data files, then truncate the log — after this the WAL is empty
+    /// and the on-disk state alone is the database. Without a WAL this
+    /// is a flush plus a disk sync (still a real durability barrier on
+    /// a [`FileDisk`]).
+    pub fn checkpoint(&self) -> Result<()> {
+        self.pool.flush_all()?;
+        self.pool.sync_disk()?;
+        if let Some(w) = self.pool.wal() {
+            w.checkpoint_truncate()?;
+        }
+        Ok(())
     }
 
     /// Convenience constructor: an in-memory disk, suitable for tests and

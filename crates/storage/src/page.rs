@@ -55,7 +55,17 @@ const OFF_FREE_END: usize = 6;
 const OFF_FRAG: usize = 8;
 const OFF_LIVE: usize = 10;
 const OFF_NEXT_PAGE: usize = 12;
-// 16..40 reserved (would hold LSN / lock info in a recoverable system).
+// 16..28 hold the durability header (LSN + CRC32, below); 28..40 stay
+// reserved. All of 16..40 is invisible to the slotted-page logic, so
+// `B = 4056` and the paper's cost model are unaffected.
+
+/// Byte offset of the page LSN (u64 LE): the WAL position of the last
+/// commit record covering this page image. `0` = never logged.
+pub const OFF_PAGE_LSN: usize = 16;
+/// Byte offset of the page CRC32 (u32 LE), computed over the whole 4096
+/// bytes with these four bytes zeroed. `0` = unchecksummed (legacy page);
+/// a computed CRC of 0 is stored as 1.
+pub const OFF_PAGE_CRC: usize = 24;
 
 /// What a page is used for. Stored in the header so that corruption and
 /// cross-use bugs are caught early.

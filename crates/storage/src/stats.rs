@@ -21,6 +21,10 @@ pub struct IoStats {
     pub writes: u64,
     /// Pages allocated (extended) on the disk backend.
     pub allocations: u64,
+    /// Explicit durability barriers ([`sync`](crate::disk::DiskManager::sync))
+    /// issued to the backend — `fsync` calls on [`FileDisk`](crate::FileDisk),
+    /// counted-but-free on [`MemDisk`](crate::MemDisk).
+    pub syncs: u64,
 }
 
 impl IoStats {
@@ -39,8 +43,8 @@ impl fmt::Display for IoStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "reads={} (calls={}) writes={} allocs={}",
-            self.reads, self.read_calls, self.writes, self.allocations
+            "reads={} (calls={}) writes={} allocs={} syncs={}",
+            self.reads, self.read_calls, self.writes, self.allocations, self.syncs
         )
     }
 }

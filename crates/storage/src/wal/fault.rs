@@ -1,0 +1,106 @@
+//! Fault-injecting [`WalStore`] wrapper: short (torn) appends at a
+//! seeded byte offset, the log-side counterpart of
+//! [`crate::fault::FaultDisk`]. Used by the crash tests and available
+//! to the future chaos harness (ROADMAP item 3).
+
+use super::store::WalStore;
+use crate::error::Result;
+
+/// Wraps a [`WalStore`]; once the cumulative appended byte count would
+/// cross `cut_at`, the append is written only up to the cut and fails —
+/// every later append fails outright. This models a crash mid-`write`:
+/// a prefix of the frame reaches the log, the rest never does.
+pub struct FaultWal<S: WalStore> {
+    inner: S,
+    appended: u64,
+    cut_at: Option<u64>,
+    tripped: bool,
+}
+
+impl<S: WalStore> FaultWal<S> {
+    /// Wrap `inner` with no fault armed.
+    pub fn new(inner: S) -> Self {
+        FaultWal {
+            inner,
+            appended: 0,
+            cut_at: None,
+            tripped: false,
+        }
+    }
+
+    /// Arm a short write: appends die once `cut_at` cumulative bytes
+    /// have been appended through this wrapper.
+    pub fn cut_after(mut self, cut_at: u64) -> Self {
+        self.cut_at = Some(cut_at);
+        self
+    }
+
+    /// Whether the armed fault has fired.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+}
+
+fn crashed() -> crate::error::StorageError {
+    std::io::Error::other("injected WAL crash: short append").into()
+}
+
+impl<S: WalStore> WalStore for FaultWal<S> {
+    fn wal_append(&mut self, bytes: &[u8]) -> Result<()> {
+        if self.tripped {
+            return Err(crashed());
+        }
+        if let Some(cut) = self.cut_at {
+            if self.appended + bytes.len() as u64 > cut {
+                let keep = cut.saturating_sub(self.appended) as usize;
+                self.inner.wal_append(&bytes[..keep])?;
+                self.appended += keep as u64;
+                self.tripped = true;
+                return Err(crashed());
+            }
+        }
+        self.inner.wal_append(bytes)?;
+        self.appended += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn wal_sync(&mut self) -> Result<()> {
+        if self.tripped {
+            return Err(crashed());
+        }
+        self.inner.wal_sync()
+    }
+
+    fn wal_read_all(&mut self) -> Result<Vec<u8>> {
+        self.inner.wal_read_all()
+    }
+
+    fn wal_truncate(&mut self, len: u64) -> Result<()> {
+        if self.tripped {
+            return Err(crashed());
+        }
+        self.inner.wal_truncate(len)
+    }
+
+    fn wal_len(&mut self) -> Result<u64> {
+        self.inner.wal_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::store::MemWalStore;
+
+    #[test]
+    fn short_append_leaves_a_prefix_then_fails_everything() {
+        let shared = MemWalStore::new();
+        let mut w = FaultWal::new(shared.clone()).cut_after(10);
+        w.wal_append(b"12345678").unwrap();
+        assert!(w.wal_append(b"ABCDEF").is_err(), "crosses the cut");
+        assert!(w.tripped());
+        assert_eq!(shared.snapshot(), b"12345678AB", "prefix reached the log");
+        assert!(w.wal_append(b"x").is_err());
+        assert!(w.wal_sync().is_err());
+    }
+}

@@ -1,0 +1,376 @@
+//! Redo-only write-ahead log (ARIES-lite).
+//!
+//! The durability design is deliberately lean — full-page physical
+//! redo logging with no undo, in the spirit of the paper's "replicas
+//! are derived data" stance (and Darmont's advocacy for simplicity):
+//!
+//! * A transaction's pages are applied in the buffer pool first; at
+//!   commit, the *after-images* of every page it dirtied are appended
+//!   as one `Begin / PageImage* / Commit` group and fsynced. There is
+//!   nothing to undo because nothing unlogged ever overwrites a
+//!   committed on-disk page:
+//! * **the steal rule**: the buffer pool may evict a dirty page only
+//!   after the page's covering log records are durable
+//!   ([`Wal::ensure_durable`]); a dirty page no transaction has logged
+//!   yet is logged inline as a single-page implicit transaction
+//!   ([`Wal::autocommit_page`]) before it is written.
+//! * **Group commit**: concurrent committers share fsyncs. A committer
+//!   whose commit LSN is already durable returns without syncing
+//!   (counted in `wal.group_commit.coalesced`); otherwise it elects
+//!   itself leader and one `fsync` covers every record appended so far.
+//! * **Recovery** ([`recover`]) scans the log, discards the torn tail,
+//!   replays every committed transaction's images, syncs the data
+//!   files, and resets the log.
+//!
+//! The serialized *apply section* ([`Wal::apply_lock`]) is held by
+//! `update_txn` across apply+log so the log never interleaves two
+//! transactions' images; the fsync happens **outside** it, which is
+//! what lets back-to-back commits coalesce.
+
+pub mod fault;
+pub mod record;
+pub mod recover;
+pub mod store;
+
+pub use record::{WalEntry, WalRecord};
+pub use recover::{recover, RecoveryReport};
+pub use store::{FileWalStore, MemWalStore, WalStore};
+
+use crate::error::Result;
+use crate::oid::PageId;
+use crate::page::PAGE_SIZE;
+use fieldrep_obs::{metrics, names as obs_names};
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide WAL instruments, registered once in the obs registry.
+struct WalMetrics {
+    appends: Arc<metrics::Counter>,
+    fsyncs: Arc<metrics::Counter>,
+    bytes: Arc<metrics::Counter>,
+    coalesced: Arc<metrics::Counter>,
+    autocommits: Arc<metrics::Counter>,
+}
+
+fn wal_metrics() -> &'static WalMetrics {
+    static METRICS: OnceLock<WalMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = metrics::registry();
+        WalMetrics {
+            appends: r.counter(obs_names::WAL_APPENDS),
+            fsyncs: r.counter(obs_names::WAL_FSYNCS),
+            bytes: r.counter(obs_names::WAL_BYTES),
+            coalesced: r.counter(obs_names::WAL_GROUP_COMMIT_COALESCED),
+            autocommits: r.counter(obs_names::WAL_AUTOCOMMITS),
+        }
+    })
+}
+
+struct WalInner {
+    store: Box<dyn WalStore>,
+    /// Next LSN to assign.
+    next_lsn: u64,
+    /// Highest LSN appended to the store.
+    appended: u64,
+}
+
+/// The write-ahead log. All methods take `&self`; the log is shared by
+/// the buffer pool (steal gating, autocommit) and the transaction layer
+/// (commit logging) through one `Arc`.
+pub struct Wal {
+    inner: Mutex<WalInner>,
+    /// Highest LSN known fsynced.
+    durable: AtomicU64,
+    /// Group-commit leader election: at most one fsync in flight.
+    sync_lock: Mutex<()>,
+    /// The serialized apply section (see module docs).
+    apply: Mutex<()>,
+    next_txn: AtomicU64,
+    // Snapshot counters mirrored into obs metrics.
+    appends: AtomicU64,
+    fsyncs: AtomicU64,
+    bytes: AtomicU64,
+    coalesced: AtomicU64,
+    autocommits: AtomicU64,
+}
+
+/// Point-in-time WAL counters (the `sys.wal` rows).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct WalStats {
+    /// Last LSN assigned (0 = nothing logged yet).
+    pub last_lsn: u64,
+    /// Highest LSN known durable.
+    pub durable_lsn: u64,
+    /// Records appended.
+    pub appends: u64,
+    /// Fsyncs issued on the log.
+    pub fsyncs: u64,
+    /// Bytes appended.
+    pub bytes: u64,
+    /// Commits that found their LSN already durable (group commit).
+    pub coalesced: u64,
+    /// Single-page implicit transactions logged at eviction/flush.
+    pub autocommits: u64,
+}
+
+impl Wal {
+    /// Wrap `store`, assigning LSNs from `start_lsn` (≥ 1). Callers run
+    /// [`recover`] first and pass `report.last_lsn + 1` so the LSN space
+    /// stays monotone across restarts.
+    pub fn new(store: Box<dyn WalStore>, start_lsn: u64) -> Wal {
+        let start = start_lsn.max(1);
+        Wal {
+            inner: Mutex::new(WalInner {
+                store,
+                next_lsn: start,
+                appended: start - 1,
+            }),
+            durable: AtomicU64::new(start - 1),
+            sync_lock: Mutex::new(()),
+            apply: Mutex::new(()),
+            next_txn: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            autocommits: AtomicU64::new(0),
+        }
+    }
+
+    /// Enter the serialized apply section. `update_txn` holds this
+    /// across apply + commit logging so the log never interleaves two
+    /// transactions' page images; it is released before the fsync.
+    pub fn apply_lock(&self) -> MutexGuard<'_, ()> {
+        self.apply.lock()
+    }
+
+    /// Allocate a WAL-local transaction id.
+    pub fn begin_txn(&self) -> u64 {
+        self.next_txn.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Append `Begin / PageImage* / Commit` for `txn` as one contiguous
+    /// group and return the commit LSN. Does **not** fsync — call
+    /// [`Wal::sync_to`] with the returned LSN (that is what group
+    /// commit coalesces).
+    pub fn append_commit(&self, txn: u64, pages: &[(PageId, &[u8; PAGE_SIZE])]) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        let mut buf = Vec::with_capacity((record::MAX_PAYLOAD + 8) * (pages.len() + 2));
+        let mut lsn = inner.next_lsn;
+        buf.extend_from_slice(&record::encode(lsn, &WalRecord::Begin { txn }));
+        lsn += 1;
+        for (pid, image) in pages {
+            buf.extend_from_slice(&record::encode(
+                lsn,
+                &WalRecord::PageImage {
+                    txn,
+                    page: *pid,
+                    image: Box::new(**image),
+                },
+            ));
+            lsn += 1;
+        }
+        let commit_lsn = lsn;
+        buf.extend_from_slice(&record::encode(commit_lsn, &WalRecord::Commit { txn }));
+        inner.store.wal_append(&buf)?;
+        inner.next_lsn = commit_lsn + 1;
+        inner.appended = commit_lsn;
+        drop(inner);
+        let records = pages.len() as u64 + 2;
+        self.appends.fetch_add(records, Ordering::Relaxed);
+        self.bytes.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        let m = wal_metrics();
+        m.appends.add(records);
+        m.bytes.add(buf.len() as u64);
+        Ok(commit_lsn)
+    }
+
+    /// Make every record up to `lsn` durable. The group-commit path: a
+    /// caller whose LSN is already durable returns immediately
+    /// (coalesced); otherwise one leader fsyncs on behalf of everything
+    /// appended so far.
+    pub fn sync_to(&self, lsn: u64) -> Result<()> {
+        if self.durable.load(Ordering::Acquire) >= lsn {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            wal_metrics().coalesced.inc();
+            return Ok(());
+        }
+        let _leader = self.sync_lock.lock();
+        if self.durable.load(Ordering::Acquire) >= lsn {
+            // A leader that ran while we waited covered our records.
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            wal_metrics().coalesced.inc();
+            return Ok(());
+        }
+        let covered = {
+            let mut inner = self.inner.lock();
+            inner.store.wal_sync()?;
+            inner.appended
+        };
+        self.durable.fetch_max(covered, Ordering::AcqRel);
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        wal_metrics().fsyncs.inc();
+        Ok(())
+    }
+
+    /// Steal-rule gate: alias of [`Wal::sync_to`], named for the buffer
+    /// pool's call site (no dirty page reaches disk before its log
+    /// records).
+    pub fn ensure_durable(&self, lsn: u64) -> Result<()> {
+        self.sync_to(lsn)
+    }
+
+    /// Log one dirty-but-unlogged page as a single-page implicit
+    /// transaction and make it durable. The buffer pool calls this
+    /// before writing back a page no transaction has logged (bulk
+    /// loads, non-transactional DML) — the WAL rule holds everywhere.
+    pub fn autocommit_page(&self, pid: PageId, image: &[u8; PAGE_SIZE]) -> Result<u64> {
+        let txn = self.begin_txn();
+        let lsn = self.append_commit(txn, &[(pid, image)])?;
+        self.sync_to(lsn)?;
+        self.autocommits.fetch_add(1, Ordering::Relaxed);
+        wal_metrics().autocommits.inc();
+        Ok(lsn)
+    }
+
+    /// Checkpoint: the caller has flushed and synced every data page, so
+    /// the log's history is dead weight — truncate it and write a fresh
+    /// `Checkpoint` marker (durable) as the new epoch's first record.
+    pub fn checkpoint_truncate(&self) -> Result<()> {
+        let _leader = self.sync_lock.lock();
+        let mut inner = self.inner.lock();
+        inner.store.wal_truncate(0)?;
+        let lsn = inner.next_lsn;
+        let frame = record::encode(lsn, &WalRecord::Checkpoint);
+        inner.store.wal_append(&frame)?;
+        inner.store.wal_sync()?;
+        inner.next_lsn = lsn + 1;
+        inner.appended = lsn;
+        drop(inner);
+        self.durable.fetch_max(lsn, Ordering::AcqRel);
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        wal_metrics().fsyncs.inc();
+        Ok(())
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> WalStats {
+        let (last_lsn, _) = {
+            let inner = self.inner.lock();
+            (inner.next_lsn - 1, inner.appended)
+        };
+        WalStats {
+            last_lsn,
+            durable_lsn: self.durable.load(Ordering::Acquire),
+            appends: self.appends.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            autocommits: self.autocommits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Current log length in bytes (test/introspection support).
+    pub fn log_len(&self) -> Result<u64> {
+        self.inner.lock().store.wal_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oid::FileId;
+
+    fn page(b: u8) -> Box<[u8; PAGE_SIZE]> {
+        Box::new([b; PAGE_SIZE])
+    }
+
+    #[test]
+    fn commit_group_appends_and_syncs() {
+        let store = MemWalStore::new();
+        let wal = Wal::new(Box::new(store.clone()), 1);
+        let txn = wal.begin_txn();
+        let img = page(0x11);
+        let lsn = wal
+            .append_commit(txn, &[(PageId::new(FileId(1), 0), &img)])
+            .unwrap();
+        assert_eq!(lsn, 3, "Begin=1, PageImage=2, Commit=3");
+        wal.sync_to(lsn).unwrap();
+        let s = wal.stats();
+        assert_eq!(s.appends, 3);
+        assert_eq!(s.durable_lsn, 3);
+        assert_eq!(s.fsyncs, 1);
+
+        let scanned = record::scan(&store.snapshot());
+        assert_eq!(scanned.entries.len(), 3);
+        assert!(matches!(scanned.entries[2].rec, WalRecord::Commit { .. }));
+    }
+
+    #[test]
+    fn already_durable_commits_coalesce() {
+        let wal = Wal::new(Box::new(MemWalStore::new()), 1);
+        let img = page(0x22);
+        let a = wal
+            .append_commit(wal.begin_txn(), &[(PageId::new(FileId(1), 0), &img)])
+            .unwrap();
+        let b = wal
+            .append_commit(wal.begin_txn(), &[(PageId::new(FileId(1), 1), &img)])
+            .unwrap();
+        // Syncing the later commit first covers the earlier one: its
+        // sync_to is a pure coalesce, no second fsync.
+        wal.sync_to(b).unwrap();
+        wal.sync_to(a).unwrap();
+        let s = wal.stats();
+        assert_eq!(s.fsyncs, 1);
+        assert_eq!(s.coalesced, 1);
+    }
+
+    #[test]
+    fn checkpoint_resets_the_log_but_not_the_lsn_space() {
+        let store = MemWalStore::new();
+        let wal = Wal::new(Box::new(store.clone()), 1);
+        let img = page(0x33);
+        let lsn = wal
+            .append_commit(wal.begin_txn(), &[(PageId::new(FileId(0), 0), &img)])
+            .unwrap();
+        wal.sync_to(lsn).unwrap();
+        wal.checkpoint_truncate().unwrap();
+        let scanned = record::scan(&store.snapshot());
+        assert_eq!(scanned.entries.len(), 1, "only the checkpoint marker");
+        assert_eq!(scanned.entries[0].rec, WalRecord::Checkpoint);
+        assert!(scanned.entries[0].lsn > lsn, "LSNs keep rising");
+    }
+
+    #[test]
+    fn group_commit_coalesces_across_threads() {
+        let wal = Arc::new(Wal::new(Box::new(MemWalStore::new()), 1));
+        let threads = 8;
+        let per = 20;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let wal = Arc::clone(&wal);
+                s.spawn(move || {
+                    let img = page(t as u8);
+                    for i in 0..per {
+                        let lsn = wal
+                            .append_commit(
+                                wal.begin_txn(),
+                                &[(PageId::new(FileId(1), (t * per + i) as u32), &img)],
+                            )
+                            .unwrap();
+                        wal.sync_to(lsn).unwrap();
+                    }
+                });
+            }
+        });
+        let s = wal.stats();
+        assert_eq!(s.appends, (threads * per * 3) as u64);
+        assert_eq!(s.durable_lsn, s.last_lsn);
+        assert_eq!(
+            s.fsyncs + s.coalesced,
+            (threads * per) as u64,
+            "every commit either fsynced or coalesced"
+        );
+    }
+}

@@ -126,7 +126,10 @@ fn error_messages_are_informative() {
     assert!(msg.contains("does not name a live record"), "{msg}");
 
     let stats = IoStats::default();
-    assert_eq!(format!("{stats}"), "reads=0 (calls=0) writes=0 allocs=0");
+    assert_eq!(
+        format!("{stats}"),
+        "reads=0 (calls=0) writes=0 allocs=0 syncs=0"
+    );
 }
 
 #[test]

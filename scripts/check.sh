@@ -18,6 +18,12 @@ cargo test -q --workspace
 # replica read or a lock-ordering deadlock fails here.
 cargo test --release -q -p fieldrep-core --test concurrency_stress
 
+# Crash-recovery smoke: kill a committed workload's WAL at 100 seeded
+# byte offsets and reopen each truncated image (release mode, fixed
+# seed). A lost committed update, a phantom uncommitted one, or a
+# replica/source divergence after replay fails here.
+cargo test --release -q -p fieldrep-core --test crash_recovery
+
 # Fast benchmark smoke: runs the suite's tiny matrix and self-tests the
 # regression-gate logic (exits nonzero if the gate stops catching
 # injected regressions).
