@@ -756,6 +756,12 @@ impl Database {
     /// Insert an object into a set. Reference values are type-checked;
     /// every replication path of the set is attached (§4.1.1 `insert E`).
     pub fn insert(&self, set_name: &str, values: Vec<Value>) -> Result<Oid> {
+        // Durability: the whole multi-page operation (heap insert, index
+        // maintenance, replication attach) runs inside the WAL apply
+        // section, so a concurrent `update_txn` commit can never sweep a
+        // half-applied insert into its commit record, and eviction can
+        // never autocommit one of its pages mid-way (no-steal).
+        let _apply = self.sm.wal().map(|w| w.apply_lock());
         let set = self.catalog.set(self.catalog.set_id(set_name)?).clone();
         let def = self.catalog.type_def(set.elem_type).clone();
         let obj = Object::new(set.elem_type, &def, values)?;
@@ -851,6 +857,16 @@ impl Database {
     /// Update named fields of the object at `oid`, propagating to all
     /// replicated copies (§4.1.3, §5.2) and maintaining indexes.
     pub fn update(&self, oid: Oid, changes: &[(&str, Value)]) -> Result<()> {
+        // Durability: see `insert`. `Txn::update_txn` takes the apply
+        // section itself (it must extend through commit logging) and
+        // calls `apply_update` directly.
+        let _apply = self.sm.wal().map(|w| w.apply_lock());
+        self.apply_update(oid, changes)
+    }
+
+    /// [`Database::update`] minus the WAL apply-section guard. Callers
+    /// must already hold the apply section (the guard is non-reentrant).
+    pub(crate) fn apply_update(&self, oid: Oid, changes: &[(&str, Value)]) -> Result<()> {
         let set = self.set_of(oid)?;
         let set_def = self.catalog.set(set).clone();
         let def = self.catalog.type_def(set_def.elem_type).clone();
@@ -944,6 +960,8 @@ impl Database {
     /// [`DbError::StillReferenced`] if other objects still replicate
     /// through it.
     pub fn delete(&self, oid: Oid) -> Result<()> {
+        // Durability: see `insert`.
+        let _apply = self.sm.wal().map(|w| w.apply_lock());
         let set = self.set_of(oid)?;
         let obj = self.get(oid)?;
         if is_referenced(&obj) {
@@ -977,6 +995,14 @@ impl Database {
     /// eager paths or when nothing is pending). Returns the number of
     /// work items applied.
     pub fn sync_path(&self, path: PathId) -> Result<usize> {
+        // Durability: see `insert`.
+        let _apply = self.sm.wal().map(|w| w.apply_lock());
+        self.sync_path_inner(path)
+    }
+
+    /// [`Database::sync_path`] minus the WAL apply-section guard;
+    /// `sync_all_pending` holds the guard once across all paths.
+    fn sync_path_inner(&self, path: PathId) -> Result<usize> {
         let entries = self.pending.take(path);
         if entries.is_empty() {
             return Ok(0);
@@ -1029,9 +1055,11 @@ impl Database {
 
     /// Sync every path with pending deferred work.
     pub fn sync_all_pending(&self) -> Result<usize> {
+        // Durability: see `insert`.
+        let _apply = self.sm.wal().map(|w| w.apply_lock());
         let mut total = 0;
         for p in self.pending.dirty_paths() {
-            total += self.sync_path(p)?;
+            total += self.sync_path_inner(p)?;
         }
         Ok(total)
     }

@@ -38,6 +38,15 @@ pub enum DbError {
     /// means either an ordering bug or a transaction stuck inside its
     /// critical section.
     LockTimeout(Oid),
+    /// A transactional update was **applied but not made durable**: the
+    /// in-memory apply succeeded (snapshot readers already see the new
+    /// versions, and the dirty pages will still reach disk through the
+    /// eviction autocommit path), but appending or fsyncing its WAL
+    /// commit record failed. Distinct from a rejected update — callers
+    /// that need the durability guarantee must treat the database as
+    /// compromised (e.g. checkpoint or fail over); callers that only
+    /// need the update applied may continue.
+    CommitNotDurable(StorageError),
     /// Anything else that indicates a bug or unsupported usage.
     Unsupported(String),
 }
@@ -58,6 +67,12 @@ impl fmt::Display for DbError {
             DbError::LockTimeout(o) => {
                 write!(f, "write-lock wait on {o} exceeded the deadlock watchdog")
             }
+            DbError::CommitNotDurable(e) => {
+                write!(
+                    f,
+                    "commit applied in memory but not durable (WAL logging failed): {e}"
+                )
+            }
             DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
     }
@@ -69,6 +84,7 @@ impl std::error::Error for DbError {
             DbError::Storage(e) => Some(e),
             DbError::Model(e) => Some(e),
             DbError::Catalog(e) => Some(e),
+            DbError::CommitNotDurable(e) => Some(e),
             _ => None,
         }
     }

@@ -606,6 +606,15 @@ impl Database {
     /// locks, apply, and version-bump every member so snapshot readers
     /// observe the ripple atomically. Safe to call from many threads;
     /// writers with disjoint closures run in parallel.
+    ///
+    /// # Durability errors
+    ///
+    /// When a WAL is attached and the in-memory apply succeeds but
+    /// logging or fsyncing the commit record fails, this returns
+    /// [`DbError::CommitNotDurable`]. The update **is** applied (and
+    /// will still reach disk through the write-back path); only the
+    /// crash-durability guarantee is lost. Any other error means the
+    /// update was rejected.
     pub fn update_txn(&self, oid: Oid, changes: &[(&str, Value)]) -> Result<()> {
         let txn = self.txn();
         // B-tree pages have no OID identity: serialize index maintenance
@@ -630,14 +639,26 @@ impl Database {
                 // barrier (group commit).
                 let wal = self.sm().wal().cloned();
                 let apply_guard = wal.as_ref().map(|w| w.apply_lock());
-                let result = self.update(oid, changes);
+                // `apply_update`, not `update`: the guard is
+                // non-reentrant and we already hold it.
+                let result = self.apply_update(oid, changes);
                 if result.is_ok() {
                     txn.note_commit_applied();
                     if let Some(w) = &wal {
-                        let lsn = self.sm().pool().log_txn_commit()?;
+                        let logged = self.sm().pool().log_txn_commit();
                         drop(apply_guard);
-                        if let Some(lsn) = lsn {
-                            w.sync_to(lsn)?;
+                        // Past this point the update is applied and
+                        // versions will publish on guard drop; a logging
+                        // or fsync failure is a *durability* failure,
+                        // not a rejected update.
+                        match logged {
+                            Ok(Some(lsn)) => {
+                                if let Err(e) = w.sync_to(lsn) {
+                                    return Err(DbError::CommitNotDurable(e));
+                                }
+                            }
+                            Ok(None) => {}
+                            Err(e) => return Err(DbError::CommitNotDurable(e)),
                         }
                     }
                 }

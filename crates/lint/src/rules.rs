@@ -74,12 +74,14 @@ const OBS_NAME_APIS: [&str; 6] = [
 const FRAME_ACQUIRERS: [&str; 3] = ["fetch", "new_page", "prefetch"];
 /// Raw `WalStore` methods: the log's framing, fsync, and truncation
 /// surface. Deliberately distinctive names so call sites are greppable.
-const WAL_STORE_METHODS: [&str; 5] = [
+const WAL_STORE_METHODS: [&str; 7] = [
     "wal_append",
     "wal_sync",
     "wal_read_all",
     "wal_truncate",
     "wal_len",
+    "wal_syncer",
+    "wal_sync_now",
 ];
 /// The only directory allowed to touch the raw log store (L1, WAL half).
 const WAL_DIR: &str = "crates/storage/src/wal";

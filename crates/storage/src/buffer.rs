@@ -43,6 +43,14 @@
 //! `PoolCore` → frame data, and the pool only data-locks unpinned frames
 //! (eviction, install) or freshly claimed ones (`read_run`), so a caller
 //! holding a pinned page's guard can never deadlock against the pool.
+//!
+//! With a WAL attached the order grows a head: **apply section →
+//! `PoolCore`**. Flushes take the apply section before the core lock
+//! (write-back autocommits unlogged pages, which must not observe a
+//! half-applied operation), while eviction — which runs *inside* the
+//! core lock — only probes the section non-blockingly: a dirty
+//! unlogged frame is simply not an eviction victim while a writer is
+//! in flight (no-steal for open operations; see `sweep_shard`).
 
 use crate::checksum;
 use crate::disk::DiskManager;
@@ -429,9 +437,14 @@ impl BufferPool {
 
     /// Log the current set of dirty-but-unlogged pages as one committed
     /// transaction and return its commit LSN (`None` when the pool has
-    /// no WAL or the commit touched no pages). Under the WAL's
-    /// serialized apply section these frames are exactly the committing
-    /// transaction's write set. Does **not** fsync — pass the LSN to
+    /// no WAL or the commit touched no pages). The caller must hold the
+    /// WAL's serialized apply section, and *every* engine write path
+    /// must run inside that section — then the swept frames are the
+    /// committing transaction's write set plus, possibly, leftover
+    /// pages of already-*completed* unlogged operations (safe to fold
+    /// into this commit; they were applied in full and would otherwise
+    /// be autocommitted at eviction). No half-applied operation's page
+    /// can ever be captured. Does **not** fsync — pass the LSN to
     /// [`Wal::sync_to`] so concurrent commits group-commit.
     pub fn log_txn_commit(&self) -> Result<Option<u64>> {
         let Some(wal) = self.wal.as_ref() else {
@@ -557,12 +570,19 @@ impl BufferPool {
 
     /// Write back one page if buffered and dirty.
     pub fn flush_page(&self, pid: PageId) -> Result<()> {
+        // Unlogged dirty pages are autocommitted at write-back, so
+        // exclude in-flight writers (apply-section holders): a flush
+        // must never make half an operation durable. Lock order is
+        // apply → core (eviction inside core only *probes* apply).
+        let _apply = self.wal.as_ref().map(|w| w.apply_lock());
         self.core.lock().flush_page(pid)
     }
 
     /// Write back all dirty pages and drop every unpinned frame's contents,
     /// leaving the pool cold. Fails if a page is still pinned.
     pub fn flush_all(&self) -> Result<()> {
+        // See flush_page for why the apply section is held.
+        let _apply = self.wal.as_ref().map(|w| w.apply_lock());
         self.core.lock().flush_all()
     }
 
@@ -866,16 +886,47 @@ impl PoolCore {
                 continue;
             }
             // Victim found: write back if needed, then unregister.
-            if let Some(old) = self.frames[idx].pid.take() {
+            if let Some(old) = self.frames[idx].pid {
                 let inner = Arc::clone(&self.frames[idx].inner);
+                let dirty = inner.dirty.load(Ordering::Relaxed);
+                let unlogged = inner.unlogged.load(Ordering::Relaxed);
+                let _apply = match self.wal.as_deref() {
+                    Some(w) if dirty && unlogged => {
+                        // No-steal for open operations: writing this
+                        // page back would autocommit it, but a writer
+                        // inside the apply section may have dirtied it
+                        // mid-operation — making it durable now would
+                        // commit half an operation (there is no undo).
+                        // Probe the section without blocking (an
+                        // apply-section holder may be waiting for the
+                        // pool lock we hold); if a writer is in flight,
+                        // the frame is not a victim. It becomes
+                        // evictable once the operation finishes or a
+                        // commit logs the page.
+                        match w.try_apply_lock() {
+                            Some(g) => Some(g),
+                            None => continue,
+                        }
+                    }
+                    _ => None,
+                };
                 if inner.dirty.swap(false, Ordering::Relaxed) {
-                    write_back_frame(self.disk.as_mut(), self.wal.as_deref(), old, &inner)?;
+                    if let Err(e) =
+                        write_back_frame(self.disk.as_mut(), self.wal.as_deref(), old, &inner)
+                    {
+                        // Failed write-back must leave the page dirty:
+                        // treating it as clean would silently drop its
+                        // modifications at the next eviction.
+                        inner.dirty.store(true, Ordering::Relaxed);
+                        return Err(e);
+                    }
                     self.evictions += 1;
                     obs_io::record_disk_write();
                     obs_io::record_eviction();
                 }
                 let old_home = self.shard_of(old);
                 self.shards[old_home].map.remove(&old);
+                self.frames[idx].pid = None;
             }
             self.frames[idx].prefetched = false;
             return Ok(Some(idx));
@@ -919,7 +970,12 @@ impl PoolCore {
         if let Some(&idx) = self.shards[home].map.get(&pid) {
             let inner = Arc::clone(&self.frames[idx].inner);
             if inner.dirty.swap(false, Ordering::Relaxed) {
-                write_back_frame(self.disk.as_mut(), self.wal.as_deref(), pid, &inner)?;
+                if let Err(e) =
+                    write_back_frame(self.disk.as_mut(), self.wal.as_deref(), pid, &inner)
+                {
+                    inner.dirty.store(true, Ordering::Relaxed);
+                    return Err(e);
+                }
                 obs_io::record_disk_write();
             }
         }
@@ -938,7 +994,12 @@ impl PoolCore {
             let pid = frame.pid.unwrap();
             let inner = Arc::clone(&frame.inner);
             if inner.dirty.swap(false, Ordering::Relaxed) {
-                write_back_frame(self.disk.as_mut(), self.wal.as_deref(), pid, &inner)?;
+                if let Err(e) =
+                    write_back_frame(self.disk.as_mut(), self.wal.as_deref(), pid, &inner)
+                {
+                    inner.dirty.store(true, Ordering::Relaxed);
+                    return Err(e);
+                }
                 obs_io::record_disk_write();
             }
             let home = self.shard_of(pid);
@@ -1373,6 +1434,89 @@ mod tests {
                 assert!(s < bp.shard_count());
             }
         }
+    }
+
+    /// Regression test for the atomicity hole: eviction must not
+    /// autocommit a dirty-but-unlogged page while a writer is inside
+    /// the WAL apply section — that page may be a half-applied
+    /// operation's, and redo-only logging has no undo for it. Such
+    /// frames are simply not eviction victims until the section is
+    /// free.
+    #[test]
+    fn eviction_skips_unlogged_dirty_pages_while_apply_section_is_held() {
+        use crate::wal::{MemWalStore, Wal};
+        let wal = Arc::new(Wal::new(Box::new(MemWalStore::new()), 1));
+        let bp = BufferPool::new_with_wal(Box::new(MemDisk::new()), 2, Some(Arc::clone(&wal)));
+        let f = bp.create_file().unwrap();
+        for i in 0..2u8 {
+            let (_, h) = bp.new_page(f).unwrap();
+            h.data_mut()[0] = i;
+        }
+        // Both frames are dirty + unlogged and unpinned. With a writer
+        // "in flight" (apply section held), neither may be stolen.
+        let apply = wal.apply_lock();
+        assert!(
+            matches!(bp.new_page(f), Err(StorageError::BufferExhausted)),
+            "no-steal: unlogged dirty frames are unevictable mid-operation"
+        );
+        assert_eq!(wal.stats().autocommits, 0, "nothing was made durable");
+        drop(apply);
+        // Section free: eviction may autocommit and proceed.
+        let (_, h) = bp.new_page(f).unwrap();
+        h.data_mut()[0] = 9;
+        assert!(wal.stats().autocommits >= 1);
+    }
+
+    /// Regression test for the lost-write bug: a failed write-back must
+    /// leave the page marked dirty, or its modifications are silently
+    /// dropped by the next (successful) eviction or flush.
+    #[test]
+    fn failed_write_back_leaves_the_page_dirty() {
+        use crate::fault::{FaultDisk, FaultPlan};
+        let disk = FaultDisk::new(
+            MemDisk::new(),
+            FaultPlan {
+                torn_write_at: Some(1),
+                ..FaultPlan::default()
+            },
+        );
+        let bp = BufferPool::new(Box::new(disk), 4);
+        let f = bp.create_file().unwrap();
+        let (pid, h) = bp.new_page(f).unwrap();
+        h.data_mut()[100] = 0xEE;
+        assert!(bp.flush_page(pid).is_err(), "injected torn write");
+        assert!(
+            h.is_dirty(),
+            "failed write-back must restore the dirty flag"
+        );
+        // The fault fires once: the retry writes the full page, and the
+        // bytes survive a cold re-read (checksum intact).
+        bp.flush_page(pid).unwrap();
+        assert!(!h.is_dirty());
+        drop(h);
+        bp.flush_all().unwrap();
+        let h = bp.fetch(pid).unwrap();
+        assert_eq!(h.data()[100], 0xEE);
+    }
+
+    /// Same lost-write regression on the WAL autocommit path: a failed
+    /// autocommit restores both `dirty` and `unlogged`.
+    #[test]
+    fn failed_autocommit_restores_dirty_and_unlogged() {
+        use crate::wal::fault::FaultWal;
+        use crate::wal::{MemWalStore, Wal};
+        let wal = Arc::new(Wal::new(
+            Box::new(FaultWal::new(MemWalStore::new()).cut_after(0)),
+            1,
+        ));
+        let bp = BufferPool::new_with_wal(Box::new(MemDisk::new()), 4, Some(wal));
+        let f = bp.create_file().unwrap();
+        let (pid, h) = bp.new_page(f).unwrap();
+        h.data_mut()[7] = 1;
+        drop(h);
+        assert!(bp.flush_page(pid).is_err(), "autocommit append dies");
+        let dirty: usize = bp.shard_stats().iter().map(|s| s.dirty).sum();
+        assert_eq!(dirty, 1, "page still pending write-back after the failure");
     }
 
     /// The pool is shared: concurrent fetches of disjoint and overlapping

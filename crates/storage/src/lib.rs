@@ -49,7 +49,7 @@ pub use page::{
     USER_BYTES_PER_PAGE,
 };
 pub use stats::{IoProfile, IoStats};
-pub use wal::{FileWalStore, MemWalStore, RecoveryReport, Wal, WalStats, WalStore};
+pub use wal::{FileWalStore, MemWalStore, RecoveryReport, Wal, WalStats, WalStore, WalSyncer};
 
 use parking_lot::Mutex;
 use std::collections::HashMap;

@@ -3,8 +3,10 @@
 //! [`crate::fault::FaultDisk`]. Used by the crash tests and available
 //! to the future chaos harness (ROADMAP item 3).
 
-use super::store::WalStore;
+use super::store::{WalStore, WalSyncer};
 use crate::error::Result;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Wraps a [`WalStore`]; once the cumulative appended byte count would
 /// cross `cut_at`, the append is written only up to the cut and fails —
@@ -14,7 +16,9 @@ pub struct FaultWal<S: WalStore> {
     inner: S,
     appended: u64,
     cut_at: Option<u64>,
-    tripped: bool,
+    /// Shared with syncer handles, which must also die once the fault
+    /// has fired (a crashed process fsyncs nothing).
+    tripped: Arc<AtomicBool>,
 }
 
 impl<S: WalStore> FaultWal<S> {
@@ -24,7 +28,7 @@ impl<S: WalStore> FaultWal<S> {
             inner,
             appended: 0,
             cut_at: None,
-            tripped: false,
+            tripped: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -37,7 +41,11 @@ impl<S: WalStore> FaultWal<S> {
 
     /// Whether the armed fault has fired.
     pub fn tripped(&self) -> bool {
-        self.tripped
+        self.tripped.load(Ordering::Relaxed)
+    }
+
+    fn trip(&self) {
+        self.tripped.store(true, Ordering::Relaxed);
     }
 }
 
@@ -45,9 +53,24 @@ fn crashed() -> crate::error::StorageError {
     std::io::Error::other("injected WAL crash: short append").into()
 }
 
+/// Syncer twin of [`FaultWal`]: refuses barriers once the fault fired.
+struct FaultSyncer {
+    tripped: Arc<AtomicBool>,
+    inner: Box<dyn WalSyncer>,
+}
+
+impl WalSyncer for FaultSyncer {
+    fn wal_sync_now(&self) -> Result<()> {
+        if self.tripped.load(Ordering::Relaxed) {
+            return Err(crashed());
+        }
+        self.inner.wal_sync_now()
+    }
+}
+
 impl<S: WalStore> WalStore for FaultWal<S> {
     fn wal_append(&mut self, bytes: &[u8]) -> Result<()> {
-        if self.tripped {
+        if self.tripped() {
             return Err(crashed());
         }
         if let Some(cut) = self.cut_at {
@@ -55,7 +78,7 @@ impl<S: WalStore> WalStore for FaultWal<S> {
                 let keep = cut.saturating_sub(self.appended) as usize;
                 self.inner.wal_append(&bytes[..keep])?;
                 self.appended += keep as u64;
-                self.tripped = true;
+                self.trip();
                 return Err(crashed());
             }
         }
@@ -65,7 +88,7 @@ impl<S: WalStore> WalStore for FaultWal<S> {
     }
 
     fn wal_sync(&mut self) -> Result<()> {
-        if self.tripped {
+        if self.tripped() {
             return Err(crashed());
         }
         self.inner.wal_sync()
@@ -76,7 +99,7 @@ impl<S: WalStore> WalStore for FaultWal<S> {
     }
 
     fn wal_truncate(&mut self, len: u64) -> Result<()> {
-        if self.tripped {
+        if self.tripped() {
             return Err(crashed());
         }
         self.inner.wal_truncate(len)
@@ -84,6 +107,13 @@ impl<S: WalStore> WalStore for FaultWal<S> {
 
     fn wal_len(&mut self) -> Result<u64> {
         self.inner.wal_len()
+    }
+
+    fn wal_syncer(&self) -> Box<dyn WalSyncer> {
+        Box::new(FaultSyncer {
+            tripped: Arc::clone(&self.tripped),
+            inner: self.inner.wal_syncer(),
+        })
     }
 }
 
@@ -102,5 +132,17 @@ mod tests {
         assert_eq!(shared.snapshot(), b"12345678AB", "prefix reached the log");
         assert!(w.wal_append(b"x").is_err());
         assert!(w.wal_sync().is_err());
+    }
+
+    #[test]
+    fn syncer_handle_sees_the_trip() {
+        let mut w = FaultWal::new(MemWalStore::new()).cut_after(4);
+        let syncer = w.wal_syncer();
+        syncer.wal_sync_now().unwrap();
+        assert!(w.wal_append(b"123456").is_err());
+        assert!(
+            syncer.wal_sync_now().is_err(),
+            "a barrier through a pre-existing handle fails after the crash"
+        );
     }
 }

@@ -11,21 +11,33 @@
 //!   committed on-disk page:
 //! * **the steal rule**: the buffer pool may evict a dirty page only
 //!   after the page's covering log records are durable
-//!   ([`Wal::ensure_durable`]); a dirty page no transaction has logged
+//!   ([`Wal::ensure_durable`]). A dirty page no transaction has logged
 //!   yet is logged inline as a single-page implicit transaction
-//!   ([`Wal::autocommit_page`]) before it is written.
+//!   ([`Wal::autocommit_page`]) before it is written — but only when
+//!   no writer is inside the apply section (checked with
+//!   [`Wal::try_apply_lock`]): a page an in-flight operation dirtied
+//!   must not become durable before that operation commits, so the
+//!   pool treats it as unevictable instead (**no-steal** for open
+//!   operations' pages).
 //! * **Group commit**: concurrent committers share fsyncs. A committer
 //!   whose commit LSN is already durable returns without syncing
 //!   (counted in `wal.group_commit.coalesced`); otherwise it elects
-//!   itself leader and one `fsync` covers every record appended so far.
+//!   itself leader and one `fsync` covers every record appended so
+//!   far. The leader fsyncs through a [`WalSyncer`] handle with the
+//!   append lock *released*, so followers keep appending (and so keep
+//!   feeding the next leader's barrier) while the fsync is in flight.
 //! * **Recovery** ([`recover`]) scans the log, discards the torn tail,
 //!   replays every committed transaction's images, syncs the data
 //!   files, and resets the log.
 //!
 //! The serialized *apply section* ([`Wal::apply_lock`]) is held by
-//! `update_txn` across apply+log so the log never interleaves two
-//! transactions' images; the fsync happens **outside** it, which is
-//! what lets back-to-back commits coalesce.
+//! **every** engine write path — `update_txn` across apply+log, and
+//! the non-transactional DML paths (`insert`/`update`/`delete`/
+//! deferred-propagation sync) across their whole multi-page operation —
+//! so the log never interleaves two operations' images and a commit's
+//! dirty-page sweep can only ever see *completed* operations' pages.
+//! The fsync happens **outside** it, which is what lets back-to-back
+//! commits coalesce.
 
 pub mod fault;
 pub mod record;
@@ -34,7 +46,7 @@ pub mod store;
 
 pub use record::{WalEntry, WalRecord};
 pub use recover::{recover, RecoveryReport};
-pub use store::{FileWalStore, MemWalStore, WalStore};
+pub use store::{FileWalStore, MemWalStore, WalStore, WalSyncer};
 
 use crate::error::Result;
 use crate::oid::PageId;
@@ -80,6 +92,10 @@ struct WalInner {
 /// (commit logging) through one `Arc`.
 pub struct Wal {
     inner: Mutex<WalInner>,
+    /// Durability barrier decoupled from the append lock: the
+    /// group-commit leader fsyncs through this so followers keep
+    /// appending while the barrier is in flight.
+    syncer: Box<dyn store::WalSyncer>,
     /// Highest LSN known fsynced.
     durable: AtomicU64,
     /// Group-commit leader election: at most one fsync in flight.
@@ -120,12 +136,14 @@ impl Wal {
     /// stays monotone across restarts.
     pub fn new(store: Box<dyn WalStore>, start_lsn: u64) -> Wal {
         let start = start_lsn.max(1);
+        let syncer = store.wal_syncer();
         Wal {
             inner: Mutex::new(WalInner {
                 store,
                 next_lsn: start,
                 appended: start - 1,
             }),
+            syncer,
             durable: AtomicU64::new(start - 1),
             sync_lock: Mutex::new(()),
             apply: Mutex::new(()),
@@ -138,11 +156,25 @@ impl Wal {
         }
     }
 
-    /// Enter the serialized apply section. `update_txn` holds this
-    /// across apply + commit logging so the log never interleaves two
-    /// transactions' page images; it is released before the fsync.
+    /// Enter the serialized apply section. Every engine write path
+    /// holds this across its whole multi-page operation (`update_txn`
+    /// additionally across commit logging), so the log never
+    /// interleaves two operations' page images and a commit's
+    /// dirty-page sweep only ever sees completed operations' pages;
+    /// it is released before the fsync.
     pub fn apply_lock(&self) -> MutexGuard<'_, ()> {
         self.apply.lock()
+    }
+
+    /// Non-blocking probe of the apply section, used by the buffer
+    /// pool's eviction path: an unlogged dirty victim may be
+    /// autocommitted only while no writer is inside the section
+    /// (otherwise the page might be a half-applied operation's, and
+    /// making it durable would violate atomicity — the pool skips it
+    /// instead). Must be non-blocking because eviction runs under the
+    /// pool lock, which an apply-section holder may be waiting for.
+    pub fn try_apply_lock(&self) -> Option<MutexGuard<'_, ()>> {
+        self.apply.try_lock()
     }
 
     /// Allocate a WAL-local transaction id.
@@ -203,11 +235,12 @@ impl Wal {
             wal_metrics().coalesced.inc();
             return Ok(());
         }
-        let covered = {
-            let mut inner = self.inner.lock();
-            inner.store.wal_sync()?;
-            inner.appended
-        };
+        // Snapshot the appended watermark, then fsync with the append
+        // lock *released*: the barrier covers everything appended before
+        // it began (`covered`), and followers keep appending — into the
+        // next leader's barrier — instead of queueing behind this one.
+        let covered = self.inner.lock().appended;
+        self.syncer.wal_sync_now()?;
         self.durable.fetch_max(covered, Ordering::AcqRel);
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
         wal_metrics().fsyncs.inc();
@@ -340,6 +373,103 @@ mod tests {
         assert_eq!(scanned.entries.len(), 1, "only the checkpoint marker");
         assert_eq!(scanned.entries[0].rec, WalRecord::Checkpoint);
         assert!(scanned.entries[0].lsn > lsn, "LSNs keep rising");
+    }
+
+    /// Regression test for the group-commit pipelining bug: the leader
+    /// used to hold the append lock across the fsync, so every
+    /// concurrent `append_commit` queued behind the barrier. With the
+    /// [`WalSyncer`] split, an append must complete while a sync is
+    /// blocked in flight (this test deadlocks otherwise).
+    #[test]
+    fn appends_proceed_while_a_sync_is_in_flight() {
+        use std::sync::{Condvar, Mutex as StdMutex};
+
+        #[derive(Default)]
+        struct Gate {
+            state: StdMutex<(bool, bool)>, // (sync entered, gate open)
+            cv: Condvar,
+        }
+
+        struct GateSyncer(Arc<Gate>);
+        impl store::WalSyncer for GateSyncer {
+            fn wal_sync_now(&self) -> Result<()> {
+                let mut st = self.0.state.lock().expect("gate poisoned");
+                st.0 = true;
+                self.0.cv.notify_all();
+                while !st.1 {
+                    st = self.0.cv.wait(st).expect("gate poisoned");
+                }
+                Ok(())
+            }
+        }
+
+        struct SlowSyncStore {
+            inner: MemWalStore,
+            gate: Arc<Gate>,
+        }
+        impl WalStore for SlowSyncStore {
+            fn wal_append(&mut self, bytes: &[u8]) -> Result<()> {
+                self.inner.wal_append(bytes)
+            }
+            fn wal_sync(&mut self) -> Result<()> {
+                self.inner.wal_sync()
+            }
+            fn wal_read_all(&mut self) -> Result<Vec<u8>> {
+                self.inner.wal_read_all()
+            }
+            fn wal_truncate(&mut self, len: u64) -> Result<()> {
+                self.inner.wal_truncate(len)
+            }
+            fn wal_len(&mut self) -> Result<u64> {
+                self.inner.wal_len()
+            }
+            fn wal_syncer(&self) -> Box<dyn store::WalSyncer> {
+                Box::new(GateSyncer(Arc::clone(&self.gate)))
+            }
+        }
+
+        let gate = Arc::new(Gate::default());
+        let wal = Arc::new(Wal::new(
+            Box::new(SlowSyncStore {
+                inner: MemWalStore::new(),
+                gate: Arc::clone(&gate),
+            }),
+            1,
+        ));
+        let img = page(0x44);
+        let a = wal
+            .append_commit(wal.begin_txn(), &[(PageId::new(FileId(1), 0), &img)])
+            .unwrap();
+        let leader = {
+            let wal = Arc::clone(&wal);
+            std::thread::spawn(move || wal.sync_to(a).unwrap())
+        };
+        {
+            let mut st = gate.state.lock().expect("gate poisoned");
+            while !st.0 {
+                st = gate.cv.wait(st).expect("gate poisoned");
+            }
+        }
+        // Leader is parked inside the barrier: a follower append must
+        // still complete, and the in-flight barrier must not cover it.
+        let b = wal
+            .append_commit(wal.begin_txn(), &[(PageId::new(FileId(1), 1), &img)])
+            .unwrap();
+        assert_eq!(wal.stats().durable_lsn, 0, "barrier not finished yet");
+        {
+            let mut st = gate.state.lock().expect("gate poisoned");
+            st.1 = true;
+            gate.cv.notify_all();
+        }
+        leader.join().unwrap();
+        let s = wal.stats();
+        assert!(s.durable_lsn >= a, "barrier covered the pre-sync append");
+        assert!(
+            s.durable_lsn < b,
+            "bytes appended mid-barrier are not claimed"
+        );
+        wal.sync_to(b).unwrap();
+        assert!(wal.stats().durable_lsn >= b);
     }
 
     #[test]

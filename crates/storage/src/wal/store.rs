@@ -27,6 +27,32 @@ pub trait WalStore: Send {
     fn wal_truncate(&mut self, len: u64) -> Result<()>;
     /// Current log length in bytes.
     fn wal_len(&mut self) -> Result<u64>;
+    /// A durability-barrier handle over the same log, usable
+    /// concurrently with appends through this store (see [`WalSyncer`]).
+    fn wal_syncer(&self) -> Box<dyn WalSyncer>;
+}
+
+/// Durability-barrier handle decoupled from the append path.
+///
+/// The group-commit leader fsyncs through this handle while other
+/// committers keep appending under the log's append lock — holding
+/// that lock across the fsync would serialize every append behind it
+/// and defeat the pipelining group commit exists for. A barrier issued
+/// through the handle covers every byte appended *before* it began;
+/// bytes appended while the barrier is in flight may or may not be
+/// covered (callers snapshot their watermark first).
+pub trait WalSyncer: Send + Sync {
+    /// Issue the durability barrier.
+    fn wal_sync_now(&self) -> Result<()>;
+}
+
+/// No-op syncer for stores whose bytes are already "durable" (memory).
+struct NopSyncer;
+
+impl WalSyncer for NopSyncer {
+    fn wal_sync_now(&self) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// In-memory log over a shared buffer. Clones share the same bytes, so a
@@ -71,6 +97,10 @@ impl WalStore for MemWalStore {
     fn wal_len(&mut self) -> Result<u64> {
         Ok(self.buf.lock().len() as u64)
     }
+
+    fn wal_syncer(&self) -> Box<dyn WalSyncer> {
+        Box::new(NopSyncer)
+    }
 }
 
 /// File-backed log: a single `wal.log` file, appended with `write_all`
@@ -78,7 +108,20 @@ impl WalStore for MemWalStore {
 pub struct FileWalStore {
     path: PathBuf,
     handle: File,
+    /// Duplicate descriptor for [`WalSyncer`]: `fsync` is per-inode, so
+    /// a barrier through the duplicate covers appends via `handle`.
+    sync_dup: Arc<File>,
     len: u64,
+}
+
+/// File-backed [`WalSyncer`]: `sync_data` on a duplicate descriptor.
+struct FileSyncer(Arc<File>);
+
+impl WalSyncer for FileSyncer {
+    fn wal_sync_now(&self) -> Result<()> {
+        self.0.sync_data()?;
+        Ok(())
+    }
 }
 
 impl FileWalStore {
@@ -93,8 +136,14 @@ impl FileWalStore {
             .create(true)
             .truncate(false)
             .open(&path)?;
+        let sync_dup = Arc::new(handle.try_clone()?);
         let len = handle.metadata()?.len();
-        Ok(FileWalStore { path, handle, len })
+        Ok(FileWalStore {
+            path,
+            handle,
+            sync_dup,
+            len,
+        })
     }
 
     /// Path of the underlying log file.
@@ -131,6 +180,10 @@ impl WalStore for FileWalStore {
 
     fn wal_len(&mut self) -> Result<u64> {
         Ok(self.len)
+    }
+
+    fn wal_syncer(&self) -> Box<dyn WalSyncer> {
+        Box::new(FileSyncer(Arc::clone(&self.sync_dup)))
     }
 }
 
