@@ -23,11 +23,11 @@ fn bench_read(c: &mut Criterion) {
     let mut group = c.benchmark_group("read_query");
     for (name, strat) in strategies() {
         let spec = WorkloadSpec::paper(5, IndexSetting::Unclustered, strat).scaled(1000);
-        let mut w = build_workload(spec);
+        let mut w = build_workload(spec).expect("build workload");
         let mut lo = 0i64;
         group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
             b.iter(|| {
-                let io = measure_read_query(&mut w, lo % 4000);
+                let io = measure_read_query(&mut w, lo % 4000).expect("read query");
                 lo += 37;
                 io
             });
@@ -41,11 +41,11 @@ fn bench_update(c: &mut Criterion) {
     group.sample_size(20);
     for (name, strat) in strategies() {
         let spec = WorkloadSpec::paper(5, IndexSetting::Unclustered, strat).scaled(1000);
-        let mut w = build_workload(spec);
+        let mut w = build_workload(spec).expect("build workload");
         let mut lo = 0i64;
         group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
             b.iter(|| {
-                let io = measure_update_query(&mut w, lo % 900);
+                let io = measure_update_query(&mut w, lo % 900).expect("update query");
                 lo += 13;
                 io
             });
@@ -58,11 +58,11 @@ fn bench_clustered_read(c: &mut Criterion) {
     let mut group = c.benchmark_group("read_query_clustered");
     for (name, strat) in strategies() {
         let spec = WorkloadSpec::paper(5, IndexSetting::Clustered, strat).scaled(1000);
-        let mut w = build_workload(spec);
+        let mut w = build_workload(spec).expect("build workload");
         let mut lo = 0i64;
         group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
             b.iter(|| {
-                let io = measure_read_query(&mut w, lo % 4000);
+                let io = measure_read_query(&mut w, lo % 4000).expect("read query");
                 lo += 37;
                 io
             });

@@ -11,14 +11,14 @@ fn bench_heap(c: &mut Criterion) {
         let sm = StorageManager::in_memory(4096);
         let hf = HeapFile::create(&sm).unwrap();
         let payload = [7u8; 100];
-        b.iter(|| black_box(hf.insert(&sm, 1, &payload).unwrap()));
+        b.iter(|| black_box(hf.rec_insert(&sm, 1, &payload).unwrap()));
     });
 
     c.bench_function("heap_point_read_warm", |b| {
         let sm = StorageManager::in_memory(4096);
         let hf = HeapFile::create(&sm).unwrap();
         let oids: Vec<_> = (0..10_000)
-            .map(|_| hf.insert(&sm, 1, &[3u8; 100]).unwrap())
+            .map(|_| hf.rec_insert(&sm, 1, &[3u8; 100]).unwrap())
             .collect();
         let mut i = 0usize;
         b.iter(|| {
@@ -31,12 +31,12 @@ fn bench_heap(c: &mut Criterion) {
         let sm = StorageManager::in_memory(4096);
         let hf = HeapFile::create(&sm).unwrap();
         let oids: Vec<_> = (0..10_000)
-            .map(|_| hf.insert(&sm, 1, &[3u8; 100]).unwrap())
+            .map(|_| hf.rec_insert(&sm, 1, &[3u8; 100]).unwrap())
             .collect();
         let mut i = 0usize;
         b.iter(|| {
             i = (i + 4391) % oids.len();
-            hf.update(&sm, oids[i], &[5u8; 100]).unwrap();
+            hf.rec_update(&sm, oids[i], &[5u8; 100]).unwrap();
         });
     });
 
@@ -44,7 +44,7 @@ fn bench_heap(c: &mut Criterion) {
         let sm = StorageManager::in_memory(4096);
         let hf = HeapFile::create(&sm).unwrap();
         for _ in 0..10_000 {
-            hf.insert(&sm, 1, &[3u8; 100]).unwrap();
+            hf.rec_insert(&sm, 1, &[3u8; 100]).unwrap();
         }
         b.iter(|| {
             let mut scan = hf.scan(&sm).unwrap();

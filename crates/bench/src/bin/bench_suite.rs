@@ -122,7 +122,7 @@ fn main() -> ExitCode {
         "=== bench_suite ({}) run_id={run_id} ===\n",
         if smoke { "smoke" } else { "full" }
     );
-    let report = run_suite(&cfg, &run_id);
+    let report = run_suite(&cfg, &run_id).expect("bench suite");
 
     println!(
         "{:<40} {:>10} {:>10} {:>8}",

@@ -27,7 +27,7 @@ fn main() {
         for &f in sharings {
             for strategy in ALL_STRATEGIES {
                 let spec = WorkloadSpec::paper(f, setting, strategy);
-                let (_, cell) = measure_cell(spec, queries);
+                let (_, cell) = measure_cell(spec, queries).expect("measure cell");
                 println!(
                     "{:>3} {:<10} | {:>10.1} {:>10.1} {:>7.2} | {:>10.1} {:>10.1} {:>7.2}",
                     f,

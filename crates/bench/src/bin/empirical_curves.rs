@@ -38,8 +38,11 @@ fn main() {
             for strat in [None, Some(Strategy::InPlace), Some(Strategy::Separate)] {
                 let spec = WorkloadSpec::paper(f, setting, strat).scaled(s_count);
                 model_params.get_or_insert_with(|| spec.params());
-                let mut w = build_workload(spec);
-                meas.push((avg_read_io(&mut w, queries), avg_update_io(&mut w, queries)));
+                let mut w = build_workload(spec).expect("build workload");
+                meas.push((
+                    avg_read_io(&mut w, queries).expect("read measurement"),
+                    avg_update_io(&mut w, queries).expect("update measurement"),
+                ));
             }
             let params = model_params.unwrap();
             let total = |m: &(f64, f64), p: f64| (1.0 - p) * m.0 + p * m.1;

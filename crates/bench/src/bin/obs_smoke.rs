@@ -92,10 +92,10 @@ fn run() -> Result<(), String> {
     // the queries touch rows and the propagation path actually runs.
     spec.read_sel = 0.02;
     spec.update_sel = 0.02;
-    let mut w = build_workload(spec);
-    let profiled = profile_read_query(&mut w, 0);
+    let mut w = build_workload(spec).map_err(|e| format!("build workload: {e}"))?;
+    let profiled = profile_read_query(&mut w, 0).map_err(|e| format!("profile read: {e}"))?;
     timeline::global_tick();
-    measure_update_query(&mut w, 0);
+    measure_update_query(&mut w, 0).map_err(|e| format!("measure update: {e}"))?;
     timeline::global_tick();
 
     let mut lines = vec![export::run_meta_jsonl("obs_smoke")];

@@ -62,10 +62,11 @@ fn run_profiled(
     let mut spans = Vec::new();
     for strat in ALL_STRATEGIES {
         let name = strategy_name(strat);
-        let mut w = build_workload(WorkloadSpec::paper(sharing, setting, strat).scaled(s_count));
+        let mut w = build_workload(WorkloadSpec::paper(sharing, setting, strat).scaled(s_count))
+            .expect("build workload");
         for run in [
-            profile_read_query(&mut w, 0),
-            profile_update_query(&mut w, 0),
+            profile_read_query(&mut w, 0).expect("profiled read"),
+            profile_update_query(&mut w, 0).expect("profiled update"),
         ] {
             lines.extend(report_run(name, &run));
             spans.extend(run.spans);
@@ -137,7 +138,10 @@ fn main() {
     // keeps the database valid across points.
     let mut workloads: Vec<_> = ALL_STRATEGIES
         .into_iter()
-        .map(|strat| build_workload(WorkloadSpec::paper(sharing, setting, strat).scaled(s_count)))
+        .map(|strat| {
+            build_workload(WorkloadSpec::paper(sharing, setting, strat).scaled(s_count))
+                .expect("build workload")
+        })
         .collect();
     let params = workloads[0].spec.params();
 
@@ -146,7 +150,7 @@ fn main() {
         print!("{p:>5.1} |");
         let mut measured = Vec::new();
         for w in &mut workloads {
-            let r = run_trace(w, p, n_queries, 0xBEEF + i);
+            let r = run_trace(w, p, n_queries, 0xBEEF + i).expect("trace run");
             measured.push(r.c_total());
         }
         for m in &measured {

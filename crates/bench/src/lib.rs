@@ -27,7 +27,7 @@ use fieldrep_core::{Database, DbConfig};
 use fieldrep_costmodel::{read_cost, update_cost, IndexSetting, ModelStrategy, Params};
 use fieldrep_model::{FieldType, TypeDef, Value};
 use fieldrep_obs::{IoCounts, Profile, SpanNode};
-use fieldrep_query::{Assign, Filter, ReadQuery, UpdateQuery};
+use fieldrep_query::{Assign, Filter, ReadQuery, Result, UpdateQuery};
 use fieldrep_storage::{IoProfile, Oid};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -148,7 +148,7 @@ pub struct Workload {
 ///   object referenced by exactly `f` R objects, in random positions) —
 ///   the paper's "R and S are relatively unclustered".
 /// * Clustered setting: key order equals physical order.
-pub fn build_workload(spec: WorkloadSpec) -> Workload {
+pub fn build_workload(spec: WorkloadSpec) -> Result<Workload> {
     let mut db = Database::in_memory(DbConfig {
         pool_pages: spec.pool_pages,
         inline_link_threshold: spec.inline_threshold,
@@ -165,8 +165,7 @@ pub fn build_workload(spec: WorkloadSpec) -> Workload {
             ("field_s", FieldType::Int),
             ("pad", FieldType::Pad(171)),
         ],
-    ))
-    .unwrap();
+    ))?;
     db.define_type(TypeDef::new(
         "RTYPE",
         vec![
@@ -174,10 +173,9 @@ pub fn build_workload(spec: WorkloadSpec) -> Workload {
             ("field_r", FieldType::Int),
             ("pad", FieldType::Pad(83)),
         ],
-    ))
-    .unwrap();
-    db.create_set("S", "STYPE").unwrap();
-    db.create_set("R", "RTYPE").unwrap();
+    ))?;
+    db.create_set("S", "STYPE")?;
+    db.create_set("R", "RTYPE")?;
 
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let n_s = spec.s_count;
@@ -200,23 +198,19 @@ pub fn build_workload(spec: WorkloadSpec) -> Workload {
     for (i, &key) in s_keys.iter().enumerate() {
         let rep = format!("rep{i:013}#0"); // 16 chars + "#0" = 18
         debug_assert_eq!(rep.len(), 18);
-        let oid = db
-            .insert("S", vec![Value::Str(rep), Value::Int(key), Value::Unit])
-            .unwrap();
+        let oid = db.insert("S", vec![Value::Str(rep), Value::Int(key), Value::Unit])?;
         s_oids.push(oid);
     }
     let mut r_oids = Vec::with_capacity(n_r);
     for (i, &key) in r_keys.iter().enumerate() {
-        let oid = db
-            .insert(
-                "R",
-                vec![
-                    Value::Ref(s_oids[assignment[i]]),
-                    Value::Int(key),
-                    Value::Unit,
-                ],
-            )
-            .unwrap();
+        let oid = db.insert(
+            "R",
+            vec![
+                Value::Ref(s_oids[assignment[i]]),
+                Value::Int(key),
+                Value::Unit,
+            ],
+        )?;
         r_oids.push(oid);
     }
 
@@ -225,23 +219,24 @@ pub fn build_workload(spec: WorkloadSpec) -> Workload {
         IndexSetting::Unclustered => IndexKind::Unclustered,
         IndexSetting::Clustered => IndexKind::Clustered,
     };
-    db.create_index("R.field_r", kind).unwrap();
-    db.create_index("S.field_s", kind).unwrap();
+    db.create_index("R.field_r", kind)?;
+    db.create_index("S.field_s", kind)?;
 
     // Replication.
-    let path = spec
-        .strategy
-        .map(|s| db.replicate("R.sref.repfield", s).unwrap());
+    let path = match spec.strategy {
+        Some(s) => Some(db.replicate("R.sref.repfield", s)?),
+        None => None,
+    };
 
-    db.flush_all().unwrap();
+    db.flush_all()?;
     db.reset_profile();
-    Workload {
+    Ok(Workload {
         db,
         spec,
         path,
         s_oids,
         r_oids,
-    }
+    })
 }
 
 /// The §6 read query over keys `[lo, lo + f_r·|R|)`: range-select on
@@ -285,44 +280,44 @@ fn update_rows(w: &Workload) -> i64 {
 /// Run one §6 read query (cold pool, output file generated with
 /// `t = 100`) and return the full measured [`IoProfile`] — page counts
 /// plus the grouped-read call count (`disk.read_calls`).
-pub fn measure_read_query_profile(w: &mut Workload, lo: i64) -> IoProfile {
+pub fn measure_read_query_profile(w: &mut Workload, lo: i64) -> Result<IoProfile> {
     let count = read_rows(w);
     let q = read_query(w, lo);
-    w.db.flush_all().unwrap();
+    w.db.flush_all()?;
     w.db.reset_profile();
-    let res = q.run(&mut w.db).expect("read query");
+    let res = q.run(&mut w.db)?;
     assert_eq!(res.rows.len(), count as usize, "selectivity honoured");
-    w.db.flush_all().unwrap();
+    w.db.flush_all()?;
     let prof = w.db.io_profile();
     if let Some(f) = res.output_file {
-        w.db.sm().drop_file(f).unwrap();
+        w.db.sm().drop_file(f)?;
     }
-    prof
+    Ok(prof)
 }
 
 /// Run one §6 read query and return the measured total page I/O
 /// (reads + writes, cold pool, output file generated with `t = 100`).
-pub fn measure_read_query(w: &mut Workload, lo: i64) -> u64 {
-    measure_read_query_profile(w, lo).total_io()
+pub fn measure_read_query(w: &mut Workload, lo: i64) -> Result<u64> {
+    Ok(measure_read_query_profile(w, lo)?.total_io())
 }
 
 /// Run one §6 update query (cold pool, dirty pages flushed and counted)
 /// and return the full measured [`IoProfile`].
-pub fn measure_update_query_profile(w: &mut Workload, lo: i64) -> IoProfile {
+pub fn measure_update_query_profile(w: &mut Workload, lo: i64) -> Result<IoProfile> {
     let count = update_rows(w);
     let q = update_query(w, lo);
-    w.db.flush_all().unwrap();
+    w.db.flush_all()?;
     w.db.reset_profile();
-    let res = q.run(&mut w.db).expect("update query");
+    let res = q.run(&mut w.db)?;
     assert_eq!(res.updated, count as usize, "selectivity honoured");
-    w.db.flush_all().unwrap();
-    w.db.io_profile()
+    w.db.flush_all()?;
+    Ok(w.db.io_profile())
 }
 
 /// Run one §6 update query and return the measured total page I/O
 /// (cold pool, dirty pages flushed and counted).
-pub fn measure_update_query(w: &mut Workload, lo: i64) -> u64 {
-    measure_update_query_profile(w, lo).total_io()
+pub fn measure_update_query(w: &mut Workload, lo: i64) -> Result<u64> {
+    Ok(measure_update_query_profile(w, lo)?.total_io())
 }
 
 /// Convert the storage layer's raw counters into the observability
@@ -361,91 +356,91 @@ pub struct ProfiledRun {
 /// The pool counters are reset *immediately* before `run` on the same
 /// thread, so the raw [`IoProfile`] and the executor's [`Profile`]
 /// observe the identical I/O window.
-pub fn profile_read_query(w: &mut Workload, lo: i64) -> ProfiledRun {
+pub fn profile_read_query(w: &mut Workload, lo: i64) -> Result<ProfiledRun> {
     let count = read_rows(w);
     let q = read_query(w, lo);
-    w.db.flush_all().unwrap();
+    w.db.flush_all()?;
     w.db.reset_profile();
     fieldrep_obs::set_tracing(true);
     fieldrep_obs::take_finished();
-    let res = q.run(&mut w.db).expect("read query");
+    let res = q.run(&mut w.db)?;
     let spans = fieldrep_obs::take_finished();
     fieldrep_obs::set_tracing(false);
     let raw = w.db.io_profile();
     let rows = res.rows.len();
     if let Some(f) = res.output_file {
-        w.db.sm().drop_file(f).unwrap();
+        w.db.sm().drop_file(f)?;
     }
-    ProfiledRun {
+    Ok(ProfiledRun {
         label: format!("read R[{lo}..{}]", lo + count - 1),
         rows,
         profile: res.profile,
         raw,
         spans,
-    }
+    })
 }
 
 /// Run one §6 update query with tracing on and return its full profile.
-pub fn profile_update_query(w: &mut Workload, lo: i64) -> ProfiledRun {
+pub fn profile_update_query(w: &mut Workload, lo: i64) -> Result<ProfiledRun> {
     let count = update_rows(w);
     let q = update_query(w, lo);
-    w.db.flush_all().unwrap();
+    w.db.flush_all()?;
     w.db.reset_profile();
     fieldrep_obs::set_tracing(true);
     fieldrep_obs::take_finished();
-    let res = q.run(&mut w.db).expect("update query");
+    let res = q.run(&mut w.db)?;
     let spans = fieldrep_obs::take_finished();
     fieldrep_obs::set_tracing(false);
     let raw = w.db.io_profile();
-    ProfiledRun {
+    Ok(ProfiledRun {
         label: format!("update S[{lo}..{}]", lo + count - 1),
         rows: res.updated,
         profile: res.profile,
         raw,
         spans,
-    }
+    })
 }
 
 /// Average `(total page I/O, disk read calls)` of `n` read queries at
 /// distinct offsets. The second component is the grouped-call count —
 /// the seek/syscall proxy the batched fast path shrinks while page I/O
 /// stays constant.
-pub fn avg_read_stats(w: &mut Workload, n: usize) -> (f64, f64) {
+pub fn avg_read_stats(w: &mut Workload, n: usize) -> Result<(f64, f64)> {
     let count = (w.spec.read_sel * w.spec.r_count() as f64).round() as i64;
     let max_lo = (w.spec.r_count() as i64 - count).max(1);
     let (mut io, mut calls) = (0.0, 0.0);
     for i in 0..n {
         let lo = (i as i64 * 7919) % max_lo;
-        let p = measure_read_query_profile(w, lo);
+        let p = measure_read_query_profile(w, lo)?;
         io += p.total_io() as f64;
         calls += p.disk.read_calls as f64;
     }
-    (io / n as f64, calls / n as f64)
+    Ok((io / n as f64, calls / n as f64))
 }
 
 /// Average measured I/O of `n` read queries at distinct offsets.
-pub fn avg_read_io(w: &mut Workload, n: usize) -> f64 {
-    avg_read_stats(w, n).0
+pub fn avg_read_io(w: &mut Workload, n: usize) -> Result<f64> {
+    Ok(avg_read_stats(w, n)?.0)
 }
 
 /// Average `(total page I/O, disk read calls)` of `n` update queries at
 /// distinct offsets.
-pub fn avg_update_stats(w: &mut Workload, n: usize) -> (f64, f64) {
+pub fn avg_update_stats(w: &mut Workload, n: usize) -> Result<(f64, f64)> {
     let count = (w.spec.update_sel * w.spec.s_count as f64).round() as i64;
     let max_lo = (w.spec.s_count as i64 - count).max(1);
     let (mut io, mut calls) = (0.0, 0.0);
     for i in 0..n {
         let lo = (i as i64 * 6389) % max_lo;
-        let p = measure_update_query_profile(w, lo);
+        let p = measure_update_query_profile(w, lo)?;
         io += p.total_io() as f64;
         calls += p.disk.read_calls as f64;
     }
-    (io / n as f64, calls / n as f64)
+    Ok((io / n as f64, calls / n as f64))
 }
 
 /// Average measured I/O of `n` update queries at distinct offsets.
-pub fn avg_update_io(w: &mut Workload, n: usize) -> f64 {
-    avg_update_stats(w, n).0
+pub fn avg_update_io(w: &mut Workload, n: usize) -> Result<f64> {
+    Ok(avg_update_stats(w, n)?.0)
 }
 
 /// One cell of the empirical matrix: measured vs. analytical page I/O
@@ -472,16 +467,16 @@ pub struct CellMeasurement {
 
 /// Build one workload and measure its cell (`queries` runs averaged per
 /// side). Returns the workload too, so callers can keep probing it.
-pub fn measure_cell(spec: WorkloadSpec, queries: usize) -> (Workload, CellMeasurement) {
+pub fn measure_cell(spec: WorkloadSpec, queries: usize) -> Result<(Workload, CellMeasurement)> {
     let params = spec.params();
     let model = spec.model_strategy();
     let setting = spec.setting;
-    let mut w = build_workload(spec);
+    let mut w = build_workload(spec)?;
     let t0 = std::time::Instant::now();
-    let (read_measured, read_calls) = avg_read_stats(&mut w, queries);
+    let (read_measured, read_calls) = avg_read_stats(&mut w, queries)?;
     let read_nanos = t0.elapsed().as_nanos() as u64;
     let t1 = std::time::Instant::now();
-    let (update_measured, update_calls) = avg_update_stats(&mut w, queries);
+    let (update_measured, update_calls) = avg_update_stats(&mut w, queries)?;
     let update_nanos = t1.elapsed().as_nanos() as u64;
     let cell = CellMeasurement {
         read_measured,
@@ -493,7 +488,7 @@ pub fn measure_cell(spec: WorkloadSpec, queries: usize) -> (Workload, CellMeasur
         read_calls,
         update_calls,
     };
-    (w, cell)
+    Ok((w, cell))
 }
 
 #[cfg(test)]
@@ -503,7 +498,7 @@ mod tests {
     #[test]
     fn workload_object_sizes_match_paper() {
         let spec = WorkloadSpec::paper(1, IndexSetting::Unclustered, None).scaled(200);
-        let w = build_workload(spec);
+        let w = build_workload(spec).unwrap();
         // r = 100 → 33 objects/page → 200 objects on ⌈200/33⌉ = 7 pages.
         let rfile = w.db.catalog().set(w.db.catalog().set_id("R").unwrap()).file;
         assert_eq!(w.db.sm().page_count(rfile).unwrap(), 7);
@@ -516,9 +511,9 @@ mod tests {
     fn queries_execute_and_measure() {
         for strategy in [None, Some(Strategy::InPlace), Some(Strategy::Separate)] {
             let spec = WorkloadSpec::paper(2, IndexSetting::Unclustered, strategy).scaled(500);
-            let mut w = build_workload(spec);
-            let r = measure_read_query(&mut w, 0);
-            let u = measure_update_query(&mut w, 0);
+            let mut w = build_workload(spec).unwrap();
+            let r = measure_read_query(&mut w, 0).unwrap();
+            let u = measure_update_query(&mut w, 0).unwrap();
             assert!(r > 0 && u > 0, "{strategy:?}: read={r} update={u}");
         }
     }
@@ -526,12 +521,14 @@ mod tests {
     #[test]
     fn replication_reduces_read_io() {
         let mut base =
-            build_workload(WorkloadSpec::paper(4, IndexSetting::Unclustered, None).scaled(1000));
+            build_workload(WorkloadSpec::paper(4, IndexSetting::Unclustered, None).scaled(1000))
+                .unwrap();
         let mut inp = build_workload(
             WorkloadSpec::paper(4, IndexSetting::Unclustered, Some(Strategy::InPlace)).scaled(1000),
-        );
-        let io_base = avg_read_io(&mut base, 3);
-        let io_inp = avg_read_io(&mut inp, 3);
+        )
+        .unwrap();
+        let io_base = avg_read_io(&mut base, 3).unwrap();
+        let io_inp = avg_read_io(&mut inp, 3).unwrap();
         assert!(
             io_inp < io_base,
             "in-place read I/O {io_inp} should beat baseline {io_base}"

@@ -158,8 +158,9 @@ fn setting_name(s: IndexSetting) -> &'static str {
     }
 }
 
-/// Run the suite matrix.
-pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
+/// Run the suite matrix. An engine error anywhere in the sweep is a
+/// found bug, not a measurement problem — it fails the whole suite.
+pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> Result<SuiteReport, String> {
     let mut points = Vec::new();
 
     // Analytical reference cells (Figures 12 and 14): pure model, so
@@ -200,7 +201,7 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
                 let spec = cfg.spec(sharing, setting, strategy);
                 let strat = strategy_name(strategy);
                 let base = format!("io/{}/f{sharing}/{strat}", setting_name(setting));
-                let (mut w, cell) = measure_cell(spec, cfg.queries);
+                let (mut w, cell) = measure_cell(spec, cfg.queries).map_err(|e| e.to_string())?;
                 points.push(BenchPoint {
                     id: format!("{base}/read"),
                     measured_io: cell.read_measured,
@@ -225,7 +226,7 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
                 // Propagation fan-out: the `core.propagate` slice of one
                 // profiled update vs. the model's propagation term.
                 if strategy.is_some() {
-                    let run = profile_update_query(&mut w, 0);
+                    let run = profile_update_query(&mut w, 0).map_err(|e| e.to_string())?;
                     let measured = run
                         .profile
                         .ops
@@ -262,7 +263,7 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
                 // measured I/O of one read query (records the
                 // `costmodel.drift.*` gauges as a side effect).
                 let q = read_query(&w, 0);
-                let (e, res) = explain_analyze_read(&mut w.db, &q).expect("explain analyze");
+                let (e, res) = explain_analyze_read(&mut w.db, &q).map_err(|e| e.to_string())?;
                 if let Some(f) = res.output_file {
                     w.db.sm().drop_file(f).ok();
                 }
@@ -283,7 +284,7 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
     // Telemetry overhead: the same workload with the always-on pipeline
     // engaged vs. the recorder disabled. Gated within one report (same
     // machine, same run), so the points carry only wall clock.
-    let (on_ms, off_ms) = measure_overhead(cfg);
+    let (on_ms, off_ms) = measure_overhead(cfg)?;
     for (mode, ms) in [("on", on_ms), ("off", off_ms)] {
         points.push(BenchPoint {
             id: format!("overhead/telemetry/{mode}"),
@@ -301,7 +302,7 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
     // statement) plus a monitoring client's sys.* scans, vs. the same
     // queries with the log disarmed. Gated within one report, like the
     // telemetry pair above.
-    let (on_ms, off_ms) = measure_introspect_overhead(cfg);
+    let (on_ms, off_ms) = measure_introspect_overhead(cfg)?;
     for (mode, ms) in [("on", on_ms), ("off", off_ms)] {
         points.push(BenchPoint {
             id: format!("overhead/introspect/{mode}"),
@@ -324,17 +325,17 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
     } else {
         crate::concurrency::ConcurrencyConfig::full()
     };
-    points.extend(crate::concurrency::run_concurrency(&conc).expect("concurrency sweep"));
+    points.extend(crate::concurrency::run_concurrency(&conc)?);
 
     // Durability: the WAL on/off page-I/O pin (deterministic, gated
     // cross-run) and the fsync-bound group-commit throughput sweep
     // (under the gate-exempt `concurrency/` prefix). As above, an
     // engine error here is a found bug — fail the suite loudly.
-    points.extend(crate::durability::run_durability(cfg.smoke).expect("durability sweep"));
+    points.extend(crate::durability::run_durability(cfg.smoke)?);
 
     let mut metrics = vec![export::run_meta_jsonl(run_id)];
     metrics.extend(export::snapshot_jsonl(&registry().snapshot()));
-    SuiteReport {
+    Ok(SuiteReport {
         schema_version: BENCH_SCHEMA_VERSION,
         run_id: run_id.to_string(),
         generated_unix: SystemTime::now()
@@ -344,7 +345,7 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
         smoke: cfg.smoke,
         points,
         metrics,
-    }
+    })
 }
 
 /// Wall clock of the always-on telemetry pipeline vs. the recorder
@@ -352,7 +353,7 @@ pub fn run_suite(cfg: &SuiteConfig, run_id: &str) -> SuiteReport {
 /// read + update query on a fixed in-place workload, after a warmup
 /// pass. The "on" mode additionally takes one timeline tick per pass —
 /// the configuration the engine actually ships with.
-fn measure_overhead(cfg: &SuiteConfig) -> (f64, f64) {
+fn measure_overhead(cfg: &SuiteConfig) -> Result<(f64, f64), String> {
     let sharing = cfg.sharings.last().copied().unwrap_or(1);
     let setting = cfg
         .settings
@@ -360,16 +361,16 @@ fn measure_overhead(cfg: &SuiteConfig) -> (f64, f64) {
         .copied()
         .unwrap_or(IndexSetting::Unclustered);
     let spec = cfg.spec(sharing, setting, Some(Strategy::InPlace));
-    let mut w = build_workload(spec);
+    let mut w = build_workload(spec).map_err(|e| e.to_string())?;
     let reps = if cfg.smoke { 3 } else { 5 };
     let was_on = recorder::enabled();
-    let mut best = |telemetry: bool| -> f64 {
+    let mut best = |telemetry: bool| -> Result<f64, String> {
         recorder::set_enabled(telemetry);
         let mut min = f64::INFINITY;
         for rep in 0..=reps {
             let t0 = Instant::now();
-            measure_read_query(&mut w, 0);
-            measure_update_query(&mut w, 0);
+            measure_read_query(&mut w, 0).map_err(|e| e.to_string())?;
+            measure_update_query(&mut w, 0).map_err(|e| e.to_string())?;
             if telemetry {
                 timeline::global_tick();
             }
@@ -378,14 +379,14 @@ fn measure_overhead(cfg: &SuiteConfig) -> (f64, f64) {
                 min = min.min(ms); // pass 0 is warmup
             }
         }
-        min
+        Ok(min)
     };
     // "on" runs first so any residual cache warmth favours "off",
     // overstating rather than hiding the overhead.
-    let on_ms = best(true);
-    let off_ms = best(false);
+    let on_ms = best(true)?;
+    let off_ms = best(false)?;
     recorder::set_enabled(was_on);
-    (on_ms, off_ms)
+    Ok((on_ms, off_ms))
 }
 
 /// Wall clock of the introspection subsystem armed vs. idle, as
@@ -396,7 +397,7 @@ fn measure_overhead(cfg: &SuiteConfig) -> (f64, f64) {
 /// front-end's hook), and scans `sys.metrics` + `sys.pool` once per
 /// pass — a monitoring client polling the engine. The "off" mode runs
 /// the identical queries with the log disarmed and no scans.
-fn measure_introspect_overhead(cfg: &SuiteConfig) -> (f64, f64) {
+fn measure_introspect_overhead(cfg: &SuiteConfig) -> Result<(f64, f64), String> {
     let sharing = cfg.sharings.last().copied().unwrap_or(1);
     let setting = cfg
         .settings
@@ -404,9 +405,9 @@ fn measure_introspect_overhead(cfg: &SuiteConfig) -> (f64, f64) {
         .copied()
         .unwrap_or(IndexSetting::Unclustered);
     let spec = cfg.spec(sharing, setting, Some(Strategy::InPlace));
-    let mut w = build_workload(spec);
+    let mut w = build_workload(spec).map_err(|e| e.to_string())?;
     let reps = if cfg.smoke { 3 } else { 5 };
-    let mut best = |introspect: bool| -> f64 {
+    let mut best = |introspect: bool| -> Result<f64, String> {
         if introspect {
             slowlog::set_thresholds(Some(0), None); // wall 0 ms: record everything
         } else {
@@ -416,9 +417,9 @@ fn measure_introspect_overhead(cfg: &SuiteConfig) -> (f64, f64) {
         for rep in 0..=reps {
             let t0 = Instant::now();
             let q = read_query(&w, 0);
-            w.db.flush_all().unwrap();
+            w.db.flush_all().map_err(|e| e.to_string())?;
             w.db.reset_profile();
-            let res = q.run(&mut w.db).expect("read query");
+            let res = q.run(&mut w.db).map_err(|e| e.to_string())?;
             if introspect {
                 w.db.observe_statement(
                     "suite read",
@@ -428,12 +429,12 @@ fn measure_introspect_overhead(cfg: &SuiteConfig) -> (f64, f64) {
                 );
             }
             if let Some(f) = res.output_file {
-                w.db.sm().drop_file(f).unwrap();
+                w.db.sm().drop_file(f).map_err(|e| e.to_string())?;
             }
             let uq = update_query(&w, 0);
-            w.db.flush_all().unwrap();
+            w.db.flush_all().map_err(|e| e.to_string())?;
             w.db.reset_profile();
-            let ur = uq.run(&mut w.db).expect("update query");
+            let ur = uq.run(&mut w.db).map_err(|e| e.to_string())?;
             if introspect {
                 w.db.observe_statement(
                     "suite update",
@@ -442,7 +443,9 @@ fn measure_introspect_overhead(cfg: &SuiteConfig) -> (f64, f64) {
                     ur.updated as u64,
                 );
                 for table in [obs_names::SYS_METRICS, obs_names::SYS_POOL] {
-                    SysQuery::on(table).run(&mut w.db).expect("sys scan");
+                    SysQuery::on(table)
+                        .run(&mut w.db)
+                        .map_err(|e| e.to_string())?;
                 }
             }
             let ms = t0.elapsed().as_nanos() as f64 / 1e6;
@@ -450,15 +453,15 @@ fn measure_introspect_overhead(cfg: &SuiteConfig) -> (f64, f64) {
                 min = min.min(ms); // pass 0 is warmup
             }
         }
-        min
+        Ok(min)
     };
     // "on" first, so residual cache warmth favours "off" (overstates
     // rather than hides the overhead), matching `measure_overhead`.
-    let on_ms = best(true);
-    let off_ms = best(false);
+    let on_ms = best(true)?;
+    let off_ms = best(false)?;
     slowlog::set_off();
     slowlog::clear();
-    (on_ms, off_ms)
+    Ok((on_ms, off_ms))
 }
 
 impl SuiteReport {
@@ -711,7 +714,7 @@ mod tests {
         let mut cfg = SuiteConfig::smoke();
         cfg.sharings = vec![2];
         cfg.s_count = 180;
-        let mut r = run_suite(&cfg, "test-run");
+        let mut r = run_suite(&cfg, "test-run").unwrap();
         // The overhead pairs are measured live and judged *within* the
         // new report, so under parallel-test load they can spuriously
         // clear the noise floor and break emptiness assertions. Pin

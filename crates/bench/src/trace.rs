@@ -8,6 +8,7 @@
 //! than derived.
 
 use crate::{measure_read_query, measure_update_query, Workload};
+use fieldrep_query::Result;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -34,7 +35,12 @@ impl TraceResult {
 /// Execute `n_queries` against the workload, each independently chosen to
 /// be an update with probability `p_update`, at rotating key offsets.
 /// Every query runs against a cold buffer pool (the paper's accounting).
-pub fn run_trace(w: &mut Workload, p_update: f64, n_queries: usize, seed: u64) -> TraceResult {
+pub fn run_trace(
+    w: &mut Workload,
+    p_update: f64,
+    n_queries: usize,
+    seed: u64,
+) -> Result<TraceResult> {
     assert!((0.0..=1.0).contains(&p_update));
     let mut rng = StdRng::seed_from_u64(seed);
     let read_span = (w.spec.read_sel * w.spec.r_count() as f64).round() as i64;
@@ -51,15 +57,15 @@ pub fn run_trace(w: &mut Workload, p_update: f64, n_queries: usize, seed: u64) -
     for _ in 0..n_queries {
         if rng.gen_bool(p_update) {
             let lo = rng.gen_range(0..max_update_lo);
-            result.total_io += measure_update_query(w, lo);
+            result.total_io += measure_update_query(w, lo)?;
             result.updates += 1;
         } else {
             let lo = rng.gen_range(0..max_read_lo);
-            result.total_io += measure_read_query(w, lo);
+            result.total_io += measure_read_query(w, lo)?;
             result.reads += 1;
         }
     }
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -73,8 +79,8 @@ mod tests {
     fn trace_mixes_reads_and_updates() {
         let spec =
             WorkloadSpec::paper(2, IndexSetting::Unclustered, Some(Strategy::InPlace)).scaled(400);
-        let mut w = build_workload(spec);
-        let r = run_trace(&mut w, 0.5, 20, 42);
+        let mut w = build_workload(spec).unwrap();
+        let r = run_trace(&mut w, 0.5, 20, 42).unwrap();
         assert_eq!(r.queries, 20);
         assert_eq!(r.reads + r.updates, 20);
         assert!(r.reads > 0 && r.updates > 0);
@@ -84,10 +90,10 @@ mod tests {
     #[test]
     fn pure_read_and_pure_update_traces() {
         let spec = WorkloadSpec::paper(2, IndexSetting::Unclustered, None).scaled(400);
-        let mut w = build_workload(spec);
-        let reads = run_trace(&mut w, 0.0, 5, 1);
+        let mut w = build_workload(spec).unwrap();
+        let reads = run_trace(&mut w, 0.0, 5, 1).unwrap();
         assert_eq!(reads.updates, 0);
-        let updates = run_trace(&mut w, 1.0, 5, 1);
+        let updates = run_trace(&mut w, 1.0, 5, 1).unwrap();
         assert_eq!(updates.reads, 0);
     }
 
@@ -95,10 +101,10 @@ mod tests {
     fn trace_c_total_interpolates_between_endpoints() {
         let spec =
             WorkloadSpec::paper(4, IndexSetting::Unclustered, Some(Strategy::Separate)).scaled(500);
-        let mut w = build_workload(spec);
-        let r0 = run_trace(&mut w, 0.0, 8, 7).c_total();
-        let r1 = run_trace(&mut w, 1.0, 8, 7).c_total();
-        let mid = run_trace(&mut w, 0.5, 16, 7).c_total();
+        let mut w = build_workload(spec).unwrap();
+        let r0 = run_trace(&mut w, 0.0, 8, 7).unwrap().c_total();
+        let r1 = run_trace(&mut w, 1.0, 8, 7).unwrap().c_total();
+        let mid = run_trace(&mut w, 0.5, 16, 7).unwrap().c_total();
         let (lo, hi) = (r0.min(r1), r0.max(r1));
         assert!(
             mid >= lo * 0.8 && mid <= hi * 1.2,

@@ -12,7 +12,7 @@ use fieldrep_query::explain_analyze_read;
 fn read_drift_stays_bounded_for_every_strategy() {
     for strategy in ALL_STRATEGIES {
         let spec = WorkloadSpec::paper(10, IndexSetting::Unclustered, strategy).scaled(2000);
-        let mut w = build_workload(spec);
+        let mut w = build_workload(spec).expect("build workload");
         let q = read_query(&w, 0);
         let (e, res) = explain_analyze_read(&mut w.db, &q).unwrap();
         if let Some(f) = res.output_file {

@@ -40,8 +40,9 @@ fn check_invariant(run: &ProfiledRun) {
 fn read_query_operator_io_sums_to_raw_totals() {
     for strat in STRATEGIES {
         let mut w =
-            build_workload(WorkloadSpec::paper(10, IndexSetting::Unclustered, strat).scaled(500));
-        let run = profile_read_query(&mut w, 3);
+            build_workload(WorkloadSpec::paper(10, IndexSetting::Unclustered, strat).scaled(500))
+                .expect("build workload");
+        let run = profile_read_query(&mut w, 3).expect("profiled read");
         assert!(run.rows > 0, "read returned rows");
         check_invariant(&run);
         // The profile must attribute I/O to real operators, not just
@@ -60,8 +61,9 @@ fn read_query_operator_io_sums_to_raw_totals() {
 fn update_query_operator_io_sums_to_raw_totals() {
     for strat in STRATEGIES {
         let mut w =
-            build_workload(WorkloadSpec::paper(10, IndexSetting::Unclustered, strat).scaled(500));
-        let run = profile_update_query(&mut w, 3);
+            build_workload(WorkloadSpec::paper(10, IndexSetting::Unclustered, strat).scaled(500))
+                .expect("build workload");
+        let run = profile_update_query(&mut w, 3).expect("profiled update");
         assert!(run.rows > 0, "update touched objects");
         check_invariant(&run);
         if strat.is_some() {
@@ -83,8 +85,9 @@ fn update_query_operator_io_sums_to_raw_totals() {
 fn profiled_runs_capture_span_trees() {
     let mut w = build_workload(
         WorkloadSpec::paper(10, IndexSetting::Unclustered, Some(Strategy::InPlace)).scaled(500),
-    );
-    let read = profile_read_query(&mut w, 0);
+    )
+    .expect("build workload");
+    let read = profile_read_query(&mut w, 0).expect("profiled read");
     let root = read
         .spans
         .iter()
@@ -96,7 +99,7 @@ fn profiled_runs_capture_span_trees() {
     );
     assert_eq!(root.io, io_counts_of(&read.raw), "root span sees all I/O");
 
-    let update = profile_update_query(&mut w, 0);
+    let update = profile_update_query(&mut w, 0).expect("profiled update");
     let root = update
         .spans
         .iter()

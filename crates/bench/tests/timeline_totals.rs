@@ -18,7 +18,7 @@ fn timeline_storage_deltas_sum_exactly_to_pool_totals() {
         WorkloadSpec::paper(2, IndexSetting::Unclustered, Some(Strategy::InPlace)).scaled(300);
     spec.read_sel = 0.02;
     spec.update_sel = 0.02;
-    let mut w = build_workload(spec);
+    let mut w = build_workload(spec).expect("build workload");
 
     // Baseline tick after the build settles, so the measured window is
     // exactly [baseline tick, final tick].

@@ -76,12 +76,12 @@ pub fn create_store(sm: &StorageManager, link: &LinkDef, entries: &[TaggedEntry]
     let chunks: Vec<&[TaggedEntry]> = entries.chunks(MAX_CHUNK_PAIRS).collect();
     let mut next = None;
     for chunk in chunks.iter().rev() {
-        let oid = hf.insert(sm, LINK_TAG, &encode_chunk(next, chunk))?;
+        let oid = hf.rec_insert(sm, LINK_TAG, &encode_chunk(next, chunk))?;
         next = Some(oid);
     }
     match next {
         Some(h) => Ok(h),
-        None => Ok(hf.insert(sm, LINK_TAG, &encode_chunk(None, &[]))?),
+        None => Ok(hf.rec_insert(sm, LINK_TAG, &encode_chunk(None, &[]))?),
     }
 }
 
@@ -153,18 +153,18 @@ fn rewrite_store(
     };
     // Allocate extra chunk records if the new content needs more.
     while chain.len() < chunks.len() {
-        let oid = hf.insert(sm, LINK_TAG, &encode_chunk(None, &[]))?;
+        let oid = hf.rec_insert(sm, LINK_TAG, &encode_chunk(None, &[]))?;
         chain.push(oid);
     }
     // Free surplus records (never the head).
     while chain.len() > chunks.len().max(1) {
         let victim = chain.pop().unwrap();
-        hf.delete(sm, victim)?;
+        hf.rec_delete(sm, victim)?;
     }
     // Write chunks front to back with correct next pointers.
     for (i, chunk) in chunks.iter().enumerate() {
         let next = chain.get(i + 1).copied();
-        hf.update(sm, chain[i], &encode_chunk(next, chunk))?;
+        hf.rec_update(sm, chain[i], &encode_chunk(next, chunk))?;
     }
     Ok(())
 }
@@ -255,7 +255,7 @@ pub fn destroy_store(sm: &StorageManager, link: &LinkDef, head: Oid) -> Result<(
     while let Some(oid) = cur {
         let (_, payload) = hf.read(sm, oid)?;
         let (next, _) = decode_chunk(&payload);
-        hf.delete(sm, oid)?;
+        hf.rec_delete(sm, oid)?;
         cur = next;
     }
     Ok(())

@@ -139,7 +139,7 @@ impl Database {
             }
         }
         for oid in old {
-            hf.delete(&self.sm, oid)?;
+            hf.rec_delete(&self.sm, oid)?;
         }
         // Write the new image as sequence-numbered chunks.
         let max = fieldrep_storage::MAX_RECORD_PAYLOAD - 8;
@@ -148,7 +148,7 @@ impl Database {
             payload.extend_from_slice(&(seq as u32).to_le_bytes());
             payload.extend_from_slice(&(image.chunks(max).count() as u32).to_le_bytes());
             payload.extend_from_slice(chunk);
-            hf.insert(&self.sm, 0xFFFC, &payload)?;
+            hf.rec_insert(&self.sm, 0xFFFC, &payload)?;
         }
         Ok(self.sm.checkpoint()?)
     }
@@ -529,7 +529,8 @@ impl Database {
                         (find_anchor(&tobj, group.id.0), group_values(&group, &tobj))
                     };
                     debug_assert!(roid.is_none(), "fresh group has no anchors yet");
-                    let roid = rf.insert(&self.sm, REPLICA_TAG, &Value::encode_list(&values))?;
+                    let roid =
+                        rf.rec_insert(&self.sm, REPLICA_TAG, &Value::encode_list(&values))?;
                     {
                         let ctx = self.ctx();
                         let mut tobj = read_object(ctx.sm, ctx.cat, *t)?;
@@ -775,7 +776,7 @@ impl Database {
         }
         let hf = HeapFile::open(set.file);
         let payload = obj.encode(&def);
-        let oid = hf.insert(&self.sm, set.elem_type.0, &payload)?;
+        let oid = hf.rec_insert(&self.sm, set.elem_type.0, &payload)?;
 
         // Base-field index maintenance.
         let idxs: Vec<(usize, FileId)> = self
@@ -866,6 +867,7 @@ impl Database {
 
     /// [`Database::update`] minus the WAL apply-section guard. Callers
     /// must already hold the apply section (the guard is non-reentrant).
+    // lint: allow(L7) both callers (update, Txn::update_txn) hold the apply section
     pub(crate) fn apply_update(&self, oid: Oid, changes: &[(&str, Value)]) -> Result<()> {
         let set = self.set_of(oid)?;
         let set_def = self.catalog.set(set).clone();
@@ -986,7 +988,7 @@ impl Database {
             BTreeIndex::open(file).delete(&self.sm, &value_key(&obj.values[f]), oid)?;
         }
         let hf = HeapFile::open(oid.file);
-        hf.delete(&self.sm, oid)?;
+        hf.rec_delete(&self.sm, oid)?;
         self.pending.purge_object(oid);
         Ok(())
     }

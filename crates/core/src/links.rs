@@ -77,13 +77,13 @@ pub fn create_link_store(sm: &StorageManager, link: &LinkDef, members: &[Oid]) -
     // Write from the last chunk backwards; the head is written last. (For
     // the common single-chunk case this is one insert.)
     for chunk in chunks.iter().rev() {
-        let oid = hf.insert(sm, LINK_TAG, &encode_chunk(link.level as u8, next, chunk))?;
+        let oid = hf.rec_insert(sm, LINK_TAG, &encode_chunk(link.level as u8, next, chunk))?;
         next = Some(oid);
     }
     // An empty member list still gets one (empty) head chunk.
     match next {
         Some(h) => Ok(h),
-        None => Ok(hf.insert(sm, LINK_TAG, &encode_chunk(link.level as u8, None, &[]))?),
+        None => Ok(hf.rec_insert(sm, LINK_TAG, &encode_chunk(link.level as u8, None, &[]))?),
     }
 }
 
@@ -245,12 +245,12 @@ fn chain_insert(sm: &StorageManager, link: &LinkDef, head: Oid, member: Oid) -> 
             Err(pos) => members.insert(pos, member),
         }
         if members.len() <= MAX_CHUNK_MEMBERS {
-            hf.update(sm, cur, &encode_chunk(level, next, &members))?;
+            hf.rec_update(sm, cur, &encode_chunk(level, next, &members))?;
         } else {
             // Split: upper half moves to a new chunk after this one.
             let upper = members.split_off(members.len() / 2);
-            let new_chunk = hf.insert(sm, LINK_TAG, &encode_chunk(level, next, &upper))?;
-            hf.update(sm, cur, &encode_chunk(level, Some(new_chunk), &members))?;
+            let new_chunk = hf.rec_insert(sm, LINK_TAG, &encode_chunk(level, next, &upper))?;
+            hf.rec_update(sm, cur, &encode_chunk(level, Some(new_chunk), &members))?;
         }
         return Ok(true);
     }
@@ -387,15 +387,15 @@ fn chain_remove(
                                 // Absorb the successor into the head.
                                 let (_, spayload) = hf.read(sm, succ)?;
                                 let (slevel, snext, smembers) = decode_chunk(&spayload);
-                                hf.update(sm, coid, &encode_chunk(slevel, snext, &smembers))?;
-                                hf.delete(sm, succ)?;
+                                hf.rec_update(sm, coid, &encode_chunk(slevel, snext, &smembers))?;
+                                hf.rec_delete(sm, succ)?;
                                 remaining += smembers.len();
                                 cur = snext;
                                 prev = Some((coid, slevel, snext, smembers));
                                 continue;
                             }
                             None => {
-                                hf.delete(sm, coid)?;
+                                hf.rec_delete(sm, coid)?;
                                 return Ok((true, remaining));
                             }
                         }
@@ -403,14 +403,14 @@ fn chain_remove(
                         // Unlink this chunk from its predecessor.
                         let (poid, plevel, _pnext, pmembers) =
                             prev.clone().expect("non-head chunk has a predecessor");
-                        hf.update(sm, poid, &encode_chunk(plevel, next, &pmembers))?;
-                        hf.delete(sm, coid)?;
+                        hf.rec_update(sm, poid, &encode_chunk(plevel, next, &pmembers))?;
+                        hf.rec_delete(sm, coid)?;
                         cur = next;
                         // prev stays the same.
                         continue;
                     }
                 } else {
-                    hf.update(sm, coid, &encode_chunk(level, next, &members))?;
+                    hf.rec_update(sm, coid, &encode_chunk(level, next, &members))?;
                 }
             }
         }
@@ -428,7 +428,7 @@ fn destroy_chain(sm: &StorageManager, link: &LinkDef, head: Oid) -> Result<()> {
     while let Some(coid) = cur {
         let (_, payload) = hf.read(sm, coid)?;
         let (_, next, _) = decode_chunk(&payload);
-        hf.delete(sm, coid)?;
+        hf.rec_delete(sm, coid)?;
         cur = next;
     }
     Ok(())

@@ -26,7 +26,7 @@ pub fn write_object(sm: &StorageManager, cat: &Catalog, oid: Oid, obj: &Object) 
     let def = cat.type_def(obj.type_id);
     let payload = obj.encode(def);
     let hf = HeapFile::open(oid.file);
-    hf.update(sm, oid, &payload)?;
+    hf.rec_update(sm, oid, &payload)?;
     Ok(())
 }
 

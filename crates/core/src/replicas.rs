@@ -38,7 +38,7 @@ pub fn write_replica(
     values: &[Value],
 ) -> Result<()> {
     let hf = HeapFile::open(group.file);
-    hf.update(sm, oid, &Value::encode_list(values))?;
+    hf.rec_update(sm, oid, &Value::encode_list(values))?;
     Ok(())
 }
 
@@ -92,7 +92,7 @@ pub fn anchor_acquire(
         None => {
             let values = group_values(group, &obj);
             let hf = HeapFile::open(group.file);
-            let roid = hf.insert(sm, REPLICA_TAG, &Value::encode_list(&values))?;
+            let roid = hf.rec_insert(sm, REPLICA_TAG, &Value::encode_list(&values))?;
             obj.annotations.push(Annotation::ReplicaAnchor {
                 group: group.id.0,
                 oid: roid,
@@ -124,7 +124,7 @@ pub fn anchor_release(
     let rc = rc.saturating_sub(delta);
     if rc == 0 {
         let hf = HeapFile::open(group.file);
-        hf.delete(sm, roid)?;
+        hf.rec_delete(sm, roid)?;
         obj.annotations.remove(i);
     } else {
         obj.annotations[i] = Annotation::ReplicaAnchor {

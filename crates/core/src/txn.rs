@@ -52,7 +52,7 @@ use crate::replicas::{find_anchor, find_replica_ref};
 use fieldrep_catalog::{GroupId, LinkId, PathId, RepPathDef, Strategy};
 use fieldrep_model::{Annotation, Object, Value};
 use fieldrep_obs::{metrics, names as obs_names};
-use fieldrep_storage::Oid;
+use fieldrep_storage::{lockorder, Oid};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -203,9 +203,21 @@ impl LockTable {
 
 /// Guard over a sorted set of acquired OID write locks. Dropping it
 /// bumps every version to even (ripple complete) and releases the locks.
+/// Guard for the coarse index-maintenance mutex; carries the runtime
+/// lock-order token (rank [`lockorder::TXN_INDEX_GUARD`]).
+pub(crate) struct IndexGuard<'a> {
+    _guard: parking_lot::MutexGuard<'a, ()>,
+    _order: lockorder::Held,
+}
+
+/// The sorted set of per-OID write locks one transactional write
+/// holds; releasing it (drop) bumps every member's version to even.
 pub struct LockSet {
     oids: Vec<Oid>,
     locks: Vec<Arc<OidLock>>,
+    /// Runtime lock-order token for the whole (internally ordered)
+    /// seqlock family this set holds.
+    _order: lockorder::Held,
 }
 
 impl LockSet {
@@ -356,6 +368,10 @@ impl TxnManager {
                 "lock_sorted requires a sorted, deduplicated OID set".into(),
             ));
         }
+        // One order token covers the whole family: members are acquired
+        // in sorted OID order below, which is the family's internal
+        // order (rank ties are legal within it).
+        let order = lockorder::acquired(lockorder::OID_SEQLOCK, true, "OidSeqlock");
         let mut locks: Vec<Arc<OidLock>> = Vec::with_capacity(oids.len());
         for &oid in oids {
             let l = self.table.entry(oid);
@@ -373,6 +389,7 @@ impl TxnManager {
                     drop(LockSet {
                         oids: oids[..locks.len()].to_vec(),
                         locks,
+                        _order: order,
                     });
                     return Err(e);
                 }
@@ -382,6 +399,7 @@ impl TxnManager {
         Ok(LockSet {
             oids: oids.to_vec(),
             locks,
+            _order: order,
         })
     }
 
@@ -892,8 +910,12 @@ impl Database {
 impl TxnManager {
     /// Take the coarse index-maintenance guard (see
     /// [`TxnManager::index_guard`]).
-    pub(crate) fn index_lock(&self) -> parking_lot::MutexGuard<'_, ()> {
-        self.index_guard.lock()
+    pub(crate) fn index_lock(&self) -> IndexGuard<'_> {
+        let order = lockorder::acquired(lockorder::TXN_INDEX_GUARD, false, "TxnIndexGuard");
+        IndexGuard {
+            _guard: self.index_guard.lock(),
+            _order: order,
+        }
     }
 }
 

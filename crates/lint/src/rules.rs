@@ -1,5 +1,8 @@
 //! The rule engine: L1 layering, L2 name registry, L3 panic budget,
-//! L4 lock discipline — all token-pattern checks over library sources.
+//! L4 lock discipline — token-pattern checks over library sources —
+//! plus the interprocedural pass for L5 lock-order, L6
+//! blocking-under-lock, and L7 apply-section coverage (see
+//! [`crate::callgraph`] and [`crate::locks`]).
 //!
 //! Scope: `crates/*/src/**/*.rs` and the root crate's `src/**/*.rs`,
 //! minus `src/bin/` binaries and `#[cfg(test)]` modules. A finding on a
@@ -9,6 +12,8 @@
 //! `lint_budget.toml` alongside the panic counts.
 
 use crate::budget::Budget;
+use crate::callgraph;
+use crate::locks;
 use crate::registry::{drift_metrics, registry_const_defs, Registry};
 use crate::tokens::{tokenize, Tok, TokKind};
 use std::collections::{BTreeMap, BTreeSet};
@@ -22,7 +27,7 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line.
     pub line: u32,
-    /// Rule id (`L1`..`L4`, `suppression`, `budget`).
+    /// Rule id (`L1`..`L7`, `suppression`, `budget`).
     pub rule: &'static str,
     /// Human-readable message.
     pub msg: String,
@@ -48,6 +53,9 @@ pub struct Report {
     pub panic_counts: BTreeMap<String, u64>,
     /// Total `// lint: allow(..)` markers seen.
     pub suppressions: u64,
+    /// Findings silenced by a reasoned allow marker (reported by
+    /// `--json` so suppressions stay visible to tooling).
+    pub suppressed: Vec<Diagnostic>,
 }
 
 /// A parsed suppression marker.
@@ -107,6 +115,9 @@ pub fn run_checks(root: &Path) -> std::io::Result<Report> {
     // Ident usages outside the registry file itself, for the dead-name
     // check — tests count as usages, so collect before stripping.
     let mut used_idents: BTreeSet<String> = BTreeSet::new();
+    // Pass-1 collection for the interprocedural L5/L6/L7 pass.
+    let mut all_fns: Vec<callgraph::FnInfo> = Vec::new();
+    let mut allow_map: BTreeMap<String, Vec<Allow>> = BTreeMap::new();
 
     for file in source_files(root)? {
         let rel = file
@@ -151,13 +162,16 @@ pub fn run_checks(root: &Path) -> std::io::Result<Report> {
             let suppressed = allows
                 .iter()
                 .any(|a| a.rule == rule && a.has_reason && (a.line == line || a.line + 1 == line));
-            if !suppressed {
-                report.diags.push(Diagnostic {
-                    file: rel.clone(),
-                    line,
-                    rule,
-                    msg,
-                });
+            let diag = Diagnostic {
+                file: rel.clone(),
+                line,
+                rule,
+                msg,
+            };
+            if suppressed {
+                report.suppressed.push(diag);
+            } else {
+                report.diags.push(diag);
             }
         };
 
@@ -189,7 +203,29 @@ pub fn run_checks(root: &Path) -> std::io::Result<Report> {
                 );
             }
         }
-        *report.panic_counts.entry(crate_key).or_insert(0) += count_panics(&toks);
+        *report.panic_counts.entry(crate_key.clone()).or_insert(0) += count_panics(&toks);
+        if crate_key != "crates/lint" {
+            all_fns.extend(callgraph::scan_file(&rel, &toks));
+        }
+        allow_map.insert(rel, allows);
+    }
+    // Pass 2: resolve the call graph, run the summary fixpoint, and
+    // check lock order (L5), blocking-under-lock (L6), and apply
+    // coverage (L7) — suppression markers apply at the anchor line.
+    let graph = callgraph::Graph::build(all_fns);
+    for diag in locks::check_lockflow(&graph) {
+        let suppressed = allow_map.get(&diag.file).is_some_and(|allows| {
+            allows.iter().any(|a| {
+                a.rule == diag.rule
+                    && a.has_reason
+                    && (a.line == diag.line || a.line + 1 == diag.line)
+            })
+        });
+        if suppressed {
+            report.suppressed.push(diag);
+        } else {
+            report.diags.push(diag);
+        }
     }
     if blessed_file_seen && blessed_acquires != 1 {
         report.diags.push(Diagnostic {
@@ -222,6 +258,9 @@ pub fn run_checks(root: &Path) -> std::io::Result<Report> {
 
     report
         .diags
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report
+        .suppressed
         .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(report)
 }

@@ -193,6 +193,39 @@ pub fn tokenize(src: &str) -> Tokens {
                         }
                         continue;
                     }
+                    // Raw identifier (`r#move`): emit the bare name so call
+                    // sites and definitions match under the same key.
+                    if text == "r"
+                        && hashes == 1
+                        && b.get(i)
+                            .is_some_and(|c| c.is_ascii_alphabetic() || *c == '_')
+                    {
+                        let start = i;
+                        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                            i += 1;
+                        }
+                        out.toks.push(Tok {
+                            kind: TokKind::Ident,
+                            text: b[start..i].iter().collect(),
+                            line: tok_line,
+                        });
+                        continue;
+                    }
+                    // Not a raw string or raw ident after all (`b#` etc.):
+                    // keep the prefix ident and re-emit the swallowed hashes.
+                    out.toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text,
+                        line: tok_line,
+                    });
+                    for _ in 0..hashes {
+                        out.toks.push(Tok {
+                            kind: TokKind::Punct,
+                            text: "#".into(),
+                            line: tok_line,
+                        });
+                    }
+                    continue;
                 }
                 out.toks.push(Tok {
                     kind: TokKind::Ident,
@@ -261,6 +294,57 @@ mod tests {
         assert_eq!(t.comments[0].text, "c1");
         assert_eq!(t.comments[1].text, "c2");
         assert!(!t.toks.iter().any(|t| t.kind == TokKind::Str));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_bare_name() {
+        let t = tokenize("fn r#move(x: u32) { r#move(x) }");
+        let texts: Vec<&str> = t.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["fn", "move", "(", "x", ":", "u32", ")", "{", "move", "(", "x", ")", "}"]
+        );
+    }
+
+    #[test]
+    fn turbofish_and_nested_generics_keep_punctuation_balanced() {
+        let t = tokenize("let v = xs.iter().collect::<Vec<Option<&'a str>>>();");
+        let texts: Vec<&str> = t.toks.iter().map(|t| t.text.as_str()).collect();
+        // `::` stays fused before the turbofish and every angle bracket
+        // survives as its own punct (no string/lifetime confusion).
+        assert!(texts.windows(2).any(|w| w == ["::", "<"]));
+        let lt = texts.iter().filter(|t| **t == "<").count();
+        let gt = texts.iter().filter(|t| **t == ">").count();
+        assert_eq!(lt, 3);
+        assert_eq!(gt, 3);
+        assert!(!t.toks.iter().any(|t| t.kind == TokKind::Str));
+    }
+
+    #[test]
+    fn impl_methods_with_where_clauses_tokenize_cleanly() {
+        let src = "impl<T> Store<T> {\n    fn put<K>(&mut self, k: K) -> bool\n    where\n        K: Into<T>,\n    {\n        self.items.push(k.into());\n        true\n    }\n}";
+        let t = tokenize(src);
+        let fn_pos = t.toks.iter().position(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(t.toks[fn_pos + 1].text, "put");
+        assert_eq!(t.toks[fn_pos + 1].line, 2);
+        assert!(t.toks.iter().any(|t| t.is_ident("where")));
+        // The body open brace lands after the where clause, on line 5.
+        let braces: Vec<u32> = t
+            .toks
+            .iter()
+            .filter(|t| t.is_punct("{"))
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(braces, [1, 5]);
+    }
+
+    #[test]
+    fn macro_invocation_bodies_yield_their_inner_tokens() {
+        let t = tokenize("vec![a.lock(), write!(f, \"{x:?}\")?];");
+        let texts: Vec<&str> = t.toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.windows(4).any(|w| w == ["a", ".", "lock", "("]));
+        assert!(texts.windows(2).any(|w| w == ["write", "!"]));
+        assert_eq!(t.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Fixture engine: exactly one L5 violation, reached *through* the
+//! call graph — the caller holds a higher-ranked lock while a callee
+//! blocking-acquires a lower-ranked one.
+
+pub struct Engine {
+    txn: TxnManager,
+    idx: IndexState,
+    wal: Wal,
+}
+
+impl Engine {
+    fn reindex(&self) {
+        // Fine in isolation (nothing held here): the index guard is the
+        // lowest rank in the declared order.
+        let _g = self.idx.index_lock();
+    }
+
+    pub fn bad_order(&self, oids: &[Oid]) {
+        let _set = self.txn.lock_sorted(oids); // OidSeqlock held
+        // L5 fires here: the callee blocking-acquires TxnIndexGuard
+        // (rank below OidSeqlock) while OidSeqlock is held.
+        self.reindex();
+    }
+
+    pub fn good_order(&self, oids: &[Oid]) {
+        // Fine: strictly increasing ranks.
+        let _g = self.idx.index_lock();
+        let _set = self.txn.lock_sorted(oids);
+    }
+
+    pub fn evict_probe(&self, frame: &Frame) {
+        let mut g = frame.data_mut(); // FrameData held
+        // Fine: a try-acquire cannot deadlock, so probing the
+        // lower-ranked apply section creates no L5 order edge.
+        if let Some(_a) = self.wal.try_apply_lock() {
+            g[0] = 0;
+        }
+    }
+}

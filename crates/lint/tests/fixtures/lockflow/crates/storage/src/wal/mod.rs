@@ -1,0 +1,27 @@
+//! Fixture WAL crate: exactly one L6 violation — the PR 9
+//! group-commit bug shape, fsync inside the `WalInner` append section.
+
+pub struct Wal {
+    inner: Mutex<WalInner>,
+}
+
+impl Wal {
+    pub fn append_commit(&self, frame: &[u8]) -> u64 {
+        let mut inner = self.inner.lock(); // WalAppend acquired
+        // Fine: the append lock exists to cover LSN assignment plus the
+        // buffered log write (LogIo is not forbidden here).
+        inner.store.wal_append(frame);
+        // L6 fires here (fsync while WalAppend is held):
+        inner.store.wal_sync();
+        inner.next_lsn
+    }
+
+    pub fn sync_after_drop(&self) {
+        {
+            let mut inner = self.inner.lock();
+            inner.store.wal_append(b"tail");
+        }
+        // Fine: the append lock is released before the fsync.
+        self.store.wal_sync();
+    }
+}

@@ -602,7 +602,7 @@ impl ReadQuery {
                         payload.resize(target, 0);
                     }
                 }
-                hf.insert(db.sm(), 0xFFFD, &payload)?;
+                hf.rec_insert(db.sm(), 0xFFFD, &payload)?;
             }
             Some(hf.file)
         } else {

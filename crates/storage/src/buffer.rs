@@ -55,6 +55,7 @@
 use crate::checksum;
 use crate::disk::DiskManager;
 use crate::error::{Result, StorageError};
+use crate::lockorder;
 use crate::oid::{FileId, PageId};
 use crate::page::PAGE_SIZE;
 use crate::stats::IoProfile;
@@ -172,6 +173,12 @@ mod lockcheck {
     }
 }
 
+/// Runtime lock-order token for the pool metadata mutex (rank
+/// [`lockorder::POOL_CORE`]); bound right before each `core.lock()`.
+fn core_order() -> lockorder::Held {
+    lockorder::acquired(lockorder::POOL_CORE, false, "PoolCore")
+}
+
 struct FrameInner {
     data: RwLock<PageBuf>,
     dirty: AtomicBool,
@@ -191,6 +198,7 @@ struct FrameInner {
 /// thread to enforce the pool's lock discipline (see the lint's L4 rule).
 pub struct PageWriteGuard<'a> {
     guard: RwLockWriteGuard<'a, PageBuf>,
+    _order: lockorder::Held,
 }
 
 impl std::ops::Deref for PageWriteGuard<'_> {
@@ -233,6 +241,10 @@ impl PageHandle {
 
     /// Exclusive write access; marks the page dirty.
     pub fn data_mut(&self) -> PageWriteGuard<'_> {
+        // Frame latches are a reentrant rank family: multi-frame work
+        // goes through the ordered batch helper (checked separately by
+        // the guard counters below).
+        let order = lockorder::acquired(lockorder::FRAME_DATA, true, "FrameData");
         let guard = self.inner.data.write();
         #[cfg(debug_assertions)]
         lockcheck::guard_acquired();
@@ -241,7 +253,10 @@ impl PageHandle {
         // count a spurious write-back for a page that hasn't changed.
         self.inner.dirty.store(true, Ordering::Relaxed);
         self.inner.unlogged.store(true, Ordering::Relaxed);
-        PageWriteGuard { guard }
+        PageWriteGuard {
+            guard,
+            _order: order,
+        }
     }
 
     /// Whether the frame is currently marked dirty (write-back pending).
@@ -432,6 +447,7 @@ impl BufferPool {
     /// Issue a durability barrier on the backing disk (fsync every data
     /// file on a [`crate::FileDisk`]).
     pub fn sync_disk(&self) -> Result<()> {
+        let _o = core_order();
         self.core.lock().disk.sync()
     }
 
@@ -455,6 +471,7 @@ impl BufferPool {
         // snapshot below.
         let mut handles: Vec<PageHandle> = Vec::new();
         {
+            let _o = core_order();
             let core = self.core.lock();
             for (idx, f) in core.frames.iter().enumerate() {
                 if let Some(pid) = f.pid {
@@ -503,17 +520,20 @@ impl BufferPool {
 
     /// Create a file on the backing disk.
     pub fn create_file(&self) -> Result<FileId> {
+        let _o = core_order();
         self.core.lock().disk.create_file()
     }
 
     /// Drop a file: discard its buffered pages (without write-back) and
     /// remove it from disk.
     pub fn drop_file(&self, file: FileId) -> Result<()> {
+        let _o = core_order();
         self.core.lock().drop_file(file)
     }
 
     /// Number of pages in a file.
     pub fn page_count(&self, file: FileId) -> Result<u32> {
+        let _o = core_order();
         self.core.lock().disk.page_count(file)
     }
 
@@ -523,6 +543,7 @@ impl BufferPool {
     pub fn new_page(&self, file: FileId) -> Result<(PageId, PageHandle)> {
         #[cfg(debug_assertions)]
         lockcheck::check_frame_acquire("BufferPool::new_page");
+        let _o = core_order();
         self.core.lock().new_page(file)
     }
 
@@ -530,6 +551,7 @@ impl BufferPool {
     pub fn fetch(&self, pid: PageId) -> Result<PageHandle> {
         #[cfg(debug_assertions)]
         lockcheck::check_frame_acquire("BufferPool::fetch");
+        let _o = core_order();
         self.core.lock().fetch(pid)
     }
 
@@ -552,6 +574,8 @@ impl BufferPool {
         // guard cannot form a cycle with them.
         #[cfg(debug_assertions)]
         let _batch = lockcheck::BatchScope::enter();
+        let _exempt = lockorder::frame_batch_exempt();
+        let _o = core_order();
         self.core.lock().get_pages_batch(pids)
     }
 
@@ -565,6 +589,8 @@ impl BufferPool {
         lockcheck::check_frame_acquire("BufferPool::prefetch");
         #[cfg(debug_assertions)]
         let _batch = lockcheck::BatchScope::enter();
+        let _exempt = lockorder::frame_batch_exempt();
+        let _o = core_order();
         self.core.lock().prefetch(pids)
     }
 
@@ -575,6 +601,7 @@ impl BufferPool {
         // must never make half an operation durable. Lock order is
         // apply → core (eviction inside core only *probes* apply).
         let _apply = self.wal.as_ref().map(|w| w.apply_lock());
+        let _o = core_order();
         self.core.lock().flush_page(pid)
     }
 
@@ -583,11 +610,13 @@ impl BufferPool {
     pub fn flush_all(&self) -> Result<()> {
         // See flush_page for why the apply section is held.
         let _apply = self.wal.as_ref().map(|w| w.apply_lock());
+        let _o = core_order();
         self.core.lock().flush_all()
     }
 
     /// Combined disk + pool statistics.
     pub fn io_profile(&self) -> IoProfile {
+        let _o = core_order();
         let core = self.core.lock();
         IoProfile {
             disk: core.disk.stats(),
@@ -604,6 +633,7 @@ impl BufferPool {
     /// the disk and pool counters separately lets them drift out of a
     /// common baseline, which silently skews measured hit ratios.
     pub fn reset_profile(&self) {
+        let _o = core_order();
         let mut core = self.core.lock();
         core.disk.reset_stats();
         core.hits = 0;
@@ -622,6 +652,7 @@ impl BufferPool {
     /// Reads only in-memory frame flags — no page I/O — so introspection
     /// queries cannot perturb the pool counters they report on.
     pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let _o = core_order();
         self.core.lock().shard_stats()
     }
 }

@@ -56,7 +56,7 @@ impl HeapFile {
     }
 
     /// Insert a record, returning its stable OID.
-    pub fn insert(&self, sm: &StorageManager, type_tag: u16, payload: &[u8]) -> Result<Oid> {
+    pub fn rec_insert(&self, sm: &StorageManager, type_tag: u16, payload: &[u8]) -> Result<Oid> {
         self.insert_flagged(sm, type_tag, RecordFlags::Normal, payload)
     }
 
@@ -155,7 +155,7 @@ impl HeapFile {
 
     /// Replace the payload of the record at `oid`, preserving its type tag
     /// and keeping `oid` valid even if the record must move pages.
-    pub fn update(&self, sm: &StorageManager, oid: Oid, payload: &[u8]) -> Result<()> {
+    pub fn rec_update(&self, sm: &StorageManager, oid: Oid, payload: &[u8]) -> Result<()> {
         let (hdr, old_payload) = self.read_raw(sm, oid)?;
         match hdr.flags {
             RecordFlags::Normal => {
@@ -218,7 +218,7 @@ impl HeapFile {
     }
 
     /// Delete the record at `oid` (and its forwarded body, if any).
-    pub fn delete(&self, sm: &StorageManager, oid: Oid) -> Result<()> {
+    pub fn rec_delete(&self, sm: &StorageManager, oid: Oid) -> Result<()> {
         let (hdr, payload) = self.read_raw(sm, oid)?;
         if hdr.flags == RecordFlags::Forward {
             let target = Oid::from_bytes(&payload);
@@ -355,8 +355,8 @@ mod tests {
     fn insert_read_roundtrip() {
         let sm = sm();
         let hf = HeapFile::create(&sm).unwrap();
-        let a = hf.insert(&sm, 1, b"alpha").unwrap();
-        let b = hf.insert(&sm, 2, b"bravo").unwrap();
+        let a = hf.rec_insert(&sm, 1, b"alpha").unwrap();
+        let b = hf.rec_insert(&sm, 2, b"bravo").unwrap();
         assert_eq!(hf.read(&sm, a).unwrap(), (1, b"alpha".to_vec()));
         assert_eq!(hf.read(&sm, b).unwrap(), (2, b"bravo".to_vec()));
     }
@@ -367,7 +367,7 @@ mod tests {
         let hf = HeapFile::create(&sm).unwrap();
         // 100-byte payloads → 33 objects/page (O_r in the paper).
         for _ in 0..330 {
-            hf.insert(&sm, 1, &[0u8; 100]).unwrap();
+            hf.rec_insert(&sm, 1, &[0u8; 100]).unwrap();
         }
         assert_eq!(sm.page_count(hf.file).unwrap(), 10);
     }
@@ -376,8 +376,8 @@ mod tests {
     fn update_in_place_preserves_oid() {
         let sm = sm();
         let hf = HeapFile::create(&sm).unwrap();
-        let oid = hf.insert(&sm, 1, &[1u8; 50]).unwrap();
-        hf.update(&sm, oid, &[2u8; 50]).unwrap();
+        let oid = hf.rec_insert(&sm, 1, &[1u8; 50]).unwrap();
+        hf.rec_update(&sm, oid, &[2u8; 50]).unwrap();
         assert_eq!(hf.read(&sm, oid).unwrap().1, vec![2u8; 50]);
     }
 
@@ -388,19 +388,19 @@ mod tests {
         // Fill a page completely.
         let mut oids = vec![];
         for _ in 0..33 {
-            oids.push(hf.insert(&sm, 1, &[3u8; 100]).unwrap());
+            oids.push(hf.rec_insert(&sm, 1, &[3u8; 100]).unwrap());
         }
         let victim = oids[0];
         // Grow it so it cannot stay on its full page.
-        hf.update(&sm, victim, &[4u8; 600]).unwrap();
+        hf.rec_update(&sm, victim, &[4u8; 600]).unwrap();
         let (tag, body) = hf.read(&sm, victim).unwrap();
         assert_eq!(tag, 1);
         assert_eq!(body, vec![4u8; 600]);
         // Update through the stub again (fits at the forwarded location).
-        hf.update(&sm, victim, &[5u8; 600]).unwrap();
+        hf.rec_update(&sm, victim, &[5u8; 600]).unwrap();
         assert_eq!(hf.read(&sm, victim).unwrap().1, vec![5u8; 600]);
         // And grow it further, forcing a re-forward.
-        hf.update(&sm, victim, &[6u8; 3000]).unwrap();
+        hf.rec_update(&sm, victim, &[6u8; 3000]).unwrap();
         assert_eq!(hf.read(&sm, victim).unwrap().1, vec![6u8; 3000]);
     }
 
@@ -408,8 +408,8 @@ mod tests {
     fn delete_then_read_fails() {
         let sm = sm();
         let hf = HeapFile::create(&sm).unwrap();
-        let oid = hf.insert(&sm, 1, b"gone").unwrap();
-        hf.delete(&sm, oid).unwrap();
+        let oid = hf.rec_insert(&sm, 1, b"gone").unwrap();
+        hf.rec_delete(&sm, oid).unwrap();
         assert!(hf.read(&sm, oid).is_err());
     }
 
@@ -419,12 +419,12 @@ mod tests {
         let hf = HeapFile::create(&sm).unwrap();
         let mut oids = vec![];
         for _ in 0..33 {
-            oids.push(hf.insert(&sm, 1, &[7u8; 100]).unwrap());
+            oids.push(hf.rec_insert(&sm, 1, &[7u8; 100]).unwrap());
         }
         assert_eq!(sm.page_count(hf.file).unwrap(), 1);
-        hf.delete(&sm, oids[10]).unwrap();
+        hf.rec_delete(&sm, oids[10]).unwrap();
         // The next insert should reuse page 0, not extend the file.
-        let oid = hf.insert(&sm, 1, &[8u8; 100]).unwrap();
+        let oid = hf.rec_insert(&sm, 1, &[8u8; 100]).unwrap();
         assert_eq!(oid.page, 0);
         assert_eq!(sm.page_count(hf.file).unwrap(), 1);
     }
@@ -435,12 +435,12 @@ mod tests {
         let hf = HeapFile::create(&sm).unwrap();
         let mut expect = vec![];
         for i in 0..100u8 {
-            let oid = hf.insert(&sm, 1, &[i; 60]).unwrap();
+            let oid = hf.rec_insert(&sm, 1, &[i; 60]).unwrap();
             expect.push((oid, vec![i; 60]));
         }
         // Forward a few by growing them.
         for &(oid, _) in expect.iter().take(80).step_by(7) {
-            hf.update(&sm, oid, &[0xEE; 900]).unwrap();
+            hf.rec_update(&sm, oid, &[0xEE; 900]).unwrap();
         }
         let mut seen = std::collections::HashMap::new();
         let mut scan = hf.scan(&sm).unwrap();
@@ -463,11 +463,11 @@ mod tests {
         let sm = sm();
         let hf = HeapFile::create(&sm).unwrap();
         for _ in 0..33 {
-            hf.insert(&sm, 1, &[1u8; 100]).unwrap();
+            hf.rec_insert(&sm, 1, &[1u8; 100]).unwrap();
         }
         let victim = Oid::new(hf.file, 0, 0);
-        hf.update(&sm, victim, &[2u8; 1000]).unwrap(); // forwards
-        hf.delete(&sm, victim).unwrap();
+        hf.rec_update(&sm, victim, &[2u8; 1000]).unwrap(); // forwards
+        hf.rec_delete(&sm, victim).unwrap();
         assert!(hf.read(&sm, victim).is_err());
         // Nothing in the scan refers to the moved body.
         let mut scan = hf.scan(&sm).unwrap();
@@ -483,7 +483,7 @@ mod tests {
         let sm = sm();
         let hf = HeapFile::create(&sm).unwrap();
         for _ in 0..250 {
-            hf.insert(&sm, 3, &[0u8; 30]).unwrap();
+            hf.rec_insert(&sm, 3, &[0u8; 30]).unwrap();
         }
         assert_eq!(hf.count(&sm).unwrap(), 250);
     }

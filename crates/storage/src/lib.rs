@@ -32,6 +32,7 @@ pub mod disk;
 pub mod error;
 pub mod fault;
 pub mod heap;
+pub mod lockorder;
 pub mod oid;
 pub mod page;
 pub mod stats;

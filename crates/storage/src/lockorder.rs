@@ -1,0 +1,210 @@
+//! Runtime (debug-build) assertion of the declared global lock order.
+//!
+//! This is the dynamic mirror of the lint's static registry
+//! (`fieldrep-lint`'s `locks::LOCKS`) and the DESIGN.md §9 table: every
+//! named engine lock has a **rank**, and a thread may only acquire a
+//! lock of strictly higher rank than anything it already holds. Equal
+//! rank is allowed for *reentrant* families (the per-OID seqlock table
+//! and the frame latches), which order their members internally.
+//! Because the declared order is total, any would-be wait-for cycle
+//! must contain an edge that violates it — so a run that never trips
+//! these asserts never deadlocked *and never could have* on the
+//! instrumented locks, whatever the interleaving.
+//!
+//! Debug builds keep a thread-local stack of `(rank, name)` entries and
+//! `debug_assert!` on out-of-order acquisition; release builds compile
+//! the whole thing to nothing ([`Held`] becomes a ZST and the
+//! constructors are empty inline fns).
+//!
+//! Acquisition sites call [`acquired`] (or [`acquired_try`] for
+//! non-blocking probes, which cannot deadlock and therefore skip the
+//! order assert — but still record the hold, because a successfully
+//! try-acquired lock constrains later blocking acquisitions like any
+//! other) and keep the returned [`Held`] token alive exactly as long
+//! as the guard it describes.
+
+/// Rank of the transaction layer's index maintenance guard.
+pub const TXN_INDEX_GUARD: u8 = 10;
+/// Rank of the per-OID seqlock write-lock family (reentrant: members
+/// are acquired in sorted OID order via `lock_sorted`).
+pub const OID_SEQLOCK: u8 = 20;
+/// Rank of the WAL apply section.
+pub const WAL_APPLY: u8 = 30;
+/// Rank of the buffer-pool metadata mutex.
+pub const POOL_CORE: u8 = 40;
+/// Rank of the buffer-frame page latches (reentrant: multi-frame work
+/// goes through the ordered batch helper).
+pub const FRAME_DATA: u8 = 50;
+/// Rank of the group-commit leader lock.
+pub const WAL_SYNC: u8 = 60;
+/// Rank of the WAL append lock (`WalInner`).
+pub const WAL_APPEND: u8 = 70;
+
+#[cfg(debug_assertions)]
+mod imp {
+    use std::cell::{Cell, RefCell};
+
+    thread_local! {
+        /// Ranks this thread currently holds, in acquisition order.
+        static HELD: RefCell<Vec<(u8, &'static str)>> = const { RefCell::new(Vec::new()) };
+        /// Nesting depth of ordered-batch scopes (see [`frame_batch_exempt`]).
+        static BATCH_EXEMPT: Cell<u32> = const { Cell::new(0) };
+    }
+
+    /// RAII marker for the ordered batch helper's dynamic extent: while
+    /// alive, held [`super::FRAME_DATA`] entries are exempt from the
+    /// order assert. A live frame latch pins its frame, so a `PoolCore`
+    /// holder can never wait on it (eviction skips pinned frames) — the
+    /// batch helper may therefore re-enter the pool beneath live
+    /// latches without risking a cycle. This mirrors the L4 lint
+    /// exception and `lockcheck::BatchScope` in `storage::buffer`.
+    pub struct BatchExempt {
+        _private: (),
+    }
+
+    /// Enter the ordered-batch exemption (see [`BatchExempt`]).
+    pub fn frame_batch_exempt() -> BatchExempt {
+        BATCH_EXEMPT.with(|c| c.set(c.get() + 1));
+        BatchExempt { _private: () }
+    }
+
+    impl Drop for BatchExempt {
+        fn drop(&mut self) {
+            BATCH_EXEMPT.with(|c| c.set(c.get() - 1));
+        }
+    }
+
+    /// RAII token recording one held lock; dropping it releases the
+    /// rank from the thread's stack.
+    #[must_use = "bind the order token for as long as the lock guard lives"]
+    pub struct Held {
+        rank: u8,
+    }
+
+    /// Record a blocking acquisition, asserting the declared order: the
+    /// new rank must exceed every rank already held (equal allowed only
+    /// for reentrant families).
+    pub fn acquired(rank: u8, reentrant: bool, name: &'static str) -> Held {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            // Assert against the *maximum* held rank, not the top of
+            // the stack: try-acquires may push out of order, and guards
+            // need not drop LIFO.
+            let exempt_frames = BATCH_EXEMPT.with(Cell::get) > 0;
+            if let Some(&(top, top_name)) = h
+                .iter()
+                .filter(|&&(r, _)| !(exempt_frames && r == super::FRAME_DATA))
+                .max_by_key(|&&(r, _)| r)
+            {
+                debug_assert!(
+                    top < rank || (top == rank && reentrant),
+                    "lock-order violation: acquiring {name} (rank {rank}) while \
+                     {top_name} (rank {top}) is held — the declared global order \
+                     (DESIGN.md §9, lint rule L5) requires strictly increasing \
+                     ranks on every thread"
+                );
+            }
+            h.push((rank, name));
+        });
+        Held { rank }
+    }
+
+    /// Record a *successful* non-blocking acquisition. Try-locks cannot
+    /// deadlock, so no order assert — but the hold is tracked so later
+    /// blocking acquisitions are checked against it.
+    pub fn acquired_try(rank: u8, name: &'static str) -> Held {
+        HELD.with(|h| h.borrow_mut().push((rank, name)));
+        Held { rank }
+    }
+
+    impl Drop for Held {
+        fn drop(&mut self) {
+            HELD.with(|h| {
+                let mut h = h.borrow_mut();
+                // Guards need not drop LIFO (`drop(inner)` can precede
+                // a leader guard bound earlier): remove the most recent
+                // entry of this token's rank, wherever it sits.
+                if let Some(pos) = h.iter().rposition(|&(r, _)| r == self.rank) {
+                    h.remove(pos);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod imp {
+    /// Release-build stand-in: a ZST with no drop glue.
+    pub struct Held {}
+
+    /// Release-build stand-in for the ordered-batch exemption marker.
+    pub struct BatchExempt {}
+
+    /// Release-build no-op (see the `debug_assertions` twin).
+    #[inline(always)]
+    pub fn acquired(_rank: u8, _reentrant: bool, _name: &'static str) -> Held {
+        Held {}
+    }
+
+    /// Release-build no-op (see the `debug_assertions` twin).
+    #[inline(always)]
+    pub fn acquired_try(_rank: u8, _name: &'static str) -> Held {
+        Held {}
+    }
+
+    /// Release-build no-op (see the `debug_assertions` twin).
+    #[inline(always)]
+    pub fn frame_batch_exempt() -> BatchExempt {
+        BatchExempt {}
+    }
+}
+
+pub use imp::{acquired, acquired_try, frame_batch_exempt, BatchExempt, Held};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upward_acquisition_is_clean() {
+        let _a = acquired(TXN_INDEX_GUARD, false, "TxnIndexGuard");
+        let _b = acquired(WAL_APPLY, false, "WalApply");
+        let _c = acquired(WAL_APPEND, false, "WalAppend");
+    }
+
+    #[test]
+    fn reentrant_family_allows_equal_rank() {
+        let _a = acquired(OID_SEQLOCK, true, "OidSeqlock");
+        let _b = acquired(OID_SEQLOCK, true, "OidSeqlock");
+    }
+
+    #[test]
+    fn release_unwinds_out_of_order() {
+        let a = acquired(WAL_SYNC, false, "WalSync");
+        let b = acquired(WAL_APPEND, false, "WalAppend");
+        // Dropping the *inner* guard first (the checkpoint shape) must
+        // leave the outer hold intact and consistent.
+        drop(b);
+        let _c = acquired(WAL_APPEND, false, "WalAppend");
+        drop(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    #[cfg(debug_assertions)]
+    fn downward_acquisition_trips() {
+        let _a = acquired(WAL_APPEND, false, "WalAppend");
+        let _b = acquired(POOL_CORE, false, "PoolCore");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn try_acquire_skips_the_assert_but_constrains_later() {
+        // Holding PoolCore, try-probing the (lower-ranked) apply
+        // section is legal — that is the eviction path's exact shape.
+        let _core = acquired(POOL_CORE, false, "PoolCore");
+        let _probe = acquired_try(WAL_APPLY, "WalApply");
+        // FrameData above both is still fine.
+        let _frame = acquired(FRAME_DATA, true, "FrameData");
+    }
+}

@@ -49,6 +49,7 @@ pub use recover::{recover, RecoveryReport};
 pub use store::{FileWalStore, MemWalStore, WalStore, WalSyncer};
 
 use crate::error::Result;
+use crate::lockorder;
 use crate::oid::PageId;
 use crate::page::PAGE_SIZE;
 use fieldrep_obs::{metrics, names as obs_names};
@@ -77,6 +78,13 @@ fn wal_metrics() -> &'static WalMetrics {
             autocommits: r.counter(obs_names::WAL_AUTOCOMMITS),
         }
     })
+}
+
+/// Guard for the serialized apply section ([`Wal::apply_lock`]);
+/// carries the runtime lock-order token alongside the mutex guard.
+pub struct ApplyGuard<'a> {
+    _guard: MutexGuard<'a, ()>,
+    _order: lockorder::Held,
 }
 
 struct WalInner {
@@ -162,8 +170,12 @@ impl Wal {
     /// interleaves two operations' page images and a commit's
     /// dirty-page sweep only ever sees completed operations' pages;
     /// it is released before the fsync.
-    pub fn apply_lock(&self) -> MutexGuard<'_, ()> {
-        self.apply.lock()
+    pub fn apply_lock(&self) -> ApplyGuard<'_> {
+        let order = lockorder::acquired(lockorder::WAL_APPLY, false, "WalApply");
+        ApplyGuard {
+            _guard: self.apply.lock(),
+            _order: order,
+        }
     }
 
     /// Non-blocking probe of the apply section, used by the buffer
@@ -173,8 +185,11 @@ impl Wal {
     /// making it durable would violate atomicity — the pool skips it
     /// instead). Must be non-blocking because eviction runs under the
     /// pool lock, which an apply-section holder may be waiting for.
-    pub fn try_apply_lock(&self) -> Option<MutexGuard<'_, ()>> {
-        self.apply.try_lock()
+    pub fn try_apply_lock(&self) -> Option<ApplyGuard<'_>> {
+        self.apply.try_lock().map(|g| ApplyGuard {
+            _guard: g,
+            _order: lockorder::acquired_try(lockorder::WAL_APPLY, "WalApply"),
+        })
     }
 
     /// Allocate a WAL-local transaction id.
@@ -187,6 +202,7 @@ impl Wal {
     /// [`Wal::sync_to`] with the returned LSN (that is what group
     /// commit coalesces).
     pub fn append_commit(&self, txn: u64, pages: &[(PageId, &[u8; PAGE_SIZE])]) -> Result<u64> {
+        let _append_order = lockorder::acquired(lockorder::WAL_APPEND, false, "WalAppend");
         let mut inner = self.inner.lock();
         let mut buf = Vec::with_capacity((record::MAX_PAYLOAD + 8) * (pages.len() + 2));
         let mut lsn = inner.next_lsn;
@@ -228,6 +244,7 @@ impl Wal {
             wal_metrics().coalesced.inc();
             return Ok(());
         }
+        let _leader_order = lockorder::acquired(lockorder::WAL_SYNC, false, "WalSync");
         let _leader = self.sync_lock.lock();
         if self.durable.load(Ordering::Acquire) >= lsn {
             // A leader that ran while we waited covered our records.
@@ -239,7 +256,10 @@ impl Wal {
         // lock *released*: the barrier covers everything appended before
         // it began (`covered`), and followers keep appending — into the
         // next leader's barrier — instead of queueing behind this one.
-        let covered = self.inner.lock().appended;
+        let covered = {
+            let _o = lockorder::acquired(lockorder::WAL_APPEND, false, "WalAppend");
+            self.inner.lock().appended
+        };
         self.syncer.wal_sync_now()?;
         self.durable.fetch_max(covered, Ordering::AcqRel);
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
@@ -271,16 +291,26 @@ impl Wal {
     /// the log's history is dead weight — truncate it and write a fresh
     /// `Checkpoint` marker (durable) as the new epoch's first record.
     pub fn checkpoint_truncate(&self) -> Result<()> {
+        let _leader_order = lockorder::acquired(lockorder::WAL_SYNC, false, "WalSync");
         let _leader = self.sync_lock.lock();
-        let mut inner = self.inner.lock();
-        inner.store.wal_truncate(0)?;
-        let lsn = inner.next_lsn;
-        let frame = record::encode(lsn, &WalRecord::Checkpoint);
-        inner.store.wal_append(&frame)?;
-        inner.store.wal_sync()?;
-        inner.next_lsn = lsn + 1;
-        inner.appended = lsn;
-        drop(inner);
+        // Truncate + append the marker under the append lock, but fsync
+        // through the dup'd syncer fd *after* dropping it: an fsync
+        // inside the `inner` critical section would serialise every
+        // committer behind the disk (the group-commit bug shape, lint
+        // L6). Concurrent appends that land before the sync are merely
+        // synced early, and `lsn` is monotone so `fetch_max` is correct.
+        let lsn = {
+            let _o = lockorder::acquired(lockorder::WAL_APPEND, false, "WalAppend");
+            let mut inner = self.inner.lock();
+            inner.store.wal_truncate(0)?;
+            let lsn = inner.next_lsn;
+            let frame = record::encode(lsn, &WalRecord::Checkpoint);
+            inner.store.wal_append(&frame)?;
+            inner.next_lsn = lsn + 1;
+            inner.appended = lsn;
+            lsn
+        };
+        self.syncer.wal_sync_now()?;
         self.durable.fetch_max(lsn, Ordering::AcqRel);
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
         wal_metrics().fsyncs.inc();
@@ -290,6 +320,7 @@ impl Wal {
     /// Point-in-time counters.
     pub fn stats(&self) -> WalStats {
         let (last_lsn, _) = {
+            let _o = lockorder::acquired(lockorder::WAL_APPEND, false, "WalAppend");
             let inner = self.inner.lock();
             (inner.next_lsn - 1, inner.appended)
         };
@@ -306,6 +337,7 @@ impl Wal {
 
     /// Current log length in bytes (test/introspection support).
     pub fn log_len(&self) -> Result<u64> {
+        let _o = lockorder::acquired(lockorder::WAL_APPEND, false, "WalAppend");
         self.inner.lock().store.wal_len()
     }
 }

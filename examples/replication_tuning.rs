@@ -32,9 +32,9 @@ fn main() {
     ] {
         let spec = WorkloadSpec::paper(sharing, setting, strat).scaled(s_count);
         let params = spec.params();
-        let mut w = build_workload(spec);
-        let read = avg_read_io(&mut w, queries);
-        let update = avg_update_io(&mut w, queries);
+        let mut w = build_workload(spec).expect("build workload");
+        let read = avg_read_io(&mut w, queries).expect("read measurement");
+        let update = avg_update_io(&mut w, queries).expect("update measurement");
         println!("{name:>9}: measured C_read = {read:7.1}   C_update = {update:7.1}");
         measured.push((name, read, update, params, model));
     }

@@ -1,33 +1,48 @@
 #!/usr/bin/env bash
 # Tier-1 quality gate: formatting, lints, and the full test suite.
 # Run from the repository root: ./scripts/check.sh
+# Each stage reports its wall-clock time; a summary prints at the end.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo fmt --all -- --check
-cargo clippy --workspace --all-targets -- -D warnings
+STAGE_SUMMARY=""
+stage() {
+    local name=$1
+    shift
+    local start end
+    start=$(date +%s)
+    "$@"
+    end=$(date +%s)
+    local took=$((end - start))
+    STAGE_SUMMARY+=$(printf '%-24s %4ds' "$name" "$took")$'\n'
+    printf '== %s: %ds\n' "$name" "$took"
+}
+
+stage fmt cargo fmt --all -- --check
+stage clippy cargo clippy --workspace --all-targets -- -D warnings
 
 # Repo-specific static analysis (layering, obs-name registry, panic
-# budget, lock discipline) against the committed lint_budget.toml.
-cargo run -q -p fieldrep-lint
+# budget, lock discipline, interprocedural lock order / blocking-I/O /
+# apply coverage) against the committed lint_budget.toml.
+stage lint cargo run -q -p fieldrep-lint
 
-cargo test -q --workspace
+stage test cargo test -q --workspace
 
 # Concurrency stress smoke: the seeded 8-thread hostile mix across all
 # three replication strategies (release mode, fixed seed). A torn
 # replica read or a lock-ordering deadlock fails here.
-cargo test --release -q -p fieldrep-core --test concurrency_stress
+stage concurrency_stress cargo test --release -q -p fieldrep-core --test concurrency_stress
 
 # Crash-recovery smoke: kill a committed workload's WAL at 100 seeded
 # byte offsets and reopen each truncated image (release mode, fixed
 # seed). A lost committed update, a phantom uncommitted one, or a
 # replica/source divergence after replay fails here.
-cargo test --release -q -p fieldrep-core --test crash_recovery
+stage crash_recovery cargo test --release -q -p fieldrep-core --test crash_recovery
 
 # Fast benchmark smoke: runs the suite's tiny matrix and self-tests the
 # regression-gate logic (exits nonzero if the gate stops catching
 # injected regressions).
-cargo run --release -q -p fieldrep-bench --bin bench_suite -- \
+stage bench_smoke cargo run --release -q -p fieldrep-bench --bin bench_suite -- \
     --smoke --run-id check.sh --out target/BENCH_smoke.json
 
 # Observability smoke: a tiny workload through the always-on pipeline
@@ -35,4 +50,6 @@ cargo run --release -q -p fieldrep-bench --bin bench_suite -- \
 # exported JSONL line parses and carries the current schema version,
 # and that the Chrome-trace/Perfetto export of the profiled read's span
 # tree is structurally sound (balanced B/E, monotone timestamps).
-cargo run --release -q -p fieldrep-bench --bin obs_smoke
+stage obs_smoke cargo run --release -q -p fieldrep-bench --bin obs_smoke
+
+printf '\n== check.sh stage timings ==\n%s' "$STAGE_SUMMARY"

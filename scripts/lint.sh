@@ -2,14 +2,23 @@
 # Run the repo-specific static analysis (fieldrep-lint) on its own.
 #
 #   ./scripts/lint.sh                 check against lint_budget.toml
+#   ./scripts/lint.sh --json          machine-readable JSONL diagnostics
+#                                     (one object per finding, suppressed
+#                                     findings included)
 #   ./scripts/lint.sh --update-budget rewrite lint_budget.toml after a
 #                                     legitimate ratchet-down
 #
-# The four rules (see DESIGN.md §9 and crates/lint/src/lib.rs):
-#   L1  layering      raw page/file I/O only inside crates/storage
-#   L2  name registry obs name literals must exist in obs::names
-#   L3  panic budget  unwrap/expect/panic in library code only ratchets down
-#   L4  lock order    no second frame acquire under a live page write guard
+# The seven rules (see DESIGN.md §9 and crates/lint/src/lib.rs):
+#   L1  layering        raw page/file/WAL-store I/O only inside crates/storage
+#   L2  name registry   obs name literals must exist in obs::names
+#   L3  panic budget    unwrap/expect/panic in library code only ratchets down
+#   L4  lock discipline no second frame acquire under a live page write guard
+#   L5  lock order      held-lock sets through the call graph obey the
+#                       declared total order over the named locks
+#   L6  blocking I/O    no fsync/sleep/file I/O reachable while a lock
+#                       that forbids it is held
+#   L7  apply coverage  pub &self Database mutators hold (or document
+#                       inheriting) the WAL apply section
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
